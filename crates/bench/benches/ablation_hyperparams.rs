@@ -1,0 +1,55 @@
+//! Experiment A2: MCTS hyper-parameter ablation — exploration constant, rollout depth and the
+//! number of random widget assignments per evaluation (`k`).
+//!
+//! Criterion measures the runtime impact of each knob; the quality impact is produced by
+//! `expfig -- hyper`.
+
+// The `criterion_main!` macro generates an undocumented `main`; silence the workspace
+// `missing_docs` lint for these generated items only.
+#![allow(missing_docs)]
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mctsui_bench::fast_generator_config;
+use mctsui_core::InterfaceGenerator;
+use mctsui_widgets::Screen;
+use mctsui_workload::sdss_listing1;
+
+fn bench_rollout_depth(c: &mut Criterion) {
+    let queries = sdss_listing1();
+    let mut group = c.benchmark_group("rollout_depth");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for depth in [10usize, 50, 150] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            b.iter(|| {
+                let mut config = fast_generator_config(Screen::wide(), 20, 3);
+                config.mcts = config.mcts.with_rollout_depth(depth);
+                InterfaceGenerator::new(queries.clone(), config).generate().cost.total
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_assignments_per_eval(c: &mut Criterion) {
+    let queries = sdss_listing1();
+    let mut group = c.benchmark_group("assignments_per_eval");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for k in [1usize, 3, 6] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let mut config = fast_generator_config(Screen::wide(), 20, 3);
+                config.assignments_per_eval = k;
+                InterfaceGenerator::new(queries.clone(), config).generate().cost.total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rollout_depth, bench_assignments_per_eval);
+criterion_main!(benches);

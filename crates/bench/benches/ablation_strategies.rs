@@ -1,0 +1,45 @@
+//! Experiment A1: search-strategy ablation (MCTS vs greedy vs random walk vs beam search).
+//!
+//! Criterion measures the runtime of each strategy under a comparable evaluation budget on
+//! the Listing 1 log; the quality comparison is produced by `expfig -- strategies`.
+
+// The `criterion_main!` macro generates an undocumented `main`; silence the workspace
+// `missing_docs` lint for these generated items only.
+#![allow(missing_docs)]
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mctsui_bench::fast_generator_config;
+use mctsui_core::{InterfaceGenerator, SearchStrategy};
+use mctsui_widgets::Screen;
+use mctsui_workload::sdss_listing1;
+
+fn bench_strategies(c: &mut Criterion) {
+    let queries = sdss_listing1();
+    let mut group = c.benchmark_group("ablation_strategies");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    let strategies: Vec<(&str, SearchStrategy)> = vec![
+        ("mcts", SearchStrategy::Mcts),
+        ("greedy", SearchStrategy::Greedy),
+        ("random_walk", SearchStrategy::RandomWalk { walks: 20, depth: 25 }),
+        ("beam_3x4", SearchStrategy::Beam { width: 3, depth: 4 }),
+        ("initial_only", SearchStrategy::InitialOnly),
+    ];
+
+    for (name, strategy) in strategies {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &strategy, |b, &strategy| {
+            b.iter(|| {
+                let config =
+                    fast_generator_config(Screen::wide(), 20, 3).with_strategy(strategy);
+                InterfaceGenerator::new(queries.clone(), config).generate().cost.total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Experiment S3: the bottom-up miner of Zhang et al. (2017) versus the MCTS generator.
+//!
+//! Criterion measures the runtime of each approach on the Listing 1 log and on a larger
+//! synthetic log; the cost comparison table is produced by `expfig -- baseline`.
+
+// The `criterion_main!` macro generates an undocumented `main`; silence the workspace
+// `missing_docs` lint for these generated items only.
+#![allow(missing_docs)]
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mctsui_baseline::mine_interface;
+use mctsui_bench::fast_generator_config;
+use mctsui_core::InterfaceGenerator;
+use mctsui_widgets::Screen;
+use mctsui_workload::{sdss_listing1, LogSpec};
+
+fn bench_bottom_up_miner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bottom_up_miner");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for n in [10usize, 25, 50] {
+        let queries = if n == 10 {
+            sdss_listing1()
+        } else {
+            LogSpec::sdss_style(n, 5).generate().queries
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(n), &queries, |b, queries| {
+            b.iter(|| mine_interface(queries, Screen::wide()).unwrap().widget_count())
+        });
+    }
+    group.finish();
+}
+
+fn bench_mcts_same_logs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mcts_generator");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for n in [10usize, 25] {
+        let queries = if n == 10 {
+            sdss_listing1()
+        } else {
+            LogSpec::sdss_style(n, 5).generate().queries
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(n), &queries, |b, queries| {
+            b.iter(|| {
+                let config = fast_generator_config(Screen::wide(), 20, 5);
+                InterfaceGenerator::new(queries.clone(), config).generate().cost.total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bottom_up_miner, bench_mcts_same_logs);
+criterion_main!(benches);

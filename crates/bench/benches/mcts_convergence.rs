@@ -1,0 +1,41 @@
+//! Experiment S2: MCTS search throughput on the Listing 1 log.
+//!
+//! The paper's claim is that about a minute of MCTS produces a good interface. Criterion
+//! measures how long a fixed number of MCTS iterations takes (so wall-clock budgets translate
+//! to iteration counts on this machine); the cost-vs-budget curve itself is produced by
+//! `expfig -- convergence`.
+
+// The `criterion_main!` macro generates an undocumented `main`; silence the workspace
+// `missing_docs` lint for these generated items only.
+#![allow(missing_docs)]
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mctsui_bench::fast_generator_config;
+use mctsui_core::InterfaceGenerator;
+use mctsui_widgets::Screen;
+use mctsui_workload::sdss_listing1;
+
+fn bench_mcts_iterations(c: &mut Criterion) {
+    let queries = sdss_listing1();
+    let mut group = c.benchmark_group("mcts_convergence");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for iterations in [10usize, 25, 50] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(iterations),
+            &iterations,
+            |b, &iterations| {
+                b.iter(|| {
+                    let config = fast_generator_config(Screen::wide(), iterations, 11);
+                    InterfaceGenerator::new(queries.clone(), config).generate().cost.total
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mcts_iterations);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Experiment A4: micro-benchmarks of widget-tree construction, layout solving and cost
+//! evaluation — the inner loop of every MCTS reward call.
+
+// The `criterion_main!` macro generates an undocumented `main`; silence the workspace
+// `missing_docs` lint for these generated items only.
+#![allow(missing_docs)]
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mctsui_cost::{evaluate_with_context, CostWeights, QueryContext};
+use mctsui_difftree::{initial_difftree, RuleEngine};
+use mctsui_widgets::{build_widget_tree, default_assignment, random_assignment, Screen};
+use mctsui_workload::{sdss_listing1, LogSpec};
+
+fn bench_widget_tree_build(c: &mut Criterion) {
+    let engine = RuleEngine::default();
+    let mut group = c.benchmark_group("build_widget_tree");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for n in [10usize, 20, 40] {
+        let queries = if n == 10 { sdss_listing1() } else { LogSpec::sdss_style(n, 2).generate().queries };
+        let tree = engine.saturate_forward(&initial_difftree(&queries), 300);
+        let assignment = default_assignment(&tree);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(tree, assignment),
+            |b, (tree, assignment)| {
+                b.iter(|| build_widget_tree(tree, assignment, Screen::wide()).widget_count())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_cost_evaluation(c: &mut Criterion) {
+    let engine = RuleEngine::default();
+    let queries = sdss_listing1();
+    let tree = engine.saturate_forward(&initial_difftree(&queries), 300);
+    let ctx = QueryContext::compute(&tree, &queries);
+    let weights = CostWeights::default();
+
+    let mut group = c.benchmark_group("cost_evaluation");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.bench_function("query_context_compute", |b| {
+        b.iter(|| QueryContext::compute(&tree, &queries).total_changes())
+    });
+    group.bench_function("evaluate_with_cached_context", |b| {
+        let wt = build_widget_tree(&tree, &default_assignment(&tree), Screen::wide());
+        b.iter(|| evaluate_with_context(&wt, &ctx, &weights).total)
+    });
+    group.bench_function("random_assignment_plus_evaluate", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            let assignment = random_assignment(&tree, seed);
+            let wt = build_widget_tree(&tree, &assignment, Screen::wide());
+            evaluate_with_context(&wt, &ctx, &weights).total
+        })
+    });
+    group.finish();
+}
+
+fn bench_layout_solver(c: &mut Criterion) {
+    let engine = RuleEngine::default();
+    let queries = LogSpec::sdss_style(30, 3).generate().queries;
+    let tree = engine.saturate_forward(&initial_difftree(&queries), 300);
+    let wt = build_widget_tree(&tree, &default_assignment(&tree), Screen::wide());
+    let choices = tree.choice_paths();
+
+    let mut group = c.benchmark_group("layout_and_navigation");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.bench_function("bounding_box", |b| b.iter(|| wt.bounding_box()));
+    group.bench_function("steiner_edge_count_all_choices", |b| {
+        b.iter(|| wt.steiner_edge_count(&choices))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_widget_tree_build, bench_cost_evaluation, bench_layout_solver);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Experiment A3: micro-benchmarks of the difftree machinery — the operations the paper
+//! singles out as the performance bottleneck ("the transformation rules ... become slow to
+//! evaluate as the difftree becomes large").
+
+// The `criterion_main!` macro generates an undocumented `main`; silence the workspace
+// `missing_docs` lint for these generated items only.
+#![allow(missing_docs)]
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mctsui_difftree::derive::express;
+use mctsui_difftree::{initial_difftree, RuleEngine};
+use mctsui_workload::{sdss_listing1, LogSpec};
+
+fn logs_of_size(n: usize) -> Vec<mctsui_sql::Ast> {
+    if n == 10 {
+        sdss_listing1()
+    } else {
+        LogSpec::sdss_style(n, 1).generate().queries
+    }
+}
+
+fn bench_rule_application(c: &mut Criterion) {
+    let engine = RuleEngine::default();
+    let mut group = c.benchmark_group("rule_apply_first");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for n in [5usize, 10, 20, 40] {
+        let queries = logs_of_size(n);
+        let tree = initial_difftree(&queries);
+        let app = engine.applicable(&tree).into_iter().next().expect("at least one rule");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(tree, app), |b, (tree, app)| {
+            b.iter(|| engine.apply(tree, app).unwrap().size())
+        });
+    }
+    group.finish();
+}
+
+fn bench_saturate_forward(c: &mut Criterion) {
+    let engine = RuleEngine::default();
+    let mut group = c.benchmark_group("saturate_forward");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for n in [5usize, 10, 20] {
+        let queries = logs_of_size(n);
+        let tree = initial_difftree(&queries);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &tree, |b, tree| {
+            b.iter(|| engine.saturate_forward(tree, 300).choice_count())
+        });
+    }
+    group.finish();
+}
+
+fn bench_expressibility(c: &mut Criterion) {
+    let engine = RuleEngine::default();
+    let mut group = c.benchmark_group("express_query");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for n in [10usize, 20, 40] {
+        let queries = logs_of_size(n);
+        let factored = engine.saturate_forward(&initial_difftree(&queries), 300);
+        let target = queries[queries.len() / 2].clone();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(factored, target),
+            |b, (factored, target)| b.iter(|| express(factored.root(), target).is_some()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rule_application, bench_saturate_forward, bench_expressibility);
+criterion_main!(benches);

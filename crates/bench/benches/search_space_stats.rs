@@ -1,0 +1,48 @@
+//! Experiment S1: cost of measuring the search space (rule applicability scans and random
+//! walks) for the Listing 1 log and synthetic logs of growing size.
+
+// The `criterion_main!` macro generates an undocumented `main`; silence the workspace
+// `missing_docs` lint for these generated items only.
+#![allow(missing_docs)]
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mctsui_core::search_space_stats;
+use mctsui_difftree::{initial_difftree, RuleEngine};
+use mctsui_workload::{sdss_listing1, LogSpec};
+
+fn bench_applicable_scan(c: &mut Criterion) {
+    let engine = RuleEngine::default();
+    let mut group = c.benchmark_group("applicable_scan");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for n in [5usize, 10, 20, 40] {
+        let queries = if n == 10 {
+            sdss_listing1()
+        } else {
+            LogSpec::sdss_style(n, 1).generate().queries
+        };
+        let tree = initial_difftree(&queries);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &tree, |b, tree| {
+            b.iter(|| engine.applicable(tree).len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_random_walk_stats(c: &mut Criterion) {
+    let engine = RuleEngine::default();
+    let queries = sdss_listing1();
+    let mut group = c.benchmark_group("search_space_stats");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.bench_function("listing1_8walks_depth60", |b| {
+        b.iter(|| search_space_stats(&queries, &engine, 8, 60, 3))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_applicable_scan, bench_random_walk_stats);
+criterion_main!(benches);

@@ -1,0 +1,210 @@
+//! The interface-generation search problem plugged into the generic MCTS engine.
+
+use parking_lot::Mutex;
+use rustc_hash::FxHashMap;
+
+use mctsui_cost::{evaluate_with_context, CostWeights, InterfaceCost, QueryContext};
+use mctsui_difftree::{DiffTree, RuleApplication, RuleEngine};
+use mctsui_mcts::SearchProblem;
+use mctsui_sql::Ast;
+use mctsui_widgets::{build_widget_tree, default_assignment, random_assignment, Screen, WidgetChoiceMap};
+
+/// The search problem of the paper: states are difftrees, actions are transformation-rule
+/// applications, and the reward of a state is the negated cost of the best widget tree found
+/// by `k` random widget assignments (plus the deterministic greedy assignment).
+pub struct InterfaceSearchProblem {
+    queries: Vec<Ast>,
+    engine: RuleEngine,
+    screen: Screen,
+    weights: CostWeights,
+    /// Number of random widget assignments evaluated per reward call (the paper's `k`).
+    pub assignments_per_eval: usize,
+    /// Memoised `QueryContext`s keyed by difftree fingerprint: expressing every query is the
+    /// expensive part of an evaluation and depends only on the difftree.
+    context_cache: Mutex<FxHashMap<u64, QueryContext>>,
+    initial: DiffTree,
+}
+
+impl InterfaceSearchProblem {
+    /// Build the search problem for a query log.
+    pub fn new(
+        queries: Vec<Ast>,
+        initial: DiffTree,
+        engine: RuleEngine,
+        screen: Screen,
+        weights: CostWeights,
+        assignments_per_eval: usize,
+    ) -> Self {
+        Self {
+            queries,
+            engine,
+            screen,
+            weights,
+            assignments_per_eval: assignments_per_eval.max(1),
+            context_cache: Mutex::new(FxHashMap::default()),
+            initial,
+        }
+    }
+
+    /// The query log being targeted.
+    pub fn queries(&self) -> &[Ast] {
+        &self.queries
+    }
+
+    /// The rule engine defining the search space.
+    pub fn engine(&self) -> &RuleEngine {
+        &self.engine
+    }
+
+    /// The target screen.
+    pub fn screen(&self) -> Screen {
+        self.screen
+    }
+
+    /// The cost weights in use.
+    pub fn weights(&self) -> CostWeights {
+        self.weights
+    }
+
+    /// The (cached) query context of a difftree.
+    pub fn context_for(&self, tree: &DiffTree) -> QueryContext {
+        let key = tree.fingerprint();
+        if let Some(ctx) = self.context_cache.lock().get(&key) {
+            return ctx.clone();
+        }
+        let ctx = QueryContext::compute(tree, &self.queries);
+        self.context_cache.lock().insert(key, ctx.clone());
+        ctx
+    }
+
+    /// Evaluate one concrete widget assignment of a difftree.
+    pub fn cost_of_assignment(
+        &self,
+        tree: &DiffTree,
+        assignment: &WidgetChoiceMap,
+    ) -> InterfaceCost {
+        let ctx = self.context_for(tree);
+        let widget_tree = build_widget_tree(tree, assignment, self.screen);
+        evaluate_with_context(&widget_tree, &ctx, &self.weights)
+    }
+
+    /// The best (lowest-cost) of the greedy assignment plus `k` random assignments, returned
+    /// with its cost. This is the state evaluation used both for rewards and for reporting.
+    pub fn best_sampled_assignment(
+        &self,
+        tree: &DiffTree,
+        eval_seed: u64,
+    ) -> (WidgetChoiceMap, InterfaceCost) {
+        let ctx = self.context_for(tree);
+        let mut best_assignment = default_assignment(tree);
+        let mut best_cost = {
+            let wt = build_widget_tree(tree, &best_assignment, self.screen);
+            evaluate_with_context(&wt, &ctx, &self.weights)
+        };
+        for i in 0..self.assignments_per_eval as u64 {
+            let assignment = random_assignment(tree, eval_seed.wrapping_add(i));
+            let wt = build_widget_tree(tree, &assignment, self.screen);
+            let cost = evaluate_with_context(&wt, &ctx, &self.weights);
+            if cost.better_than(&best_cost) {
+                best_cost = cost;
+                best_assignment = assignment;
+            }
+        }
+        (best_assignment, best_cost)
+    }
+}
+
+impl SearchProblem for InterfaceSearchProblem {
+    type State = DiffTree;
+    type Action = RuleApplication;
+
+    fn initial_state(&self) -> DiffTree {
+        self.initial.clone()
+    }
+
+    fn actions(&self, state: &DiffTree) -> Vec<RuleApplication> {
+        self.engine.applicable(state)
+    }
+
+    fn apply(&self, state: &DiffTree, action: &RuleApplication) -> Option<DiffTree> {
+        self.engine.apply(state, action)
+    }
+
+    fn reward(&self, state: &DiffTree, eval_seed: u64) -> f64 {
+        let (_, cost) = self.best_sampled_assignment(state, eval_seed);
+        cost.reward()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mctsui_difftree::initial_difftree;
+    use mctsui_sql::parse_query;
+
+    fn figure1_queries() -> Vec<Ast> {
+        vec![
+            parse_query("SELECT Sales FROM sales WHERE cty = 'USA'").unwrap(),
+            parse_query("SELECT Costs FROM sales WHERE cty = 'EUR'").unwrap(),
+            parse_query("SELECT Costs FROM sales").unwrap(),
+        ]
+    }
+
+    fn problem() -> InterfaceSearchProblem {
+        let queries = figure1_queries();
+        let initial = initial_difftree(&queries);
+        InterfaceSearchProblem::new(
+            queries,
+            initial,
+            RuleEngine::default(),
+            Screen::wide(),
+            CostWeights::default(),
+            3,
+        )
+    }
+
+    #[test]
+    fn initial_state_has_actions_and_finite_reward() {
+        let p = problem();
+        let s0 = p.initial_state();
+        assert!(!p.actions(&s0).is_empty());
+        let r = p.reward(&s0, 1);
+        assert!(r.is_finite());
+        assert!(r < 0.0, "reward is a negated positive cost");
+    }
+
+    #[test]
+    fn applying_an_action_changes_the_state() {
+        let p = problem();
+        let s0 = p.initial_state();
+        let actions = p.actions(&s0);
+        let s1 = p.apply(&s0, &actions[0]).unwrap();
+        assert_ne!(s0.fingerprint(), s1.fingerprint());
+    }
+
+    #[test]
+    fn reward_is_deterministic_per_seed() {
+        let p = problem();
+        let s0 = p.initial_state();
+        assert_eq!(p.reward(&s0, 7), p.reward(&s0, 7));
+    }
+
+    #[test]
+    fn context_cache_returns_consistent_results() {
+        let p = problem();
+        let s0 = p.initial_state();
+        let a = p.context_for(&s0);
+        let b = p.context_for(&s0);
+        assert_eq!(a, b);
+        assert!(a.all_expressible);
+    }
+
+    #[test]
+    fn best_sampled_assignment_is_never_worse_than_default() {
+        let p = problem();
+        let s0 = p.initial_state();
+        let default_cost = p.cost_of_assignment(&s0, &default_assignment(&s0));
+        let (_, best) = p.best_sampled_assignment(&s0, 3);
+        assert!(best.total <= default_cost.total);
+    }
+}

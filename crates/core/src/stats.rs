@@ -1,0 +1,160 @@
+//! Generation statistics and search-space measurements.
+//!
+//! The paper quantifies its search space with two numbers for the Listing 1 log: a fanout of
+//! up to ~50 applicable rules per state and useful search paths of up to ~100 steps.
+//! [`search_space_stats`] measures both for an arbitrary query log so the claim can be
+//! reproduced (experiment S1 in EXPERIMENTS.md).
+
+use serde::{Deserialize, Serialize};
+
+use mctsui_difftree::{initial_difftree, DiffTree, RuleEngine};
+use mctsui_mcts::SearchStats;
+use mctsui_sql::Ast;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Statistics about one generation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GenerationStats {
+    /// Number of input queries.
+    pub query_count: usize,
+    /// Fanout (number of applicable rule applications) of the initial state.
+    pub initial_fanout: usize,
+    /// Number of choice nodes of the final difftree (== number of widgets before layout).
+    pub final_choice_count: usize,
+    /// Node count of the final difftree.
+    pub final_tree_size: usize,
+    /// Number of state evaluations performed by the search.
+    pub evaluations: usize,
+    /// Wall-clock duration of the full generation in milliseconds.
+    pub elapsed_millis: u64,
+    /// Detailed MCTS statistics when the strategy was MCTS.
+    pub search: Option<SearchStats>,
+}
+
+/// Measurements of the search space induced by a query log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchSpaceStats {
+    /// Number of queries in the log.
+    pub query_count: usize,
+    /// Node count of the initial difftree.
+    pub initial_tree_size: usize,
+    /// Fanout of the initial state.
+    pub initial_fanout: usize,
+    /// Maximum fanout observed along the sampled random walks.
+    pub max_fanout: usize,
+    /// Mean fanout observed along the sampled random walks.
+    pub mean_fanout: f64,
+    /// Length of the longest random walk before no rule applied (capped by the walk budget).
+    pub max_walk_length: usize,
+    /// Mean walk length.
+    pub mean_walk_length: f64,
+    /// Number of random walks sampled.
+    pub walks: usize,
+}
+
+/// Sample `walks` random walks (of at most `max_depth` steps) through the rule graph of the
+/// log's difftree space and record fanout / path-length statistics.
+pub fn search_space_stats(
+    queries: &[Ast],
+    engine: &RuleEngine,
+    walks: usize,
+    max_depth: usize,
+    seed: u64,
+) -> SearchSpaceStats {
+    let initial = initial_difftree(queries);
+    let initial_fanout = engine.applicable(&initial).len();
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut max_fanout = initial_fanout;
+    let mut fanout_sum = initial_fanout as f64;
+    let mut fanout_samples = 1usize;
+    let mut max_walk_length = 0usize;
+    let mut walk_length_sum = 0usize;
+
+    for _ in 0..walks {
+        let mut state: DiffTree = initial.clone();
+        let mut length = 0usize;
+        for _ in 0..max_depth {
+            let apps = engine.applicable(&state);
+            if apps.is_empty() {
+                break;
+            }
+            max_fanout = max_fanout.max(apps.len());
+            fanout_sum += apps.len() as f64;
+            fanout_samples += 1;
+            let app = &apps[rng.gen_range(0..apps.len())];
+            match engine.apply(&state, app) {
+                Some(next) => {
+                    state = next;
+                    length += 1;
+                }
+                None => break,
+            }
+        }
+        max_walk_length = max_walk_length.max(length);
+        walk_length_sum += length;
+    }
+
+    SearchSpaceStats {
+        query_count: queries.len(),
+        initial_tree_size: initial.size(),
+        initial_fanout,
+        max_fanout,
+        mean_fanout: fanout_sum / fanout_samples as f64,
+        max_walk_length,
+        mean_walk_length: if walks == 0 { 0.0 } else { walk_length_sum as f64 / walks as f64 },
+        walks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mctsui_sql::parse_query;
+
+    fn small_log() -> Vec<Ast> {
+        vec![
+            parse_query("select top 10 objid from stars where u between 0 and 30").unwrap(),
+            parse_query("select top 100 objid from galaxies where u between 0 and 30").unwrap(),
+            parse_query("select count(*) from quasars where u between 1 and 29").unwrap(),
+        ]
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let engine = RuleEngine::default();
+        let stats = search_space_stats(&small_log(), &engine, 8, 30, 1);
+        assert_eq!(stats.query_count, 3);
+        assert!(stats.initial_fanout >= 1);
+        assert!(stats.max_fanout >= stats.initial_fanout);
+        assert!(stats.mean_fanout > 0.0);
+        assert!(stats.max_walk_length >= 1);
+        assert!(stats.mean_walk_length <= stats.max_walk_length as f64);
+        assert_eq!(stats.walks, 8);
+        assert!(stats.initial_tree_size > 10);
+    }
+
+    #[test]
+    fn zero_walks_are_handled() {
+        let engine = RuleEngine::default();
+        let stats = search_space_stats(&small_log(), &engine, 0, 10, 1);
+        assert_eq!(stats.walks, 0);
+        assert_eq!(stats.mean_walk_length, 0.0);
+    }
+
+    #[test]
+    fn more_queries_mean_more_fanout() {
+        let engine = RuleEngine::default();
+        let small = search_space_stats(&small_log(), &engine, 4, 20, 2);
+        let mut big_log = small_log();
+        big_log.extend(vec![
+            parse_query("select objid from stars where g between 0 and 30").unwrap(),
+            parse_query("select top 1000 objid from galaxies where r between 5 and 30").unwrap(),
+            parse_query("select count(*) from stars where i between 0 and 28").unwrap(),
+        ]);
+        let big = search_space_stats(&big_log, &engine, 4, 20, 2);
+        assert!(big.initial_tree_size > small.initial_tree_size);
+        assert!(big.max_fanout >= small.initial_fanout);
+    }
+}

@@ -1,0 +1,73 @@
+//! Property-based end-to-end tests of the interface generator.
+//!
+//! For randomly generated template-structured query logs, a (small-budget) generation run
+//! must always return a valid interface that expresses every input query, fits its screen and
+//! never does worse than the unsearched initial interface.
+
+use proptest::prelude::*;
+
+use mctsui_core::{GeneratorConfig, InterfaceGenerator, InterfaceSession, SearchStrategy};
+use mctsui_difftree::derive::express;
+use mctsui_mcts::Budget;
+use mctsui_sql::{parse_query, Ast};
+use mctsui_widgets::Screen;
+
+fn query_log() -> impl Strategy<Value = Vec<Ast>> {
+    let table = prop_oneof![Just("stars"), Just("galaxies"), Just("quasars")];
+    let projection = prop_oneof![Just("objid"), Just("count(*)")];
+    let top = proptest::option::of(prop_oneof![Just(10i64), Just(100), Just(1000)]);
+    let one = (table, projection, top).prop_map(|(t, p, top)| {
+        let mut sql = String::from("select ");
+        if let Some(n) = top {
+            sql.push_str(&format!("top {n} "));
+        }
+        sql.push_str(&format!("{p} from {t} where u between 0 and 30 and g between 0 and 30"));
+        parse_query(&sql).unwrap()
+    });
+    proptest::collection::vec(one, 2..6)
+}
+
+fn tiny_config(seed: u64) -> GeneratorConfig {
+    let mut config = GeneratorConfig::quick(Screen::wide())
+        .with_budget(Budget::Iterations(40))
+        .with_seed(seed);
+    config.assignments_per_eval = 2;
+    config.final_enumeration_cap = 24;
+    config
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn generated_interfaces_are_valid_and_complete(queries in query_log(), seed in 0u64..100) {
+        let interface = InterfaceGenerator::new(queries.clone(), tiny_config(seed)).generate();
+        prop_assert!(interface.cost.valid, "invalid interface: {:?}", interface.cost);
+        prop_assert!(interface.widget_tree.fits_screen());
+        for q in &queries {
+            prop_assert!(express(interface.difftree.root(), q).is_some());
+        }
+    }
+
+    #[test]
+    fn search_never_does_worse_than_no_search(queries in query_log(), seed in 0u64..100) {
+        let searched = InterfaceGenerator::new(queries.clone(), tiny_config(seed)).generate();
+        let unsearched = InterfaceGenerator::new(
+            queries,
+            tiny_config(seed).with_strategy(SearchStrategy::InitialOnly),
+        )
+        .generate();
+        prop_assert!(searched.cost.total <= unsearched.cost.total + 1e-9);
+    }
+
+    #[test]
+    fn sessions_replay_the_log_on_generated_interfaces(queries in query_log(), seed in 0u64..100) {
+        let interface = InterfaceGenerator::new(queries.clone(), tiny_config(seed)).generate();
+        let mut session = InterfaceSession::start(interface.difftree.clone(), &queries[0])
+            .expect("first query expressible");
+        for q in &queries {
+            session.jump_to(q).expect("expressible");
+            prop_assert_eq!(&session.current_query(), q);
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! Evaluation of `C(W, Q)` for a concrete widget tree.
+
+use rustc_hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+use mctsui_difftree::derive::express;
+use mctsui_difftree::{changed_choice_paths, ChoiceAssignment, DiffPath, DiffTree};
+use mctsui_sql::Ast;
+use mctsui_widgets::widget::appropriateness_cost;
+use mctsui_widgets::{Widget, WidgetTree};
+
+use crate::model::{CostWeights, InterfaceCost};
+
+/// Everything about a `(difftree, query log)` pair that the cost function needs and that does
+/// *not* depend on the widget assignment: the per-query choice assignments and the sets of
+/// choice nodes that change between consecutive queries.
+///
+/// Building this once per search state and reusing it across the `k` random widget
+/// assignments of a rollout is the "incremental maintenance" opportunity the paper points to.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryContext {
+    /// Whether every query of the log is expressible by the difftree.
+    pub all_expressible: bool,
+    /// Number of queries in the log.
+    pub query_count: usize,
+    /// For each consecutive query pair `(q_i, q_{i+1})`, the choice-node paths whose
+    /// selections differ.
+    pub transitions: Vec<Vec<DiffPath>>,
+}
+
+impl QueryContext {
+    /// Express every query in the difftree and precompute the per-transition changed-choice
+    /// sets. Queries that are not expressible mark the context invalid.
+    pub fn compute(tree: &DiffTree, queries: &[Ast]) -> Self {
+        let assignments: Vec<Option<ChoiceAssignment>> =
+            queries.iter().map(|q| express(tree.root(), q)).collect();
+        let all_expressible = assignments.iter().all(Option::is_some);
+
+        let mut transitions = Vec::new();
+        if all_expressible && queries.len() >= 2 {
+            for pair in assignments.windows(2) {
+                let (Some(a), Some(b)) = (&pair[0], &pair[1]) else { continue };
+                transitions.push(changed_choice_paths(tree.root(), a, b));
+            }
+        }
+        Self { all_expressible, query_count: queries.len(), transitions }
+    }
+
+    /// Total number of widget changes across the whole log (the size of the "minimum set of
+    /// widgets that need to be changed", summed over transitions).
+    pub fn total_changes(&self) -> usize {
+        self.transitions.iter().map(Vec::len).sum()
+    }
+}
+
+/// Per-widget interaction effort: the widget's motor/attention steps scaled by how much the
+/// user must scan (larger domains take longer to locate the right option) plus a reading
+/// cost that grows with the complexity of the options — choosing among whole printed queries
+/// is far more effortful than choosing among three short values, which is what makes the
+/// "one button per query" interface of Figure 6(d) score poorly on long logs.
+fn interaction_effort(widget: &Widget) -> f64 {
+    let card = widget.domain.cardinality.max(1) as f64;
+    let scan = widget.widget_type.interaction_steps() * (1.0 + card.log2().max(0.0) * 0.15);
+    let reading = 0.08 * widget.domain.mean_subtree_size * card.log2().max(0.0);
+    scan + reading
+}
+
+/// Evaluate an interface against a query log, computing the [`QueryContext`] on the fly.
+///
+/// Prefer [`evaluate_with_context`] inside search loops — the context only depends on the
+/// difftree and can be shared across many candidate widget trees.
+pub fn evaluate(
+    tree: &DiffTree,
+    widget_tree: &WidgetTree,
+    queries: &[Ast],
+    weights: &CostWeights,
+) -> InterfaceCost {
+    let ctx = QueryContext::compute(tree, queries);
+    evaluate_with_context(widget_tree, &ctx, weights)
+}
+
+/// Evaluate an interface given a precomputed [`QueryContext`].
+pub fn evaluate_with_context(
+    widget_tree: &WidgetTree,
+    ctx: &QueryContext,
+    weights: &CostWeights,
+) -> InterfaceCost {
+    if !ctx.all_expressible {
+        return InterfaceCost::invalid();
+    }
+    if !widget_tree.fits_screen() {
+        return InterfaceCost::invalid();
+    }
+
+    let widgets = widget_tree.widgets();
+    let by_choice: FxHashMap<&DiffPath, &Widget> =
+        widgets.iter().map(|(_, w)| (&w.target, *w)).collect();
+
+    // M(w): appropriateness of every widget in the tree.
+    let mut appropriateness = 0.0;
+    for (_, widget) in &widgets {
+        let m = appropriateness_cost(widget.widget_type, &widget.domain);
+        if !m.is_finite() {
+            return InterfaceCost::invalid();
+        }
+        appropriateness += m;
+    }
+
+    // U(q_i, q_{i+1}, W): navigation (spanning subtree) + interaction effort per transition.
+    let mut navigation = 0.0;
+    let mut interaction = 0.0;
+    for changed in &ctx.transitions {
+        navigation += widget_tree.steiner_edge_count(changed) as f64;
+        for path in changed {
+            match by_choice.get(path) {
+                Some(widget) => interaction += interaction_effort(widget),
+                // A required change with no widget to express it: the interface cannot
+                // actually replay the log.
+                None => return InterfaceCost::invalid(),
+            }
+        }
+    }
+
+    InterfaceCost::from_terms(appropriateness, navigation, interaction, widgets.len(), weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mctsui_difftree::{initial_difftree, RuleEngine, RuleId};
+    use mctsui_sql::parse_query;
+    use mctsui_widgets::{build_widget_tree, default_assignment, random_assignment, Screen};
+
+    fn queries() -> Vec<Ast> {
+        vec![
+            parse_query("SELECT Sales FROM sales WHERE cty = 'USA'").unwrap(),
+            parse_query("SELECT Costs FROM sales WHERE cty = 'EUR'").unwrap(),
+            parse_query("SELECT Costs FROM sales").unwrap(),
+        ]
+    }
+
+    fn factored_tree(queries: &[Ast]) -> DiffTree {
+        let tree = initial_difftree(queries);
+        let engine = RuleEngine::default();
+        let app = engine
+            .applicable(&tree)
+            .into_iter()
+            .find(|a| a.rule == RuleId::Any2All)
+            .unwrap();
+        engine.apply(&tree, &app).unwrap()
+    }
+
+    #[test]
+    fn context_detects_expressibility() {
+        let qs = queries();
+        let tree = initial_difftree(&qs);
+        let ctx = QueryContext::compute(&tree, &qs);
+        assert!(ctx.all_expressible);
+        assert_eq!(ctx.transitions.len(), qs.len() - 1);
+
+        let foreign = vec![parse_query("select z from elsewhere").unwrap()];
+        let bad_ctx = QueryContext::compute(&tree, &foreign);
+        assert!(!bad_ctx.all_expressible);
+    }
+
+    #[test]
+    fn invalid_when_query_not_expressible() {
+        let qs = queries();
+        let tree = initial_difftree(&qs);
+        let wt = build_widget_tree(&tree, &default_assignment(&tree), Screen::wide());
+        let mut extended = qs.clone();
+        extended.push(parse_query("select something from nowhere").unwrap());
+        let cost = evaluate(&tree, &wt, &extended, &CostWeights::default());
+        assert!(!cost.valid);
+    }
+
+    #[test]
+    fn invalid_when_screen_too_small() {
+        let qs = queries();
+        let tree = factored_tree(&qs);
+        let wt = build_widget_tree(&tree, &default_assignment(&tree), Screen::tiny());
+        let cost = evaluate(&tree, &wt, &qs, &CostWeights::default());
+        assert!(!cost.valid);
+        assert!(cost.total.is_infinite());
+    }
+
+    #[test]
+    fn finite_cost_for_valid_interface() {
+        let qs = queries();
+        let tree = factored_tree(&qs);
+        let wt = build_widget_tree(&tree, &default_assignment(&tree), Screen::wide());
+        let cost = evaluate(&tree, &wt, &qs, &CostWeights::default());
+        assert!(cost.valid, "expected valid interface, got {cost:?}");
+        assert!(cost.total > 0.0);
+        assert!(cost.appropriateness > 0.0);
+        // The log exercises both the projection change and the optional WHERE clause, so the
+        // sequence terms must be non-zero.
+        assert!(cost.interaction > 0.0);
+    }
+
+    #[test]
+    fn good_widget_choices_beat_bad_ones_on_the_same_difftree() {
+        // On the same factored difftree, the greedy best-appropriateness assignment must cost
+        // less than a deliberately clumsy all-textbox assignment. This is the discriminative
+        // power the MCTS reward relies on.
+        let qs = queries();
+        let tree = factored_tree(&qs);
+        let weights = CostWeights::default();
+
+        let good = build_widget_tree(&tree, &default_assignment(&tree), Screen::wide());
+        let cost_good = evaluate(&tree, &good, &qs, &weights);
+
+        let mut clumsy = default_assignment(&tree);
+        for t in clumsy.types.values_mut() {
+            *t = mctsui_widgets::WidgetType::Textbox;
+        }
+        let bad = build_widget_tree(&tree, &clumsy, Screen::wide());
+        let cost_bad = evaluate(&tree, &bad, &qs, &weights);
+
+        assert!(cost_good.valid && cost_bad.valid);
+        assert!(
+            cost_good.total <= cost_bad.total,
+            "good {} should not exceed bad {}",
+            cost_good.total,
+            cost_bad.total
+        );
+    }
+
+    #[test]
+    fn factoring_beats_one_button_per_query_on_longer_logs() {
+        // For a longer, template-structured log (six queries varying table and TOP-N), the
+        // fully factored interface must beat the one-button-per-query interface of the
+        // initial state — the paper's core premise (its Figure 6(d) is the low-reward
+        // interface).
+        let mut qs = Vec::new();
+        for (table, top) in [
+            ("stars", 10),
+            ("galaxies", 100),
+            ("quasars", 1000),
+            ("stars", 100),
+            ("galaxies", 10),
+            ("quasars", 100),
+        ] {
+            qs.push(
+                parse_query(&format!(
+                    "select top {top} objid from {table} where u between 0 and 30"
+                ))
+                .unwrap(),
+            );
+        }
+        let weights = CostWeights::default();
+
+        let initial = initial_difftree(&qs);
+        let wt_initial =
+            build_widget_tree(&initial, &default_assignment(&initial), Screen::wide());
+        let cost_initial = evaluate(&initial, &wt_initial, &qs, &weights);
+
+        let factored = RuleEngine::default().saturate_forward(&initial, 200);
+        let wt_factored =
+            build_widget_tree(&factored, &default_assignment(&factored), Screen::wide());
+        let cost_factored = evaluate(&factored, &wt_factored, &qs, &weights);
+
+        assert!(cost_initial.valid && cost_factored.valid);
+        assert!(
+            cost_factored.better_than(&cost_initial),
+            "factored {} should beat one-button-per-query {}",
+            cost_factored.total,
+            cost_initial.total
+        );
+    }
+
+    #[test]
+    fn context_reuse_matches_direct_evaluation() {
+        let qs = queries();
+        let tree = factored_tree(&qs);
+        let ctx = QueryContext::compute(&tree, &qs);
+        let weights = CostWeights::default();
+        for seed in 0..5 {
+            let wt =
+                build_widget_tree(&tree, &random_assignment(&tree, seed), Screen::wide());
+            let direct = evaluate(&tree, &wt, &qs, &weights);
+            let via_ctx = evaluate_with_context(&wt, &ctx, &weights);
+            assert_eq!(direct, via_ctx);
+        }
+    }
+
+    #[test]
+    fn single_query_log_has_no_sequence_cost() {
+        let qs = vec![parse_query("select x from t").unwrap()];
+        let tree = initial_difftree(&qs);
+        let wt = build_widget_tree(&tree, &default_assignment(&tree), Screen::wide());
+        let cost = evaluate(&tree, &wt, &qs, &CostWeights::default());
+        assert!(cost.valid);
+        assert_eq!(cost.navigation, 0.0);
+        assert_eq!(cost.interaction, 0.0);
+        assert_eq!(cost.appropriateness, 0.0);
+    }
+
+    #[test]
+    fn total_changes_counts_transitions() {
+        let qs = queries();
+        let tree = initial_difftree(&qs);
+        let ctx = QueryContext::compute(&tree, &qs);
+        // Every consecutive pair differs (distinct queries through one root ANY): 2 changes.
+        assert_eq!(ctx.total_changes(), 2);
+    }
+}

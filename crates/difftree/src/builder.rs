@@ -1,0 +1,101 @@
+//! Construction of the initial search state from a query log.
+//!
+//! The paper's initial state is "the list of input queries connected with an ANY node as the
+//! root". [`initial_difftree`] builds exactly that; [`simplified_difftree`] additionally
+//! removes duplicate alternatives (repeated queries in a log carry no extra structural
+//! information) — a cheap, semantics-preserving normalisation that keeps the search state
+//! small for logs with many repeated queries.
+
+use mctsui_sql::Ast;
+
+use crate::node::{DiffNode, DiffTree};
+use crate::rules::{RuleEngine, RuleId};
+
+/// Build the paper's initial difftree: an `ANY` whose alternatives are the input query ASTs.
+///
+/// A single query produces its plain AST-as-difftree (no root `ANY`), mirroring the fact that
+/// there is nothing to choose between.
+pub fn initial_difftree(queries: &[Ast]) -> DiffTree {
+    match queries {
+        [] => DiffTree::new(DiffNode::empty()),
+        [single] => DiffTree::new(DiffNode::from_ast(single)),
+        many => DiffTree::new(DiffNode::any(many.iter().map(DiffNode::from_ast).collect())),
+    }
+}
+
+/// Build the initial difftree and normalise it by deduplicating identical alternatives and
+/// collapsing a then-singleton `ANY`.
+pub fn simplified_difftree(queries: &[Ast]) -> DiffTree {
+    let mut tree = initial_difftree(queries);
+    let engine = RuleEngine::new(vec![RuleId::DedupAny, RuleId::Noop]);
+    // Repeatedly apply the normalisation rules until a fixed point (at most a handful of
+    // steps: one dedup plus one collapse).
+    loop {
+        let apps = engine.applicable(&tree);
+        let Some(app) = apps.first() else { break };
+        match engine.apply(&tree, app) {
+            Some(next) => tree = next,
+            None => break,
+        }
+    }
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::derive::expresses_all;
+    use crate::node::DiffKind;
+    use mctsui_sql::parse_query;
+
+    fn q(sql: &str) -> Ast {
+        parse_query(sql).unwrap()
+    }
+
+    #[test]
+    fn initial_tree_is_any_over_queries() {
+        let queries =
+            vec![q("select x from t"), q("select y from t"), q("select x from t where a = 1")];
+        let tree = initial_difftree(&queries);
+        assert_eq!(tree.root().kind(), DiffKind::Any);
+        assert_eq!(tree.root().children().len(), 3);
+        assert!(expresses_all(tree.root(), &queries));
+    }
+
+    #[test]
+    fn single_query_has_no_root_any() {
+        let queries = vec![q("select x from t")];
+        let tree = initial_difftree(&queries);
+        assert_eq!(tree.root().kind(), DiffKind::All);
+        assert!(expresses_all(tree.root(), &queries));
+    }
+
+    #[test]
+    fn empty_log_gives_empty_tree() {
+        let tree = initial_difftree(&[]);
+        assert!(tree.root().is_empty_alt());
+    }
+
+    #[test]
+    fn simplified_removes_duplicate_queries() {
+        let queries = vec![
+            q("select x from t"),
+            q("select x from t"),
+            q("select y from t"),
+            q("select x from t"),
+        ];
+        let tree = simplified_difftree(&queries);
+        assert_eq!(tree.root().kind(), DiffKind::Any);
+        assert_eq!(tree.root().children().len(), 2);
+        assert!(expresses_all(tree.root(), &queries));
+    }
+
+    #[test]
+    fn simplified_collapses_to_single_alternative() {
+        let queries = vec![q("select x from t"), q("select x from t")];
+        let tree = simplified_difftree(&queries);
+        // Dedup leaves one alternative; Noop then collapses the ANY entirely.
+        assert_eq!(tree.root().kind(), DiffKind::All);
+        assert!(expresses_all(tree.root(), &queries));
+    }
+}

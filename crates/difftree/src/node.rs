@@ -1,0 +1,543 @@
+//! The difftree node structure.
+//!
+//! A [`DiffNode`] either *is* an AST node (`All`, carrying a [`Label`]) or is a structural
+//! choice combinator (`Any`, `Opt`, `Multi`). The special label `Empty` marks the empty
+//! alternative of an `Any` (used to express the absence of an optional clause — e.g. q3 in
+//! the paper's Figure 1 has no `WHERE` clause).
+
+use std::collections::hash_map::DefaultHasher;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use serde::{Deserialize, Serialize};
+
+use mctsui_sql::{Ast, Literal, NodeKind};
+
+/// The four node kinds of a difftree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DiffKind {
+    /// An AST node; all children are derived in order.
+    All,
+    /// Exactly one child is chosen.
+    Any,
+    /// The single child is either derived or omitted.
+    Opt,
+    /// The single child is derived zero or more times.
+    Multi,
+}
+
+impl DiffKind {
+    /// True for the choice kinds (`Any`, `Opt`, `Multi`).
+    pub fn is_choice(&self) -> bool {
+        !matches!(self, DiffKind::All)
+    }
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DiffKind::All => "ALL",
+            DiffKind::Any => "ANY",
+            DiffKind::Opt => "OPT",
+            DiffKind::Multi => "MULTI",
+        }
+    }
+}
+
+impl fmt::Display for DiffKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The AST label carried by an `All` node: the node kind plus its literal value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Label {
+    /// The grammar-rule kind of the corresponding AST node.
+    pub kind: NodeKind,
+    /// The literal value of the corresponding AST node, if any.
+    pub value: Option<Literal>,
+}
+
+impl Label {
+    /// Build a label.
+    pub fn new(kind: NodeKind, value: Option<Literal>) -> Self {
+        Self { kind, value }
+    }
+
+    /// The label of the empty alternative.
+    pub fn empty() -> Self {
+        Self { kind: NodeKind::Empty, value: None }
+    }
+
+    /// True if this is the empty-alternative label.
+    pub fn is_empty(&self) -> bool {
+        self.kind == NodeKind::Empty
+    }
+
+    /// Extract the label of an AST node.
+    pub fn of_ast(ast: &Ast) -> Self {
+        Self { kind: ast.kind(), value: ast.value().cloned() }
+    }
+
+    /// Short human-readable rendering, e.g. `ColExpr:sales` or `Select`.
+    pub fn render(&self) -> String {
+        match &self.value {
+            Some(v) => format!("{}:{}", self.kind.name(), v.render()),
+            None => self.kind.name().to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// A path from the root of a difftree to a node (sequence of child indices).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DiffPath(pub Vec<usize>);
+
+impl DiffPath {
+    /// The root path.
+    pub fn root() -> Self {
+        DiffPath(Vec::new())
+    }
+
+    /// Extend by one child index.
+    pub fn child(&self, idx: usize) -> Self {
+        let mut v = self.0.clone();
+        v.push(idx);
+        DiffPath(v)
+    }
+
+    /// Number of steps from the root.
+    pub fn depth(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The parent path, or `None` at the root.
+    pub fn parent(&self) -> Option<DiffPath> {
+        if self.0.is_empty() {
+            None
+        } else {
+            Some(DiffPath(self.0[..self.0.len() - 1].to_vec()))
+        }
+    }
+
+    /// True if `self` is a prefix of (or equal to) `other`.
+    pub fn is_prefix_of(&self, other: &DiffPath) -> bool {
+        other.0.len() >= self.0.len() && other.0[..self.0.len()] == self.0[..]
+    }
+}
+
+impl fmt::Display for DiffPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "/")?;
+        for (i, idx) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "/")?;
+            }
+            write!(f, "{idx}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A node of a difftree.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DiffNode {
+    kind: DiffKind,
+    label: Option<Label>,
+    children: Vec<DiffNode>,
+}
+
+impl DiffNode {
+    // ------------------------------------------------------------------ constructors
+
+    /// An `All` node with the given label and children.
+    pub fn all(label: Label, children: Vec<DiffNode>) -> Self {
+        Self { kind: DiffKind::All, label: Some(label), children }
+    }
+
+    /// An `All` leaf.
+    pub fn all_leaf(label: Label) -> Self {
+        Self::all(label, Vec::new())
+    }
+
+    /// The empty alternative: an `All` leaf labelled `Empty` that derives nothing.
+    pub fn empty() -> Self {
+        Self::all_leaf(Label::empty())
+    }
+
+    /// An `Any` node over the given alternatives.
+    pub fn any(children: Vec<DiffNode>) -> Self {
+        Self { kind: DiffKind::Any, label: None, children }
+    }
+
+    /// An `Opt` node over the given child.
+    pub fn opt(child: DiffNode) -> Self {
+        Self { kind: DiffKind::Opt, label: None, children: vec![child] }
+    }
+
+    /// A `Multi` node over the given child.
+    pub fn multi(child: DiffNode) -> Self {
+        Self { kind: DiffKind::Multi, label: None, children: vec![child] }
+    }
+
+    /// Convert an AST into the all-`All` difftree that expresses exactly that query.
+    pub fn from_ast(ast: &Ast) -> Self {
+        if ast.is_empty_node() {
+            return Self::empty();
+        }
+        Self::all(Label::of_ast(ast), ast.children().iter().map(Self::from_ast).collect())
+    }
+
+    // ------------------------------------------------------------------ accessors
+
+    /// This node's kind.
+    pub fn kind(&self) -> DiffKind {
+        self.kind
+    }
+
+    /// This node's label (only `All` nodes carry one).
+    pub fn label(&self) -> Option<&Label> {
+        self.label.as_ref()
+    }
+
+    /// Children of this node.
+    pub fn children(&self) -> &[DiffNode] {
+        &self.children
+    }
+
+    /// Mutable access to children (used by the rule engine).
+    pub fn children_mut(&mut self) -> &mut Vec<DiffNode> {
+        &mut self.children
+    }
+
+    /// True if this is a choice node (`Any`, `Opt`, `Multi`).
+    pub fn is_choice(&self) -> bool {
+        self.kind.is_choice()
+    }
+
+    /// True if this is the empty alternative.
+    pub fn is_empty_alt(&self) -> bool {
+        self.kind == DiffKind::All
+            && self.children.is_empty()
+            && self.label.as_ref().is_some_and(Label::is_empty)
+    }
+
+    /// True if this subtree contains no choice nodes (it expresses exactly one derivation).
+    pub fn is_concrete(&self) -> bool {
+        !self.is_choice() && self.children.iter().all(DiffNode::is_concrete)
+    }
+
+    /// Number of nodes in the subtree.
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(DiffNode::size).sum::<usize>()
+    }
+
+    /// Height of the subtree.
+    pub fn depth(&self) -> usize {
+        1 + self.children.iter().map(DiffNode::depth).max().unwrap_or(0)
+    }
+
+    /// Number of choice nodes in the subtree.
+    pub fn choice_count(&self) -> usize {
+        let own = usize::from(self.is_choice());
+        own + self.children.iter().map(DiffNode::choice_count).sum::<usize>()
+    }
+
+    /// Structural fingerprint (equal subtrees hash equal).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.hash(&mut h);
+        h.finish()
+    }
+
+    /// The node at `path`, if any.
+    pub fn node_at(&self, path: &DiffPath) -> Option<&DiffNode> {
+        let mut cur = self;
+        for &idx in &path.0 {
+            cur = cur.children.get(idx)?;
+        }
+        Some(cur)
+    }
+
+    /// Replace the subtree at `path`, returning the new tree (`None` if the path is invalid).
+    pub fn replace_at(&self, path: &DiffPath, replacement: DiffNode) -> Option<DiffNode> {
+        fn rec(node: &DiffNode, steps: &[usize], replacement: &DiffNode) -> Option<DiffNode> {
+            match steps.split_first() {
+                None => Some(replacement.clone()),
+                Some((&idx, rest)) => {
+                    if idx >= node.children.len() {
+                        return None;
+                    }
+                    let mut copy = node.clone();
+                    copy.children[idx] = rec(&node.children[idx], rest, replacement)?;
+                    Some(copy)
+                }
+            }
+        }
+        rec(self, &path.0, &replacement)
+    }
+
+    /// Pre-order traversal of `(path, node)` pairs.
+    pub fn walk(&self) -> Vec<(DiffPath, &DiffNode)> {
+        let mut out = Vec::with_capacity(self.size());
+        fn rec<'a>(node: &'a DiffNode, path: DiffPath, out: &mut Vec<(DiffPath, &'a DiffNode)>) {
+            out.push((path.clone(), node));
+            for (i, child) in node.children.iter().enumerate() {
+                rec(child, path.child(i), out);
+            }
+        }
+        rec(self, DiffPath::root(), &mut out);
+        out
+    }
+
+    /// Paths of every choice node, in pre-order.
+    pub fn choice_paths(&self) -> Vec<DiffPath> {
+        self.walk()
+            .into_iter()
+            .filter(|(_, n)| n.is_choice())
+            .map(|(p, _)| p)
+            .collect()
+    }
+
+    /// Convert a *concrete* subtree (no choice nodes) back into the AST sequence it derives.
+    ///
+    /// Returns `None` if the subtree still contains choice nodes.
+    pub fn to_ast_sequence(&self) -> Option<Vec<Ast>> {
+        match self.kind {
+            DiffKind::All => {
+                let label = self.label.as_ref()?;
+                if label.is_empty() {
+                    return Some(Vec::new());
+                }
+                let mut children = Vec::new();
+                for c in &self.children {
+                    children.extend(c.to_ast_sequence()?);
+                }
+                let ast = match &label.value {
+                    Some(v) => Ast::with_value(label.kind, v.clone(), children),
+                    None => Ast::new(label.kind, children),
+                };
+                Some(vec![ast])
+            }
+            _ => None,
+        }
+    }
+
+    /// Canonicalise the subtree: deduplicate and sort the alternatives of every `Any` node by
+    /// fingerprint. Used to compare search states structurally.
+    pub fn canonical(&self) -> DiffNode {
+        let mut children: Vec<DiffNode> = self.children.iter().map(DiffNode::canonical).collect();
+        if self.kind == DiffKind::Any {
+            children.sort_by_key(DiffNode::fingerprint);
+            children.dedup();
+        }
+        DiffNode { kind: self.kind, label: self.label.clone(), children }
+    }
+
+    /// A compact one-line rendering, e.g. `ANY[(ALL Select ...)(ALL Select ...)]`.
+    pub fn sexpr(&self) -> String {
+        let mut s = String::new();
+        self.write_sexpr(&mut s);
+        s
+    }
+
+    fn write_sexpr(&self, out: &mut String) {
+        out.push('(');
+        out.push_str(self.kind.name());
+        if let Some(l) = &self.label {
+            out.push(' ');
+            out.push_str(&l.render());
+        }
+        for c in &self.children {
+            out.push(' ');
+            c.write_sexpr(out);
+        }
+        out.push(')');
+    }
+}
+
+impl fmt::Display for DiffNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.sexpr())
+    }
+}
+
+/// A difftree: the root [`DiffNode`] of a search state.
+///
+/// The wrapper exists to host tree-level operations (expressibility over a whole query log,
+/// rule application bookkeeping, fingerprints) while [`DiffNode`] stays a plain recursive
+/// structure.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DiffTree {
+    root: DiffNode,
+}
+
+impl DiffTree {
+    /// Wrap a root node.
+    pub fn new(root: DiffNode) -> Self {
+        Self { root }
+    }
+
+    /// The root node.
+    pub fn root(&self) -> &DiffNode {
+        &self.root
+    }
+
+    /// Consume the tree and return its root.
+    pub fn into_root(self) -> DiffNode {
+        self.root
+    }
+
+    /// Number of nodes.
+    pub fn size(&self) -> usize {
+        self.root.size()
+    }
+
+    /// Number of choice nodes.
+    pub fn choice_count(&self) -> usize {
+        self.root.choice_count()
+    }
+
+    /// Paths of all choice nodes (pre-order).
+    pub fn choice_paths(&self) -> Vec<DiffPath> {
+        self.root.choice_paths()
+    }
+
+    /// The node at a path.
+    pub fn node_at(&self, path: &DiffPath) -> Option<&DiffNode> {
+        self.root.node_at(path)
+    }
+
+    /// Replace the subtree at `path`.
+    pub fn replace_at(&self, path: &DiffPath, replacement: DiffNode) -> Option<DiffTree> {
+        self.root.replace_at(path, replacement).map(DiffTree::new)
+    }
+
+    /// Structural fingerprint of the canonical form (used to deduplicate search states).
+    pub fn canonical_fingerprint(&self) -> u64 {
+        self.root.canonical().fingerprint()
+    }
+
+    /// Structural fingerprint of the tree as-is.
+    pub fn fingerprint(&self) -> u64 {
+        self.root.fingerprint()
+    }
+}
+
+impl fmt::Display for DiffTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.root.sexpr())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mctsui_sql::parse_query;
+
+    fn q(sql: &str) -> Ast {
+        parse_query(sql).unwrap()
+    }
+
+    #[test]
+    fn from_ast_is_all_only_and_round_trips() {
+        let ast = q("SELECT Sales FROM sales WHERE cty = 'USA'");
+        let node = DiffNode::from_ast(&ast);
+        assert!(node.is_concrete());
+        assert_eq!(node.size(), ast.size());
+        let seq = node.to_ast_sequence().unwrap();
+        assert_eq!(seq, vec![ast]);
+    }
+
+    #[test]
+    fn empty_alternative_derives_nothing() {
+        let empty = DiffNode::empty();
+        assert!(empty.is_empty_alt());
+        assert_eq!(empty.to_ast_sequence().unwrap(), Vec::<Ast>::new());
+    }
+
+    #[test]
+    fn choice_nodes_are_not_concrete() {
+        let ast = q("SELECT Costs FROM sales");
+        let any = DiffNode::any(vec![DiffNode::from_ast(&ast), DiffNode::empty()]);
+        assert!(!any.is_concrete());
+        assert!(any.to_ast_sequence().is_none());
+        assert_eq!(any.choice_count(), 1);
+    }
+
+    #[test]
+    fn walk_and_choice_paths() {
+        let a = DiffNode::from_ast(&q("SELECT x FROM t"));
+        let b = DiffNode::from_ast(&q("SELECT y FROM t"));
+        let root = DiffNode::any(vec![a, b]);
+        let tree = DiffTree::new(root);
+        assert_eq!(tree.choice_paths(), vec![DiffPath::root()]);
+        assert_eq!(tree.size(), tree.root().walk().len());
+    }
+
+    #[test]
+    fn replace_at_and_node_at() {
+        let a = DiffNode::from_ast(&q("SELECT x FROM t"));
+        let b = DiffNode::from_ast(&q("SELECT y FROM t"));
+        let tree = DiffTree::new(DiffNode::any(vec![a.clone(), b]));
+        let path = DiffPath(vec![1]);
+        let replaced = tree.replace_at(&path, a.clone()).unwrap();
+        assert_eq!(replaced.node_at(&path), Some(&a));
+        assert!(tree.replace_at(&DiffPath(vec![7]), a).is_none());
+    }
+
+    #[test]
+    fn canonical_sorts_and_dedupes_any_children() {
+        let a = DiffNode::from_ast(&q("SELECT x FROM t"));
+        let b = DiffNode::from_ast(&q("SELECT y FROM t"));
+        let t1 = DiffNode::any(vec![a.clone(), b.clone(), a.clone()]);
+        let t2 = DiffNode::any(vec![b, a]);
+        assert_eq!(t1.canonical(), t2.canonical());
+        assert_eq!(t1.canonical().children().len(), 2);
+        assert_eq!(
+            DiffTree::new(t1).canonical_fingerprint(),
+            DiffTree::new(t2).canonical_fingerprint()
+        );
+    }
+
+    #[test]
+    fn sexpr_readable() {
+        let node = DiffNode::opt(DiffNode::from_ast(&q("SELECT x FROM t")));
+        let s = node.sexpr();
+        assert!(s.starts_with("(OPT (ALL Select"));
+        assert!(s.contains("ColExpr:x"));
+    }
+
+    #[test]
+    fn labels_render() {
+        assert_eq!(Label::empty().render(), "Empty");
+        let ast = q("SELECT x FROM t");
+        let l = Label::of_ast(&ast);
+        assert_eq!(l.render(), "Select");
+    }
+
+    #[test]
+    fn diff_path_helpers() {
+        let p = DiffPath(vec![0, 2]);
+        assert_eq!(p.child(1), DiffPath(vec![0, 2, 1]));
+        assert_eq!(p.parent(), Some(DiffPath(vec![0])));
+        assert!(DiffPath::root().is_prefix_of(&p));
+        assert!(!p.is_prefix_of(&DiffPath(vec![0])));
+        assert_eq!(p.to_string(), "/0/2");
+        assert_eq!(p.depth(), 2);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let ast = q("select top 10 objid from stars where u between 0 and 30");
+        let tree = DiffTree::new(DiffNode::any(vec![DiffNode::from_ast(&ast), DiffNode::empty()]));
+        let json = serde_json::to_string(&tree).unwrap();
+        let back: DiffTree = serde_json::from_str(&json).unwrap();
+        assert_eq!(tree, back);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests for the difftree machinery.
+//!
+//! Central invariants (the search relies on all of them):
+//!
+//! 1. The initial difftree expresses every input query.
+//! 2. Every transformation rule application preserves expressibility of every input query.
+//! 3. `derive(express(q)) == q` whenever `express` succeeds.
+//! 4. Canonicalisation is idempotent and stable under alternative reordering.
+
+use proptest::prelude::*;
+
+use mctsui_difftree::derive::{derive_query, express, expresses_all};
+use mctsui_difftree::{initial_difftree, DiffTree, RuleEngine};
+use mctsui_sql::{parse_query, Ast};
+
+/// Generate a small query log with controlled variation, in the spirit of the paper's
+/// Listing 1: a shared template where the table, projection, TOP-N and predicate bounds vary.
+fn query_log() -> impl Strategy<Value = Vec<Ast>> {
+    let table = prop_oneof![Just("stars"), Just("galaxies"), Just("quasars")];
+    let projection = prop_oneof![Just("objid"), Just("count(*)"), Just("ra"), Just("dec")];
+    let top = proptest::option::of(prop_oneof![Just(10i64), Just(100), Just(1000)]);
+    let bound = 0i64..40;
+    let with_where = any::<bool>();
+
+    let one_query = (table, projection, top, bound, with_where).prop_map(
+        |(table, projection, top, bound, with_where)| {
+            let mut sql = String::from("select ");
+            if let Some(n) = top {
+                sql.push_str(&format!("top {n} "));
+            }
+            sql.push_str(&format!("{projection} from {table}"));
+            if with_where {
+                sql.push_str(&format!(" where u between {bound} and 30 and g between 0 and 30"));
+            }
+            parse_query(&sql).expect("generated query parses")
+        },
+    );
+    proptest::collection::vec(one_query, 2..8)
+}
+
+/// Apply `steps` random rule applications starting from the initial tree, checking
+/// expressibility after every step. Returns the final tree.
+fn random_walk(queries: &[Ast], steps: usize, seed: usize) -> DiffTree {
+    let engine = RuleEngine::default();
+    let mut tree = initial_difftree(queries);
+    for step in 0..steps {
+        let apps = engine.applicable(&tree);
+        if apps.is_empty() {
+            break;
+        }
+        // Deterministic pseudo-random pick derived from the proptest-provided seed.
+        let idx = (seed.wrapping_mul(31).wrapping_add(step * 17)) % apps.len();
+        let Some(next) = engine.apply(&tree, &apps[idx]) else {
+            panic!("applicable rule failed to apply: {:?}", apps[idx]);
+        };
+        tree = next;
+    }
+    tree
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn initial_tree_expresses_all_queries(queries in query_log()) {
+        let tree = initial_difftree(&queries);
+        prop_assert!(expresses_all(tree.root(), &queries));
+    }
+
+    #[test]
+    fn rules_preserve_expressibility(queries in query_log(), seed in 0usize..1000, steps in 1usize..8) {
+        let tree = random_walk(&queries, steps, seed);
+        prop_assert!(
+            expresses_all(tree.root(), &queries),
+            "after a random walk the tree no longer expresses all inputs:\n{}",
+            tree.root().sexpr()
+        );
+    }
+
+    #[test]
+    fn express_then_derive_is_identity(queries in query_log(), seed in 0usize..1000) {
+        let tree = random_walk(&queries, 4, seed);
+        for q in &queries {
+            let assignment = express(tree.root(), q).expect("expressible");
+            let derived = derive_query(tree.root(), &assignment).expect("derivable");
+            prop_assert_eq!(&derived, q);
+        }
+    }
+
+    #[test]
+    fn canonicalisation_is_idempotent(queries in query_log(), seed in 0usize..1000) {
+        let tree = random_walk(&queries, 3, seed);
+        let once = tree.root().canonical();
+        let twice = once.canonical();
+        prop_assert_eq!(&once, &twice);
+    }
+
+    #[test]
+    fn canonical_fingerprint_ignores_alternative_order(queries in query_log()) {
+        let forward = initial_difftree(&queries);
+        let mut reversed_queries = queries.clone();
+        reversed_queries.reverse();
+        let backward = initial_difftree(&reversed_queries);
+        prop_assert_eq!(forward.canonical_fingerprint(), backward.canonical_fingerprint());
+    }
+
+    #[test]
+    fn rule_application_never_loses_choice_free_queries(queries in query_log(), seed in 0usize..1000) {
+        // The number of choice nodes can grow or shrink, but the tree must stay well-formed:
+        // every choice path must resolve to a choice node and sizes stay positive.
+        let tree = random_walk(&queries, 5, seed);
+        for path in tree.choice_paths() {
+            let node = tree.node_at(&path).expect("choice path resolves");
+            prop_assert!(node.is_choice());
+        }
+        prop_assert!(tree.size() >= 1);
+        prop_assert!(tree.choice_count() <= tree.size());
+    }
+}

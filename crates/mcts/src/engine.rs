@@ -1,0 +1,307 @@
+//! The UCT search engine.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::config::MctsConfig;
+use crate::problem::SearchProblem;
+
+/// One point of the best-reward-over-time trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RewardTracePoint {
+    /// Iteration at which a new best reward was found.
+    pub iteration: usize,
+    /// Milliseconds since the start of the run.
+    pub elapsed_millis: u64,
+    /// The best reward known at that moment.
+    pub best_reward: f64,
+}
+
+/// Bookkeeping about a finished run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchStats {
+    /// Number of MCTS iterations performed.
+    pub iterations: usize,
+    /// Number of tree nodes materialised.
+    pub nodes: usize,
+    /// Number of reward evaluations (rollout endpoints + expansions).
+    pub evaluations: usize,
+    /// Wall-clock duration of the run in milliseconds.
+    pub elapsed_millis: u64,
+    /// The best-reward improvements over time (always ends with the final best).
+    pub trace: Vec<RewardTracePoint>,
+}
+
+/// The result of a search: the best state found, its reward and run statistics.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome<S> {
+    /// The best state encountered anywhere in the search (tree nodes and rollout endpoints).
+    pub best_state: S,
+    /// The reward of `best_state`.
+    pub best_reward: f64,
+    /// Statistics about the run.
+    pub stats: SearchStats,
+}
+
+/// A node of the search tree.
+struct Node<S, A> {
+    state: S,
+    parent: Option<usize>,
+    children: Vec<usize>,
+    /// Actions not yet expanded into children.
+    untried: Vec<A>,
+    visits: f64,
+    total_reward: f64,
+}
+
+/// The Monte Carlo Tree Search engine.
+pub struct Mcts<P: SearchProblem> {
+    problem: P,
+    config: MctsConfig,
+}
+
+impl<P: SearchProblem> Mcts<P> {
+    /// Create an engine for a problem with the given configuration.
+    pub fn new(problem: P, config: MctsConfig) -> Self {
+        Self { problem, config }
+    }
+
+    /// Run the search to completion and return the best state found.
+    pub fn run(&self) -> SearchOutcome<P::State> {
+        self.run_seeded(self.config.seed)
+    }
+
+    fn run_seeded(&self, seed: u64) -> SearchOutcome<P::State> {
+        let start = Instant::now();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let time_limit = self.config.budget.time_limit_millis();
+        let max_iterations = self.config.budget.max_iterations();
+
+        let root_state = self.problem.initial_state();
+        let mut nodes: Vec<Node<P::State, P::Action>> = Vec::with_capacity(1024);
+        nodes.push(self.make_node(root_state.clone(), None, &mut rng));
+
+        let mut evaluations = 0usize;
+        let root_reward = self.problem.reward(&root_state, rng.gen());
+        evaluations += 1;
+
+        let mut best_state = root_state;
+        let mut best_reward = root_reward;
+        let mut trace = vec![RewardTracePoint {
+            iteration: 0,
+            elapsed_millis: 0,
+            best_reward,
+        }];
+
+        let mut iterations = 0usize;
+        while iterations < max_iterations {
+            if let Some(limit) = time_limit {
+                if start.elapsed().as_millis() as u64 >= limit {
+                    break;
+                }
+            }
+            iterations += 1;
+
+            // 1. Selection: follow best-UCT children until a node with untried actions.
+            let mut current = 0usize;
+            loop {
+                let node = &nodes[current];
+                if !node.untried.is_empty() || node.children.is_empty() {
+                    break;
+                }
+                current = self.select_child(&nodes, current);
+            }
+
+            // 2. Expansion: materialise one untried action, if any.
+            let expanded = if !nodes[current].untried.is_empty()
+                && nodes[current].children.len() < self.config.max_children_per_node
+            {
+                let idx = rng.gen_range(0..nodes[current].untried.len());
+                let action = nodes[current].untried.swap_remove(idx);
+                match self.problem.apply(&nodes[current].state, &action) {
+                    Some(next_state) => {
+                        let child = self.make_node(next_state, Some(current), &mut rng);
+                        nodes.push(child);
+                        let child_id = nodes.len() - 1;
+                        nodes[current].children.push(child_id);
+                        child_id
+                    }
+                    None => current,
+                }
+            } else {
+                current
+            };
+
+            // 3a. Evaluate the newly expanded state itself. Deep random walks can wander into
+            // poor regions; evaluating the expanded node keeps the search informed about the
+            // quality of the states it actually materialises (and they are the candidates the
+            // final answer is drawn from).
+            let node_reward = self.problem.reward(&nodes[expanded].state, rng.gen());
+            evaluations += 1;
+            if node_reward > best_reward {
+                best_reward = node_reward;
+                best_state = nodes[expanded].state.clone();
+                trace.push(RewardTracePoint {
+                    iteration: iterations,
+                    elapsed_millis: start.elapsed().as_millis() as u64,
+                    best_reward,
+                });
+            }
+
+            // 3b. Rollout: a bounded random walk from the expanded state.
+            let (rollout_state, rollout_reward) =
+                self.rollout(nodes[expanded].state.clone(), &mut rng, &mut evaluations);
+
+            if rollout_reward > best_reward {
+                best_reward = rollout_reward;
+                best_state = rollout_state;
+                trace.push(RewardTracePoint {
+                    iteration: iterations,
+                    elapsed_millis: start.elapsed().as_millis() as u64,
+                    best_reward,
+                });
+            }
+
+            // 4. Backpropagation of the better of the two estimates.
+            let reward = node_reward.max(rollout_reward);
+            let mut cursor = Some(expanded);
+            while let Some(id) = cursor {
+                nodes[id].visits += 1.0;
+                nodes[id].total_reward += reward;
+                cursor = nodes[id].parent;
+            }
+        }
+
+        let elapsed_millis = start.elapsed().as_millis() as u64;
+        trace.push(RewardTracePoint { iteration: iterations, elapsed_millis, best_reward });
+        SearchOutcome {
+            best_state,
+            best_reward,
+            stats: SearchStats {
+                iterations,
+                nodes: nodes.len(),
+                evaluations,
+                elapsed_millis,
+                trace,
+            },
+        }
+    }
+
+    fn make_node(
+        &self,
+        state: P::State,
+        parent: Option<usize>,
+        rng: &mut StdRng,
+    ) -> Node<P::State, P::Action> {
+        let mut untried = self.problem.actions(&state);
+        // Shuffle so expansion order is unbiased yet deterministic for the seed.
+        for i in (1..untried.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            untried.swap(i, j);
+        }
+        Node { state, parent, children: Vec::new(), untried, visits: 0.0, total_reward: 0.0 }
+    }
+
+    fn select_child(&self, nodes: &[Node<P::State, P::Action>], parent: usize) -> usize {
+        let parent_visits = nodes[parent].visits.max(1.0);
+        let c = self.config.exploration;
+        let mut best = nodes[parent].children[0];
+        let mut best_score = f64::NEG_INFINITY;
+        for &child in &nodes[parent].children {
+            let n = nodes[child].visits;
+            let score = if n == 0.0 {
+                f64::INFINITY
+            } else {
+                nodes[child].total_reward / n + c * ((parent_visits.ln() / n).sqrt())
+            };
+            if score > best_score {
+                best_score = score;
+                best = child;
+            }
+        }
+        best
+    }
+
+    fn rollout(
+        &self,
+        mut state: P::State,
+        rng: &mut StdRng,
+        evaluations: &mut usize,
+    ) -> (P::State, f64) {
+        for _ in 0..self.config.rollout_depth {
+            let actions = self.problem.actions(&state);
+            if actions.is_empty() {
+                break;
+            }
+            let action = &actions[rng.gen_range(0..actions.len())];
+            match self.problem.apply(&state, action) {
+                Some(next) => state = next,
+                None => break,
+            }
+        }
+        *evaluations += 1;
+        let reward = self.problem.reward(&state, rng.gen());
+        (state, reward)
+    }
+}
+
+impl<P> Mcts<P>
+where
+    P: SearchProblem + Sync,
+    P::State: Send,
+{
+    /// Root-parallel search: run `threads` independent searches with different seeds on
+    /// scoped threads and keep the best outcome. Statistics are summed across workers except
+    /// for the trace, which is taken from the winning worker.
+    pub fn run_parallel(&self, threads: usize) -> SearchOutcome<P::State> {
+        let threads = threads.max(1);
+        if threads == 1 {
+            return self.run();
+        }
+        let outcomes = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for t in 0..threads {
+                let seed = self
+                    .config
+                    .seed
+                    .wrapping_add((t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                handles.push(scope.spawn(move |_| self.run_seeded(seed)));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("search worker panicked"))
+                .collect::<Vec<_>>()
+        })
+        .expect("crossbeam scope failed");
+
+        let mut combined_stats = SearchStats {
+            iterations: 0,
+            nodes: 0,
+            evaluations: 0,
+            elapsed_millis: 0,
+            trace: Vec::new(),
+        };
+        let mut best: Option<SearchOutcome<P::State>> = None;
+        for outcome in outcomes {
+            combined_stats.iterations += outcome.stats.iterations;
+            combined_stats.nodes += outcome.stats.nodes;
+            combined_stats.evaluations += outcome.stats.evaluations;
+            combined_stats.elapsed_millis =
+                combined_stats.elapsed_millis.max(outcome.stats.elapsed_millis);
+            let is_better = best
+                .as_ref()
+                .map(|b| outcome.best_reward > b.best_reward)
+                .unwrap_or(true);
+            if is_better {
+                combined_stats.trace = outcome.stats.trace.clone();
+                best = Some(outcome);
+            }
+        }
+        let mut best = best.expect("at least one worker ran");
+        best.stats = combined_stats;
+        best
+    }
+}

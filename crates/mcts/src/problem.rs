@@ -1,0 +1,30 @@
+//! The search-problem abstraction the MCTS engine operates on.
+
+/// A search problem: states, the actions available in each state, a transition function and a
+/// reward estimate for a state.
+///
+/// For interface generation (the paper's use case) a state is a difftree, an action is one
+/// transformation-rule application, and the reward of a state is the negated cost of the best
+/// of `k` randomly assigned widget trees for that difftree.
+pub trait SearchProblem {
+    /// A search state.
+    type State: Clone;
+    /// An action transforming one state into another.
+    type Action: Clone;
+
+    /// The initial state of the search.
+    fn initial_state(&self) -> Self::State;
+
+    /// The actions applicable in `state`. An empty vector marks a dead end; the rollout and
+    /// the tree policy both stop there.
+    fn actions(&self, state: &Self::State) -> Vec<Self::Action>;
+
+    /// Apply `action` to `state`. `None` signals that the action is (no longer) valid; the
+    /// engine simply skips it.
+    fn apply(&self, state: &Self::State, action: &Self::Action) -> Option<Self::State>;
+
+    /// Estimate the reward of `state` (higher is better). `eval_seed` is a deterministic
+    /// per-call seed the problem may use for randomised evaluation (e.g. the `k` random
+    /// widget assignments of the paper) so that runs stay reproducible.
+    fn reward(&self, state: &Self::State, eval_seed: u64) -> f64;
+}

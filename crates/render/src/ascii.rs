@@ -1,0 +1,218 @@
+//! Box-drawing text renderer for widget trees.
+//!
+//! The output is a compact textual mock-up of the interface: layout widgets become nested
+//! boxes, interaction widgets become one or more lines showing the control and its options.
+//! It is intentionally schematic (like the paper's screenshots, it shows the widgets, not the
+//! visualization contents).
+
+use mctsui_widgets::{LayoutKind, Widget, WidgetNode, WidgetTree, WidgetType};
+
+/// Render a widget tree as ASCII/Unicode art.
+pub fn render_ascii(tree: &WidgetTree) -> String {
+    let mut lines = Vec::new();
+    let (w, h) = tree.bounding_box();
+    lines.push(format!(
+        "Interface ({} widgets, {}x{} px, screen widget area {}x{} px, fits: {})",
+        tree.widget_count(),
+        w,
+        h,
+        tree.screen().widget_area_width(),
+        tree.screen().widget_area_height(),
+        if tree.fits_screen() { "yes" } else { "NO" }
+    ));
+    let body = render_node(tree.root());
+    lines.extend(boxed("widgets", &body));
+    lines.push(format!(
+        "[ visualization panel {}x{} px ]",
+        tree.screen().panel_width(),
+        tree.screen().widget_area_height()
+    ));
+    lines.join("\n")
+}
+
+fn render_node(node: &WidgetNode) -> Vec<String> {
+    match node {
+        WidgetNode::Interaction(widget) => render_widget(widget),
+        WidgetNode::Panel { width, height } => vec![format!("[panel {width}x{height}]")],
+        WidgetNode::Layout { kind, children } => {
+            let rendered: Vec<Vec<String>> = children.iter().map(render_node).collect();
+            match kind {
+                LayoutKind::Vertical | LayoutKind::Adder => {
+                    let mut out = Vec::new();
+                    for (i, child) in rendered.iter().enumerate() {
+                        if i > 0 {
+                            out.push(String::new());
+                        }
+                        out.extend(child.clone());
+                    }
+                    if *kind == LayoutKind::Adder {
+                        out.push("[ + add another ]".to_string());
+                    }
+                    boxed(kind.name(), &out)
+                }
+                LayoutKind::Horizontal => boxed(kind.name(), &join_columns(&rendered)),
+                LayoutKind::Tabs => {
+                    let mut out = Vec::new();
+                    let tabs: Vec<String> =
+                        (1..=children.len()).map(|i| format!("[tab {i}]")).collect();
+                    out.push(tabs.join(" "));
+                    for child in rendered {
+                        out.extend(child);
+                        out.push("─".repeat(12));
+                    }
+                    boxed(kind.name(), &out)
+                }
+            }
+        }
+    }
+}
+
+fn render_widget(widget: &Widget) -> Vec<String> {
+    let options = &widget.domain.labels;
+    let head = format!("{} @{}", widget.widget_type, widget.target);
+    match widget.widget_type {
+        WidgetType::Dropdown => {
+            vec![head, format!("  [{} ▾]  ({} options)", first(options), options.len())]
+        }
+        WidgetType::RadioButtons => {
+            let mut lines = vec![head];
+            for (i, option) in options.iter().enumerate() {
+                let mark = if i == 0 { "(•)" } else { "( )" };
+                lines.push(format!("  {mark} {option}"));
+            }
+            lines
+        }
+        WidgetType::Buttons => {
+            let mut lines = vec![head];
+            for chunk in options.chunks(3) {
+                let row: Vec<String> = chunk.iter().map(|o| format!("[ {o} ]")).collect();
+                lines.push(format!("  {}", row.join(" ")));
+            }
+            lines
+        }
+        WidgetType::Slider => {
+            let lo = widget.domain.numeric_values.first().copied().unwrap_or(0.0);
+            let hi = widget.domain.numeric_values.last().copied().unwrap_or(1.0);
+            vec![head, format!("  {lo} ──────●────── {hi}")]
+        }
+        WidgetType::RangeSlider => {
+            let lo = widget.domain.numeric_values.first().copied().unwrap_or(0.0);
+            let hi = widget.domain.numeric_values.last().copied().unwrap_or(1.0);
+            vec![head, format!("  {lo} ──●────────●── {hi}")]
+        }
+        WidgetType::Toggle => vec![head, format!("  [ON|off] {}", first(options))],
+        WidgetType::Checkbox => vec![head, format!("  [x] {}", first(options))],
+        WidgetType::Textbox => vec![head, format!("  [{}________]", first(options))],
+        WidgetType::Label => vec![format!("  {}", first(options))],
+        WidgetType::Adder => vec![head, format!("  [+] {}", first(options))],
+    }
+}
+
+fn first(options: &[String]) -> String {
+    options.first().cloned().unwrap_or_default()
+}
+
+/// Wrap lines in a titled box.
+fn boxed(title: &str, lines: &[String]) -> Vec<String> {
+    let width = lines
+        .iter()
+        .map(|l| l.chars().count())
+        .chain(std::iter::once(title.chars().count() + 2))
+        .max()
+        .unwrap_or(0);
+    let mut out = Vec::with_capacity(lines.len() + 2);
+    out.push(format!(
+        "┌─{}{}┐",
+        title,
+        "─".repeat(width.saturating_sub(title.chars().count()) + 1)
+    ));
+    for line in lines {
+        let pad = width.saturating_sub(line.chars().count());
+        out.push(format!("│ {}{} │", line, " ".repeat(pad)));
+    }
+    out.push(format!("└─{}┘", "─".repeat(width + 1)));
+    out
+}
+
+/// Place column blocks side by side, separated by two spaces.
+fn join_columns(columns: &[Vec<String>]) -> Vec<String> {
+    let height = columns.iter().map(Vec::len).max().unwrap_or(0);
+    let widths: Vec<usize> = columns
+        .iter()
+        .map(|c| c.iter().map(|l| l.chars().count()).max().unwrap_or(0))
+        .collect();
+    let mut out = Vec::with_capacity(height);
+    for row in 0..height {
+        let mut line = String::new();
+        for (col, lines) in columns.iter().enumerate() {
+            let cell = lines.get(row).cloned().unwrap_or_default();
+            let pad = widths[col].saturating_sub(cell.chars().count());
+            line.push_str(&cell);
+            line.push_str(&" ".repeat(pad));
+            line.push_str("  ");
+        }
+        out.push(line.trim_end().to_string());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mctsui_difftree::{initial_difftree, RuleEngine};
+    use mctsui_sql::parse_query;
+    use mctsui_widgets::{build_widget_tree, default_assignment, Screen};
+
+    fn demo_tree() -> WidgetTree {
+        let queries = vec![
+            parse_query("SELECT Sales FROM sales WHERE cty = 'USA'").unwrap(),
+            parse_query("SELECT Costs FROM sales WHERE cty = 'EUR'").unwrap(),
+            parse_query("SELECT Costs FROM sales").unwrap(),
+        ];
+        let tree = RuleEngine::default().saturate_forward(&initial_difftree(&queries), 100);
+        build_widget_tree(&tree, &default_assignment(&tree), Screen::wide())
+    }
+
+    #[test]
+    fn ascii_output_mentions_widgets_and_panel() {
+        let out = render_ascii(&demo_tree());
+        assert!(out.contains("Interface ("));
+        assert!(out.contains("visualization panel"));
+        assert!(out.contains("┌─"));
+        assert!(out.contains("└─"));
+        // At least one of the interaction widgets is drawn.
+        assert!(out.contains('@'), "widget target markers expected:\n{out}");
+    }
+
+    #[test]
+    fn ascii_output_is_multiline_and_stable() {
+        let a = render_ascii(&demo_tree());
+        let b = render_ascii(&demo_tree());
+        assert_eq!(a, b, "rendering is deterministic");
+        assert!(a.lines().count() >= 5);
+    }
+
+    #[test]
+    fn every_widget_type_renders() {
+        use mctsui_difftree::{ChoiceDomain, DiffNode, DiffPath, Label};
+        use mctsui_sql::{Literal, NodeKind};
+        let any = DiffNode::any(vec![
+            DiffNode::all_leaf(Label::new(NodeKind::NumExpr, Some(Literal::int(1)))),
+            DiffNode::all_leaf(Label::new(NodeKind::NumExpr, Some(Literal::int(2)))),
+            DiffNode::all_leaf(Label::new(NodeKind::NumExpr, Some(Literal::int(3)))),
+        ]);
+        let domain = ChoiceDomain::from_node(DiffPath::root(), &any).unwrap();
+        for widget_type in WidgetType::ALL {
+            let widget = Widget::new(widget_type, domain.clone());
+            let lines = render_widget(&widget);
+            assert!(!lines.is_empty(), "{widget_type} rendered nothing");
+        }
+    }
+
+    #[test]
+    fn boxed_pads_to_uniform_width() {
+        let lines = boxed("t", &["short".to_string(), "a much longer line".to_string()]);
+        let widths: Vec<usize> = lines.iter().map(|l| l.chars().count()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "{lines:?}");
+    }
+}

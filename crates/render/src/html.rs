@@ -1,0 +1,221 @@
+//! Static HTML renderer for widget trees.
+//!
+//! Produces a single self-contained page (inline CSS, no JavaScript dependencies) whose
+//! structure mirrors the widget tree: layout widgets become flex containers, interaction
+//! widgets become native form controls, and the visualization panel is a placeholder box.
+//! Useful for eyeballing generated interfaces in a browser and for attaching artifacts to
+//! experiment reports.
+
+use mctsui_widgets::{LayoutKind, Widget, WidgetNode, WidgetTree, WidgetType};
+
+/// Render a widget tree as a self-contained HTML page.
+pub fn render_html(tree: &WidgetTree, title: &str) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n");
+    out.push_str(&format!("<title>{}</title>\n", escape(title)));
+    out.push_str(
+        "<style>\n\
+         body { font-family: system-ui, sans-serif; margin: 16px; }\n\
+         .iface { display: flex; gap: 16px; align-items: flex-start; }\n\
+         .layout { border: 1px solid #9db3d0; border-radius: 6px; padding: 8px; margin: 4px; }\n\
+         .vertical { display: flex; flex-direction: column; gap: 8px; }\n\
+         .horizontal { display: flex; flex-direction: row; gap: 8px; }\n\
+         .tabs { border-style: dashed; }\n\
+         .adder { border-style: dotted; }\n\
+         .widget { display: flex; flex-direction: column; gap: 2px; font-size: 14px; }\n\
+         .widget .caption { color: #555; font-size: 11px; }\n\
+         .panel { background: #f2f6fc; border: 1px solid #c8d6ea; border-radius: 6px;\n\
+                  display: flex; align-items: center; justify-content: center; color: #7a8aa5; }\n\
+         fieldset { border: none; padding: 0; margin: 0; }\n\
+         </style></head><body>\n",
+    );
+    out.push_str(&format!("<h2>{}</h2>\n", escape(title)));
+    out.push_str(&format!(
+        "<p>{} widgets · bounding box {}x{} px · screen widget area {}x{} px · fits: {}</p>\n",
+        tree.widget_count(),
+        tree.bounding_box().0,
+        tree.bounding_box().1,
+        tree.screen().widget_area_width(),
+        tree.screen().widget_area_height(),
+        tree.fits_screen()
+    ));
+    out.push_str("<div class=\"iface\">\n");
+    render_node(tree.root(), &mut out);
+    out.push_str(&format!(
+        "<div class=\"panel\" style=\"width:{}px;height:{}px\">visualization</div>\n",
+        tree.screen().panel_width(),
+        tree.screen().widget_area_height().min(600)
+    ));
+    out.push_str("</div>\n</body></html>\n");
+    out
+}
+
+fn render_node(node: &WidgetNode, out: &mut String) {
+    match node {
+        WidgetNode::Layout { kind, children } => {
+            let class = match kind {
+                LayoutKind::Vertical => "layout vertical",
+                LayoutKind::Horizontal => "layout horizontal",
+                LayoutKind::Tabs => "layout vertical tabs",
+                LayoutKind::Adder => "layout vertical adder",
+            };
+            out.push_str(&format!("<div class=\"{class}\">\n"));
+            for child in children {
+                render_node(child, out);
+            }
+            if *kind == LayoutKind::Adder {
+                out.push_str("<button>+ add another</button>\n");
+            }
+            out.push_str("</div>\n");
+        }
+        WidgetNode::Panel { width, height } => {
+            out.push_str(&format!(
+                "<div class=\"panel\" style=\"width:{width}px;height:{height}px\">visualization</div>\n"
+            ));
+        }
+        WidgetNode::Interaction(widget) => render_widget(widget, out),
+    }
+}
+
+fn render_widget(widget: &Widget, out: &mut String) {
+    out.push_str("<div class=\"widget\">");
+    out.push_str(&format!(
+        "<span class=\"caption\">{} @ {}</span>",
+        widget.widget_type,
+        escape(&widget.target.to_string())
+    ));
+    let options = &widget.domain.labels;
+    match widget.widget_type {
+        WidgetType::Dropdown => {
+            out.push_str("<select>");
+            for option in options {
+                out.push_str(&format!("<option>{}</option>", escape(option)));
+            }
+            out.push_str("</select>");
+        }
+        WidgetType::RadioButtons => {
+            out.push_str("<fieldset>");
+            for (i, option) in options.iter().enumerate() {
+                let checked = if i == 0 { " checked" } else { "" };
+                out.push_str(&format!(
+                    "<label><input type=\"radio\" name=\"w{}\"{}> {}</label><br>",
+                    short_id(widget),
+                    checked,
+                    escape(option)
+                ));
+            }
+            out.push_str("</fieldset>");
+        }
+        WidgetType::Buttons => {
+            for option in options {
+                out.push_str(&format!("<button>{}</button>", escape(option)));
+            }
+        }
+        WidgetType::Slider => {
+            let lo = widget.domain.numeric_values.first().copied().unwrap_or(0.0);
+            let hi = widget.domain.numeric_values.last().copied().unwrap_or(100.0);
+            out.push_str(&format!(
+                "<input type=\"range\" min=\"{lo}\" max=\"{hi}\"><span>{lo} – {hi}</span>"
+            ));
+        }
+        WidgetType::RangeSlider => {
+            let lo = widget.domain.numeric_values.first().copied().unwrap_or(0.0);
+            let hi = widget.domain.numeric_values.last().copied().unwrap_or(100.0);
+            out.push_str(&format!(
+                "<input type=\"range\" min=\"{lo}\" max=\"{hi}\">\
+                 <input type=\"range\" min=\"{lo}\" max=\"{hi}\"><span>{lo} – {hi}</span>"
+            ));
+        }
+        WidgetType::Toggle | WidgetType::Checkbox => {
+            out.push_str(&format!(
+                "<label><input type=\"checkbox\" checked> {}</label>",
+                escape(options.first().map(String::as_str).unwrap_or(""))
+            ));
+        }
+        WidgetType::Textbox => {
+            out.push_str(&format!(
+                "<input type=\"text\" placeholder=\"{}\">",
+                escape(options.first().map(String::as_str).unwrap_or(""))
+            ));
+        }
+        WidgetType::Label => {
+            out.push_str(&format!(
+                "<span>{}</span>",
+                escape(options.first().map(String::as_str).unwrap_or(""))
+            ));
+        }
+        WidgetType::Adder => {
+            out.push_str(&format!(
+                "<button>+ {}</button>",
+                escape(options.first().map(String::as_str).unwrap_or("add"))
+            ));
+        }
+    }
+    out.push_str("</div>\n");
+}
+
+fn short_id(widget: &Widget) -> String {
+    widget
+        .target
+        .0
+        .iter()
+        .map(|i| i.to_string())
+        .collect::<Vec<_>>()
+        .join("_")
+}
+
+/// Minimal HTML escaping for text content and attribute values.
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mctsui_difftree::{initial_difftree, RuleEngine};
+    use mctsui_sql::parse_query;
+    use mctsui_widgets::{build_widget_tree, default_assignment, Screen};
+
+    fn demo_tree() -> WidgetTree {
+        let queries = vec![
+            parse_query("select top 10 objid from stars where u between 0 and 30").unwrap(),
+            parse_query("select top 100 objid from galaxies where u between 0 and 30").unwrap(),
+            parse_query("select top 1000 objid from quasars where u between 0 and 30").unwrap(),
+        ];
+        let tree = RuleEngine::default().saturate_forward(&initial_difftree(&queries), 200);
+        build_widget_tree(&tree, &default_assignment(&tree), Screen::wide())
+    }
+
+    #[test]
+    fn html_is_well_formed_enough() {
+        let html = render_html(&demo_tree(), "Figure 6(a) reproduction");
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains("<title>Figure 6(a) reproduction</title>"));
+        assert!(html.ends_with("</html>\n"));
+        // Balanced div tags.
+        let opens = html.matches("<div").count();
+        let closes = html.matches("</div>").count();
+        assert_eq!(opens, closes, "unbalanced <div> tags");
+        assert!(html.contains("visualization"));
+    }
+
+    #[test]
+    fn html_contains_form_controls_for_widgets() {
+        let html = render_html(&demo_tree(), "t");
+        let has_control = html.contains("<select")
+            || html.contains("type=\"radio\"")
+            || html.contains("<button")
+            || html.contains("type=\"range\"");
+        assert!(has_control, "expected at least one form control:\n{html}");
+    }
+
+    #[test]
+    fn escaping_prevents_tag_injection() {
+        assert_eq!(escape("<b>&\"x\""), "&lt;b&gt;&amp;&quot;x&quot;");
+        let html = render_html(&demo_tree(), "<script>alert(1)</script>");
+        assert!(!html.contains("<script>alert"));
+    }
+}

@@ -1,0 +1,18 @@
+//! Renderers for generated interfaces.
+//!
+//! The paper's Figure 6 shows screenshots of the generated widget layouts. This crate
+//! produces the equivalent artifacts without a browser or GUI toolkit:
+//!
+//! * [`ascii::render_ascii`] — a box-drawing text mock-up of the widget tree (used by the
+//!   examples and the experiment harness so the "figures" appear directly in the terminal),
+//! * [`html::render_html`] — a self-contained static HTML page with native form controls,
+//!   suitable for opening in any browser.
+//!
+//! Both renderers operate on the [`mctsui_widgets::WidgetTree`] produced by the generator and
+//! are purely presentational: they never change the interface.
+
+pub mod ascii;
+pub mod html;
+
+pub use ascii::render_ascii;
+pub use html::render_html;

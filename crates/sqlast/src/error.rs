@@ -1,0 +1,49 @@
+//! Error types shared by the lexer and parser.
+
+use std::fmt;
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ParseError>;
+
+/// An error produced while tokenizing or parsing a SQL query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human readable description of what went wrong.
+    pub message: String,
+    /// Byte offset into the original query text where the error was detected.
+    pub offset: usize,
+}
+
+impl ParseError {
+    /// Create a new error at the given byte offset.
+    pub fn new(message: impl Into<String>, offset: usize) -> Self {
+        Self { message: message.into(), offset }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_offset_and_message() {
+        let err = ParseError::new("unexpected token", 17);
+        let text = err.to_string();
+        assert!(text.contains("17"));
+        assert!(text.contains("unexpected token"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(ParseError::new("x", 1), ParseError::new("x", 1));
+        assert_ne!(ParseError::new("x", 1), ParseError::new("x", 2));
+    }
+}

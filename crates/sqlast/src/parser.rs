@@ -1,0 +1,564 @@
+//! Recursive-descent parser for the analysis-SQL subset.
+//!
+//! The parser produces the generic [`Ast`] of [`crate::ast`]. The children of the `Select`
+//! root always appear in the canonical order
+//! `[Project, From, Where?, GroupBy?, Having?, OrderBy?, Top?]` so that structurally equal
+//! queries produce identical trees regardless of clause spelling (`TOP n` and `LIMIT n` are
+//! canonicalised to a single `Top` node).
+
+use crate::ast::{Ast, Literal, NodeKind};
+use crate::error::{ParseError, Result};
+use crate::token::{tokenize, Token, TokenKind};
+
+/// Parse a single SQL query into its AST.
+///
+/// This is the main entry point of the crate.
+pub fn parse_query(input: &str) -> Result<Ast> {
+    let tokens = tokenize(input)?;
+    let mut parser = Parser::new(tokens);
+    let ast = parser.parse_select()?;
+    parser.expect_end()?;
+    Ok(ast)
+}
+
+/// A hand-written recursive-descent parser over a token stream.
+pub struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    /// Create a parser from a token stream (normally produced by [`tokenize`]).
+    pub fn new(tokens: Vec<Token>) -> Self {
+        Self { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error_here(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(msg, self.peek().offset)
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.peek().is_keyword(kw) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.error_here(format!("expected keyword {kw}")))
+        }
+    }
+
+    fn eat_symbol(&mut self, sym: &str) -> bool {
+        if self.peek().is_symbol(sym) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, sym: &str) -> Result<()> {
+        if self.eat_symbol(sym) {
+            Ok(())
+        } else {
+            Err(self.error_here(format!("expected `{sym}`")))
+        }
+    }
+
+    /// Verify that all tokens have been consumed (a trailing `;` is allowed).
+    pub fn expect_end(&mut self) -> Result<()> {
+        self.eat_symbol(";");
+        match self.peek().kind {
+            TokenKind::Eof => Ok(()),
+            _ => Err(self.error_here("unexpected trailing input")),
+        }
+    }
+
+    /// Parse a full `SELECT` statement.
+    pub fn parse_select(&mut self) -> Result<Ast> {
+        self.expect_keyword("SELECT")?;
+
+        let mut top: Option<Ast> = None;
+        if self.eat_keyword("TOP") {
+            let count = self.parse_number_literal()?;
+            top = Some(Ast::new(NodeKind::Top, vec![count]));
+        }
+
+        let distinct = self.eat_keyword("DISTINCT");
+        let project = self.parse_projection(distinct)?;
+
+        self.expect_keyword("FROM")?;
+        let from = self.parse_from()?;
+
+        let mut children = vec![project, from];
+
+        if self.eat_keyword("WHERE") {
+            let pred = self.parse_expr()?;
+            children.push(Ast::new(NodeKind::Where, vec![pred]));
+        }
+
+        if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            let mut cols = vec![self.parse_expr()?];
+            while self.eat_symbol(",") {
+                cols.push(self.parse_expr()?);
+            }
+            children.push(Ast::new(NodeKind::GroupBy, cols));
+        }
+
+        if self.eat_keyword("HAVING") {
+            let pred = self.parse_expr()?;
+            children.push(Ast::new(NodeKind::Having, vec![pred]));
+        }
+
+        if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            let mut items = vec![self.parse_order_item()?];
+            while self.eat_symbol(",") {
+                items.push(self.parse_order_item()?);
+            }
+            children.push(Ast::new(NodeKind::OrderBy, items));
+        }
+
+        if self.eat_keyword("LIMIT") {
+            let count = self.parse_number_literal()?;
+            if top.is_some() {
+                return Err(self.error_here("query has both TOP and LIMIT"));
+            }
+            top = Some(Ast::new(NodeKind::Top, vec![count]));
+        }
+
+        if let Some(t) = top {
+            children.push(t);
+        }
+
+        Ok(Ast::new(NodeKind::Select, children))
+    }
+
+    fn parse_projection(&mut self, distinct: bool) -> Result<Ast> {
+        let mut items = Vec::new();
+        if distinct {
+            items.push(Ast::leaf(NodeKind::Distinct));
+        }
+        loop {
+            items.push(self.parse_proj_item()?);
+            if !self.eat_symbol(",") {
+                break;
+            }
+        }
+        Ok(Ast::new(NodeKind::Project, items))
+    }
+
+    fn parse_proj_item(&mut self) -> Result<Ast> {
+        let expr = self.parse_expr()?;
+        let mut children = vec![expr];
+        if self.eat_keyword("AS") {
+            match self.advance().kind {
+                TokenKind::Ident(name) => {
+                    children.push(Ast::leaf_with(NodeKind::Alias, Literal::str(name)));
+                }
+                _ => return Err(self.error_here("expected alias name after AS")),
+            }
+        } else if let TokenKind::Ident(name) = self.peek().kind.clone() {
+            // Bare alias: `SELECT count(*) n FROM ...`
+            self.advance();
+            children.push(Ast::leaf_with(NodeKind::Alias, Literal::str(name)));
+        }
+        Ok(Ast::new(NodeKind::ProjItem, children))
+    }
+
+    fn parse_from(&mut self) -> Result<Ast> {
+        let mut tables = Vec::new();
+        loop {
+            match self.advance().kind {
+                TokenKind::Ident(name) => {
+                    tables.push(Ast::leaf_with(NodeKind::Table, Literal::str(name)))
+                }
+                _ => return Err(self.error_here("expected table name in FROM clause")),
+            }
+            if !self.eat_symbol(",") {
+                break;
+            }
+        }
+        Ok(Ast::new(NodeKind::From, tables))
+    }
+
+    fn parse_order_item(&mut self) -> Result<Ast> {
+        let expr = self.parse_expr()?;
+        let mut children = vec![expr];
+        if self.eat_keyword("ASC") {
+            children.push(Ast::leaf_with(NodeKind::SortDir, Literal::str("ASC")));
+        } else if self.eat_keyword("DESC") {
+            children.push(Ast::leaf_with(NodeKind::SortDir, Literal::str("DESC")));
+        }
+        Ok(Ast::new(NodeKind::OrderItem, children))
+    }
+
+    fn parse_number_literal(&mut self) -> Result<Ast> {
+        match self.advance().kind {
+            TokenKind::Int(v) => Ok(Ast::leaf_with(NodeKind::NumExpr, Literal::int(v))),
+            TokenKind::Float(v) => Ok(Ast::leaf_with(NodeKind::NumExpr, Literal::float(v))),
+            _ => Err(self.error_here("expected a numeric literal")),
+        }
+    }
+
+    /// Parse a boolean/arithmetic expression (entry point usable for WHERE/HAVING contents).
+    pub fn parse_expr(&mut self) -> Result<Ast> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Ast> {
+        let mut left = self.parse_and()?;
+        while self.eat_keyword("OR") {
+            let right = self.parse_and()?;
+            left = Ast::with_value(NodeKind::BiExpr, Literal::str("OR"), vec![left, right]);
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Ast> {
+        let mut left = self.parse_not()?;
+        while self.eat_keyword("AND") {
+            let right = self.parse_not()?;
+            left = Ast::with_value(NodeKind::BiExpr, Literal::str("AND"), vec![left, right]);
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<Ast> {
+        if self.eat_keyword("NOT") {
+            let inner = self.parse_not()?;
+            return Ok(Ast::with_value(NodeKind::UnExpr, Literal::str("NOT"), vec![inner]));
+        }
+        self.parse_predicate()
+    }
+
+    fn parse_predicate(&mut self) -> Result<Ast> {
+        let left = self.parse_additive()?;
+
+        // Comparison operators.
+        for op in ["<=", ">=", "<>", "!=", "=", "<", ">"] {
+            if self.peek().is_symbol(op) {
+                self.advance();
+                let right = self.parse_additive()?;
+                return Ok(Ast::with_value(
+                    NodeKind::BiExpr,
+                    Literal::str(op),
+                    vec![left, right],
+                ));
+            }
+        }
+
+        if self.eat_keyword("BETWEEN") {
+            let lo = self.parse_additive()?;
+            self.expect_keyword("AND")?;
+            let hi = self.parse_additive()?;
+            return Ok(Ast::new(NodeKind::Between, vec![left, lo, hi]));
+        }
+
+        if self.eat_keyword("IN") {
+            self.expect_symbol("(")?;
+            let mut children = vec![left];
+            loop {
+                children.push(self.parse_additive()?);
+                if !self.eat_symbol(",") {
+                    break;
+                }
+            }
+            self.expect_symbol(")")?;
+            return Ok(Ast::new(NodeKind::InList, children));
+        }
+
+        if self.eat_keyword("LIKE") {
+            let pattern = self.parse_additive()?;
+            return Ok(Ast::new(NodeKind::Like, vec![left, pattern]));
+        }
+
+        if self.eat_keyword("IS") {
+            let negated = self.eat_keyword("NOT");
+            self.expect_keyword("NULL")?;
+            let op = if negated { "IS NOT NULL" } else { "IS NULL" };
+            return Ok(Ast::with_value(NodeKind::IsNull, Literal::str(op), vec![left]));
+        }
+
+        Ok(left)
+    }
+
+    fn parse_additive(&mut self) -> Result<Ast> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = if self.peek().is_symbol("+") {
+                "+"
+            } else if self.peek().is_symbol("-") {
+                "-"
+            } else {
+                break;
+            };
+            self.advance();
+            let right = self.parse_multiplicative()?;
+            left = Ast::with_value(NodeKind::BiExpr, Literal::str(op), vec![left, right]);
+        }
+        Ok(left)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Ast> {
+        let mut left = self.parse_primary()?;
+        loop {
+            let op = if self.peek().is_symbol("*") {
+                "*"
+            } else if self.peek().is_symbol("/") {
+                "/"
+            } else if self.peek().is_symbol("%") {
+                "%"
+            } else {
+                break;
+            };
+            // `*` directly inside a projection/argument position is handled in parse_primary;
+            // here it is always a multiplication because a primary has been consumed.
+            self.advance();
+            let right = self.parse_primary()?;
+            left = Ast::with_value(NodeKind::BiExpr, Literal::str(op), vec![left, right]);
+        }
+        Ok(left)
+    }
+
+    fn parse_primary(&mut self) -> Result<Ast> {
+        let token = self.peek().clone();
+        match token.kind {
+            TokenKind::Int(v) => {
+                self.advance();
+                Ok(Ast::leaf_with(NodeKind::NumExpr, Literal::int(v)))
+            }
+            TokenKind::Float(v) => {
+                self.advance();
+                Ok(Ast::leaf_with(NodeKind::NumExpr, Literal::float(v)))
+            }
+            TokenKind::Str(s) => {
+                self.advance();
+                Ok(Ast::leaf_with(NodeKind::StrExpr, Literal::str(s)))
+            }
+            TokenKind::Keyword(ref k) if k == "NULL" => {
+                self.advance();
+                Ok(Ast::leaf(NodeKind::NullExpr))
+            }
+            TokenKind::Symbol(ref s) if s == "*" => {
+                self.advance();
+                Ok(Ast::leaf(NodeKind::Star))
+            }
+            TokenKind::Symbol(ref s) if s == "(" => {
+                self.advance();
+                let inner = self.parse_expr()?;
+                self.expect_symbol(")")?;
+                Ok(inner)
+            }
+            TokenKind::Symbol(ref s) if s == "-" => {
+                self.advance();
+                let inner = self.parse_primary()?;
+                Ok(Ast::with_value(NodeKind::UnExpr, Literal::str("-"), vec![inner]))
+            }
+            TokenKind::Ident(name) => {
+                self.advance();
+                if self.eat_symbol("(") {
+                    // Function call.
+                    let mut args = Vec::new();
+                    if !self.peek().is_symbol(")") {
+                        loop {
+                            args.push(self.parse_expr()?);
+                            if !self.eat_symbol(",") {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect_symbol(")")?;
+                    Ok(Ast::with_value(NodeKind::FuncExpr, Literal::str(name), args))
+                } else {
+                    Ok(Ast::leaf_with(NodeKind::ColExpr, Literal::str(name)))
+                }
+            }
+            _ => Err(self.error_here("expected an expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::AstPath;
+
+    #[test]
+    fn parses_figure1_q1() {
+        let ast = parse_query("SELECT Sales FROM sales WHERE cty = 'USA'").unwrap();
+        assert_eq!(ast.kind(), NodeKind::Select);
+        assert_eq!(ast.children().len(), 3);
+        assert_eq!(ast.children()[0].kind(), NodeKind::Project);
+        assert_eq!(ast.children()[1].kind(), NodeKind::From);
+        assert_eq!(ast.children()[2].kind(), NodeKind::Where);
+        let pred = &ast.children()[2].children()[0];
+        assert_eq!(pred.kind(), NodeKind::BiExpr);
+        assert_eq!(pred.value().unwrap().as_str(), Some("="));
+    }
+
+    #[test]
+    fn parses_figure1_q3_without_where() {
+        let ast = parse_query("SELECT Costs FROM sales").unwrap();
+        assert_eq!(ast.children().len(), 2);
+    }
+
+    #[test]
+    fn parses_sdss_style_query() {
+        let sql = "select top 10 objid from stars where u between 0 and 30 and g between 0 and 30";
+        let ast = parse_query(sql).unwrap();
+        // Children: Project, From, Where, Top.
+        assert_eq!(ast.children().len(), 4);
+        assert_eq!(ast.children()[3].kind(), NodeKind::Top);
+        let top_n = &ast.children()[3].children()[0];
+        assert_eq!(top_n.value().unwrap().as_number(), Some(10.0));
+        let pred = &ast.children()[2].children()[0];
+        assert_eq!(pred.value().unwrap().as_str(), Some("AND"));
+        assert_eq!(pred.children()[0].kind(), NodeKind::Between);
+    }
+
+    #[test]
+    fn count_star_projection() {
+        let ast = parse_query("select count(*) from quasars").unwrap();
+        let item = &ast.children()[0].children()[0];
+        let func = &item.children()[0];
+        assert_eq!(func.kind(), NodeKind::FuncExpr);
+        assert_eq!(func.value().unwrap().as_str(), Some("count"));
+        assert_eq!(func.children()[0].kind(), NodeKind::Star);
+    }
+
+    #[test]
+    fn limit_is_canonicalised_to_top() {
+        let a = parse_query("select objid from stars limit 10").unwrap();
+        let b = parse_query("select top 10 objid from stars").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn top_and_limit_together_is_error() {
+        assert!(parse_query("select top 5 x from t limit 10").is_err());
+    }
+
+    #[test]
+    fn group_by_and_order_by() {
+        let ast = parse_query(
+            "select cty, sum(sales) as total from sales group by cty order by total desc",
+        )
+        .unwrap();
+        let kinds: Vec<NodeKind> = ast.children().iter().map(|c| c.kind()).collect();
+        assert_eq!(
+            kinds,
+            vec![NodeKind::Project, NodeKind::From, NodeKind::GroupBy, NodeKind::OrderBy]
+        );
+        let order_item = &ast.children()[3].children()[0];
+        assert_eq!(order_item.children()[1].value().unwrap().as_str(), Some("DESC"));
+    }
+
+    #[test]
+    fn and_or_precedence() {
+        let ast = parse_query("select x from t where a = 1 or b = 2 and c = 3").unwrap();
+        let pred = &ast.children()[2].children()[0];
+        // OR at the top because AND binds tighter.
+        assert_eq!(pred.value().unwrap().as_str(), Some("OR"));
+        assert_eq!(pred.children()[1].value().unwrap().as_str(), Some("AND"));
+    }
+
+    #[test]
+    fn not_and_parentheses() {
+        let ast = parse_query("select x from t where not (a = 1 or b = 2)").unwrap();
+        let pred = &ast.children()[2].children()[0];
+        assert_eq!(pred.kind(), NodeKind::UnExpr);
+        assert_eq!(pred.children()[0].value().unwrap().as_str(), Some("OR"));
+    }
+
+    #[test]
+    fn in_list_and_like_and_is_null() {
+        let ast = parse_query(
+            "select x from t where cty in ('USA', 'EUR') and name like 'A%' and z is not null",
+        )
+        .unwrap();
+        let s = ast.sexpr();
+        assert!(s.contains("(InList"));
+        assert!(s.contains("(Like"));
+        assert!(s.contains("IsNull:IS NOT NULL"));
+    }
+
+    #[test]
+    fn arithmetic_in_projection() {
+        let ast = parse_query("select price * quantity as revenue from sales").unwrap();
+        let item = &ast.children()[0].children()[0];
+        assert_eq!(item.children()[0].value().unwrap().as_str(), Some("*"));
+        assert_eq!(item.children()[1].kind(), NodeKind::Alias);
+    }
+
+    #[test]
+    fn distinct_marker() {
+        let ast = parse_query("select distinct cty from sales").unwrap();
+        assert_eq!(ast.children()[0].children()[0].kind(), NodeKind::Distinct);
+    }
+
+    #[test]
+    fn multiple_tables_in_from() {
+        let ast = parse_query("select x from a, b").unwrap();
+        assert_eq!(ast.children()[1].children().len(), 2);
+    }
+
+    #[test]
+    fn trailing_semicolon_ok_trailing_junk_not() {
+        assert!(parse_query("select x from t;").is_ok());
+        assert!(parse_query("select x from t garbage after").is_err() || {
+            // `garbage` parses as a bare alias; `after` is trailing junk.
+            false
+        });
+        assert!(parse_query("select x from t where").is_err());
+    }
+
+    #[test]
+    fn error_offsets_point_into_input() {
+        let sql = "select x from t where ???";
+        let err = parse_query(sql).unwrap_err();
+        assert!(err.offset <= sql.len());
+    }
+
+    #[test]
+    fn where_clause_path_matches_paper_figure() {
+        // Figure 1: q1 and q2 differ at Project/ColExpr and Where/BiExpr/StrExpr.
+        let q1 = parse_query("SELECT Sales FROM sales WHERE cty = 'USA'").unwrap();
+        let str_path = AstPath(vec![2, 0, 1]);
+        assert_eq!(q1.node_at(&str_path).unwrap().kind(), NodeKind::StrExpr);
+    }
+
+    #[test]
+    fn negative_numbers() {
+        let ast = parse_query("select x from t where a = -5").unwrap();
+        let s = ast.sexpr();
+        assert!(s.contains("UnExpr:-"));
+    }
+
+    #[test]
+    fn bare_alias_without_as() {
+        let ast = parse_query("select count(*) n from stars").unwrap();
+        let item = &ast.children()[0].children()[0];
+        assert_eq!(item.children()[1].kind(), NodeKind::Alias);
+        assert_eq!(item.children()[1].value().unwrap().as_str(), Some("n"));
+    }
+}

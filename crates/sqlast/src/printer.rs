@@ -1,0 +1,362 @@
+//! SQL pretty printer: turns an [`Ast`] back into query text.
+//!
+//! The printer produces a canonical spelling (`SELECT TOP n ...`, single quotes for strings,
+//! upper-case keywords) so that `parse(print(parse(q))) == parse(q)` for every query the
+//! parser accepts. Widgets also use the printer to render the candidate subtrees in their
+//! domains (e.g. the button labels of Figure 2(a) are printed queries).
+
+use crate::ast::{Ast, NodeKind};
+
+/// Render a full query AST (rooted at `Select`) as SQL text.
+pub fn print_query(ast: &Ast) -> String {
+    let mut out = String::with_capacity(64);
+    write_select(ast, &mut out);
+    out
+}
+
+/// Render an arbitrary AST fragment (an expression, a clause, a literal, ...) as SQL-ish
+/// text. Used for widget labels and debugging.
+pub fn print_fragment(ast: &Ast) -> String {
+    match ast.kind() {
+        NodeKind::Select => print_query(ast),
+        NodeKind::Where => {
+            let mut s = String::from("WHERE ");
+            if let Some(pred) = ast.children().first() {
+                write_expr(pred, &mut s);
+            }
+            s
+        }
+        NodeKind::Top => {
+            let mut s = String::from("TOP ");
+            if let Some(n) = ast.children().first() {
+                write_expr(n, &mut s);
+            }
+            s
+        }
+        NodeKind::Project => {
+            let mut s = String::new();
+            write_projection(ast, &mut s);
+            s
+        }
+        NodeKind::ProjItem => {
+            let mut s = String::new();
+            write_proj_item(ast, &mut s);
+            s
+        }
+        NodeKind::From => {
+            let mut s = String::from("FROM ");
+            write_comma_separated(ast.children(), &mut s);
+            s
+        }
+        NodeKind::GroupBy => {
+            let mut s = String::from("GROUP BY ");
+            write_comma_separated(ast.children(), &mut s);
+            s
+        }
+        NodeKind::OrderBy => {
+            let mut s = String::from("ORDER BY ");
+            write_comma_separated(ast.children(), &mut s);
+            s
+        }
+        NodeKind::Empty => "(none)".to_string(),
+        _ => {
+            let mut s = String::new();
+            write_expr(ast, &mut s);
+            s
+        }
+    }
+}
+
+fn write_select(ast: &Ast, out: &mut String) {
+    out.push_str("SELECT ");
+
+    // TOP is stored as the trailing child but printed up front.
+    if let Some(top) = ast.children().iter().find(|c| c.kind() == NodeKind::Top) {
+        out.push_str("TOP ");
+        if let Some(n) = top.children().first() {
+            write_expr(n, out);
+        }
+        out.push(' ');
+    }
+
+    for child in ast.children() {
+        match child.kind() {
+            NodeKind::Project => write_projection(child, out),
+            NodeKind::From => {
+                out.push_str(" FROM ");
+                write_comma_separated(child.children(), out);
+            }
+            NodeKind::Where => {
+                out.push_str(" WHERE ");
+                if let Some(pred) = child.children().first() {
+                    write_expr(pred, out);
+                }
+            }
+            NodeKind::GroupBy => {
+                out.push_str(" GROUP BY ");
+                write_comma_separated(child.children(), out);
+            }
+            NodeKind::Having => {
+                out.push_str(" HAVING ");
+                if let Some(pred) = child.children().first() {
+                    write_expr(pred, out);
+                }
+            }
+            NodeKind::OrderBy => {
+                out.push_str(" ORDER BY ");
+                write_comma_separated(child.children(), out);
+            }
+            NodeKind::Top | NodeKind::Empty => {}
+            _ => {}
+        }
+    }
+}
+
+fn write_projection(project: &Ast, out: &mut String) {
+    let mut first = true;
+    for item in project.children() {
+        if item.kind() == NodeKind::Distinct {
+            out.push_str("DISTINCT ");
+            continue;
+        }
+        if !first {
+            out.push_str(", ");
+        }
+        first = false;
+        write_proj_item(item, out);
+    }
+}
+
+fn write_proj_item(item: &Ast, out: &mut String) {
+    if item.kind() != NodeKind::ProjItem {
+        write_expr(item, out);
+        return;
+    }
+    if let Some(expr) = item.children().first() {
+        write_expr(expr, out);
+    }
+    if let Some(alias) = item.children().iter().find(|c| c.kind() == NodeKind::Alias) {
+        out.push_str(" AS ");
+        if let Some(v) = alias.value() {
+            out.push_str(&v.render());
+        }
+    }
+}
+
+fn write_comma_separated(items: &[Ast], out: &mut String) {
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        write_expr(item, out);
+    }
+}
+
+/// Operator precedence used to decide when parentheses are required.
+fn precedence(op: &str) -> u8 {
+    match op {
+        "OR" => 1,
+        "AND" => 2,
+        "=" | "<" | ">" | "<=" | ">=" | "<>" | "!=" => 3,
+        "+" | "-" => 4,
+        "*" | "/" | "%" => 5,
+        _ => 6,
+    }
+}
+
+fn write_expr(ast: &Ast, out: &mut String) {
+    write_expr_prec(ast, 0, out);
+}
+
+fn write_expr_prec(ast: &Ast, parent_prec: u8, out: &mut String) {
+    match ast.kind() {
+        NodeKind::BiExpr => {
+            let op = ast.value().map(|v| v.render()).unwrap_or_else(|| "?".into());
+            let prec = precedence(&op);
+            let needs_parens = prec < parent_prec;
+            if needs_parens {
+                out.push('(');
+            }
+            if let Some(l) = ast.children().first() {
+                write_expr_prec(l, prec, out);
+            }
+            out.push(' ');
+            out.push_str(&op);
+            out.push(' ');
+            if let Some(r) = ast.children().get(1) {
+                // +1 keeps left-associativity unambiguous for same-precedence chains.
+                write_expr_prec(r, prec + 1, out);
+            }
+            if needs_parens {
+                out.push(')');
+            }
+        }
+        NodeKind::UnExpr => {
+            let op = ast.value().map(|v| v.render()).unwrap_or_default();
+            if op == "NOT" {
+                out.push_str("NOT (");
+                if let Some(c) = ast.children().first() {
+                    write_expr_prec(c, 0, out);
+                }
+                out.push(')');
+            } else {
+                out.push_str(&op);
+                if let Some(c) = ast.children().first() {
+                    write_expr_prec(c, 6, out);
+                }
+            }
+        }
+        NodeKind::Between => {
+            let c = ast.children();
+            if c.len() == 3 {
+                write_expr_prec(&c[0], 3, out);
+                out.push_str(" BETWEEN ");
+                write_expr_prec(&c[1], 4, out);
+                out.push_str(" AND ");
+                write_expr_prec(&c[2], 4, out);
+            }
+        }
+        NodeKind::InList => {
+            let c = ast.children();
+            if let Some(head) = c.first() {
+                write_expr_prec(head, 3, out);
+            }
+            out.push_str(" IN (");
+            for (i, item) in c.iter().skip(1).enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr_prec(item, 0, out);
+            }
+            out.push(')');
+        }
+        NodeKind::Like => {
+            let c = ast.children();
+            if let Some(head) = c.first() {
+                write_expr_prec(head, 3, out);
+            }
+            out.push_str(" LIKE ");
+            if let Some(p) = c.get(1) {
+                write_expr_prec(p, 3, out);
+            }
+        }
+        NodeKind::IsNull => {
+            if let Some(head) = ast.children().first() {
+                write_expr_prec(head, 3, out);
+            }
+            out.push(' ');
+            out.push_str(&ast.value().map(|v| v.render()).unwrap_or_else(|| "IS NULL".into()));
+        }
+        NodeKind::FuncExpr => {
+            out.push_str(&ast.value().map(|v| v.render()).unwrap_or_default());
+            out.push('(');
+            for (i, arg) in ast.children().iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr_prec(arg, 0, out);
+            }
+            out.push(')');
+        }
+        NodeKind::ColExpr | NodeKind::Table | NodeKind::Alias => {
+            out.push_str(&ast.value().map(|v| v.render()).unwrap_or_default());
+        }
+        NodeKind::NumExpr => {
+            out.push_str(&ast.value().map(|v| v.render()).unwrap_or_default());
+        }
+        NodeKind::StrExpr => {
+            let raw = ast.value().map(|v| v.render()).unwrap_or_default();
+            out.push('\'');
+            out.push_str(&raw.replace('\'', "''"));
+            out.push('\'');
+        }
+        NodeKind::NullExpr => out.push_str("NULL"),
+        NodeKind::Star => out.push('*'),
+        NodeKind::OrderItem => {
+            if let Some(expr) = ast.children().first() {
+                write_expr_prec(expr, 0, out);
+            }
+            if let Some(dir) = ast.children().iter().find(|c| c.kind() == NodeKind::SortDir) {
+                out.push(' ');
+                out.push_str(&dir.value().map(|v| v.render()).unwrap_or_default());
+            }
+        }
+        NodeKind::SortDir => {
+            out.push_str(&ast.value().map(|v| v.render()).unwrap_or_default());
+        }
+        NodeKind::ProjItem => write_proj_item(ast, out),
+        NodeKind::Empty => {}
+        NodeKind::Select => out.push_str(&print_query(ast)),
+        _ => {
+            // Clause-level nodes inside expressions should not occur; print via fragment.
+            out.push_str(&print_fragment(ast));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    fn round_trip(sql: &str) -> String {
+        let ast = parse_query(sql).unwrap();
+        let printed = print_query(&ast);
+        let reparsed = parse_query(&printed)
+            .unwrap_or_else(|e| panic!("reprinted SQL failed to parse: `{printed}`: {e}"));
+        assert_eq!(ast, reparsed, "round trip changed the AST for `{sql}` -> `{printed}`");
+        printed
+    }
+
+    #[test]
+    fn round_trips_paper_figure1_queries() {
+        round_trip("SELECT Sales FROM sales WHERE cty = 'USA'");
+        round_trip("SELECT Costs FROM sales WHERE cty = 'EUR'");
+        round_trip("SELECT Costs FROM sales");
+    }
+
+    #[test]
+    fn round_trips_sdss_queries() {
+        round_trip(
+            "select top 10 objid from stars where u between 0 and 30 and g between 0 and 30",
+        );
+        round_trip("select count(*) from quasars where u between 1 and 29");
+        round_trip("select objid from galaxies where i between 3 and 28");
+    }
+
+    #[test]
+    fn round_trips_complex_queries() {
+        round_trip("select distinct cty, sum(sales) as total from sales where year >= 2010 and cty in ('USA','EUR') group by cty order by total desc limit 10");
+        round_trip("select x from t where not (a = 1 or b = 2) and c like 'A%'");
+        round_trip("select price * quantity as revenue, count(*) from sales group by region");
+        round_trip("select x from t where z is not null and w is null");
+    }
+
+    #[test]
+    fn parenthesisation_preserves_precedence() {
+        let printed = round_trip("select x from t where (a = 1 or b = 2) and c = 3");
+        assert!(printed.contains('('), "OR under AND must be parenthesised: {printed}");
+    }
+
+    #[test]
+    fn string_escaping() {
+        round_trip("select x from t where name = 'O''Brien'");
+    }
+
+    #[test]
+    fn fragment_printing() {
+        let ast = parse_query("select top 10 objid from stars where u between 0 and 30").unwrap();
+        let where_clause = &ast.children()[2];
+        assert_eq!(print_fragment(where_clause), "WHERE u BETWEEN 0 AND 30");
+        let top = &ast.children()[3];
+        assert_eq!(print_fragment(top), "TOP 10");
+        let empty = crate::ast::Ast::empty();
+        assert_eq!(print_fragment(&empty), "(none)");
+    }
+
+    #[test]
+    fn prints_top_before_projection() {
+        let printed = round_trip("select top 100 objid from galaxies");
+        assert!(printed.starts_with("SELECT TOP 100 objid"));
+    }
+}

@@ -1,0 +1,240 @@
+//! Typed convenience view over a query AST.
+//!
+//! The difftree/widget machinery works on the generic [`Ast`], but examples, workload
+//! generators and the baseline need to answer questions like "which table does this query
+//! scan?" or "what are its projected columns?". [`QueryView`] provides those accessors
+//! without duplicating the tree structure.
+
+use crate::ast::{Ast, AstPath, Literal, NodeKind};
+
+/// A lightweight read-only view over a query AST rooted at `Select`.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryView<'a> {
+    ast: &'a Ast,
+}
+
+impl<'a> QueryView<'a> {
+    /// Wrap an AST. Returns `None` if the root is not a `Select` node.
+    pub fn new(ast: &'a Ast) -> Option<Self> {
+        (ast.kind() == NodeKind::Select).then_some(Self { ast })
+    }
+
+    /// The underlying AST.
+    pub fn ast(&self) -> &'a Ast {
+        self.ast
+    }
+
+    fn clause(&self, kind: NodeKind) -> Option<&'a Ast> {
+        self.ast.children().iter().find(|c| c.kind() == kind)
+    }
+
+    fn clause_path(&self, kind: NodeKind) -> Option<AstPath> {
+        self.ast
+            .children()
+            .iter()
+            .position(|c| c.kind() == kind)
+            .map(|i| AstPath(vec![i]))
+    }
+
+    /// The tables referenced in the `FROM` clause.
+    pub fn tables(&self) -> Vec<&'a str> {
+        self.clause(NodeKind::From)
+            .map(|from| {
+                from.children()
+                    .iter()
+                    .filter_map(|t| t.value().and_then(Literal::as_str))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// The projected expressions, rendered as SQL fragments.
+    pub fn projections(&self) -> Vec<String> {
+        self.clause(NodeKind::Project)
+            .map(|p| {
+                p.children()
+                    .iter()
+                    .filter(|item| item.kind() == NodeKind::ProjItem)
+                    .map(crate::printer::print_fragment)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// The `WHERE` predicate, if present.
+    pub fn where_predicate(&self) -> Option<&'a Ast> {
+        self.clause(NodeKind::Where).and_then(|w| w.children().first())
+    }
+
+    /// The row limit (`TOP n` / `LIMIT n`), if present.
+    pub fn top_n(&self) -> Option<i64> {
+        self.clause(NodeKind::Top)
+            .and_then(|t| t.children().first())
+            .and_then(|n| n.value())
+            .and_then(|v| v.as_number())
+            .map(|f| f as i64)
+    }
+
+    /// True if the query has a `GROUP BY` clause.
+    pub fn has_group_by(&self) -> bool {
+        self.clause(NodeKind::GroupBy).is_some()
+    }
+
+    /// Path of the `WHERE` clause within the AST (useful for widget targeting).
+    pub fn where_path(&self) -> Option<AstPath> {
+        self.clause_path(NodeKind::Where)
+    }
+
+    /// Path of the `Top` clause within the AST.
+    pub fn top_path(&self) -> Option<AstPath> {
+        self.clause_path(NodeKind::Top)
+    }
+
+    /// Column names referenced anywhere in the query (projection, predicates, grouping).
+    pub fn referenced_columns(&self) -> Vec<String> {
+        let mut cols: Vec<String> = self
+            .ast
+            .walk()
+            .into_iter()
+            .filter(|(_, n)| n.kind() == NodeKind::ColExpr)
+            .filter_map(|(_, n)| n.value().and_then(Literal::as_str).map(str::to_string))
+            .collect();
+        cols.sort();
+        cols.dedup();
+        cols
+    }
+
+    /// Every comparison / BETWEEN predicate as `(column, operator, rendered operands)`.
+    pub fn predicates(&self) -> Vec<(String, String, Vec<String>)> {
+        let mut out = Vec::new();
+        let Some(pred) = self.where_predicate() else { return out };
+        collect_predicates(pred, &mut out);
+        out
+    }
+}
+
+fn collect_predicates(node: &Ast, out: &mut Vec<(String, String, Vec<String>)>) {
+    match node.kind() {
+        NodeKind::BiExpr => {
+            let op = node.value().map(|v| v.render()).unwrap_or_default();
+            if op == "AND" || op == "OR" {
+                for c in node.children() {
+                    collect_predicates(c, out);
+                }
+            } else if let Some(col) = node
+                .children()
+                .first()
+                .filter(|c| c.kind() == NodeKind::ColExpr)
+                .and_then(|c| c.value())
+                .and_then(Literal::as_str)
+            {
+                let operands = node.children()[1..]
+                    .iter()
+                    .map(crate::printer::print_fragment)
+                    .collect();
+                out.push((col.to_string(), op, operands));
+            }
+        }
+        NodeKind::Between => {
+            if let Some(col) = node
+                .children()
+                .first()
+                .and_then(|c| c.value())
+                .and_then(Literal::as_str)
+            {
+                let operands = node.children()[1..]
+                    .iter()
+                    .map(crate::printer::print_fragment)
+                    .collect();
+                out.push((col.to_string(), "BETWEEN".to_string(), operands));
+            }
+        }
+        NodeKind::InList | NodeKind::Like | NodeKind::IsNull => {
+            if let Some(col) = node
+                .children()
+                .first()
+                .and_then(|c| c.value())
+                .and_then(Literal::as_str)
+            {
+                let op = match node.kind() {
+                    NodeKind::InList => "IN".to_string(),
+                    NodeKind::Like => "LIKE".to_string(),
+                    _ => node.value().map(|v| v.render()).unwrap_or_else(|| "IS NULL".into()),
+                };
+                let operands = node.children()[1..]
+                    .iter()
+                    .map(crate::printer::print_fragment)
+                    .collect();
+                out.push((col.to_string(), op, operands));
+            }
+        }
+        NodeKind::UnExpr => {
+            for c in node.children() {
+                collect_predicates(c, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    #[test]
+    fn view_requires_select_root() {
+        let q = parse_query("select x from t").unwrap();
+        assert!(QueryView::new(&q).is_some());
+        let frag = q.children()[0].clone();
+        assert!(QueryView::new(&frag).is_none());
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let q = parse_query(
+            "select top 100 objid from galaxies where u between 1 and 29 and g between 10 and 30",
+        )
+        .unwrap();
+        let v = QueryView::new(&q).unwrap();
+        assert_eq!(v.tables(), vec!["galaxies"]);
+        assert_eq!(v.projections(), vec!["objid"]);
+        assert_eq!(v.top_n(), Some(100));
+        assert!(!v.has_group_by());
+        assert!(v.where_path().is_some());
+        assert!(v.top_path().is_some());
+    }
+
+    #[test]
+    fn referenced_columns_are_sorted_and_deduped() {
+        let q = parse_query("select u, g from stars where u between 0 and 30 and g > 5").unwrap();
+        let v = QueryView::new(&q).unwrap();
+        assert_eq!(v.referenced_columns(), vec!["g", "u"]);
+    }
+
+    #[test]
+    fn predicates_extraction() {
+        let q = parse_query(
+            "select x from t where u between 0 and 30 and cty = 'USA' and name like 'A%'",
+        )
+        .unwrap();
+        let v = QueryView::new(&q).unwrap();
+        let preds = v.predicates();
+        assert_eq!(preds.len(), 3);
+        assert_eq!(preds[0].0, "u");
+        assert_eq!(preds[0].1, "BETWEEN");
+        assert_eq!(preds[0].2, vec!["0", "30"]);
+        assert_eq!(preds[1].1, "=");
+        assert_eq!(preds[2].1, "LIKE");
+    }
+
+    #[test]
+    fn missing_clauses_return_defaults() {
+        let q = parse_query("select x from t").unwrap();
+        let v = QueryView::new(&q).unwrap();
+        assert!(v.where_predicate().is_none());
+        assert_eq!(v.top_n(), None);
+        assert!(v.predicates().is_empty());
+        assert!(v.where_path().is_none());
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests for the SQL front-end.
+//!
+//! The central invariant: for every query the generator produces, parsing is total and the
+//! printer/parser pair is a round trip at the AST level (`parse(print(parse(q))) == parse(q)`).
+
+use proptest::prelude::*;
+
+use mctsui_sql::{diff_asts, parse_query, print_query};
+
+/// A strategy over column names drawn from a small SDSS-flavoured vocabulary.
+fn column() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("objid".to_string()),
+        Just("u".to_string()),
+        Just("g".to_string()),
+        Just("r".to_string()),
+        Just("i".to_string()),
+        Just("z_mag".to_string()),
+        Just("ra".to_string()),
+        Just("dec".to_string()),
+        Just("class".to_string()),
+    ]
+}
+
+fn table() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("stars".to_string()),
+        Just("galaxies".to_string()),
+        Just("quasars".to_string()),
+        Just("photoobj".to_string()),
+    ]
+}
+
+fn comparison_op() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("=".to_string()),
+        Just("<".to_string()),
+        Just(">".to_string()),
+        Just("<=".to_string()),
+        Just(">=".to_string()),
+        Just("<>".to_string()),
+    ]
+}
+
+/// A single predicate over a column.
+fn predicate() -> impl Strategy<Value = String> {
+    prop_oneof![
+        (column(), comparison_op(), -1000i64..1000).prop_map(|(c, op, v)| format!("{c} {op} {v}")),
+        (column(), 0i64..50, 50i64..100)
+            .prop_map(|(c, lo, hi)| format!("{c} BETWEEN {lo} AND {hi}")),
+        (column(), prop_oneof![Just("'USA'"), Just("'EUR'"), Just("'STAR'"), Just("'QSO'")])
+            .prop_map(|(c, s)| format!("{c} = {s}")),
+        column().prop_map(|c| format!("{c} IS NOT NULL")),
+        (column(), proptest::collection::vec(0i64..100, 1..4))
+            .prop_map(|(c, vs)| {
+                let list: Vec<String> = vs.iter().map(|v| v.to_string()).collect();
+                format!("{c} IN ({})", list.join(", "))
+            }),
+    ]
+}
+
+fn projection_item() -> impl Strategy<Value = String> {
+    prop_oneof![
+        column(),
+        Just("count(*)".to_string()),
+        column().prop_map(|c| format!("avg({c})")),
+        column().prop_map(|c| format!("sum({c}) AS total_{c}")),
+    ]
+}
+
+/// A strategy over full queries in the analysis-SQL subset.
+fn query() -> impl Strategy<Value = String> {
+    (
+        proptest::collection::vec(projection_item(), 1..4),
+        table(),
+        proptest::option::of(proptest::collection::vec(predicate(), 1..5)),
+        proptest::option::of(1i64..10000),
+        proptest::option::of(column()),
+        proptest::option::of((column(), prop_oneof![Just("ASC"), Just("DESC")])),
+    )
+        .prop_map(|(proj, tbl, preds, top, group, order)| {
+            let mut sql = String::from("SELECT ");
+            if let Some(n) = top {
+                sql.push_str(&format!("TOP {n} "));
+            }
+            sql.push_str(&proj.join(", "));
+            sql.push_str(&format!(" FROM {tbl}"));
+            if let Some(ps) = preds {
+                sql.push_str(" WHERE ");
+                sql.push_str(&ps.join(" AND "));
+            }
+            if let Some(g) = group {
+                sql.push_str(&format!(" GROUP BY {g}"));
+            }
+            if let Some((c, dir)) = order {
+                sql.push_str(&format!(" ORDER BY {c} {dir}"));
+            }
+            sql
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn generated_queries_parse(q in query()) {
+        parse_query(&q).expect("generated query must parse");
+    }
+
+    #[test]
+    fn print_parse_round_trip(q in query()) {
+        let ast = parse_query(&q).unwrap();
+        let printed = print_query(&ast);
+        let reparsed = parse_query(&printed).expect("printed query must reparse");
+        prop_assert_eq!(ast, reparsed);
+    }
+
+    #[test]
+    fn self_diff_is_empty(q in query()) {
+        let ast = parse_query(&q).unwrap();
+        prop_assert!(diff_asts(&ast, &ast).is_empty());
+    }
+
+    #[test]
+    fn diff_detects_equality_in_both_directions(a in query(), b in query()) {
+        let ast_a = parse_query(&a).unwrap();
+        let ast_b = parse_query(&b).unwrap();
+        let d_ab = diff_asts(&ast_a, &ast_b);
+        let d_ba = diff_asts(&ast_b, &ast_a);
+        // A diff is empty exactly when the two trees are structurally equal, regardless of
+        // the direction in which it is computed.
+        prop_assert_eq!(d_ab.is_empty(), ast_a == ast_b);
+        prop_assert_eq!(d_ba.is_empty(), ast_a == ast_b);
+    }
+
+    #[test]
+    fn ast_size_positive_and_bounded(q in query()) {
+        let ast = parse_query(&q).unwrap();
+        let size = ast.size();
+        prop_assert!(size >= 4, "a query AST has at least Select/Project/Item/From");
+        prop_assert!(ast.depth() <= size);
+        prop_assert_eq!(ast.walk().len(), size);
+    }
+}

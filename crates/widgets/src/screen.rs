@@ -1,0 +1,112 @@
+//! Screen geometry and presets.
+//!
+//! The paper treats the output screen size as a hard constraint: a widget tree whose
+//! bounding box exceeds the screen is invalid (infinite cost). Figure 6 contrasts a *wide*
+//! screen (radio buttons spread out horizontally) with a *narrow* screen (compact
+//! dropdowns), so the presets here mirror those two configurations.
+
+use serde::{Deserialize, Serialize};
+
+/// A rectangular output screen, in logical pixels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Screen {
+    /// Total width available to the interface.
+    pub width: u32,
+    /// Total height available to the interface.
+    pub height: u32,
+    /// Fraction of the width reserved for the visualization panel, in percent (0..=90).
+    pub panel_percent: u32,
+}
+
+impl Screen {
+    /// A custom screen with the default 55% visualization panel.
+    pub fn new(width: u32, height: u32) -> Self {
+        Self { width, height, panel_percent: 55 }
+    }
+
+    /// The wide-screen preset used for Figure 6(a): a full desktop browser window.
+    pub fn wide() -> Self {
+        Self::new(1200, 800)
+    }
+
+    /// The narrow-screen preset used for Figure 6(b): a sidebar / small window. On narrow
+    /// screens the visualization takes a smaller share of the width (it is typically stacked
+    /// under the controls), leaving a slim widget column.
+    pub fn narrow() -> Self {
+        Self { width: 420, height: 800, panel_percent: 35 }
+    }
+
+    /// A deliberately tiny screen, useful in tests for forcing screen-constraint violations.
+    pub fn tiny() -> Self {
+        Self::new(120, 120)
+    }
+
+    /// Width available to the widget area (everything not taken by the visualization panel).
+    pub fn widget_area_width(&self) -> u32 {
+        let panel = self.width.saturating_mul(self.panel_percent.min(90)) / 100;
+        self.width.saturating_sub(panel)
+    }
+
+    /// Height available to the widget area.
+    pub fn widget_area_height(&self) -> u32 {
+        self.height
+    }
+
+    /// Width reserved for the visualization panel.
+    pub fn panel_width(&self) -> u32 {
+        self.width.saturating_sub(self.widget_area_width())
+    }
+
+    /// True if a box of the given size fits the widget area.
+    pub fn fits(&self, width: u32, height: u32) -> bool {
+        width <= self.widget_area_width() && height <= self.widget_area_height()
+    }
+}
+
+impl Default for Screen {
+    fn default() -> Self {
+        Self::wide()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_expected_proportions() {
+        let wide = Screen::wide();
+        let narrow = Screen::narrow();
+        assert!(wide.width > narrow.width);
+        assert_eq!(wide.height, narrow.height);
+        assert!(wide.widget_area_width() > narrow.widget_area_width());
+    }
+
+    #[test]
+    fn widget_area_plus_panel_covers_width() {
+        let s = Screen::wide();
+        assert_eq!(s.widget_area_width() + s.panel_width(), s.width);
+    }
+
+    #[test]
+    fn fits_checks_both_dimensions() {
+        let s = Screen::new(400, 300);
+        let w = s.widget_area_width();
+        assert!(s.fits(w, 300));
+        assert!(!s.fits(w + 1, 10));
+        assert!(!s.fits(10, 301));
+    }
+
+    #[test]
+    fn panel_percent_is_clamped() {
+        let mut s = Screen::new(1000, 500);
+        s.panel_percent = 300;
+        assert!(s.widget_area_width() >= 100);
+    }
+
+    #[test]
+    fn tiny_screen_is_really_tiny() {
+        let t = Screen::tiny();
+        assert!(t.widget_area_width() < 100);
+    }
+}

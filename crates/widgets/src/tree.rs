@@ -1,0 +1,492 @@
+//! Widget trees: the hierarchical layout structure of a generated interface.
+//!
+//! A widget tree (the paper's Figure 3) has interaction widgets at its leaves and layout
+//! widgets (vertical, horizontal, tabs, adder) at its interior nodes. The tree structure
+//! mirrors the difftree it was derived from: choice nodes become interaction widgets, and
+//! `ALL` nodes that contain several widget-bearing subtrees become layout groups — that is
+//! how "the toggle and dropdown for the string expression are organized together because they
+//! relate to the same parts of the AST".
+//!
+//! The layout solver computes bounding boxes bottom-up; an interface whose root box exceeds
+//! the screen's widget area is invalid (the cost model maps that to infinite cost).
+
+use serde::{Deserialize, Serialize};
+
+use mctsui_difftree::{ChoiceDomain, DiffKind, DiffNode, DiffPath, DiffTree};
+
+use crate::assign::WidgetChoiceMap;
+use crate::screen::Screen;
+use crate::widget::Widget;
+
+/// Inner padding / gutter applied by every layout widget, in pixels.
+pub const LAYOUT_PAD: u32 = 8;
+/// Height of the tab bar of a `Tabs` layout.
+pub const TAB_BAR_H: u32 = 34;
+/// Height of the "add" button row of an `Adder` layout.
+pub const ADDER_BAR_H: u32 = 30;
+
+/// The layout-widget types of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum LayoutKind {
+    /// Stack children top-to-bottom.
+    Vertical,
+    /// Place children left-to-right.
+    Horizontal,
+    /// Show one child at a time behind a tab bar.
+    Tabs,
+    /// Repeat the child widget, one copy per repetition of a `MULTI` node.
+    Adder,
+}
+
+impl LayoutKind {
+    /// Every layout kind usable as a grouping container (Adder is bound to `MULTI` nodes
+    /// rather than chosen freely).
+    pub const GROUPING: [LayoutKind; 3] =
+        [LayoutKind::Vertical, LayoutKind::Horizontal, LayoutKind::Tabs];
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LayoutKind::Vertical => "vertical",
+            LayoutKind::Horizontal => "horizontal",
+            LayoutKind::Tabs => "tabs",
+            LayoutKind::Adder => "adder",
+        }
+    }
+}
+
+impl std::fmt::Display for LayoutKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A node of a widget tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WidgetNode {
+    /// A layout widget grouping its children.
+    Layout {
+        /// How the children are arranged.
+        kind: LayoutKind,
+        /// The grouped children.
+        children: Vec<WidgetNode>,
+    },
+    /// An interaction widget bound to a difftree choice node.
+    Interaction(Widget),
+    /// The visualization panel showing the current query's result.
+    Panel {
+        /// Panel width in pixels.
+        width: u32,
+        /// Panel height in pixels.
+        height: u32,
+    },
+}
+
+impl WidgetNode {
+    /// Bounding box `(width, height)` of this subtree, including layout padding.
+    pub fn bounding_box(&self) -> (u32, u32) {
+        match self {
+            WidgetNode::Interaction(w) => (w.width(), w.height()),
+            WidgetNode::Panel { width, height } => (*width, *height),
+            WidgetNode::Layout { kind, children } => {
+                let boxes: Vec<(u32, u32)> = children.iter().map(WidgetNode::bounding_box).collect();
+                let n = boxes.len() as u32;
+                match kind {
+                    LayoutKind::Vertical => {
+                        let w = boxes.iter().map(|b| b.0).max().unwrap_or(0) + 2 * LAYOUT_PAD;
+                        let h = boxes.iter().map(|b| b.1).sum::<u32>() + LAYOUT_PAD * (n + 1);
+                        (w, h)
+                    }
+                    LayoutKind::Horizontal => {
+                        let w = boxes.iter().map(|b| b.0).sum::<u32>() + LAYOUT_PAD * (n + 1);
+                        let h = boxes.iter().map(|b| b.1).max().unwrap_or(0) + 2 * LAYOUT_PAD;
+                        (w, h)
+                    }
+                    LayoutKind::Tabs => {
+                        let w = boxes.iter().map(|b| b.0).max().unwrap_or(0) + 2 * LAYOUT_PAD;
+                        let h = boxes.iter().map(|b| b.1).max().unwrap_or(0)
+                            + TAB_BAR_H
+                            + 2 * LAYOUT_PAD;
+                        (w, h)
+                    }
+                    LayoutKind::Adder => {
+                        let w = boxes.iter().map(|b| b.0).max().unwrap_or(0).max(90)
+                            + 2 * LAYOUT_PAD;
+                        let h = boxes.iter().map(|b| b.1).sum::<u32>()
+                            + ADDER_BAR_H
+                            + LAYOUT_PAD * (n + 1);
+                        (w, h)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of interaction widgets in this subtree.
+    pub fn widget_count(&self) -> usize {
+        match self {
+            WidgetNode::Interaction(_) => 1,
+            WidgetNode::Panel { .. } => 0,
+            WidgetNode::Layout { children, .. } => {
+                children.iter().map(WidgetNode::widget_count).sum()
+            }
+        }
+    }
+
+    /// Pre-order traversal of `(tree path, node)` pairs.
+    pub fn walk(&self) -> Vec<(Vec<usize>, &WidgetNode)> {
+        let mut out = Vec::new();
+        fn rec<'a>(node: &'a WidgetNode, path: Vec<usize>, out: &mut Vec<(Vec<usize>, &'a WidgetNode)>) {
+            out.push((path.clone(), node));
+            if let WidgetNode::Layout { children, .. } = node {
+                for (i, child) in children.iter().enumerate() {
+                    let mut p = path.clone();
+                    p.push(i);
+                    rec(child, p, out);
+                }
+            }
+        }
+        rec(self, Vec::new(), &mut out);
+        out
+    }
+}
+
+/// A complete widget tree together with the screen it targets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WidgetTree {
+    root: WidgetNode,
+    screen: Screen,
+}
+
+impl WidgetTree {
+    /// Wrap a root node for the given screen.
+    pub fn new(root: WidgetNode, screen: Screen) -> Self {
+        Self { root, screen }
+    }
+
+    /// The root node.
+    pub fn root(&self) -> &WidgetNode {
+        &self.root
+    }
+
+    /// The screen this tree targets.
+    pub fn screen(&self) -> Screen {
+        self.screen
+    }
+
+    /// Bounding box of the widget area.
+    pub fn bounding_box(&self) -> (u32, u32) {
+        self.root.bounding_box()
+    }
+
+    /// True if the widget area fits the screen's widget region.
+    pub fn fits_screen(&self) -> bool {
+        let (w, h) = self.bounding_box();
+        self.screen.fits(w, h)
+    }
+
+    /// Number of interaction widgets.
+    pub fn widget_count(&self) -> usize {
+        self.root.widget_count()
+    }
+
+    /// Every interaction widget with its position (widget-tree path).
+    pub fn widgets(&self) -> Vec<(Vec<usize>, &Widget)> {
+        self.root
+            .walk()
+            .into_iter()
+            .filter_map(|(p, n)| match n {
+                WidgetNode::Interaction(w) => Some((p, w)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The widget-tree path of the widget bound to a given difftree choice node.
+    pub fn position_of_choice(&self, choice: &DiffPath) -> Option<Vec<usize>> {
+        self.widgets()
+            .into_iter()
+            .find(|(_, w)| &w.target == choice)
+            .map(|(p, _)| p)
+    }
+
+    /// Number of edges of the minimal subtree of the widget tree that connects the widgets
+    /// bound to the given choice nodes (the navigation term of `U(q_i, q_{i+1}, W)`).
+    ///
+    /// Choice nodes with no bound widget are ignored. Zero or one bound widget yields 0.
+    pub fn steiner_edge_count(&self, choices: &[DiffPath]) -> usize {
+        let positions: Vec<Vec<usize>> = choices
+            .iter()
+            .filter_map(|c| self.position_of_choice(c))
+            .collect();
+        if positions.len() <= 1 {
+            return 0;
+        }
+        // The minimal connecting subtree equals the union of the pairwise paths; each tree
+        // node is identified by its path, and each non-root node contributes the edge to its
+        // parent.
+        let mut edge_nodes: std::collections::BTreeSet<Vec<usize>> = std::collections::BTreeSet::new();
+        for i in 0..positions.len() {
+            for j in (i + 1)..positions.len() {
+                for node in path_between(&positions[i], &positions[j]) {
+                    edge_nodes.insert(node);
+                }
+            }
+        }
+        edge_nodes.len()
+    }
+}
+
+/// The nodes (identified by tree path) whose parent edges lie on the path between `a` and `b`.
+fn path_between(a: &[usize], b: &[usize]) -> Vec<Vec<usize>> {
+    let common = a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count();
+    let mut out = Vec::new();
+    // Edges from a down to (but excluding) the LCA: every node strictly deeper than `common`.
+    for depth in (common + 1)..=a.len() {
+        out.push(a[..depth].to_vec());
+    }
+    for depth in (common + 1)..=b.len() {
+        out.push(b[..depth].to_vec());
+    }
+    out
+}
+
+/// Build a widget tree from a difftree and an assignment of widget types / orientations.
+///
+/// The construction is structure preserving:
+///
+/// * a choice node becomes its assigned interaction widget; if choice nodes are nested inside
+///   its alternatives, their widgets are grouped with it under a layout node,
+/// * an `All` node whose children contain two or more widget-bearing subtrees becomes a
+///   layout widget (orientation taken from the assignment, defaulting to vertical),
+/// * subtrees without any choice node produce no widgets at all.
+///
+/// Returns a tree with an empty vertical layout when the difftree has no choice nodes
+/// (a single-query log needs no interface).
+pub fn build_widget_tree(tree: &DiffTree, assignment: &WidgetChoiceMap, screen: Screen) -> WidgetTree {
+    let root = build_node(tree.root(), &DiffPath::root(), assignment)
+        .unwrap_or(WidgetNode::Layout { kind: LayoutKind::Vertical, children: Vec::new() });
+    // Always wrap the top level in a layout so the interface has a stable root container.
+    let root = match root {
+        node @ WidgetNode::Layout { .. } => node,
+        leaf => WidgetNode::Layout {
+            kind: assignment.orientation_for(&DiffPath::root()),
+            children: vec![leaf],
+        },
+    };
+    WidgetTree::new(root, screen)
+}
+
+fn build_node(
+    node: &DiffNode,
+    path: &DiffPath,
+    assignment: &WidgetChoiceMap,
+) -> Option<WidgetNode> {
+    if node.is_choice() {
+        let domain = ChoiceDomain::from_node(path.clone(), node)?;
+        let widget_type = assignment.type_for(path, &domain);
+        let widget = Widget::new(widget_type, domain);
+        let own = WidgetNode::Interaction(widget);
+
+        // Widgets for choice nodes nested below this one.
+        let mut nested = Vec::new();
+        for (i, child) in node.children().iter().enumerate() {
+            if let Some(child_node) = build_node(child, &path.child(i), assignment) {
+                nested.push(child_node);
+            }
+        }
+        if nested.is_empty() {
+            Some(own)
+        } else {
+            let kind = if node.kind() == DiffKind::Multi {
+                LayoutKind::Adder
+            } else {
+                assignment.orientation_for(path)
+            };
+            let mut children = vec![own];
+            children.append(&mut nested);
+            Some(WidgetNode::Layout { kind, children })
+        }
+    } else {
+        // ALL node: group the widgets of its children.
+        let mut built = Vec::new();
+        for (i, child) in node.children().iter().enumerate() {
+            if let Some(child_node) = build_node(child, &path.child(i), assignment) {
+                built.push(child_node);
+            }
+        }
+        match built.len() {
+            0 => None,
+            1 => Some(built.pop().expect("len checked")),
+            _ => Some(WidgetNode::Layout {
+                kind: assignment.orientation_for(path),
+                children: built,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assign::{default_assignment, WidgetChoiceMap};
+    use mctsui_difftree::{initial_difftree, RuleEngine, RuleId};
+    use mctsui_sql::parse_query;
+
+    fn figure1_tree() -> DiffTree {
+        let queries = vec![
+            parse_query("SELECT Sales FROM sales WHERE cty = 'USA'").unwrap(),
+            parse_query("SELECT Costs FROM sales WHERE cty = 'EUR'").unwrap(),
+            parse_query("SELECT Costs FROM sales").unwrap(),
+        ];
+        initial_difftree(&queries)
+    }
+
+    fn factored_figure1_tree() -> DiffTree {
+        let tree = figure1_tree();
+        let engine = RuleEngine::default();
+        let app = engine
+            .applicable(&tree)
+            .into_iter()
+            .find(|a| a.rule == RuleId::Any2All)
+            .expect("Any2All applies");
+        engine.apply(&tree, &app).unwrap()
+    }
+
+    #[test]
+    fn initial_tree_yields_single_widget() {
+        let tree = figure1_tree();
+        let assignment = default_assignment(&tree);
+        let wt = build_widget_tree(&tree, &assignment, Screen::wide());
+        // One ANY at the root -> one interaction widget (the Figure 2(a)-style interface).
+        assert_eq!(wt.widget_count(), 1);
+        assert!(wt.fits_screen());
+    }
+
+    #[test]
+    fn factored_tree_yields_multiple_grouped_widgets() {
+        let tree = factored_figure1_tree();
+        let assignment = default_assignment(&tree);
+        let wt = build_widget_tree(&tree, &assignment, Screen::wide());
+        // Projection choice + optional WHERE (with nested string choice) -> >= 2 widgets.
+        assert!(wt.widget_count() >= 2, "got {}", wt.widget_count());
+        // Every choice node of the difftree is bound to exactly one widget.
+        for path in tree.choice_paths() {
+            assert!(wt.position_of_choice(&path).is_some(), "no widget for {path}");
+        }
+    }
+
+    #[test]
+    fn bounding_boxes_grow_with_content() {
+        let tree = factored_figure1_tree();
+        let assignment = default_assignment(&tree);
+        let wt = build_widget_tree(&tree, &assignment, Screen::wide());
+        let (w, h) = wt.bounding_box();
+        assert!(w > 0 && h > 0);
+        for (_, node) in wt.root().walk() {
+            if let WidgetNode::Layout { children, .. } = node {
+                let (pw, ph) = node.bounding_box();
+                for child in children {
+                    let (cw, ch) = child.bounding_box();
+                    assert!(pw >= cw, "parent narrower than child");
+                    assert!(ph >= ch, "parent shorter than child");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_screen_fails_fit() {
+        let tree = factored_figure1_tree();
+        let assignment = default_assignment(&tree);
+        let wt = build_widget_tree(&tree, &assignment, Screen::tiny());
+        assert!(!wt.fits_screen());
+    }
+
+    #[test]
+    fn steiner_edge_count_behaviour() {
+        let tree = factored_figure1_tree();
+        let assignment = default_assignment(&tree);
+        let wt = build_widget_tree(&tree, &assignment, Screen::wide());
+        let choices = tree.choice_paths();
+        // No widgets selected: zero cost; one widget: zero navigation.
+        assert_eq!(wt.steiner_edge_count(&[]), 0);
+        assert_eq!(wt.steiner_edge_count(&choices[..1]), 0);
+        if choices.len() >= 2 {
+            let pair = wt.steiner_edge_count(&choices[..2]);
+            let all = wt.steiner_edge_count(&choices);
+            assert!(pair >= 1);
+            assert!(all >= pair);
+        }
+    }
+
+    #[test]
+    fn orientation_changes_aspect_ratio() {
+        let tree = factored_figure1_tree();
+        let mut vertical = default_assignment(&tree);
+        let mut horizontal = default_assignment(&tree);
+        for path in walk_all_paths(&tree) {
+            vertical.orientations.insert(path.clone(), LayoutKind::Vertical);
+            horizontal.orientations.insert(path, LayoutKind::Horizontal);
+        }
+        let wt_v = build_widget_tree(&tree, &vertical, Screen::wide());
+        let wt_h = build_widget_tree(&tree, &horizontal, Screen::wide());
+        let (wv, hv) = wt_v.bounding_box();
+        let (wh, hh) = wt_h.bounding_box();
+        assert!(wh >= wv, "horizontal layout should be at least as wide");
+        assert!(hv >= hh, "vertical layout should be at least as tall");
+    }
+
+    fn walk_all_paths(tree: &DiffTree) -> Vec<DiffPath> {
+        tree.root().walk().into_iter().map(|(p, _)| p).collect()
+    }
+
+    #[test]
+    fn empty_difftree_gives_empty_interface() {
+        let queries = vec![parse_query("select x from t").unwrap()];
+        let tree = initial_difftree(&queries);
+        let assignment = WidgetChoiceMap::default();
+        let wt = build_widget_tree(&tree, &assignment, Screen::wide());
+        assert_eq!(wt.widget_count(), 0);
+        assert!(wt.fits_screen());
+    }
+
+    #[test]
+    fn path_between_is_symmetric_and_root_aware() {
+        let a = vec![0, 1, 2];
+        let b = vec![0, 3];
+        let mut p1 = path_between(&a, &b);
+        let mut p2 = path_between(&b, &a);
+        p1.sort();
+        p2.sort();
+        assert_eq!(p1, p2);
+        // LCA is [0]; edges: [0,1],[0,1,2],[0,3] -> 3 edges.
+        assert_eq!(p1.len(), 3);
+        assert!(path_between(&a, &a).is_empty());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let tree = factored_figure1_tree();
+        let assignment = default_assignment(&tree);
+        let wt = build_widget_tree(&tree, &assignment, Screen::narrow());
+        let json = serde_json::to_string(&wt).unwrap();
+        let back: WidgetTree = serde_json::from_str(&json).unwrap();
+        assert_eq!(wt, back);
+    }
+
+    #[test]
+    fn layout_kind_names() {
+        for k in [LayoutKind::Vertical, LayoutKind::Horizontal, LayoutKind::Tabs, LayoutKind::Adder] {
+            assert!(!k.name().is_empty());
+            assert_eq!(format!("{k}"), k.name());
+        }
+    }
+
+    #[test]
+    fn panel_node_contributes_its_own_size() {
+        let panel = WidgetNode::Panel { width: 300, height: 200 };
+        assert_eq!(panel.bounding_box(), (300, 200));
+        assert_eq!(panel.widget_count(), 0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for widget assignment and layout solving.
+//!
+//! Invariants:
+//!
+//! 1. Every widget assignment strategy only ever binds widgets that can express their domain.
+//! 2. The layout solver is monotone: a parent's bounding box always contains its children's.
+//! 3. Widget trees built from a difftree bind exactly one widget per choice node.
+//! 4. Random assignments are reproducible per seed.
+
+use proptest::prelude::*;
+
+use mctsui_difftree::{initial_difftree, DiffTree, RuleEngine};
+use mctsui_sql::{parse_query, Ast};
+use mctsui_widgets::widget::widget_can_express;
+use mctsui_widgets::{
+    build_widget_tree, default_assignment, random_assignment, Screen, WidgetNode,
+};
+
+fn query_log() -> impl Strategy<Value = Vec<Ast>> {
+    let table = prop_oneof![Just("stars"), Just("galaxies"), Just("quasars")];
+    let projection = prop_oneof![Just("objid"), Just("count(*)"), Just("ra")];
+    let top = proptest::option::of(prop_oneof![Just(10i64), Just(100), Just(1000)]);
+    let lo = 0i64..10;
+    let with_where = any::<bool>();
+    let one = (table, projection, top, lo, with_where).prop_map(|(t, p, top, lo, w)| {
+        let mut sql = String::from("select ");
+        if let Some(n) = top {
+            sql.push_str(&format!("top {n} "));
+        }
+        sql.push_str(&format!("{p} from {t}"));
+        if w {
+            sql.push_str(&format!(" where u between {lo} and 30 and g between 0 and 25"));
+        }
+        parse_query(&sql).unwrap()
+    });
+    proptest::collection::vec(one, 2..7)
+}
+
+/// A difftree obtained by fully factoring the log (deterministic, no search needed).
+fn factored(queries: &[Ast]) -> DiffTree {
+    RuleEngine::default().saturate_forward(&initial_difftree(queries), 300)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn assignments_only_use_expressive_widgets(queries in query_log(), seed in 0u64..500) {
+        let tree = factored(&queries);
+        let domains = mctsui_difftree::domain::choice_domains(&tree);
+        for assignment in [default_assignment(&tree), random_assignment(&tree, seed)] {
+            for d in &domains {
+                let t = assignment.type_for(&d.path, d);
+                prop_assert!(widget_can_express(t, d), "{t} cannot express {:?}", d.value_kind);
+            }
+        }
+    }
+
+    #[test]
+    fn one_widget_per_choice_node(queries in query_log(), seed in 0u64..500) {
+        let tree = factored(&queries);
+        let wt = build_widget_tree(&tree, &random_assignment(&tree, seed), Screen::wide());
+        prop_assert_eq!(wt.widget_count(), tree.choice_count());
+        for path in tree.choice_paths() {
+            prop_assert!(wt.position_of_choice(&path).is_some(), "no widget for {}", path);
+        }
+    }
+
+    #[test]
+    fn layout_boxes_are_monotone(queries in query_log(), seed in 0u64..500) {
+        let tree = factored(&queries);
+        let wt = build_widget_tree(&tree, &random_assignment(&tree, seed), Screen::wide());
+        for (_, node) in wt.root().walk() {
+            let (pw, ph) = node.bounding_box();
+            if let WidgetNode::Layout { children, .. } = node {
+                for child in children {
+                    let (cw, ch) = child.bounding_box();
+                    prop_assert!(pw >= cw, "parent {}x{} narrower than child {}x{}", pw, ph, cw, ch);
+                    prop_assert!(ph >= ch, "parent {}x{} shorter than child {}x{}", pw, ph, cw, ch);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_assignment_reproducible(queries in query_log(), seed in 0u64..500) {
+        let tree = factored(&queries);
+        prop_assert_eq!(random_assignment(&tree, seed), random_assignment(&tree, seed));
+    }
+
+    #[test]
+    fn steiner_count_zero_for_single_widget_and_bounded_by_tree(queries in query_log()) {
+        let tree = factored(&queries);
+        let wt = build_widget_tree(&tree, &default_assignment(&tree), Screen::wide());
+        let choices = tree.choice_paths();
+        if let Some(first) = choices.first() {
+            prop_assert_eq!(wt.steiner_edge_count(std::slice::from_ref(first)), 0);
+        }
+        let all = wt.steiner_edge_count(&choices);
+        // The connecting subtree can never have more edges than the widget tree has nodes.
+        prop_assert!(all <= wt.root().walk().len());
+    }
+}

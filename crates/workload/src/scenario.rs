@@ -1,0 +1,173 @@
+//! Named experiment scenarios: the query log + screen pairs behind each panel of Figure 6.
+
+use serde::{Deserialize, Serialize};
+
+use mctsui_sql::Ast;
+use mctsui_widgets::Screen;
+
+use crate::sdss::{sdss_listing1, sdss_subset};
+use crate::synthetic::LogSpec;
+
+/// Identifier of a predefined experiment scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScenarioId {
+    /// Figure 6(a): all ten Listing 1 queries, wide screen.
+    Fig6aWide,
+    /// Figure 6(b): all ten Listing 1 queries, narrow screen.
+    Fig6bNarrow,
+    /// Figure 6(c): queries 6-8 only, wide screen.
+    Fig6cSubset,
+    /// Figure 6(d): all queries, wide screen, but the *initial* (unfactored) difftree —
+    /// the low-reward interface.
+    Fig6dLowReward,
+    /// The three-query example of Figure 1/2 (used by the quickstart).
+    Figure1,
+    /// A BI-style flight-delay log (used by the `flight_delays` example).
+    FlightDelays,
+}
+
+impl ScenarioId {
+    /// Every predefined scenario.
+    pub const ALL: [ScenarioId; 6] = [
+        ScenarioId::Fig6aWide,
+        ScenarioId::Fig6bNarrow,
+        ScenarioId::Fig6cSubset,
+        ScenarioId::Fig6dLowReward,
+        ScenarioId::Figure1,
+        ScenarioId::FlightDelays,
+    ];
+
+    /// Short stable name used on the command line and in experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScenarioId::Fig6aWide => "fig6a-wide",
+            ScenarioId::Fig6bNarrow => "fig6b-narrow",
+            ScenarioId::Fig6cSubset => "fig6c-subset",
+            ScenarioId::Fig6dLowReward => "fig6d-lowreward",
+            ScenarioId::Figure1 => "figure1",
+            ScenarioId::FlightDelays => "flight-delays",
+        }
+    }
+
+    /// Parse a scenario name (as produced by [`ScenarioId::name`]).
+    pub fn parse(name: &str) -> Option<ScenarioId> {
+        Self::ALL.into_iter().find(|s| s.name() == name)
+    }
+}
+
+impl std::fmt::Display for ScenarioId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A concrete scenario: the queries, the screen and a human-readable description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Which predefined scenario this is.
+    pub id: ScenarioId,
+    /// The query log.
+    pub queries: Vec<Ast>,
+    /// The target screen.
+    pub screen: Screen,
+    /// What the scenario reproduces.
+    pub description: String,
+}
+
+impl Scenario {
+    /// Materialise a predefined scenario.
+    pub fn load(id: ScenarioId) -> Scenario {
+        match id {
+            ScenarioId::Fig6aWide => Scenario {
+                id,
+                queries: sdss_listing1(),
+                screen: Screen::wide(),
+                description: "Figure 6(a): all Listing 1 queries on a wide screen".into(),
+            },
+            ScenarioId::Fig6bNarrow => Scenario {
+                id,
+                queries: sdss_listing1(),
+                screen: Screen::narrow(),
+                description: "Figure 6(b): all Listing 1 queries on a narrow screen".into(),
+            },
+            ScenarioId::Fig6cSubset => Scenario {
+                id,
+                queries: sdss_subset(6, 8),
+                screen: Screen::wide(),
+                description: "Figure 6(c): queries 6-8 only (same WHERE, varying TOP-N)".into(),
+            },
+            ScenarioId::Fig6dLowReward => Scenario {
+                id,
+                queries: sdss_listing1(),
+                screen: Screen::wide(),
+                description:
+                    "Figure 6(d): the low-reward interface derived from the unfactored difftree"
+                        .into(),
+            },
+            ScenarioId::Figure1 => Scenario {
+                id,
+                queries: vec![
+                    mctsui_sql::parse_query("SELECT Sales FROM sales WHERE cty = 'USA'").unwrap(),
+                    mctsui_sql::parse_query("SELECT Costs FROM sales WHERE cty = 'EUR'").unwrap(),
+                    mctsui_sql::parse_query("SELECT Costs FROM sales").unwrap(),
+                ],
+                screen: Screen::wide(),
+                description: "The three-query running example of Figures 1-3".into(),
+            },
+            ScenarioId::FlightDelays => Scenario {
+                id,
+                queries: LogSpec::flights_style(12, 2024).generate().queries,
+                screen: Screen::wide(),
+                description: "A BI-style flight-delay analysis session (synthetic)".into(),
+            },
+        }
+    }
+
+    /// Number of queries in the scenario's log.
+    pub fn query_count(&self) -> usize {
+        self.queries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_scenario_loads_with_nonempty_log() {
+        for id in ScenarioId::ALL {
+            let s = Scenario::load(id);
+            assert!(!s.queries.is_empty(), "{id} has queries");
+            assert!(!s.description.is_empty());
+            assert_eq!(s.id, id);
+        }
+    }
+
+    #[test]
+    fn names_parse_back() {
+        for id in ScenarioId::ALL {
+            assert_eq!(ScenarioId::parse(id.name()), Some(id));
+            assert_eq!(format!("{id}"), id.name());
+        }
+        assert_eq!(ScenarioId::parse("nope"), None);
+    }
+
+    #[test]
+    fn figure6_scenarios_have_expected_shape() {
+        assert_eq!(Scenario::load(ScenarioId::Fig6aWide).query_count(), 10);
+        assert_eq!(Scenario::load(ScenarioId::Fig6cSubset).query_count(), 3);
+        assert!(
+            Scenario::load(ScenarioId::Fig6aWide).screen.widget_area_width()
+                > Scenario::load(ScenarioId::Fig6bNarrow).screen.widget_area_width()
+        );
+        assert_eq!(Scenario::load(ScenarioId::Figure1).query_count(), 3);
+    }
+
+    #[test]
+    fn flight_delays_scenario_is_deterministic() {
+        let a = Scenario::load(ScenarioId::FlightDelays);
+        let b = Scenario::load(ScenarioId::FlightDelays);
+        assert_eq!(a.queries, b.queries);
+        assert_eq!(a.query_count(), 12);
+    }
+}

@@ -1,0 +1,238 @@
+//! Synthetic query-log generators.
+//!
+//! The scaling and ablation experiments need logs larger (and more varied) than the ten
+//! queries of Listing 1. [`LogSpec`] describes a template-structured analysis session — a
+//! fixed query skeleton whose table, projection, row limit, predicate bounds and optional
+//! clauses are perturbed from query to query — which is exactly the usage pattern the paper
+//! assumes ("the structural differences between the queries are representative of the types
+//! of changes the user wishes to express interactively").
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use mctsui_sql::{parse_query, Ast};
+
+/// Specification of a synthetic query log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogSpec {
+    /// Number of queries to generate.
+    pub queries: usize,
+    /// Candidate tables (the FROM clause picks one per query).
+    pub tables: Vec<String>,
+    /// Candidate projection expressions.
+    pub projections: Vec<String>,
+    /// Numeric filter columns; each query filters a random subset with BETWEEN predicates.
+    pub filter_columns: Vec<String>,
+    /// Candidate TOP-N values; `None` entries mean "no TOP clause".
+    pub top_values: Vec<Option<i64>>,
+    /// Probability (0..=1) that a query keeps the WHERE clause at all.
+    pub where_probability: f64,
+    /// Probability (0..=1) that an individual filter column appears in a query's WHERE clause.
+    pub filter_probability: f64,
+    /// Candidate categorical predicate (column, values); applied with the same probability as
+    /// numeric filters when present.
+    pub categorical_filter: Option<(String, Vec<String>)>,
+    /// RNG seed; the same spec always generates the same log.
+    pub seed: u64,
+}
+
+impl LogSpec {
+    /// An SDSS-flavoured spec: same vocabulary as Listing 1 but with a configurable number of
+    /// queries. Used by the scaling experiments (5-40 queries).
+    pub fn sdss_style(queries: usize, seed: u64) -> Self {
+        Self {
+            queries,
+            tables: vec!["stars".into(), "galaxies".into(), "quasars".into()],
+            projections: vec!["objid".into(), "count(*)".into()],
+            filter_columns: vec!["u".into(), "g".into(), "r".into(), "i".into()],
+            top_values: vec![Some(10), Some(100), Some(1000), None],
+            where_probability: 0.9,
+            filter_probability: 0.85,
+            categorical_filter: None,
+            seed,
+        }
+    }
+
+    /// A business-intelligence-flavoured spec over a flight-delay table, used by the
+    /// `flight_delays` example: the kind of dashboard queries the paper's introduction
+    /// motivates (repeatedly slicing the same measure by different filters).
+    pub fn flights_style(queries: usize, seed: u64) -> Self {
+        Self {
+            queries,
+            tables: vec!["flights".into()],
+            projections: vec![
+                "avg(dep_delay)".into(),
+                "count(*)".into(),
+                "avg(arr_delay)".into(),
+            ],
+            filter_columns: vec!["month".into(), "distance".into()],
+            top_values: vec![None, Some(10), Some(50)],
+            where_probability: 0.95,
+            filter_probability: 0.7,
+            categorical_filter: Some((
+                "carrier".into(),
+                vec!["AA".into(), "DL".into(), "UA".into(), "WN".into()],
+            )),
+            seed,
+        }
+    }
+
+    /// Generate the log described by this spec.
+    pub fn generate(&self) -> SyntheticLog {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut sql = Vec::with_capacity(self.queries);
+        for _ in 0..self.queries {
+            sql.push(self.generate_one(&mut rng));
+        }
+        let queries = sql
+            .iter()
+            .map(|s| parse_query(s).expect("synthetic query parses"))
+            .collect();
+        SyntheticLog { spec: self.clone(), sql, queries }
+    }
+
+    fn generate_one(&self, rng: &mut StdRng) -> String {
+        let mut out = String::from("select ");
+
+        let top = self.top_values[rng.gen_range(0..self.top_values.len().max(1))];
+        if let Some(n) = top {
+            out.push_str(&format!("top {n} "));
+        }
+
+        let projection = &self.projections[rng.gen_range(0..self.projections.len().max(1))];
+        out.push_str(projection);
+
+        let table = &self.tables[rng.gen_range(0..self.tables.len().max(1))];
+        out.push_str(&format!(" from {table}"));
+
+        if rng.gen_bool(self.where_probability.clamp(0.0, 1.0)) {
+            let mut predicates = Vec::new();
+            for col in &self.filter_columns {
+                if rng.gen_bool(self.filter_probability.clamp(0.0, 1.0)) {
+                    let lo = rng.gen_range(0..15);
+                    let hi = rng.gen_range(16..40);
+                    predicates.push(format!("{col} between {lo} and {hi}"));
+                }
+            }
+            if let Some((col, values)) = &self.categorical_filter {
+                if rng.gen_bool(self.filter_probability.clamp(0.0, 1.0)) && !values.is_empty() {
+                    let v = &values[rng.gen_range(0..values.len())];
+                    predicates.push(format!("{col} = '{v}'"));
+                }
+            }
+            if !predicates.is_empty() {
+                out.push_str(" where ");
+                out.push_str(&predicates.join(" and "));
+            }
+        }
+        out
+    }
+}
+
+/// A generated log: the spec it came from, the SQL text and the parsed ASTs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticLog {
+    /// The generating spec.
+    pub spec: LogSpec,
+    /// SQL text of each query, in log order.
+    pub sql: Vec<String>,
+    /// Parsed ASTs, in log order.
+    pub queries: Vec<Ast>,
+}
+
+impl SyntheticLog {
+    /// The parsed queries.
+    pub fn queries(&self) -> &[Ast] {
+        &self.queries
+    }
+
+    /// Number of queries in the log.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// True if the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mctsui_sql::QueryView;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = LogSpec::sdss_style(12, 7).generate();
+        let b = LogSpec::sdss_style(12, 7).generate();
+        let c = LogSpec::sdss_style(12, 8).generate();
+        assert_eq!(a.sql, b.sql);
+        assert_ne!(a.sql, c.sql);
+        assert_eq!(a.len(), 12);
+    }
+
+    #[test]
+    fn generated_queries_stay_in_vocabulary() {
+        let log = LogSpec::sdss_style(25, 3).generate();
+        for q in log.queries() {
+            let v = QueryView::new(q).unwrap();
+            let tables = v.tables();
+            assert_eq!(tables.len(), 1);
+            assert!(["stars", "galaxies", "quasars"].contains(&tables[0]));
+            if let Some(top) = v.top_n() {
+                assert!([10, 100, 1000].contains(&top));
+            }
+            for (col, op, _) in v.predicates() {
+                assert!(["u", "g", "r", "i"].contains(&col.as_str()));
+                assert_eq!(op, "BETWEEN");
+            }
+        }
+    }
+
+    #[test]
+    fn flights_spec_produces_bi_style_queries() {
+        let log = LogSpec::flights_style(15, 11).generate();
+        assert_eq!(log.len(), 15);
+        let mut saw_carrier_filter = false;
+        let mut saw_aggregate = false;
+        for q in log.queries() {
+            let v = QueryView::new(q).unwrap();
+            assert_eq!(v.tables(), vec!["flights"]);
+            if v.projections().iter().any(|p| p.contains("avg(") || p.contains("count(")) {
+                saw_aggregate = true;
+            }
+            if v.predicates().iter().any(|(c, _, _)| c == "carrier") {
+                saw_carrier_filter = true;
+            }
+        }
+        assert!(saw_aggregate);
+        assert!(saw_carrier_filter, "with 15 queries a carrier filter should appear");
+    }
+
+    #[test]
+    fn where_probability_zero_removes_predicates() {
+        let mut spec = LogSpec::sdss_style(10, 1);
+        spec.where_probability = 0.0;
+        let log = spec.generate();
+        for q in log.queries() {
+            assert!(QueryView::new(q).unwrap().predicates().is_empty());
+        }
+    }
+
+    #[test]
+    fn empty_log_is_supported() {
+        let spec = LogSpec::sdss_style(0, 1);
+        let log = spec.generate();
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn serde_round_trip_of_spec() {
+        let spec = LogSpec::flights_style(5, 2);
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: LogSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+}

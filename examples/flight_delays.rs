@@ -1,0 +1,68 @@
+//! A business-intelligence-style scenario: generate a dashboard for a flight-delay analysis
+//! session — the kind of repetitive ad-hoc querying the paper's introduction motivates
+//! (a Jupyter-notebook session that keeps slicing the same measures by different filters).
+//!
+//! ```text
+//! cargo run --release --example flight_delays -- [n_queries] [seconds]
+//! ```
+
+use mctsui::baseline::mine_interface;
+use mctsui::core::{GeneratorConfig, InterfaceGenerator, InterfaceSession};
+use mctsui::cost::CostWeights;
+use mctsui::mcts::Budget;
+use mctsui::render::render_ascii;
+use mctsui::sql::print_query;
+use mctsui::widgets::Screen;
+use mctsui::workload::LogSpec;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n_queries: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(12);
+    let seconds: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(5);
+
+    let log = LogSpec::flights_style(n_queries, 2024).generate();
+    println!("== Flight-delay analysis session ({} queries) ==", log.len());
+    for (i, sql) in log.sql.iter().enumerate() {
+        println!("  q{:<2}: {}", i + 1, sql);
+    }
+
+    let screen = Screen::wide();
+    let config = GeneratorConfig::paper_defaults(screen)
+        .with_budget(Budget::Either { iterations: 3_000, time_millis: seconds * 1000 });
+    let interface = InterfaceGenerator::new(log.queries.clone(), config).generate();
+
+    println!("\n== Generated dashboard ==");
+    println!("{}", render_ascii(&interface.widget_tree));
+    println!(
+        "cost total={:.2} with {} widgets ({} evaluations in {} ms)",
+        interface.cost.total,
+        interface.widget_tree.widget_count(),
+        interface.stats.evaluations,
+        interface.stats.elapsed_millis
+    );
+
+    // Compare against the bottom-up baseline of Zhang et al. (2017).
+    if let Some(mined) = mine_interface(&log.queries, screen) {
+        let baseline_cost = mined.cost(&log.queries, &CostWeights::default());
+        println!(
+            "\nbaseline (bottom-up 2017): {} widgets, cost total={:.2} (valid: {})",
+            mined.widget_count(),
+            baseline_cost.total,
+            baseline_cost.valid
+        );
+        println!(
+            "MCTS improvement over baseline: {:.1}%",
+            100.0 * (baseline_cost.total - interface.cost.total) / baseline_cost.total.max(1e-9)
+        );
+    }
+
+    // Replay the analysis session through the generated interface.
+    println!("\n== Replaying the session through the dashboard ==");
+    let mut session = InterfaceSession::start(interface.difftree.clone(), &log.queries[0])
+        .expect("interface expresses the first query");
+    for q in log.queries.iter().take(5) {
+        session.jump_to(q).expect("expressible");
+        println!("  {}", print_query(&session.current_query()));
+    }
+    println!("  ... every one of the {} queries is expressible.", log.len());
+}

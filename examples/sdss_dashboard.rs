@@ -1,0 +1,89 @@
+//! Reproduce the SDSS interfaces of the paper's Figure 6.
+//!
+//! ```text
+//! cargo run --release --example sdss_dashboard -- [wide|narrow|subset|lowreward|all] [seconds]
+//! ```
+//!
+//! * `wide`      — Figure 6(a): all ten Listing 1 queries, wide screen
+//! * `narrow`    — Figure 6(b): all ten queries, narrow screen
+//! * `subset`    — Figure 6(c): queries 6-8 only
+//! * `lowreward` — Figure 6(d): the unfactored (one button per query) interface
+//! * `all`       — run all four
+//!
+//! The optional second argument is the MCTS wall-clock budget in seconds (default 5; the
+//! paper uses ~60).
+
+use std::fs;
+
+use mctsui::core::{GeneratedInterface, GeneratorConfig, InterfaceGenerator, SearchStrategy};
+use mctsui::mcts::Budget;
+use mctsui::render::{render_ascii, render_html};
+use mctsui::widgets::WidgetType;
+use mctsui::workload::{Scenario, ScenarioId};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("all");
+    let seconds: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(5);
+
+    let scenarios: Vec<ScenarioId> = match which {
+        "wide" => vec![ScenarioId::Fig6aWide],
+        "narrow" => vec![ScenarioId::Fig6bNarrow],
+        "subset" => vec![ScenarioId::Fig6cSubset],
+        "lowreward" => vec![ScenarioId::Fig6dLowReward],
+        _ => vec![
+            ScenarioId::Fig6aWide,
+            ScenarioId::Fig6bNarrow,
+            ScenarioId::Fig6cSubset,
+            ScenarioId::Fig6dLowReward,
+        ],
+    };
+
+    let out_dir = std::path::Path::new("target/interfaces");
+    fs::create_dir_all(out_dir).ok();
+
+    for id in scenarios {
+        let scenario = Scenario::load(id);
+        println!("\n================================================================");
+        println!("{} — {}", scenario.id, scenario.description);
+        println!("{} queries, screen {}x{} px", scenario.query_count(), scenario.screen.width, scenario.screen.height);
+        println!("================================================================");
+
+        let interface = generate(&scenario, seconds);
+        println!("{}", render_ascii(&interface.widget_tree));
+        println!(
+            "\ncost total={:.2}  M={:.2}  nav={:.2}  inter={:.2}  widgets={}",
+            interface.cost.total,
+            interface.cost.appropriateness,
+            interface.cost.navigation,
+            interface.cost.interaction,
+            interface.widget_tree.widget_count()
+        );
+        summarise_widgets(&interface);
+
+        let html = render_html(&interface.widget_tree, &format!("{} — {}", scenario.id, scenario.description));
+        let path = out_dir.join(format!("{}.html", scenario.id));
+        if fs::write(&path, html).is_ok() {
+            println!("wrote {}", path.display());
+        }
+    }
+}
+
+fn generate(scenario: &Scenario, seconds: u64) -> GeneratedInterface {
+    let mut config = GeneratorConfig::paper_defaults(scenario.screen)
+        .with_budget(Budget::Either { iterations: 4_000, time_millis: seconds * 1000 });
+    if scenario.id == ScenarioId::Fig6dLowReward {
+        // Figure 6(d) is the *low reward* interface: no search, the initial difftree.
+        config = config.with_strategy(SearchStrategy::InitialOnly);
+    }
+    InterfaceGenerator::new(scenario.queries.clone(), config).generate()
+}
+
+fn summarise_widgets(interface: &GeneratedInterface) {
+    let mut counts: std::collections::BTreeMap<WidgetType, usize> = std::collections::BTreeMap::new();
+    for (_, w) in interface.widget_tree.widgets() {
+        *counts.entry(w.widget_type).or_insert(0) += 1;
+    }
+    let summary: Vec<String> = counts.iter().map(|(t, n)| format!("{n}x {t}")).collect();
+    println!("widget mix: {}", summary.join(", "));
+}

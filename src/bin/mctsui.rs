@@ -1,0 +1,263 @@
+//! `mctsui` command-line interface: generate an interactive data-analysis interface from a
+//! SQL query log.
+//!
+//! ```text
+//! mctsui [OPTIONS] [QUERY_FILE]
+//!
+//! Reads one SQL query per line (or `;`-separated statements) from QUERY_FILE, or from stdin
+//! when no file is given. Lines starting with `--` or `#` are ignored.
+//!
+//! OPTIONS:
+//!   --screen <wide|narrow|WxH>   target screen (default: wide = 1200x800)
+//!   --seconds <n>                MCTS wall-clock budget in seconds (default: 10)
+//!   --iterations <n>             MCTS iteration cap (default: 4000)
+//!   --strategy <mcts|greedy|random|beam|initial>   search strategy (default: mcts)
+//!   --seed <n>                   RNG seed (default: 42)
+//!   --format <ascii|html|json>   output format (default: ascii)
+//!   --out <path>                 write the rendered interface to a file instead of stdout
+//!   --demo                       use the paper's SDSS Listing 1 log instead of reading input
+//!   --help                       show this help
+//! ```
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use mctsui::core::{GeneratorConfig, InterfaceGenerator, SearchStrategy};
+use mctsui::mcts::Budget;
+use mctsui::render::{render_ascii, render_html};
+use mctsui::sql::{parse_query, print_query, Ast};
+use mctsui::widgets::Screen;
+use mctsui::workload::sdss_listing1;
+
+/// Parsed command-line options.
+struct Options {
+    screen: Screen,
+    seconds: u64,
+    iterations: usize,
+    strategy: SearchStrategy,
+    seed: u64,
+    format: Format,
+    out: Option<String>,
+    demo: bool,
+    query_file: Option<String>,
+}
+
+#[derive(PartialEq, Clone, Copy)]
+enum Format {
+    Ascii,
+    Html,
+    Json,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            screen: Screen::wide(),
+            seconds: 10,
+            iterations: 4_000,
+            strategy: SearchStrategy::Mcts,
+            seed: 42,
+            format: Format::Ascii,
+            out: None,
+            demo: false,
+            query_file: None,
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args(std::env::args().skip(1).collect()) {
+        Ok(Some(options)) => options,
+        Ok(None) => return ExitCode::SUCCESS, // --help
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("run `mctsui --help` for usage");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let queries = match load_queries(&options) {
+        Ok(queries) => queries,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if queries.is_empty() {
+        eprintln!("error: no queries to analyse");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("loaded {} queries", queries.len());
+    for q in &queries {
+        eprintln!("  {}", print_query(q));
+    }
+
+    let config = GeneratorConfig::paper_defaults(options.screen)
+        .with_budget(Budget::Either {
+            iterations: options.iterations,
+            time_millis: options.seconds * 1000,
+        })
+        .with_seed(options.seed)
+        .with_strategy(options.strategy);
+    let interface = InterfaceGenerator::new(queries, config).generate();
+
+    eprintln!(
+        "generated interface: {} widgets, cost {:.2} ({} evaluations in {} ms)",
+        interface.widget_tree.widget_count(),
+        interface.cost.total,
+        interface.stats.evaluations,
+        interface.stats.elapsed_millis
+    );
+
+    let rendered = match options.format {
+        Format::Ascii => render_ascii(&interface.widget_tree),
+        Format::Html => render_html(&interface.widget_tree, "mctsui generated interface"),
+        Format::Json => match serde_json::to_string_pretty(&interface.widget_tree) {
+            Ok(json) => json,
+            Err(e) => {
+                eprintln!("error: failed to serialise interface: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+
+    match &options.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, rendered) {
+                eprintln!("error: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {path}");
+        }
+        None => println!("{rendered}"),
+    }
+    ExitCode::SUCCESS
+}
+
+fn parse_args(args: Vec<String>) -> Result<Option<Options>, String> {
+    let mut options = Options::default();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                print!("{}", usage());
+                return Ok(None);
+            }
+            "--screen" => {
+                let value = iter.next().ok_or("--screen needs a value")?;
+                options.screen = parse_screen(&value)?;
+            }
+            "--seconds" => {
+                options.seconds = parse_number(&iter.next().ok_or("--seconds needs a value")?)?;
+            }
+            "--iterations" => {
+                options.iterations =
+                    parse_number(&iter.next().ok_or("--iterations needs a value")?)? as usize;
+            }
+            "--seed" => {
+                options.seed = parse_number(&iter.next().ok_or("--seed needs a value")?)?;
+            }
+            "--strategy" => {
+                let value = iter.next().ok_or("--strategy needs a value")?;
+                options.strategy = match value.as_str() {
+                    "mcts" => SearchStrategy::Mcts,
+                    "greedy" => SearchStrategy::Greedy,
+                    "random" => SearchStrategy::RandomWalk { walks: 200, depth: 60 },
+                    "beam" => SearchStrategy::Beam { width: 4, depth: 10 },
+                    "initial" => SearchStrategy::InitialOnly,
+                    other => return Err(format!("unknown strategy `{other}`")),
+                };
+            }
+            "--format" => {
+                let value = iter.next().ok_or("--format needs a value")?;
+                options.format = match value.as_str() {
+                    "ascii" => Format::Ascii,
+                    "html" => Format::Html,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format `{other}`")),
+                };
+            }
+            "--out" => options.out = Some(iter.next().ok_or("--out needs a value")?),
+            "--demo" => options.demo = true,
+            other if other.starts_with("--") => return Err(format!("unknown option `{other}`")),
+            other => options.query_file = Some(other.to_string()),
+        }
+    }
+    Ok(Some(options))
+}
+
+fn parse_screen(value: &str) -> Result<Screen, String> {
+    match value {
+        "wide" => Ok(Screen::wide()),
+        "narrow" => Ok(Screen::narrow()),
+        other => {
+            let parts: Vec<&str> = other.split('x').collect();
+            if parts.len() == 2 {
+                let w: u32 = parts[0].parse().map_err(|_| "bad screen width".to_string())?;
+                let h: u32 = parts[1].parse().map_err(|_| "bad screen height".to_string())?;
+                Ok(Screen::new(w, h))
+            } else {
+                Err(format!("unknown screen `{other}` (use wide, narrow or WxH)"))
+            }
+        }
+    }
+}
+
+fn parse_number(value: &str) -> Result<u64, String> {
+    value.parse().map_err(|_| format!("`{value}` is not a number"))
+}
+
+fn load_queries(options: &Options) -> Result<Vec<Ast>, String> {
+    if options.demo {
+        return Ok(sdss_listing1());
+    }
+    let text = match &options.query_file {
+        Some(path) => {
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
+        }
+        None => {
+            let mut buffer = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buffer)
+                .map_err(|e| format!("cannot read stdin: {e}"))?;
+            buffer
+        }
+    };
+    parse_query_log(&text)
+}
+
+/// Split a text into statements (one per line or `;`-separated) and parse each.
+fn parse_query_log(text: &str) -> Result<Vec<Ast>, String> {
+    let mut queries = Vec::new();
+    for raw in text.split(|c| c == ';' || c == '\n') {
+        let statement = raw.trim();
+        if statement.is_empty() || statement.starts_with("--") || statement.starts_with('#') {
+            continue;
+        }
+        let ast = parse_query(statement)
+            .map_err(|e| format!("failed to parse `{statement}`: {e}"))?;
+        queries.push(ast);
+    }
+    Ok(queries)
+}
+
+fn usage() -> String {
+    "mctsui — generate an interactive data-analysis interface from a SQL query log\n\
+     \n\
+     USAGE: mctsui [OPTIONS] [QUERY_FILE]\n\
+     \n\
+     Reads one SQL query per line (or `;`-separated) from QUERY_FILE or stdin.\n\
+     Lines starting with `--` or `#` are ignored.\n\
+     \n\
+     OPTIONS:\n\
+       --screen <wide|narrow|WxH>                      target screen (default wide)\n\
+       --seconds <n>                                   search budget in seconds (default 10)\n\
+       --iterations <n>                                iteration cap (default 4000)\n\
+       --strategy <mcts|greedy|random|beam|initial>    search strategy (default mcts)\n\
+       --seed <n>                                      RNG seed (default 42)\n\
+       --format <ascii|html|json>                      output format (default ascii)\n\
+       --out <path>                                    write output to a file\n\
+       --demo                                          use the paper's SDSS Listing 1 log\n\
+       --help                                          show this help\n"
+        .to_string()
+}

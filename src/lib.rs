@@ -1,0 +1,54 @@
+//! # mctsui — Monte Carlo Tree Search for Generating Interactive Data Analysis Interfaces
+//!
+//! `mctsui` is a from-scratch Rust reproduction of Chen & Wu's *Monte Carlo Tree Search for
+//! Generating Interactive Data Analysis Interfaces* (2020). Given a sequence of SQL analysis
+//! queries (a query log or an ad-hoc session) and a target screen, it synthesises an
+//! interactive interface — a hierarchical layout of dropdowns, sliders, radio buttons,
+//! toggles, buttons and adders — whose widgets can express every query in the log with
+//! minimal user effort.
+//!
+//! This crate is a facade that re-exports the workspace crates:
+//!
+//! | Module | Crate | Contents |
+//! |--------|-------|----------|
+//! | [`sql`] | `mctsui-sql` | SQL lexer/parser, generic AST, printer, structural diff |
+//! | [`difftree`] | `mctsui-difftree` | The difftree representation and transformation rules |
+//! | [`widgets`] | `mctsui-widgets` | Widget taxonomy, widget trees, layout solver |
+//! | [`cost`] | `mctsui-cost` | The interface cost model `C(W, Q)` |
+//! | [`mcts`] | `mctsui-mcts` | Generic UCT Monte Carlo Tree Search engine |
+//! | [`baseline`] | `mctsui-baseline` | The bottom-up miner of Zhang et al. (SIGMOD 2017) |
+//! | [`workload`] | `mctsui-workload` | The SDSS Listing 1 log and synthetic log generators |
+//! | [`render`] | `mctsui-render` | ASCII and HTML renderers for generated interfaces |
+//! | [`core`] | `mctsui-core` | The [`InterfaceGenerator`](core::InterfaceGenerator) API |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mctsui::core::{GeneratorConfig, InterfaceGenerator};
+//! use mctsui::sql::parse_query;
+//! use mctsui::widgets::Screen;
+//!
+//! let log = vec![
+//!     parse_query("SELECT Sales FROM sales WHERE cty = 'USA'").unwrap(),
+//!     parse_query("SELECT Costs FROM sales WHERE cty = 'EUR'").unwrap(),
+//!     parse_query("SELECT Costs FROM sales").unwrap(),
+//! ];
+//! let interface =
+//!     InterfaceGenerator::new(log, GeneratorConfig::quick(Screen::wide())).generate();
+//! println!("{}", mctsui::render::render_ascii(&interface.widget_tree));
+//! assert!(interface.cost.valid);
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios (the SDSS dashboard of the paper's
+//! Figure 6, a BI-style flight-delay dashboard, and a search-strategy ablation), and
+//! `EXPERIMENTS.md` for the reproduction of every figure and claim in the paper.
+
+pub use mctsui_baseline as baseline;
+pub use mctsui_core as core;
+pub use mctsui_cost as cost;
+pub use mctsui_difftree as difftree;
+pub use mctsui_mcts as mcts;
+pub use mctsui_render as render;
+pub use mctsui_sql as sql;
+pub use mctsui_widgets as widgets;
+pub use mctsui_workload as workload;

@@ -1,0 +1,165 @@
+//! Cross-crate integration tests: the full pipeline from SQL text to a rendered interface,
+//! exercised on the paper's running example (Figure 1) and on the SDSS log (Listing 1).
+
+use mctsui::core::{GeneratorConfig, InterfaceGenerator, InterfaceSession, SearchStrategy};
+use mctsui::difftree::derive::express;
+use mctsui::render::{render_ascii, render_html};
+use mctsui::sql::parse_query;
+use mctsui::widgets::Screen;
+use mctsui::workload::{sdss_listing1, Scenario, ScenarioId};
+
+fn quick_config(screen: Screen) -> GeneratorConfig {
+    GeneratorConfig::quick(screen)
+}
+
+#[test]
+fn figure1_end_to_end() {
+    let scenario = Scenario::load(ScenarioId::Figure1);
+    let interface =
+        InterfaceGenerator::new(scenario.queries.clone(), quick_config(scenario.screen)).generate();
+
+    assert!(interface.cost.valid);
+    assert!(interface.widget_tree.fits_screen());
+    assert!(interface.widget_tree.widget_count() >= 1);
+
+    // Every input query is expressible by the generated interface.
+    for q in &scenario.queries {
+        assert!(express(interface.difftree.root(), q).is_some());
+    }
+
+    // The renderers produce non-trivial output for it.
+    let ascii = render_ascii(&interface.widget_tree);
+    assert!(ascii.lines().count() >= 4);
+    let html = render_html(&interface.widget_tree, "figure 1");
+    assert!(html.contains("</html>"));
+}
+
+#[test]
+fn sdss_log_end_to_end_wide_screen() {
+    let queries = sdss_listing1();
+    let interface = InterfaceGenerator::new(queries.clone(), quick_config(Screen::wide())).generate();
+
+    assert!(interface.cost.valid, "SDSS interface must be valid: {:?}", interface.cost);
+    assert!(interface.widget_tree.fits_screen());
+    // The searched interface factors the log: it must use more than one widget (unlike the
+    // one-button-per-query interface) and fewer widgets than there are queries.
+    let widget_count = interface.widget_tree.widget_count();
+    assert!(widget_count >= 2, "expected a factored interface, got {widget_count} widgets");
+    assert!(widget_count <= queries.len(), "widget count should not exceed query count");
+
+    for q in &queries {
+        assert!(express(interface.difftree.root(), q).is_some());
+    }
+}
+
+#[test]
+fn searched_interface_beats_the_low_reward_interface_on_sdss() {
+    // Figure 6(a) vs Figure 6(d): the searched interface must cost less than the unfactored
+    // one-button-per-query interface.
+    let queries = sdss_listing1();
+    let searched = InterfaceGenerator::new(queries.clone(), quick_config(Screen::wide())).generate();
+    let low_reward = InterfaceGenerator::new(
+        queries,
+        quick_config(Screen::wide()).with_strategy(SearchStrategy::InitialOnly),
+    )
+    .generate();
+
+    assert!(searched.cost.valid);
+    assert!(
+        searched.cost.total < low_reward.cost.total,
+        "searched {} should beat low-reward {}",
+        searched.cost.total,
+        low_reward.cost.total
+    );
+}
+
+#[test]
+fn subset_interface_is_simpler_than_full_log_interface() {
+    // Figure 6(c) vs 6(a): the 3-query subset needs fewer widgets than the full 10-query log.
+    let full = Scenario::load(ScenarioId::Fig6aWide);
+    let subset = Scenario::load(ScenarioId::Fig6cSubset);
+
+    let full_iface =
+        InterfaceGenerator::new(full.queries.clone(), quick_config(full.screen)).generate();
+    let subset_iface =
+        InterfaceGenerator::new(subset.queries.clone(), quick_config(subset.screen)).generate();
+
+    assert!(full_iface.cost.valid && subset_iface.cost.valid);
+    assert!(
+        subset_iface.widget_tree.widget_count() <= full_iface.widget_tree.widget_count(),
+        "subset interface ({}) should not need more widgets than the full one ({})",
+        subset_iface.widget_tree.widget_count(),
+        full_iface.widget_tree.widget_count()
+    );
+    assert!(subset_iface.cost.total <= full_iface.cost.total);
+}
+
+#[test]
+fn narrow_screen_interface_fits_and_is_valid() {
+    // Figure 6(b): the same log on a narrow screen still yields a valid, fitting interface.
+    let scenario = Scenario::load(ScenarioId::Fig6bNarrow);
+    let interface =
+        InterfaceGenerator::new(scenario.queries.clone(), quick_config(scenario.screen)).generate();
+    assert!(interface.cost.valid);
+    assert!(interface.widget_tree.fits_screen());
+    let (w, _) = interface.widget_tree.bounding_box();
+    assert!(w <= scenario.screen.widget_area_width());
+}
+
+#[test]
+fn generated_interfaces_support_interactive_sessions() {
+    let queries = sdss_listing1();
+    let interface = InterfaceGenerator::new(queries.clone(), quick_config(Screen::wide())).generate();
+    let mut session = InterfaceSession::start(interface.difftree.clone(), &queries[0]).unwrap();
+
+    // Replaying the whole log is possible and every step lands exactly on the logged query.
+    for q in &queries {
+        session.jump_to(q).unwrap();
+        assert_eq!(&session.current_query(), q);
+    }
+}
+
+#[test]
+fn baseline_and_mcts_costs_are_comparable_units() {
+    // The bottom-up baseline is costed with the same C(W, Q); on the SDSS log the MCTS
+    // interface must be at least as good (it optimises that objective directly).
+    let queries = sdss_listing1();
+    let mcts = InterfaceGenerator::new(queries.clone(), quick_config(Screen::wide())).generate();
+    let mined = mctsui::baseline::mine_interface(&queries, Screen::wide()).unwrap();
+    let baseline_cost = mined.cost(&queries, &mctsui::cost::CostWeights::default());
+
+    assert!(baseline_cost.total.is_finite());
+    assert!(mcts.cost.total <= baseline_cost.total * 1.05,
+        "MCTS ({}) should not be more than marginally worse than the 2017 baseline ({})",
+        mcts.cost.total, baseline_cost.total);
+}
+
+#[test]
+fn deterministic_generation_across_processes() {
+    // Same seed, same result — this is what makes EXPERIMENTS.md reproducible.
+    let queries = vec![
+        parse_query("select top 10 objid from stars where u between 0 and 30").unwrap(),
+        parse_query("select top 100 objid from galaxies where u between 0 and 30").unwrap(),
+        parse_query("select count(*) from quasars where u between 0 and 30").unwrap(),
+    ];
+    let config = quick_config(Screen::wide()).with_seed(31337);
+    let a = InterfaceGenerator::new(queries.clone(), config.clone()).generate();
+    let b = InterfaceGenerator::new(queries, config).generate();
+    assert_eq!(a.cost.total, b.cost.total);
+    assert_eq!(a.difftree.fingerprint(), b.difftree.fingerprint());
+    assert_eq!(render_ascii(&a.widget_tree), render_ascii(&b.widget_tree));
+}
+
+#[test]
+fn widget_trees_serialise_and_deserialise() {
+    let scenario = Scenario::load(ScenarioId::Figure1);
+    let interface =
+        InterfaceGenerator::new(scenario.queries, quick_config(scenario.screen)).generate();
+    let json = serde_json::to_string(&interface.widget_tree).unwrap();
+    let back: mctsui::widgets::WidgetTree = serde_json::from_str(&json).unwrap();
+    assert_eq!(interface.widget_tree, back);
+
+    let tree_json = serde_json::to_string(&interface.difftree).unwrap();
+    let tree_back: mctsui::difftree::DiffTree = serde_json::from_str(&tree_json).unwrap();
+    assert_eq!(interface.difftree, tree_back);
+}
