@@ -106,7 +106,11 @@ pub fn mine_interface(queries: &[Ast], screen: Screen) -> Option<MinedInterface>
         if alternatives.len() < 2 {
             continue; // not actually a difference across the log
         }
-        slots.push(MinedSlot { path: path.clone(), alternatives, widget_type: WidgetType::Dropdown });
+        slots.push(MinedSlot {
+            path: path.clone(),
+            alternatives,
+            widget_type: WidgetType::Dropdown,
+        });
     }
 
     // 3. Build the equivalent difftree: the template query with every slot path replaced by a
@@ -117,7 +121,13 @@ pub fn mine_interface(queries: &[Ast], screen: Screen) -> Option<MinedInterface>
         let any = DiffNode::any(
             slot.alternatives
                 .iter()
-                .map(|a| if a.is_empty_node() { DiffNode::empty() } else { DiffNode::from_ast(a) })
+                .map(|a| {
+                    if a.is_empty_node() {
+                        DiffNode::empty()
+                    } else {
+                        DiffNode::from_ast(a)
+                    }
+                })
                 .collect(),
         );
         let diff_path = DiffPath(slot.path.0.clone());
@@ -134,7 +144,13 @@ pub fn mine_interface(queries: &[Ast], screen: Screen) -> Option<MinedInterface>
 
     let difftree = DiffTree::new(root);
     let widget_tree = build_widget_tree(&difftree, &assignment, screen);
-    Some(MinedInterface { slots, difftree, assignment, widget_tree, diff_entries })
+    Some(MinedInterface {
+        slots,
+        difftree,
+        assignment,
+        widget_tree,
+        diff_entries,
+    })
 }
 
 /// Convenience: the per-slot widget histogram (how many dropdowns, sliders, ... were mined).
@@ -175,8 +191,14 @@ mod tests {
         assert!(mined.widget_count() >= 2, "got {:?}", mined.slots);
         assert!(mined.diff_entries >= 3);
         let paths: Vec<String> = mined.slots.iter().map(|s| s.path.to_string()).collect();
-        assert!(paths.iter().any(|p| p.starts_with("/0")), "projection slot expected: {paths:?}");
-        assert!(paths.iter().any(|p| p.starts_with("/2")), "where slot expected: {paths:?}");
+        assert!(
+            paths.iter().any(|p| p.starts_with("/0")),
+            "projection slot expected: {paths:?}"
+        );
+        assert!(
+            paths.iter().any(|p| p.starts_with("/2")),
+            "where slot expected: {paths:?}"
+        );
     }
 
     #[test]

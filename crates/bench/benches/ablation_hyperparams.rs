@@ -26,7 +26,10 @@ fn bench_rollout_depth(c: &mut Criterion) {
             b.iter(|| {
                 let mut config = fast_generator_config(Screen::wide(), 20, 3);
                 config.mcts = config.mcts.with_rollout_depth(depth);
-                InterfaceGenerator::new(queries.clone(), config).generate().cost.total
+                InterfaceGenerator::new(queries.clone(), config)
+                    .generate()
+                    .cost
+                    .total
             })
         });
     }
@@ -44,7 +47,10 @@ fn bench_assignments_per_eval(c: &mut Criterion) {
             b.iter(|| {
                 let mut config = fast_generator_config(Screen::wide(), 20, 3);
                 config.assignments_per_eval = k;
-                InterfaceGenerator::new(queries.clone(), config).generate().cost.total
+                InterfaceGenerator::new(queries.clone(), config)
+                    .generate()
+                    .cost
+                    .total
             })
         });
     }

@@ -24,19 +24,32 @@ fn bench_strategies(c: &mut Criterion) {
     let strategies: Vec<(&str, SearchStrategy)> = vec![
         ("mcts", SearchStrategy::Mcts),
         ("greedy", SearchStrategy::Greedy),
-        ("random_walk", SearchStrategy::RandomWalk { walks: 20, depth: 25 }),
+        (
+            "random_walk",
+            SearchStrategy::RandomWalk {
+                walks: 20,
+                depth: 25,
+            },
+        ),
         ("beam_3x4", SearchStrategy::Beam { width: 3, depth: 4 }),
         ("initial_only", SearchStrategy::InitialOnly),
     ];
 
     for (name, strategy) in strategies {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &strategy, |b, &strategy| {
-            b.iter(|| {
-                let config =
-                    fast_generator_config(Screen::wide(), 20, 3).with_strategy(strategy);
-                InterfaceGenerator::new(queries.clone(), config).generate().cost.total
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &strategy,
+            |b, &strategy| {
+                b.iter(|| {
+                    let config =
+                        fast_generator_config(Screen::wide(), 20, 3).with_strategy(strategy);
+                    InterfaceGenerator::new(queries.clone(), config)
+                        .generate()
+                        .cost
+                        .total
+                })
+            },
+        );
     }
     group.finish();
 }

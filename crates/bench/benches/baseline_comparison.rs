@@ -27,7 +27,11 @@ fn bench_bottom_up_miner(c: &mut Criterion) {
             LogSpec::sdss_style(n, 5).generate().queries
         };
         group.bench_with_input(BenchmarkId::from_parameter(n), &queries, |b, queries| {
-            b.iter(|| mine_interface(queries, Screen::wide()).unwrap().widget_count())
+            b.iter(|| {
+                mine_interface(queries, Screen::wide())
+                    .unwrap()
+                    .widget_count()
+            })
         });
     }
     group.finish();
@@ -47,7 +51,10 @@ fn bench_mcts_same_logs(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &queries, |b, queries| {
             b.iter(|| {
                 let config = fast_generator_config(Screen::wide(), 20, 5);
-                InterfaceGenerator::new(queries.clone(), config).generate().cost.total
+                InterfaceGenerator::new(queries.clone(), config)
+                    .generate()
+                    .cost
+                    .total
             })
         });
     }

@@ -29,7 +29,10 @@ fn bench_mcts_iterations(c: &mut Criterion) {
             |b, &iterations| {
                 b.iter(|| {
                     let config = fast_generator_config(Screen::wide(), iterations, 11);
-                    InterfaceGenerator::new(queries.clone(), config).generate().cost.total
+                    InterfaceGenerator::new(queries.clone(), config)
+                        .generate()
+                        .cost
+                        .total
                 })
             },
         );

@@ -19,7 +19,11 @@ fn bench_widget_tree_build(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(3));
     group.warm_up_time(std::time::Duration::from_millis(500));
     for n in [10usize, 20, 40] {
-        let queries = if n == 10 { sdss_listing1() } else { LogSpec::sdss_style(n, 2).generate().queries };
+        let queries = if n == 10 {
+            sdss_listing1()
+        } else {
+            LogSpec::sdss_style(n, 2).generate().queries
+        };
         let tree = engine.saturate_forward(&initial_difftree(&queries), 300);
         let assignment = default_assignment(&tree);
         group.bench_with_input(
@@ -81,5 +85,10 @@ fn bench_layout_solver(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_widget_tree_build, bench_cost_evaluation, bench_layout_solver);
+criterion_group!(
+    benches,
+    bench_widget_tree_build,
+    bench_cost_evaluation,
+    bench_layout_solver
+);
 criterion_main!(benches);

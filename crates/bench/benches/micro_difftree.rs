@@ -9,7 +9,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use mctsui_difftree::derive::express;
-use mctsui_difftree::{initial_difftree, RuleEngine};
+use mctsui_difftree::{initial_difftree, DiffKind, DiffNode, DiffPath, RuleEngine};
 use mctsui_workload::{sdss_listing1, LogSpec};
 
 fn logs_of_size(n: usize) -> Vec<mctsui_sql::Ast> {
@@ -29,10 +29,16 @@ fn bench_rule_application(c: &mut Criterion) {
     for n in [5usize, 10, 20, 40] {
         let queries = logs_of_size(n);
         let tree = initial_difftree(&queries);
-        let app = engine.applicable(&tree).into_iter().next().expect("at least one rule");
-        group.bench_with_input(BenchmarkId::from_parameter(n), &(tree, app), |b, (tree, app)| {
-            b.iter(|| engine.apply(tree, app).unwrap().size())
-        });
+        let app = engine
+            .applicable(&tree)
+            .into_iter()
+            .next()
+            .expect("at least one rule");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(tree, app),
+            |b, (tree, app)| b.iter(|| engine.apply(tree, app).unwrap().size()),
+        );
     }
     group.finish();
 }
@@ -72,5 +78,106 @@ fn bench_expressibility(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_rule_application, bench_saturate_forward, bench_expressibility);
+/// Deep-copy a subtree, reconstructing every node — the seed's owned-`Vec<DiffNode>`
+/// semantics, kept here as the baseline the persistent representation is measured against.
+fn deep_copy(node: &DiffNode) -> DiffNode {
+    let mut children: Vec<DiffNode> = node.children().iter().map(deep_copy).collect();
+    match node.kind() {
+        DiffKind::All => {
+            DiffNode::all_interned(node.label_id().expect("All carries a label"), children)
+        }
+        DiffKind::Any => DiffNode::any(children),
+        DiffKind::Opt => DiffNode::opt(children.pop().expect("Opt has one child")),
+        DiffKind::Multi => DiffNode::multi(children.pop().expect("Multi has one child")),
+    }
+}
+
+/// `replace_at` with the seed's cost model: every node of the tree is reconstructed.
+fn deep_clone_replace_at(
+    node: &DiffNode,
+    steps: &[usize],
+    replacement: &DiffNode,
+) -> Option<DiffNode> {
+    match steps.split_first() {
+        None => Some(deep_copy(replacement)),
+        Some((&idx, rest)) => {
+            if idx >= node.children().len() {
+                return None;
+            }
+            let mut children: Vec<DiffNode> = Vec::with_capacity(node.children().len());
+            for (i, child) in node.children().iter().enumerate() {
+                if i == idx {
+                    children.push(deep_clone_replace_at(child, rest, replacement)?);
+                } else {
+                    children.push(deep_copy(child));
+                }
+            }
+            match node.kind() {
+                DiffKind::All => Some(DiffNode::all_interned(
+                    node.label_id().expect("All carries a label"),
+                    children,
+                )),
+                DiffKind::Any => Some(DiffNode::any(children)),
+                DiffKind::Opt => Some(DiffNode::opt(children.pop().expect("one child"))),
+                DiffKind::Multi => Some(DiffNode::multi(children.pop().expect("one child"))),
+            }
+        }
+    }
+}
+
+/// The headline comparison of the persistent-tree refactor: editing one node of a ~1k-node
+/// tree by spine-copying (structural sharing) versus by deep-cloning the whole tree (the
+/// seed semantics). Also measures cloning a whole search state, which is an `Arc` bump.
+fn bench_replace_at_sharing(c: &mut Criterion) {
+    // A synthetic log large enough for a four-digit node count.
+    let queries = LogSpec::sdss_style(50, 7).generate().queries;
+    let tree = initial_difftree(&queries);
+    assert!(
+        tree.size() >= 1_000,
+        "expected a 1k-node tree, got {}",
+        tree.size()
+    );
+
+    // Edit target: a deep path in the middle of the tree.
+    let deepest = tree
+        .root()
+        .walk()
+        .into_iter()
+        .max_by_key(|(path, _)| path.depth())
+        .map(|(path, _)| path)
+        .expect("non-empty tree");
+    let replacement = DiffNode::empty();
+
+    let mut group = c.benchmark_group("replace_at_1k_nodes");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.bench_function("shared_spine", |b| {
+        b.iter(|| {
+            tree.replace_at(&deepest, replacement.clone())
+                .unwrap()
+                .size()
+        })
+    });
+    group.bench_function("deep_clone_baseline", |b| {
+        b.iter(|| {
+            deep_clone_replace_at(tree.root(), &deepest.0, &replacement)
+                .unwrap()
+                .size()
+        })
+    });
+    group.bench_function("state_clone", |b| b.iter(|| tree.clone().size()));
+    group.bench_function("node_at_deep_path", |b| {
+        b.iter(|| tree.node_at(&DiffPath(deepest.0.clone())).is_some())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_replace_at_sharing,
+    bench_rule_application,
+    bench_saturate_forward,
+    bench_expressibility
+);
 criterion_main!(benches);

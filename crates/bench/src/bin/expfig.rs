@@ -19,7 +19,10 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let which = args.first().map(String::as_str).unwrap_or("all");
     let iterations: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(800);
-    let budget = Budget::Either { iterations, time_millis: 60_000 };
+    let budget = Budget::Either {
+        iterations,
+        time_millis: 60_000,
+    };
     let seed = 42;
 
     let run_all = which == "all";
@@ -59,7 +62,11 @@ fn fig6(budget: Budget, seed: u64) {
         "scenario", "|Q|", "widgets", "cost", "bbox", "fits"
     );
     for row in fig6_report(budget, seed) {
-        let mix: Vec<String> = row.widget_mix.iter().map(|(t, n)| format!("{n}x{t}")).collect();
+        let mix: Vec<String> = row
+            .widget_mix
+            .iter()
+            .map(|(t, n)| format!("{n}x{t}"))
+            .collect();
         println!(
             "{:<16} {:>3} {:>8} {:>9.2} {:>5}x{:<6} {:>6}  {}",
             row.scenario,
@@ -90,7 +97,12 @@ fn stats(seed: u64) {
     for row in search_space_report(seed) {
         println!(
             "{:>8} {:>10} {:>14} {:>11} {:>12.1} {:>9}",
-            row.queries, row.tree_size, row.initial_fanout, row.max_fanout, row.mean_fanout, row.max_walk
+            row.queries,
+            row.tree_size,
+            row.initial_fanout,
+            row.max_fanout,
+            row.mean_fanout,
+            row.max_walk
         );
     }
 }
@@ -99,13 +111,19 @@ fn convergence(seed: u64) {
     header("S2 — MCTS convergence on Listing 1 (cost vs iteration budget)");
     println!("{:>12} {:>10} {:>12}", "iterations", "cost", "elapsed ms");
     for p in convergence_report(&[25, 50, 100, 200, 400], seed) {
-        println!("{:>12} {:>10.2} {:>12}", p.iterations, p.cost, p.elapsed_millis);
+        println!(
+            "{:>12} {:>10.2} {:>12}",
+            p.iterations, p.cost, p.elapsed_millis
+        );
     }
 }
 
 fn strategies(budget: Budget, seed: u64) {
     header("A1 — search-strategy ablation on Listing 1");
-    println!("{:<14} {:>10} {:>9} {:>13} {:>12}", "strategy", "cost", "widgets", "evaluations", "elapsed ms");
+    println!(
+        "{:<14} {:>10} {:>9} {:>13} {:>12}",
+        "strategy", "cost", "widgets", "evaluations", "elapsed ms"
+    );
     for row in strategy_report(&sdss_listing1(), budget, seed) {
         println!(
             "{:<14} {:>10.2} {:>9} {:>13} {:>12}",
@@ -117,7 +135,10 @@ fn strategies(budget: Budget, seed: u64) {
 fn baseline(budget: Budget, seed: u64) {
     header("S3 — MCTS vs bottom-up baseline (Zhang et al. 2017) on Listing 1");
     let (mcts, bottom_up) = baseline_report(&sdss_listing1(), budget, seed);
-    println!("{:<16} {:>10} {:>9} {:>12}", "approach", "cost", "widgets", "elapsed ms");
+    println!(
+        "{:<16} {:>10} {:>9} {:>12}",
+        "approach", "cost", "widgets", "elapsed ms"
+    );
     for row in [mcts, bottom_up] {
         println!(
             "{:<16} {:>10.2} {:>9} {:>12}",
@@ -128,7 +149,10 @@ fn baseline(budget: Budget, seed: u64) {
 
 fn hyper(seed: u64) {
     header("A2 — MCTS hyper-parameter sweep on Listing 1");
-    println!("{:>12} {:>4} {:>14} {:>10}", "exploration", "k", "rollout depth", "cost");
+    println!(
+        "{:>12} {:>4} {:>14} {:>10}",
+        "exploration", "k", "rollout depth", "cost"
+    );
     for row in hyperparameter_report(Budget::Iterations(80), seed) {
         println!(
             "{:>12.2} {:>4} {:>14} {:>10.2}",

@@ -145,7 +145,11 @@ pub struct InterfaceGenerator {
 impl InterfaceGenerator {
     /// Create a generator for a query log.
     pub fn new(queries: Vec<Ast>, config: GeneratorConfig) -> Self {
-        Self { queries, config, engine: RuleEngine::default() }
+        Self {
+            queries,
+            config,
+            engine: RuleEngine::default(),
+        }
     }
 
     /// Replace the rule engine (e.g. to restrict the rule set in ablations).
@@ -185,8 +189,7 @@ impl InterfaceGenerator {
                 (outcome.best_state, Some(outcome.stats), evals)
             }
             SearchStrategy::MctsParallel(workers) => {
-                let outcome =
-                    Mcts::new(&problem, self.config.mcts.clone()).run_parallel(workers);
+                let outcome = Mcts::new(&problem, self.config.mcts.clone()).run_parallel(workers);
                 let evals = outcome.stats.evaluations;
                 (outcome.best_state, Some(outcome.stats), evals)
             }
@@ -224,7 +227,13 @@ impl InterfaceGenerator {
             search: search_stats,
         };
 
-        GeneratedInterface { difftree: best_tree, assignment, widget_tree, cost, stats }
+        GeneratedInterface {
+            difftree: best_tree,
+            assignment,
+            widget_tree,
+            cost,
+            stats,
+        }
     }
 
     fn best_assignment_for(
@@ -233,8 +242,7 @@ impl InterfaceGenerator {
         tree: &DiffTree,
         eval_seed: u64,
     ) -> (WidgetChoiceMap, InterfaceCost) {
-        let (mut best_assignment, mut best_cost) =
-            problem.best_sampled_assignment(tree, eval_seed);
+        let (mut best_assignment, mut best_cost) = problem.best_sampled_assignment(tree, eval_seed);
         for candidate in enumerate_assignments(tree, self.config.final_enumeration_cap) {
             let cost = problem.cost_of_assignment(tree, &candidate);
             if cost.better_than(&best_cost) {
@@ -248,7 +256,7 @@ impl InterfaceGenerator {
 
 /// Extension trait object safety helper: `Mcts::new` takes the problem by value; implementing
 /// [`mctsui_mcts::SearchProblem`] for a reference lets the generator keep ownership.
-impl<'a> mctsui_mcts::SearchProblem for &'a InterfaceSearchProblem {
+impl mctsui_mcts::SearchProblem for &InterfaceSearchProblem {
     type State = DiffTree;
     type Action = mctsui_difftree::RuleApplication;
 
@@ -309,11 +317,9 @@ mod tests {
         let queries = figure1_queries();
         let quick = GeneratorConfig::quick(Screen::wide());
         let searched = InterfaceGenerator::new(queries.clone(), quick.clone()).generate();
-        let unsearched = InterfaceGenerator::new(
-            queries,
-            quick.with_strategy(SearchStrategy::InitialOnly),
-        )
-        .generate();
+        let unsearched =
+            InterfaceGenerator::new(queries, quick.with_strategy(SearchStrategy::InitialOnly))
+                .generate();
         assert!(searched.cost.total <= unsearched.cost.total);
     }
 
@@ -321,6 +327,9 @@ mod tests {
     fn strategies_all_produce_valid_interfaces() {
         let queries = figure1_queries();
         for strategy in [
+            // Root-parallel MCTS shares the Arc-backed states and the context cache across
+            // worker threads; including it here keeps that path covered.
+            SearchStrategy::MctsParallel(3),
             SearchStrategy::Greedy,
             SearchStrategy::RandomWalk { walks: 5, depth: 8 },
             SearchStrategy::Beam { width: 2, depth: 2 },
@@ -329,7 +338,10 @@ mod tests {
         ] {
             let config = GeneratorConfig::quick(Screen::wide()).with_strategy(strategy);
             let interface = InterfaceGenerator::new(queries.clone(), config).generate();
-            assert!(interface.cost.valid, "{strategy:?} produced an invalid interface");
+            assert!(
+                interface.cost.valid,
+                "{strategy:?} produced an invalid interface"
+            );
         }
     }
 

@@ -1,27 +1,33 @@
 //! The interface-generation search problem plugged into the generic MCTS engine.
 
-use parking_lot::Mutex;
-use rustc_hash::FxHashMap;
+use std::sync::Arc;
 
-use mctsui_cost::{evaluate_with_context, CostWeights, InterfaceCost, QueryContext};
+use mctsui_cost::{evaluate_with_context, ContextCache, CostWeights, InterfaceCost, QueryContext};
 use mctsui_difftree::{DiffTree, RuleApplication, RuleEngine};
 use mctsui_mcts::SearchProblem;
 use mctsui_sql::Ast;
-use mctsui_widgets::{build_widget_tree, default_assignment, random_assignment, Screen, WidgetChoiceMap};
+use mctsui_widgets::{
+    build_widget_tree, default_assignment, random_assignment, Screen, WidgetChoiceMap,
+};
 
 /// The search problem of the paper: states are difftrees, actions are transformation-rule
 /// applications, and the reward of a state is the negated cost of the best widget tree found
 /// by `k` random widget assignments (plus the deterministic greedy assignment).
+///
+/// States are persistent difftrees: cloning one (as the MCTS engine does on every expansion
+/// and every best-state update) is an `Arc` bump, and the expensive per-state work —
+/// expressing the whole query log — is served by a [`ContextCache`] that exploits the
+/// structural sharing between a state and its successors.
 pub struct InterfaceSearchProblem {
-    queries: Vec<Ast>,
+    queries: Arc<[Ast]>,
     engine: RuleEngine,
     screen: Screen,
     weights: CostWeights,
     /// Number of random widget assignments evaluated per reward call (the paper's `k`).
     pub assignments_per_eval: usize,
-    /// Memoised `QueryContext`s keyed by difftree fingerprint: expressing every query is the
-    /// expensive part of an evaluation and depends only on the difftree.
-    context_cache: Mutex<FxHashMap<u64, QueryContext>>,
+    /// Fingerprint-keyed context cache shared by every evaluation (and every worker of a
+    /// root-parallel search).
+    context_cache: ContextCache,
     initial: DiffTree,
 }
 
@@ -35,13 +41,14 @@ impl InterfaceSearchProblem {
         weights: CostWeights,
         assignments_per_eval: usize,
     ) -> Self {
+        let queries: Arc<[Ast]> = queries.into();
         Self {
+            context_cache: ContextCache::new(Arc::clone(&queries)),
             queries,
             engine,
             screen,
             weights,
             assignments_per_eval: assignments_per_eval.max(1),
-            context_cache: Mutex::new(FxHashMap::default()),
             initial,
         }
     }
@@ -67,14 +74,8 @@ impl InterfaceSearchProblem {
     }
 
     /// The (cached) query context of a difftree.
-    pub fn context_for(&self, tree: &DiffTree) -> QueryContext {
-        let key = tree.fingerprint();
-        if let Some(ctx) = self.context_cache.lock().get(&key) {
-            return ctx.clone();
-        }
-        let ctx = QueryContext::compute(tree, &self.queries);
-        self.context_cache.lock().insert(key, ctx.clone());
-        ctx
+    pub fn context_for(&self, tree: &DiffTree) -> Arc<QueryContext> {
+        self.context_cache.context_for(tree)
     }
 
     /// Evaluate one concrete widget assignment of a difftree.

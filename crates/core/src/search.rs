@@ -51,10 +51,16 @@ pub fn greedy_search(
     for step in 0..max_steps {
         let mut best_neighbor: Option<(DiffTree, f64)> = None;
         for action in problem.actions(&current) {
-            let Some(next) = problem.apply(&current, &action) else { continue };
+            let Some(next) = problem.apply(&current, &action) else {
+                continue;
+            };
             let reward = problem.reward(&next, eval_seed.wrapping_add(step as u64));
             evaluations += 1;
-            if best_neighbor.as_ref().map(|(_, r)| reward > *r).unwrap_or(true) {
+            if best_neighbor
+                .as_ref()
+                .map(|(_, r)| reward > *r)
+                .unwrap_or(true)
+            {
                 best_neighbor = Some((next, reward));
             }
         }
@@ -66,7 +72,11 @@ pub fn greedy_search(
             _ => break, // local optimum
         }
     }
-    BaselineOutcome { best_state: current, best_reward: current_reward, evaluations }
+    BaselineOutcome {
+        best_state: current,
+        best_reward: current_reward,
+        evaluations,
+    }
 }
 
 /// Repeated bounded random walks from the initial state, keeping the best endpoint.
@@ -102,7 +112,11 @@ pub fn random_walk_search(
             best_state = state;
         }
     }
-    BaselineOutcome { best_state, best_reward, evaluations }
+    BaselineOutcome {
+        best_state,
+        best_reward,
+        evaluations,
+    }
 }
 
 /// Beam search: keep the `width` best states per depth level, expand them all, repeat for
@@ -127,7 +141,9 @@ pub fn beam_search(
         let mut candidates: Vec<(DiffTree, f64)> = Vec::new();
         for (state, _) in &beam {
             for action in problem.actions(state) {
-                let Some(next) = problem.apply(state, &action) else { continue };
+                let Some(next) = problem.apply(state, &action) else {
+                    continue;
+                };
                 let fp = next.canonical_fingerprint();
                 if !seen.insert(fp) {
                     continue;
@@ -148,7 +164,11 @@ pub fn beam_search(
         candidates.truncate(width);
         beam = candidates;
     }
-    BaselineOutcome { best_state, best_reward, evaluations }
+    BaselineOutcome {
+        best_state,
+        best_reward,
+        evaluations,
+    }
 }
 
 /// Bounded exhaustive breadth-first search: expand every state (deduplicated by canonical
@@ -175,7 +195,9 @@ pub fn exhaustive_search(
             break;
         }
         for action in problem.actions(&state) {
-            let Some(next) = problem.apply(&state, &action) else { continue };
+            let Some(next) = problem.apply(&state, &action) else {
+                continue;
+            };
             if !seen.insert(next.canonical_fingerprint()) {
                 continue;
             }
@@ -191,7 +213,11 @@ pub fn exhaustive_search(
             }
         }
     }
-    BaselineOutcome { best_state, best_reward, evaluations }
+    BaselineOutcome {
+        best_state,
+        best_reward,
+        evaluations,
+    }
 }
 
 #[cfg(test)]

@@ -40,8 +40,15 @@ impl std::fmt::Display for SessionError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SessionError::NoSuchChoice(p) => write!(f, "no choice node at {p}"),
-            SessionError::OptionOutOfRange { path, pick, available } => {
-                write!(f, "option {pick} out of range for {path} ({available} available)")
+            SessionError::OptionOutOfRange {
+                path,
+                pick,
+                available,
+            } => {
+                write!(
+                    f,
+                    "option {pick} out of range for {path} ({available} available)"
+                )
             }
             SessionError::Inexpressible => write!(f, "query not expressible by this interface"),
         }
@@ -56,8 +63,7 @@ impl InterfaceSession {
     /// Fails if the interface cannot express that query (use one of the log's queries, or any
     /// query in the difftree's language).
     pub fn start(difftree: DiffTree, initial_query: &Ast) -> Result<Self, SessionError> {
-        let current =
-            express(difftree.root(), initial_query).ok_or(SessionError::Inexpressible)?;
+        let current = express(difftree.root(), initial_query).ok_or(SessionError::Inexpressible)?;
         Ok(Self { difftree, current })
     }
 
@@ -99,7 +105,10 @@ impl InterfaceSession {
             });
         }
         let inner = default_assignment_for(&node.children()[pick]);
-        let new_choice = ChoiceAssignment::Any { pick, inner: Box::new(inner) };
+        let new_choice = ChoiceAssignment::Any {
+            pick,
+            inner: Box::new(inner),
+        };
         self.current = replace_at_path(&self.difftree, &self.current, path, new_choice)
             .ok_or_else(|| SessionError::NoSuchChoice(path.clone()))?;
         Ok(self.current_query())
@@ -113,8 +122,13 @@ impl InterfaceSession {
             .filter(|n| n.kind() == DiffKind::Opt)
             .ok_or_else(|| SessionError::NoSuchChoice(path.clone()))?;
         let new_choice = if included {
-            let child = node.children().first().ok_or_else(|| SessionError::NoSuchChoice(path.clone()))?;
-            ChoiceAssignment::Opt { included: Some(Box::new(default_assignment_for(child))) }
+            let child = node
+                .children()
+                .first()
+                .ok_or_else(|| SessionError::NoSuchChoice(path.clone()))?;
+            ChoiceAssignment::Opt {
+                included: Some(Box::new(default_assignment_for(child))),
+            }
         } else {
             ChoiceAssignment::Opt { included: None }
         };
@@ -131,7 +145,10 @@ impl InterfaceSession {
             .node_at(path)
             .filter(|n| n.kind() == DiffKind::Multi)
             .ok_or_else(|| SessionError::NoSuchChoice(path.clone()))?;
-        let child = node.children().first().ok_or_else(|| SessionError::NoSuchChoice(path.clone()))?;
+        let child = node
+            .children()
+            .first()
+            .ok_or_else(|| SessionError::NoSuchChoice(path.clone()))?;
         let reps = (0..count).map(|_| default_assignment_for(child)).collect();
         let new_choice = ChoiceAssignment::Multi { reps };
         self.current = replace_at_path(&self.difftree, &self.current, path, new_choice)
@@ -141,8 +158,7 @@ impl InterfaceSession {
 
     /// Jump directly to a query (as clicking a "whole query" button would do).
     pub fn jump_to(&mut self, query: &Ast) -> Result<(), SessionError> {
-        self.current =
-            express(self.difftree.root(), query).ok_or(SessionError::Inexpressible)?;
+        self.current = express(self.difftree.root(), query).ok_or(SessionError::Inexpressible)?;
         Ok(())
     }
 }
@@ -151,9 +167,9 @@ impl InterfaceSession {
 /// every `Any`, include every `Opt`, derive `Multi` once.
 fn default_assignment_for(node: &DiffNode) -> ChoiceAssignment {
     match node.kind() {
-        DiffKind::All => ChoiceAssignment::All(
-            node.children().iter().map(default_assignment_for).collect(),
-        ),
+        DiffKind::All => {
+            ChoiceAssignment::All(node.children().iter().map(default_assignment_for).collect())
+        }
         DiffKind::Any => ChoiceAssignment::Any {
             pick: 0,
             inner: Box::new(
@@ -164,10 +180,18 @@ fn default_assignment_for(node: &DiffNode) -> ChoiceAssignment {
             ),
         },
         DiffKind::Opt => ChoiceAssignment::Opt {
-            included: node.children().first().map(|c| Box::new(default_assignment_for(c))),
+            included: node
+                .children()
+                .first()
+                .map(|c| Box::new(default_assignment_for(c))),
         },
         DiffKind::Multi => ChoiceAssignment::Multi {
-            reps: node.children().first().map(default_assignment_for).into_iter().collect(),
+            reps: node
+                .children()
+                .first()
+                .map(default_assignment_for)
+                .into_iter()
+                .collect(),
         },
     }
 }
@@ -209,7 +233,10 @@ fn replace_at_path(
                     default_assignment_for(child_node)
                 };
                 let new_inner = rec(child_node, &base, rest, replacement)?;
-                Some(ChoiceAssignment::Any { pick: idx, inner: Box::new(new_inner) })
+                Some(ChoiceAssignment::Any {
+                    pick: idx,
+                    inner: Box::new(new_inner),
+                })
             }
             (DiffKind::Opt, ChoiceAssignment::Opt { included }) => {
                 let child_node = node.children().get(idx)?;
@@ -218,7 +245,9 @@ fn replace_at_path(
                     None => default_assignment_for(child_node),
                 };
                 let new_inner = rec(child_node, &base, rest, replacement)?;
-                Some(ChoiceAssignment::Opt { included: Some(Box::new(new_inner)) })
+                Some(ChoiceAssignment::Opt {
+                    included: Some(Box::new(new_inner)),
+                })
             }
             (DiffKind::Multi, ChoiceAssignment::Multi { reps }) => {
                 let child_node = node.children().get(idx)?;
@@ -226,7 +255,10 @@ fn replace_at_path(
                 if out.is_empty() {
                     out.push(default_assignment_for(child_node));
                 }
-                let first = out.first().cloned().unwrap_or_else(|| default_assignment_for(child_node));
+                let first = out
+                    .first()
+                    .cloned()
+                    .unwrap_or_else(|| default_assignment_for(child_node));
                 out[0] = rec(child_node, &first, rest, replacement)?;
                 Some(ChoiceAssignment::Multi { reps: out })
             }
@@ -380,7 +412,10 @@ mod tests {
         let before = print_query(&session.current_query()).matches('a').count();
         let q2 = session.set_repetitions(&multi_path, 2).unwrap();
         let after = print_query(&q2).matches('a').count();
-        assert!(after > before, "adding repetitions must add table references ({before} -> {after})");
+        assert!(
+            after > before,
+            "adding repetitions must add table references ({before} -> {after})"
+        );
         // Removing all repetitions shrinks the FROM clause again.
         let q0 = session.set_repetitions(&multi_path, 0).unwrap();
         assert!(print_query(&q0).matches('a').count() < after);

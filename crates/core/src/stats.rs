@@ -103,7 +103,11 @@ pub fn search_space_stats(
         max_fanout,
         mean_fanout: fanout_sum / fanout_samples as f64,
         max_walk_length,
-        mean_walk_length: if walks == 0 { 0.0 } else { walk_length_sum as f64 / walks as f64 },
+        mean_walk_length: if walks == 0 {
+            0.0
+        } else {
+            walk_length_sum as f64 / walks as f64
+        },
         walks,
     }
 }

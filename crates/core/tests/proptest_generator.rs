@@ -21,7 +21,9 @@ fn query_log() -> impl Strategy<Value = Vec<Ast>> {
         if let Some(n) = top {
             sql.push_str(&format!("top {n} "));
         }
-        sql.push_str(&format!("{p} from {t} where u between 0 and 30 and g between 0 and 30"));
+        sql.push_str(&format!(
+            "{p} from {t} where u between 0 and 30 and g between 0 and 30"
+        ));
         parse_query(&sql).unwrap()
     });
     proptest::collection::vec(one, 2..6)

@@ -1,10 +1,13 @@
-//! Evaluation of `C(W, Q)` for a concrete widget tree.
+//! Evaluation of `C(W, Q)` for a concrete widget tree, plus the fingerprint-keyed
+//! [`ContextCache`] that makes state evaluation incremental across the search.
+
+use std::sync::{Arc, Mutex};
 
 use rustc_hash::FxHashMap;
 use serde::{Deserialize, Serialize};
 
-use mctsui_difftree::derive::express;
-use mctsui_difftree::{changed_choice_paths, ChoiceAssignment, DiffPath, DiffTree};
+use mctsui_difftree::derive::express_log;
+use mctsui_difftree::{changed_choice_paths, ChoiceAssignment, DiffPath, DiffTree, Expressor};
 use mctsui_sql::Ast;
 use mctsui_widgets::widget::appropriateness_cost;
 use mctsui_widgets::{Widget, WidgetTree};
@@ -31,25 +34,141 @@ pub struct QueryContext {
 impl QueryContext {
     /// Express every query in the difftree and precompute the per-transition changed-choice
     /// sets. Queries that are not expressible mark the context invalid.
+    ///
+    /// This one-shot entry point uses a throwaway match memo (still shared across the
+    /// queries of the log); inside search loops prefer [`ContextCache`], whose memo persists
+    /// across states and turns the shared-subtree structure of persistent difftrees into
+    /// cache hits.
     pub fn compute(tree: &DiffTree, queries: &[Ast]) -> Self {
-        let assignments: Vec<Option<ChoiceAssignment>> =
-            queries.iter().map(|q| express(tree.root(), q)).collect();
-        let all_expressible = assignments.iter().all(Option::is_some);
+        Self::from_assignments(tree, queries.len(), express_log(tree.root(), queries))
+    }
 
+    /// [`QueryContext::compute`] through a persistent [`Expressor`].
+    fn compute_with_expressor(tree: &DiffTree, expressor: &mut Expressor) -> Self {
+        let query_count = expressor.queries().len();
+        let assignments: Vec<Option<ChoiceAssignment>> = (0..query_count)
+            .map(|i| expressor.express(tree.root(), i))
+            .collect();
+        Self::from_assignments(tree, query_count, assignments)
+    }
+
+    fn from_assignments(
+        tree: &DiffTree,
+        query_count: usize,
+        assignments: Vec<Option<ChoiceAssignment>>,
+    ) -> Self {
+        let all_expressible = assignments.iter().all(Option::is_some);
         let mut transitions = Vec::new();
-        if all_expressible && queries.len() >= 2 {
+        if all_expressible && query_count >= 2 {
             for pair in assignments.windows(2) {
-                let (Some(a), Some(b)) = (&pair[0], &pair[1]) else { continue };
+                let (Some(a), Some(b)) = (&pair[0], &pair[1]) else {
+                    continue;
+                };
                 transitions.push(changed_choice_paths(tree.root(), a, b));
             }
         }
-        Self { all_expressible, query_count: queries.len(), transitions }
+        Self {
+            all_expressible,
+            query_count,
+            transitions,
+        }
     }
 
     /// Total number of widget changes across the whole log (the size of the "minimum set of
     /// widgets that need to be changed", summed over transitions).
     pub fn total_changes(&self) -> usize {
         self.transitions.iter().map(Vec::len).sum()
+    }
+}
+
+/// Cap on memoized match entries before the expressibility memo is dropped and rebuilt.
+const MEMO_TRIM_THRESHOLD: usize = 1 << 21;
+
+/// Cap on cached per-state contexts before the context map is dropped and rebuilt.
+const CONTEXT_TRIM_THRESHOLD: usize = 1 << 17;
+
+/// A shared, thread-safe cache of [`QueryContext`]s for one query log.
+///
+/// Two levels of reuse make state evaluation incremental across the search:
+///
+/// 1. **Per state** — contexts are keyed by the difftree's cached structural fingerprint
+///    (an O(1) lookup key on persistent trees), so re-visiting a state never re-expresses
+///    the log.
+/// 2. **Across states** — the embedded [`Expressor`] memoizes subtree-versus-span match
+///    results. Applying a rule produces a tree sharing every subtree off the edited spine
+///    with its predecessor, so only transitions through the changed region are recomputed;
+///    the rest of the expressibility work is looked up.
+///
+/// Both caches are bounded by trim thresholds and refill from the live working set.
+pub struct ContextCache {
+    queries: Arc<[Ast]>,
+    inner: Mutex<ContextCacheInner>,
+}
+
+struct ContextCacheInner {
+    /// `None` while a worker has the shared expressor checked out for a computation.
+    expressor: Option<Expressor>,
+    contexts: FxHashMap<u64, Arc<QueryContext>>,
+}
+
+impl ContextCache {
+    /// Build a cache for a query log.
+    pub fn new(queries: Arc<[Ast]>) -> Self {
+        Self {
+            queries: Arc::clone(&queries),
+            inner: Mutex::new(ContextCacheInner {
+                expressor: Some(Expressor::new(queries)),
+                contexts: FxHashMap::default(),
+            }),
+        }
+    }
+
+    /// The query log this cache evaluates against (a cheap handle to the shared log).
+    pub fn queries(&self) -> &Arc<[Ast]> {
+        &self.queries
+    }
+
+    /// The (cached) query context of a difftree state.
+    ///
+    /// The lock is never held across the (potentially expensive) context computation:
+    /// the shared expressor is checked out under the lock, used outside it, and returned.
+    /// If another worker has it checked out, this worker computes with a throwaway memo
+    /// instead of blocking — root-parallel searches stay parallel, merely forgoing the
+    /// cross-state memo for the overlapping computation.
+    pub fn context_for(&self, tree: &DiffTree) -> Arc<QueryContext> {
+        let key = tree.fingerprint();
+        let mut checked_out = {
+            let mut guard = self.inner.lock().expect("context cache poisoned");
+            if let Some(ctx) = guard.contexts.get(&key) {
+                return Arc::clone(ctx);
+            }
+            guard.expressor.take()
+        };
+
+        let ctx = Arc::new(match checked_out.as_mut() {
+            Some(expressor) => QueryContext::compute_with_expressor(tree, expressor),
+            None => QueryContext::compute(tree, &self.queries),
+        });
+
+        let mut guard = self.inner.lock().expect("context cache poisoned");
+        if let Some(mut expressor) = checked_out {
+            expressor.trim(MEMO_TRIM_THRESHOLD);
+            guard.expressor = Some(expressor);
+        }
+        if guard.contexts.len() >= CONTEXT_TRIM_THRESHOLD {
+            guard.contexts.clear();
+        }
+        // A concurrent worker may have computed the same state; keep the first entry.
+        Arc::clone(guard.contexts.entry(key).or_insert(ctx))
+    }
+
+    /// Number of cached per-state contexts (exposed for diagnostics).
+    pub fn cached_states(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("context cache poisoned")
+            .contexts
+            .len()
     }
 }
 
@@ -121,7 +240,13 @@ pub fn evaluate_with_context(
         }
     }
 
-    InterfaceCost::from_terms(appropriateness, navigation, interaction, widgets.len(), weights)
+    InterfaceCost::from_terms(
+        appropriateness,
+        navigation,
+        interaction,
+        widgets.len(),
+        weights,
+    )
 }
 
 #[cfg(test)]
@@ -251,8 +376,7 @@ mod tests {
         let weights = CostWeights::default();
 
         let initial = initial_difftree(&qs);
-        let wt_initial =
-            build_widget_tree(&initial, &default_assignment(&initial), Screen::wide());
+        let wt_initial = build_widget_tree(&initial, &default_assignment(&initial), Screen::wide());
         let cost_initial = evaluate(&initial, &wt_initial, &qs, &weights);
 
         let factored = RuleEngine::default().saturate_forward(&initial, 200);
@@ -276,8 +400,7 @@ mod tests {
         let ctx = QueryContext::compute(&tree, &qs);
         let weights = CostWeights::default();
         for seed in 0..5 {
-            let wt =
-                build_widget_tree(&tree, &random_assignment(&tree, seed), Screen::wide());
+            let wt = build_widget_tree(&tree, &random_assignment(&tree, seed), Screen::wide());
             let direct = evaluate(&tree, &wt, &qs, &weights);
             let via_ctx = evaluate_with_context(&wt, &ctx, &weights);
             assert_eq!(direct, via_ctx);

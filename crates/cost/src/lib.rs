@@ -22,5 +22,5 @@
 pub mod eval;
 pub mod model;
 
-pub use eval::{evaluate, evaluate_with_context, QueryContext};
+pub use eval::{evaluate, evaluate_with_context, ContextCache, QueryContext};
 pub use model::{CostWeights, InterfaceCost};

@@ -21,7 +21,12 @@ pub struct CostWeights {
 
 impl Default for CostWeights {
     fn default() -> Self {
-        Self { appropriateness: 1.0, navigation: 0.6, interaction: 1.0, footprint: 0.15 }
+        Self {
+            appropriateness: 1.0,
+            navigation: 0.6,
+            interaction: 1.0,
+            footprint: 0.15,
+        }
     }
 }
 
@@ -29,12 +34,22 @@ impl CostWeights {
     /// Weights that ignore the query sequence entirely (appropriateness only) — the setting
     /// of the 2017 bottom-up baseline, useful for ablations.
     pub fn appropriateness_only() -> Self {
-        Self { appropriateness: 1.0, navigation: 0.0, interaction: 0.0, footprint: 0.0 }
+        Self {
+            appropriateness: 1.0,
+            navigation: 0.0,
+            interaction: 0.0,
+            footprint: 0.0,
+        }
     }
 
     /// Weights that emphasise sequence usability over widget appropriateness.
     pub fn usability_heavy() -> Self {
-        Self { appropriateness: 0.5, navigation: 2.0, interaction: 2.0, footprint: 0.15 }
+        Self {
+            appropriateness: 0.5,
+            navigation: 2.0,
+            interaction: 2.0,
+            footprint: 0.15,
+        }
     }
 }
 
@@ -122,7 +137,12 @@ mod tests {
 
     #[test]
     fn from_terms_combines_linearly() {
-        let w = CostWeights { appropriateness: 2.0, navigation: 1.0, interaction: 0.5, footprint: 0.0 };
+        let w = CostWeights {
+            appropriateness: 2.0,
+            navigation: 1.0,
+            interaction: 0.5,
+            footprint: 0.0,
+        };
         let c = InterfaceCost::from_terms(3.0, 4.0, 2.0, 7, &w);
         assert!((c.total - (6.0 + 4.0 + 1.0)).abs() < 1e-9);
         assert!(c.valid);

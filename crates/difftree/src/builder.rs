@@ -54,8 +54,11 @@ mod tests {
 
     #[test]
     fn initial_tree_is_any_over_queries() {
-        let queries =
-            vec![q("select x from t"), q("select y from t"), q("select x from t where a = 1")];
+        let queries = vec![
+            q("select x from t"),
+            q("select y from t"),
+            q("select x from t where a = 1"),
+        ];
         let tree = initial_difftree(&queries);
         assert_eq!(tree.root().kind(), DiffKind::Any);
         assert_eq!(tree.root().children().len(), 3);

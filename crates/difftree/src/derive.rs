@@ -7,6 +7,9 @@
 //! query. The interface's usability cost needs to know *which* widgets a user must touch to
 //! go from one query to the next — [`changed_choice_paths`] computes exactly that set.
 
+use std::sync::Arc;
+
+use rustc_hash::FxHashMap;
 use serde::{Deserialize, Serialize};
 
 use mctsui_sql::Ast;
@@ -40,7 +43,12 @@ pub enum ChoiceAssignment {
 impl ChoiceAssignment {
     /// A trivial assignment for a concrete (choice-free) subtree.
     pub fn concrete(node: &DiffNode) -> ChoiceAssignment {
-        ChoiceAssignment::All(node.children().iter().map(ChoiceAssignment::concrete).collect())
+        ChoiceAssignment::All(
+            node.children()
+                .iter()
+                .map(ChoiceAssignment::concrete)
+                .collect(),
+        )
     }
 
     /// Number of choice decisions recorded in this assignment.
@@ -54,7 +62,10 @@ impl ChoiceAssignment {
                 1 + included.as_ref().map_or(0, |i| i.decision_count())
             }
             ChoiceAssignment::Multi { reps } => {
-                1 + reps.iter().map(ChoiceAssignment::decision_count).sum::<usize>()
+                1 + reps
+                    .iter()
+                    .map(ChoiceAssignment::decision_count)
+                    .sum::<usize>()
             }
         }
     }
@@ -115,14 +126,119 @@ pub fn derive_query(node: &DiffNode, assignment: &ChoiceAssignment) -> Option<As
     }
 }
 
+/// Memo table for expressibility matching.
+///
+/// Matching a difftree node against a span of target AST nodes is a pure function of the
+/// node's *structure* and the span's *contents*. Entries are keyed by the node's cached
+/// fingerprint plus the span's address and length, which makes the table reusable across
+/// search states: persistent trees share unedited subtrees, so after one `replace_at` every
+/// match result outside the edited spine is a cache hit. This is the incremental-maintenance
+/// payoff of the structurally shared representation.
+///
+/// The address-based key is only valid while the target ASTs stay alive and unmoved, which
+/// is why this type is crate-private: the safe ways to reuse a memo are [`Expressor`]
+/// (which owns and thereby pins its query log) and the call-scoped memos of [`express`],
+/// [`express_log`] and [`expresses_all`], which never outlive the target borrow.
+#[derive(Default)]
+pub(crate) struct ExpressMemo {
+    map: FxHashMap<MemoKey, Arc<MatchResults>>,
+}
+
+/// Memo key: (node fingerprint, target-span address, target-span length).
+type MemoKey = (u64, usize, usize);
+
+/// All the ways one node matches one span: (consumed targets, assignment) pairs.
+type MatchResults = Vec<(usize, ChoiceAssignment)>;
+
+impl ExpressMemo {
+    /// Number of memoized (node, span) entries.
+    pub(crate) fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Drop all entries.
+    pub(crate) fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+/// A reusable expressibility engine bound to one query log.
+///
+/// Owning the log (`Arc<[Ast]>`) pins the target ASTs in memory, which makes the
+/// address-keyed [`ExpressMemo`] sound for the whole lifetime of the `Expressor`. The cost
+/// layer keeps one of these per search problem so that expressing the log in state
+/// `T.replace_at(p, n)` reuses every match computed for the shared subtrees of `T`.
+pub struct Expressor {
+    queries: Arc<[Ast]>,
+    memo: ExpressMemo,
+}
+
+impl Expressor {
+    /// Build an engine for a query log.
+    pub fn new(queries: Arc<[Ast]>) -> Self {
+        Self {
+            queries,
+            memo: ExpressMemo::default(),
+        }
+    }
+
+    /// The query log this engine expresses.
+    pub fn queries(&self) -> &[Ast] {
+        &self.queries
+    }
+
+    /// Express the `index`-th query of the log in `node`, reusing memoized match results.
+    pub fn express(&mut self, node: &DiffNode, index: usize) -> Option<ChoiceAssignment> {
+        let Self { queries, memo } = self;
+        express_with_memo(node, &queries[index], memo)
+    }
+
+    /// Number of memoized entries (exposed for cache-pressure accounting).
+    pub fn memo_len(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// Clear the memo once it exceeds `max_entries` (a simple pressure valve for very long
+    /// search runs; the memo refills from the live working set).
+    pub fn trim(&mut self, max_entries: usize) {
+        if self.memo.len() > max_entries {
+            self.memo.clear();
+        }
+    }
+}
+
 /// Find a [`ChoiceAssignment`] under which `node` derives exactly the single AST `query`.
 ///
-/// Returns `None` when the difftree cannot express the query.
+/// Returns `None` when the difftree cannot express the query. Uses a throwaway memo; inside
+/// evaluation loops prefer [`Expressor`], whose memo persists across states.
 pub fn express(node: &DiffNode, query: &Ast) -> Option<ChoiceAssignment> {
+    express_with_memo(node, query, &mut ExpressMemo::default())
+}
+
+/// Express every query of a log against `node`, sharing one call-scoped memo across the
+/// queries (safe: the memo cannot outlive the borrow of `queries`).
+pub fn express_log(node: &DiffNode, queries: &[Ast]) -> Vec<Option<ChoiceAssignment>> {
+    let mut memo = ExpressMemo::default();
+    queries
+        .iter()
+        .map(|q| express_with_memo(node, q, &mut memo))
+        .collect()
+}
+
+/// [`express`] against a caller-provided memo.
+///
+/// Crate-private: the memo may only be reused across calls while every previously matched
+/// target AST is still alive and unmoved (see [`ExpressMemo`]); [`Expressor`] packages that
+/// guarantee for external callers.
+fn express_with_memo(
+    node: &DiffNode,
+    query: &Ast,
+    memo: &mut ExpressMemo,
+) -> Option<ChoiceAssignment> {
     let targets = std::slice::from_ref(query);
-    for (consumed, assignment) in match_node(node, targets) {
-        if consumed == targets.len() {
-            return Some(assignment);
+    for (consumed, assignment) in match_node(node, targets, memo).iter() {
+        if *consumed == targets.len() {
+            return Some(assignment.clone());
         }
     }
     None
@@ -130,24 +246,42 @@ pub fn express(node: &DiffNode, query: &Ast) -> Option<ChoiceAssignment> {
 
 /// True if `node` expresses every query in `queries`.
 pub fn expresses_all(node: &DiffNode, queries: &[Ast]) -> bool {
-    queries.iter().all(|q| express(node, q).is_some())
+    let mut memo = ExpressMemo::default();
+    queries
+        .iter()
+        .all(|q| express_with_memo(node, q, &mut memo).is_some())
+}
+
+/// Memoized entry point of the matcher.
+fn match_node(node: &DiffNode, targets: &[Ast], memo: &mut ExpressMemo) -> Arc<MatchResults> {
+    let key = (node.fingerprint(), targets.as_ptr() as usize, targets.len());
+    if let Some(hit) = memo.map.get(&key) {
+        return Arc::clone(hit);
+    }
+    let computed = Arc::new(match_node_uncached(node, targets, memo));
+    memo.map.insert(key, Arc::clone(&computed));
+    computed
 }
 
 /// All the ways `node` can derive a prefix of `targets`: pairs of (number of target nodes
 /// consumed, assignment). The list is small in practice; `Any` nodes contribute one entry per
 /// viable alternative.
-fn match_node(node: &DiffNode, targets: &[Ast]) -> Vec<(usize, ChoiceAssignment)> {
+fn match_node_uncached(node: &DiffNode, targets: &[Ast], memo: &mut ExpressMemo) -> MatchResults {
     match node.kind() {
         DiffKind::All => {
-            let Some(label) = node.label() else { return Vec::new() };
+            let Some(label) = node.label() else {
+                return Vec::new();
+            };
             if label.is_empty() {
                 return vec![(0, ChoiceAssignment::All(Vec::new()))];
             }
-            let Some(first) = targets.first() else { return Vec::new() };
+            let Some(first) = targets.first() else {
+                return Vec::new();
+            };
             if first.kind() != label.kind || first.value() != label.value.as_ref() {
                 return Vec::new();
             }
-            match match_children(node.children(), first.children()) {
+            match match_children(node.children(), first.children(), memo) {
                 Some(child_assignments) => vec![(1, ChoiceAssignment::All(child_assignments))],
                 None => Vec::new(),
             }
@@ -155,8 +289,14 @@ fn match_node(node: &DiffNode, targets: &[Ast]) -> Vec<(usize, ChoiceAssignment)
         DiffKind::Any => {
             let mut out = Vec::new();
             for (i, child) in node.children().iter().enumerate() {
-                for (consumed, inner) in match_node(child, targets) {
-                    out.push((consumed, ChoiceAssignment::Any { pick: i, inner: Box::new(inner) }));
+                for (consumed, inner) in match_node(child, targets, memo).iter() {
+                    out.push((
+                        *consumed,
+                        ChoiceAssignment::Any {
+                            pick: i,
+                            inner: Box::new(inner.clone()),
+                        },
+                    ));
                 }
             }
             out
@@ -164,11 +304,13 @@ fn match_node(node: &DiffNode, targets: &[Ast]) -> Vec<(usize, ChoiceAssignment)
         DiffKind::Opt => {
             let mut out = vec![(0, ChoiceAssignment::Opt { included: None })];
             if let Some(child) = node.children().first() {
-                for (consumed, inner) in match_node(child, targets) {
-                    if consumed > 0 {
+                for (consumed, inner) in match_node(child, targets, memo).iter() {
+                    if *consumed > 0 {
                         out.push((
-                            consumed,
-                            ChoiceAssignment::Opt { included: Some(Box::new(inner)) },
+                            *consumed,
+                            ChoiceAssignment::Opt {
+                                included: Some(Box::new(inner.clone())),
+                            },
                         ));
                     }
                 }
@@ -179,17 +321,24 @@ fn match_node(node: &DiffNode, targets: &[Ast]) -> Vec<(usize, ChoiceAssignment)
             // Zero or more repetitions; each repetition must consume at least one target node
             // to guarantee termination.
             let mut out = vec![(0, ChoiceAssignment::Multi { reps: Vec::new() })];
-            let Some(child) = node.children().first() else { return out };
+            let Some(child) = node.children().first() else {
+                return out;
+            };
             let mut frontier: Vec<(usize, Vec<ChoiceAssignment>)> = vec![(0, Vec::new())];
             while let Some((consumed_so_far, reps)) = frontier.pop() {
-                for (consumed, rep) in match_node(child, &targets[consumed_so_far..]) {
-                    if consumed == 0 {
+                for (consumed, rep) in match_node(child, &targets[consumed_so_far..], memo).iter() {
+                    if *consumed == 0 {
                         continue;
                     }
                     let total = consumed_so_far + consumed;
                     let mut new_reps = reps.clone();
-                    new_reps.push(rep);
-                    out.push((total, ChoiceAssignment::Multi { reps: new_reps.clone() }));
+                    new_reps.push(rep.clone());
+                    out.push((
+                        total,
+                        ChoiceAssignment::Multi {
+                            reps: new_reps.clone(),
+                        },
+                    ));
                     if total < targets.len() {
                         frontier.push((total, new_reps));
                     }
@@ -202,18 +351,23 @@ fn match_node(node: &DiffNode, targets: &[Ast]) -> Vec<(usize, ChoiceAssignment)
 
 /// Match a list of difftree children against a full AST child list (all targets must be
 /// consumed). Backtracks over the possible consumption splits.
-fn match_children(children: &[DiffNode], targets: &[Ast]) -> Option<Vec<ChoiceAssignment>> {
+fn match_children(
+    children: &[DiffNode],
+    targets: &[Ast],
+    memo: &mut ExpressMemo,
+) -> Option<Vec<ChoiceAssignment>> {
     fn rec(
         children: &[DiffNode],
         targets: &[Ast],
         acc: &mut Vec<ChoiceAssignment>,
+        memo: &mut ExpressMemo,
     ) -> bool {
         match children.split_first() {
             None => targets.is_empty(),
             Some((head, rest)) => {
-                for (consumed, assignment) in match_node(head, targets) {
-                    acc.push(assignment);
-                    if rec(rest, &targets[consumed..], acc) {
+                for (consumed, assignment) in match_node(head, targets, memo).iter() {
+                    acc.push(assignment.clone());
+                    if rec(rest, &targets[*consumed..], acc, memo) {
                         return true;
                     }
                     acc.pop();
@@ -223,7 +377,7 @@ fn match_children(children: &[DiffNode], targets: &[Ast]) -> Option<Vec<ChoiceAs
         }
     }
     let mut acc = Vec::with_capacity(children.len());
-    rec(children, targets, &mut acc).then_some(acc)
+    rec(children, targets, &mut acc, memo).then_some(acc)
 }
 
 /// The set of choice-node paths whose selections differ between two assignments over the same
@@ -259,8 +413,14 @@ fn walk_changes(
         }
         (
             DiffKind::Any,
-            ChoiceAssignment::Any { pick: pa, inner: ia },
-            ChoiceAssignment::Any { pick: pb, inner: ib },
+            ChoiceAssignment::Any {
+                pick: pa,
+                inner: ia,
+            },
+            ChoiceAssignment::Any {
+                pick: pb,
+                inner: ib,
+            },
         ) => {
             if pa != pb {
                 out.push(path);
@@ -315,11 +475,16 @@ pub fn language_size(node: &DiffNode, multi_cap: u32) -> u64 {
             .map(|c| language_size(c, multi_cap))
             .fold(0u64, u64::saturating_add)
             .max(1),
-        DiffKind::Opt => {
-            1u64.saturating_add(node.children().first().map_or(0, |c| language_size(c, multi_cap)))
-        }
+        DiffKind::Opt => 1u64.saturating_add(
+            node.children()
+                .first()
+                .map_or(0, |c| language_size(c, multi_cap)),
+        ),
         DiffKind::Multi => {
-            let child = node.children().first().map_or(1, |c| language_size(c, multi_cap));
+            let child = node
+                .children()
+                .first()
+                .map_or(1, |c| language_size(c, multi_cap));
             // 1 (zero reps) + child + child^2 + ... + child^cap
             let mut total = 1u64;
             let mut power = 1u64;
@@ -403,14 +568,17 @@ mod tests {
         let two = q("select x from a, a");
         let three = q("select x from a, a, a");
         let table = DiffNode::from_ast(&one.children()[1].children()[0]);
-        let from = DiffNode::all(Label::of_ast(&one.children()[1]), vec![DiffNode::multi(table)]);
+        let from = DiffNode::all(
+            Label::of_ast(&one.children()[1]),
+            vec![DiffNode::multi(table)],
+        );
         let select = DiffNode::all(
             Label::of_ast(&one),
             vec![DiffNode::from_ast(&one.children()[0]), from],
         );
         for query in [&one, &two, &three] {
             let a = express(&select, query).expect("multi should express repetition");
-            assert_eq!(&derive_query(&select, &a).unwrap(), *&query);
+            assert_eq!(&derive_query(&select, &a).unwrap(), query);
         }
         // A different table is not expressible.
         assert!(express(&select, &q("select x from b")).is_none());
@@ -454,7 +622,10 @@ mod tests {
         ]);
         let proj = DiffNode::all(
             Label::of_ast(&q1.children()[0]),
-            vec![DiffNode::all(Label::of_ast(&q1.children()[0].children()[0]), vec![col_any])],
+            vec![DiffNode::all(
+                Label::of_ast(&q1.children()[0].children()[0]),
+                vec![col_any],
+            )],
         );
         let select = DiffNode::all(
             Label::of_ast(&q1),

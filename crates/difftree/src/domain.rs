@@ -74,8 +74,7 @@ impl ChoiceDomain {
         }
         match node.kind() {
             DiffKind::Any => {
-                let labels: Vec<String> =
-                    node.children().iter().map(render_option).collect();
+                let labels: Vec<String> = node.children().iter().map(render_option).collect();
                 let numeric_values = numeric_values_of(node.children());
                 let all_leaf_literals = node.children().iter().all(is_scalar_option);
                 let value_kind = if numeric_values.len() == node.children().len()
@@ -105,7 +104,11 @@ impl ChoiceDomain {
                 })
             }
             DiffKind::Opt => {
-                let child_label = node.children().first().map(render_option).unwrap_or_default();
+                let child_label = node
+                    .children()
+                    .first()
+                    .map(render_option)
+                    .unwrap_or_default();
                 let labels = vec![child_label.clone(), "(none)".to_string()];
                 Some(ChoiceDomain {
                     path,
@@ -119,7 +122,11 @@ impl ChoiceDomain {
                 })
             }
             DiffKind::Multi => {
-                let child_label = node.children().first().map(render_option).unwrap_or_default();
+                let child_label = node
+                    .children()
+                    .first()
+                    .map(render_option)
+                    .unwrap_or_default();
                 Some(ChoiceDomain {
                     path,
                     choice_kind: DiffKind::Multi,
@@ -167,7 +174,9 @@ fn is_scalar_option(node: &DiffNode) -> bool {
     }
     node.kind() == DiffKind::All
         && node.children().is_empty()
-        && node.label().is_some_and(|l| l.kind.is_literal_like() || l.kind == NodeKind::Star)
+        && node
+            .label()
+            .is_some_and(|l| l.kind.is_literal_like() || l.kind == NodeKind::Star)
 }
 
 /// Numeric values of alternatives that are single numeric leaves; sorted ascending.
@@ -318,10 +327,7 @@ mod tests {
     fn nested_choice_alternative_gets_summary_label() {
         let inner = DiffNode::any(vec![str_leaf("USA"), str_leaf("EUR")]);
         let q1 = q("SELECT Sales FROM sales WHERE cty = 'USA'");
-        let where_with_choice = DiffNode::all(
-            Label::of_ast(&q1.children()[2]),
-            vec![inner],
-        );
+        let where_with_choice = DiffNode::all(Label::of_ast(&q1.children()[2]), vec![inner]);
         let any = DiffNode::any(vec![where_with_choice, DiffNode::empty()]);
         let d = ChoiceDomain::from_node(DiffPath::root(), &any).unwrap();
         assert!(d.labels[0].ends_with("..."));

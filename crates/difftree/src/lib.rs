@@ -30,7 +30,7 @@ pub mod node;
 pub mod rules;
 
 pub use builder::{initial_difftree, simplified_difftree};
-pub use derive::{changed_choice_paths, ChoiceAssignment};
+pub use derive::{changed_choice_paths, express_log, ChoiceAssignment, Expressor};
 pub use domain::{ChoiceDomain, DomainValueKind};
-pub use node::{DiffKind, DiffNode, DiffPath, DiffTree, Label};
+pub use node::{DiffKind, DiffNode, DiffPath, DiffTree, Label, LabelId};
 pub use rules::{Rule, RuleApplication, RuleEngine, RuleId};

@@ -1,17 +1,38 @@
-//! The difftree node structure.
+//! The difftree node structure — persistent, immutable, structurally shared.
 //!
 //! A [`DiffNode`] either *is* an AST node (`All`, carrying a [`Label`]) or is a structural
 //! choice combinator (`Any`, `Opt`, `Multi`). The special label `Empty` marks the empty
 //! alternative of an `Any` (used to express the absence of an optional clause — e.g. q3 in
 //! the paper's Figure 1 has no `WHERE` clause).
+//!
+//! # Representation
+//!
+//! The MCTS search explores difftree states with fanout ~50 along ~100-step paths, so state
+//! creation is the hot path. Nodes are therefore immutable and shared behind [`Arc`]:
+//!
+//! * `Clone` is a reference-count bump — cloning a whole search state is O(1);
+//! * [`DiffNode::replace_at`] copies only the *spine* from the root to the edited node and
+//!   shares every untouched subtree with the original tree (pointer-equal, observable via
+//!   [`DiffNode::ptr_eq`]);
+//! * every node caches its `size`, `depth`, `choice_count` and a structural `fingerprint`,
+//!   so those queries — which the rule engine, the cost model and state deduplication issue
+//!   constantly — are O(1) instead of O(subtree);
+//! * labels are interned through [`mctsui_sql::intern`], making label equality a pointer
+//!   comparison and label hashing a table lookup done once per distinct label.
+//!
+//! Equality first compares pointers, then cached fingerprints, and only walks the structure
+//! on a fingerprint match (shared subtrees short-circuit), so comparing unequal trees is
+//! O(1) and comparing equal trees skips every shared region.
 
-use std::collections::hash_map::DefaultHasher;
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
-use mctsui_sql::{Ast, Literal, NodeKind};
+use mctsui_sql::Ast;
+
+pub use mctsui_sql::{Label, LabelId};
 
 /// The four node kinds of a difftree.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -46,51 +67,6 @@ impl DiffKind {
 impl fmt::Display for DiffKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.name())
-    }
-}
-
-/// The AST label carried by an `All` node: the node kind plus its literal value.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
-pub struct Label {
-    /// The grammar-rule kind of the corresponding AST node.
-    pub kind: NodeKind,
-    /// The literal value of the corresponding AST node, if any.
-    pub value: Option<Literal>,
-}
-
-impl Label {
-    /// Build a label.
-    pub fn new(kind: NodeKind, value: Option<Literal>) -> Self {
-        Self { kind, value }
-    }
-
-    /// The label of the empty alternative.
-    pub fn empty() -> Self {
-        Self { kind: NodeKind::Empty, value: None }
-    }
-
-    /// True if this is the empty-alternative label.
-    pub fn is_empty(&self) -> bool {
-        self.kind == NodeKind::Empty
-    }
-
-    /// Extract the label of an AST node.
-    pub fn of_ast(ast: &Ast) -> Self {
-        Self { kind: ast.kind(), value: ast.value().cloned() }
-    }
-
-    /// Short human-readable rendering, e.g. `ColExpr:sales` or `Select`.
-    pub fn render(&self) -> String {
-        match &self.value {
-            Some(v) => format!("{}:{}", self.kind.name(), v.render()),
-            None => self.kind.name().to_string(),
-        }
-    }
-}
-
-impl fmt::Display for Label {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.render())
     }
 }
 
@@ -144,20 +120,75 @@ impl fmt::Display for DiffPath {
     }
 }
 
-/// A node of a difftree.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub struct DiffNode {
+/// The immutable payload of a node, shared behind `Arc`.
+#[derive(Debug)]
+struct NodeInner {
     kind: DiffKind,
-    label: Option<Label>,
+    label: Option<LabelId>,
     children: Vec<DiffNode>,
+    /// Cached number of nodes in the subtree.
+    size: usize,
+    /// Cached height of the subtree.
+    depth: usize,
+    /// Cached number of choice nodes in the subtree.
+    choice_count: usize,
+    /// Cached structural fingerprint (equal subtrees have equal fingerprints).
+    fingerprint: u64,
+}
+
+/// A node of a difftree: a cheap (`Arc`-backed) handle to an immutable subtree.
+#[derive(Debug, Clone)]
+pub struct DiffNode {
+    inner: Arc<NodeInner>,
+}
+
+/// Mix one value into a running structural hash (splitmix64-style finalizer).
+#[inline]
+fn mix(hash: u64, word: u64) -> u64 {
+    let mut z = hash ^ word.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl DiffNode {
     // ------------------------------------------------------------------ constructors
 
+    fn make(kind: DiffKind, label: Option<LabelId>, children: Vec<DiffNode>) -> Self {
+        let mut size = 1usize;
+        let mut depth = 0usize;
+        let mut choice_count = usize::from(kind.is_choice());
+        let mut fingerprint = mix(0x5EED_F1E1_D00D_CAFE, kind as u64 + 1);
+        fingerprint = mix(fingerprint, label.map_or(0, LabelId::content_hash));
+        fingerprint = mix(fingerprint, children.len() as u64);
+        for child in &children {
+            size += child.inner.size;
+            depth = depth.max(child.inner.depth);
+            choice_count += child.inner.choice_count;
+            fingerprint = mix(fingerprint, child.inner.fingerprint);
+        }
+        Self {
+            inner: Arc::new(NodeInner {
+                kind,
+                label,
+                children,
+                size,
+                depth: depth + 1,
+                choice_count,
+                fingerprint,
+            }),
+        }
+    }
+
     /// An `All` node with the given label and children.
     pub fn all(label: Label, children: Vec<DiffNode>) -> Self {
-        Self { kind: DiffKind::All, label: Some(label), children }
+        Self::all_interned(label.intern(), children)
+    }
+
+    /// An `All` node with an already interned label (the hot-path constructor used by the
+    /// rule engine).
+    pub fn all_interned(label: LabelId, children: Vec<DiffNode>) -> Self {
+        Self::make(DiffKind::All, Some(label), children)
     }
 
     /// An `All` leaf.
@@ -172,17 +203,17 @@ impl DiffNode {
 
     /// An `Any` node over the given alternatives.
     pub fn any(children: Vec<DiffNode>) -> Self {
-        Self { kind: DiffKind::Any, label: None, children }
+        Self::make(DiffKind::Any, None, children)
     }
 
     /// An `Opt` node over the given child.
     pub fn opt(child: DiffNode) -> Self {
-        Self { kind: DiffKind::Opt, label: None, children: vec![child] }
+        Self::make(DiffKind::Opt, None, vec![child])
     }
 
     /// A `Multi` node over the given child.
     pub fn multi(child: DiffNode) -> Self {
-        Self { kind: DiffKind::Multi, label: None, children: vec![child] }
+        Self::make(DiffKind::Multi, None, vec![child])
     }
 
     /// Convert an AST into the all-`All` difftree that expresses exactly that query.
@@ -190,92 +221,109 @@ impl DiffNode {
         if ast.is_empty_node() {
             return Self::empty();
         }
-        Self::all(Label::of_ast(ast), ast.children().iter().map(Self::from_ast).collect())
+        Self::all_interned(
+            LabelId::of_ast(ast),
+            ast.children().iter().map(Self::from_ast).collect(),
+        )
     }
 
     // ------------------------------------------------------------------ accessors
 
     /// This node's kind.
     pub fn kind(&self) -> DiffKind {
-        self.kind
+        self.inner.kind
     }
 
     /// This node's label (only `All` nodes carry one).
     pub fn label(&self) -> Option<&Label> {
-        self.label.as_ref()
+        self.inner.label.map(LabelId::label)
+    }
+
+    /// This node's interned label id (only `All` nodes carry one).
+    pub fn label_id(&self) -> Option<LabelId> {
+        self.inner.label
     }
 
     /// Children of this node.
     pub fn children(&self) -> &[DiffNode] {
-        &self.children
+        &self.inner.children
     }
 
-    /// Mutable access to children (used by the rule engine).
-    pub fn children_mut(&mut self) -> &mut Vec<DiffNode> {
-        &mut self.children
+    /// True if `a` and `b` are the *same* shared subtree (not merely structurally equal).
+    ///
+    /// This is the observable guarantee of structural sharing: after
+    /// [`DiffNode::replace_at`], every subtree off the edited path is `ptr_eq` to its
+    /// counterpart in the original tree.
+    pub fn ptr_eq(a: &DiffNode, b: &DiffNode) -> bool {
+        Arc::ptr_eq(&a.inner, &b.inner)
     }
 
     /// True if this is a choice node (`Any`, `Opt`, `Multi`).
     pub fn is_choice(&self) -> bool {
-        self.kind.is_choice()
+        self.inner.kind.is_choice()
     }
 
     /// True if this is the empty alternative.
     pub fn is_empty_alt(&self) -> bool {
-        self.kind == DiffKind::All
-            && self.children.is_empty()
-            && self.label.as_ref().is_some_and(Label::is_empty)
+        self.inner.kind == DiffKind::All
+            && self.inner.children.is_empty()
+            && self.inner.label.is_some_and(LabelId::is_empty)
     }
 
     /// True if this subtree contains no choice nodes (it expresses exactly one derivation).
     pub fn is_concrete(&self) -> bool {
-        !self.is_choice() && self.children.iter().all(DiffNode::is_concrete)
+        self.inner.choice_count == 0
     }
 
-    /// Number of nodes in the subtree.
+    /// Number of nodes in the subtree. O(1): cached at construction.
     pub fn size(&self) -> usize {
-        1 + self.children.iter().map(DiffNode::size).sum::<usize>()
+        self.inner.size
     }
 
-    /// Height of the subtree.
+    /// Height of the subtree. O(1): cached at construction.
     pub fn depth(&self) -> usize {
-        1 + self.children.iter().map(DiffNode::depth).max().unwrap_or(0)
+        self.inner.depth
     }
 
-    /// Number of choice nodes in the subtree.
+    /// Number of choice nodes in the subtree. O(1): cached at construction.
     pub fn choice_count(&self) -> usize {
-        let own = usize::from(self.is_choice());
-        own + self.children.iter().map(DiffNode::choice_count).sum::<usize>()
+        self.inner.choice_count
     }
 
-    /// Structural fingerprint (equal subtrees hash equal).
+    /// Structural fingerprint (equal subtrees hash equal). O(1): cached at construction.
     pub fn fingerprint(&self) -> u64 {
-        let mut h = DefaultHasher::new();
-        self.hash(&mut h);
-        h.finish()
+        self.inner.fingerprint
     }
 
     /// The node at `path`, if any.
     pub fn node_at(&self, path: &DiffPath) -> Option<&DiffNode> {
         let mut cur = self;
         for &idx in &path.0 {
-            cur = cur.children.get(idx)?;
+            cur = cur.inner.children.get(idx)?;
         }
         Some(cur)
     }
 
-    /// Replace the subtree at `path`, returning the new tree (`None` if the path is invalid).
+    /// Replace the subtree at `path`, returning the new tree (`None` if the path is
+    /// invalid).
+    ///
+    /// Only the spine from the root to the edited node is rebuilt; every sibling subtree is
+    /// shared (`Arc`-bumped, not cloned) with `self`, making the cost O(path length x
+    /// branching factor) rather than O(tree size).
     pub fn replace_at(&self, path: &DiffPath, replacement: DiffNode) -> Option<DiffNode> {
         fn rec(node: &DiffNode, steps: &[usize], replacement: &DiffNode) -> Option<DiffNode> {
             match steps.split_first() {
                 None => Some(replacement.clone()),
                 Some((&idx, rest)) => {
-                    if idx >= node.children.len() {
+                    if idx >= node.inner.children.len() {
                         return None;
                     }
-                    let mut copy = node.clone();
-                    copy.children[idx] = rec(&node.children[idx], rest, replacement)?;
-                    Some(copy)
+                    let new_child = rec(&node.inner.children[idx], rest, replacement)?;
+                    // Clone the child list (Arc bumps) and swap in the rebuilt child; the
+                    // spine node itself is reconstructed so its caches stay correct.
+                    let mut children = node.inner.children.clone();
+                    children[idx] = new_child;
+                    Some(DiffNode::make(node.inner.kind, node.inner.label, children))
                 }
             }
         }
@@ -287,7 +335,7 @@ impl DiffNode {
         let mut out = Vec::with_capacity(self.size());
         fn rec<'a>(node: &'a DiffNode, path: DiffPath, out: &mut Vec<(DiffPath, &'a DiffNode)>) {
             out.push((path.clone(), node));
-            for (i, child) in node.children.iter().enumerate() {
+            for (i, child) in node.inner.children.iter().enumerate() {
                 rec(child, path.child(i), out);
             }
         }
@@ -296,26 +344,38 @@ impl DiffNode {
     }
 
     /// Paths of every choice node, in pre-order.
+    ///
+    /// Subtrees without choice nodes are skipped entirely (their cached `choice_count` is
+    /// zero), so the cost is proportional to the *choice-bearing* region of the tree.
     pub fn choice_paths(&self) -> Vec<DiffPath> {
-        self.walk()
-            .into_iter()
-            .filter(|(_, n)| n.is_choice())
-            .map(|(p, _)| p)
-            .collect()
+        let mut out = Vec::with_capacity(self.choice_count());
+        fn rec(node: &DiffNode, path: DiffPath, out: &mut Vec<DiffPath>) {
+            if node.inner.choice_count == 0 {
+                return;
+            }
+            if node.is_choice() {
+                out.push(path.clone());
+            }
+            for (i, child) in node.inner.children.iter().enumerate() {
+                rec(child, path.child(i), out);
+            }
+        }
+        rec(self, DiffPath::root(), &mut out);
+        out
     }
 
     /// Convert a *concrete* subtree (no choice nodes) back into the AST sequence it derives.
     ///
     /// Returns `None` if the subtree still contains choice nodes.
     pub fn to_ast_sequence(&self) -> Option<Vec<Ast>> {
-        match self.kind {
+        match self.inner.kind {
             DiffKind::All => {
-                let label = self.label.as_ref()?;
+                let label = self.label()?;
                 if label.is_empty() {
                     return Some(Vec::new());
                 }
                 let mut children = Vec::new();
-                for c in &self.children {
+                for c in &self.inner.children {
                     children.extend(c.to_ast_sequence()?);
                 }
                 let ast = match &label.value {
@@ -328,15 +388,38 @@ impl DiffNode {
         }
     }
 
-    /// Canonicalise the subtree: deduplicate and sort the alternatives of every `Any` node by
-    /// fingerprint. Used to compare search states structurally.
+    /// Canonicalise the subtree: deduplicate and sort the alternatives of every `Any` node
+    /// by fingerprint. Used to compare search states structurally.
+    ///
+    /// Regions that are already canonical are returned as shared handles to the original
+    /// subtrees, so canonicalising a mostly-canonical tree allocates almost nothing.
     pub fn canonical(&self) -> DiffNode {
-        let mut children: Vec<DiffNode> = self.children.iter().map(DiffNode::canonical).collect();
-        if self.kind == DiffKind::Any {
-            children.sort_by_key(DiffNode::fingerprint);
-            children.dedup();
+        let mut changed = false;
+        let mut children: Vec<DiffNode> = self
+            .inner
+            .children
+            .iter()
+            .map(|c| {
+                let canonical = c.canonical();
+                changed |= !DiffNode::ptr_eq(&canonical, c);
+                canonical
+            })
+            .collect();
+        if self.inner.kind == DiffKind::Any {
+            let sorted = children
+                .windows(2)
+                .all(|w| w[0].fingerprint() < w[1].fingerprint());
+            if !sorted {
+                children.sort_by_key(DiffNode::fingerprint);
+                children.dedup();
+                changed = true;
+            }
         }
-        DiffNode { kind: self.kind, label: self.label.clone(), children }
+        if changed {
+            DiffNode::make(self.inner.kind, self.inner.label, children)
+        } else {
+            self.clone()
+        }
     }
 
     /// A compact one-line rendering, e.g. `ANY[(ALL Select ...)(ALL Select ...)]`.
@@ -348,16 +431,61 @@ impl DiffNode {
 
     fn write_sexpr(&self, out: &mut String) {
         out.push('(');
-        out.push_str(self.kind.name());
-        if let Some(l) = &self.label {
+        out.push_str(self.inner.kind.name());
+        if let Some(l) = self.label() {
             out.push(' ');
             out.push_str(&l.render());
         }
-        for c in &self.children {
+        for c in &self.inner.children {
             out.push(' ');
             c.write_sexpr(out);
         }
         out.push(')');
+    }
+}
+
+impl PartialEq for DiffNode {
+    fn eq(&self, other: &Self) -> bool {
+        if Arc::ptr_eq(&self.inner, &other.inner) {
+            return true;
+        }
+        if self.inner.fingerprint != other.inner.fingerprint || self.inner.size != other.inner.size
+        {
+            return false;
+        }
+        // Fingerprints matched: verify structurally. Shared subtrees short-circuit via the
+        // pointer check above, so this walk only descends into unshared regions.
+        self.inner.kind == other.inner.kind
+            && self.inner.label == other.inner.label
+            && self.inner.children == other.inner.children
+    }
+}
+
+impl Eq for DiffNode {}
+
+impl Hash for DiffNode {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.inner.fingerprint);
+    }
+}
+
+impl Serialize for DiffNode {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("kind".to_string(), self.inner.kind.to_value()),
+            ("label".to_string(), self.inner.label.to_value()),
+            ("children".to_string(), self.inner.children.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for DiffNode {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = serde::expect_object(v, "DiffNode")?;
+        let kind: DiffKind = serde::field(obj, "kind")?;
+        let label: Option<LabelId> = serde::field(obj, "label")?;
+        let children: Vec<DiffNode> = serde::field(obj, "children")?;
+        Ok(DiffNode::make(kind, label, children))
     }
 }
 
@@ -371,7 +499,8 @@ impl fmt::Display for DiffNode {
 ///
 /// The wrapper exists to host tree-level operations (expressibility over a whole query log,
 /// rule application bookkeeping, fingerprints) while [`DiffNode`] stays a plain recursive
-/// structure.
+/// structure. Like its nodes, a `DiffTree` is a cheap handle: cloning it is one `Arc` bump,
+/// which is what makes the MCTS search state O(1) to copy.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct DiffTree {
     root: DiffNode,
@@ -393,12 +522,12 @@ impl DiffTree {
         self.root
     }
 
-    /// Number of nodes.
+    /// Number of nodes. O(1).
     pub fn size(&self) -> usize {
         self.root.size()
     }
 
-    /// Number of choice nodes.
+    /// Number of choice nodes. O(1).
     pub fn choice_count(&self) -> usize {
         self.root.choice_count()
     }
@@ -413,7 +542,7 @@ impl DiffTree {
         self.root.node_at(path)
     }
 
-    /// Replace the subtree at `path`.
+    /// Replace the subtree at `path` (spine-copying; untouched subtrees stay shared).
     pub fn replace_at(&self, path: &DiffPath, replacement: DiffNode) -> Option<DiffTree> {
         self.root.replace_at(path, replacement).map(DiffTree::new)
     }
@@ -423,7 +552,7 @@ impl DiffTree {
         self.root.canonical().fingerprint()
     }
 
-    /// Structural fingerprint of the tree as-is.
+    /// Structural fingerprint of the tree as-is. O(1).
     pub fn fingerprint(&self) -> u64 {
         self.root.fingerprint()
     }
@@ -492,6 +621,79 @@ mod tests {
     }
 
     #[test]
+    fn replace_at_shares_untouched_siblings() {
+        let a = DiffNode::from_ast(&q("SELECT x FROM t"));
+        let b = DiffNode::from_ast(&q("SELECT y FROM t"));
+        let c = DiffNode::from_ast(&q("SELECT z FROM t"));
+        let tree = DiffTree::new(DiffNode::any(vec![a, b, c]));
+
+        let replacement = DiffNode::from_ast(&q("SELECT w FROM t"));
+        let edited = tree
+            .replace_at(&DiffPath(vec![1]), replacement.clone())
+            .unwrap();
+
+        // The edited child is the replacement itself; its siblings are pointer-equal to the
+        // originals (shared, not deep-cloned).
+        assert!(DiffNode::ptr_eq(
+            edited.node_at(&DiffPath(vec![1])).unwrap(),
+            &replacement
+        ));
+        for idx in [0usize, 2] {
+            let path = DiffPath(vec![idx]);
+            assert!(DiffNode::ptr_eq(
+                edited.node_at(&path).unwrap(),
+                tree.node_at(&path).unwrap()
+            ));
+        }
+        // The spine (root) was rebuilt.
+        assert!(!DiffNode::ptr_eq(edited.root(), tree.root()));
+    }
+
+    #[test]
+    fn clone_is_a_shared_handle() {
+        let tree = DiffTree::new(DiffNode::from_ast(&q(
+            "select top 10 objid from stars where u between 0 and 30",
+        )));
+        let copy = tree.clone();
+        assert!(DiffNode::ptr_eq(tree.root(), copy.root()));
+        assert_eq!(tree, copy);
+    }
+
+    #[test]
+    fn cached_metrics_match_recomputation() {
+        let ast = q("select top 10 objid, ra from stars where u between 0 and 30 and g < 5");
+        let node = DiffNode::from_ast(&ast);
+        let tree = DiffTree::new(DiffNode::any(vec![node.clone(), DiffNode::empty()]));
+        assert_eq!(tree.size(), tree.root().walk().len());
+        let naive_choices = tree
+            .root()
+            .walk()
+            .iter()
+            .filter(|(_, n)| n.is_choice())
+            .count();
+        assert_eq!(tree.choice_count(), naive_choices);
+        let naive_depth = fn_depth(tree.root());
+        assert_eq!(tree.root().depth(), naive_depth);
+
+        fn fn_depth(node: &DiffNode) -> usize {
+            1 + node.children().iter().map(fn_depth).max().unwrap_or(0)
+        }
+    }
+
+    #[test]
+    fn fingerprints_are_structural() {
+        let a = DiffNode::from_ast(&q("SELECT x FROM t"));
+        let b = DiffNode::from_ast(&q("SELECT x FROM t"));
+        let c = DiffNode::from_ast(&q("SELECT y FROM t"));
+        // Equal structure, separate allocations: equal fingerprints.
+        assert!(!DiffNode::ptr_eq(&a, &b));
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a, b);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        assert_ne!(a, c);
+    }
+
+    #[test]
     fn canonical_sorts_and_dedupes_any_children() {
         let a = DiffNode::from_ast(&q("SELECT x FROM t"));
         let b = DiffNode::from_ast(&q("SELECT y FROM t"));
@@ -503,6 +705,13 @@ mod tests {
             DiffTree::new(t1).canonical_fingerprint(),
             DiffTree::new(t2).canonical_fingerprint()
         );
+    }
+
+    #[test]
+    fn canonical_of_canonical_tree_is_shared() {
+        let concrete = DiffNode::from_ast(&q("SELECT x FROM t"));
+        let canonical = concrete.canonical();
+        assert!(DiffNode::ptr_eq(&concrete, &canonical));
     }
 
     #[test]
@@ -535,9 +744,15 @@ mod tests {
     #[test]
     fn serde_round_trip() {
         let ast = q("select top 10 objid from stars where u between 0 and 30");
-        let tree = DiffTree::new(DiffNode::any(vec![DiffNode::from_ast(&ast), DiffNode::empty()]));
+        let tree = DiffTree::new(DiffNode::any(vec![
+            DiffNode::from_ast(&ast),
+            DiffNode::empty(),
+        ]));
         let json = serde_json::to_string(&tree).unwrap();
         let back: DiffTree = serde_json::from_str(&json).unwrap();
         assert_eq!(tree, back);
+        // The deserialized tree recomputes identical caches.
+        assert_eq!(tree.size(), back.size());
+        assert_eq!(tree.fingerprint(), back.fingerprint());
     }
 }

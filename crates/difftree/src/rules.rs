@@ -29,7 +29,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::node::{DiffKind, DiffNode, DiffPath, DiffTree, Label};
+use crate::node::{DiffKind, DiffNode, DiffPath, DiffTree, LabelId};
 
 /// Identifier of a transformation rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -121,11 +121,19 @@ pub struct RuleApplication {
 
 impl RuleApplication {
     fn new(rule: RuleId, path: DiffPath) -> Self {
-        Self { rule, path, arg: None }
+        Self {
+            rule,
+            path,
+            arg: None,
+        }
     }
 
     fn with_arg(rule: RuleId, path: DiffPath, arg: usize) -> Self {
-        Self { rule, path, arg: Some(arg) }
+        Self {
+            rule,
+            path,
+            arg: Some(arg),
+        }
     }
 }
 
@@ -159,7 +167,10 @@ impl Default for RuleEngine {
 impl RuleEngine {
     /// An engine using the given rules.
     pub fn new(rules: Vec<RuleId>) -> Self {
-        Self { rules, max_inverse_alternatives: 12 }
+        Self {
+            rules,
+            max_inverse_alternatives: 12,
+        }
     }
 
     /// An engine with only the forward (simplifying) rules.
@@ -242,17 +253,17 @@ fn dispatch(rule: RuleId) -> Box<dyn Rule> {
 // ---------------------------------------------------------------------------------------
 
 /// True if every child of `node` is an `All` node carrying the same non-empty label; returns
-/// that label.
-fn common_all_label(node: &DiffNode) -> Option<Label> {
+/// that label. Labels are interned, so the comparison per child is a pointer check.
+fn common_all_label(node: &DiffNode) -> Option<LabelId> {
     if node.kind() != DiffKind::Any || node.children().len() < 2 {
         return None;
     }
-    let mut label: Option<&Label> = None;
+    let mut label: Option<LabelId> = None;
     for child in node.children() {
         if child.kind() != DiffKind::All {
             return None;
         }
-        let l = child.label()?;
+        let l = child.label_id()?;
         if l.is_empty() {
             return None;
         }
@@ -262,7 +273,7 @@ fn common_all_label(node: &DiffNode) -> Option<Label> {
             Some(_) => return None,
         }
     }
-    label.cloned()
+    label
 }
 
 /// Alignment of the child lists of several alternatives into columns.
@@ -284,7 +295,7 @@ fn align_alternative_children(alternatives: &[&DiffNode]) -> Vec<Vec<Option<Diff
         // LCS between current column keys and this alternative's child keys, then a standard
         // three-way merge walk so both the existing column order and this alternative's own
         // child order are preserved.
-        let col_keys: Vec<u64> = columns.iter().map(column_key).collect();
+        let col_keys: Vec<u64> = columns.iter().map(|c| column_key(c)).collect();
         let alt_keys: Vec<u64> = alt.children().iter().map(node_key).collect();
         let matches = lcs_pairs(&col_keys, &alt_keys);
 
@@ -338,12 +349,8 @@ fn node_key(node: &DiffNode) -> u64 {
     h.finish()
 }
 
-fn column_key(col: &Vec<Option<DiffNode>>) -> u64 {
-    col.iter()
-        .flatten()
-        .next()
-        .map(node_key)
-        .unwrap_or(0)
+fn column_key(col: &[Option<DiffNode>]) -> u64 {
+    col.iter().flatten().next().map(node_key).unwrap_or(0)
 }
 
 /// Longest common subsequence between two key sequences, returned as index pairs.
@@ -406,7 +413,9 @@ struct Any2All;
 
 impl Any2All {
     fn matches(node: &DiffNode) -> bool {
-        let Some(_) = common_all_label(node) else { return false };
+        let Some(_) = common_all_label(node) else {
+            return false;
+        };
         // Leave the single-child case to Lift so the two rules stay disjoint (the paper lists
         // both as separate rules).
         !node.children().iter().all(|c| c.children().len() == 1)
@@ -448,7 +457,7 @@ impl Rule for Any2All {
                 new_children.push(inner);
             }
         }
-        Some(DiffNode::all(label, new_children))
+        Some(DiffNode::all_interned(label, new_children))
     }
 }
 
@@ -456,8 +465,7 @@ struct Lift;
 
 impl Lift {
     fn matches(node: &DiffNode) -> bool {
-        common_all_label(node).is_some()
-            && node.children().iter().all(|c| c.children().len() == 1)
+        common_all_label(node).is_some() && node.children().iter().all(|c| c.children().len() == 1)
     }
 }
 
@@ -479,9 +487,12 @@ impl Rule for Lift {
             return None;
         }
         let label = common_all_label(node)?;
-        let inner: Vec<DiffNode> =
-            node.children().iter().map(|c| c.children()[0].clone()).collect();
-        Some(DiffNode::all(label, vec![any_or_single(inner)]))
+        let inner: Vec<DiffNode> = node
+            .children()
+            .iter()
+            .map(|c| c.children()[0].clone())
+            .collect();
+        Some(DiffNode::all_interned(label, vec![any_or_single(inner)]))
     }
 }
 
@@ -534,7 +545,10 @@ impl Rule for MultiMerge {
     fn rewrite(&self, node: &DiffNode, _arg: Option<usize>) -> Option<DiffNode> {
         let repeated = Self::repeated_subtree(node)?;
         let label = common_all_label(node)?;
-        Some(DiffNode::all(label, vec![DiffNode::multi(repeated)]))
+        Some(DiffNode::all_interned(
+            label,
+            vec![DiffNode::multi(repeated)],
+        ))
     }
 }
 
@@ -593,7 +607,7 @@ impl Rule for MultiRule {
         new_children.extend_from_slice(&children[..start]);
         new_children.push(DiffNode::multi(target.clone()));
         new_children.extend_from_slice(&children[end..]);
-        Some(DiffNode::all(node.label()?.clone(), new_children))
+        Some(DiffNode::all_interned(node.label_id()?, new_children))
     }
 }
 
@@ -723,8 +737,7 @@ struct FlattenAny;
 
 impl FlattenAny {
     fn matches(node: &DiffNode) -> bool {
-        node.kind() == DiffKind::Any
-            && node.children().iter().any(|c| c.kind() == DiffKind::Any)
+        node.kind() == DiffKind::Any && node.children().iter().any(|c| c.kind() == DiffKind::Any)
     }
 }
 
@@ -790,7 +803,7 @@ impl Rule for Any2AllInverse {
         if node.kind() != DiffKind::All {
             return None;
         }
-        let label = node.label()?.clone();
+        let label = node.label_id()?;
         let any_child = node.children().get(idx)?;
         if any_child.kind() != DiffKind::Any {
             return None;
@@ -799,7 +812,7 @@ impl Rule for Any2AllInverse {
         for option in any_child.children() {
             let mut new_children = node.children().to_vec();
             new_children[idx] = option.clone();
-            alternatives.push(DiffNode::all(label.clone(), new_children));
+            alternatives.push(DiffNode::all_interned(label, new_children));
         }
         Some(DiffNode::any(alternatives))
     }
@@ -824,7 +837,9 @@ mod tests {
     }
 
     fn initial(queries: &[Ast]) -> DiffTree {
-        DiffTree::new(DiffNode::any(queries.iter().map(DiffNode::from_ast).collect()))
+        DiffTree::new(DiffNode::any(
+            queries.iter().map(DiffNode::from_ast).collect(),
+        ))
     }
 
     #[test]
@@ -839,7 +854,10 @@ mod tests {
 
         // The factored tree is rooted at ALL(Select) ...
         assert_eq!(factored.root().kind(), DiffKind::All);
-        assert_eq!(factored.root().label().unwrap().kind, mctsui_sql::NodeKind::Select);
+        assert_eq!(
+            factored.root().label().unwrap().kind,
+            mctsui_sql::NodeKind::Select
+        );
         // ... and still expresses every input query (indeed more, per the paper).
         assert!(expresses_all(factored.root(), &queries));
         // The WHERE clause column became optional because q3 lacks it.
@@ -992,7 +1010,10 @@ mod tests {
             .collect();
         assert!(!inverse_apps.is_empty());
         let expanded = engine.apply(&factored, &inverse_apps[0]).unwrap();
-        assert_eq!(expanded.node_at(&inverse_apps[0].path).unwrap().kind(), DiffKind::Any);
+        assert_eq!(
+            expanded.node_at(&inverse_apps[0].path).unwrap().kind(),
+            DiffKind::Any
+        );
         assert!(expresses_all(expanded.root(), &queries));
     }
 

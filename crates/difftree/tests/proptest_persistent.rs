@@ -1,0 +1,229 @@
+//! Property tests for the persistent (Arc-shared, cache-carrying) difftree representation.
+//!
+//! The representation changed from deep-owned `Vec<DiffNode>` children to structurally
+//! shared persistent trees; these tests pin down that the change is *unobservable* through
+//! the public API, and that the sharing the refactor promises actually happens:
+//!
+//! 1. `size` / `depth` / `choice_count` / `choice_paths` agree with a naive deep-owned
+//!    reference implementation on random trees.
+//! 2. `replace_at` produces exactly the tree the reference implementation produces
+//!    (including `None` on invalid paths).
+//! 3. `express` results are identical on a shared-spine tree and on a freshly rebuilt,
+//!    totally unshared copy of the same tree (so sharing never leaks into matching).
+//! 4. After `replace_at`, every subtree off the edited spine is **pointer-equal** to its
+//!    counterpart in the original tree, and `Clone` of a search state shares the root.
+
+use proptest::prelude::*;
+
+use mctsui_difftree::derive::{derive_query, express};
+use mctsui_difftree::{
+    initial_difftree, DiffKind, DiffNode, DiffPath, DiffTree, Label, RuleEngine,
+};
+use mctsui_sql::{parse_query, Ast};
+
+// ---------------------------------------------------------------------------------------
+// A naive deep-owned reference implementation (the seed semantics)
+// ---------------------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+struct RefNode {
+    kind: DiffKind,
+    label: Option<Label>,
+    children: Vec<RefNode>,
+}
+
+fn mirror(node: &DiffNode) -> RefNode {
+    RefNode {
+        kind: node.kind(),
+        label: node.label().cloned(),
+        children: node.children().iter().map(mirror).collect(),
+    }
+}
+
+/// Rebuild a totally fresh persistent tree (shares nothing with the tree `mirror` came from).
+fn rebuild(node: &RefNode) -> DiffNode {
+    let children: Vec<DiffNode> = node.children.iter().map(rebuild).collect();
+    match node.kind {
+        DiffKind::All => DiffNode::all(
+            node.label.clone().expect("All nodes carry labels"),
+            children,
+        ),
+        DiffKind::Any => DiffNode::any(children),
+        DiffKind::Opt => DiffNode::opt(children.into_iter().next().expect("Opt has a child")),
+        DiffKind::Multi => DiffNode::multi(children.into_iter().next().expect("Multi has a child")),
+    }
+}
+
+fn ref_size(node: &RefNode) -> usize {
+    1 + node.children.iter().map(ref_size).sum::<usize>()
+}
+
+fn ref_depth(node: &RefNode) -> usize {
+    1 + node.children.iter().map(ref_depth).max().unwrap_or(0)
+}
+
+fn ref_choice_paths(node: &RefNode, path: DiffPath, out: &mut Vec<DiffPath>) {
+    if node.kind.is_choice() {
+        out.push(path.clone());
+    }
+    for (i, child) in node.children.iter().enumerate() {
+        ref_choice_paths(child, path.child(i), out);
+    }
+}
+
+fn ref_replace_at(node: &RefNode, steps: &[usize], replacement: &RefNode) -> Option<RefNode> {
+    match steps.split_first() {
+        None => Some(replacement.clone()),
+        Some((&idx, rest)) => {
+            if idx >= node.children.len() {
+                return None;
+            }
+            let mut copy = node.clone();
+            copy.children[idx] = ref_replace_at(&node.children[idx], rest, replacement)?;
+            Some(copy)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------------------
+// Random realistic trees: rule-application walks over random query logs
+// ---------------------------------------------------------------------------------------
+
+fn query_log() -> impl Strategy<Value = Vec<Ast>> {
+    let table = prop_oneof![Just("stars"), Just("galaxies"), Just("quasars")];
+    let projection = prop_oneof![Just("objid"), Just("count(*)"), Just("ra")];
+    let top = proptest::option::of(prop_oneof![Just(10i64), Just(100), Just(1000)]);
+    let with_where = any::<bool>();
+    let one = (table, projection, top, with_where).prop_map(|(t, p, top, w)| {
+        let mut sql = String::from("select ");
+        if let Some(n) = top {
+            sql.push_str(&format!("top {n} "));
+        }
+        sql.push_str(&format!("{p} from {t}"));
+        if w {
+            sql.push_str(" where u between 0 and 30");
+        }
+        parse_query(&sql).expect("generated query parses")
+    });
+    proptest::collection::vec(one, 2..7)
+}
+
+/// A deterministic pseudo-random rule walk (as in `proptest_rules.rs`).
+fn random_walk(queries: &[Ast], steps: usize, seed: usize) -> DiffTree {
+    let engine = RuleEngine::default();
+    let mut tree = initial_difftree(queries);
+    for step in 0..steps {
+        let apps = engine.applicable(&tree);
+        if apps.is_empty() {
+            break;
+        }
+        let idx = (seed.wrapping_mul(31).wrapping_add(step * 17)) % apps.len();
+        match engine.apply(&tree, &apps[idx]) {
+            Some(next) => tree = next,
+            None => break,
+        }
+    }
+    tree
+}
+
+/// Pick a pseudo-random existing path of the tree.
+fn pick_path(tree: &DiffTree, seed: usize) -> DiffPath {
+    let walk = tree.root().walk();
+    walk[(seed.wrapping_mul(131)) % walk.len()].0.clone()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn metrics_match_reference(queries in query_log(), seed in 0usize..1000, steps in 0usize..6) {
+        let tree = random_walk(&queries, steps, seed);
+        let reference = mirror(tree.root());
+        prop_assert_eq!(tree.size(), ref_size(&reference));
+        prop_assert_eq!(tree.root().depth(), ref_depth(&reference));
+        let mut expected_paths = Vec::new();
+        ref_choice_paths(&reference, DiffPath::root(), &mut expected_paths);
+        prop_assert_eq!(tree.choice_paths(), expected_paths.clone());
+        prop_assert_eq!(tree.choice_count(), expected_paths.len());
+    }
+
+    #[test]
+    fn replace_at_matches_reference(queries in query_log(), seed in 0usize..1000, steps in 0usize..6) {
+        let tree = random_walk(&queries, steps, seed);
+        let reference = mirror(tree.root());
+        let target = pick_path(&tree, seed);
+        let replacement = DiffNode::any(vec![
+            DiffNode::from_ast(&queries[0]),
+            DiffNode::empty(),
+        ]);
+        let ref_replacement = mirror(&replacement);
+
+        let edited = tree.replace_at(&target, replacement).expect("existing path");
+        let ref_edited =
+            ref_replace_at(&reference, &target.0, &ref_replacement).expect("existing path");
+        prop_assert_eq!(mirror(edited.root()), ref_edited);
+
+        // Invalid paths are rejected identically.
+        let mut bogus = target.0.clone();
+        bogus.push(usize::MAX);
+        prop_assert!(tree.replace_at(&DiffPath(bogus.clone()), DiffNode::empty()).is_none());
+        prop_assert!(ref_replace_at(&reference, &bogus, &RefNode {
+            kind: DiffKind::All,
+            label: Some(Label::empty()),
+            children: Vec::new(),
+        }).is_none());
+    }
+
+    #[test]
+    fn express_is_sharing_oblivious(queries in query_log(), seed in 0usize..1000) {
+        // A tree produced by shared-spine rule applications and a totally fresh rebuild of
+        // the same structure must express exactly the same queries with the same
+        // assignments.
+        let shared = random_walk(&queries, 4, seed);
+        let fresh = DiffTree::new(rebuild(&mirror(shared.root())));
+        prop_assert_eq!(shared.fingerprint(), fresh.fingerprint());
+        for q in &queries {
+            let a = express(shared.root(), q);
+            let b = express(fresh.root(), q);
+            prop_assert_eq!(&a, &b);
+            let assignment = a.expect("rule walks preserve expressibility");
+            prop_assert_eq!(&derive_query(shared.root(), &assignment).expect("derivable"), q);
+        }
+    }
+
+    #[test]
+    fn replace_at_shares_everything_off_the_spine(
+        queries in query_log(),
+        seed in 0usize..1000,
+        steps in 0usize..6,
+    ) {
+        let tree = random_walk(&queries, steps, seed);
+        let target = pick_path(&tree, seed);
+        let edited = tree.replace_at(&target, DiffNode::empty()).expect("existing path");
+
+        for (path, original_node) in tree.root().walk() {
+            let off_spine = !target.is_prefix_of(&path) && !path.is_prefix_of(&target);
+            if off_spine {
+                let edited_node = edited.node_at(&path).expect("off-spine path survives");
+                prop_assert!(
+                    DiffNode::ptr_eq(original_node, edited_node),
+                    "subtree at {} was copied instead of shared",
+                    path
+                );
+            }
+        }
+        // Spine nodes (strict ancestors of the target) are rebuilt, not shared.
+        if let Some(parent) = target.parent() {
+            let rebuilt = edited.node_at(&parent).expect("ancestor exists");
+            prop_assert!(!DiffNode::ptr_eq(tree.node_at(&parent).expect("ancestor"), rebuilt));
+        }
+    }
+
+    #[test]
+    fn state_clone_is_a_shared_handle(queries in query_log(), seed in 0usize..1000) {
+        let tree = random_walk(&queries, 3, seed);
+        let copied = tree.clone();
+        prop_assert!(DiffNode::ptr_eq(tree.root(), copied.root()));
+        prop_assert_eq!(tree, copied);
+    }
+}

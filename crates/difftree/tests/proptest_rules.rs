@@ -30,7 +30,9 @@ fn query_log() -> impl Strategy<Value = Vec<Ast>> {
             }
             sql.push_str(&format!("{projection} from {table}"));
             if with_where {
-                sql.push_str(&format!(" where u between {bound} and 30 and g between 0 and 30"));
+                sql.push_str(&format!(
+                    " where u between {bound} and 30 and g between 0 and 30"
+                ));
             }
             parse_query(&sql).expect("generated query parses")
         },

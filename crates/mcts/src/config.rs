@@ -108,7 +108,10 @@ mod tests {
         assert_eq!(Budget::Iterations(10).time_limit_millis(), None);
         assert_eq!(Budget::TimeMillis(500).time_limit_millis(), Some(500));
         assert_eq!(Budget::TimeMillis(500).max_iterations(), usize::MAX);
-        let both = Budget::Either { iterations: 7, time_millis: 9 };
+        let both = Budget::Either {
+            iterations: 7,
+            time_millis: 9,
+        };
         assert_eq!(both.max_iterations(), 7);
         assert_eq!(both.time_limit_millis(), Some(9));
     }

@@ -176,7 +176,11 @@ impl<P: SearchProblem> Mcts<P> {
         }
 
         let elapsed_millis = start.elapsed().as_millis() as u64;
-        trace.push(RewardTracePoint { iteration: iterations, elapsed_millis, best_reward });
+        trace.push(RewardTracePoint {
+            iteration: iterations,
+            elapsed_millis,
+            best_reward,
+        });
         SearchOutcome {
             best_state,
             best_reward,
@@ -202,7 +206,14 @@ impl<P: SearchProblem> Mcts<P> {
             let j = rng.gen_range(0..=i);
             untried.swap(i, j);
         }
-        Node { state, parent, children: Vec::new(), untried, visits: 0.0, total_reward: 0.0 }
+        Node {
+            state,
+            parent,
+            children: Vec::new(),
+            untried,
+            visits: 0.0,
+            total_reward: 0.0,
+        }
     }
 
     fn select_child(&self, nodes: &[Node<P::State, P::Action>], parent: usize) -> usize {
@@ -256,26 +267,30 @@ where
     /// Root-parallel search: run `threads` independent searches with different seeds on
     /// scoped threads and keep the best outcome. Statistics are summed across workers except
     /// for the trace, which is taken from the winning worker.
+    ///
+    /// Workers share the problem by reference (`P: Sync`), so a problem with internal
+    /// caching — like the interface search problem's context cache — shares its cache across
+    /// workers. States only cross threads as return values, hence the `P::State: Send`
+    /// bound; `Arc`-backed persistent states satisfy it for free.
     pub fn run_parallel(&self, threads: usize) -> SearchOutcome<P::State> {
         let threads = threads.max(1);
         if threads == 1 {
             return self.run();
         }
-        let outcomes = crossbeam::thread::scope(|scope| {
+        let outcomes = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(threads);
             for t in 0..threads {
                 let seed = self
                     .config
                     .seed
                     .wrapping_add((t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-                handles.push(scope.spawn(move |_| self.run_seeded(seed)));
+                handles.push(scope.spawn(move || self.run_seeded(seed)));
             }
             handles
                 .into_iter()
                 .map(|h| h.join().expect("search worker panicked"))
                 .collect::<Vec<_>>()
-        })
-        .expect("crossbeam scope failed");
+        });
 
         let mut combined_stats = SearchStats {
             iterations: 0,
@@ -289,8 +304,9 @@ where
             combined_stats.iterations += outcome.stats.iterations;
             combined_stats.nodes += outcome.stats.nodes;
             combined_stats.evaluations += outcome.stats.evaluations;
-            combined_stats.elapsed_millis =
-                combined_stats.elapsed_millis.max(outcome.stats.elapsed_millis);
+            combined_stats.elapsed_millis = combined_stats
+                .elapsed_millis
+                .max(outcome.stats.elapsed_millis);
             let is_better = best
                 .as_ref()
                 .map(|b| outcome.best_reward > b.best_reward)

@@ -15,7 +15,7 @@
 //!
 //! The engine is deterministic for a fixed seed, supports wall-clock and iteration budgets,
 //! records a best-reward-over-time trace (used by the convergence experiments), and offers a
-//! root-parallel variant built on crossbeam's scoped threads.
+//! root-parallel variant built on std's scoped threads.
 
 pub mod config;
 pub mod engine;
@@ -131,7 +131,10 @@ mod tests {
             ..MctsConfig::default()
         };
         let outcome = Mcts::new(DeepBonus, config).run();
-        assert_eq!(outcome.best_reward, 100.0, "MCTS should discover the deep bonus state");
+        assert_eq!(
+            outcome.best_reward, 100.0,
+            "MCTS should discover the deep bonus state"
+        );
         assert_eq!(outcome.best_state, 12);
     }
 

@@ -72,7 +72,10 @@ fn render_widget(widget: &Widget) -> Vec<String> {
     let head = format!("{} @{}", widget.widget_type, widget.target);
     match widget.widget_type {
         WidgetType::Dropdown => {
-            vec![head, format!("  [{} ▾]  ({} options)", first(options), options.len())]
+            vec![
+                head,
+                format!("  [{} ▾]  ({} options)", first(options), options.len()),
+            ]
         }
         WidgetType::RadioButtons => {
             let mut lines = vec![head];
@@ -211,7 +214,10 @@ mod tests {
 
     #[test]
     fn boxed_pads_to_uniform_width() {
-        let lines = boxed("t", &["short".to_string(), "a much longer line".to_string()]);
+        let lines = boxed(
+            "t",
+            &["short".to_string(), "a much longer line".to_string()],
+        );
         let widths: Vec<usize> = lines.iter().map(|l| l.chars().count()).collect();
         assert!(widths.windows(2).all(|w| w[0] == w[1]), "{lines:?}");
     }

@@ -113,14 +113,24 @@ fn render_widget(widget: &Widget, out: &mut String) {
         }
         WidgetType::Slider => {
             let lo = widget.domain.numeric_values.first().copied().unwrap_or(0.0);
-            let hi = widget.domain.numeric_values.last().copied().unwrap_or(100.0);
+            let hi = widget
+                .domain
+                .numeric_values
+                .last()
+                .copied()
+                .unwrap_or(100.0);
             out.push_str(&format!(
                 "<input type=\"range\" min=\"{lo}\" max=\"{hi}\"><span>{lo} – {hi}</span>"
             ));
         }
         WidgetType::RangeSlider => {
             let lo = widget.domain.numeric_values.first().copied().unwrap_or(0.0);
-            let hi = widget.domain.numeric_values.last().copied().unwrap_or(100.0);
+            let hi = widget
+                .domain
+                .numeric_values
+                .last()
+                .copied()
+                .unwrap_or(100.0);
             out.push_str(&format!(
                 "<input type=\"range\" min=\"{lo}\" max=\"{hi}\">\
                  <input type=\"range\" min=\"{lo}\" max=\"{hi}\"><span>{lo} – {hi}</span>"

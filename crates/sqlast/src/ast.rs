@@ -320,22 +320,38 @@ pub struct Ast {
 impl Ast {
     /// Create a node with children and no value.
     pub fn new(kind: NodeKind, children: Vec<Ast>) -> Self {
-        Self { kind, value: None, children }
+        Self {
+            kind,
+            value: None,
+            children,
+        }
     }
 
     /// Create a leaf node with no value and no children.
     pub fn leaf(kind: NodeKind) -> Self {
-        Self { kind, value: None, children: Vec::new() }
+        Self {
+            kind,
+            value: None,
+            children: Vec::new(),
+        }
     }
 
     /// Create a leaf node carrying a value.
     pub fn leaf_with(kind: NodeKind, value: Literal) -> Self {
-        Self { kind, value: Some(value), children: Vec::new() }
+        Self {
+            kind,
+            value: Some(value),
+            children: Vec::new(),
+        }
     }
 
     /// Create a node carrying both a value and children (e.g. `BiExpr` with its operator).
     pub fn with_value(kind: NodeKind, value: Literal, children: Vec<Ast>) -> Self {
-        Self { kind, value: Some(value), children }
+        Self {
+            kind,
+            value: Some(value),
+            children,
+        }
     }
 
     /// The empty node (absence of an optional clause).
@@ -531,14 +547,20 @@ mod tests {
         assert_eq!(node.value().unwrap().as_str(), Some("USA"));
 
         let replaced = ast
-            .replace_at(&path, Ast::leaf_with(NodeKind::StrExpr, Literal::str("EUR")))
+            .replace_at(
+                &path,
+                Ast::leaf_with(NodeKind::StrExpr, Literal::str("EUR")),
+            )
             .unwrap();
         assert_eq!(
             replaced.node_at(&path).unwrap().value().unwrap().as_str(),
             Some("EUR")
         );
         // Original untouched.
-        assert_eq!(ast.node_at(&path).unwrap().value().unwrap().as_str(), Some("USA"));
+        assert_eq!(
+            ast.node_at(&path).unwrap().value().unwrap().as_str(),
+            Some("USA")
+        );
     }
 
     #[test]

@@ -62,8 +62,16 @@ impl AstDiff {
         self.entries
             .iter()
             .map(|e| {
-                let l = if e.left.is_empty_node() { 0 } else { e.left.size() };
-                let r = if e.right.is_empty_node() { 0 } else { e.right.size() };
+                let l = if e.left.is_empty_node() {
+                    0
+                } else {
+                    e.left.size()
+                };
+                let r = if e.right.is_empty_node() {
+                    0
+                } else {
+                    e.right.size()
+                };
                 l + r
             })
             .sum()
@@ -86,7 +94,11 @@ fn diff_rec(left: &Ast, right: &Ast, path: AstPath, out: &mut Vec<DiffEntry>) {
         return;
     }
     if left.label() != right.label() {
-        out.push(DiffEntry { path, left: left.clone(), right: right.clone() });
+        out.push(DiffEntry {
+            path,
+            left: left.clone(),
+            right: right.clone(),
+        });
         return;
     }
 
@@ -98,7 +110,12 @@ fn diff_rec(left: &Ast, right: &Ast, path: AstPath, out: &mut Vec<DiffEntry>) {
     for pair in alignment {
         match pair {
             Aligned::Both(li, ri) => {
-                diff_rec(&left.children()[li], &right.children()[ri], path.child(li), out);
+                diff_rec(
+                    &left.children()[li],
+                    &right.children()[ri],
+                    path.child(li),
+                    out,
+                );
             }
             Aligned::LeftOnly(li) => out.push(DiffEntry {
                 path: path.child(li),

@@ -17,7 +17,10 @@ pub struct ParseError {
 impl ParseError {
     /// Create a new error at the given byte offset.
     pub fn new(message: impl Into<String>, offset: usize) -> Self {
-        Self { message: message.into(), offset }
+        Self {
+            message: message.into(),
+            offset,
+        }
     }
 }
 

@@ -34,6 +34,7 @@
 pub mod ast;
 pub mod diff;
 pub mod error;
+pub mod intern;
 pub mod parser;
 pub mod printer;
 pub mod token;
@@ -42,6 +43,7 @@ pub mod view;
 pub use ast::{Ast, AstPath, Literal, NodeKind};
 pub use diff::{diff_asts, AstDiff, DiffEntry};
 pub use error::{ParseError, Result};
+pub use intern::{intern_label, Label, LabelId};
 pub use parser::{parse_query, Parser};
 pub use printer::print_query;
 pub use token::{tokenize, Token, TokenKind};

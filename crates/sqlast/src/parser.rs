@@ -246,7 +246,11 @@ impl Parser {
     fn parse_not(&mut self) -> Result<Ast> {
         if self.eat_keyword("NOT") {
             let inner = self.parse_not()?;
-            return Ok(Ast::with_value(NodeKind::UnExpr, Literal::str("NOT"), vec![inner]));
+            return Ok(Ast::with_value(
+                NodeKind::UnExpr,
+                Literal::str("NOT"),
+                vec![inner],
+            ));
         }
         self.parse_predicate()
     }
@@ -296,7 +300,11 @@ impl Parser {
             let negated = self.eat_keyword("NOT");
             self.expect_keyword("NULL")?;
             let op = if negated { "IS NOT NULL" } else { "IS NULL" };
-            return Ok(Ast::with_value(NodeKind::IsNull, Literal::str(op), vec![left]));
+            return Ok(Ast::with_value(
+                NodeKind::IsNull,
+                Literal::str(op),
+                vec![left],
+            ));
         }
 
         Ok(left)
@@ -372,7 +380,11 @@ impl Parser {
             TokenKind::Symbol(ref s) if s == "-" => {
                 self.advance();
                 let inner = self.parse_primary()?;
-                Ok(Ast::with_value(NodeKind::UnExpr, Literal::str("-"), vec![inner]))
+                Ok(Ast::with_value(
+                    NodeKind::UnExpr,
+                    Literal::str("-"),
+                    vec![inner],
+                ))
             }
             TokenKind::Ident(name) => {
                 self.advance();
@@ -388,7 +400,11 @@ impl Parser {
                         }
                     }
                     self.expect_symbol(")")?;
-                    Ok(Ast::with_value(NodeKind::FuncExpr, Literal::str(name), args))
+                    Ok(Ast::with_value(
+                        NodeKind::FuncExpr,
+                        Literal::str(name),
+                        args,
+                    ))
                 } else {
                     Ok(Ast::leaf_with(NodeKind::ColExpr, Literal::str(name)))
                 }
@@ -467,10 +483,18 @@ mod tests {
         let kinds: Vec<NodeKind> = ast.children().iter().map(|c| c.kind()).collect();
         assert_eq!(
             kinds,
-            vec![NodeKind::Project, NodeKind::From, NodeKind::GroupBy, NodeKind::OrderBy]
+            vec![
+                NodeKind::Project,
+                NodeKind::From,
+                NodeKind::GroupBy,
+                NodeKind::OrderBy
+            ]
         );
         let order_item = &ast.children()[3].children()[0];
-        assert_eq!(order_item.children()[1].value().unwrap().as_str(), Some("DESC"));
+        assert_eq!(
+            order_item.children()[1].value().unwrap().as_str(),
+            Some("DESC")
+        );
     }
 
     #[test]
@@ -525,10 +549,12 @@ mod tests {
     #[test]
     fn trailing_semicolon_ok_trailing_junk_not() {
         assert!(parse_query("select x from t;").is_ok());
-        assert!(parse_query("select x from t garbage after").is_err() || {
-            // `garbage` parses as a bare alias; `after` is trailing junk.
-            false
-        });
+        assert!(
+            parse_query("select x from t garbage after").is_err() || {
+                // `garbage` parses as a bare alias; `after` is trailing junk.
+                false
+            }
+        );
         assert!(parse_query("select x from t where").is_err());
     }
 

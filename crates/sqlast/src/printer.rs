@@ -171,7 +171,10 @@ fn write_expr(ast: &Ast, out: &mut String) {
 fn write_expr_prec(ast: &Ast, parent_prec: u8, out: &mut String) {
     match ast.kind() {
         NodeKind::BiExpr => {
-            let op = ast.value().map(|v| v.render()).unwrap_or_else(|| "?".into());
+            let op = ast
+                .value()
+                .map(|v| v.render())
+                .unwrap_or_else(|| "?".into());
             let prec = precedence(&op);
             let needs_parens = prec < parent_prec;
             if needs_parens {
@@ -245,7 +248,11 @@ fn write_expr_prec(ast: &Ast, parent_prec: u8, out: &mut String) {
                 write_expr_prec(head, 3, out);
             }
             out.push(' ');
-            out.push_str(&ast.value().map(|v| v.render()).unwrap_or_else(|| "IS NULL".into()));
+            out.push_str(
+                &ast.value()
+                    .map(|v| v.render())
+                    .unwrap_or_else(|| "IS NULL".into()),
+            );
         }
         NodeKind::FuncExpr => {
             out.push_str(&ast.value().map(|v| v.render()).unwrap_or_default());
@@ -276,7 +283,11 @@ fn write_expr_prec(ast: &Ast, parent_prec: u8, out: &mut String) {
             if let Some(expr) = ast.children().first() {
                 write_expr_prec(expr, 0, out);
             }
-            if let Some(dir) = ast.children().iter().find(|c| c.kind() == NodeKind::SortDir) {
+            if let Some(dir) = ast
+                .children()
+                .iter()
+                .find(|c| c.kind() == NodeKind::SortDir)
+            {
                 out.push(' ');
                 out.push_str(&dir.value().map(|v| v.render()).unwrap_or_default());
             }
@@ -304,7 +315,10 @@ mod tests {
         let printed = print_query(&ast);
         let reparsed = parse_query(&printed)
             .unwrap_or_else(|e| panic!("reprinted SQL failed to parse: `{printed}`: {e}"));
-        assert_eq!(ast, reparsed, "round trip changed the AST for `{sql}` -> `{printed}`");
+        assert_eq!(
+            ast, reparsed,
+            "round trip changed the AST for `{sql}` -> `{printed}`"
+        );
         printed
     }
 
@@ -335,7 +349,10 @@ mod tests {
     #[test]
     fn parenthesisation_preserves_precedence() {
         let printed = round_trip("select x from t where (a = 1 or b = 2) and c = 3");
-        assert!(printed.contains('('), "OR under AND must be parenthesised: {printed}");
+        assert!(
+            printed.contains('('),
+            "OR under AND must be parenthesised: {printed}"
+        );
     }
 
     #[test]

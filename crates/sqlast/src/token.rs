@@ -115,14 +115,14 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
             }
             let text: String = bytes[i..j].iter().collect();
             if saw_dot || saw_exp {
-                let value: f64 = text
-                    .parse()
-                    .map_err(|_| ParseError::new(format!("invalid float literal `{text}`"), start))?;
+                let value: f64 = text.parse().map_err(|_| {
+                    ParseError::new(format!("invalid float literal `{text}`"), start)
+                })?;
                 tokens.push(Token::new(TokenKind::Float(value), start));
             } else {
-                let value: i64 = text
-                    .parse()
-                    .map_err(|_| ParseError::new(format!("invalid integer literal `{text}`"), start))?;
+                let value: i64 = text.parse().map_err(|_| {
+                    ParseError::new(format!("invalid integer literal `{text}`"), start)
+                })?;
                 tokens.push(Token::new(TokenKind::Int(value), start));
             }
             i = j;
@@ -188,7 +188,11 @@ mod tests {
     use super::*;
 
     fn kinds(input: &str) -> Vec<TokenKind> {
-        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]

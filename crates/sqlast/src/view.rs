@@ -63,7 +63,8 @@ impl<'a> QueryView<'a> {
 
     /// The `WHERE` predicate, if present.
     pub fn where_predicate(&self) -> Option<&'a Ast> {
-        self.clause(NodeKind::Where).and_then(|w| w.children().first())
+        self.clause(NodeKind::Where)
+            .and_then(|w| w.children().first())
     }
 
     /// The row limit (`TOP n` / `LIMIT n`), if present.
@@ -107,7 +108,9 @@ impl<'a> QueryView<'a> {
     /// Every comparison / BETWEEN predicate as `(column, operator, rendered operands)`.
     pub fn predicates(&self) -> Vec<(String, String, Vec<String>)> {
         let mut out = Vec::new();
-        let Some(pred) = self.where_predicate() else { return out };
+        let Some(pred) = self.where_predicate() else {
+            return out;
+        };
         collect_predicates(pred, &mut out);
         out
     }
@@ -159,7 +162,10 @@ fn collect_predicates(node: &Ast, out: &mut Vec<(String, String, Vec<String>)>) 
                 let op = match node.kind() {
                     NodeKind::InList => "IN".to_string(),
                     NodeKind::Like => "LIKE".to_string(),
-                    _ => node.value().map(|v| v.render()).unwrap_or_else(|| "IS NULL".into()),
+                    _ => node
+                        .value()
+                        .map(|v| v.render())
+                        .unwrap_or_else(|| "IS NULL".into()),
                 };
                 let operands = node.children()[1..]
                     .iter()

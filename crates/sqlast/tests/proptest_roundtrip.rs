@@ -48,14 +48,16 @@ fn predicate() -> impl Strategy<Value = String> {
         (column(), comparison_op(), -1000i64..1000).prop_map(|(c, op, v)| format!("{c} {op} {v}")),
         (column(), 0i64..50, 50i64..100)
             .prop_map(|(c, lo, hi)| format!("{c} BETWEEN {lo} AND {hi}")),
-        (column(), prop_oneof![Just("'USA'"), Just("'EUR'"), Just("'STAR'"), Just("'QSO'")])
+        (
+            column(),
+            prop_oneof![Just("'USA'"), Just("'EUR'"), Just("'STAR'"), Just("'QSO'")]
+        )
             .prop_map(|(c, s)| format!("{c} = {s}")),
         column().prop_map(|c| format!("{c} IS NOT NULL")),
-        (column(), proptest::collection::vec(0i64..100, 1..4))
-            .prop_map(|(c, vs)| {
-                let list: Vec<String> = vs.iter().map(|v| v.to_string()).collect();
-                format!("{c} IN ({})", list.join(", "))
-            }),
+        (column(), proptest::collection::vec(0i64..100, 1..4)).prop_map(|(c, vs)| {
+            let list: Vec<String> = vs.iter().map(|v| v.to_string()).collect();
+            format!("{c} IN ({})", list.join(", "))
+        }),
     ]
 }
 

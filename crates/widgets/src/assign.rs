@@ -15,7 +15,9 @@ use serde::{Deserialize, Serialize};
 use mctsui_difftree::{ChoiceDomain, DiffPath, DiffTree, DomainValueKind};
 
 use crate::tree::LayoutKind;
-use crate::widget::{appropriateness_cost, candidate_types_for_kind, widget_can_express, WidgetType};
+use crate::widget::{
+    appropriateness_cost, candidate_types_for_kind, widget_can_express, WidgetType,
+};
 
 /// A (partial) assignment of widget types to choice nodes and layout orientations to grouping
 /// nodes. Missing entries fall back to sensible defaults, so an empty map is always valid.
@@ -42,7 +44,10 @@ impl WidgetChoiceMap {
     /// The layout orientation for the grouping node at `path` (default: vertical, the
     /// conventional stacked-form layout).
     pub fn orientation_for(&self, path: &DiffPath) -> LayoutKind {
-        self.orientations.get(path).copied().unwrap_or(LayoutKind::Vertical)
+        self.orientations
+            .get(path)
+            .copied()
+            .unwrap_or(LayoutKind::Vertical)
     }
 
     /// Number of explicit decisions recorded.
@@ -65,15 +70,17 @@ pub fn compatible_widgets(domain: &ChoiceDomain) -> Vec<WidgetType> {
         .filter(|t| widget_can_express(*t, domain))
         .collect();
     out.sort_by(|a, b| {
-        appropriateness_cost(*a, domain)
-            .total_cmp(&appropriateness_cost(*b, domain))
+        appropriateness_cost(*a, domain).total_cmp(&appropriateness_cost(*b, domain))
     });
     out
 }
 
 /// The single best (lowest `M(·)`) widget for a domain, falling back to a dropdown.
 pub fn best_widget_for(domain: &ChoiceDomain) -> WidgetType {
-    compatible_widgets(domain).first().copied().unwrap_or(WidgetType::Dropdown)
+    compatible_widgets(domain)
+        .first()
+        .copied()
+        .unwrap_or(WidgetType::Dropdown)
 }
 
 /// Deterministic greedy assignment: every choice node gets its best widget, every grouping
@@ -81,7 +88,8 @@ pub fn best_widget_for(domain: &ChoiceDomain) -> WidgetType {
 pub fn default_assignment(tree: &DiffTree) -> WidgetChoiceMap {
     let mut map = WidgetChoiceMap::default();
     for domain in mctsui_difftree::domain::choice_domains(tree) {
-        map.types.insert(domain.path.clone(), best_widget_for(&domain));
+        map.types
+            .insert(domain.path.clone(), best_widget_for(&domain));
     }
     map
 }
@@ -159,7 +167,10 @@ pub fn enumerate_assignments(tree: &DiffTree, cap: usize) -> Vec<WidgetChoiceMap
     let mut out = Vec::with_capacity(combos.len() * orientation_patterns.len());
     for types in combos {
         for orientations in &orientation_patterns {
-            out.push(WidgetChoiceMap { types: types.clone(), orientations: orientations.clone() });
+            out.push(WidgetChoiceMap {
+                types: types.clone(),
+                orientations: orientations.clone(),
+            });
         }
     }
     out
@@ -175,14 +186,22 @@ fn orientation_patterns(tree: &DiffTree) -> Vec<BTreeMap<DiffPath, LayoutKind>> 
         .map(|(p, _)| p)
         .collect();
 
-    let all_vertical: BTreeMap<DiffPath, LayoutKind> =
-        paths.iter().map(|p| (p.clone(), LayoutKind::Vertical)).collect();
-    let all_horizontal: BTreeMap<DiffPath, LayoutKind> =
-        paths.iter().map(|p| (p.clone(), LayoutKind::Horizontal)).collect();
+    let all_vertical: BTreeMap<DiffPath, LayoutKind> = paths
+        .iter()
+        .map(|p| (p.clone(), LayoutKind::Vertical))
+        .collect();
+    let all_horizontal: BTreeMap<DiffPath, LayoutKind> = paths
+        .iter()
+        .map(|p| (p.clone(), LayoutKind::Horizontal))
+        .collect();
     let alternating: BTreeMap<DiffPath, LayoutKind> = paths
         .iter()
         .map(|p| {
-            let kind = if p.depth() % 2 == 0 { LayoutKind::Vertical } else { LayoutKind::Horizontal };
+            let kind = if p.depth() % 2 == 0 {
+                LayoutKind::Vertical
+            } else {
+                LayoutKind::Horizontal
+            };
             (p.clone(), kind)
         })
         .collect();
@@ -269,7 +288,11 @@ mod tests {
             let map = random_assignment(&tree, seed);
             for d in &domains {
                 let t = map.type_for(&d.path, d);
-                assert!(widget_can_express(t, d), "seed {seed} chose inexpressive {t} for {}", d.path);
+                assert!(
+                    widget_can_express(t, d),
+                    "seed {seed} chose inexpressive {t} for {}",
+                    d.path
+                );
             }
         }
     }
@@ -293,7 +316,11 @@ mod tests {
         // All three orientation patterns are represented.
         let horizontals: Vec<_> = assignments
             .iter()
-            .filter(|a| a.orientations.values().all(|k| *k == LayoutKind::Horizontal))
+            .filter(|a| {
+                a.orientations
+                    .values()
+                    .all(|k| *k == LayoutKind::Horizontal)
+            })
             .collect();
         assert!(!horizontals.is_empty());
     }

@@ -21,7 +21,11 @@ pub struct Screen {
 impl Screen {
     /// A custom screen with the default 55% visualization panel.
     pub fn new(width: u32, height: u32) -> Self {
-        Self { width, height, panel_percent: 55 }
+        Self {
+            width,
+            height,
+            panel_percent: 55,
+        }
     }
 
     /// The wide-screen preset used for Figure 6(a): a full desktop browser window.
@@ -33,7 +37,11 @@ impl Screen {
     /// screens the visualization takes a smaller share of the width (it is typically stacked
     /// under the controls), leaving a slim widget column.
     pub fn narrow() -> Self {
-        Self { width: 420, height: 800, panel_percent: 35 }
+        Self {
+            width: 420,
+            height: 800,
+            panel_percent: 35,
+        }
     }
 
     /// A deliberately tiny screen, useful in tests for forcing screen-constraint violations.

@@ -41,8 +41,11 @@ pub enum LayoutKind {
 impl LayoutKind {
     /// Every layout kind usable as a grouping container (Adder is bound to `MULTI` nodes
     /// rather than chosen freely).
-    pub const GROUPING: [LayoutKind; 3] =
-        [LayoutKind::Vertical, LayoutKind::Horizontal, LayoutKind::Tabs];
+    pub const GROUPING: [LayoutKind; 3] = [
+        LayoutKind::Vertical,
+        LayoutKind::Horizontal,
+        LayoutKind::Tabs,
+    ];
 
     /// Short display name.
     pub fn name(&self) -> &'static str {
@@ -89,7 +92,8 @@ impl WidgetNode {
             WidgetNode::Interaction(w) => (w.width(), w.height()),
             WidgetNode::Panel { width, height } => (*width, *height),
             WidgetNode::Layout { kind, children } => {
-                let boxes: Vec<(u32, u32)> = children.iter().map(WidgetNode::bounding_box).collect();
+                let boxes: Vec<(u32, u32)> =
+                    children.iter().map(WidgetNode::bounding_box).collect();
                 let n = boxes.len() as u32;
                 match kind {
                     LayoutKind::Vertical => {
@@ -110,8 +114,8 @@ impl WidgetNode {
                         (w, h)
                     }
                     LayoutKind::Adder => {
-                        let w = boxes.iter().map(|b| b.0).max().unwrap_or(0).max(90)
-                            + 2 * LAYOUT_PAD;
+                        let w =
+                            boxes.iter().map(|b| b.0).max().unwrap_or(0).max(90) + 2 * LAYOUT_PAD;
                         let h = boxes.iter().map(|b| b.1).sum::<u32>()
                             + ADDER_BAR_H
                             + LAYOUT_PAD * (n + 1);
@@ -136,7 +140,11 @@ impl WidgetNode {
     /// Pre-order traversal of `(tree path, node)` pairs.
     pub fn walk(&self) -> Vec<(Vec<usize>, &WidgetNode)> {
         let mut out = Vec::new();
-        fn rec<'a>(node: &'a WidgetNode, path: Vec<usize>, out: &mut Vec<(Vec<usize>, &'a WidgetNode)>) {
+        fn rec<'a>(
+            node: &'a WidgetNode,
+            path: Vec<usize>,
+            out: &mut Vec<(Vec<usize>, &'a WidgetNode)>,
+        ) {
             out.push((path.clone(), node));
             if let WidgetNode::Layout { children, .. } = node {
                 for (i, child) in children.iter().enumerate() {
@@ -225,7 +233,8 @@ impl WidgetTree {
         // The minimal connecting subtree equals the union of the pairwise paths; each tree
         // node is identified by its path, and each non-root node contributes the edge to its
         // parent.
-        let mut edge_nodes: std::collections::BTreeSet<Vec<usize>> = std::collections::BTreeSet::new();
+        let mut edge_nodes: std::collections::BTreeSet<Vec<usize>> =
+            std::collections::BTreeSet::new();
         for i in 0..positions.len() {
             for j in (i + 1)..positions.len() {
                 for node in path_between(&positions[i], &positions[j]) {
@@ -263,9 +272,16 @@ fn path_between(a: &[usize], b: &[usize]) -> Vec<Vec<usize>> {
 ///
 /// Returns a tree with an empty vertical layout when the difftree has no choice nodes
 /// (a single-query log needs no interface).
-pub fn build_widget_tree(tree: &DiffTree, assignment: &WidgetChoiceMap, screen: Screen) -> WidgetTree {
-    let root = build_node(tree.root(), &DiffPath::root(), assignment)
-        .unwrap_or(WidgetNode::Layout { kind: LayoutKind::Vertical, children: Vec::new() });
+pub fn build_widget_tree(
+    tree: &DiffTree,
+    assignment: &WidgetChoiceMap,
+    screen: Screen,
+) -> WidgetTree {
+    let root =
+        build_node(tree.root(), &DiffPath::root(), assignment).unwrap_or(WidgetNode::Layout {
+            kind: LayoutKind::Vertical,
+            children: Vec::new(),
+        });
     // Always wrap the top level in a layout so the interface has a stable root container.
     let root = match root {
         node @ WidgetNode::Layout { .. } => node,
@@ -372,7 +388,10 @@ mod tests {
         assert!(wt.widget_count() >= 2, "got {}", wt.widget_count());
         // Every choice node of the difftree is bound to exactly one widget.
         for path in tree.choice_paths() {
-            assert!(wt.position_of_choice(&path).is_some(), "no widget for {path}");
+            assert!(
+                wt.position_of_choice(&path).is_some(),
+                "no widget for {path}"
+            );
         }
     }
 
@@ -426,7 +445,9 @@ mod tests {
         let mut vertical = default_assignment(&tree);
         let mut horizontal = default_assignment(&tree);
         for path in walk_all_paths(&tree) {
-            vertical.orientations.insert(path.clone(), LayoutKind::Vertical);
+            vertical
+                .orientations
+                .insert(path.clone(), LayoutKind::Vertical);
             horizontal.orientations.insert(path, LayoutKind::Horizontal);
         }
         let wt_v = build_widget_tree(&tree, &vertical, Screen::wide());
@@ -477,7 +498,12 @@ mod tests {
 
     #[test]
     fn layout_kind_names() {
-        for k in [LayoutKind::Vertical, LayoutKind::Horizontal, LayoutKind::Tabs, LayoutKind::Adder] {
+        for k in [
+            LayoutKind::Vertical,
+            LayoutKind::Horizontal,
+            LayoutKind::Tabs,
+            LayoutKind::Adder,
+        ] {
             assert!(!k.name().is_empty());
             assert_eq!(format!("{k}"), k.name());
         }
@@ -485,7 +511,10 @@ mod tests {
 
     #[test]
     fn panel_node_contributes_its_own_size() {
-        let panel = WidgetNode::Panel { width: 300, height: 200 };
+        let panel = WidgetNode::Panel {
+            width: 300,
+            height: 200,
+        };
         assert_eq!(panel.bounding_box(), (300, 200));
         assert_eq!(panel.widget_count(), 0);
     }

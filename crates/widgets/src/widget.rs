@@ -143,7 +143,12 @@ impl Widget {
     pub fn new(widget_type: WidgetType, domain: ChoiceDomain) -> Self {
         let (w, h) = natural_size(widget_type, &domain);
         let size = SizeClass::classify(w, h);
-        Self { widget_type, target: domain.path.clone(), domain, size }
+        Self {
+            widget_type,
+            target: domain.path.clone(),
+            domain,
+            size,
+        }
     }
 
     /// Pixel width of the widget (natural size scaled by its template).
@@ -342,10 +347,17 @@ mod tests {
 
     #[test]
     fn slider_only_expresses_numeric_domains() {
-        assert!(widget_can_express(WidgetType::Slider, &num_domain(&[1, 2, 3])));
-        assert!(!widget_can_express(WidgetType::Slider, &cat_domain(&["USA", "EUR"])));
-        assert!(appropriateness_cost(WidgetType::Slider, &cat_domain(&["USA", "EUR"]))
-            .is_infinite());
+        assert!(widget_can_express(
+            WidgetType::Slider,
+            &num_domain(&[1, 2, 3])
+        ));
+        assert!(!widget_can_express(
+            WidgetType::Slider,
+            &cat_domain(&["USA", "EUR"])
+        ));
+        assert!(
+            appropriateness_cost(WidgetType::Slider, &cat_domain(&["USA", "EUR"])).is_infinite()
+        );
     }
 
     #[test]
@@ -375,7 +387,11 @@ mod tests {
     fn toggle_is_best_for_boolean() {
         let d = bool_domain();
         let toggle = appropriateness_cost(WidgetType::Toggle, &d);
-        for other in [WidgetType::Checkbox, WidgetType::Dropdown, WidgetType::Buttons] {
+        for other in [
+            WidgetType::Checkbox,
+            WidgetType::Dropdown,
+            WidgetType::Buttons,
+        ] {
             if widget_can_express(other, &d) {
                 assert!(toggle <= appropriateness_cost(other, &d));
             }
@@ -416,7 +432,10 @@ mod tests {
     #[test]
     fn buttons_wrap_into_rows() {
         let three = natural_size(WidgetType::Buttons, &cat_domain(&["a", "b", "c"]));
-        let six = natural_size(WidgetType::Buttons, &cat_domain(&["a", "b", "c", "d", "e", "f"]));
+        let six = natural_size(
+            WidgetType::Buttons,
+            &cat_domain(&["a", "b", "c", "d", "e", "f"]),
+        );
         assert!(six.1 > three.1, "more buttons need more rows");
         assert!(six.0 <= three.0 * 2, "width is capped by wrapping");
     }

@@ -29,7 +29,9 @@ fn query_log() -> impl Strategy<Value = Vec<Ast>> {
         }
         sql.push_str(&format!("{p} from {t}"));
         if w {
-            sql.push_str(&format!(" where u between {lo} and 30 and g between 0 and 25"));
+            sql.push_str(&format!(
+                " where u between {lo} and 30 and g between 0 and 25"
+            ));
         }
         parse_query(&sql).unwrap()
     });

@@ -157,8 +157,12 @@ mod tests {
         assert_eq!(Scenario::load(ScenarioId::Fig6aWide).query_count(), 10);
         assert_eq!(Scenario::load(ScenarioId::Fig6cSubset).query_count(), 3);
         assert!(
-            Scenario::load(ScenarioId::Fig6aWide).screen.widget_area_width()
-                > Scenario::load(ScenarioId::Fig6bNarrow).screen.widget_area_width()
+            Scenario::load(ScenarioId::Fig6aWide)
+                .screen
+                .widget_area_width()
+                > Scenario::load(ScenarioId::Fig6bNarrow)
+                    .screen
+                    .widget_area_width()
         );
         assert_eq!(Scenario::load(ScenarioId::Figure1).query_count(), 3);
     }

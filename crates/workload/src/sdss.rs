@@ -127,7 +127,10 @@ mod tests {
         assert!(tops.contains(&Some(10)));
         assert!(tops.contains(&Some(100)));
         assert!(tops.contains(&Some(1000)));
-        assert!(tops.contains(&None), "queries 4, 5, 9, 10 have no TOP clause");
+        assert!(
+            tops.contains(&None),
+            "queries 4, 5, 9, 10 have no TOP clause"
+        );
 
         let count_queries = views
             .iter()

@@ -89,7 +89,11 @@ impl LogSpec {
             .iter()
             .map(|s| parse_query(s).expect("synthetic query parses"))
             .collect();
-        SyntheticLog { spec: self.clone(), sql, queries }
+        SyntheticLog {
+            spec: self.clone(),
+            sql,
+            queries,
+        }
     }
 
     fn generate_one(&self, rng: &mut StdRng) -> String {
@@ -200,7 +204,10 @@ mod tests {
         for q in log.queries() {
             let v = QueryView::new(q).unwrap();
             assert_eq!(v.tables(), vec!["flights"]);
-            if v.projections().iter().any(|p| p.contains("avg(") || p.contains("count(")) {
+            if v.projections()
+                .iter()
+                .any(|p| p.contains("avg(") || p.contains("count("))
+            {
                 saw_aggregate = true;
             }
             if v.predicates().iter().any(|(c, _, _)| c == "carrier") {
@@ -208,7 +215,10 @@ mod tests {
             }
         }
         assert!(saw_aggregate);
-        assert!(saw_carrier_filter, "with 15 queries a carrier filter should appear");
+        assert!(
+            saw_carrier_filter,
+            "with 15 queries a carrier filter should appear"
+        );
     }
 
     #[test]

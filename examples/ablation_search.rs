@@ -9,9 +9,7 @@
 //!   bottom-up baseline on the Listing 1 log (experiments S3/A1)
 
 use mctsui::baseline::mine_interface;
-use mctsui::core::{
-    search_space_stats, GeneratorConfig, InterfaceGenerator, SearchStrategy,
-};
+use mctsui::core::{search_space_stats, GeneratorConfig, InterfaceGenerator, SearchStrategy};
 use mctsui::cost::CostWeights;
 use mctsui::difftree::RuleEngine;
 use mctsui::mcts::Budget;
@@ -35,7 +33,10 @@ fn stats() {
     println!("Search-space statistics for the Listing 1 log (10 queries)");
     println!("(the paper reports fanout up to ~50 and search paths up to ~100 steps)\n");
     let stats = search_space_stats(&queries, &engine, 20, 150, 42);
-    println!("  initial difftree size : {} nodes", stats.initial_tree_size);
+    println!(
+        "  initial difftree size : {} nodes",
+        stats.initial_tree_size
+    );
     println!("  initial fanout        : {}", stats.initial_fanout);
     println!("  max fanout (sampled)  : {}", stats.max_fanout);
     println!("  mean fanout (sampled) : {:.1}", stats.mean_fanout);
@@ -47,21 +48,33 @@ fn compare(seconds: u64) {
     let queries = sdss_listing1();
     let screen = Screen::wide();
     let weights = CostWeights::default();
-    let budget = Budget::Either { iterations: 2_000, time_millis: seconds * 1000 };
+    let budget = Budget::Either {
+        iterations: 2_000,
+        time_millis: seconds * 1000,
+    };
 
     println!(
         "Strategy comparison on the Listing 1 log ({} queries, {}s budget per strategy)\n",
         queries.len(),
         seconds
     );
-    println!("{:<22} {:>10} {:>12} {:>10}", "strategy", "cost", "evaluations", "widgets");
+    println!(
+        "{:<22} {:>10} {:>12} {:>10}",
+        "strategy", "cost", "evaluations", "widgets"
+    );
     println!("{}", "-".repeat(58));
 
     let strategies: Vec<(&str, SearchStrategy)> = vec![
         ("mcts", SearchStrategy::Mcts),
         ("mcts-parallel(4)", SearchStrategy::MctsParallel(4)),
         ("greedy", SearchStrategy::Greedy),
-        ("random-walk", SearchStrategy::RandomWalk { walks: 150, depth: 40 }),
+        (
+            "random-walk",
+            SearchStrategy::RandomWalk {
+                walks: 150,
+                depth: 40,
+            },
+        ),
         ("beam(4, 8)", SearchStrategy::Beam { width: 4, depth: 8 }),
         ("initial-only (6d)", SearchStrategy::InitialOnly),
     ];

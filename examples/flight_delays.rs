@@ -21,14 +21,19 @@ fn main() {
     let seconds: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(5);
 
     let log = LogSpec::flights_style(n_queries, 2024).generate();
-    println!("== Flight-delay analysis session ({} queries) ==", log.len());
+    println!(
+        "== Flight-delay analysis session ({} queries) ==",
+        log.len()
+    );
     for (i, sql) in log.sql.iter().enumerate() {
         println!("  q{:<2}: {}", i + 1, sql);
     }
 
     let screen = Screen::wide();
-    let config = GeneratorConfig::paper_defaults(screen)
-        .with_budget(Budget::Either { iterations: 3_000, time_millis: seconds * 1000 });
+    let config = GeneratorConfig::paper_defaults(screen).with_budget(Budget::Either {
+        iterations: 3_000,
+        time_millis: seconds * 1000,
+    });
     let interface = InterfaceGenerator::new(log.queries.clone(), config).generate();
 
     println!("\n== Generated dashboard ==");
@@ -64,5 +69,8 @@ fn main() {
         session.jump_to(q).expect("expressible");
         println!("  {}", print_query(&session.current_query()));
     }
-    println!("  ... every one of the {} queries is expressible.", log.len());
+    println!(
+        "  ... every one of the {} queries is expressible.",
+        log.len()
+    );
 }

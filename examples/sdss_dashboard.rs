@@ -46,7 +46,12 @@ fn main() {
         let scenario = Scenario::load(id);
         println!("\n================================================================");
         println!("{} — {}", scenario.id, scenario.description);
-        println!("{} queries, screen {}x{} px", scenario.query_count(), scenario.screen.width, scenario.screen.height);
+        println!(
+            "{} queries, screen {}x{} px",
+            scenario.query_count(),
+            scenario.screen.width,
+            scenario.screen.height
+        );
         println!("================================================================");
 
         let interface = generate(&scenario, seconds);
@@ -61,7 +66,10 @@ fn main() {
         );
         summarise_widgets(&interface);
 
-        let html = render_html(&interface.widget_tree, &format!("{} — {}", scenario.id, scenario.description));
+        let html = render_html(
+            &interface.widget_tree,
+            &format!("{} — {}", scenario.id, scenario.description),
+        );
         let path = out_dir.join(format!("{}.html", scenario.id));
         if fs::write(&path, html).is_ok() {
             println!("wrote {}", path.display());
@@ -70,8 +78,10 @@ fn main() {
 }
 
 fn generate(scenario: &Scenario, seconds: u64) -> GeneratedInterface {
-    let mut config = GeneratorConfig::paper_defaults(scenario.screen)
-        .with_budget(Budget::Either { iterations: 4_000, time_millis: seconds * 1000 });
+    let mut config = GeneratorConfig::paper_defaults(scenario.screen).with_budget(Budget::Either {
+        iterations: 4_000,
+        time_millis: seconds * 1000,
+    });
     if scenario.id == ScenarioId::Fig6dLowReward {
         // Figure 6(d) is the *low reward* interface: no search, the initial difftree.
         config = config.with_strategy(SearchStrategy::InitialOnly);
@@ -80,7 +90,8 @@ fn generate(scenario: &Scenario, seconds: u64) -> GeneratedInterface {
 }
 
 fn summarise_widgets(interface: &GeneratedInterface) {
-    let mut counts: std::collections::BTreeMap<WidgetType, usize> = std::collections::BTreeMap::new();
+    let mut counts: std::collections::BTreeMap<WidgetType, usize> =
+        std::collections::BTreeMap::new();
     for (_, w) in interface.widget_tree.widgets() {
         *counts.entry(w.widget_type).or_insert(0) += 1;
     }

@@ -162,8 +162,14 @@ fn parse_args(args: Vec<String>) -> Result<Option<Options>, String> {
                 options.strategy = match value.as_str() {
                     "mcts" => SearchStrategy::Mcts,
                     "greedy" => SearchStrategy::Greedy,
-                    "random" => SearchStrategy::RandomWalk { walks: 200, depth: 60 },
-                    "beam" => SearchStrategy::Beam { width: 4, depth: 10 },
+                    "random" => SearchStrategy::RandomWalk {
+                        walks: 200,
+                        depth: 60,
+                    },
+                    "beam" => SearchStrategy::Beam {
+                        width: 4,
+                        depth: 10,
+                    },
                     "initial" => SearchStrategy::InitialOnly,
                     other => return Err(format!("unknown strategy `{other}`")),
                 };
@@ -193,18 +199,26 @@ fn parse_screen(value: &str) -> Result<Screen, String> {
         other => {
             let parts: Vec<&str> = other.split('x').collect();
             if parts.len() == 2 {
-                let w: u32 = parts[0].parse().map_err(|_| "bad screen width".to_string())?;
-                let h: u32 = parts[1].parse().map_err(|_| "bad screen height".to_string())?;
+                let w: u32 = parts[0]
+                    .parse()
+                    .map_err(|_| "bad screen width".to_string())?;
+                let h: u32 = parts[1]
+                    .parse()
+                    .map_err(|_| "bad screen height".to_string())?;
                 Ok(Screen::new(w, h))
             } else {
-                Err(format!("unknown screen `{other}` (use wide, narrow or WxH)"))
+                Err(format!(
+                    "unknown screen `{other}` (use wide, narrow or WxH)"
+                ))
             }
         }
     }
 }
 
 fn parse_number(value: &str) -> Result<u64, String> {
-    value.parse().map_err(|_| format!("`{value}` is not a number"))
+    value
+        .parse()
+        .map_err(|_| format!("`{value}` is not a number"))
 }
 
 fn load_queries(options: &Options) -> Result<Vec<Ast>, String> {
@@ -229,13 +243,13 @@ fn load_queries(options: &Options) -> Result<Vec<Ast>, String> {
 /// Split a text into statements (one per line or `;`-separated) and parse each.
 fn parse_query_log(text: &str) -> Result<Vec<Ast>, String> {
     let mut queries = Vec::new();
-    for raw in text.split(|c| c == ';' || c == '\n') {
+    for raw in text.split([';', '\n']) {
         let statement = raw.trim();
         if statement.is_empty() || statement.starts_with("--") || statement.starts_with('#') {
             continue;
         }
-        let ast = parse_query(statement)
-            .map_err(|e| format!("failed to parse `{statement}`: {e}"))?;
+        let ast =
+            parse_query(statement).map_err(|e| format!("failed to parse `{statement}`: {e}"))?;
         queries.push(ast);
     }
     Ok(queries)

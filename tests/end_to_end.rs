@@ -37,15 +37,26 @@ fn figure1_end_to_end() {
 #[test]
 fn sdss_log_end_to_end_wide_screen() {
     let queries = sdss_listing1();
-    let interface = InterfaceGenerator::new(queries.clone(), quick_config(Screen::wide())).generate();
+    let interface =
+        InterfaceGenerator::new(queries.clone(), quick_config(Screen::wide())).generate();
 
-    assert!(interface.cost.valid, "SDSS interface must be valid: {:?}", interface.cost);
+    assert!(
+        interface.cost.valid,
+        "SDSS interface must be valid: {:?}",
+        interface.cost
+    );
     assert!(interface.widget_tree.fits_screen());
     // The searched interface factors the log: it must use more than one widget (unlike the
     // one-button-per-query interface) and fewer widgets than there are queries.
     let widget_count = interface.widget_tree.widget_count();
-    assert!(widget_count >= 2, "expected a factored interface, got {widget_count} widgets");
-    assert!(widget_count <= queries.len(), "widget count should not exceed query count");
+    assert!(
+        widget_count >= 2,
+        "expected a factored interface, got {widget_count} widgets"
+    );
+    assert!(
+        widget_count <= queries.len(),
+        "widget count should not exceed query count"
+    );
 
     for q in &queries {
         assert!(express(interface.difftree.root(), q).is_some());
@@ -57,7 +68,8 @@ fn searched_interface_beats_the_low_reward_interface_on_sdss() {
     // Figure 6(a) vs Figure 6(d): the searched interface must cost less than the unfactored
     // one-button-per-query interface.
     let queries = sdss_listing1();
-    let searched = InterfaceGenerator::new(queries.clone(), quick_config(Screen::wide())).generate();
+    let searched =
+        InterfaceGenerator::new(queries.clone(), quick_config(Screen::wide())).generate();
     let low_reward = InterfaceGenerator::new(
         queries,
         quick_config(Screen::wide()).with_strategy(SearchStrategy::InitialOnly),
@@ -109,7 +121,8 @@ fn narrow_screen_interface_fits_and_is_valid() {
 #[test]
 fn generated_interfaces_support_interactive_sessions() {
     let queries = sdss_listing1();
-    let interface = InterfaceGenerator::new(queries.clone(), quick_config(Screen::wide())).generate();
+    let interface =
+        InterfaceGenerator::new(queries.clone(), quick_config(Screen::wide())).generate();
     let mut session = InterfaceSession::start(interface.difftree.clone(), &queries[0]).unwrap();
 
     // Replaying the whole log is possible and every step lands exactly on the logged query.
@@ -129,9 +142,12 @@ fn baseline_and_mcts_costs_are_comparable_units() {
     let baseline_cost = mined.cost(&queries, &mctsui::cost::CostWeights::default());
 
     assert!(baseline_cost.total.is_finite());
-    assert!(mcts.cost.total <= baseline_cost.total * 1.05,
+    assert!(
+        mcts.cost.total <= baseline_cost.total * 1.05,
         "MCTS ({}) should not be more than marginally worse than the 2017 baseline ({})",
-        mcts.cost.total, baseline_cost.total);
+        mcts.cost.total,
+        baseline_cost.total
+    );
 }
 
 #[test]
