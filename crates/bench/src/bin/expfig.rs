@@ -1,15 +1,19 @@
 //! `expfig`: regenerate the paper's figures and quantitative claims as terminal tables.
 //!
 //! ```text
-//! cargo run --release -p mctsui-bench --bin expfig -- [all|fig6|stats|convergence|strategies|baseline|hyper|scaling] [iterations]
+//! cargo run --release -p mctsui-bench --bin expfig -- [all|fig6|stats|convergence|strategies|baseline|hyper|scaling|evalbench] [iterations]
 //! ```
 //!
 //! The optional `iterations` argument sets the MCTS budget per run (default 800; the numbers
 //! recorded in `EXPERIMENTS.md` use the default). Output is deterministic for a fixed budget.
+//!
+//! `evalbench` additionally appends its rows to `BENCH_eval.json` in the working directory
+//! (same JSON-lines shape as the `CRITERION_JSON` baselines); it is excluded from `all`
+//! because it writes a file.
 
 use mctsui_bench::{
-    baseline_report, convergence_report, fig6_report, hyperparameter_report, scaling_report,
-    search_space_report, strategy_report,
+    baseline_report, convergence_report, eval_throughput_report, fig6_report,
+    hyperparameter_report, scaling_report, search_space_report, strategy_report,
 };
 use mctsui_mcts::Budget;
 use mctsui_render::render_ascii;
@@ -46,6 +50,9 @@ fn main() {
     }
     if run_all || which == "scaling" {
         scaling(seed);
+    }
+    if which == "evalbench" {
+        evalbench(seed);
     }
 }
 
@@ -158,6 +165,55 @@ fn hyper(seed: u64) {
             "{:>12.2} {:>4} {:>14} {:>10.2}",
             row.exploration, row.assignments_per_eval, row.rollout_depth, row.cost
         );
+    }
+}
+
+fn evalbench(seed: u64) {
+    header("IS5 — reward-evaluation throughput on Listing 1 (k = 5)");
+    let rows = eval_throughput_report(5, seed);
+    println!("{:<34} {:>14} {:>14}", "path", "median ns/eval", "evals/s");
+    for row in &rows {
+        println!(
+            "{:<34} {:>14.0} {:>14.0}",
+            row.path, row.median_ns, row.evals_per_sec
+        );
+    }
+    if let (Some(legacy), Some(fast)) = (
+        rows.iter().find(|r| r.path.starts_with("legacy")),
+        rows.iter().find(|r| r.path == "skeleton_evaluate_sampled"),
+    ) {
+        println!(
+            "\nspeedup: {:.1}x evals/s over the build-per-assignment baseline",
+            legacy.median_ns / fast.median_ns
+        );
+    }
+
+    // Record the rows as JSON lines next to the other BENCH_* baselines.
+    use std::io::Write as _;
+    match std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open("BENCH_eval.json")
+    {
+        Ok(mut file) => {
+            for row in &rows {
+                let _ = writeln!(
+                    file,
+                    "{{\"benchmark\":\"expfig_eval_throughput/{}\",\"median_ns\":{:.1},\
+                     \"min_ns\":{:.1},\"max_ns\":{:.1},\"evals_per_sec\":{:.1},\
+                     \"samples\":{},\"iters_per_sample\":{}}}",
+                    row.path,
+                    row.median_ns,
+                    row.min_ns,
+                    row.max_ns,
+                    row.evals_per_sec,
+                    row.samples,
+                    row.iters_per_sample
+                );
+            }
+            println!("appended {} rows to BENCH_eval.json", rows.len());
+        }
+        Err(e) => eprintln!("could not write BENCH_eval.json: {e}"),
     }
 }
 

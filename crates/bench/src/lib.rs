@@ -13,6 +13,7 @@
 //! | A1         | [`strategy_report`] | MCTS vs greedy / random / beam ablation |
 //! | A2         | [`hyperparameter_report`] | exploration constant & `k` ablation |
 //! | A3/A4      | (micro benches only) | rule application / cost evaluation throughput |
+//! | IS5        | [`eval_throughput_report`] | skeleton vs build-per-assignment reward throughput |
 //!
 //! All report functions are deterministic for a given seed and budget so the recorded numbers
 //! in `EXPERIMENTS.md` can be regenerated with `cargo run -p mctsui-bench --bin expfig`.
@@ -365,6 +366,158 @@ pub fn scaling_report(sizes: &[usize], budget: Budget, seed: u64) -> Vec<Scaling
             }
         })
         .collect()
+}
+
+/// One row of the reward-evaluation throughput comparison (experiment IS5): how many state
+/// evaluations per second each evaluation path sustains on the Listing 1 workload.
+#[derive(Debug, Clone, Serialize)]
+pub struct EvalThroughputRow {
+    /// Which evaluation path was measured.
+    pub path: String,
+    /// Median wall time of one state evaluation (the greedy default plus `k` random widget
+    /// assignments), in nanoseconds.
+    pub median_ns: f64,
+    /// Fastest / slowest sample, in nanoseconds per evaluation.
+    pub min_ns: f64,
+    /// See `min_ns`.
+    pub max_ns: f64,
+    /// `1e9 / median_ns`: state evaluations per second.
+    pub evals_per_sec: f64,
+    /// Number of timing samples collected.
+    pub samples: usize,
+    /// Evaluations per timing sample.
+    pub iters_per_sample: u64,
+}
+
+fn time_evals<F: FnMut()>(path: &str, mut one_eval: F) -> EvalThroughputRow {
+    use std::time::{Duration, Instant};
+    // Calibrate: batch enough evaluations that one sample is comfortably measurable.
+    let mut iters = 1u64;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            one_eval();
+        }
+        if start.elapsed() >= Duration::from_millis(5) || iters >= 1 << 22 {
+            break;
+        }
+        iters *= 4;
+    }
+    let mut samples_ns: Vec<f64> = Vec::new();
+    let budget = Instant::now();
+    for _ in 0..15 {
+        let start = Instant::now();
+        for _ in 0..iters {
+            one_eval();
+        }
+        samples_ns.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        if budget.elapsed() > Duration::from_secs(3) {
+            break;
+        }
+    }
+    samples_ns.sort_by(|a, b| a.total_cmp(b));
+    let median = samples_ns[samples_ns.len() / 2];
+    EvalThroughputRow {
+        path: path.to_string(),
+        median_ns: median,
+        min_ns: samples_ns.first().copied().unwrap_or(median),
+        max_ns: samples_ns.last().copied().unwrap_or(median),
+        evals_per_sec: 1e9 / median,
+        samples: samples_ns.len(),
+        iters_per_sample: iters,
+    }
+}
+
+/// The IS5 workload tree: the fully factored (`saturate_forward`, cap 300) difftree of the
+/// Listing 1 log, paired with the log itself.
+pub fn is5_workload() -> (Vec<Ast>, mctsui_difftree::DiffTree) {
+    let queries = sdss_listing1();
+    let tree =
+        RuleEngine::default().saturate_forward(&mctsui_difftree::initial_difftree(&queries), 300);
+    (queries, tree)
+}
+
+/// One IS5 state reward on the **legacy** path: the greedy default plus `k` random widget
+/// assignments, each built into a widget tree and walked (the pre-skeleton reward loop, with
+/// the query context already cached). Shared by [`eval_throughput_report`] and the
+/// `micro_eval` Criterion bench so both `BENCH_eval.json` emitters measure one workload.
+pub fn is5_legacy_reward_eval(
+    tree: &mctsui_difftree::DiffTree,
+    ctx: &mctsui_cost::QueryContext,
+    screen: Screen,
+    weights: &CostWeights,
+    k: usize,
+    eval_seed: u64,
+) -> f64 {
+    use mctsui_widgets::{build_widget_tree, default_assignment, random_assignment};
+    let mut best = {
+        let wt = build_widget_tree(tree, &default_assignment(tree), screen);
+        mctsui_cost::evaluate_with_context(&wt, ctx, weights)
+    };
+    for i in 0..k as u64 {
+        let assignment = random_assignment(tree, eval_seed.wrapping_add(i));
+        let wt = build_widget_tree(tree, &assignment, screen);
+        let cost = mctsui_cost::evaluate_with_context(&wt, ctx, weights);
+        if cost.better_than(&best) {
+            best = cost;
+        }
+    }
+    best.total
+}
+
+/// One IS5 state reward on the **skeleton** path: exactly what
+/// `InterfaceSearchProblem::reward` runs — a cached-plan lookup plus `k + 1` slot-vector
+/// folds. Counterpart of [`is5_legacy_reward_eval`].
+pub fn is5_skeleton_reward_eval(
+    cache: &mctsui_cost::ContextCache,
+    tree: &mctsui_difftree::DiffTree,
+    screen: Screen,
+    weights: &CostWeights,
+    k: usize,
+    eval_seed: u64,
+) -> f64 {
+    let plan = cache.plan_for(tree);
+    mctsui_cost::evaluate_sampled(&plan, screen, weights, k, eval_seed)
+        .1
+        .total
+}
+
+/// Measure reward-evaluation throughput on the fully factored Listing 1 difftree: the
+/// widget-tree-per-assignment baseline (the pre-skeleton reward path: `k + 1` widget trees
+/// built, enumerated and walked per evaluation) against the compiled-skeleton
+/// [`is5_skeleton_reward_eval`] path, plus the one-time skeleton compile so its amortisation
+/// is on record. One "evaluation" is a full state reward: greedy default plus `k` sampled
+/// widget assignments.
+pub fn eval_throughput_report(k: usize, seed: u64) -> Vec<EvalThroughputRow> {
+    use std::sync::Arc;
+
+    let (queries, tree) = is5_workload();
+    let weights = CostWeights::default();
+    let screen = Screen::wide();
+
+    let ctx = mctsui_cost::QueryContext::compute(&tree, &queries);
+    let mut eval_seed = seed;
+    let legacy = time_evals("legacy_build_per_assignment", || {
+        eval_seed = eval_seed.wrapping_add(1);
+        std::hint::black_box(is5_legacy_reward_eval(
+            &tree, &ctx, screen, &weights, k, eval_seed,
+        ));
+    });
+
+    let cache = mctsui_cost::ContextCache::new(Arc::from(queries.clone()));
+    let mut eval_seed = seed;
+    let skeleton = time_evals("skeleton_evaluate_sampled", || {
+        eval_seed = eval_seed.wrapping_add(1);
+        std::hint::black_box(is5_skeleton_reward_eval(
+            &cache, &tree, screen, &weights, k, eval_seed,
+        ));
+    });
+
+    let compile = time_evals("skeleton_compile_once_per_state", || {
+        std::hint::black_box(mctsui_widgets::LayoutSkeleton::compile(&tree).widget_count());
+    });
+
+    vec![legacy, skeleton, compile]
 }
 
 #[cfg(test)]

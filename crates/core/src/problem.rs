@@ -2,13 +2,14 @@
 
 use std::sync::Arc;
 
-use mctsui_cost::{evaluate_with_context, ContextCache, CostWeights, InterfaceCost, QueryContext};
+use mctsui_cost::{
+    evaluate_sampled, evaluate_slots, ContextCache, CostWeights, EvalPlan, EvalScratch,
+    InterfaceCost, QueryContext,
+};
 use mctsui_difftree::{DiffTree, RuleApplication, RuleEngine};
 use mctsui_mcts::SearchProblem;
 use mctsui_sql::Ast;
-use mctsui_widgets::{
-    build_widget_tree, default_assignment, random_assignment, Screen, WidgetChoiceMap,
-};
+use mctsui_widgets::{Screen, WidgetChoiceMap};
 
 /// The search problem of the paper: states are difftrees, actions are transformation-rule
 /// applications, and the reward of a state is the negated cost of the best widget tree found
@@ -16,8 +17,11 @@ use mctsui_widgets::{
 ///
 /// States are persistent difftrees: cloning one (as the MCTS engine does on every expansion
 /// and every best-state update) is an `Arc` bump, and the expensive per-state work —
-/// expressing the whole query log — is served by a [`ContextCache`] that exploits the
-/// structural sharing between a state and its successors.
+/// expressing the whole query log and compiling the layout skeleton — is served by a
+/// [`ContextCache`] that exploits the structural sharing between a state and its successors.
+/// Reward evaluation itself runs on the compiled [`EvalPlan`]: the `k + 1` assignments of a
+/// rollout are plain index vectors folded over the skeleton arena, never materialised widget
+/// trees.
 pub struct InterfaceSearchProblem {
     queries: Arc<[Ast]>,
     engine: RuleEngine,
@@ -78,40 +82,47 @@ impl InterfaceSearchProblem {
         self.context_cache.context_for(tree)
     }
 
-    /// Evaluate one concrete widget assignment of a difftree.
+    /// The (cached) compiled evaluation plan of a difftree.
+    pub fn plan_for(&self, tree: &DiffTree) -> Arc<EvalPlan> {
+        self.context_cache.plan_for(tree)
+    }
+
+    /// Evaluate one concrete widget assignment of a difftree (through the compiled plan; the
+    /// assignment map is lowered to slot form, not built into a widget tree).
     pub fn cost_of_assignment(
         &self,
         tree: &DiffTree,
         assignment: &WidgetChoiceMap,
     ) -> InterfaceCost {
-        let ctx = self.context_for(tree);
-        let widget_tree = build_widget_tree(tree, assignment, self.screen);
-        evaluate_with_context(&widget_tree, &ctx, &self.weights)
+        let plan = self.plan_for(tree);
+        let slots = plan.skeleton.slots_from_map(assignment);
+        evaluate_slots(
+            &plan,
+            &slots,
+            self.screen,
+            &self.weights,
+            &mut EvalScratch::default(),
+        )
     }
 
     /// The best (lowest-cost) of the greedy assignment plus `k` random assignments, returned
-    /// with its cost. This is the state evaluation used both for rewards and for reporting.
+    /// with its cost. This is the state evaluation used both for rewards and for reporting;
+    /// the winning slot vector is lifted back to a [`WidgetChoiceMap`] so rendering and the
+    /// session layer keep their map-based interface.
     pub fn best_sampled_assignment(
         &self,
         tree: &DiffTree,
         eval_seed: u64,
     ) -> (WidgetChoiceMap, InterfaceCost) {
-        let ctx = self.context_for(tree);
-        let mut best_assignment = default_assignment(tree);
-        let mut best_cost = {
-            let wt = build_widget_tree(tree, &best_assignment, self.screen);
-            evaluate_with_context(&wt, &ctx, &self.weights)
-        };
-        for i in 0..self.assignments_per_eval as u64 {
-            let assignment = random_assignment(tree, eval_seed.wrapping_add(i));
-            let wt = build_widget_tree(tree, &assignment, self.screen);
-            let cost = evaluate_with_context(&wt, &ctx, &self.weights);
-            if cost.better_than(&best_cost) {
-                best_cost = cost;
-                best_assignment = assignment;
-            }
-        }
-        (best_assignment, best_cost)
+        let plan = self.plan_for(tree);
+        let (slots, cost) = evaluate_sampled(
+            &plan,
+            self.screen,
+            &self.weights,
+            self.assignments_per_eval,
+            eval_seed,
+        );
+        (plan.skeleton.to_choice_map(&slots), cost)
     }
 }
 
@@ -132,7 +143,16 @@ impl SearchProblem for InterfaceSearchProblem {
     }
 
     fn reward(&self, state: &DiffTree, eval_seed: u64) -> f64 {
-        let (_, cost) = self.best_sampled_assignment(state, eval_seed);
+        // The reward path skips the map conversion entirely: fetch the compiled plan once
+        // and batch the k + 1 slot evaluations over it.
+        let plan = self.plan_for(state);
+        let (_, cost) = evaluate_sampled(
+            &plan,
+            self.screen,
+            &self.weights,
+            self.assignments_per_eval,
+            eval_seed,
+        );
         cost.reward()
     }
 }
@@ -204,7 +224,7 @@ mod tests {
     fn best_sampled_assignment_is_never_worse_than_default() {
         let p = problem();
         let s0 = p.initial_state();
-        let default_cost = p.cost_of_assignment(&s0, &default_assignment(&s0));
+        let default_cost = p.cost_of_assignment(&s0, &mctsui_widgets::default_assignment(&s0));
         let (_, best) = p.best_sampled_assignment(&s0, 3);
         assert!(best.total <= default_cost.total);
     }

@@ -1,8 +1,11 @@
-//! Evaluation of `C(W, Q)` for a concrete widget tree, plus the fingerprint-keyed
+//! Evaluation of `C(W, Q)` — both the reference path over concrete widget trees and the
+//! compiled-skeleton fast path over slot assignments — plus the fingerprint-keyed
 //! [`ContextCache`] that makes state evaluation incremental across the search.
 
 use std::sync::{Arc, Mutex};
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use rustc_hash::FxHashMap;
 use serde::{Deserialize, Serialize};
 
@@ -10,7 +13,7 @@ use mctsui_difftree::derive::express_log;
 use mctsui_difftree::{changed_choice_paths, ChoiceAssignment, DiffPath, DiffTree, Expressor};
 use mctsui_sql::Ast;
 use mctsui_widgets::widget::appropriateness_cost;
-use mctsui_widgets::{Widget, WidgetTree};
+use mctsui_widgets::{LayoutSkeleton, Screen, SlotAssignment, Widget, WidgetTree, WidgetType};
 
 use crate::model::{CostWeights, InterfaceCost};
 
@@ -109,6 +112,9 @@ struct ContextCacheInner {
     /// `None` while a worker has the shared expressor checked out for a computation.
     expressor: Option<Expressor>,
     contexts: FxHashMap<u64, Arc<QueryContext>>,
+    /// Compiled evaluation plans (layout skeleton + transition tables), keyed like
+    /// `contexts` by the tree's structural fingerprint.
+    plans: FxHashMap<u64, Arc<EvalPlan>>,
 }
 
 impl ContextCache {
@@ -119,6 +125,7 @@ impl ContextCache {
             inner: Mutex::new(ContextCacheInner {
                 expressor: Some(Expressor::new(queries)),
                 contexts: FxHashMap::default(),
+                plans: FxHashMap::default(),
             }),
         }
     }
@@ -162,6 +169,33 @@ impl ContextCache {
         Arc::clone(guard.contexts.entry(key).or_insert(ctx))
     }
 
+    /// The (cached) evaluation plan of a difftree state: its [`QueryContext`] joined with
+    /// its compiled [`LayoutSkeleton`] and the precomputed transition tables.
+    ///
+    /// Same discipline as [`ContextCache::context_for`]: the lock is never held across the
+    /// compile, so root-parallel workers overlap freely and the first finished plan for a
+    /// fingerprint wins.
+    pub fn plan_for(&self, tree: &DiffTree) -> Arc<EvalPlan> {
+        let key = tree.fingerprint();
+        {
+            let guard = self.inner.lock().expect("context cache poisoned");
+            if let Some(plan) = guard.plans.get(&key) {
+                return Arc::clone(plan);
+            }
+        }
+
+        let ctx = self.context_for(tree);
+        let skeleton = Arc::new(LayoutSkeleton::compile(tree));
+        let plan = Arc::new(EvalPlan::new(ctx, skeleton));
+
+        let mut guard = self.inner.lock().expect("context cache poisoned");
+        if guard.plans.len() >= CONTEXT_TRIM_THRESHOLD {
+            guard.plans.clear();
+        }
+        // A concurrent worker may have compiled the same state; keep the first entry.
+        Arc::clone(guard.plans.entry(key).or_insert(plan))
+    }
+
     /// Number of cached per-state contexts (exposed for diagnostics).
     pub fn cached_states(&self) -> usize {
         self.inner
@@ -177,11 +211,26 @@ impl ContextCache {
 /// cost that grows with the complexity of the options — choosing among whole printed queries
 /// is far more effortful than choosing among three short values, which is what makes the
 /// "one button per query" interface of Figure 6(d) score poorly on long logs.
-fn interaction_effort(widget: &Widget) -> f64 {
-    let card = widget.domain.cardinality.max(1) as f64;
-    let scan = widget.widget_type.interaction_steps() * (1.0 + card.log2().max(0.0) * 0.15);
-    let reading = 0.08 * widget.domain.mean_subtree_size * card.log2().max(0.0);
+///
+/// Exposed on domain *features* rather than a built [`Widget`] so the skeleton fast path can
+/// precompute per-candidate efforts with bit-identical arithmetic.
+fn interaction_effort_features(
+    widget_type: WidgetType,
+    cardinality: usize,
+    mean_subtree_size: f64,
+) -> f64 {
+    let card = cardinality.max(1) as f64;
+    let scan = widget_type.interaction_steps() * (1.0 + card.log2().max(0.0) * 0.15);
+    let reading = 0.08 * mean_subtree_size * card.log2().max(0.0);
     scan + reading
+}
+
+fn interaction_effort(widget: &Widget) -> f64 {
+    interaction_effort_features(
+        widget.widget_type,
+        widget.domain.cardinality,
+        widget.domain.mean_subtree_size,
+    )
 }
 
 /// Evaluate an interface against a query log, computing the [`QueryContext`] on the fly.
@@ -247,6 +296,191 @@ pub fn evaluate_with_context(
         widgets.len(),
         weights,
     )
+}
+
+// ---------------------------------------------------------------------- skeleton fast path
+
+/// Everything a reward evaluation needs about one `(difftree, query log)` pair, compiled
+/// once and cached by tree fingerprint: the [`QueryContext`] (expressibility + per-transition
+/// changed choice sets), the [`LayoutSkeleton`] (widget-tree shape + candidate widgets), and
+/// the transition data joined against the skeleton — per transition, the precomputed
+/// navigation (Steiner) edge count, which is assignment-*independent*, and the changed choice
+/// slots with a per-candidate interaction-effort table.
+///
+/// With a plan in hand, evaluating one assignment ([`evaluate_slots`]) is a single bottom-up
+/// fold plus flat table sums: no tree construction, no path maps, no allocation beyond a
+/// reusable scratch stack.
+#[derive(Debug)]
+pub struct EvalPlan {
+    /// The query context of the difftree.
+    pub ctx: Arc<QueryContext>,
+    /// The compiled layout skeleton of the difftree.
+    pub skeleton: Arc<LayoutSkeleton>,
+    /// False when some transition changes a choice node with no bound widget — every
+    /// evaluation of such a state is invalid (the interface cannot replay the log).
+    transitions_valid: bool,
+    /// Per transition: the Steiner edge count of the changed widgets' connecting subtree.
+    nav_per_transition: Vec<f64>,
+    /// Changed choice slots, flattened across transitions in evaluation order.
+    changed_slots: Vec<u32>,
+    /// Interaction effort per (choice slot, candidate), flattened; `effort_offsets[s]`
+    /// indexes slot `s`'s candidate row.
+    efforts: Vec<f64>,
+    effort_offsets: Vec<u32>,
+}
+
+impl EvalPlan {
+    /// Join a query context with a compiled skeleton.
+    pub fn new(ctx: Arc<QueryContext>, skeleton: Arc<LayoutSkeleton>) -> Self {
+        let mut efforts = Vec::new();
+        let mut effort_offsets = Vec::with_capacity(skeleton.choice_slots().len());
+        for slot in skeleton.choice_slots() {
+            effort_offsets.push(efforts.len() as u32);
+            for cand in &slot.candidates {
+                efforts.push(interaction_effort_features(
+                    cand.widget_type,
+                    slot.cardinality,
+                    slot.mean_subtree_size,
+                ));
+            }
+        }
+
+        let mut transitions_valid = true;
+        let mut nav_per_transition = Vec::with_capacity(ctx.transitions.len());
+        let mut changed_slots = Vec::new();
+        let mut members = Vec::new();
+        for changed in &ctx.transitions {
+            members.clear();
+            for path in changed {
+                match skeleton.slot_of_choice(path) {
+                    Some(slot) => {
+                        members.push(skeleton.choice_slots()[slot as usize].node);
+                        changed_slots.push(slot);
+                    }
+                    None => transitions_valid = false,
+                }
+            }
+            nav_per_transition.push(skeleton.steiner_edge_count(&members) as f64);
+        }
+
+        Self {
+            ctx,
+            skeleton,
+            transitions_valid,
+            nav_per_transition,
+            changed_slots,
+            efforts,
+            effort_offsets,
+        }
+    }
+
+    #[inline]
+    fn effort(&self, slot: u32, candidate: usize) -> f64 {
+        self.efforts[self.effort_offsets[slot as usize] as usize + candidate]
+    }
+}
+
+/// Reusable buffers for [`evaluate_slots`]; create once and share across evaluations to keep
+/// the hot loop allocation-free.
+#[derive(Debug, Default)]
+pub struct EvalScratch {
+    boxes: Vec<(u32, u32)>,
+}
+
+/// Evaluate one slot assignment against a compiled [`EvalPlan`] — the fast-path twin of
+/// building a widget tree and calling [`evaluate_with_context`], returning a bit-identical
+/// [`InterfaceCost`] (the `mctsui-cost` property tests pin the equivalence).
+pub fn evaluate_slots(
+    plan: &EvalPlan,
+    slots: &SlotAssignment,
+    screen: Screen,
+    weights: &CostWeights,
+    scratch: &mut EvalScratch,
+) -> InterfaceCost {
+    if !plan.ctx.all_expressible {
+        return InterfaceCost::invalid();
+    }
+    let (w, h) = plan.skeleton.bounding_box(slots, &mut scratch.boxes);
+    if !screen.fits(w, h) {
+        return InterfaceCost::invalid();
+    }
+
+    // M(w): appropriateness, pre-resolved per candidate, summed in widget order.
+    let mut appropriateness = 0.0;
+    for (i, slot) in plan.skeleton.choice_slots().iter().enumerate() {
+        let idx = slots.choice(i).min(slot.candidates.len() - 1);
+        let m = slot.candidates[idx].appropriateness;
+        if !m.is_finite() {
+            return InterfaceCost::invalid();
+        }
+        appropriateness += m;
+    }
+
+    if !plan.transitions_valid {
+        return InterfaceCost::invalid();
+    }
+
+    // U(q_i, q_{i+1}, W): the navigation term is assignment-independent (precomputed); the
+    // interaction term is a table lookup per changed slot, in transition order.
+    let mut navigation = 0.0;
+    for nav in &plan.nav_per_transition {
+        navigation += nav;
+    }
+    let mut interaction = 0.0;
+    for &slot in &plan.changed_slots {
+        let idx = slots
+            .choice(slot as usize)
+            .min(plan.skeleton.choice_slots()[slot as usize].candidates.len() - 1);
+        interaction += plan.effort(slot, idx);
+    }
+
+    InterfaceCost::from_terms(
+        appropriateness,
+        navigation,
+        interaction,
+        plan.skeleton.widget_count(),
+        weights,
+    )
+}
+
+/// The per-sample rollout seed: a splitmix64 hash of `(eval_seed, index)`.
+///
+/// Seeding sample `i` with `eval_seed + i` (the previous scheme) makes adjacent samples'
+/// generators start one counter step apart, so their draw streams are heavily correlated;
+/// hashing decorrelates every sample while staying deterministic per `(eval_seed, index)`.
+pub fn per_sample_seed(eval_seed: u64, index: u64) -> u64 {
+    let mut z = eval_seed.wrapping_add((index.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The best of the greedy default assignment plus `k` random slot assignments, evaluated
+/// entirely on the compiled plan. This is the search's reward kernel: the skeleton is
+/// compiled once per state, the `k + 1` evaluations share one scratch buffer and two slot
+/// vectors, and each sample draws from its own hash-derived seed (see [`per_sample_seed`]).
+pub fn evaluate_sampled(
+    plan: &EvalPlan,
+    screen: Screen,
+    weights: &CostWeights,
+    k: usize,
+    eval_seed: u64,
+) -> (SlotAssignment, InterfaceCost) {
+    let mut scratch = EvalScratch::default();
+    let mut best = plan.skeleton.default_slots();
+    let mut best_cost = evaluate_slots(plan, &best, screen, weights, &mut scratch);
+    let mut sample = best.clone();
+    for i in 0..k as u64 {
+        let mut rng = StdRng::seed_from_u64(per_sample_seed(eval_seed, i));
+        plan.skeleton.sample_into(&mut sample, &mut rng);
+        let cost = evaluate_slots(plan, &sample, screen, weights, &mut scratch);
+        if cost.better_than(&best_cost) {
+            best_cost = cost;
+            // Swap rather than clone; `sample` is fully overwritten on the next draw.
+            std::mem::swap(&mut best, &mut sample);
+        }
+    }
+    (best, best_cost)
 }
 
 #[cfg(test)]

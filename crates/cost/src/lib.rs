@@ -19,8 +19,17 @@
 //! on the difftree, not on the widget assignment, so [`QueryContext`] precomputes it once per
 //! search state and is reused across the `k` random widget assignments of a rollout.
 
+//!
+//! Inside the search, evaluation does not build widget trees at all: [`ContextCache`] also
+//! caches a compiled [`EvalPlan`] per state (the difftree's layout skeleton joined with the
+//! per-transition changed-choice sets), and [`evaluate_slots`] / [`evaluate_sampled`] fold
+//! plain index-vector assignments over it, bit-identically to the reference path.
+
 pub mod eval;
 pub mod model;
 
-pub use eval::{evaluate, evaluate_with_context, ContextCache, QueryContext};
+pub use eval::{
+    evaluate, evaluate_sampled, evaluate_slots, evaluate_with_context, per_sample_seed,
+    ContextCache, EvalPlan, EvalScratch, QueryContext,
+};
 pub use model::{CostWeights, InterfaceCost};

@@ -1,0 +1,187 @@
+//! Property tests pinning the compiled-skeleton fast path to the reference evaluator.
+//!
+//! Invariants:
+//!
+//! 1. For random difftrees (random logs, random rule applications), random widget
+//!    assignments and every screen preset, evaluating through the compiled [`EvalPlan`]
+//!    returns a **bit-identical** `InterfaceCost` to building the widget tree and calling
+//!    `evaluate_with_context` — including invalid (screen-overflow) outcomes.
+//! 2. `evaluate_sampled` is deterministic per `(plan, seed)` and its per-sample seeds are
+//!    pairwise distinct (the splitmix64 decorrelation fix).
+//! 3. The sampled best is never worse than the greedy default assignment.
+
+use proptest::prelude::*;
+
+use mctsui_cost::{
+    evaluate_sampled, evaluate_slots, evaluate_with_context, per_sample_seed, CostWeights,
+    EvalPlan, EvalScratch, QueryContext,
+};
+use mctsui_difftree::{initial_difftree, DiffTree, RuleEngine};
+use mctsui_sql::{parse_query, Ast};
+use mctsui_widgets::{build_widget_tree, random_assignment, LayoutSkeleton, Screen};
+
+use std::sync::Arc;
+
+fn query_log() -> impl Strategy<Value = Vec<Ast>> {
+    let table = prop_oneof![Just("stars"), Just("galaxies"), Just("quasars")];
+    let projection = prop_oneof![Just("objid"), Just("count(*)"), Just("ra")];
+    let top = proptest::option::of(prop_oneof![Just(10i64), Just(100), Just(1000)]);
+    let lo = 0i64..10;
+    let with_where = any::<bool>();
+    let one = (table, projection, top, lo, with_where).prop_map(|(t, p, top, lo, w)| {
+        let mut sql = String::from("select ");
+        if let Some(n) = top {
+            sql.push_str(&format!("top {n} "));
+        }
+        sql.push_str(&format!("{p} from {t}"));
+        if w {
+            sql.push_str(&format!(
+                " where u between {lo} and 30 and g between 0 and 25"
+            ));
+        }
+        parse_query(&sql).unwrap()
+    });
+    proptest::collection::vec(one, 2..7)
+}
+
+/// A random search state: the initial difftree advanced by up to `steps` rule applications,
+/// each picked deterministically from the applicable set.
+fn random_state(queries: &[Ast], steps: usize, pick_salt: usize) -> DiffTree {
+    let engine = RuleEngine::default();
+    let mut tree = initial_difftree(queries);
+    for step in 0..steps {
+        let apps = engine.applicable(&tree);
+        if apps.is_empty() {
+            break;
+        }
+        let app = &apps[(pick_salt.wrapping_mul(31).wrapping_add(step * 7)) % apps.len()];
+        match engine.apply(&tree, app) {
+            Some(next) => tree = next,
+            None => break,
+        }
+    }
+    tree
+}
+
+fn screens() -> [Screen; 3] {
+    [Screen::wide(), Screen::narrow(), Screen::tiny()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn skeleton_evaluation_matches_reference(
+        queries in query_log(),
+        steps in 0usize..8,
+        pick_salt in 0usize..1000,
+        assignment_seed in 0u64..1_000_000,
+    ) {
+        let tree = random_state(&queries, steps, pick_salt);
+        let ctx = Arc::new(QueryContext::compute(&tree, &queries));
+        let skeleton = Arc::new(LayoutSkeleton::compile(&tree));
+        let plan = EvalPlan::new(Arc::clone(&ctx), skeleton);
+        let weights = CostWeights::default();
+        let mut scratch = EvalScratch::default();
+
+        let map = random_assignment(&tree, assignment_seed);
+        let slots = plan.skeleton.slots_from_map(&map);
+        for screen in screens() {
+            let wt = build_widget_tree(&tree, &map, screen);
+            let reference = evaluate_with_context(&wt, &ctx, &weights);
+            let fast = evaluate_slots(&plan, &slots, screen, &weights, &mut scratch);
+            prop_assert!(
+                reference == fast,
+                "screen {:?}: reference {:?} != fast {:?} ({} queries, {} steps)",
+                screen, reference, fast, queries.len(), steps
+            );
+        }
+    }
+
+    #[test]
+    fn sampled_evaluation_is_deterministic_and_beats_default(
+        queries in query_log(),
+        steps in 0usize..6,
+        pick_salt in 0usize..1000,
+        eval_seed in 0u64..1_000_000,
+    ) {
+        let tree = random_state(&queries, steps, pick_salt);
+        let ctx = Arc::new(QueryContext::compute(&tree, &queries));
+        let plan = EvalPlan::new(ctx, Arc::new(LayoutSkeleton::compile(&tree)));
+        let weights = CostWeights::default();
+        let screen = Screen::wide();
+
+        let (slots_a, cost_a) = evaluate_sampled(&plan, screen, &weights, 4, eval_seed);
+        let (slots_b, cost_b) = evaluate_sampled(&plan, screen, &weights, 4, eval_seed);
+        prop_assert_eq!(&slots_a, &slots_b);
+        prop_assert_eq!(cost_a, cost_b);
+
+        let default_cost = evaluate_slots(
+            &plan,
+            &plan.skeleton.default_slots(),
+            screen,
+            &weights,
+            &mut EvalScratch::default(),
+        );
+        prop_assert!(cost_a.total <= default_cost.total || !default_cost.valid);
+    }
+}
+
+/// Deterministic deep-equivalence check on a fully saturated (heavily factored) difftree:
+/// the random states above stay within a few rule steps, so pin the far end of the search
+/// space too — 50 random assignments across all screen presets.
+#[test]
+fn skeleton_matches_reference_on_saturated_tree() {
+    let mut queries = Vec::new();
+    for (table, top) in [
+        ("stars", 10),
+        ("galaxies", 100),
+        ("quasars", 1000),
+        ("stars", 100),
+        ("galaxies", 10),
+        ("quasars", 100),
+    ] {
+        queries.push(
+            parse_query(&format!(
+                "select top {top} objid from {table} where u between 0 and 30"
+            ))
+            .unwrap(),
+        );
+    }
+    let tree = RuleEngine::default().saturate_forward(&initial_difftree(&queries), 300);
+    let ctx = Arc::new(QueryContext::compute(&tree, &queries));
+    let plan = EvalPlan::new(Arc::clone(&ctx), Arc::new(LayoutSkeleton::compile(&tree)));
+    let weights = CostWeights::default();
+    let mut scratch = EvalScratch::default();
+    for seed in 0..50 {
+        let map = random_assignment(&tree, seed);
+        let slots = plan.skeleton.slots_from_map(&map);
+        for screen in screens() {
+            let wt = build_widget_tree(&tree, &map, screen);
+            let reference = evaluate_with_context(&wt, &ctx, &weights);
+            let fast = evaluate_slots(&plan, &slots, screen, &weights, &mut scratch);
+            assert_eq!(reference, fast, "seed {seed}, screen {screen:?}");
+        }
+    }
+}
+
+#[test]
+fn per_sample_seeds_are_pairwise_distinct_and_uncorrelated() {
+    // Distinctness across a realistic sample range for several base seeds...
+    for base in [0u64, 1, 42, u64::MAX / 2, u64::MAX] {
+        let seeds: Vec<u64> = (0..64).map(|i| per_sample_seed(base, i)).collect();
+        let unique: std::collections::BTreeSet<u64> = seeds.iter().copied().collect();
+        assert_eq!(unique.len(), seeds.len(), "collision for base {base}");
+        // ...and adjacent samples should differ in many bits (the old `seed + i` scheme
+        // differed in ~1 low bit, which correlated the generators' draw streams).
+        for pair in seeds.windows(2) {
+            let differing = (pair[0] ^ pair[1]).count_ones();
+            assert!(
+                differing >= 16,
+                "adjacent sample seeds share too many bits ({differing} differ)"
+            );
+        }
+    }
+    // Distinct base seeds do not collide on sample 0 either.
+    assert_ne!(per_sample_seed(7, 0), per_sample_seed(8, 0));
+}

@@ -151,22 +151,27 @@ impl<P: SearchProblem> Mcts<P> {
                 });
             }
 
-            // 3b. Rollout: a bounded random walk from the expanded state.
-            let (rollout_state, rollout_reward) =
-                self.rollout(nodes[expanded].state.clone(), &mut rng, &mut evaluations);
-
-            if rollout_reward > best_reward {
-                best_reward = rollout_reward;
-                best_state = rollout_state;
-                trace.push(RewardTracePoint {
-                    iteration: iterations,
-                    elapsed_millis: start.elapsed().as_millis() as u64,
-                    best_reward,
-                });
-            }
+            // 3b. Rollout: a bounded random walk from the expanded state. A walk that never
+            // moves (terminal or stuck state) ends at the expanded state itself, whose
+            // reward was just evaluated — reuse it instead of paying a second batched
+            // k-sample evaluation of the same state.
+            let reward = match self.rollout(&nodes[expanded].state, &mut rng, &mut evaluations) {
+                Some((rollout_state, rollout_reward)) => {
+                    if rollout_reward > best_reward {
+                        best_reward = rollout_reward;
+                        best_state = rollout_state;
+                        trace.push(RewardTracePoint {
+                            iteration: iterations,
+                            elapsed_millis: start.elapsed().as_millis() as u64,
+                            best_reward,
+                        });
+                    }
+                    node_reward.max(rollout_reward)
+                }
+                None => node_reward,
+            };
 
             // 4. Backpropagation of the better of the two estimates.
-            let reward = node_reward.max(rollout_reward);
             let mut cursor = Some(expanded);
             while let Some(id) = cursor {
                 nodes[id].visits += 1.0;
@@ -236,26 +241,33 @@ impl<P: SearchProblem> Mcts<P> {
         best
     }
 
+    /// A bounded random walk from `start`, evaluated at its endpoint. Returns `None` when the
+    /// walk could not leave `start` (no applicable or successful action): the endpoint is
+    /// `start` itself and the caller already holds its reward, so re-evaluating — one full
+    /// batch of `k` assignment samples for problems like interface search — would be wasted.
     fn rollout(
         &self,
-        mut state: P::State,
+        start: &P::State,
         rng: &mut StdRng,
         evaluations: &mut usize,
-    ) -> (P::State, f64) {
+    ) -> Option<(P::State, f64)> {
+        let mut state: Option<P::State> = None;
         for _ in 0..self.config.rollout_depth {
-            let actions = self.problem.actions(&state);
+            let current = state.as_ref().unwrap_or(start);
+            let actions = self.problem.actions(current);
             if actions.is_empty() {
                 break;
             }
             let action = &actions[rng.gen_range(0..actions.len())];
-            match self.problem.apply(&state, action) {
-                Some(next) => state = next,
+            match self.problem.apply(current, action) {
+                Some(next) => state = Some(next),
                 None => break,
             }
         }
+        let state = state?;
         *evaluations += 1;
         let reward = self.problem.reward(&state, rng.gen());
-        (state, reward)
+        Some((state, reward))
     }
 }
 

@@ -6,13 +6,15 @@
 //! extracted by *enumerating* assignments for the chosen difftree. Both strategies live here,
 //! along with a deterministic greedy assignment used as a cheap default.
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rustc_hash::FxHashMap;
 use serde::{Deserialize, Serialize};
 
-use mctsui_difftree::{ChoiceDomain, DiffPath, DiffTree, DomainValueKind};
+use mctsui_difftree::{ChoiceDomain, DiffKind, DiffPath, DiffTree, DomainValueKind};
 
 use crate::tree::LayoutKind;
 use crate::widget::{
@@ -61,18 +63,68 @@ impl WidgetChoiceMap {
     }
 }
 
+/// The domain features that fully determine [`compatible_widgets`]: expressibility depends on
+/// the value kind and cardinality, the appropriateness ordering additionally on whether the
+/// domain is a numeric range and on its mean subtree size. Everything else about a
+/// [`ChoiceDomain`] (path, labels, concrete numeric values) is irrelevant to the candidate
+/// list, so domains across different nodes — and different trees — share cache entries.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct CompatKey {
+    choice_kind: DiffKind,
+    value_kind: DomainValueKind,
+    cardinality: usize,
+    numeric_count: usize,
+    mean_subtree_bits: u64,
+}
+
+impl CompatKey {
+    fn of(domain: &ChoiceDomain) -> Self {
+        Self {
+            choice_kind: domain.choice_kind,
+            value_kind: domain.value_kind,
+            cardinality: domain.cardinality,
+            numeric_count: domain.numeric_values.len(),
+            mean_subtree_bits: domain.mean_subtree_size.to_bits(),
+        }
+    }
+}
+
+/// Cap on memoized candidate lists; the map is cleared and refilled from the live working
+/// set beyond this (real workloads have a few dozen distinct domain shapes).
+const COMPAT_CACHE_CAP: usize = 1024;
+
+thread_local! {
+    static COMPAT_CACHE: RefCell<FxHashMap<CompatKey, Vec<WidgetType>>> =
+        RefCell::new(FxHashMap::default());
+}
+
 /// The widget types that can express the given domain, ordered by appropriateness (best
 /// first). Never empty for well-formed domains: a dropdown/textbox fallback always exists.
+///
+/// Memoized per thread on the domain features that determine the answer, so assignment
+/// strategies that visit the same domain shapes repeatedly (every rollout of a search) skip
+/// the filter-and-sort after the first encounter.
 pub fn compatible_widgets(domain: &ChoiceDomain) -> Vec<WidgetType> {
-    let mut out: Vec<WidgetType> = candidate_types_for_kind(domain.choice_kind)
-        .iter()
-        .copied()
-        .filter(|t| widget_can_express(*t, domain))
-        .collect();
-    out.sort_by(|a, b| {
-        appropriateness_cost(*a, domain).total_cmp(&appropriateness_cost(*b, domain))
-    });
-    out
+    let key = CompatKey::of(domain);
+    COMPAT_CACHE.with(|cache| {
+        if let Some(hit) = cache.borrow().get(&key) {
+            return hit.clone();
+        }
+        let mut out: Vec<WidgetType> = candidate_types_for_kind(domain.choice_kind)
+            .iter()
+            .copied()
+            .filter(|t| widget_can_express(*t, domain))
+            .collect();
+        out.sort_by(|a, b| {
+            appropriateness_cost(*a, domain).total_cmp(&appropriateness_cost(*b, domain))
+        });
+        let mut cache = cache.borrow_mut();
+        if cache.len() >= COMPAT_CACHE_CAP {
+            cache.clear();
+        }
+        cache.insert(key, out.clone());
+        out
+    })
 }
 
 /// The single best (lowest `M(·)`) widget for a domain, falling back to a dropdown.

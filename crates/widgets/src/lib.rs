@@ -11,13 +11,17 @@
 //!
 //! * the widget taxonomy and per-widget size model ([`widget`]),
 //! * screen presets and geometry ([`screen`]),
-//! * the widget-tree structure plus its bottom-up bounding-box layout solver ([`tree`]), and
+//! * the widget-tree structure plus its bottom-up bounding-box layout solver ([`tree`]),
 //! * the strategies that map a difftree to a concrete widget tree — deterministic best-fit,
 //!   seeded random (used inside MCTS rollouts) and bounded exhaustive enumeration (used for
-//!   the final interface extraction) ([`assign`]).
+//!   the final interface extraction) ([`assign`]), and
+//! * the compiled layout-skeleton layer ([`skeleton`]): the difftree's widget-tree shape
+//!   flattened once into a post-order arena with per-choice candidate lists, so the search's
+//!   reward path evaluates plain index-vector assignments without rebuilding widget trees.
 
 pub mod assign;
 pub mod screen;
+pub mod skeleton;
 pub mod tree;
 pub mod widget;
 
@@ -26,5 +30,6 @@ pub use assign::{
     random_assignment, WidgetChoiceMap,
 };
 pub use screen::Screen;
+pub use skeleton::{CandidateWidget, ChoiceSlot, LayoutSkeleton, SlotAssignment};
 pub use tree::{build_widget_tree, LayoutKind, WidgetNode, WidgetTree};
 pub use widget::{SizeClass, Widget, WidgetType};

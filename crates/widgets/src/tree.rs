@@ -87,41 +87,25 @@ pub enum WidgetNode {
 
 impl WidgetNode {
     /// Bounding box `(width, height)` of this subtree, including layout padding.
+    ///
+    /// Folds over the children directly — no per-node box buffer is allocated, so the
+    /// reference layout solver stays usable inside hot loops.
     pub fn bounding_box(&self) -> (u32, u32) {
         match self {
             WidgetNode::Interaction(w) => (w.width(), w.height()),
             WidgetNode::Panel { width, height } => (*width, *height),
             WidgetNode::Layout { kind, children } => {
-                let boxes: Vec<(u32, u32)> =
-                    children.iter().map(WidgetNode::bounding_box).collect();
-                let n = boxes.len() as u32;
-                match kind {
-                    LayoutKind::Vertical => {
-                        let w = boxes.iter().map(|b| b.0).max().unwrap_or(0) + 2 * LAYOUT_PAD;
-                        let h = boxes.iter().map(|b| b.1).sum::<u32>() + LAYOUT_PAD * (n + 1);
-                        (w, h)
-                    }
-                    LayoutKind::Horizontal => {
-                        let w = boxes.iter().map(|b| b.0).sum::<u32>() + LAYOUT_PAD * (n + 1);
-                        let h = boxes.iter().map(|b| b.1).max().unwrap_or(0) + 2 * LAYOUT_PAD;
-                        (w, h)
-                    }
-                    LayoutKind::Tabs => {
-                        let w = boxes.iter().map(|b| b.0).max().unwrap_or(0) + 2 * LAYOUT_PAD;
-                        let h = boxes.iter().map(|b| b.1).max().unwrap_or(0)
-                            + TAB_BAR_H
-                            + 2 * LAYOUT_PAD;
-                        (w, h)
-                    }
-                    LayoutKind::Adder => {
-                        let w =
-                            boxes.iter().map(|b| b.0).max().unwrap_or(0).max(90) + 2 * LAYOUT_PAD;
-                        let h = boxes.iter().map(|b| b.1).sum::<u32>()
-                            + ADDER_BAR_H
-                            + LAYOUT_PAD * (n + 1);
-                        (w, h)
-                    }
+                let n = children.len() as u32;
+                let (mut max_w, mut max_h) = (0u32, 0u32);
+                let (mut sum_w, mut sum_h) = (0u32, 0u32);
+                for child in children {
+                    let (w, h) = child.bounding_box();
+                    max_w = max_w.max(w);
+                    max_h = max_h.max(h);
+                    sum_w += w;
+                    sum_h += h;
                 }
+                combine_boxes(*kind, n, max_w, max_h, sum_w, sum_h)
             }
         }
     }
@@ -156,6 +140,31 @@ impl WidgetNode {
         }
         rec(self, Vec::new(), &mut out);
         out
+    }
+}
+
+/// Combine the folded child boxes of a layout node into the node's own bounding box.
+///
+/// The single source of the per-[`LayoutKind`] box arithmetic: shared by the reference
+/// solver ([`WidgetNode::bounding_box`]) and the compiled-skeleton fold
+/// ([`crate::skeleton::LayoutSkeleton::bounding_box`]) so the two paths cannot drift apart.
+/// `n` is the child count; `max_*`/`sum_*` the element-wise max and sum of the child boxes.
+pub(crate) fn combine_boxes(
+    kind: LayoutKind,
+    n: u32,
+    max_w: u32,
+    max_h: u32,
+    sum_w: u32,
+    sum_h: u32,
+) -> (u32, u32) {
+    match kind {
+        LayoutKind::Vertical => (max_w + 2 * LAYOUT_PAD, sum_h + LAYOUT_PAD * (n + 1)),
+        LayoutKind::Horizontal => (sum_w + LAYOUT_PAD * (n + 1), max_h + 2 * LAYOUT_PAD),
+        LayoutKind::Tabs => (max_w + 2 * LAYOUT_PAD, max_h + TAB_BAR_H + 2 * LAYOUT_PAD),
+        LayoutKind::Adder => (
+            max_w.max(90) + 2 * LAYOUT_PAD,
+            sum_h + ADDER_BAR_H + LAYOUT_PAD * (n + 1),
+        ),
     }
 }
 
