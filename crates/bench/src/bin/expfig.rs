@@ -1,19 +1,20 @@
 //! `expfig`: regenerate the paper's figures and quantitative claims as terminal tables.
 //!
 //! ```text
-//! cargo run --release -p mctsui-bench --bin expfig -- [all|fig6|stats|convergence|strategies|baseline|hyper|scaling|evalbench] [iterations]
+//! cargo run --release -p mctsui-bench --bin expfig -- [all|fig6|stats|convergence|strategies|baseline|hyper|scaling|evalbench|actionbench] [iterations]
 //! ```
 //!
 //! The optional `iterations` argument sets the MCTS budget per run (default 800; the numbers
 //! recorded in `EXPERIMENTS.md` use the default). Output is deterministic for a fixed budget.
 //!
-//! `evalbench` additionally appends its rows to `BENCH_eval.json` in the working directory
-//! (same JSON-lines shape as the `CRITERION_JSON` baselines); it is excluded from `all`
-//! because it writes a file.
+//! `evalbench` / `actionbench` additionally append their rows to `BENCH_eval.json` /
+//! `BENCH_actions.json` in the working directory (same JSON-lines shape as the
+//! `CRITERION_JSON` baselines); they are excluded from `all` because they write files.
 
 use mctsui_bench::{
-    baseline_report, convergence_report, eval_throughput_report, fig6_report,
-    hyperparameter_report, scaling_report, search_space_report, strategy_report,
+    action_throughput_report, baseline_report, convergence_report, eval_throughput_report,
+    fig6_report, hyperparameter_report, scaling_report, search_space_report, strategy_report,
+    EvalThroughputRow,
 };
 use mctsui_mcts::Budget;
 use mctsui_render::render_ascii;
@@ -53,6 +54,40 @@ fn main() {
     }
     if which == "evalbench" {
         evalbench(seed);
+    }
+    if which == "actionbench" {
+        actionbench(seed);
+    }
+}
+
+/// Append throughput rows as JSON lines next to the other `BENCH_*` baselines.
+fn append_bench_json(path: &str, prefix: &str, rows: &[EvalThroughputRow]) {
+    use std::io::Write as _;
+    match std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    {
+        Ok(mut file) => {
+            for row in rows {
+                let _ = writeln!(
+                    file,
+                    "{{\"benchmark\":\"{}/{}\",\"median_ns\":{:.1},\
+                     \"min_ns\":{:.1},\"max_ns\":{:.1},\"evals_per_sec\":{:.1},\
+                     \"samples\":{},\"iters_per_sample\":{}}}",
+                    prefix,
+                    row.path,
+                    row.median_ns,
+                    row.min_ns,
+                    row.max_ns,
+                    row.evals_per_sec,
+                    row.samples,
+                    row.iters_per_sample
+                );
+            }
+            println!("appended {} rows to {path}", rows.len());
+        }
+        Err(e) => eprintln!("could not write {path}: {e}"),
     }
 }
 
@@ -188,33 +223,40 @@ fn evalbench(seed: u64) {
         );
     }
 
-    // Record the rows as JSON lines next to the other BENCH_* baselines.
-    use std::io::Write as _;
-    match std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open("BENCH_eval.json")
-    {
-        Ok(mut file) => {
-            for row in &rows {
-                let _ = writeln!(
-                    file,
-                    "{{\"benchmark\":\"expfig_eval_throughput/{}\",\"median_ns\":{:.1},\
-                     \"min_ns\":{:.1},\"max_ns\":{:.1},\"evals_per_sec\":{:.1},\
-                     \"samples\":{},\"iters_per_sample\":{}}}",
-                    row.path,
-                    row.median_ns,
-                    row.min_ns,
-                    row.max_ns,
-                    row.evals_per_sec,
-                    row.samples,
-                    row.iters_per_sample
-                );
-            }
-            println!("appended {} rows to BENCH_eval.json", rows.len());
-        }
-        Err(e) => eprintln!("could not write BENCH_eval.json: {e}"),
+    append_bench_json("BENCH_eval.json", "expfig_eval_throughput", &rows);
+}
+
+fn actionbench(seed: u64) {
+    header("IS6 — action-generation throughput on Listing 1 (scan vs incremental index)");
+    let rows = action_throughput_report(seed);
+    println!("{:<34} {:>14} {:>14}", "path", "median ns/op", "ops/s");
+    for row in &rows {
+        println!(
+            "{:<34} {:>14.0} {:>14.0}",
+            row.path, row.median_ns, row.evals_per_sec
+        );
     }
+    if let (Some(scan), Some(indexed)) = (
+        rows.iter().find(|r| r.path == "scan_full_walk"),
+        rows.iter()
+            .find(|r| r.path == "index_applicable_after_edit"),
+    ) {
+        println!(
+            "\nspeedup: {:.1}x steady-state action generation after one edit vs the full scan",
+            scan.median_ns / indexed.median_ns
+        );
+    }
+    if let (Some(scan), Some(draw)) = (
+        rows.iter().find(|r| r.path == "scan_full_walk"),
+        rows.iter().find(|r| r.path == "index_sample_draw"),
+    ) {
+        println!(
+            "speedup: {:.0}x one uniform rollout draw vs scanning the full fanout",
+            scan.median_ns / draw.median_ns
+        );
+    }
+
+    append_bench_json("BENCH_actions.json", "expfig_action_throughput", &rows);
 }
 
 fn scaling(seed: u64) {

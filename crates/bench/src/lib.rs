@@ -14,6 +14,7 @@
 //! | A2         | [`hyperparameter_report`] | exploration constant & `k` ablation |
 //! | A3/A4      | (micro benches only) | rule application / cost evaluation throughput |
 //! | IS5        | [`eval_throughput_report`] | skeleton vs build-per-assignment reward throughput |
+//! | IS6        | [`action_throughput_report`] | incremental action index vs full-walk applicability scan |
 //!
 //! All report functions are deterministic for a given seed and budget so the recorded numbers
 //! in `EXPERIMENTS.md` can be regenerated with `cargo run -p mctsui-bench --bin expfig`.
@@ -518,6 +519,82 @@ pub fn eval_throughput_report(k: usize, seed: u64) -> Vec<EvalThroughputRow> {
     });
 
     vec![legacy, skeleton, compile]
+}
+
+/// The IS6 workload: the factored Listing 1 tree plus every one-edit successor reachable
+/// from it (the states an MCTS rollout step actually queries). Shared by the `micro_actions`
+/// Criterion bench and `expfig actionbench` so both `BENCH_actions.json` emitters measure
+/// one workload.
+pub fn is6_workload(
+    engine: &RuleEngine,
+) -> (mctsui_difftree::DiffTree, Vec<mctsui_difftree::DiffTree>) {
+    let (_, tree) = is5_workload();
+    let successors: Vec<mctsui_difftree::DiffTree> = engine
+        .applicable(&tree)
+        .iter()
+        .filter_map(|app| engine.apply(&tree, app))
+        .collect();
+    (tree, successors)
+}
+
+/// Measure action-generation throughput on the fully factored Listing 1 difftree
+/// (experiment IS6): the full-walk reference scan against the incremental action index.
+///
+/// The indexed rows cycle through every one-edit successor of the base state, so each call
+/// queries a state one `replace_at` away from an already-indexed one — the steady state of
+/// an MCTS rollout, where off-spine subtree summaries are memo hits and only the edited
+/// spine (or, for revisited states, nothing at all) is re-matched. One "op" is one action
+/// query: the full `applicable` vector, the `count_applicable` total, one uniform
+/// `sample_applicable` draw, or the short-circuiting `first_applicable`.
+pub fn action_throughput_report(seed: u64) -> Vec<EvalThroughputRow> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let engine = RuleEngine::default();
+    let (tree, successors) = is6_workload(&engine);
+    assert!(!successors.is_empty(), "Listing 1 state has successors");
+
+    let scan = time_evals("scan_full_walk", || {
+        std::hint::black_box(engine.applicable_scan(&tree).len());
+    });
+
+    let mut i = 0usize;
+    let applicable = time_evals("index_applicable_after_edit", || {
+        let succ = &successors[i % successors.len()];
+        i += 1;
+        std::hint::black_box(engine.applicable(succ).len());
+    });
+
+    let mut i = 0usize;
+    let count = time_evals("index_count_after_edit", || {
+        let succ = &successors[i % successors.len()];
+        i += 1;
+        std::hint::black_box(engine.count_applicable(succ));
+    });
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut i = 0usize;
+    let sample = time_evals("index_sample_draw", || {
+        let succ = &successors[i % successors.len()];
+        i += 1;
+        std::hint::black_box(engine.sample_applicable(succ, &mut rng).is_some());
+    });
+
+    let mut i = 0usize;
+    let first = time_evals("index_first_applicable", || {
+        let succ = &successors[i % successors.len()];
+        i += 1;
+        std::hint::black_box(engine.first_applicable(succ).is_some());
+    });
+
+    // First-compute cost for the record: a fresh (empty-cache) index building every subtree
+    // summary of the base state bottom-up.
+    let cold = time_evals("index_cold_first_compute", || {
+        let fresh = RuleEngine::default();
+        std::hint::black_box(fresh.applicable(&tree).len());
+    });
+
+    vec![scan, applicable, count, sample, first, cold]
 }
 
 #[cfg(test)]

@@ -272,6 +272,15 @@ impl mctsui_mcts::SearchProblem for &InterfaceSearchProblem {
     fn reward(&self, state: &Self::State, eval_seed: u64) -> f64 {
         (**self).reward(state, eval_seed)
     }
+    // The provided-method defaults are not inherited through a forwarding impl: without
+    // these two, rollouts through `&InterfaceSearchProblem` would materialise the full
+    // fanout vector (twice) instead of hitting the O(1)/O(depth) action index.
+    fn action_count(&self, state: &Self::State) -> usize {
+        (**self).action_count(state)
+    }
+    fn nth_action(&self, state: &Self::State, index: usize) -> Option<Self::Action> {
+        (**self).nth_action(state, index)
+    }
 }
 
 #[cfg(test)]

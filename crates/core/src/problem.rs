@@ -142,6 +142,18 @@ impl SearchProblem for InterfaceSearchProblem {
         self.engine.apply(state, action)
     }
 
+    fn action_count(&self, state: &DiffTree) -> usize {
+        // O(1) after the state's root summary is cached: the aggregate count of the
+        // engine's action index, no fanout vector.
+        self.engine.count_applicable(state)
+    }
+
+    fn nth_action(&self, state: &DiffTree, index: usize) -> Option<RuleApplication> {
+        // O(depth) descent through the cached per-subtree counts; same enumeration order
+        // as `actions`, so seeded rollouts are identical on both paths.
+        self.engine.nth_applicable(state, index)
+    }
+
     fn reward(&self, state: &DiffTree, eval_seed: u64) -> f64 {
         // The reward path skips the map conversion entirely: fetch the compiled plan once
         // and batch the k + 1 slot evaluations over it.

@@ -95,12 +95,16 @@ pub fn random_walk_search(
     for _ in 0..walks {
         let mut state = initial.clone();
         for _ in 0..depth {
-            let actions = problem.actions(&state);
-            if actions.is_empty() {
+            // Draw through the action index: count + nth, never the full fanout vector.
+            // Same rng consumption and selection as indexing a materialised vector.
+            let count = problem.action_count(&state);
+            if count == 0 {
                 break;
             }
-            let action = &actions[rng.gen_range(0..actions.len())];
-            match problem.apply(&state, action) {
+            let Some(action) = problem.nth_action(&state, rng.gen_range(0..count)) else {
+                break;
+            };
+            match problem.apply(&state, &action) {
                 Some(next) => state = next,
                 None => break,
             }

@@ -20,17 +20,20 @@
 //! * [`DiffNode`]/[`DiffTree`] with conversions from/to [`mctsui_sql::Ast`],
 //! * derivation and expressibility checking ([`derive`]),
 //! * choice-domain descriptors used for widget selection ([`domain`]),
-//! * the initial-state builder ([`builder`]), and
-//! * the transformation-rule engine ([`rules`]).
+//! * the initial-state builder ([`builder`]),
+//! * the transformation-rule engine ([`rules`]), and
+//! * the incremental action index behind its applicability queries ([`index`]).
 
 pub mod builder;
 pub mod derive;
 pub mod domain;
+pub mod index;
 pub mod node;
 pub mod rules;
 
 pub use builder::{initial_difftree, simplified_difftree};
 pub use derive::{changed_choice_paths, express_log, ChoiceAssignment, Expressor};
 pub use domain::{ChoiceDomain, DomainValueKind};
+pub use index::{ActionIndex, BindingSummary};
 pub use node::{DiffKind, DiffNode, DiffPath, DiffTree, Label, LabelId};
 pub use rules::{Rule, RuleApplication, RuleEngine, RuleId};

@@ -27,8 +27,11 @@
 //! than the initial one). In particular every input query stays expressible, which the
 //! property tests in this module and in `tests/` verify.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
+use crate::index::ActionIndex;
 use crate::node::{DiffKind, DiffNode, DiffPath, DiffTree, LabelId};
 
 /// Identifier of a transformation rule.
@@ -142,20 +145,126 @@ pub trait Rule {
     /// The rule's identifier.
     fn id(&self) -> RuleId;
 
-    /// All the ways this rule can be applied to the node at `path`.
-    fn bindings(&self, node: &DiffNode, path: &DiffPath) -> Vec<RuleApplication>;
+    /// All the ways this rule can be applied to the node at `path` (unfiltered: the
+    /// engine-level `Any2AllInverse` alternative cap is not applied here).
+    fn bindings(&self, node: &DiffNode, path: &DiffPath) -> Vec<RuleApplication> {
+        let mut out = Vec::new();
+        push_rule_bindings(self.id(), node, path, usize::MAX, &mut out);
+        out
+    }
 
     /// Rewrite the target node. `arg` carries the binding's argument.
     /// Returns `None` if the node no longer matches (defensive; should not normally happen).
     fn rewrite(&self, node: &DiffNode, arg: Option<usize>) -> Option<DiffNode>;
 }
 
-/// The rule engine: a configurable set of rules plus applicability scanning and application.
+/// Statically dispatched binding matcher: append every way `rule` applies to `node` (whose
+/// position is `path`) to `out`. This is the single source of truth for rule applicability —
+/// the reference scan, the action index and the trait impls all route through it — and it
+/// never allocates beyond the pushed applications (no boxed rule objects, no per-rule
+/// vectors).
+///
+/// `max_inverse_alternatives` caps the fanout of [`RuleId::Any2AllInverse`] bindings (pass
+/// `usize::MAX` for the unfiltered set).
+pub(crate) fn push_rule_bindings(
+    rule: RuleId,
+    node: &DiffNode,
+    path: &DiffPath,
+    max_inverse_alternatives: usize,
+    out: &mut Vec<RuleApplication>,
+) {
+    match rule {
+        RuleId::Any2All => {
+            if Any2All::matches(node) {
+                out.push(RuleApplication::new(rule, path.clone()));
+            }
+        }
+        RuleId::Any2AllInverse => {
+            if node.kind() == DiffKind::All {
+                for (i, child) in node.children().iter().enumerate() {
+                    if child.kind() == DiffKind::Any
+                        && child.children().len() <= max_inverse_alternatives
+                    {
+                        out.push(RuleApplication::with_arg(rule, path.clone(), i));
+                    }
+                }
+            }
+        }
+        RuleId::Lift => {
+            if Lift::matches(node) {
+                out.push(RuleApplication::new(rule, path.clone()));
+            }
+        }
+        RuleId::MultiMerge => {
+            if MultiMerge::repeated_subtree(node).is_some() {
+                out.push(RuleApplication::new(rule, path.clone()));
+            }
+        }
+        RuleId::Multi => {
+            for start in MultiRule::runs(node) {
+                out.push(RuleApplication::with_arg(rule, path.clone(), start));
+            }
+        }
+        RuleId::Optional => {
+            if Optional::matches(node) {
+                out.push(RuleApplication::new(rule, path.clone()));
+            }
+        }
+        RuleId::OptionalInverse => {
+            if node.kind() == DiffKind::Opt && node.children().len() == 1 {
+                out.push(RuleApplication::new(rule, path.clone()));
+            }
+        }
+        RuleId::Noop => {
+            if node.kind() == DiffKind::Any && node.children().len() == 1 {
+                out.push(RuleApplication::new(rule, path.clone()));
+            }
+        }
+        RuleId::DedupAny => {
+            if DedupAny::matches(node) {
+                out.push(RuleApplication::new(rule, path.clone()));
+            }
+        }
+        RuleId::FlattenAny => {
+            if FlattenAny::matches(node) {
+                out.push(RuleApplication::new(rule, path.clone()));
+            }
+        }
+    }
+}
+
+/// Statically dispatched rewrite: apply `rule` to `node` with the binding's `arg`.
+pub(crate) fn rewrite_rule(rule: RuleId, node: &DiffNode, arg: Option<usize>) -> Option<DiffNode> {
+    match rule {
+        RuleId::Any2All => Any2All.rewrite(node, arg),
+        RuleId::Any2AllInverse => Any2AllInverse.rewrite(node, arg),
+        RuleId::Lift => Lift.rewrite(node, arg),
+        RuleId::MultiMerge => MultiMerge.rewrite(node, arg),
+        RuleId::Multi => MultiRule.rewrite(node, arg),
+        RuleId::Optional => Optional.rewrite(node, arg),
+        RuleId::OptionalInverse => OptionalInverse.rewrite(node, arg),
+        RuleId::Noop => Noop.rewrite(node, arg),
+        RuleId::DedupAny => DedupAny.rewrite(node, arg),
+        RuleId::FlattenAny => FlattenAny.rewrite(node, arg),
+    }
+}
+
+/// The rule engine: a configurable set of rules plus applicability indexing, scanning and
+/// application.
+///
+/// Action generation is served by a shared [`ActionIndex`] (fingerprint-memoized per-subtree
+/// binding summaries): after one `replace_at` only the edited spine is re-matched, every
+/// off-spine subtree hits the memo, and revisited states are a root lookup. Clones of an
+/// engine share the index, so every worker of a root-parallel search feeds the same cache.
+/// [`RuleEngine::applicable_scan`] keeps the full-walk reference implementation for tests
+/// and benchmarks.
 #[derive(Clone)]
 pub struct RuleEngine {
     rules: Vec<RuleId>,
     /// Cap on the number of alternatives produced by `Any2AllInverse` (guards blow-up).
-    pub max_inverse_alternatives: usize,
+    max_inverse_alternatives: usize,
+    /// Shared incremental action index for this engine configuration.
+    index: Arc<ActionIndex>,
 }
 
 impl Default for RuleEngine {
@@ -167,9 +276,15 @@ impl Default for RuleEngine {
 impl RuleEngine {
     /// An engine using the given rules.
     pub fn new(rules: Vec<RuleId>) -> Self {
+        Self::with_config(rules, 12)
+    }
+
+    fn with_config(rules: Vec<RuleId>, max_inverse_alternatives: usize) -> Self {
+        let index = Arc::new(ActionIndex::new(rules.clone(), max_inverse_alternatives));
         Self {
             rules,
-            max_inverse_alternatives: 12,
+            max_inverse_alternatives,
+            index,
         }
     }
 
@@ -178,38 +293,85 @@ impl RuleEngine {
         Self::new(RuleId::FORWARD.to_vec())
     }
 
+    /// The same rule set with a different `Any2AllInverse` alternative cap. Builds a fresh
+    /// index: the cap changes which bindings exist, so cached summaries cannot carry over.
+    pub fn with_max_inverse_alternatives(self, cap: usize) -> Self {
+        Self::with_config(self.rules, cap)
+    }
+
     /// The rules this engine considers.
     pub fn rules(&self) -> &[RuleId] {
         &self.rules
     }
 
-    /// Every applicable `(rule, node)` pair of the current tree. The length of the returned
-    /// vector is the *fanout* of the search state.
+    /// Cap on the number of alternatives produced by `Any2AllInverse`.
+    pub fn max_inverse_alternatives(&self) -> usize {
+        self.max_inverse_alternatives
+    }
+
+    /// The shared action index backing this engine's applicability queries.
+    pub fn action_index(&self) -> &ActionIndex {
+        &self.index
+    }
+
+    /// Every applicable `(rule, node)` pair of the current tree, in reference-scan order.
+    /// The length of the returned vector is the *fanout* of the search state.
+    ///
+    /// Served by the incremental [`ActionIndex`]: the first query for a state computes
+    /// subtree summaries bottom-up, edits re-match only the changed spine, and revisits are
+    /// a root lookup plus an output-sized materialisation.
     pub fn applicable(&self, tree: &DiffTree) -> Vec<RuleApplication> {
+        self.index.applicable(tree)
+    }
+
+    /// Reference implementation of [`RuleEngine::applicable`]: a full pre-order walk
+    /// matching every rule at every node, with no memoization. The index path is
+    /// property-tested against this scan; benchmarks use it as the baseline.
+    pub fn applicable_scan(&self, tree: &DiffTree) -> Vec<RuleApplication> {
         let mut out = Vec::new();
         for (path, node) in tree.root().walk() {
             for rule in &self.rules {
-                let mut bindings = dispatch(*rule).bindings(node, &path);
-                if *rule == RuleId::Any2AllInverse {
-                    bindings.retain(|b| {
-                        b.arg
-                            .and_then(|i| node.children().get(i))
-                            .map(|c| c.children().len() <= self.max_inverse_alternatives)
-                            .unwrap_or(false)
-                    });
-                }
-                out.append(&mut bindings);
+                push_rule_bindings(*rule, node, &path, self.max_inverse_alternatives, &mut out);
             }
         }
         out
     }
 
+    /// The fanout of the state — `applicable(tree).len()` without materialising anything.
+    /// O(1) once the state's root summary is cached.
+    pub fn count_applicable(&self, tree: &DiffTree) -> usize {
+        self.index.count_applicable(tree)
+    }
+
+    /// The `n`-th applicable application (0-based, reference-scan order) materialised alone
+    /// in O(depth × branching); `None` when `n` is out of range.
+    pub fn nth_applicable(&self, tree: &DiffTree, n: usize) -> Option<RuleApplication> {
+        self.index.nth_applicable(tree, n)
+    }
+
+    /// The first applicable application in reference-scan order without computing the full
+    /// vector — the short-circuiting form of `applicable(tree).first()`.
+    pub fn first_applicable(&self, tree: &DiffTree) -> Option<RuleApplication> {
+        self.index.first_applicable(tree)
+    }
+
+    /// Draw one applicable application uniformly at random (same distribution as uniformly
+    /// indexing the materialised vector), or `None` for a dead-end state.
+    pub fn sample_applicable<R: rand::Rng>(
+        &self,
+        tree: &DiffTree,
+        rng: &mut R,
+    ) -> Option<RuleApplication> {
+        self.index.sample_applicable(tree, rng)
+    }
+
     /// Apply a rule application to the tree, producing the successor state.
     ///
-    /// Returns `None` if the application does not (or no longer) matches the tree.
+    /// Returns `None` if the application does not (or no longer) match the tree — a stale
+    /// application captured before an edit is rejected, never a panic.
     pub fn apply(&self, tree: &DiffTree, application: &RuleApplication) -> Option<DiffTree> {
         let node = tree.node_at(&application.path)?;
-        let rewritten = dispatch(application.rule).rewrite(node, application.arg)?;
+        let rewritten = rewrite_rule(application.rule, node, application.arg)?;
         tree.replace_at(&application.path, rewritten)
     }
 
@@ -218,33 +380,27 @@ impl RuleEngine {
     ///
     /// This is not a search — it is the deterministic "fully factored" normal form used by
     /// greedy baselines and by tests that need a reasonable non-trivial difftree quickly.
+    /// Each step takes only [`RuleEngine::first_applicable`], so no step pays for the full
+    /// fanout vector, and consecutive states share their off-spine summaries in the index.
     pub fn saturate_forward(&self, tree: &DiffTree, max_steps: usize) -> DiffTree {
-        let forward = RuleEngine::forward_only();
+        let forward_owned;
+        let forward = if self.rules == RuleId::FORWARD {
+            self
+        } else {
+            forward_owned = RuleEngine::forward_only();
+            &forward_owned
+        };
         let mut current = tree.clone();
         for _ in 0..max_steps {
-            let apps = forward.applicable(&current);
-            let Some(app) = apps.first() else { break };
-            match forward.apply(&current, app) {
+            let Some(app) = forward.first_applicable(&current) else {
+                break;
+            };
+            match forward.apply(&current, &app) {
                 Some(next) => current = next,
                 None => break,
             }
         }
         current
-    }
-}
-
-fn dispatch(rule: RuleId) -> Box<dyn Rule> {
-    match rule {
-        RuleId::Any2All => Box::new(Any2All),
-        RuleId::Any2AllInverse => Box::new(Any2AllInverse),
-        RuleId::Lift => Box::new(Lift),
-        RuleId::MultiMerge => Box::new(MultiMerge),
-        RuleId::Multi => Box::new(MultiRule),
-        RuleId::Optional => Box::new(Optional),
-        RuleId::OptionalInverse => Box::new(OptionalInverse),
-        RuleId::Noop => Box::new(Noop),
-        RuleId::DedupAny => Box::new(DedupAny),
-        RuleId::FlattenAny => Box::new(FlattenAny),
     }
 }
 
@@ -427,14 +583,6 @@ impl Rule for Any2All {
         RuleId::Any2All
     }
 
-    fn bindings(&self, node: &DiffNode, path: &DiffPath) -> Vec<RuleApplication> {
-        if Self::matches(node) {
-            vec![RuleApplication::new(RuleId::Any2All, path.clone())]
-        } else {
-            Vec::new()
-        }
-    }
-
     fn rewrite(&self, node: &DiffNode, _arg: Option<usize>) -> Option<DiffNode> {
         let label = common_all_label(node)?;
         if !Self::matches(node) {
@@ -472,14 +620,6 @@ impl Lift {
 impl Rule for Lift {
     fn id(&self) -> RuleId {
         RuleId::Lift
-    }
-
-    fn bindings(&self, node: &DiffNode, path: &DiffPath) -> Vec<RuleApplication> {
-        if Self::matches(node) {
-            vec![RuleApplication::new(RuleId::Lift, path.clone())]
-        } else {
-            Vec::new()
-        }
     }
 
     fn rewrite(&self, node: &DiffNode, _arg: Option<usize>) -> Option<DiffNode> {
@@ -534,14 +674,6 @@ impl Rule for MultiMerge {
         RuleId::MultiMerge
     }
 
-    fn bindings(&self, node: &DiffNode, path: &DiffPath) -> Vec<RuleApplication> {
-        if Self::repeated_subtree(node).is_some() {
-            vec![RuleApplication::new(RuleId::MultiMerge, path.clone())]
-        } else {
-            Vec::new()
-        }
-    }
-
     fn rewrite(&self, node: &DiffNode, _arg: Option<usize>) -> Option<DiffNode> {
         let repeated = Self::repeated_subtree(node)?;
         let label = common_all_label(node)?;
@@ -582,13 +714,6 @@ impl Rule for MultiRule {
         RuleId::Multi
     }
 
-    fn bindings(&self, node: &DiffNode, path: &DiffPath) -> Vec<RuleApplication> {
-        Self::runs(node)
-            .into_iter()
-            .map(|start| RuleApplication::with_arg(RuleId::Multi, path.clone(), start))
-            .collect()
-    }
-
     fn rewrite(&self, node: &DiffNode, arg: Option<usize>) -> Option<DiffNode> {
         let start = arg?;
         if node.kind() != DiffKind::All {
@@ -626,14 +751,6 @@ impl Rule for Optional {
         RuleId::Optional
     }
 
-    fn bindings(&self, node: &DiffNode, path: &DiffPath) -> Vec<RuleApplication> {
-        if Self::matches(node) {
-            vec![RuleApplication::new(RuleId::Optional, path.clone())]
-        } else {
-            Vec::new()
-        }
-    }
-
     fn rewrite(&self, node: &DiffNode, _arg: Option<usize>) -> Option<DiffNode> {
         if !Self::matches(node) {
             return None;
@@ -655,14 +772,6 @@ impl Rule for OptionalInverse {
         RuleId::OptionalInverse
     }
 
-    fn bindings(&self, node: &DiffNode, path: &DiffPath) -> Vec<RuleApplication> {
-        if node.kind() == DiffKind::Opt && node.children().len() == 1 {
-            vec![RuleApplication::new(RuleId::OptionalInverse, path.clone())]
-        } else {
-            Vec::new()
-        }
-    }
-
     fn rewrite(&self, node: &DiffNode, _arg: Option<usize>) -> Option<DiffNode> {
         if node.kind() != DiffKind::Opt {
             return None;
@@ -677,14 +786,6 @@ struct Noop;
 impl Rule for Noop {
     fn id(&self) -> RuleId {
         RuleId::Noop
-    }
-
-    fn bindings(&self, node: &DiffNode, path: &DiffPath) -> Vec<RuleApplication> {
-        if node.kind() == DiffKind::Any && node.children().len() == 1 {
-            vec![RuleApplication::new(RuleId::Noop, path.clone())]
-        } else {
-            Vec::new()
-        }
     }
 
     fn rewrite(&self, node: &DiffNode, _arg: Option<usize>) -> Option<DiffNode> {
@@ -717,14 +818,6 @@ impl Rule for DedupAny {
         RuleId::DedupAny
     }
 
-    fn bindings(&self, node: &DiffNode, path: &DiffPath) -> Vec<RuleApplication> {
-        if Self::matches(node) {
-            vec![RuleApplication::new(RuleId::DedupAny, path.clone())]
-        } else {
-            Vec::new()
-        }
-    }
-
     fn rewrite(&self, node: &DiffNode, _arg: Option<usize>) -> Option<DiffNode> {
         if !Self::matches(node) {
             return None;
@@ -746,14 +839,6 @@ impl Rule for FlattenAny {
         RuleId::FlattenAny
     }
 
-    fn bindings(&self, node: &DiffNode, path: &DiffPath) -> Vec<RuleApplication> {
-        if Self::matches(node) {
-            vec![RuleApplication::new(RuleId::FlattenAny, path.clone())]
-        } else {
-            Vec::new()
-        }
-    }
-
     fn rewrite(&self, node: &DiffNode, _arg: Option<usize>) -> Option<DiffNode> {
         if !Self::matches(node) {
             return None;
@@ -772,30 +857,9 @@ impl Rule for FlattenAny {
 
 struct Any2AllInverse;
 
-impl Any2AllInverse {
-    fn choice_child_indices(node: &DiffNode) -> Vec<usize> {
-        if node.kind() != DiffKind::All {
-            return Vec::new();
-        }
-        node.children()
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| c.kind() == DiffKind::Any)
-            .map(|(i, _)| i)
-            .collect()
-    }
-}
-
 impl Rule for Any2AllInverse {
     fn id(&self) -> RuleId {
         RuleId::Any2AllInverse
-    }
-
-    fn bindings(&self, node: &DiffNode, path: &DiffPath) -> Vec<RuleApplication> {
-        Self::choice_child_indices(node)
-            .into_iter()
-            .map(|i| RuleApplication::with_arg(RuleId::Any2AllInverse, path.clone(), i))
-            .collect()
     }
 
     fn rewrite(&self, node: &DiffNode, arg: Option<usize>) -> Option<DiffNode> {

@@ -1,0 +1,181 @@
+//! `RuleEngine::apply` must reject — never panic on — stale [`RuleApplication`]s.
+//!
+//! MCTS keeps applications around (in `untried` lists, in replayed traces) while the tree
+//! they were captured from is edited underneath them. Applying such a stale application to
+//! the edited tree must return `None` for every rule: the target path may have vanished, or
+//! the node at the path may no longer match the rule. This suite constructs, for each of the
+//! ten rules, a tree where the rule fires, captures the application, invalidates it with a
+//! `replace_at` edit, and asserts the `None`.
+
+use mctsui_difftree::{
+    initial_difftree, DiffNode, DiffPath, DiffTree, RuleApplication, RuleEngine, RuleId,
+};
+use mctsui_sql::{parse_query, Ast};
+
+fn q(sql: &str) -> Ast {
+    parse_query(sql).unwrap()
+}
+
+/// A tree on which `rule` has at least one binding (constructions mirror the rule-module
+/// unit tests).
+fn tree_admitting(rule: RuleId) -> DiffTree {
+    let node = match rule {
+        RuleId::Any2All => DiffNode::any(vec![
+            DiffNode::from_ast(&q("SELECT Sales FROM sales WHERE cty = 'USA'")),
+            DiffNode::from_ast(&q("SELECT Costs FROM sales WHERE cty = 'EUR'")),
+            DiffNode::from_ast(&q("SELECT Costs FROM sales")),
+        ]),
+        // The factored Figure 1 tree is an ALL with ANY children: Any2AllInverse fires.
+        RuleId::Any2AllInverse => {
+            let engine = RuleEngine::default();
+            let initial = initial_difftree(&[
+                q("SELECT Sales FROM sales WHERE cty = 'USA'"),
+                q("SELECT Costs FROM sales WHERE cty = 'EUR'"),
+                q("SELECT Costs FROM sales"),
+            ]);
+            let any2all = engine
+                .applicable(&initial)
+                .into_iter()
+                .find(|a| a.rule == RuleId::Any2All)
+                .expect("figure 1 admits Any2All");
+            return engine.apply(&initial, &any2all).expect("applies");
+        }
+        RuleId::Lift => DiffNode::any(vec![
+            DiffNode::from_ast(&q("select x from t").children()[0]),
+            DiffNode::from_ast(&q("select y from t").children()[0]),
+        ]),
+        RuleId::MultiMerge => DiffNode::any(vec![
+            DiffNode::from_ast(&q("select x from a").children()[1]),
+            DiffNode::from_ast(&q("select x from a, a, a").children()[1]),
+        ]),
+        RuleId::Multi => DiffNode::from_ast(&q("select x from a, a, a").children()[1]),
+        RuleId::Optional => DiffNode::any(vec![
+            DiffNode::from_ast(&q("select x from t where a = 1").children()[2]),
+            DiffNode::empty(),
+        ]),
+        RuleId::OptionalInverse => {
+            DiffNode::opt(DiffNode::from_ast(&q("select x from t").children()[0]))
+        }
+        RuleId::Noop => DiffNode::any(vec![DiffNode::from_ast(&q("select x from t"))]),
+        RuleId::DedupAny => {
+            let a = DiffNode::from_ast(&q("select x from t"));
+            let b = DiffNode::from_ast(&q("select y from t"));
+            DiffNode::any(vec![a.clone(), b, a])
+        }
+        RuleId::FlattenAny => DiffNode::any(vec![
+            DiffNode::any(vec![
+                DiffNode::from_ast(&q("select x from t")),
+                DiffNode::from_ast(&q("select y from t")),
+            ]),
+            DiffNode::from_ast(&q("select z from t")),
+        ]),
+    };
+    DiffTree::new(node)
+}
+
+#[test]
+fn every_rule_rejects_an_application_whose_target_no_longer_matches() {
+    let engine = RuleEngine::default();
+    for rule in RuleId::ALL {
+        let tree = tree_admitting(rule);
+        let apps: Vec<RuleApplication> = engine
+            .applicable(&tree)
+            .into_iter()
+            .filter(|a| a.rule == rule)
+            .collect();
+        assert!(!apps.is_empty(), "{rule}: construction must admit the rule");
+
+        for app in &apps {
+            // Sanity: the fresh application applies.
+            assert!(
+                engine.apply(&tree, app).is_some(),
+                "{rule}: fresh application must apply"
+            );
+            // Invalidate the target: the empty alternative matches no rule, so the stale
+            // application must be rejected (not panic) on the edited tree.
+            let edited = tree
+                .replace_at(&app.path, DiffNode::empty())
+                .expect("target path exists");
+            assert!(
+                engine.apply(&edited, app).is_none(),
+                "{rule}: stale application at {} must be rejected",
+                app.path
+            );
+        }
+    }
+}
+
+#[test]
+fn every_rule_rejects_an_application_whose_path_vanished() {
+    let engine = RuleEngine::default();
+    for rule in RuleId::ALL {
+        let tree = tree_admitting(rule);
+        let apps: Vec<RuleApplication> = engine
+            .applicable(&tree)
+            .into_iter()
+            .filter(|a| a.rule == rule)
+            .collect();
+        for app in &apps {
+            // Point the application below a leaf: the path cannot resolve.
+            let mut bogus = app.clone();
+            bogus.path = DiffPath(
+                app.path
+                    .0
+                    .iter()
+                    .copied()
+                    .chain([usize::MAX, usize::MAX])
+                    .collect(),
+            );
+            assert!(
+                engine.apply(&tree, &bogus).is_none(),
+                "{rule}: unresolvable path must be rejected"
+            );
+        }
+    }
+}
+
+#[test]
+fn arg_bearing_rules_reject_out_of_range_args() {
+    let engine = RuleEngine::default();
+    for rule in [RuleId::Multi, RuleId::Any2AllInverse] {
+        let tree = tree_admitting(rule);
+        let app = engine
+            .applicable(&tree)
+            .into_iter()
+            .find(|a| a.rule == rule)
+            .expect("admits the rule");
+        let stale = RuleApplication {
+            arg: Some(9999),
+            ..app
+        };
+        assert!(
+            engine.apply(&tree, &stale).is_none(),
+            "{rule}: out-of-range arg must be rejected"
+        );
+    }
+}
+
+#[test]
+fn applications_survive_edits_elsewhere() {
+    // The counterpart guarantee: an application whose target subtree was *not* touched by
+    // the edit still applies (paths are positional, so this only holds for edits that do
+    // not shift the target's path — here we edit a different root alternative).
+    let engine = RuleEngine::default();
+    let tree = DiffTree::new(DiffNode::any(vec![
+        DiffNode::from_ast(&q("select x from a, a, a")),
+        DiffNode::from_ast(&q("select y from t")),
+    ]));
+    let multi = engine
+        .applicable(&tree)
+        .into_iter()
+        .find(|a| a.rule == RuleId::Multi)
+        .expect("the repeated FROM admits Multi");
+    assert_eq!(multi.path.0.first(), Some(&0), "target is alternative 0");
+    let edited = tree
+        .replace_at(&DiffPath(vec![1]), DiffNode::empty())
+        .expect("path exists");
+    assert!(
+        engine.apply(&edited, &multi).is_some(),
+        "an edit elsewhere must not invalidate the application"
+    );
+}

@@ -245,6 +245,12 @@ impl<P: SearchProblem> Mcts<P> {
     /// walk could not leave `start` (no applicable or successful action): the endpoint is
     /// `start` itself and the caller already holds its reward, so re-evaluating — one full
     /// batch of `k` assignment samples for problems like interface search — would be wasted.
+    ///
+    /// Each step draws its action through [`SearchProblem::action_count`] +
+    /// [`SearchProblem::nth_action`], so problems with an indexed action set never
+    /// materialise the full fanout vector here. The rng consumption (one `gen_range` per
+    /// step) and the selected actions are identical to indexing a materialised vector, so
+    /// seeded runs are unchanged.
     fn rollout(
         &self,
         start: &P::State,
@@ -254,12 +260,14 @@ impl<P: SearchProblem> Mcts<P> {
         let mut state: Option<P::State> = None;
         for _ in 0..self.config.rollout_depth {
             let current = state.as_ref().unwrap_or(start);
-            let actions = self.problem.actions(current);
-            if actions.is_empty() {
+            let count = self.problem.action_count(current);
+            if count == 0 {
                 break;
             }
-            let action = &actions[rng.gen_range(0..actions.len())];
-            match self.problem.apply(current, action) {
+            let Some(action) = self.problem.nth_action(current, rng.gen_range(0..count)) else {
+                break;
+            };
+            match self.problem.apply(current, &action) {
                 Some(next) => state = Some(next),
                 None => break,
             }

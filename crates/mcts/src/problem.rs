@@ -23,6 +23,23 @@ pub trait SearchProblem {
     /// engine simply skips it.
     fn apply(&self, state: &Self::State, action: &Self::Action) -> Option<Self::State>;
 
+    /// The number of actions applicable in `state` — `actions(state).len()` without the
+    /// vector. Rollouts call this every step, so problems with an indexed action set (like
+    /// interface search, whose rule engine caches per-subtree binding counts) should
+    /// override it; the default materialises the full set.
+    fn action_count(&self, state: &Self::State) -> usize {
+        self.actions(state).len()
+    }
+
+    /// The `index`-th action of `state`, in exactly the order of [`SearchProblem::actions`]
+    /// (`None` when out of range). Together with [`SearchProblem::action_count`] this lets
+    /// the engine draw a uniform random action without materialising the fanout; overriding
+    /// problems must preserve the ordering so seeded runs are identical on both paths. The
+    /// default materialises the full set.
+    fn nth_action(&self, state: &Self::State, index: usize) -> Option<Self::Action> {
+        self.actions(state).into_iter().nth(index)
+    }
+
     /// Estimate the reward of `state` (higher is better). `eval_seed` is a deterministic
     /// per-call seed the problem may use for randomised evaluation (e.g. the `k` random
     /// widget assignments of the paper) so that runs stay reproducible.
