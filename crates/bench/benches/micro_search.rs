@@ -1,0 +1,76 @@
+//! Experiment IS7: micro-benchmarks of the MCTS search loop — the sequential driver against
+//! tree parallelization (one shared tree, virtual loss) and root parallelization
+//! (independent trees) on the Listing 1 demo workload.
+//!
+//! Record a baseline with (absolute path — `cargo bench` runs with the *package* directory
+//! as working directory, so a relative path would land in `crates/bench/`):
+//!
+//! ```text
+//! CRITERION_JSON=$PWD/BENCH_search.json cargo bench -p mctsui-bench --bench micro_search
+//! ```
+
+// The `criterion_main!` macro generates an undocumented `main`; silence the workspace
+// `missing_docs` lint for these generated items only.
+#![allow(missing_docs)]
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mctsui_bench::is7_problem;
+use mctsui_mcts::{Mcts, MctsConfig, ParallelMode};
+
+/// One measured unit is a whole (CI-sized) search: 120 iterations on the Listing 1 problem,
+/// so the numbers compare end-to-end driver overhead — ticketing, virtual loss, shared-tree
+/// publication — not just isolated pieces. On a single-core host the parallel rows measure
+/// pure coordination overhead; on multicore they show the scaling.
+fn bench_search_drivers(c: &mut Criterion) {
+    const ITERATIONS: usize = 120;
+    let problem = is7_problem(42);
+    let config = MctsConfig::default()
+        .with_iterations(ITERATIONS)
+        .with_seed(42)
+        .with_rollout_depth(50);
+
+    let mut group = c.benchmark_group("search_drivers_listing1");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    let sequential_config = config.clone();
+    group.bench_function("sequential_120it", |b| {
+        b.iter(|| {
+            Mcts::new(&problem, sequential_config.clone())
+                .run()
+                .best_reward
+        })
+    });
+
+    let tree_config = config.clone().with_parallel_mode(ParallelMode::Tree);
+    group.bench_function("tree_1thread_120it", |b| {
+        b.iter(|| {
+            Mcts::new(&problem, tree_config.clone())
+                .run_parallel(1)
+                .best_reward
+        })
+    });
+    group.bench_function("tree_4threads_120it", |b| {
+        b.iter(|| {
+            Mcts::new(&problem, tree_config.clone())
+                .run_parallel(4)
+                .best_reward
+        })
+    });
+
+    let root_config = config.clone().with_parallel_mode(ParallelMode::Root);
+    group.bench_function("root_4threads_480it", |b| {
+        b.iter(|| {
+            Mcts::new(&problem, root_config.clone())
+                .run_parallel(4)
+                .best_reward
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_search_drivers);
+criterion_main!(benches);

@@ -1,20 +1,21 @@
 //! `expfig`: regenerate the paper's figures and quantitative claims as terminal tables.
 //!
 //! ```text
-//! cargo run --release -p mctsui-bench --bin expfig -- [all|fig6|stats|convergence|strategies|baseline|hyper|scaling|evalbench|actionbench] [iterations]
+//! cargo run --release -p mctsui-bench --bin expfig -- [all|fig6|stats|convergence|strategies|baseline|hyper|scaling|evalbench|actionbench|searchbench] [iterations]
 //! ```
 //!
 //! The optional `iterations` argument sets the MCTS budget per run (default 800; the numbers
 //! recorded in `EXPERIMENTS.md` use the default). Output is deterministic for a fixed budget.
 //!
-//! `evalbench` / `actionbench` additionally append their rows to `BENCH_eval.json` /
-//! `BENCH_actions.json` in the working directory (same JSON-lines shape as the
-//! `CRITERION_JSON` baselines); they are excluded from `all` because they write files.
+//! `evalbench` / `actionbench` / `searchbench` additionally append their rows to
+//! `BENCH_eval.json` / `BENCH_actions.json` / `BENCH_search.json` in the working directory
+//! (same JSON-lines shape as the `CRITERION_JSON` baselines); they are excluded from `all`
+//! because they write files.
 
 use mctsui_bench::{
     action_throughput_report, baseline_report, convergence_report, eval_throughput_report,
-    fig6_report, hyperparameter_report, scaling_report, search_space_report, strategy_report,
-    EvalThroughputRow,
+    fig6_report, hyperparameter_report, scaling_report, search_scaling_report, search_space_report,
+    strategy_report, EvalThroughputRow,
 };
 use mctsui_mcts::Budget;
 use mctsui_render::render_ascii;
@@ -57,6 +58,9 @@ fn main() {
     }
     if which == "actionbench" {
         actionbench(seed);
+    }
+    if which == "searchbench" {
+        searchbench(seed);
     }
 }
 
@@ -257,6 +261,74 @@ fn actionbench(seed: u64) {
     }
 
     append_bench_json("BENCH_actions.json", "expfig_action_throughput", &rows);
+}
+
+fn searchbench(seed: u64) {
+    header("IS7 — search-loop scaling on the Listing 1 demo workload (iterations/sec)");
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("host cores: {host_cpus}");
+    if host_cpus < 4 {
+        println!("(fewer than 4 cores: parallel rows are physically capped near 1.0x here)");
+    }
+    let rows = search_scaling_report(400, &[1, 2, 4, 8], seed);
+    println!(
+        "{:<12} {:>8} {:>12} {:>11} {:>13} {:>9} {:>9}",
+        "mode", "threads", "iterations", "elapsed ms", "iters/sec", "speedup", "nodes"
+    );
+    for row in &rows {
+        println!(
+            "{:<12} {:>8} {:>12} {:>11} {:>13.0} {:>8.2}x {:>9}",
+            row.mode,
+            row.threads,
+            row.iterations,
+            row.elapsed_millis,
+            row.iters_per_sec,
+            row.speedup_vs_sequential,
+            row.nodes
+        );
+    }
+    if let Some(tree4) = rows.iter().find(|r| r.mode == "tree" && r.threads == 4) {
+        println!(
+            "\ntree parallelization at 4 threads: {:.2}x sequential iterations/sec \
+             (host has {host_cpus} core{})",
+            tree4.speedup_vs_sequential,
+            if host_cpus == 1 { "" } else { "s" }
+        );
+    }
+
+    // Append JSON lines next to the other BENCH_* baselines, with the host core count on
+    // record so flat curves from single-core containers are not mistaken for regressions.
+    use std::io::Write as _;
+    let path = "BENCH_search.json";
+    match std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    {
+        Ok(mut file) => {
+            for row in &rows {
+                let _ = writeln!(
+                    file,
+                    "{{\"benchmark\":\"search_scaling/{}_t{}\",\"iterations\":{},\
+                     \"elapsed_ms\":{},\"iters_per_sec\":{:.1},\"speedup_vs_sequential\":{:.3},\
+                     \"best_reward\":{:.4},\"nodes\":{},\"host_cpus\":{}}}",
+                    row.mode,
+                    row.threads,
+                    row.iterations,
+                    row.elapsed_millis,
+                    row.iters_per_sec,
+                    row.speedup_vs_sequential,
+                    row.best_reward,
+                    row.nodes,
+                    host_cpus
+                );
+            }
+            println!("appended {} rows to {path}", rows.len());
+        }
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
 }
 
 fn scaling(seed: u64) {

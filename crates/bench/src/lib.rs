@@ -223,26 +223,52 @@ pub struct StrategyRow {
 
 /// Compare search strategies on a query log (experiment A1).
 pub fn strategy_report(queries: &[Ast], budget: Budget, seed: u64) -> Vec<StrategyRow> {
-    let strategies: Vec<(&str, SearchStrategy)> = vec![
-        ("mcts", SearchStrategy::Mcts),
-        ("greedy", SearchStrategy::Greedy),
+    use mctsui_mcts::ParallelMode;
+    // The parallel rows put both worker topologies next to the sequential engine and the
+    // random-restart baseline. Budgets differ by topology: tree(4) splits the one shared
+    // ticket budget across its workers (same total iterations as `mcts`, spent on one
+    // tree), while root(4) gives each independent worker the full budget (4x the total
+    // iterations) — compare the `evaluations` column before comparing costs.
+    let strategies: Vec<(&str, SearchStrategy, ParallelMode)> = vec![
+        ("mcts", SearchStrategy::Mcts, ParallelMode::Tree),
+        (
+            "mcts-tree(4)",
+            SearchStrategy::MctsParallel(4),
+            ParallelMode::Tree,
+        ),
+        (
+            "mcts-root(4)",
+            SearchStrategy::MctsParallel(4),
+            ParallelMode::Root,
+        ),
+        ("greedy", SearchStrategy::Greedy, ParallelMode::Tree),
         (
             "random-walk",
             SearchStrategy::RandomWalk {
                 walks: 120,
                 depth: 40,
             },
+            ParallelMode::Tree,
         ),
-        ("beam(4,8)", SearchStrategy::Beam { width: 4, depth: 8 }),
-        ("initial-only", SearchStrategy::InitialOnly),
+        (
+            "beam(4,8)",
+            SearchStrategy::Beam { width: 4, depth: 8 },
+            ParallelMode::Tree,
+        ),
+        (
+            "initial-only",
+            SearchStrategy::InitialOnly,
+            ParallelMode::Tree,
+        ),
     ];
     strategies
         .into_iter()
-        .map(|(name, strategy)| {
-            let config = GeneratorConfig::paper_defaults(Screen::wide())
+        .map(|(name, strategy, mode)| {
+            let mut config = GeneratorConfig::paper_defaults(Screen::wide())
                 .with_budget(budget)
                 .with_seed(seed)
                 .with_strategy(strategy);
+            config.mcts.parallel = mode;
             let interface = InterfaceGenerator::new(queries.to_vec(), config).generate();
             StrategyRow {
                 strategy: name.to_string(),
@@ -597,6 +623,101 @@ pub fn action_throughput_report(seed: u64) -> Vec<EvalThroughputRow> {
     vec![scan, applicable, count, sample, first, cold]
 }
 
+/// One row of the search-loop scaling curve (experiment IS7): how many full MCTS iterations
+/// per second one driver configuration sustains on the Listing 1 demo workload.
+#[derive(Debug, Clone, Serialize)]
+pub struct SearchScalingRow {
+    /// Driver: `sequential`, `tree` (shared tree + virtual loss) or `root` (independent
+    /// trees).
+    pub mode: String,
+    /// Worker threads.
+    pub threads: usize,
+    /// Iterations completed (root mode: summed over all workers).
+    pub iterations: usize,
+    /// Wall-clock time of the whole search, in milliseconds.
+    pub elapsed_millis: u64,
+    /// `iterations / elapsed`: completed MCTS iterations per second.
+    pub iters_per_sec: f64,
+    /// Throughput relative to the sequential row of the same report.
+    pub speedup_vs_sequential: f64,
+    /// Best reward the run found (quality cross-check: parallel modes must stay in the same
+    /// range as sequential).
+    pub best_reward: f64,
+    /// Search-tree nodes materialised (root mode: summed over all workers).
+    pub nodes: usize,
+}
+
+/// The IS7 workload: the Listing 1 demo problem exactly as `mctsui --demo` builds it
+/// (paper-default screen, weights and `k`), with a CI-sized rollout depth so one iteration
+/// is dominated by the select/expand/backprop loop being measured.
+pub fn is7_problem(seed: u64) -> mctsui_core::InterfaceSearchProblem {
+    let config = GeneratorConfig::paper_defaults(Screen::wide()).with_seed(seed);
+    InterfaceGenerator::new(sdss_listing1(), config).problem()
+}
+
+/// Measure search-loop throughput on the Listing 1 demo workload (experiment IS7): the
+/// sequential reference against tree parallelization (one shared tree, virtual loss) and
+/// root parallelization (independent trees), each at every thread count in `threads`.
+///
+/// Every run gets a fresh problem (cold caches) and the same per-run iteration budget; in
+/// root mode each worker runs the full budget, so its `iterations` column grows with the
+/// thread count while tree mode splits one shared ticket budget `threads` ways. Honest
+/// caveat recorded in the row data: on a single-core host all curves are flat — the
+/// `speedup_vs_sequential` column only shows scaling when the host has cores to scale onto.
+pub fn search_scaling_report(
+    iterations: usize,
+    threads: &[usize],
+    seed: u64,
+) -> Vec<SearchScalingRow> {
+    use mctsui_mcts::{Mcts, MctsConfig, ParallelMode};
+
+    let mcts_config = MctsConfig::default()
+        .with_iterations(iterations)
+        .with_seed(seed)
+        .with_rollout_depth(50);
+
+    let measure = |mode: Option<ParallelMode>, workers: usize| -> SearchScalingRow {
+        let problem = is7_problem(seed);
+        let mut config = mcts_config.clone();
+        let started = std::time::Instant::now();
+        let outcome = match mode {
+            None => Mcts::new(&problem, config).run(),
+            Some(parallel) => {
+                config.parallel = parallel;
+                Mcts::new(&problem, config).run_parallel(workers)
+            }
+        };
+        let elapsed = started.elapsed();
+        let secs = elapsed.as_secs_f64().max(1e-9);
+        SearchScalingRow {
+            mode: match mode {
+                None => "sequential".to_string(),
+                Some(ParallelMode::Tree) => "tree".to_string(),
+                Some(ParallelMode::Root) => "root".to_string(),
+            },
+            threads: workers,
+            iterations: outcome.stats.iterations,
+            elapsed_millis: elapsed.as_millis() as u64,
+            iters_per_sec: outcome.stats.iterations as f64 / secs,
+            speedup_vs_sequential: 0.0, // filled below
+            best_reward: outcome.best_reward,
+            nodes: outcome.stats.nodes,
+        }
+    };
+
+    let mut rows = vec![measure(None, 1)];
+    for &mode in &[ParallelMode::Tree, ParallelMode::Root] {
+        for &t in threads {
+            rows.push(measure(Some(mode), t));
+        }
+    }
+    let sequential_ips = rows[0].iters_per_sec;
+    for row in &mut rows {
+        row.speedup_vs_sequential = row.iters_per_sec / sequential_ips;
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -666,6 +787,39 @@ mod tests {
         assert!(mcts.cost.is_finite());
         assert!(baseline.cost.is_finite());
         assert!(baseline.widgets >= 1);
+    }
+
+    #[test]
+    fn search_scaling_report_covers_both_modes_and_all_thread_counts() {
+        let rows = search_scaling_report(25, &[1, 2], 3);
+        // sequential + (tree, root) × (1, 2) threads.
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[0].mode, "sequential");
+        assert!((rows[0].speedup_vs_sequential - 1.0).abs() < 1e-9);
+        for row in &rows {
+            assert!(row.iterations >= 25, "{row:?} lost iterations");
+            assert!(row.iters_per_sec > 0.0);
+            assert!(row.best_reward.is_finite());
+            assert!(row.nodes >= 1);
+        }
+        // Tree mode shares one ticket budget; root mode multiplies it by the worker count.
+        let root2 = rows
+            .iter()
+            .find(|r| r.mode == "root" && r.threads == 2)
+            .unwrap();
+        assert_eq!(root2.iterations, 50);
+        let tree2 = rows
+            .iter()
+            .find(|r| r.mode == "tree" && r.threads == 2)
+            .unwrap();
+        assert_eq!(tree2.iterations, 25);
+        // The tree@1 run replays the sequential search bit for bit.
+        let tree1 = rows
+            .iter()
+            .find(|r| r.mode == "tree" && r.threads == 1)
+            .unwrap();
+        assert_eq!(tree1.best_reward.to_bits(), rows[0].best_reward.to_bits());
+        assert_eq!(tree1.nodes, rows[0].nodes);
     }
 
     #[test]

@@ -19,7 +19,9 @@ use crate::stats::GenerationStats;
 pub enum SearchStrategy {
     /// Monte Carlo Tree Search (the paper's approach).
     Mcts,
-    /// Root-parallel MCTS with this many workers.
+    /// Parallel MCTS with this many workers. The worker topology comes from
+    /// [`MctsConfig::parallel`]: `Tree` (default) shares one search tree across workers
+    /// with virtual loss, `Root` runs independent searches and keeps the best.
     MctsParallel(usize),
     /// Greedy hill climbing (ablation baseline).
     Greedy,
@@ -336,8 +338,8 @@ mod tests {
     fn strategies_all_produce_valid_interfaces() {
         let queries = figure1_queries();
         for strategy in [
-            // Root-parallel MCTS shares the Arc-backed states and the context cache across
-            // worker threads; including it here keeps that path covered.
+            // Parallel MCTS shares the Arc-backed states and the context cache across
+            // worker threads; both topologies are exercised below.
             SearchStrategy::MctsParallel(3),
             SearchStrategy::Greedy,
             SearchStrategy::RandomWalk { walks: 5, depth: 8 },
@@ -345,12 +347,18 @@ mod tests {
             SearchStrategy::Exhaustive { max_states: 30 },
             SearchStrategy::InitialOnly,
         ] {
-            let config = GeneratorConfig::quick(Screen::wide()).with_strategy(strategy);
-            let interface = InterfaceGenerator::new(queries.clone(), config).generate();
-            assert!(
-                interface.cost.valid,
-                "{strategy:?} produced an invalid interface"
-            );
+            for mode in [
+                mctsui_mcts::ParallelMode::Tree,
+                mctsui_mcts::ParallelMode::Root,
+            ] {
+                let mut config = GeneratorConfig::quick(Screen::wide()).with_strategy(strategy);
+                config.mcts.parallel = mode;
+                let interface = InterfaceGenerator::new(queries.clone(), config).generate();
+                assert!(
+                    interface.cost.valid,
+                    "{strategy:?} in {mode:?} produced an invalid interface"
+                );
+            }
         }
     }
 

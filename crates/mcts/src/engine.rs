@@ -1,13 +1,18 @@
-//! The UCT search engine.
+//! The UCT search engine: a sequential seeded reference driver plus two parallel drivers
+//! (root parallelization and shared-tree parallelization with virtual loss), all running
+//! over the [`crate::tree::SearchTree`] arena.
 
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use crate::config::MctsConfig;
+use crate::config::{MctsConfig, ParallelMode};
 use crate::problem::SearchProblem;
+use crate::tree::{SearchTree, TreeNode, TreeView};
 
 /// One point of the best-reward-over-time trace.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -31,7 +36,8 @@ pub struct SearchStats {
     pub evaluations: usize,
     /// Wall-clock duration of the run in milliseconds.
     pub elapsed_millis: u64,
-    /// The best-reward improvements over time (always ends with the final best).
+    /// The best-reward improvements over time (always ends with the final best). For
+    /// parallel runs this is the merged monotone envelope over all workers.
     pub trace: Vec<RewardTracePoint>,
 }
 
@@ -44,17 +50,6 @@ pub struct SearchOutcome<S> {
     pub best_reward: f64,
     /// Statistics about the run.
     pub stats: SearchStats,
-}
-
-/// A node of the search tree.
-struct Node<S, A> {
-    state: S,
-    parent: Option<usize>,
-    children: Vec<usize>,
-    /// Actions not yet expanded into children.
-    untried: Vec<A>,
-    visits: f64,
-    total_reward: f64,
 }
 
 /// The Monte Carlo Tree Search engine.
@@ -74,15 +69,19 @@ impl<P: SearchProblem> Mcts<P> {
         self.run_seeded(self.config.seed)
     }
 
+    /// The sequential seeded reference driver. A [`ParallelMode::Tree`] run with one worker
+    /// reproduces it bit-identically (pinned by tests).
     fn run_seeded(&self, seed: u64) -> SearchOutcome<P::State> {
         let start = Instant::now();
         let mut rng = StdRng::seed_from_u64(seed);
         let time_limit = self.config.budget.time_limit_millis();
         let max_iterations = self.config.budget.max_iterations();
+        let cap = self.config.max_children_per_node;
 
         let root_state = self.problem.initial_state();
-        let mut nodes: Vec<Node<P::State, P::Action>> = Vec::with_capacity(1024);
-        nodes.push(self.make_node(root_state.clone(), None, &mut rng));
+        let tree =
+            SearchTree::with_root(root_state.clone(), self.problem.action_count(&root_state));
+        let mut view = tree.view();
 
         let mut evaluations = 0usize;
         let root_reward = self.problem.reward(&root_state, rng.gen());
@@ -96,6 +95,7 @@ impl<P: SearchProblem> Mcts<P> {
             best_reward,
         }];
 
+        let mut children_scratch: Vec<usize> = Vec::new();
         let mut iterations = 0usize;
         while iterations < max_iterations {
             if let Some(limit) = time_limit {
@@ -105,45 +105,67 @@ impl<P: SearchProblem> Mcts<P> {
             }
             iterations += 1;
 
-            // 1. Selection: follow best-UCT children until a node with untried actions.
+            // 1. Selection: follow best-UCT children until an expandable node. A node whose
+            // children list is full (`max_children_per_node`) counts as fully expanded even
+            // while untried actions remain, so selection descends *through* it instead of
+            // re-evaluating it forever.
             let mut current = 0usize;
             loop {
-                let node = &nodes[current];
-                if !node.untried.is_empty() || node.children.is_empty() {
+                let (parent_visits, expandable) = {
+                    let node = view.node(current);
+                    let gate = node.gate();
+                    children_scratch.clear();
+                    children_scratch.extend_from_slice(gate.children());
+                    (
+                        (node.visits() as f64).max(1.0),
+                        gate.untried_remaining() > 0 && gate.children().len() < cap,
+                    )
+                };
+                if expandable || children_scratch.is_empty() {
                     break;
                 }
-                current = self.select_child(&nodes, current);
+                current = self.select_child(&view, &children_scratch, parent_visits, 0.0);
             }
 
-            // 2. Expansion: materialise one untried action, if any.
-            let expanded = if !nodes[current].untried.is_empty()
-                && nodes[current].children.len() < self.config.max_children_per_node
+            // 2. Expansion: draw one untried action on demand (lazy Fisher–Yates over the
+            // state's canonical action order — one rng draw, no materialised fanout) and
+            // materialise it as a new child, if any.
+            let mut created: Option<usize> = None;
             {
-                let idx = rng.gen_range(0..nodes[current].untried.len());
-                let action = nodes[current].untried.swap_remove(idx);
-                match self.problem.apply(&nodes[current].state, &action) {
-                    Some(next_state) => {
-                        let child = self.make_node(next_state, Some(current), &mut rng);
-                        nodes.push(child);
-                        let child_id = nodes.len() - 1;
-                        nodes[current].children.push(child_id);
-                        child_id
+                let node = view.node(current);
+                let mut gate = node.gate();
+                if gate.untried_remaining() > 0 && gate.children().len() < cap {
+                    let j = rng.gen_range(0..gate.untried_remaining());
+                    let index = gate.take_untried(j);
+                    if let Some(next_state) = self
+                        .problem
+                        .nth_action(node.state(), index)
+                        .and_then(|action| self.problem.apply(node.state(), &action))
+                    {
+                        let untried = self.problem.action_count(&next_state);
+                        let child = tree.push(next_state, Some(current), untried);
+                        gate.push_child(child);
+                        created = Some(child);
                     }
-                    None => current,
                 }
-            } else {
-                current
+            }
+            let expanded = match created {
+                Some(child) => {
+                    view.ensure(child);
+                    child
+                }
+                None => current,
             };
 
             // 3a. Evaluate the newly expanded state itself. Deep random walks can wander into
             // poor regions; evaluating the expanded node keeps the search informed about the
             // quality of the states it actually materialises (and they are the candidates the
             // final answer is drawn from).
-            let node_reward = self.problem.reward(&nodes[expanded].state, rng.gen());
+            let node_reward = self.problem.reward(view.node(expanded).state(), rng.gen());
             evaluations += 1;
             if node_reward > best_reward {
                 best_reward = node_reward;
-                best_state = nodes[expanded].state.clone();
+                best_state = view.node(expanded).state().clone();
                 trace.push(RewardTracePoint {
                     iteration: iterations,
                     elapsed_millis: start.elapsed().as_millis() as u64,
@@ -155,7 +177,8 @@ impl<P: SearchProblem> Mcts<P> {
             // moves (terminal or stuck state) ends at the expanded state itself, whose
             // reward was just evaluated — reuse it instead of paying a second batched
             // k-sample evaluation of the same state.
-            let reward = match self.rollout(&nodes[expanded].state, &mut rng, &mut evaluations) {
+            let reward = match self.rollout(view.node(expanded).state(), &mut rng, &mut evaluations)
+            {
                 Some((rollout_state, rollout_reward)) => {
                     if rollout_reward > best_reward {
                         best_reward = rollout_reward;
@@ -174,9 +197,9 @@ impl<P: SearchProblem> Mcts<P> {
             // 4. Backpropagation of the better of the two estimates.
             let mut cursor = Some(expanded);
             while let Some(id) = cursor {
-                nodes[id].visits += 1.0;
-                nodes[id].total_reward += reward;
-                cursor = nodes[id].parent;
+                let node = view.node(id);
+                node.record_visit(reward);
+                cursor = node.parent();
             }
         }
 
@@ -191,7 +214,7 @@ impl<P: SearchProblem> Mcts<P> {
             best_reward,
             stats: SearchStats {
                 iterations,
-                nodes: nodes.len(),
+                nodes: tree.len(),
                 evaluations,
                 elapsed_millis,
                 trace,
@@ -199,40 +222,43 @@ impl<P: SearchProblem> Mcts<P> {
         }
     }
 
-    fn make_node(
-        &self,
-        state: P::State,
-        parent: Option<usize>,
-        rng: &mut StdRng,
-    ) -> Node<P::State, P::Action> {
-        let mut untried = self.problem.actions(&state);
-        // Shuffle so expansion order is unbiased yet deterministic for the seed.
-        for i in (1..untried.len()).rev() {
-            let j = rng.gen_range(0..=i);
-            untried.swap(i, j);
-        }
-        Node {
-            state,
-            parent,
-            children: Vec::new(),
-            untried,
-            visits: 0.0,
-            total_reward: 0.0,
+    /// The UCT score of `node` under a parent with `parent_ln = ln(parent_visits)`.
+    ///
+    /// With no virtual loss pending (always on the sequential path) this is textbook UCT —
+    /// unvisited children score infinite. Pending virtual losses inflate the visit count by
+    /// `virtual_loss` pseudo-visits each, every pseudo-visit contributing `penalty` (the
+    /// worst reward seen so far), so concurrent workers diverge instead of stampeding one
+    /// leaf. The `v == 0.0` branch keeps the no-loss arithmetic bit-identical to the
+    /// sequential reference.
+    fn uct_score(&self, node: &TreeNode<P::State>, parent_ln: f64, penalty: f64) -> f64 {
+        let n = node.visits() as f64;
+        let v = self.config.virtual_loss * node.virtual_loss() as f64;
+        if v == 0.0 {
+            if n == 0.0 {
+                f64::INFINITY
+            } else {
+                node.total_reward() / n + self.config.exploration * ((parent_ln / n).sqrt())
+            }
+        } else {
+            let n_eff = n + v;
+            (node.total_reward() + v * penalty) / n_eff
+                + self.config.exploration * ((parent_ln / n_eff).sqrt())
         }
     }
 
-    fn select_child(&self, nodes: &[Node<P::State, P::Action>], parent: usize) -> usize {
-        let parent_visits = nodes[parent].visits.max(1.0);
-        let c = self.config.exploration;
-        let mut best = nodes[parent].children[0];
+    /// Best-UCT child among `children` (first wins ties, matching the reference order).
+    fn select_child(
+        &self,
+        view: &TreeView<'_, P::State>,
+        children: &[usize],
+        parent_visits: f64,
+        penalty: f64,
+    ) -> usize {
+        let parent_ln = parent_visits.ln();
+        let mut best = children[0];
         let mut best_score = f64::NEG_INFINITY;
-        for &child in &nodes[parent].children {
-            let n = nodes[child].visits;
-            let score = if n == 0.0 {
-                f64::INFINITY
-            } else {
-                nodes[child].total_reward / n + c * ((parent_visits.ln() / n).sqrt())
-            };
+        for &child in children {
+            let score = self.uct_score(view.node(child), parent_ln, penalty);
             if score > best_score {
                 best_score = score;
                 best = child;
@@ -279,21 +305,101 @@ impl<P: SearchProblem> Mcts<P> {
     }
 }
 
+/// The monotone best-so-far record of a tree-parallel run: best state, best reward and the
+/// improvement trace, guarded by one mutex that workers only take when the lock-free
+/// pre-check says they may actually have an improvement.
+struct BestRecord<S> {
+    best_reward: f64,
+    best_state: S,
+    trace: Vec<RewardTracePoint>,
+}
+
+/// Shared state of one tree-parallel run.
+struct TreeRunShared<'p, S> {
+    tree: &'p SearchTree<S>,
+    start: Instant,
+    /// Iteration tickets: workers claim the next iteration number here.
+    tickets: AtomicUsize,
+    /// Fully processed iterations (what [`SearchStats::iterations`] reports).
+    completed: AtomicUsize,
+    evaluations: AtomicUsize,
+    /// `f64` bits of the current best reward — the lock-free pre-check mirror of
+    /// [`BestRecord::best_reward`].
+    best_bits: AtomicU64,
+    /// `f64` bits of the worst reward seen so far — the virtual-loss penalty.
+    min_reward_bits: AtomicU64,
+    record: Mutex<BestRecord<S>>,
+}
+
+impl<S: Clone> TreeRunShared<'_, S> {
+    /// Fold a freshly evaluated reward into the virtual-loss penalty (running minimum).
+    fn note_reward(&self, reward: f64) {
+        let mut current = self.min_reward_bits.load(Ordering::Relaxed);
+        while reward < f64::from_bits(current) {
+            match self.min_reward_bits.compare_exchange_weak(
+                current,
+                reward.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Offer a candidate best. The comparison (`reward > best`) matches the sequential
+    /// driver exactly; the mutex is only taken when the lock-free mirror says the candidate
+    /// may win.
+    fn offer_best(&self, reward: f64, state: &S, iteration: usize) {
+        if reward <= f64::from_bits(self.best_bits.load(Ordering::Relaxed)) {
+            return;
+        }
+        let mut record = self.record.lock().expect("best record poisoned");
+        if reward > record.best_reward {
+            record.best_reward = reward;
+            record.best_state = state.clone();
+            record.trace.push(RewardTracePoint {
+                iteration,
+                elapsed_millis: self.start.elapsed().as_millis() as u64,
+                best_reward: reward,
+            });
+            self.best_bits.store(reward.to_bits(), Ordering::Relaxed);
+        }
+    }
+}
+
 impl<P> Mcts<P>
 where
     P: SearchProblem + Sync,
-    P::State: Send,
+    P::State: Send + Sync,
 {
-    /// Root-parallel search: run `threads` independent searches with different seeds on
-    /// scoped threads and keep the best outcome. Statistics are summed across workers except
-    /// for the trace, which is taken from the winning worker.
+    /// Parallel search with `threads` workers, dispatching on
+    /// [`MctsConfig::parallel`]:
+    ///
+    /// * [`ParallelMode::Root`] — `threads` independent searches with derived seeds; the
+    ///   best outcome wins and the per-worker traces are merged into one monotone
+    ///   best-reward-over-time envelope.
+    /// * [`ParallelMode::Tree`] — one shared search tree; workers select with UCT plus
+    ///   virtual loss, expand under per-node critical sections, roll out lock-free and
+    ///   backpropagate with atomics. With one worker this reproduces [`Mcts::run`]
+    ///   bit-identically; with more it parallelises the iteration loop itself.
     ///
     /// Workers share the problem by reference (`P: Sync`), so a problem with internal
     /// caching — like the interface search problem's context cache — shares its cache across
-    /// workers. States only cross threads as return values, hence the `P::State: Send`
-    /// bound; `Arc`-backed persistent states satisfy it for free.
+    /// workers. Tree-parallel workers also read each other's states out of the shared arena,
+    /// hence the `P::State: Send + Sync` bound; `Arc`-backed persistent states satisfy it
+    /// for free.
     pub fn run_parallel(&self, threads: usize) -> SearchOutcome<P::State> {
         let threads = threads.max(1);
+        match self.config.parallel {
+            ParallelMode::Root => self.run_root_parallel(threads),
+            ParallelMode::Tree => self.run_tree_parallel(threads),
+        }
+    }
+
+    /// Root parallelization: independent trees, best outcome kept, traces merged.
+    fn run_root_parallel(&self, threads: usize) -> SearchOutcome<P::State> {
         if threads == 1 {
             return self.run();
         }
@@ -320,6 +426,7 @@ where
             trace: Vec::new(),
         };
         let mut best: Option<SearchOutcome<P::State>> = None;
+        let mut traces = Vec::with_capacity(outcomes.len());
         for outcome in outcomes {
             combined_stats.iterations += outcome.stats.iterations;
             combined_stats.nodes += outcome.stats.nodes;
@@ -327,17 +434,248 @@ where
             combined_stats.elapsed_millis = combined_stats
                 .elapsed_millis
                 .max(outcome.stats.elapsed_millis);
+            traces.push(outcome.stats.trace.clone());
             let is_better = best
                 .as_ref()
                 .map(|b| outcome.best_reward > b.best_reward)
                 .unwrap_or(true);
             if is_better {
-                combined_stats.trace = outcome.stats.trace.clone();
                 best = Some(outcome);
             }
         }
         let mut best = best.expect("at least one worker ran");
+        // The trace reflects the whole fleet, not just the winning worker: the monotone
+        // envelope of every improvement any worker found, closed with a fleet-wide summary
+        // point.
+        combined_stats.trace = merge_trace_envelope(traces);
+        combined_stats.trace.push(RewardTracePoint {
+            iteration: combined_stats.iterations,
+            elapsed_millis: combined_stats.elapsed_millis,
+            best_reward: best.best_reward,
+        });
         best.stats = combined_stats;
         best
     }
+
+    /// Tree parallelization: `threads` workers over one shared [`SearchTree`].
+    fn run_tree_parallel(&self, threads: usize) -> SearchOutcome<P::State> {
+        let start = Instant::now();
+        let seed = self.config.seed;
+
+        // The prologue consumes worker 0's rng exactly like the sequential driver's, so a
+        // 1-worker run replays `run_seeded` draw for draw.
+        let mut rng0 = StdRng::seed_from_u64(seed);
+        let root_state = self.problem.initial_state();
+        let tree =
+            SearchTree::with_root(root_state.clone(), self.problem.action_count(&root_state));
+        let root_reward = self.problem.reward(&root_state, rng0.gen());
+
+        let shared = TreeRunShared {
+            tree: &tree,
+            start,
+            tickets: AtomicUsize::new(0),
+            completed: AtomicUsize::new(0),
+            evaluations: AtomicUsize::new(1),
+            best_bits: AtomicU64::new(root_reward.to_bits()),
+            min_reward_bits: AtomicU64::new(root_reward.to_bits()),
+            record: Mutex::new(BestRecord {
+                best_reward: root_reward,
+                best_state: root_state,
+                trace: vec![RewardTracePoint {
+                    iteration: 0,
+                    elapsed_millis: 0,
+                    best_reward: root_reward,
+                }],
+            }),
+        };
+
+        std::thread::scope(|scope| {
+            let shared = &shared;
+            let mut rng0 = Some(rng0);
+            for t in 0..threads {
+                let rng = match rng0.take() {
+                    Some(rng) => rng,
+                    None => StdRng::seed_from_u64(
+                        seed.wrapping_add((t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                    ),
+                };
+                scope.spawn(move || self.tree_worker(shared, rng));
+            }
+        });
+
+        let elapsed_millis = start.elapsed().as_millis() as u64;
+        let iterations = shared.completed.load(Ordering::Relaxed);
+        let evaluations = shared.evaluations.load(Ordering::Relaxed);
+        let nodes = tree.len();
+        let record = shared
+            .record
+            .into_inner()
+            .expect("best record poisoned at shutdown");
+        let mut trace = record.trace;
+        trace.push(RewardTracePoint {
+            iteration: iterations,
+            elapsed_millis,
+            best_reward: record.best_reward,
+        });
+        SearchOutcome {
+            best_state: record.best_state,
+            best_reward: record.best_reward,
+            stats: SearchStats {
+                iterations,
+                nodes,
+                evaluations,
+                elapsed_millis,
+                trace,
+            },
+        }
+    }
+
+    /// One tree-parallel worker: claim iteration tickets off the shared counter and run the
+    /// select → expand → evaluate/rollout → backpropagate loop against the shared tree.
+    fn tree_worker(&self, shared: &TreeRunShared<'_, P::State>, mut rng: StdRng) {
+        let time_limit = self.config.budget.time_limit_millis();
+        let max_iterations = self.config.budget.max_iterations();
+        let cap = self.config.max_children_per_node;
+
+        let mut view = shared.tree.view();
+        let mut evaluations = 0usize;
+        let mut children_scratch: Vec<usize> = Vec::new();
+        // Nodes this iteration applied a virtual loss to (the descent path below the root,
+        // plus a freshly created child). Reverted after backpropagation, so the counters
+        // are zero again at quiescence.
+        let mut loss_applied: Vec<usize> = Vec::new();
+
+        loop {
+            let ticket = shared.tickets.fetch_add(1, Ordering::Relaxed);
+            if ticket >= max_iterations {
+                break;
+            }
+            if let Some(limit) = time_limit {
+                if shared.start.elapsed().as_millis() as u64 >= limit {
+                    break;
+                }
+            }
+            let iteration = ticket + 1;
+            loss_applied.clear();
+
+            // 1. Selection with virtual loss: children being descended by other workers
+            // look worse, so concurrent workers fan out over siblings instead of
+            // stampeding one principal variation. Capped nodes count as fully expanded
+            // (same fix as the sequential driver).
+            let mut current = 0usize;
+            loop {
+                let (parent_visits, expandable) = {
+                    let node = view.node(current);
+                    let gate = node.gate();
+                    children_scratch.clear();
+                    children_scratch.extend_from_slice(gate.children());
+                    (
+                        (node.visits() as f64).max(1.0),
+                        gate.untried_remaining() > 0 && gate.children().len() < cap,
+                    )
+                };
+                if expandable || children_scratch.is_empty() {
+                    break;
+                }
+                for &child in &children_scratch {
+                    view.ensure(child);
+                }
+                let penalty = f64::from_bits(shared.min_reward_bits.load(Ordering::Relaxed));
+                let chosen = self.select_child(&view, &children_scratch, parent_visits, penalty);
+                view.node(chosen).apply_virtual_loss();
+                loss_applied.push(chosen);
+                current = chosen;
+            }
+
+            // 2. Expansion under the node's short critical section: draw an untried action,
+            // apply it, publish the child (with a virtual loss pre-applied so concurrent
+            // selectors don't pile onto the brand-new leaf before its first backprop).
+            let mut created: Option<usize> = None;
+            {
+                let node = view.node(current);
+                let mut gate = node.gate();
+                if gate.untried_remaining() > 0 && gate.children().len() < cap {
+                    let j = rng.gen_range(0..gate.untried_remaining());
+                    let index = gate.take_untried(j);
+                    if let Some(next_state) = self
+                        .problem
+                        .nth_action(node.state(), index)
+                        .and_then(|action| self.problem.apply(node.state(), &action))
+                    {
+                        let untried = self.problem.action_count(&next_state);
+                        let child = shared.tree.push_with_virtual_loss(
+                            next_state,
+                            Some(current),
+                            untried,
+                            1,
+                        );
+                        gate.push_child(child);
+                        created = Some(child);
+                    }
+                }
+            }
+            let expanded = match created {
+                Some(child) => {
+                    loss_applied.push(child);
+                    view.ensure(child);
+                    child
+                }
+                None => current,
+            };
+
+            // 3a. Evaluate the expanded state (see the sequential driver for why).
+            let node_reward = self.problem.reward(view.node(expanded).state(), rng.gen());
+            evaluations += 1;
+            shared.note_reward(node_reward);
+            shared.offer_best(node_reward, view.node(expanded).state(), iteration);
+
+            // 3b. Rollout, lock-free against the problem's shared caches.
+            let reward = match self.rollout(view.node(expanded).state(), &mut rng, &mut evaluations)
+            {
+                Some((rollout_state, rollout_reward)) => {
+                    shared.note_reward(rollout_reward);
+                    shared.offer_best(rollout_reward, &rollout_state, iteration);
+                    node_reward.max(rollout_reward)
+                }
+                None => node_reward,
+            };
+
+            // 4. Backpropagate with atomics, then revert this iteration's virtual losses.
+            let mut cursor = Some(expanded);
+            while let Some(id) = cursor {
+                let node = view.node(id);
+                node.record_visit(reward);
+                cursor = node.parent();
+            }
+            for &id in &loss_applied {
+                view.node(id).revert_virtual_loss();
+            }
+
+            shared.completed.fetch_add(1, Ordering::Relaxed);
+        }
+
+        shared.evaluations.fetch_add(evaluations, Ordering::Relaxed);
+    }
+}
+
+/// Merge per-worker best-reward traces into one monotone best-reward-over-time envelope:
+/// points are ordered by wall-clock time and a point survives only if it improves on
+/// everything earlier, so the curve reads as "the fleet's best known reward at time t".
+pub(crate) fn merge_trace_envelope(traces: Vec<Vec<RewardTracePoint>>) -> Vec<RewardTracePoint> {
+    let mut all: Vec<RewardTracePoint> = traces.into_iter().flatten().collect();
+    all.sort_by(|a, b| {
+        a.elapsed_millis
+            .cmp(&b.elapsed_millis)
+            .then(a.iteration.cmp(&b.iteration))
+            .then(a.best_reward.total_cmp(&b.best_reward))
+    });
+    let mut envelope: Vec<RewardTracePoint> = Vec::new();
+    for point in all {
+        match envelope.last() {
+            None => envelope.push(point),
+            Some(last) if point.best_reward > last.best_reward => envelope.push(point),
+            Some(_) => {}
+        }
+    }
+    envelope
 }

@@ -14,23 +14,33 @@
 //! 4. **Backpropagation** — add the reward to every node on the path.
 //!
 //! The engine is deterministic for a fixed seed, supports wall-clock and iteration budgets,
-//! records a best-reward-over-time trace (used by the convergence experiments), and offers a
-//! root-parallel variant built on std's scoped threads.
+//! records a best-reward-over-time trace (used by the convergence experiments), and offers
+//! two parallel drivers built on std's scoped threads (see [`ParallelMode`]):
+//!
+//! * **Root parallelization** — independent trees with derived seeds, best outcome kept,
+//!   traces merged into one monotone envelope. Deterministic, but duplicates work.
+//! * **Tree parallelization** — all workers share one [`tree::SearchTree`] arena: UCT
+//!   selection with *virtual loss* (applied on descent, reverted on backprop, so concurrent
+//!   workers diverge instead of stampeding one leaf), expansion under per-node short
+//!   critical sections, lock-free rollouts and atomic backpropagation. One worker
+//!   reproduces the sequential seeded search bit-identically (pinned by tests).
 
 pub mod config;
 pub mod engine;
 pub mod problem;
+pub mod tree;
 
-pub use config::{Budget, MctsConfig};
+pub use config::{Budget, MctsConfig, ParallelMode};
 pub use engine::{Mcts, RewardTracePoint, SearchOutcome, SearchStats};
 pub use problem::SearchProblem;
+pub use tree::SearchTree;
 
 #[cfg(test)]
 mod tests {
     //! End-to-end tests of the engine on small synthetic problems with known optima.
 
-    use crate::config::{Budget, MctsConfig};
-    use crate::engine::Mcts;
+    use crate::config::{Budget, MctsConfig, ParallelMode};
+    use crate::engine::{merge_trace_envelope, Mcts, RewardTracePoint};
     use crate::problem::SearchProblem;
 
     /// A toy problem: states are bit strings of length `n`, actions flip a bit or stop; the
@@ -196,10 +206,116 @@ mod tests {
         let config = MctsConfig {
             budget: Budget::Iterations(400),
             seed: 11,
+            parallel: ParallelMode::Root,
             ..MctsConfig::default()
         };
         let outcome = Mcts::new(BitFlip { n: 6 }, config).run_parallel(4);
         assert_eq!(outcome.best_reward, 6.0);
+    }
+
+    #[test]
+    fn parallel_tree_search_finds_the_same_optimum() {
+        let config = MctsConfig {
+            budget: Budget::Iterations(400),
+            seed: 11,
+            parallel: ParallelMode::Tree,
+            ..MctsConfig::default()
+        };
+        let outcome = Mcts::new(BitFlip { n: 6 }, config).run_parallel(4);
+        assert_eq!(outcome.best_reward, 6.0);
+        assert!(outcome.stats.iterations <= 400);
+        assert!(outcome.stats.nodes >= 2);
+    }
+
+    #[test]
+    fn tree_mode_single_worker_is_bit_identical_to_sequential() {
+        // The pin behind the tree-parallel driver: with one worker, the ticketing, virtual
+        // loss and mutex-guarded best record must degenerate to exactly the sequential
+        // reference — same rng stream, same selections, same results.
+        for seed in [3u64, 42, 99] {
+            let config = MctsConfig {
+                budget: Budget::Iterations(350),
+                seed,
+                parallel: ParallelMode::Tree,
+                ..MctsConfig::default()
+            };
+            let sequential = Mcts::new(BitFlip { n: 7 }, config.clone()).run();
+            let tree = Mcts::new(BitFlip { n: 7 }, config).run_parallel(1);
+            assert_eq!(sequential.best_reward.to_bits(), tree.best_reward.to_bits());
+            assert_eq!(sequential.best_state, tree.best_state);
+            assert_eq!(sequential.stats.iterations, tree.stats.iterations);
+            assert_eq!(sequential.stats.nodes, tree.stats.nodes);
+            assert_eq!(sequential.stats.evaluations, tree.stats.evaluations);
+            let key = |t: &[RewardTracePoint]| -> Vec<(usize, u64)> {
+                t.iter()
+                    .map(|p| (p.iteration, p.best_reward.to_bits()))
+                    .collect()
+            };
+            assert_eq!(key(&sequential.stats.trace), key(&tree.stats.trace));
+        }
+    }
+
+    #[test]
+    fn capped_nodes_do_not_stall_selection() {
+        // Regression: a node at `max_children_per_node` with untried actions left used to
+        // halt selection forever (selection stopped at it, expansion refused to grow it),
+        // so the tree froze at root + 1 child. Capped nodes must count as fully expanded so
+        // selection descends through them.
+        let config = MctsConfig {
+            budget: Budget::Iterations(60),
+            rollout_depth: 4,
+            seed: 5,
+            max_children_per_node: 1,
+            ..MctsConfig::default()
+        };
+        let outcome = Mcts::new(BitFlip { n: 6 }, config.clone()).run();
+        assert!(
+            outcome.stats.nodes > 2,
+            "selection stalled at a capped node: only {} nodes materialised",
+            outcome.stats.nodes
+        );
+        // The tree-parallel driver shares the fix.
+        let outcome = Mcts::new(BitFlip { n: 6 }, config).run_parallel(2);
+        assert!(outcome.stats.nodes > 2);
+    }
+
+    #[test]
+    fn root_parallel_trace_is_a_fleet_wide_monotone_envelope() {
+        let config = MctsConfig {
+            budget: Budget::Iterations(200),
+            seed: 11,
+            parallel: ParallelMode::Root,
+            ..MctsConfig::default()
+        };
+        let outcome = Mcts::new(BitFlip { n: 8 }, config).run_parallel(4);
+        let trace = &outcome.stats.trace;
+        assert!(trace.len() >= 2);
+        for pair in trace.windows(2) {
+            assert!(pair[1].best_reward >= pair[0].best_reward);
+            assert!(pair[1].elapsed_millis >= pair[0].elapsed_millis);
+        }
+        let last = trace.last().unwrap();
+        assert_eq!(last.best_reward, outcome.best_reward);
+        assert_eq!(last.iteration, outcome.stats.iterations);
+    }
+
+    #[test]
+    fn trace_envelope_merges_improvements_from_all_workers() {
+        let point = |iteration, elapsed_millis, best_reward| RewardTracePoint {
+            iteration,
+            elapsed_millis,
+            best_reward,
+        };
+        // Worker A improves early, worker B later but further; worker C never leads.
+        let merged = merge_trace_envelope(vec![
+            vec![point(0, 0, 1.0), point(3, 5, 4.0), point(9, 30, 5.0)],
+            vec![point(0, 0, 0.5), point(4, 10, 6.0)],
+            vec![point(0, 0, 0.25), point(2, 4, 0.75)],
+        ]);
+        let rewards: Vec<f64> = merged.iter().map(|p| p.best_reward).collect();
+        assert_eq!(rewards, vec![0.25, 0.5, 1.0, 4.0, 6.0]);
+        // The 5.0 point is dominated by 6.0 found earlier; the envelope drops it.
+        assert!(merged.iter().all(|p| p.elapsed_millis <= 10));
     }
 
     #[test]

@@ -35,7 +35,10 @@ pub trait SearchProblem {
     /// (`None` when out of range). Together with [`SearchProblem::action_count`] this lets
     /// the engine draw a uniform random action without materialising the fanout; overriding
     /// problems must preserve the ordering so seeded runs are identical on both paths. The
-    /// default materialises the full set.
+    /// default materialises the full set — and since the engine draws untried actions on
+    /// demand (one `nth_action` call per *expansion*, not one `actions` call per node),
+    /// problems with large fanouts should override both accessors or expansion pays one
+    /// full materialisation per expanded child.
     fn nth_action(&self, state: &Self::State, index: usize) -> Option<Self::Action> {
         self.actions(state).into_iter().nth(index)
     }

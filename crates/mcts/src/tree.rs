@@ -1,0 +1,435 @@
+//! The shared search-tree arena used by both the sequential and the tree-parallel drivers.
+//!
+//! [`SearchTree`] is a chunked, append-only arena of [`TreeNode`]s. Node ids are plain
+//! `usize` indices; nodes are never moved or freed, so a reader holding a [`TreeView`] can
+//! dereference any published id without taking a lock on the hot path. Concurrency is split
+//! by access pattern:
+//!
+//! * **Statistics** (`visits`, `total_reward`, `virtual_loss`) are per-node atomics.
+//!   Visits and virtual losses are exact integer counters; the reward total is an `f64`
+//!   accumulated with a compare-and-swap loop rather than a scaled fixed-point integer so
+//!   that a single-worker tree run performs *bit-identical* float additions to the
+//!   sequential reference (fixed-point rounding could flip a UCT argmax and break the
+//!   1-worker ≡ sequential pin).
+//! * **Structure** (the children list and the not-yet-expanded action bookkeeping) lives
+//!   behind one short [`Mutex`] per node — the "per-node short critical section" of the
+//!   expansion step. Selection holds it just long enough to copy the child ids.
+//! * **Allocation** appends to the newest chunk under a dedicated lock; chunk storage cells
+//!   are `OnceLock`s, so already-published nodes are reachable from other threads without
+//!   writer interference.
+//!
+//! Untried actions are *not* materialised as a per-node `Vec<Action>`. A node only stores
+//! how many actions its state has; expansion draws the `j`-th remaining action index with a
+//! lazy Fisher–Yates swap map ([`NodeGate::take_untried`]) and resolves it to a concrete
+//! action through `SearchProblem::nth_action`. That keeps node creation allocation-free and
+//! consumes exactly one rng draw per expansion — the same consumption as the eager
+//! shuffle-then-`swap_remove` pattern it replaced.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, RwLock};
+
+/// Nodes per arena chunk. Chunks are allocated eagerly as whole slabs; 256 nodes keeps the
+/// slab size moderate while making chunk-list refreshes rare.
+const CHUNK_SIZE: usize = 256;
+
+/// One slab of node storage. Cells are `OnceLock`s: written exactly once (under the arena's
+/// allocation lock), read lock-free ever after.
+struct Chunk<S> {
+    slots: Box<[OnceLock<TreeNode<S>>]>,
+}
+
+impl<S> Chunk<S> {
+    fn new() -> Self {
+        Self {
+            slots: (0..CHUNK_SIZE).map(|_| OnceLock::new()).collect(),
+        }
+    }
+}
+
+/// The mutable structural core of a node, guarded by the node's expansion mutex.
+///
+/// `children` is the ordered list of materialised child ids. The untried-action state is a
+/// count plus a lazy Fisher–Yates swap map: drawing the `j`-th of `untried_remaining`
+/// actions resolves `j` through the map, then swaps the last remaining slot into `j`.
+#[derive(Debug)]
+pub struct NodeGate {
+    untried_remaining: usize,
+    /// Sparse overrides of the identity permutation, latest value per slot.
+    swaps: Vec<(usize, usize)>,
+    children: Vec<usize>,
+}
+
+impl NodeGate {
+    fn new(untried: usize) -> Self {
+        Self {
+            untried_remaining: untried,
+            swaps: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Number of actions not yet drawn for expansion.
+    pub fn untried_remaining(&self) -> usize {
+        self.untried_remaining
+    }
+
+    /// The materialised children, in expansion order.
+    pub fn children(&self) -> &[usize] {
+        &self.children
+    }
+
+    /// Append a newly materialised child id.
+    pub fn push_child(&mut self, id: usize) {
+        self.children.push(id);
+    }
+
+    fn mapped(&self, slot: usize) -> usize {
+        self.swaps
+            .iter()
+            .find(|(s, _)| *s == slot)
+            .map(|(_, v)| *v)
+            .unwrap_or(slot)
+    }
+
+    fn set_mapping(&mut self, slot: usize, value: usize) {
+        if let Some(entry) = self.swaps.iter_mut().find(|(s, _)| *s == slot) {
+            entry.1 = value;
+        } else {
+            self.swaps.push((slot, value));
+        }
+    }
+
+    /// Draw the `j`-th remaining untried action (caller supplies `j < untried_remaining`,
+    /// typically a fresh uniform draw) and remove it from the pool: the lazy equivalent of
+    /// shuffling the full action list up front and `swap_remove`-ing position `j`.
+    ///
+    /// Returns the action's index in the problem's canonical `actions`/`nth_action` order.
+    pub fn take_untried(&mut self, j: usize) -> usize {
+        debug_assert!(j < self.untried_remaining, "draw outside the untried pool");
+        let last = self.untried_remaining - 1;
+        let picked = self.mapped(j);
+        let last_value = self.mapped(last);
+        self.set_mapping(j, last_value);
+        self.untried_remaining = last;
+        picked
+    }
+}
+
+/// One node of the shared search tree: an immutable state + parent link, atomic statistics,
+/// and the mutex-guarded structural core ([`NodeGate`]).
+pub struct TreeNode<S> {
+    state: S,
+    parent: Option<usize>,
+    visits: AtomicU64,
+    /// `f64` bits of the accumulated reward, updated with a CAS loop (see module docs for
+    /// why this is not a scaled integer).
+    total_reward_bits: AtomicU64,
+    /// Pending concurrent descents through this node. Applied on the way down, reverted on
+    /// backpropagation, so the counter is transient and returns to zero at quiescence.
+    virtual_loss: AtomicU32,
+    gate: Mutex<NodeGate>,
+}
+
+impl<S> TreeNode<S> {
+    fn new(state: S, parent: Option<usize>, untried: usize, initial_virtual_loss: u32) -> Self {
+        Self {
+            state,
+            parent,
+            visits: AtomicU64::new(0),
+            total_reward_bits: AtomicU64::new(0f64.to_bits()),
+            virtual_loss: AtomicU32::new(initial_virtual_loss),
+            gate: Mutex::new(NodeGate::new(untried)),
+        }
+    }
+
+    /// The search state this node holds.
+    pub fn state(&self) -> &S {
+        &self.state
+    }
+
+    /// The parent's node id (`None` for the root).
+    pub fn parent(&self) -> Option<usize> {
+        self.parent
+    }
+
+    /// Number of completed backpropagations through this node.
+    pub fn visits(&self) -> u64 {
+        self.visits.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all backpropagated rewards.
+    pub fn total_reward(&self) -> f64 {
+        f64::from_bits(self.total_reward_bits.load(Ordering::Relaxed))
+    }
+
+    /// Number of virtual losses currently applied (in-flight concurrent descents).
+    pub fn virtual_loss(&self) -> u32 {
+        self.virtual_loss.load(Ordering::Relaxed)
+    }
+
+    /// Lock the node's structural core (children + untried pool).
+    pub fn gate(&self) -> MutexGuard<'_, NodeGate> {
+        self.gate.lock().expect("search-tree node gate poisoned")
+    }
+
+    /// Backpropagate one reward through this node: one visit plus the reward added to the
+    /// running total (CAS loop; exact program-order addition when uncontended).
+    pub fn record_visit(&self, reward: f64) {
+        self.visits.fetch_add(1, Ordering::Relaxed);
+        let mut current = self.total_reward_bits.load(Ordering::Relaxed);
+        loop {
+            let updated = (f64::from_bits(current) + reward).to_bits();
+            match self.total_reward_bits.compare_exchange_weak(
+                current,
+                updated,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Mark one in-flight descent through this node.
+    pub fn apply_virtual_loss(&self) {
+        self.virtual_loss.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Revert one previously applied virtual loss (called during backpropagation).
+    pub fn revert_virtual_loss(&self) {
+        let previous = self.virtual_loss.fetch_sub(1, Ordering::Relaxed);
+        debug_assert!(previous > 0, "virtual loss reverted below zero");
+    }
+}
+
+/// The chunked, append-only arena of search-tree nodes shared by all workers.
+pub struct SearchTree<S> {
+    chunks: RwLock<Vec<Arc<Chunk<S>>>>,
+    /// Allocation lock: next id to hand out. Pushes are serialised; reads never touch it.
+    alloc: Mutex<usize>,
+    /// Published length (ids `< len` are fully initialised).
+    len: AtomicUsize,
+}
+
+impl<S> SearchTree<S> {
+    /// Create a tree holding just the root node (id `0`) for a state with `untried` actions.
+    pub fn with_root(state: S, untried: usize) -> Self {
+        let tree = Self {
+            chunks: RwLock::new(Vec::new()),
+            alloc: Mutex::new(0),
+            len: AtomicUsize::new(0),
+        };
+        tree.push_with_virtual_loss(state, None, untried, 0);
+        tree
+    }
+
+    /// Number of published nodes.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// Whether the tree is empty (never true: construction publishes the root).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append a node and return its id. The id is *not* reachable from any parent's child
+    /// list yet; callers link it under the parent's gate, which is also what publishes it to
+    /// other workers.
+    pub fn push(&self, state: S, parent: Option<usize>, untried: usize) -> usize {
+        self.push_with_virtual_loss(state, parent, untried, 0)
+    }
+
+    /// [`SearchTree::push`], with `virtual_loss` pre-applied so concurrent selectors are
+    /// steered away from the brand-new leaf until its first backpropagation reverts it.
+    pub fn push_with_virtual_loss(
+        &self,
+        state: S,
+        parent: Option<usize>,
+        untried: usize,
+        virtual_loss: u32,
+    ) -> usize {
+        let mut next = self.alloc.lock().expect("search-tree allocator poisoned");
+        let id = *next;
+        let (chunk_index, slot) = (id / CHUNK_SIZE, id % CHUNK_SIZE);
+        {
+            let chunks = self.chunks.read().expect("search-tree chunks poisoned");
+            if chunk_index < chunks.len() {
+                let cell = &chunks[chunk_index].slots[slot];
+                if cell
+                    .set(TreeNode::new(state, parent, untried, virtual_loss))
+                    .is_err()
+                {
+                    unreachable!("arena slot {id} written twice");
+                }
+                *next = id + 1;
+                self.len.store(id + 1, Ordering::Release);
+                return id;
+            }
+        }
+        let mut chunks = self.chunks.write().expect("search-tree chunks poisoned");
+        chunks.push(Arc::new(Chunk::new()));
+        debug_assert_eq!(chunks.len() - 1, chunk_index);
+        if chunks[chunk_index].slots[slot]
+            .set(TreeNode::new(state, parent, untried, virtual_loss))
+            .is_err()
+        {
+            unreachable!("arena slot {id} written twice");
+        }
+        *next = id + 1;
+        self.len.store(id + 1, Ordering::Release);
+        id
+    }
+
+    /// A read handle caching the chunk list. Each worker keeps its own view so steady-state
+    /// node dereferences touch no shared state at all.
+    pub fn view(&self) -> TreeView<'_, S> {
+        let chunks = self
+            .chunks
+            .read()
+            .expect("search-tree chunks poisoned")
+            .clone();
+        TreeView { tree: self, chunks }
+    }
+
+    /// Total visits recorded at the root — equals the number of completed backpropagations.
+    pub fn root_visits(&self) -> u64 {
+        self.view().node(0).visits()
+    }
+}
+
+/// A per-worker read handle over a [`SearchTree`]: a cached clone of the chunk list.
+///
+/// [`TreeView::node`] is lock-free; [`TreeView::ensure`] refreshes the cache when an id
+/// published by another worker is not covered yet (ids learned from a child list are always
+/// published — the parent's gate mutex ordered the publication before the read).
+pub struct TreeView<'t, S> {
+    tree: &'t SearchTree<S>,
+    chunks: Vec<Arc<Chunk<S>>>,
+}
+
+impl<S> TreeView<'_, S> {
+    /// Whether `id` is addressable through this view without a refresh.
+    pub fn contains(&self, id: usize) -> bool {
+        id / CHUNK_SIZE < self.chunks.len()
+            && self.chunks[id / CHUNK_SIZE].slots[id % CHUNK_SIZE]
+                .get()
+                .is_some()
+    }
+
+    /// Re-read the shared chunk list so every currently published id resolves.
+    pub fn refresh(&mut self) {
+        self.chunks = self
+            .tree
+            .chunks
+            .read()
+            .expect("search-tree chunks poisoned")
+            .clone();
+    }
+
+    /// Make `id` addressable, refreshing the chunk cache if needed.
+    pub fn ensure(&mut self, id: usize) {
+        if !self.contains(id) {
+            self.refresh();
+        }
+    }
+
+    /// Dereference a published node id.
+    ///
+    /// Panics if the id has not been published to this view; call [`TreeView::ensure`]
+    /// first for ids learned from another worker.
+    pub fn node(&self, id: usize) -> &TreeNode<S> {
+        self.chunks[id / CHUNK_SIZE].slots[id % CHUNK_SIZE]
+            .get()
+            .expect("search-tree id not published to this view (missing ensure?)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_construction_and_push_link() {
+        let tree = SearchTree::with_root("root", 3);
+        assert_eq!(tree.len(), 1);
+        assert!(!tree.is_empty());
+        let child = tree.push("child", Some(0), 2);
+        let mut view = tree.view();
+        view.ensure(child);
+        view.node(0).gate().push_child(child);
+        assert_eq!(tree.len(), 2);
+        assert_eq!(view.node(child).parent(), Some(0));
+        assert_eq!(view.node(child).state(), &"child");
+        assert_eq!(view.node(0).gate().children(), &[child]);
+    }
+
+    #[test]
+    fn take_untried_is_a_permutation() {
+        // Drawing all slots in any order yields each action index exactly once.
+        for draw_first in [true, false] {
+            let mut gate = NodeGate::new(5);
+            let mut seen = Vec::new();
+            while gate.untried_remaining() > 0 {
+                let j = if draw_first {
+                    0
+                } else {
+                    gate.untried_remaining() - 1
+                };
+                seen.push(gate.take_untried(j));
+            }
+            seen.sort_unstable();
+            assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+        }
+    }
+
+    #[test]
+    fn take_untried_matches_eager_shuffle_swap_remove() {
+        // The lazy draw must pick exactly what swap_remove(j) on a materialised identity
+        // list would pick, for every draw sequence.
+        let draws = [3usize, 0, 2, 1, 1, 0];
+        let mut eager: Vec<usize> = (0..7).collect();
+        let mut gate = NodeGate::new(7);
+        for &j in &draws {
+            assert_eq!(gate.take_untried(j), eager.swap_remove(j));
+            assert_eq!(gate.untried_remaining(), eager.len());
+        }
+    }
+
+    #[test]
+    fn statistics_accumulate_exactly() {
+        let tree = SearchTree::with_root((), 0);
+        let view = tree.view();
+        let node = view.node(0);
+        for i in 0..100 {
+            node.record_visit(i as f64);
+        }
+        assert_eq!(node.visits(), 100);
+        assert_eq!(node.total_reward(), (0..100).sum::<usize>() as f64);
+        node.apply_virtual_loss();
+        assert_eq!(node.virtual_loss(), 1);
+        node.revert_virtual_loss();
+        assert_eq!(node.virtual_loss(), 0);
+    }
+
+    #[test]
+    fn arena_spans_many_chunks() {
+        let tree = SearchTree::with_root(0usize, 0);
+        let ids: Vec<usize> = (1..=3 * CHUNK_SIZE)
+            .map(|i| tree.push(i, Some(0), 0))
+            .collect();
+        assert_eq!(tree.len(), 3 * CHUNK_SIZE + 1);
+        let mut view = tree.view();
+        view.refresh();
+        for &id in &ids {
+            assert_eq!(*view.node(id).state(), id);
+        }
+        // A stale view refreshes on demand.
+        let mut stale = tree.view();
+        let late = tree.push(999_999, Some(0), 0);
+        assert!(!stale.contains(late) || stale.node(late).parent() == Some(0));
+        stale.ensure(late);
+        assert_eq!(*stale.node(late).state(), 999_999);
+    }
+}

@@ -1,0 +1,217 @@
+//! Stress + invariant tests for the shared [`SearchTree`] arena: statistics conservation
+//! under concurrent backpropagation, full virtual-loss reversion, and structural integrity
+//! under concurrent expansion. These are the loom-style invariants of the tree-parallel
+//! driver, checked by brute force over real threads.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use mctsui_mcts::tree::SearchTree;
+use mctsui_mcts::{Budget, Mcts, MctsConfig, ParallelMode, SearchProblem};
+
+/// Build a fixed two-level tree: root with `width` children, each child with `width`
+/// grandchildren. Returns the leaf ids.
+fn build_two_level(tree: &SearchTree<u32>, width: usize) -> Vec<usize> {
+    let mut view = tree.view();
+    let mut leaves = Vec::new();
+    for i in 0..width {
+        let child = tree.push(i as u32, Some(0), 0);
+        view.ensure(child);
+        view.node(0).gate().push_child(child);
+        for j in 0..width {
+            let leaf = tree.push((i * width + j) as u32, Some(child), 0);
+            view.ensure(leaf);
+            view.node(child).gate().push_child(leaf);
+            leaves.push(leaf);
+        }
+    }
+    leaves
+}
+
+#[test]
+fn concurrent_backprop_conserves_visits_and_rewards() {
+    const THREADS: usize = 4;
+    const BACKPROPS_PER_THREAD: usize = 2_000;
+
+    let tree = SearchTree::with_root(u32::MAX, 0);
+    let leaves = build_two_level(&tree, 4);
+
+    // Integer-valued rewards stay exactly representable however the f64 CAS additions
+    // interleave, so conservation can be asserted with exact equality.
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let tree = &tree;
+            let leaves = &leaves;
+            scope.spawn(move || {
+                let mut view = tree.view();
+                view.refresh();
+                for i in 0..BACKPROPS_PER_THREAD {
+                    let leaf = leaves[(t * 7 + i * 13) % leaves.len()];
+                    let reward = ((t + i) % 10) as f64;
+                    // Apply virtual loss down the chain, backprop, revert — exactly the
+                    // engine's per-iteration discipline.
+                    let mut chain = Vec::new();
+                    let mut cursor = Some(leaf);
+                    while let Some(id) = cursor {
+                        view.node(id).apply_virtual_loss();
+                        chain.push(id);
+                        cursor = view.node(id).parent();
+                    }
+                    for &id in &chain {
+                        view.node(id).record_visit(reward);
+                    }
+                    for &id in &chain {
+                        view.node(id).revert_virtual_loss();
+                    }
+                }
+            });
+        }
+    });
+
+    let view = tree.view();
+    let total_backprops = (THREADS * BACKPROPS_PER_THREAD) as u64;
+    assert_eq!(view.node(0).visits(), total_backprops, "root visit count");
+
+    // Every node's statistics must equal the sum over its children plus its own direct
+    // traffic; here all traffic enters at leaves, so each internal node aggregates its
+    // subtree exactly.
+    let mut leaf_visits = 0u64;
+    let mut leaf_reward = 0.0f64;
+    for &leaf in &leaves {
+        leaf_visits += view.node(leaf).visits();
+        leaf_reward += view.node(leaf).total_reward();
+    }
+    assert_eq!(leaf_visits, total_backprops, "leaf visit conservation");
+    assert_eq!(
+        leaf_reward,
+        view.node(0).total_reward(),
+        "reward conservation root vs leaves"
+    );
+
+    // Virtual loss is transient: fully reverted at quiescence, on every node.
+    for id in 0..tree.len() {
+        assert_eq!(
+            view.node(id).virtual_loss(),
+            0,
+            "node {id} kept a virtual loss after quiescence"
+        );
+    }
+}
+
+#[test]
+fn concurrent_expansion_keeps_the_arena_consistent() {
+    const THREADS: usize = 4;
+    const PUSHES_PER_THREAD: usize = 1_500;
+
+    let tree = SearchTree::with_root(0u32, 0);
+    let created = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let tree = &tree;
+            let created = &created;
+            scope.spawn(move || {
+                let mut view = tree.view();
+                let mut mine = Vec::new();
+                for i in 0..PUSHES_PER_THREAD {
+                    // Attach alternately to the root and to one of this worker's own nodes,
+                    // mimicking expansion at interior nodes.
+                    let parent = if i % 3 == 0 || mine.is_empty() {
+                        0
+                    } else {
+                        mine[i % mine.len()]
+                    };
+                    view.ensure(parent);
+                    let child = {
+                        let node = view.node(parent);
+                        let mut gate = node.gate();
+                        let child = tree.push(t as u32, Some(parent), 0);
+                        gate.push_child(child);
+                        child
+                    };
+                    view.ensure(child);
+                    mine.push(child);
+                    created.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+
+    // Node count matches expansions exactly (no lost or duplicated slots).
+    assert_eq!(tree.len(), 1 + created.load(Ordering::Relaxed));
+
+    // Every child id is unique, every parent link matches the children lists.
+    let mut view = tree.view();
+    view.refresh();
+    let mut seen = vec![false; tree.len()];
+    let mut stack = vec![0usize];
+    let mut reachable = 0usize;
+    while let Some(id) = stack.pop() {
+        assert!(!seen[id], "node {id} appears in two children lists");
+        seen[id] = true;
+        reachable += 1;
+        let children: Vec<usize> = view.node(id).gate().children().to_vec();
+        for child in children {
+            assert_eq!(
+                view.node(child).parent(),
+                Some(id),
+                "parent link of {child}"
+            );
+            stack.push(child);
+        }
+    }
+    assert_eq!(reachable, tree.len(), "every published node is linked");
+}
+
+/// A small problem with enough depth and fanout to keep several workers inside the tree at
+/// once: states are integers, actions add 1..=3, reward prefers a specific residue.
+struct Residue;
+
+impl SearchProblem for Residue {
+    type State = u64;
+    type Action = u64;
+
+    fn initial_state(&self) -> u64 {
+        0
+    }
+
+    fn actions(&self, state: &u64) -> Vec<u64> {
+        if *state >= 60 {
+            Vec::new()
+        } else {
+            vec![1, 2, 3]
+        }
+    }
+
+    fn apply(&self, state: &u64, action: &u64) -> Option<u64> {
+        Some(state + action)
+    }
+
+    fn reward(&self, state: &u64, _seed: u64) -> f64 {
+        (*state % 7) as f64 - (*state as f64) * 0.01
+    }
+}
+
+#[test]
+fn tree_parallel_run_completes_every_ticket_and_stays_monotone() {
+    let config = MctsConfig {
+        budget: Budget::Iterations(800),
+        rollout_depth: 8,
+        seed: 17,
+        parallel: ParallelMode::Tree,
+        ..MctsConfig::default()
+    };
+    let outcome = Mcts::new(Residue, config).run_parallel(4);
+    // 800 tickets were issued and all workers ran to quiescence before scope exit.
+    assert_eq!(outcome.stats.iterations, 800);
+    assert!(outcome.stats.nodes > 1);
+    assert!(outcome.stats.evaluations >= outcome.stats.iterations);
+    assert!(outcome.best_reward >= 5.9, "reward {}", outcome.best_reward);
+    // The trace is monotone and ends with the final best.
+    for pair in outcome.stats.trace.windows(2) {
+        assert!(pair[1].best_reward >= pair[0].best_reward);
+    }
+    assert_eq!(
+        outcome.stats.trace.last().unwrap().best_reward,
+        outcome.best_reward
+    );
+}
