@@ -1,21 +1,23 @@
 //! `expfig`: regenerate the paper's figures and quantitative claims as terminal tables.
 //!
 //! ```text
-//! cargo run --release -p mctsui-bench --bin expfig -- [all|fig6|stats|convergence|strategies|baseline|hyper|scaling|evalbench|actionbench|searchbench] [iterations]
+//! cargo run --release -p mctsui-bench --bin expfig -- [all|fig6|stats|convergence|strategies|baseline|hyper|scaling|evalbench|actionbench|searchbench|servebench] [iterations]
 //! ```
 //!
 //! The optional `iterations` argument sets the MCTS budget per run (default 800; the numbers
 //! recorded in `EXPERIMENTS.md` use the default). Output is deterministic for a fixed budget.
 //!
-//! `evalbench` / `actionbench` / `searchbench` additionally append their rows to
-//! `BENCH_eval.json` / `BENCH_actions.json` / `BENCH_search.json` in the working directory
-//! (same JSON-lines shape as the `CRITERION_JSON` baselines); they are excluded from `all`
-//! because they write files.
+//! `evalbench` / `actionbench` / `searchbench` / `servebench` additionally append their rows
+//! to `BENCH_eval.json` / `BENCH_actions.json` / `BENCH_search.json` / `BENCH_serve.json` in
+//! the working directory (JSON lines, encoded with the workspace serde shim — the same
+//! encoding the serve responses use); they are excluded from `all` because they write files.
+
+use serde::Serialize;
 
 use mctsui_bench::{
     action_throughput_report, baseline_report, convergence_report, eval_throughput_report,
     fig6_report, hyperparameter_report, scaling_report, search_scaling_report, search_space_report,
-    strategy_report, EvalThroughputRow,
+    serve_load_report, strategy_report, EvalThroughputRow,
 };
 use mctsui_mcts::Budget;
 use mctsui_render::render_ascii;
@@ -62,10 +64,14 @@ fn main() {
     if which == "searchbench" {
         searchbench(seed);
     }
+    if which == "servebench" {
+        servebench(seed);
+    }
 }
 
-/// Append throughput rows as JSON lines next to the other `BENCH_*` baselines.
-fn append_bench_json(path: &str, prefix: &str, rows: &[EvalThroughputRow]) {
+/// Append serializable rows as JSON lines next to the other `BENCH_*` baselines, using the
+/// workspace serde encoding (one object per line) instead of ad-hoc formatting.
+fn append_json_lines<T: Serialize>(path: &str, rows: &[T]) {
     use std::io::Write as _;
     match std::fs::OpenOptions::new()
         .create(true)
@@ -74,25 +80,46 @@ fn append_bench_json(path: &str, prefix: &str, rows: &[EvalThroughputRow]) {
     {
         Ok(mut file) => {
             for row in rows {
-                let _ = writeln!(
-                    file,
-                    "{{\"benchmark\":\"{}/{}\",\"median_ns\":{:.1},\
-                     \"min_ns\":{:.1},\"max_ns\":{:.1},\"evals_per_sec\":{:.1},\
-                     \"samples\":{},\"iters_per_sample\":{}}}",
-                    prefix,
-                    row.path,
-                    row.median_ns,
-                    row.min_ns,
-                    row.max_ns,
-                    row.evals_per_sec,
-                    row.samples,
-                    row.iters_per_sample
-                );
+                match serde_json::to_string(row) {
+                    Ok(line) => {
+                        let _ = writeln!(file, "{line}");
+                    }
+                    Err(e) => eprintln!("could not encode row: {e}"),
+                }
             }
             println!("appended {} rows to {path}", rows.len());
         }
         Err(e) => eprintln!("could not write {path}: {e}"),
     }
+}
+
+/// The JSON-lines schema of the throughput benches: the row, renamed under a
+/// `benchmark = prefix/path` label (matching the `CRITERION_JSON` baselines).
+#[derive(Serialize)]
+struct ThroughputRecord {
+    benchmark: String,
+    median_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    evals_per_sec: f64,
+    samples: usize,
+    iters_per_sample: u64,
+}
+
+fn append_bench_json(path: &str, prefix: &str, rows: &[EvalThroughputRow]) {
+    let records: Vec<ThroughputRecord> = rows
+        .iter()
+        .map(|row| ThroughputRecord {
+            benchmark: format!("{prefix}/{}", row.path),
+            median_ns: row.median_ns,
+            min_ns: row.min_ns,
+            max_ns: row.max_ns,
+            evals_per_sec: row.evals_per_sec,
+            samples: row.samples,
+            iters_per_sample: row.iters_per_sample,
+        })
+        .collect();
+    append_json_lines(path, &records);
 }
 
 fn header(title: &str) {
@@ -300,35 +327,76 @@ fn searchbench(seed: u64) {
 
     // Append JSON lines next to the other BENCH_* baselines, with the host core count on
     // record so flat curves from single-core containers are not mistaken for regressions.
-    use std::io::Write as _;
-    let path = "BENCH_search.json";
-    match std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(path)
-    {
-        Ok(mut file) => {
-            for row in &rows {
-                let _ = writeln!(
-                    file,
-                    "{{\"benchmark\":\"search_scaling/{}_t{}\",\"iterations\":{},\
-                     \"elapsed_ms\":{},\"iters_per_sec\":{:.1},\"speedup_vs_sequential\":{:.3},\
-                     \"best_reward\":{:.4},\"nodes\":{},\"host_cpus\":{}}}",
-                    row.mode,
-                    row.threads,
-                    row.iterations,
-                    row.elapsed_millis,
-                    row.iters_per_sec,
-                    row.speedup_vs_sequential,
-                    row.best_reward,
-                    row.nodes,
-                    host_cpus
-                );
-            }
-            println!("appended {} rows to {path}", rows.len());
-        }
-        Err(e) => eprintln!("could not write {path}: {e}"),
+    #[derive(Serialize)]
+    struct SearchScalingRecord {
+        benchmark: String,
+        iterations: usize,
+        elapsed_ms: u64,
+        iters_per_sec: f64,
+        speedup_vs_sequential: f64,
+        best_reward: f64,
+        nodes: usize,
+        host_cpus: usize,
     }
+    let records: Vec<SearchScalingRecord> = rows
+        .iter()
+        .map(|row| SearchScalingRecord {
+            benchmark: format!("search_scaling/{}_t{}", row.mode, row.threads),
+            iterations: row.iterations,
+            elapsed_ms: row.elapsed_millis,
+            iters_per_sec: row.iters_per_sec,
+            speedup_vs_sequential: row.speedup_vs_sequential,
+            best_reward: row.best_reward,
+            nodes: row.nodes,
+            host_cpus,
+        })
+        .collect();
+    append_json_lines("BENCH_search.json", &records);
+}
+
+fn servebench(seed: u64) {
+    header("IS8 — closed-loop serving load test (concurrent sessions over loopback TCP)");
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("host cores: {host_cpus}");
+
+    // Scale the fleet up while the engine keeps the same worker pool: per-request latency
+    // grows with concurrency, throughput should hold roughly steady once the pool is busy.
+    let engine_threads = host_cpus.min(4);
+    let rows: Vec<_> = [1usize, 4, 8]
+        .into_iter()
+        .map(|sessions| serve_load_report(sessions, engine_threads, 120, 2, seed))
+        .collect();
+
+    println!(
+        "{:<10} {:>8} {:>9} {:>11} {:>8} {:>8} {:>8} {:>8} {:>10}",
+        "sessions",
+        "threads",
+        "requests",
+        "elapsed ms",
+        "req/s",
+        "p50 ms",
+        "p95 ms",
+        "p99 ms",
+        "plan hit%"
+    );
+    for row in &rows {
+        println!(
+            "{:<10} {:>8} {:>9} {:>11} {:>8.2} {:>8} {:>8} {:>8} {:>9.0}%",
+            row.sessions,
+            row.engine_threads,
+            row.requests,
+            row.elapsed_millis,
+            row.requests_per_sec,
+            row.p50_millis,
+            row.p95_millis,
+            row.p99_millis,
+            row.plan_cache_hit_ratio * 100.0
+        );
+    }
+
+    append_json_lines("BENCH_serve.json", &rows);
 }
 
 fn scaling(seed: u64) {

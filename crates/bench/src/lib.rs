@@ -30,7 +30,7 @@ use mctsui_difftree::RuleEngine;
 use mctsui_mcts::Budget;
 use mctsui_sql::Ast;
 use mctsui_widgets::{Screen, WidgetType};
-use mctsui_workload::{sdss_listing1, LogSpec, Scenario, ScenarioId};
+use mctsui_workload::{sdss_listing1, sdss_listing1_sql, LogSpec, Scenario, ScenarioId};
 
 /// Default iteration budget used by the reports (a CI-friendly stand-in for the paper's one
 /// minute of wall-clock search; pass a larger budget for paper-scale runs).
@@ -718,12 +718,153 @@ pub fn search_scaling_report(
     rows
 }
 
+/// One row of the serving load test (experiment IS8): a closed-loop load generator drives
+/// `sessions` concurrent scripted sessions (synthesize → refine^n → interact → close) over
+/// real loopback TCP against an in-process [`mctsui_serve::ServeEngine`], and the row
+/// records throughput and the request-latency distribution.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeBenchRow {
+    /// Row label (`serve_closed_loop/s{sessions}_t{threads}`).
+    pub benchmark: String,
+    /// Concurrent scripted sessions (each with its own TCP connection).
+    pub sessions: usize,
+    /// Scheduler worker threads of the engine.
+    pub engine_threads: usize,
+    /// Search iterations requested per synthesize/refine request.
+    pub iterations_per_request: u64,
+    /// Refine rounds per session after the initial synthesize.
+    pub refines_per_session: usize,
+    /// Search requests completed (sessions × (1 + refines)).
+    pub requests: usize,
+    /// Wall-clock time of the whole load run, in milliseconds.
+    pub elapsed_millis: u64,
+    /// Completed search requests per second.
+    pub requests_per_sec: f64,
+    /// Median request latency, milliseconds.
+    pub p50_millis: u64,
+    /// 95th-percentile request latency, milliseconds.
+    pub p95_millis: u64,
+    /// 99th-percentile request latency, milliseconds.
+    pub p99_millis: u64,
+    /// Worst request latency, milliseconds.
+    pub max_millis: u64,
+    /// Search iterations the engine executed during the run.
+    pub total_iterations: u64,
+    /// Scheduler slices the engine executed (≫ requests when time-slicing interleaves).
+    pub total_slices: u64,
+    /// Hit ratio of the shared plan cache at the end of the run.
+    pub plan_cache_hit_ratio: f64,
+    /// Hit ratio of the global rule-binding cache at the end of the run.
+    pub action_index_hit_ratio: f64,
+    /// Host core count (single-core hosts cap concurrency; recorded to keep rows honest).
+    pub host_cpus: usize,
+}
+
+/// Run the IS8 closed-loop serving load test: `sessions` concurrent scripted sessions over
+/// loopback TCP against a fresh engine with `engine_threads` scheduler workers. Every
+/// session runs `1 + refines` search requests of `iterations` iterations each; the client
+/// verifies the anytime contract (refines never lose ground) and panics on violation.
+pub fn serve_load_report(
+    sessions: usize,
+    engine_threads: usize,
+    iterations: u64,
+    refines: usize,
+    seed: u64,
+) -> ServeBenchRow {
+    use mctsui_serve::{run_concurrent_sessions, ScriptConfig, ServeConfig, ServeEngine};
+
+    let engine = ServeEngine::start(
+        ServeConfig::default()
+            .with_threads(engine_threads)
+            .with_max_sessions(sessions.max(1) * 2),
+    );
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let server_engine = std::sync::Arc::clone(&engine);
+    let server = std::thread::spawn(move || mctsui_serve::serve_on(server_engine, listener));
+
+    // A minimal probe session over the same log, kept open across the measurement: the
+    // per-log caches live as long as some session references them, so the probe keeps the
+    // load run's cache counters observable in the post-run stats.
+    let probe = engine
+        .synthesize(sdss_listing1(), 1, 10_000, 999)
+        .expect("probe session");
+
+    let script = ScriptConfig {
+        iterations,
+        refines,
+        deadline_millis: 60_000,
+        seed,
+    };
+    let started = std::time::Instant::now();
+    let reports = run_concurrent_sessions(&addr, &sdss_listing1_sql(), &script, sessions)
+        .expect("load-test session failed");
+    let elapsed = started.elapsed();
+
+    let stats = engine.stats();
+    let _ = engine.close_session(probe.session);
+    engine.begin_shutdown();
+    // Wake the accept loop so the server thread exits.
+    let _ = std::net::TcpStream::connect(&addr);
+    let _ = server.join();
+
+    let mut latencies: Vec<u64> = reports
+        .iter()
+        .flat_map(|r| r.latencies_millis.iter().copied())
+        .collect();
+    latencies.sort_unstable();
+    let percentile = |p: f64| -> u64 {
+        if latencies.is_empty() {
+            return 0;
+        }
+        let rank = ((latencies.len() as f64) * p).ceil() as usize;
+        latencies[rank.clamp(1, latencies.len()) - 1]
+    };
+    let requests = latencies.len();
+    let secs = elapsed.as_secs_f64().max(1e-9);
+
+    ServeBenchRow {
+        benchmark: format!("serve_closed_loop/s{sessions}_t{engine_threads}"),
+        sessions,
+        engine_threads,
+        iterations_per_request: iterations,
+        refines_per_session: refines,
+        requests,
+        elapsed_millis: elapsed.as_millis() as u64,
+        requests_per_sec: requests as f64 / secs,
+        p50_millis: percentile(0.50),
+        p95_millis: percentile(0.95),
+        p99_millis: percentile(0.99),
+        max_millis: latencies.last().copied().unwrap_or(0),
+        total_iterations: stats.total_iterations,
+        total_slices: stats.total_slices,
+        plan_cache_hit_ratio: stats.context_cache.plans.hit_ratio(),
+        action_index_hit_ratio: stats.action_index.hit_ratio(),
+        host_cpus: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn tiny_budget() -> Budget {
         Budget::Iterations(40)
+    }
+
+    #[test]
+    fn serve_load_report_completes_and_measures() {
+        let row = serve_load_report(2, 1, 15, 1, 5);
+        assert_eq!(row.requests, 4);
+        assert!(row.requests_per_sec > 0.0);
+        assert!(row.p50_millis <= row.p95_millis);
+        assert!(row.p95_millis <= row.p99_millis);
+        assert!(row.p99_millis <= row.max_millis);
+        // 4 scripted requests of 15 iterations, plus the 1-iteration cache probe.
+        assert_eq!(row.total_iterations, 4 * 15 + 1);
+        assert!(row.plan_cache_hit_ratio > 0.0, "probe lost the cache stats");
     }
 
     #[test]

@@ -256,35 +256,6 @@ impl InterfaceGenerator {
     }
 }
 
-/// Extension trait object safety helper: `Mcts::new` takes the problem by value; implementing
-/// [`mctsui_mcts::SearchProblem`] for a reference lets the generator keep ownership.
-impl mctsui_mcts::SearchProblem for &InterfaceSearchProblem {
-    type State = DiffTree;
-    type Action = mctsui_difftree::RuleApplication;
-
-    fn initial_state(&self) -> Self::State {
-        (**self).initial_state()
-    }
-    fn actions(&self, state: &Self::State) -> Vec<Self::Action> {
-        (**self).actions(state)
-    }
-    fn apply(&self, state: &Self::State, action: &Self::Action) -> Option<Self::State> {
-        (**self).apply(state, action)
-    }
-    fn reward(&self, state: &Self::State, eval_seed: u64) -> f64 {
-        (**self).reward(state, eval_seed)
-    }
-    // The provided-method defaults are not inherited through a forwarding impl: without
-    // these two, rollouts through `&InterfaceSearchProblem` would materialise the full
-    // fanout vector (twice) instead of hitting the O(1)/O(depth) action index.
-    fn action_count(&self, state: &Self::State) -> usize {
-        (**self).action_count(state)
-    }
-    fn nth_action(&self, state: &Self::State, index: usize) -> Option<Self::Action> {
-        (**self).nth_action(state, index)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

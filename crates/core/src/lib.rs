@@ -23,14 +23,16 @@
 //! assert!(interface.widget_tree.widget_count() >= 1);
 //! ```
 
+pub mod describe;
 pub mod generator;
 pub mod problem;
 pub mod search;
 pub mod session;
 pub mod stats;
 
+pub use describe::{ChoiceDescription, InterfaceDescription};
 pub use generator::{GeneratedInterface, GeneratorConfig, InterfaceGenerator, SearchStrategy};
 pub use problem::InterfaceSearchProblem;
 pub use search::{beam_search, exhaustive_search, greedy_search, random_walk_search};
-pub use session::InterfaceSession;
+pub use session::{InterfaceSession, SessionError};
 pub use stats::{search_space_stats, GenerationStats, SearchSpaceStats};

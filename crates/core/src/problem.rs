@@ -82,6 +82,12 @@ impl InterfaceSearchProblem {
         self.context_cache.context_for(tree)
     }
 
+    /// Hit/miss/eviction counters of this problem's shared context/plan caches (surfaced
+    /// through serving stats).
+    pub fn cache_stats(&self) -> mctsui_cost::ContextCacheStats {
+        self.context_cache.stats()
+    }
+
     /// The (cached) compiled evaluation plan of a difftree.
     pub fn plan_for(&self, tree: &DiffTree) -> Arc<EvalPlan> {
         self.context_cache.plan_for(tree)

@@ -10,7 +10,10 @@ use rustc_hash::FxHashMap;
 use serde::{Deserialize, Serialize};
 
 use mctsui_difftree::derive::express_log;
-use mctsui_difftree::{changed_choice_paths, ChoiceAssignment, DiffPath, DiffTree, Expressor};
+use mctsui_difftree::{
+    changed_choice_paths, CacheCounters, ChoiceAssignment, DiffPath, DiffTree, Expressor,
+    GenerationCache,
+};
 use mctsui_sql::Ast;
 use mctsui_widgets::widget::appropriateness_cost;
 use mctsui_widgets::{LayoutSkeleton, Screen, SlotAssignment, Widget, WidgetTree, WidgetType};
@@ -87,8 +90,17 @@ impl QueryContext {
 /// Cap on memoized match entries before the expressibility memo is dropped and rebuilt.
 const MEMO_TRIM_THRESHOLD: usize = 1 << 21;
 
-/// Cap on cached per-state contexts before the context map is dropped and rebuilt.
-const CONTEXT_TRIM_THRESHOLD: usize = 1 << 17;
+/// Default capacity (resident per-state entries) of the context and plan caches.
+pub const CONTEXT_DEFAULT_CAPACITY: usize = 1 << 17;
+
+/// Counter snapshots of the two per-state caches (surfaced through serving stats).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ContextCacheStats {
+    /// Counters of the per-state [`QueryContext`] cache.
+    pub contexts: CacheCounters,
+    /// Counters of the compiled [`EvalPlan`] cache.
+    pub plans: CacheCounters,
+}
 
 /// A shared, thread-safe cache of [`QueryContext`]s for one query log.
 ///
@@ -102,31 +114,33 @@ const CONTEXT_TRIM_THRESHOLD: usize = 1 << 17;
 ///    with its predecessor, so only transitions through the changed region are recomputed;
 ///    the rest of the expressibility work is looked up.
 ///
-/// Both caches are bounded by trim thresholds and refill from the live working set.
+/// Both per-state caches are bounded [`GenerationCache`]s (second-chance generational
+/// eviction), so a long-lived serving process keeps its live working set warm while cold
+/// states age out; [`ContextCache::stats`] reports their hit/miss/eviction counters.
 pub struct ContextCache {
     queries: Arc<[Ast]>,
-    inner: Mutex<ContextCacheInner>,
-}
-
-struct ContextCacheInner {
     /// `None` while a worker has the shared expressor checked out for a computation.
-    expressor: Option<Expressor>,
-    contexts: FxHashMap<u64, Arc<QueryContext>>,
+    expressor: Mutex<Option<Expressor>>,
+    contexts: GenerationCache<Arc<QueryContext>>,
     /// Compiled evaluation plans (layout skeleton + transition tables), keyed like
     /// `contexts` by the tree's structural fingerprint.
-    plans: FxHashMap<u64, Arc<EvalPlan>>,
+    plans: GenerationCache<Arc<EvalPlan>>,
 }
 
 impl ContextCache {
-    /// Build a cache for a query log.
+    /// Build a cache for a query log with the default per-state capacity.
     pub fn new(queries: Arc<[Ast]>) -> Self {
+        Self::with_capacity(queries, CONTEXT_DEFAULT_CAPACITY)
+    }
+
+    /// [`ContextCache::new`] with an explicit bound on resident per-state entries (applied
+    /// to the context cache and the plan cache independently).
+    pub fn with_capacity(queries: Arc<[Ast]>, capacity: usize) -> Self {
         Self {
             queries: Arc::clone(&queries),
-            inner: Mutex::new(ContextCacheInner {
-                expressor: Some(Expressor::new(queries)),
-                contexts: FxHashMap::default(),
-                plans: FxHashMap::default(),
-            }),
+            expressor: Mutex::new(Some(Expressor::new(queries))),
+            contexts: GenerationCache::new(capacity),
+            plans: GenerationCache::new(capacity),
         }
     }
 
@@ -144,29 +158,29 @@ impl ContextCache {
     /// cross-state memo for the overlapping computation.
     pub fn context_for(&self, tree: &DiffTree) -> Arc<QueryContext> {
         let key = tree.fingerprint();
-        let mut checked_out = {
-            let mut guard = self.inner.lock().expect("context cache poisoned");
-            if let Some(ctx) = guard.contexts.get(&key) {
-                return Arc::clone(ctx);
-            }
-            guard.expressor.take()
-        };
+        if let Some(ctx) = self.contexts.get(key) {
+            return ctx;
+        }
+        let mut checked_out = self
+            .expressor
+            .lock()
+            .expect("context cache expressor poisoned")
+            .take();
 
         let ctx = Arc::new(match checked_out.as_mut() {
             Some(expressor) => QueryContext::compute_with_expressor(tree, expressor),
             None => QueryContext::compute(tree, &self.queries),
         });
 
-        let mut guard = self.inner.lock().expect("context cache poisoned");
         if let Some(mut expressor) = checked_out {
             expressor.trim(MEMO_TRIM_THRESHOLD);
-            guard.expressor = Some(expressor);
-        }
-        if guard.contexts.len() >= CONTEXT_TRIM_THRESHOLD {
-            guard.contexts.clear();
+            *self
+                .expressor
+                .lock()
+                .expect("context cache expressor poisoned") = Some(expressor);
         }
         // A concurrent worker may have computed the same state; keep the first entry.
-        Arc::clone(guard.contexts.entry(key).or_insert(ctx))
+        self.contexts.insert(key, ctx)
     }
 
     /// The (cached) evaluation plan of a difftree state: its [`QueryContext`] joined with
@@ -177,32 +191,29 @@ impl ContextCache {
     /// fingerprint wins.
     pub fn plan_for(&self, tree: &DiffTree) -> Arc<EvalPlan> {
         let key = tree.fingerprint();
-        {
-            let guard = self.inner.lock().expect("context cache poisoned");
-            if let Some(plan) = guard.plans.get(&key) {
-                return Arc::clone(plan);
-            }
+        if let Some(plan) = self.plans.get(key) {
+            return plan;
         }
 
         let ctx = self.context_for(tree);
         let skeleton = Arc::new(LayoutSkeleton::compile(tree));
         let plan = Arc::new(EvalPlan::new(ctx, skeleton));
 
-        let mut guard = self.inner.lock().expect("context cache poisoned");
-        if guard.plans.len() >= CONTEXT_TRIM_THRESHOLD {
-            guard.plans.clear();
-        }
         // A concurrent worker may have compiled the same state; keep the first entry.
-        Arc::clone(guard.plans.entry(key).or_insert(plan))
+        self.plans.insert(key, plan)
     }
 
     /// Number of cached per-state contexts (exposed for diagnostics).
     pub fn cached_states(&self) -> usize {
-        self.inner
-            .lock()
-            .expect("context cache poisoned")
-            .contexts
-            .len()
+        self.contexts.len()
+    }
+
+    /// Hit/miss/eviction counters of the context and plan caches (for serving stats).
+    pub fn stats(&self) -> ContextCacheStats {
+        ContextCacheStats {
+            contexts: self.contexts.counters(),
+            plans: self.plans.counters(),
+        }
     }
 }
 
@@ -651,6 +662,35 @@ mod tests {
         assert_eq!(cost.navigation, 0.0);
         assert_eq!(cost.interaction, 0.0);
         assert_eq!(cost.appropriateness, 0.0);
+    }
+
+    #[test]
+    fn bounded_context_cache_stays_correct_and_reports_counters() {
+        // A tiny capacity forces evictions across a walk of distinct states; cached results
+        // must stay identical to uncached recomputation and the counters must move.
+        let qs = queries();
+        let queries_arc: Arc<[Ast]> = qs.clone().into();
+        let tiny = ContextCache::with_capacity(Arc::clone(&queries_arc), 4);
+        let engine = RuleEngine::default();
+        let mut tree = initial_difftree(&qs);
+        for step in 0..8 {
+            let cached = tiny.context_for(&tree);
+            let direct = QueryContext::compute(&tree, &qs);
+            assert_eq!(*cached, direct, "context diverged at step {step}");
+            // Second lookup of the same state is a hit.
+            let again = tiny.context_for(&tree);
+            assert_eq!(*again, direct);
+            assert!(tiny.cached_states() <= 4, "capacity bound violated");
+            let apps = engine.applicable(&tree);
+            if apps.is_empty() {
+                break;
+            }
+            tree = engine.apply(&tree, &apps[step % apps.len()]).unwrap();
+        }
+        let stats = tiny.stats();
+        assert!(stats.contexts.hits > 0);
+        assert!(stats.contexts.misses > 0);
+        assert!(stats.contexts.insertions > 0);
     }
 
     #[test]

@@ -30,6 +30,6 @@ pub mod model;
 
 pub use eval::{
     evaluate, evaluate_sampled, evaluate_slots, evaluate_with_context, per_sample_seed,
-    ContextCache, EvalPlan, EvalScratch, QueryContext,
+    ContextCache, ContextCacheStats, EvalPlan, EvalScratch, QueryContext,
 };
 pub use model::{CostWeights, InterfaceCost};

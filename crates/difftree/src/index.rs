@@ -35,19 +35,21 @@
 //!
 //! The cache follows the workspace's lock discipline: the mutex is only held for lookups
 //! and inserts, never across a summary computation, so root-parallel search workers overlap
-//! freely (a concurrently computed duplicate is discarded; the first insert wins).
+//! freely (a concurrently computed duplicate is discarded; the first insert wins). It is a
+//! bounded [`GenerationCache`]: long-lived serving processes keep their live working set
+//! warm via second-chance promotion while cold summaries age out, and hit/miss/eviction
+//! counters are surfaced through [`ActionIndex::counters`].
 
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use rand::Rng;
-use rustc_hash::FxHashMap;
 
+use crate::cache::{CacheCounters, GenerationCache};
 use crate::node::{DiffNode, DiffPath, DiffTree};
 use crate::rules::{push_rule_bindings, RuleApplication, RuleId};
 
-/// Cap on cached subtree summaries before the cache is reset (the same pressure valve as the
-/// cost layer's context cache; the memo refills from the live working set).
-const INDEX_TRIM_THRESHOLD: usize = 1 << 17;
+/// Default capacity (resident subtree summaries) of the binding cache.
+pub const INDEX_DEFAULT_CAPACITY: usize = 1 << 17;
 
 /// One rule binding at a subtree root: the rule plus its rule-specific argument. The target
 /// path is implicit — it is the path of the subtree root, reconstructed during traversal —
@@ -91,16 +93,25 @@ impl BindingSummary {
 pub struct ActionIndex {
     rules: Vec<RuleId>,
     max_inverse_alternatives: usize,
-    cache: Mutex<FxHashMap<u64, Arc<BindingSummary>>>,
+    cache: GenerationCache<Arc<BindingSummary>>,
 }
 
 impl ActionIndex {
-    /// Build an empty index for an engine configuration.
+    /// Build an empty index for an engine configuration with the default cache capacity.
     pub fn new(rules: Vec<RuleId>, max_inverse_alternatives: usize) -> Self {
+        Self::with_capacity(rules, max_inverse_alternatives, INDEX_DEFAULT_CAPACITY)
+    }
+
+    /// [`ActionIndex::new`] with an explicit bound on resident subtree summaries.
+    pub fn with_capacity(
+        rules: Vec<RuleId>,
+        max_inverse_alternatives: usize,
+        capacity: usize,
+    ) -> Self {
         Self {
             rules,
             max_inverse_alternatives,
-            cache: Mutex::new(FxHashMap::default()),
+            cache: GenerationCache::new(capacity),
         }
     }
 
@@ -112,11 +123,8 @@ impl ActionIndex {
     /// inserted under a fresh lock (first insert wins under concurrency).
     pub fn summary(&self, node: &DiffNode) -> Arc<BindingSummary> {
         let key = node.fingerprint();
-        {
-            let guard = self.cache.lock().expect("action index poisoned");
-            if let Some(hit) = guard.get(&key) {
-                return Arc::clone(hit);
-            }
+        if let Some(hit) = self.cache.get(key) {
+            return hit;
         }
 
         let children: Vec<Arc<BindingSummary>> =
@@ -145,11 +153,7 @@ impl ActionIndex {
             total,
         });
 
-        let mut guard = self.cache.lock().expect("action index poisoned");
-        if guard.len() >= INDEX_TRIM_THRESHOLD {
-            guard.clear();
-        }
-        Arc::clone(guard.entry(key).or_insert(summary))
+        self.cache.insert(key, summary)
     }
 
     /// Every applicable rule application of the tree, in reference-scan order (pre-order
@@ -202,7 +206,12 @@ impl ActionIndex {
 
     /// Number of distinct subtree summaries currently memoized (for diagnostics).
     pub fn cached_summaries(&self) -> usize {
-        self.cache.lock().expect("action index poisoned").len()
+        self.cache.len()
+    }
+
+    /// Hit/miss/eviction counters of the binding cache (for serving stats).
+    pub fn counters(&self) -> CacheCounters {
+        self.cache.counters()
     }
 }
 
@@ -347,6 +356,28 @@ mod tests {
             Arc::ptr_eq(&before, &after),
             "off-spine summary was recomputed instead of memo-served"
         );
+    }
+
+    #[test]
+    fn bounded_index_stays_correct_under_eviction_pressure() {
+        // A deliberately tiny cache: every query thrashes the memo, yet results must stay
+        // identical to the reference scan (eviction may cost time, never correctness).
+        let tiny = ActionIndex::with_capacity(RuleId::ALL.to_vec(), 12, 8);
+        let engine = RuleEngine::default();
+        let mut tree = initial_difftree(&figure1_queries());
+        for step in 0..8 {
+            let indexed = tiny.applicable(&tree);
+            let scanned = engine.applicable_scan(&tree);
+            assert_eq!(indexed, scanned, "divergence at step {step}");
+            assert!(tiny.cached_summaries() <= 8, "capacity bound violated");
+            if scanned.is_empty() {
+                break;
+            }
+            tree = engine.apply(&tree, &scanned[step % scanned.len()]).unwrap();
+        }
+        let counters = tiny.counters();
+        assert!(counters.evictions > 0, "tiny cache never evicted");
+        assert!(counters.insertions > 0 && counters.misses > 0);
     }
 
     #[test]

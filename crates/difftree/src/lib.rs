@@ -21,10 +21,12 @@
 //! * derivation and expressibility checking ([`derive`]),
 //! * choice-domain descriptors used for widget selection ([`domain`]),
 //! * the initial-state builder ([`builder`]),
-//! * the transformation-rule engine ([`rules`]), and
-//! * the incremental action index behind its applicability queries ([`index`]).
+//! * the transformation-rule engine ([`rules`]),
+//! * the incremental action index behind its applicability queries ([`index`]), and
+//! * the bounded generational memo cache shared by the long-lived caches ([`cache`]).
 
 pub mod builder;
+pub mod cache;
 pub mod derive;
 pub mod domain;
 pub mod index;
@@ -32,6 +34,7 @@ pub mod node;
 pub mod rules;
 
 pub use builder::{initial_difftree, simplified_difftree};
+pub use cache::{CacheCounters, GenerationCache};
 pub use derive::{changed_choice_paths, express_log, ChoiceAssignment, Expressor};
 pub use domain::{ChoiceDomain, DomainValueKind};
 pub use index::{ActionIndex, BindingSummary};

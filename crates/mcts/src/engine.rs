@@ -69,184 +69,18 @@ impl<P: SearchProblem> Mcts<P> {
         self.run_seeded(self.config.seed)
     }
 
-    /// The sequential seeded reference driver. A [`ParallelMode::Tree`] run with one worker
-    /// reproduces it bit-identically (pinned by tests).
+    /// The sequential seeded reference driver: a [`crate::handle::SearchHandle`] run to
+    /// budget exhaustion in one slice. A [`ParallelMode::Tree`] run with one worker — and a
+    /// paused/resumed handle over the same seed — reproduce it bit-identically (pinned by
+    /// tests).
     fn run_seeded(&self, seed: u64) -> SearchOutcome<P::State> {
-        let start = Instant::now();
-        let mut rng = StdRng::seed_from_u64(seed);
-        let time_limit = self.config.budget.time_limit_millis();
-        let max_iterations = self.config.budget.max_iterations();
-        let cap = self.config.max_children_per_node;
-
-        let root_state = self.problem.initial_state();
-        let tree =
-            SearchTree::with_root(root_state.clone(), self.problem.action_count(&root_state));
-        let mut view = tree.view();
-
-        let mut evaluations = 0usize;
-        let root_reward = self.problem.reward(&root_state, rng.gen());
-        evaluations += 1;
-
-        let mut best_state = root_state;
-        let mut best_reward = root_reward;
-        let mut trace = vec![RewardTracePoint {
-            iteration: 0,
-            elapsed_millis: 0,
-            best_reward,
-        }];
-
-        let mut children_scratch: Vec<usize> = Vec::new();
-        let mut iterations = 0usize;
-        while iterations < max_iterations {
-            if let Some(limit) = time_limit {
-                if start.elapsed().as_millis() as u64 >= limit {
-                    break;
-                }
-            }
-            iterations += 1;
-
-            // 1. Selection: follow best-UCT children until an expandable node. A node whose
-            // children list is full (`max_children_per_node`) counts as fully expanded even
-            // while untried actions remain, so selection descends *through* it instead of
-            // re-evaluating it forever.
-            let mut current = 0usize;
-            loop {
-                let (parent_visits, expandable) = {
-                    let node = view.node(current);
-                    let gate = node.gate();
-                    children_scratch.clear();
-                    children_scratch.extend_from_slice(gate.children());
-                    (
-                        (node.visits() as f64).max(1.0),
-                        gate.untried_remaining() > 0 && gate.children().len() < cap,
-                    )
-                };
-                if expandable || children_scratch.is_empty() {
-                    break;
-                }
-                current = self.select_child(&view, &children_scratch, parent_visits, 0.0);
-            }
-
-            // 2. Expansion: draw one untried action on demand (lazy Fisher–Yates over the
-            // state's canonical action order — one rng draw, no materialised fanout) and
-            // materialise it as a new child, if any.
-            let mut created: Option<usize> = None;
-            {
-                let node = view.node(current);
-                let mut gate = node.gate();
-                if gate.untried_remaining() > 0 && gate.children().len() < cap {
-                    let j = rng.gen_range(0..gate.untried_remaining());
-                    let index = gate.take_untried(j);
-                    if let Some(next_state) = self
-                        .problem
-                        .nth_action(node.state(), index)
-                        .and_then(|action| self.problem.apply(node.state(), &action))
-                    {
-                        let untried = self.problem.action_count(&next_state);
-                        let child = tree.push(next_state, Some(current), untried);
-                        gate.push_child(child);
-                        created = Some(child);
-                    }
-                }
-            }
-            let expanded = match created {
-                Some(child) => {
-                    view.ensure(child);
-                    child
-                }
-                None => current,
-            };
-
-            // 3a. Evaluate the newly expanded state itself. Deep random walks can wander into
-            // poor regions; evaluating the expanded node keeps the search informed about the
-            // quality of the states it actually materialises (and they are the candidates the
-            // final answer is drawn from).
-            let node_reward = self.problem.reward(view.node(expanded).state(), rng.gen());
-            evaluations += 1;
-            if node_reward > best_reward {
-                best_reward = node_reward;
-                best_state = view.node(expanded).state().clone();
-                trace.push(RewardTracePoint {
-                    iteration: iterations,
-                    elapsed_millis: start.elapsed().as_millis() as u64,
-                    best_reward,
-                });
-            }
-
-            // 3b. Rollout: a bounded random walk from the expanded state. A walk that never
-            // moves (terminal or stuck state) ends at the expanded state itself, whose
-            // reward was just evaluated — reuse it instead of paying a second batched
-            // k-sample evaluation of the same state.
-            let reward = match self.rollout(view.node(expanded).state(), &mut rng, &mut evaluations)
-            {
-                Some((rollout_state, rollout_reward)) => {
-                    if rollout_reward > best_reward {
-                        best_reward = rollout_reward;
-                        best_state = rollout_state;
-                        trace.push(RewardTracePoint {
-                            iteration: iterations,
-                            elapsed_millis: start.elapsed().as_millis() as u64,
-                            best_reward,
-                        });
-                    }
-                    node_reward.max(rollout_reward)
-                }
-                None => node_reward,
-            };
-
-            // 4. Backpropagation of the better of the two estimates.
-            let mut cursor = Some(expanded);
-            while let Some(id) = cursor {
-                let node = view.node(id);
-                node.record_visit(reward);
-                cursor = node.parent();
-            }
-        }
-
-        let elapsed_millis = start.elapsed().as_millis() as u64;
-        trace.push(RewardTracePoint {
-            iteration: iterations,
-            elapsed_millis,
-            best_reward,
-        });
-        SearchOutcome {
-            best_state,
-            best_reward,
-            stats: SearchStats {
-                iterations,
-                nodes: tree.len(),
-                evaluations,
-                elapsed_millis,
-                trace,
-            },
-        }
+        let mut handle =
+            crate::handle::SearchHandle::with_seed(&self.problem, self.config.clone(), seed);
+        handle.run_for(crate::handle::SliceBudget::unbounded());
+        handle.into_outcome()
     }
 
-    /// The UCT score of `node` under a parent with `parent_ln = ln(parent_visits)`.
-    ///
-    /// With no virtual loss pending (always on the sequential path) this is textbook UCT —
-    /// unvisited children score infinite. Pending virtual losses inflate the visit count by
-    /// `virtual_loss` pseudo-visits each, every pseudo-visit contributing `penalty` (the
-    /// worst reward seen so far), so concurrent workers diverge instead of stampeding one
-    /// leaf. The `v == 0.0` branch keeps the no-loss arithmetic bit-identical to the
-    /// sequential reference.
-    fn uct_score(&self, node: &TreeNode<P::State>, parent_ln: f64, penalty: f64) -> f64 {
-        let n = node.visits() as f64;
-        let v = self.config.virtual_loss * node.virtual_loss() as f64;
-        if v == 0.0 {
-            if n == 0.0 {
-                f64::INFINITY
-            } else {
-                node.total_reward() / n + self.config.exploration * ((parent_ln / n).sqrt())
-            }
-        } else {
-            let n_eff = n + v;
-            (node.total_reward() + v * penalty) / n_eff
-                + self.config.exploration * ((parent_ln / n_eff).sqrt())
-        }
-    }
-
-    /// Best-UCT child among `children` (first wins ties, matching the reference order).
+    /// Best-UCT child among `children` (see [`select_child`]).
     fn select_child(
         &self,
         view: &TreeView<'_, P::State>,
@@ -254,55 +88,102 @@ impl<P: SearchProblem> Mcts<P> {
         parent_visits: f64,
         penalty: f64,
     ) -> usize {
-        let parent_ln = parent_visits.ln();
-        let mut best = children[0];
-        let mut best_score = f64::NEG_INFINITY;
-        for &child in children {
-            let score = self.uct_score(view.node(child), parent_ln, penalty);
-            if score > best_score {
-                best_score = score;
-                best = child;
-            }
-        }
-        best
+        select_child(&self.config, view, children, parent_visits, penalty)
     }
 
-    /// A bounded random walk from `start`, evaluated at its endpoint. Returns `None` when the
-    /// walk could not leave `start` (no applicable or successful action): the endpoint is
-    /// `start` itself and the caller already holds its reward, so re-evaluating — one full
-    /// batch of `k` assignment samples for problems like interface search — would be wasted.
-    ///
-    /// Each step draws its action through [`SearchProblem::action_count`] +
-    /// [`SearchProblem::nth_action`], so problems with an indexed action set never
-    /// materialise the full fanout vector here. The rng consumption (one `gen_range` per
-    /// step) and the selected actions are identical to indexing a materialised vector, so
-    /// seeded runs are unchanged.
+    /// A bounded random walk from `start` (see [`rollout`]).
     fn rollout(
         &self,
         start: &P::State,
         rng: &mut StdRng,
         evaluations: &mut usize,
     ) -> Option<(P::State, f64)> {
-        let mut state: Option<P::State> = None;
-        for _ in 0..self.config.rollout_depth {
-            let current = state.as_ref().unwrap_or(start);
-            let count = self.problem.action_count(current);
-            if count == 0 {
-                break;
-            }
-            let Some(action) = self.problem.nth_action(current, rng.gen_range(0..count)) else {
-                break;
-            };
-            match self.problem.apply(current, &action) {
-                Some(next) => state = Some(next),
-                None => break,
-            }
-        }
-        let state = state?;
-        *evaluations += 1;
-        let reward = self.problem.reward(&state, rng.gen());
-        Some((state, reward))
+        rollout(&self.problem, &self.config, start, rng, evaluations)
     }
+}
+
+/// The UCT score of `node` under a parent with `parent_ln = ln(parent_visits)`.
+///
+/// With no virtual loss pending (always on the sequential path) this is textbook UCT —
+/// unvisited children score infinite. Pending virtual losses inflate the visit count by
+/// `virtual_loss` pseudo-visits each, every pseudo-visit contributing `penalty` (the
+/// worst reward seen so far), so concurrent workers diverge instead of stampeding one
+/// leaf. The `v == 0.0` branch keeps the no-loss arithmetic bit-identical to the
+/// sequential reference.
+fn uct_score<S>(config: &MctsConfig, node: &TreeNode<S>, parent_ln: f64, penalty: f64) -> f64 {
+    let n = node.visits() as f64;
+    let v = config.virtual_loss * node.virtual_loss() as f64;
+    if v == 0.0 {
+        if n == 0.0 {
+            f64::INFINITY
+        } else {
+            node.total_reward() / n + config.exploration * ((parent_ln / n).sqrt())
+        }
+    } else {
+        let n_eff = n + v;
+        (node.total_reward() + v * penalty) / n_eff
+            + config.exploration * ((parent_ln / n_eff).sqrt())
+    }
+}
+
+/// Best-UCT child among `children` (first wins ties, matching the reference order). Shared
+/// by the sequential/resumable driver and the tree-parallel workers.
+pub(crate) fn select_child<S>(
+    config: &MctsConfig,
+    view: &TreeView<'_, S>,
+    children: &[usize],
+    parent_visits: f64,
+    penalty: f64,
+) -> usize {
+    let parent_ln = parent_visits.ln();
+    let mut best = children[0];
+    let mut best_score = f64::NEG_INFINITY;
+    for &child in children {
+        let score = uct_score(config, view.node(child), parent_ln, penalty);
+        if score > best_score {
+            best_score = score;
+            best = child;
+        }
+    }
+    best
+}
+
+/// A bounded random walk from `start`, evaluated at its endpoint. Returns `None` when the
+/// walk could not leave `start` (no applicable or successful action): the endpoint is
+/// `start` itself and the caller already holds its reward, so re-evaluating — one full
+/// batch of `k` assignment samples for problems like interface search — would be wasted.
+///
+/// Each step draws its action through [`SearchProblem::action_count`] +
+/// [`SearchProblem::nth_action`], so problems with an indexed action set never
+/// materialise the full fanout vector here. The rng consumption (one `gen_range` per
+/// step) and the selected actions are identical to indexing a materialised vector, so
+/// seeded runs are unchanged.
+pub(crate) fn rollout<P: SearchProblem>(
+    problem: &P,
+    config: &MctsConfig,
+    start: &P::State,
+    rng: &mut StdRng,
+    evaluations: &mut usize,
+) -> Option<(P::State, f64)> {
+    let mut state: Option<P::State> = None;
+    for _ in 0..config.rollout_depth {
+        let current = state.as_ref().unwrap_or(start);
+        let count = problem.action_count(current);
+        if count == 0 {
+            break;
+        }
+        let Some(action) = problem.nth_action(current, rng.gen_range(0..count)) else {
+            break;
+        };
+        match problem.apply(current, &action) {
+            Some(next) => state = Some(next),
+            None => break,
+        }
+    }
+    let state = state?;
+    *evaluations += 1;
+    let reward = problem.reward(&state, rng.gen());
+    Some((state, reward))
 }
 
 /// The monotone best-so-far record of a tree-parallel run: best state, best reward and the

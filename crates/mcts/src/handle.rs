@@ -1,0 +1,387 @@
+//! Resumable search: a [`SearchHandle`] owns a live search tree plus its rng and best-so-far
+//! record, and advances the sequential seeded search in bounded *slices*.
+//!
+//! The one-shot driver ([`crate::Mcts::run`]) builds its tree, searches to budget
+//! exhaustion and throws the tree away. A serving process cannot afford that: a user who
+//! asks for "a bit more search" on the same session should warm-start from the tree the
+//! previous request grew, not rebuild it from the root. `SearchHandle` is that warm state
+//! made explicit — it can be driven with [`SearchHandle::run_for`] under per-request
+//! iteration caps and deadlines, paused indefinitely between slices, and queried for the
+//! anytime best-so-far answer at every point.
+//!
+//! **Determinism pin:** slicing is invisible to the search. A handle driven in any sequence
+//! of slices consumes exactly the rng stream of the one-shot sequential driver, so once the
+//! handle's total budget is exhausted, its best state, best reward bits, node/evaluation
+//! counts and improvement trace are bit-identical to [`crate::Mcts::run`] with the same
+//! seed (`run` is itself implemented as a single unbounded slice; the equivalence is pinned
+//! by `tests/resumable.rs` and by `crates/core/tests/resumable_pin.rs` on the real
+//! interface-search problem). Wall-clock fields (`elapsed_millis`) are the only exception —
+//! they measure real time and are never compared.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::MctsConfig;
+use crate::engine::{rollout, select_child, RewardTracePoint, SearchOutcome, SearchStats};
+use crate::problem::SearchProblem;
+use crate::tree::SearchTree;
+
+/// Bounds of one [`SearchHandle::run_for`] slice. Both limits are optional; whichever is
+/// hit first ends the slice. The handle's own total budget ([`MctsConfig::budget`]) is
+/// always enforced on top.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SliceBudget {
+    /// Maximum iterations to run in this slice (`None` = no per-slice cap).
+    pub iterations: Option<usize>,
+    /// Wall-clock cap for this slice in milliseconds (`None` = no per-slice deadline).
+    pub time_millis: Option<u64>,
+}
+
+impl SliceBudget {
+    /// A slice bounded only by the handle's total budget.
+    pub fn unbounded() -> Self {
+        Self::default()
+    }
+
+    /// A slice of at most `n` iterations.
+    pub fn iterations(n: usize) -> Self {
+        Self {
+            iterations: Some(n),
+            time_millis: None,
+        }
+    }
+
+    /// A slice of at most `ms` milliseconds.
+    pub fn time_millis(ms: u64) -> Self {
+        Self {
+            iterations: None,
+            time_millis: Some(ms),
+        }
+    }
+
+    /// A slice bounded by both an iteration cap and a deadline.
+    pub fn either(n: usize, ms: u64) -> Self {
+        Self {
+            iterations: Some(n),
+            time_millis: Some(ms),
+        }
+    }
+}
+
+/// What one [`SearchHandle::run_for`] slice accomplished.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SliceReport {
+    /// Iterations completed within this slice.
+    pub iterations_run: usize,
+    /// Whether the handle's *total* budget is now exhausted (further slices are no-ops).
+    pub exhausted: bool,
+    /// Best reward known after the slice (monotone non-decreasing across slices).
+    pub best_reward: f64,
+    /// Whether this slice improved on the best reward known before it.
+    pub improved: bool,
+}
+
+/// A pausable, resumable sequential MCTS run: the live [`SearchTree`], the rng mid-stream,
+/// and the monotone best-so-far record. See the module docs for the determinism contract.
+pub struct SearchHandle<P: SearchProblem> {
+    problem: P,
+    config: MctsConfig,
+    tree: SearchTree<P::State>,
+    rng: StdRng,
+    best_state: P::State,
+    best_reward: f64,
+    trace: Vec<RewardTracePoint>,
+    iterations: usize,
+    evaluations: usize,
+    /// Wall-clock time accumulated across slices (pauses between slices don't count).
+    elapsed_millis: u64,
+    exhausted: bool,
+}
+
+impl<P: SearchProblem> SearchHandle<P> {
+    /// Open a handle seeded from `config.seed`. Performs the search prologue (root
+    /// expansion bookkeeping and the root's reward evaluation) so the handle answers
+    /// best-so-far queries immediately, before any slice has run.
+    pub fn new(problem: P, config: MctsConfig) -> Self {
+        let seed = config.seed;
+        Self::with_seed(problem, config, seed)
+    }
+
+    /// [`SearchHandle::new`] with an explicit seed overriding `config.seed` (used by
+    /// root-parallel workers, which derive per-worker seeds).
+    pub fn with_seed(problem: P, config: MctsConfig, seed: u64) -> Self {
+        let start = Instant::now();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let root_state = problem.initial_state();
+        let tree = SearchTree::with_root(root_state.clone(), problem.action_count(&root_state));
+        let root_reward = problem.reward(&root_state, rng.gen());
+        let trace = vec![RewardTracePoint {
+            iteration: 0,
+            elapsed_millis: 0,
+            best_reward: root_reward,
+        }];
+        Self {
+            problem,
+            config,
+            tree,
+            rng,
+            best_state: root_state,
+            best_reward: root_reward,
+            trace,
+            iterations: 0,
+            evaluations: 1,
+            elapsed_millis: start.elapsed().as_millis() as u64,
+            exhausted: false,
+        }
+    }
+
+    /// Advance the search by one bounded slice, then pause. Returns what the slice did;
+    /// calling again continues exactly where this call stopped (same rng stream, same
+    /// tree), so any slicing reproduces the one-shot run bit-identically.
+    pub fn run_for(&mut self, slice: SliceBudget) -> SliceReport {
+        let slice_start = Instant::now();
+        let start_iterations = self.iterations;
+        let reward_before = self.best_reward;
+        let global_max = self.config.budget.max_iterations();
+        let global_time = self.config.budget.time_limit_millis();
+        let cap = self.config.max_children_per_node;
+
+        let mut view = self.tree.view();
+        let mut children_scratch: Vec<usize> = Vec::new();
+
+        loop {
+            // Total-budget checks first: once the handle is exhausted every later slice is
+            // an immediate no-op.
+            if self.iterations >= global_max {
+                self.exhausted = true;
+                break;
+            }
+            if let Some(limit) = global_time {
+                if self.elapsed_millis + slice_start.elapsed().as_millis() as u64 >= limit {
+                    self.exhausted = true;
+                    break;
+                }
+            }
+            // Per-slice bounds.
+            if let Some(n) = slice.iterations {
+                if self.iterations - start_iterations >= n {
+                    break;
+                }
+            }
+            if let Some(ms) = slice.time_millis {
+                if slice_start.elapsed().as_millis() as u64 >= ms {
+                    break;
+                }
+            }
+            self.iterations += 1;
+
+            // 1. Selection: follow best-UCT children until an expandable node. A node whose
+            // children list is full (`max_children_per_node`) counts as fully expanded even
+            // while untried actions remain, so selection descends *through* it instead of
+            // re-evaluating it forever.
+            let mut current = 0usize;
+            loop {
+                let (parent_visits, expandable) = {
+                    let node = view.node(current);
+                    let gate = node.gate();
+                    children_scratch.clear();
+                    children_scratch.extend_from_slice(gate.children());
+                    (
+                        (node.visits() as f64).max(1.0),
+                        gate.untried_remaining() > 0 && gate.children().len() < cap,
+                    )
+                };
+                if expandable || children_scratch.is_empty() {
+                    break;
+                }
+                current = select_child(&self.config, &view, &children_scratch, parent_visits, 0.0);
+            }
+
+            // 2. Expansion: draw one untried action on demand (lazy Fisher–Yates over the
+            // state's canonical action order — one rng draw, no materialised fanout) and
+            // materialise it as a new child, if any.
+            let mut created: Option<usize> = None;
+            {
+                let node = view.node(current);
+                let mut gate = node.gate();
+                if gate.untried_remaining() > 0 && gate.children().len() < cap {
+                    let j = self.rng.gen_range(0..gate.untried_remaining());
+                    let index = gate.take_untried(j);
+                    if let Some(next_state) = self
+                        .problem
+                        .nth_action(node.state(), index)
+                        .and_then(|action| self.problem.apply(node.state(), &action))
+                    {
+                        let untried = self.problem.action_count(&next_state);
+                        let child = self.tree.push(next_state, Some(current), untried);
+                        gate.push_child(child);
+                        created = Some(child);
+                    }
+                }
+            }
+            let expanded = match created {
+                Some(child) => {
+                    view.ensure(child);
+                    child
+                }
+                None => current,
+            };
+
+            // 3a. Evaluate the newly expanded state itself. Deep random walks can wander
+            // into poor regions; evaluating the expanded node keeps the search informed
+            // about the quality of the states it actually materialises (and they are the
+            // candidates the final answer is drawn from).
+            let node_reward = self
+                .problem
+                .reward(view.node(expanded).state(), self.rng.gen());
+            self.evaluations += 1;
+            if node_reward > self.best_reward {
+                self.best_reward = node_reward;
+                self.best_state = view.node(expanded).state().clone();
+                self.trace.push(RewardTracePoint {
+                    iteration: self.iterations,
+                    elapsed_millis: self.elapsed_millis + slice_start.elapsed().as_millis() as u64,
+                    best_reward: self.best_reward,
+                });
+            }
+
+            // 3b. Rollout: a bounded random walk from the expanded state. A walk that never
+            // moves (terminal or stuck state) ends at the expanded state itself, whose
+            // reward was just evaluated — reuse it instead of paying a second batched
+            // k-sample evaluation of the same state.
+            let reward = match rollout(
+                &self.problem,
+                &self.config,
+                view.node(expanded).state(),
+                &mut self.rng,
+                &mut self.evaluations,
+            ) {
+                Some((rollout_state, rollout_reward)) => {
+                    if rollout_reward > self.best_reward {
+                        self.best_reward = rollout_reward;
+                        self.best_state = rollout_state;
+                        self.trace.push(RewardTracePoint {
+                            iteration: self.iterations,
+                            elapsed_millis: self.elapsed_millis
+                                + slice_start.elapsed().as_millis() as u64,
+                            best_reward: self.best_reward,
+                        });
+                    }
+                    node_reward.max(rollout_reward)
+                }
+                None => node_reward,
+            };
+
+            // 4. Backpropagation of the better of the two estimates.
+            let mut cursor = Some(expanded);
+            while let Some(id) = cursor {
+                let node = view.node(id);
+                node.record_visit(reward);
+                cursor = node.parent();
+            }
+        }
+
+        self.elapsed_millis += slice_start.elapsed().as_millis() as u64;
+        SliceReport {
+            iterations_run: self.iterations - start_iterations,
+            exhausted: self.exhausted,
+            best_reward: self.best_reward,
+            improved: self.best_reward > reward_before,
+        }
+    }
+
+    /// The best state found so far (anytime answer; valid before, between and after slices).
+    pub fn best_state(&self) -> &P::State {
+        &self.best_state
+    }
+
+    /// The reward of [`SearchHandle::best_state`] (monotone non-decreasing across slices).
+    pub fn best_reward(&self) -> f64 {
+        self.best_reward
+    }
+
+    /// Iterations completed so far across all slices.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Reward evaluations performed so far (tree nodes + rollout endpoints).
+    pub fn evaluations(&self) -> usize {
+        self.evaluations
+    }
+
+    /// Nodes currently materialised in the search tree.
+    pub fn node_count(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Wall-clock milliseconds spent inside slices (pauses don't count).
+    pub fn elapsed_millis(&self) -> u64 {
+        self.elapsed_millis
+    }
+
+    /// Whether the handle's total budget is exhausted (further slices are no-ops).
+    pub fn is_exhausted(&self) -> bool {
+        self.exhausted
+    }
+
+    /// The best-reward improvements so far (without the closing summary point that
+    /// [`SearchHandle::outcome`] appends).
+    pub fn trace(&self) -> &[RewardTracePoint] {
+        &self.trace
+    }
+
+    /// The problem this handle searches.
+    pub fn problem(&self) -> &P {
+        &self.problem
+    }
+
+    /// The configuration (total budget, exploration, rollout depth, seed) of this handle.
+    pub fn config(&self) -> &MctsConfig {
+        &self.config
+    }
+
+    /// A snapshot of the run as a [`SearchOutcome`] — the same shape (including the closing
+    /// trace point) the one-shot driver returns, cloned so the handle can keep running.
+    pub fn outcome(&self) -> SearchOutcome<P::State> {
+        let mut trace = self.trace.clone();
+        trace.push(RewardTracePoint {
+            iteration: self.iterations,
+            elapsed_millis: self.elapsed_millis,
+            best_reward: self.best_reward,
+        });
+        SearchOutcome {
+            best_state: self.best_state.clone(),
+            best_reward: self.best_reward,
+            stats: SearchStats {
+                iterations: self.iterations,
+                nodes: self.tree.len(),
+                evaluations: self.evaluations,
+                elapsed_millis: self.elapsed_millis,
+                trace,
+            },
+        }
+    }
+
+    /// Consume the handle into its final [`SearchOutcome`] (no clones).
+    pub fn into_outcome(mut self) -> SearchOutcome<P::State> {
+        self.trace.push(RewardTracePoint {
+            iteration: self.iterations,
+            elapsed_millis: self.elapsed_millis,
+            best_reward: self.best_reward,
+        });
+        SearchOutcome {
+            best_state: self.best_state,
+            best_reward: self.best_reward,
+            stats: SearchStats {
+                iterations: self.iterations,
+                nodes: self.tree.len(),
+                evaluations: self.evaluations,
+                elapsed_millis: self.elapsed_millis,
+                trace: self.trace,
+            },
+        }
+    }
+}

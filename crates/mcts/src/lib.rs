@@ -24,14 +24,22 @@
 //!   workers diverge instead of stampeding one leaf), expansion under per-node short
 //!   critical sections, lock-free rollouts and atomic backpropagation. One worker
 //!   reproduces the sequential seeded search bit-identically (pinned by tests).
+//!
+//! A third driver makes the search **resumable**: a [`handle::SearchHandle`] owns a live
+//! tree plus its rng mid-stream and advances in bounded slices
+//! ([`handle::SearchHandle::run_for`]) — the warm-started anytime search that the serving
+//! layer multiplexes sessions over. Any slicing reproduces the one-shot sequential run
+//! bit-identically.
 
 pub mod config;
 pub mod engine;
+pub mod handle;
 pub mod problem;
 pub mod tree;
 
 pub use config::{Budget, MctsConfig, ParallelMode};
 pub use engine::{Mcts, RewardTracePoint, SearchOutcome, SearchStats};
+pub use handle::{SearchHandle, SliceBudget, SliceReport};
 pub use problem::SearchProblem;
 pub use tree::SearchTree;
 

@@ -48,3 +48,45 @@ pub trait SearchProblem {
     /// widget assignments of the paper) so that runs stay reproducible.
     fn reward(&self, state: &Self::State, eval_seed: u64) -> f64;
 }
+
+/// Every method is forwarded explicitly — including the provided-method defaults — because
+/// defaults are not inherited through a forwarding impl: without the `action_count` /
+/// `nth_action` forwards, rollouts through a reference would materialise the full fanout
+/// vector instead of hitting a problem's indexed action set.
+macro_rules! forward_search_problem {
+    () => {
+        type State = P::State;
+        type Action = P::Action;
+
+        fn initial_state(&self) -> Self::State {
+            (**self).initial_state()
+        }
+        fn actions(&self, state: &Self::State) -> Vec<Self::Action> {
+            (**self).actions(state)
+        }
+        fn apply(&self, state: &Self::State, action: &Self::Action) -> Option<Self::State> {
+            (**self).apply(state, action)
+        }
+        fn action_count(&self, state: &Self::State) -> usize {
+            (**self).action_count(state)
+        }
+        fn nth_action(&self, state: &Self::State, index: usize) -> Option<Self::Action> {
+            (**self).nth_action(state, index)
+        }
+        fn reward(&self, state: &Self::State, eval_seed: u64) -> f64 {
+            (**self).reward(state, eval_seed)
+        }
+    };
+}
+
+/// Borrowed problems are problems: lets `Mcts` and `SearchHandle` take a problem by value
+/// while callers keep ownership.
+impl<P: SearchProblem + ?Sized> SearchProblem for &P {
+    forward_search_problem!();
+}
+
+/// Shared problems are problems: a serving layer can hold one problem (and its internal
+/// caches) in an `Arc` and hand clones to many long-lived search handles.
+impl<P: SearchProblem + ?Sized> SearchProblem for std::sync::Arc<P> {
+    forward_search_problem!();
+}

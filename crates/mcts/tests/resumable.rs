@@ -1,0 +1,201 @@
+//! Resumable-search pins on synthetic problems: a [`SearchHandle`] driven in arbitrary
+//! slices must reproduce the one-shot driver bit-identically, report slice bookkeeping
+//! truthfully, and behave as a no-op once its total budget is exhausted.
+
+use mctsui_mcts::{
+    Budget, Mcts, MctsConfig, RewardTracePoint, SearchHandle, SearchOutcome, SearchProblem,
+    SliceBudget,
+};
+
+/// The bit-flip toy problem: states are monotone bit strings, reward is the popcount, with
+/// a seed-mixed jitter so rewards depend on the eval seed (exercising rng alignment).
+struct BitFlip {
+    n: usize,
+}
+
+impl SearchProblem for BitFlip {
+    type State = Vec<bool>;
+    type Action = usize;
+
+    fn initial_state(&self) -> Self::State {
+        vec![false; self.n]
+    }
+
+    fn actions(&self, state: &Self::State) -> Vec<Self::Action> {
+        state
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| !**b)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn apply(&self, state: &Self::State, action: &Self::Action) -> Option<Self::State> {
+        let mut next = state.clone();
+        if *action >= next.len() || next[*action] {
+            return None;
+        }
+        next[*action] = true;
+        Some(next)
+    }
+
+    fn reward(&self, state: &Self::State, eval_seed: u64) -> f64 {
+        // A deterministic per-seed jitter below the integer resolution of the popcount, so
+        // identical rng streams are observable in the reward bits.
+        let jitter = (eval_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40) as f64 * 1e-12;
+        state.iter().filter(|b| **b).count() as f64 + jitter
+    }
+}
+
+fn config(iterations: usize, seed: u64) -> MctsConfig {
+    MctsConfig {
+        budget: Budget::Iterations(iterations),
+        rollout_depth: 8,
+        seed,
+        ..MctsConfig::default()
+    }
+}
+
+/// The comparable parts of an outcome: everything except wall-clock times.
+type OutcomeKey = (Vec<bool>, u64, usize, usize, usize, Vec<(usize, u64)>);
+
+fn key(o: &SearchOutcome<Vec<bool>>) -> OutcomeKey {
+    (
+        o.best_state.clone(),
+        o.best_reward.to_bits(),
+        o.stats.iterations,
+        o.stats.nodes,
+        o.stats.evaluations,
+        o.stats
+            .trace
+            .iter()
+            .map(|p| (p.iteration, p.best_reward.to_bits()))
+            .collect(),
+    )
+}
+
+#[test]
+fn sliced_run_is_bit_identical_to_one_shot() {
+    for seed in [1u64, 7, 0xC0FFEE] {
+        let one_shot = Mcts::new(BitFlip { n: 7 }, config(200, seed)).run();
+
+        // A deliberately ragged slicing: 1, 3, 7, 31, 64, then unbounded to the budget.
+        let mut handle = SearchHandle::new(BitFlip { n: 7 }, config(200, seed));
+        for n in [1usize, 3, 7, 31, 64] {
+            let report = handle.run_for(SliceBudget::iterations(n));
+            assert_eq!(report.iterations_run, n, "slice shorter than requested");
+            assert!(!report.exhausted, "budget exhausted too early");
+        }
+        let report = handle.run_for(SliceBudget::unbounded());
+        assert!(report.exhausted);
+        assert_eq!(handle.iterations(), 200);
+
+        assert_eq!(
+            key(&one_shot),
+            key(&handle.into_outcome()),
+            "seed {seed}: sliced run diverged from the one-shot driver"
+        );
+    }
+}
+
+#[test]
+fn every_slice_width_reproduces_the_one_shot_run() {
+    let one_shot = Mcts::new(BitFlip { n: 6 }, config(120, 42)).run();
+    for width in [1usize, 2, 9, 50, 119, 120, 121] {
+        let mut handle = SearchHandle::new(BitFlip { n: 6 }, config(120, 42));
+        while !handle.run_for(SliceBudget::iterations(width)).exhausted {}
+        assert_eq!(
+            key(&one_shot),
+            key(&handle.into_outcome()),
+            "slice width {width} diverged"
+        );
+    }
+}
+
+#[test]
+fn best_so_far_is_anytime_and_monotone() {
+    let mut handle = SearchHandle::new(BitFlip { n: 8 }, config(300, 5));
+    // Valid before any slice: the prologue evaluated the root.
+    assert!(handle.best_reward().is_finite());
+    assert_eq!(handle.iterations(), 0);
+    assert_eq!(handle.evaluations(), 1);
+
+    let mut last = handle.best_reward();
+    while !handle.run_for(SliceBudget::iterations(25)).exhausted {
+        assert!(
+            handle.best_reward() >= last,
+            "best reward decreased across a slice"
+        );
+        last = handle.best_reward();
+    }
+    assert_eq!(handle.best_reward(), last.max(handle.best_reward()));
+    // The improvement trace is monotone too.
+    for pair in handle.trace().windows(2) {
+        assert!(pair[1].best_reward >= pair[0].best_reward);
+        assert!(pair[1].iteration >= pair[0].iteration);
+    }
+}
+
+#[test]
+fn exhausted_handles_are_no_ops() {
+    let mut handle = SearchHandle::new(BitFlip { n: 5 }, config(50, 9));
+    let report = handle.run_for(SliceBudget::unbounded());
+    assert!(report.exhausted);
+    let snapshot = key(&handle.outcome());
+
+    for _ in 0..3 {
+        let again = handle.run_for(SliceBudget::iterations(10));
+        assert!(again.exhausted);
+        assert_eq!(again.iterations_run, 0, "exhausted handle kept iterating");
+        assert!(!again.improved);
+    }
+    assert_eq!(snapshot, key(&handle.outcome()));
+}
+
+#[test]
+fn outcome_snapshot_matches_final_outcome() {
+    // A mid-run snapshot must carry the closing trace point and agree with the handle's
+    // accessors; the final outcome then extends it.
+    let mut handle = SearchHandle::new(BitFlip { n: 6 }, config(80, 3));
+    handle.run_for(SliceBudget::iterations(40));
+    let snapshot = handle.outcome();
+    assert_eq!(snapshot.stats.iterations, 40);
+    assert_eq!(snapshot.best_reward, handle.best_reward());
+    let last: &RewardTracePoint = snapshot.stats.trace.last().unwrap();
+    assert_eq!(last.iteration, 40);
+    assert_eq!(last.best_reward, handle.best_reward());
+
+    handle.run_for(SliceBudget::unbounded());
+    let done = handle.into_outcome();
+    assert_eq!(done.stats.iterations, 80);
+    assert!(done.best_reward >= snapshot.best_reward);
+}
+
+#[test]
+fn slice_deadline_bounds_wall_clock() {
+    // A time-bounded slice on an effectively unbounded handle must come back quickly.
+    let mut handle = SearchHandle::new(BitFlip { n: 12 }, config(usize::MAX, 2));
+    let start = std::time::Instant::now();
+    let report = handle.run_for(SliceBudget::time_millis(30));
+    assert!(!report.exhausted);
+    assert!(report.iterations_run > 0);
+    assert!(
+        start.elapsed().as_millis() < 2_000,
+        "slice deadline ignored: ran {} ms",
+        start.elapsed().as_millis()
+    );
+}
+
+#[test]
+fn arc_problems_are_searchable() {
+    // The Arc forwarding impl: a shared problem can back a handle (the serving layer's
+    // usage) and produces the same results as a borrowed one.
+    let problem = std::sync::Arc::new(BitFlip { n: 6 });
+    let via_arc = {
+        let mut handle = SearchHandle::new(std::sync::Arc::clone(&problem), config(100, 13));
+        handle.run_for(SliceBudget::unbounded());
+        handle.into_outcome()
+    };
+    let via_ref = Mcts::new(BitFlip { n: 6 }, config(100, 13)).run();
+    assert_eq!(key(&via_arc), key(&via_ref));
+}

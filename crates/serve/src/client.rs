@@ -1,0 +1,270 @@
+//! A blocking NDJSON client for `mctsui serve`, plus the scripted-session driver used by
+//! the CLI's `client` subcommand, the smoke tests and the load generator.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use crate::proto::{decode_line, encode_line, BestReport, Request, Response, WidgetAction};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(std::io::Error),
+    /// The server sent something unparseable or out of protocol.
+    Protocol(String),
+    /// The server answered with an `Error` response.
+    Server(String),
+    /// A scripted invariant was violated (e.g. a refine decreased the best reward).
+    Invariant(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::Invariant(m) => write!(f, "invariant violated: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A connected protocol client (one TCP connection, requests answered in order).
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect(addr: &str) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        Ok(Self {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// Send one request and read its response. Server-side `Error` responses are returned
+    /// as [`ClientError::Server`].
+    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        self.writer.write_all(encode_line(request).as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ClientError::Protocol("connection closed".into()));
+        }
+        let response: Response = decode_line(line.trim_end()).map_err(ClientError::Protocol)?;
+        if let Response::Error { message } = &response {
+            return Err(ClientError::Server(message.clone()));
+        }
+        Ok(response)
+    }
+}
+
+/// Shape of one scripted session (synthesize → refine* → interact → close).
+#[derive(Debug, Clone)]
+pub struct ScriptConfig {
+    /// Iterations requested per synthesize/refine.
+    pub iterations: u64,
+    /// Number of refine rounds after the initial synthesize.
+    pub refines: usize,
+    /// Deadline per request in milliseconds.
+    pub deadline_millis: u64,
+    /// Session seed (sessions with distinct seeds explore differently).
+    pub seed: u64,
+}
+
+impl Default for ScriptConfig {
+    fn default() -> Self {
+        Self {
+            iterations: 120,
+            refines: 2,
+            deadline_millis: 10_000,
+            seed: 42,
+        }
+    }
+}
+
+/// What one scripted session observed.
+#[derive(Debug, Clone)]
+pub struct ScriptReport {
+    /// The session id the server assigned.
+    pub session: u64,
+    /// Best report after the initial synthesize.
+    pub initial: BestReport,
+    /// Best report after each refine, in order.
+    pub refined: Vec<BestReport>,
+    /// SQL returned by the widget interaction (when the interface had a widget to drive).
+    pub interact_sql: Option<String>,
+    /// Wall-clock latency of each request (synthesize first, then refines), milliseconds.
+    pub latencies_millis: Vec<u64>,
+}
+
+impl ScriptReport {
+    /// The final best reward of the session.
+    pub fn final_reward(&self) -> f64 {
+        self.refined
+            .last()
+            .map(|b| b.reward)
+            .unwrap_or(self.initial.reward)
+    }
+}
+
+/// Run one scripted session against a server: synthesize the log, refine `refines` times
+/// (verifying the anytime contract — best reward must never decrease), drive one widget of
+/// the final interface, close the session.
+pub fn run_scripted_session(
+    addr: &str,
+    queries: &[String],
+    script: &ScriptConfig,
+) -> Result<ScriptReport, ClientError> {
+    let mut client = Client::connect(addr)?;
+    let mut latencies = Vec::with_capacity(script.refines + 1);
+
+    let started = std::time::Instant::now();
+    let response = client.call(&Request::Synthesize {
+        queries: queries.to_vec(),
+        iterations: script.iterations,
+        deadline_millis: script.deadline_millis,
+        seed: script.seed,
+    })?;
+    latencies.push(started.elapsed().as_millis() as u64);
+    let (session, initial, mut interface) = match response {
+        Response::Synthesized {
+            session,
+            best,
+            interface,
+        } => (session, best, interface),
+        other => {
+            return Err(ClientError::Protocol(format!(
+                "expected Synthesized, got {other:?}"
+            )))
+        }
+    };
+
+    let mut refined = Vec::with_capacity(script.refines);
+    let mut last_reward = initial.reward;
+    for round in 0..script.refines {
+        let started = std::time::Instant::now();
+        let response = client.call(&Request::Refine {
+            session,
+            iterations: script.iterations,
+            deadline_millis: script.deadline_millis,
+        })?;
+        latencies.push(started.elapsed().as_millis() as u64);
+        match response {
+            Response::Refined {
+                best,
+                interface: best_interface,
+                ..
+            } => {
+                if best.reward < last_reward {
+                    return Err(ClientError::Invariant(format!(
+                        "refine {round} decreased best reward: {last_reward} -> {}",
+                        best.reward
+                    )));
+                }
+                last_reward = best.reward;
+                interface = best_interface;
+                refined.push(best);
+            }
+            other => {
+                return Err(ClientError::Protocol(format!(
+                    "expected Refined, got {other:?}"
+                )))
+            }
+        }
+    }
+
+    // Drive the first widget of the final interface, if any.
+    let interact_sql = match interface.choices.first() {
+        Some(choice) => {
+            let action = action_for_choice(choice);
+            match client.call(&Request::Interact { session, action })? {
+                Response::Interacted { sql, .. } => Some(sql),
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "expected Interacted, got {other:?}"
+                    )))
+                }
+            }
+        }
+        None => None,
+    };
+
+    match client.call(&Request::Close { session })? {
+        Response::Closed { .. } => {}
+        other => {
+            return Err(ClientError::Protocol(format!(
+                "expected Closed, got {other:?}"
+            )))
+        }
+    }
+
+    Ok(ScriptReport {
+        session,
+        initial,
+        refined,
+        interact_sql,
+        latencies_millis: latencies,
+    })
+}
+
+/// The natural interaction for a choice: pick the last option of an `Any`, toggle an `Opt`
+/// off, set a `Multi` to one repetition.
+fn action_for_choice(choice: &mctsui_core::ChoiceDescription) -> WidgetAction {
+    use mctsui_difftree::DiffKind;
+    let path = choice.path.0.clone();
+    match choice.choice_kind {
+        DiffKind::Opt => WidgetAction::Toggle {
+            path,
+            included: false,
+        },
+        DiffKind::Multi => WidgetAction::Repeat { path, count: 1 },
+        _ => WidgetAction::Select {
+            path,
+            pick: choice.cardinality.saturating_sub(1),
+        },
+    }
+}
+
+/// Run `sessions` scripted sessions concurrently (one thread + connection each), seeds
+/// derived per session. Returns every report or the first failure.
+pub fn run_concurrent_sessions(
+    addr: &str,
+    queries: &[String],
+    script: &ScriptConfig,
+    sessions: usize,
+) -> Result<Vec<ScriptReport>, ClientError> {
+    let results: Vec<Result<ScriptReport, ClientError>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(sessions);
+        for i in 0..sessions {
+            let mut script = script.clone();
+            script.seed = script.seed.wrapping_add(i as u64);
+            let addr = addr.to_string();
+            let queries = queries.to_vec();
+            handles.push(scope.spawn(move || run_scripted_session(&addr, &queries, &script)));
+        }
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().unwrap_or_else(|_| {
+                    Err(ClientError::Protocol("session thread panicked".into()))
+                })
+            })
+            .collect()
+    });
+    results.into_iter().collect()
+}

@@ -1,0 +1,806 @@
+//! The serving engine: many concurrent synthesis sessions multiplexed onto a small worker
+//! pool with time-sliced budgets.
+//!
+//! # Architecture
+//!
+//! * **Sessions** own warm search state: a resumable
+//!   [`SearchHandle`](mctsui_mcts::SearchHandle) over the session's
+//!   [`InterfaceSearchProblem`], plus an [`InterfaceSession`] for widget interactions
+//!   against the current best interface. A `refine` request continues the session's tree
+//!   and rng stream exactly where the previous request paused them.
+//! * **Shared caches** cross session boundaries. All sessions share one global
+//!   [`RuleEngine`] — and therefore one rule-binding [`ActionIndex`] cache, which is keyed
+//!   by subtree fingerprint and thus log-independent. Sessions over the *same* query log
+//!   (same screen and sampling width) additionally share one `InterfaceSearchProblem`, and
+//!   with it the per-log context/plan caches, through a weak registry: a popular dashboard
+//!   log pays its expressibility work once, no matter how many users open it.
+//! * **The admission scheduler** bounds what one request can claim (session cap, per-request
+//!   iteration cap, deadline cap) and then time-slices admitted work round-robin: a request
+//!   is queued as a work item, workers pop items, run one bounded slice
+//!   ([`ServeConfig::slice_iterations`] iterations, bounded by the request deadline) and
+//!   re-queue unfinished items at the back. No session can starve another — every queued
+//!   request advances by one slice per scheduler round.
+//! * **Anytime responses**: when a request's budget or deadline runs out, the caller gets
+//!   the best interface known *now*. More budget later never makes the answer worse
+//!   (the handle's best record is monotone).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::time::{Duration, Instant};
+
+use rustc_hash::{FxHashMap, FxHasher};
+
+use mctsui_core::{InterfaceDescription, InterfaceSearchProblem, InterfaceSession, SessionError};
+use mctsui_cost::{ContextCacheStats, CostWeights};
+use mctsui_difftree::{simplified_difftree, DiffPath, RuleEngine};
+use mctsui_mcts::{Budget, MctsConfig, SearchHandle, SliceBudget};
+use mctsui_sql::{parse_query, print_query, Ast};
+use mctsui_widgets::Screen;
+
+use crate::proto::{BestReport, EngineStatsReport, WidgetAction};
+
+/// Configuration of a [`ServeEngine`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Scheduler worker threads slicing search work.
+    pub threads: usize,
+    /// Scheduler quantum: iterations one work item may run before yielding the worker.
+    pub slice_iterations: usize,
+    /// Admission cap on concurrently live sessions (further `synthesize`s are rejected).
+    pub max_sessions: usize,
+    /// Admission cap on iterations per request (larger asks are clamped).
+    pub max_request_iterations: u64,
+    /// Budget used when a request asks for `iterations == 0`.
+    pub default_request_iterations: u64,
+    /// Admission cap on per-request deadlines (and the default for `deadline_millis == 0`).
+    pub max_deadline_millis: u64,
+    /// Target screen of generated interfaces.
+    pub screen: Screen,
+    /// Cost weights of generated interfaces.
+    pub weights: CostWeights,
+    /// Random widget assignments per reward evaluation (the paper's `k`).
+    pub assignments_per_eval: usize,
+    /// Base search parameters (exploration, rollout depth, virtual loss). The budget and
+    /// seed fields are ignored — session budgets are unbounded (requests are sliced
+    /// instead) and each session's seed comes from its `synthesize` request.
+    pub mcts: MctsConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2)
+                .min(8),
+            slice_iterations: 64,
+            max_sessions: 256,
+            max_request_iterations: 100_000,
+            default_request_iterations: 400,
+            max_deadline_millis: 30_000,
+            screen: Screen::wide(),
+            weights: CostWeights::default(),
+            assignments_per_eval: 3,
+            mcts: MctsConfig::default(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// A small, fast configuration for tests and examples.
+    pub fn quick() -> Self {
+        Self {
+            threads: 2,
+            slice_iterations: 16,
+            default_request_iterations: 60,
+            mcts: MctsConfig::default().with_rollout_depth(40),
+            assignments_per_eval: 2,
+            ..Self::default()
+        }
+    }
+
+    /// Builder helper: set the worker-thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Builder helper: set the scheduler quantum.
+    pub fn with_slice_iterations(mut self, slice: usize) -> Self {
+        self.slice_iterations = slice.max(1);
+        self
+    }
+
+    /// Builder helper: set the session admission cap.
+    pub fn with_max_sessions(mut self, cap: usize) -> Self {
+        self.max_sessions = cap.max(1);
+        self
+    }
+}
+
+/// Why a request was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// Admission control: the session table is full.
+    Busy,
+    /// The session id is unknown (never existed, or was closed).
+    UnknownSession(u64),
+    /// A `synthesize` with an empty query log.
+    NoQueries,
+    /// A query failed to parse (message includes the parser error).
+    BadQuery(String),
+    /// A widget interaction failed (bad path, out-of-range pick, inexpressible jump).
+    Interaction(String),
+    /// The engine is shutting down.
+    ShuttingDown,
+    /// The scheduler failed to finish the request within its hard wait cap (severely
+    /// overloaded server, or a lost work item) — the server is up, but this request died.
+    Timeout,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Busy => write!(f, "session table full, try again later"),
+            ServeError::UnknownSession(id) => write!(f, "unknown session {id}"),
+            ServeError::NoQueries => write!(f, "synthesize needs at least one query"),
+            ServeError::BadQuery(m) => write!(f, "bad query: {m}"),
+            ServeError::Interaction(m) => write!(f, "interaction failed: {m}"),
+            ServeError::ShuttingDown => write!(f, "server shutting down"),
+            ServeError::Timeout => write!(f, "request timed out in the scheduler"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// The anytime result of a `synthesize` or `refine` request.
+#[derive(Debug, Clone)]
+pub struct SynthesisResult {
+    /// The session the search ran in.
+    pub session: u64,
+    /// Best-so-far search summary.
+    pub best: BestReport,
+    /// Whether this request improved on the session's previous best reward.
+    pub improved: bool,
+    /// The best interface found so far.
+    pub interface: InterfaceDescription,
+}
+
+/// One live session: the warm search handle plus interaction state.
+struct Session {
+    problem: Arc<InterfaceSearchProblem>,
+    handle: SearchHandle<Arc<InterfaceSearchProblem>>,
+    /// The interaction session over the current best difftree, tagged with that tree's
+    /// fingerprint so refines that change the best tree rebuild it lazily.
+    interact: Option<(u64, InterfaceSession)>,
+    /// The described best interface, tagged with its tree's fingerprint: refines that
+    /// don't improve the tree (the common steady state) reuse it instead of re-sampling
+    /// assignments and rebuilding the widget tree per response.
+    described: Option<(u64, InterfaceDescription)>,
+    /// Seed used for description/report evaluations (the session's search seed).
+    eval_seed: u64,
+}
+
+/// A unit of admitted, not-yet-finished search work.
+struct WorkItem {
+    session: u64,
+    /// Iterations still owed to this request.
+    remaining: u64,
+    /// Absolute deadline of the request.
+    deadline: Instant,
+    ticket: Arc<Ticket>,
+}
+
+/// Completion notification of one request's work item.
+struct Ticket {
+    state: Mutex<Option<Result<(), ServeError>>>,
+    cv: Condvar,
+}
+
+impl Ticket {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(None),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn complete(&self, result: Result<(), ServeError>) {
+        let mut state = self.state.lock().expect("ticket poisoned");
+        if state.is_none() {
+            *state = Some(result);
+            self.cv.notify_all();
+        }
+    }
+
+    /// Wait for completion, with a generous hard cap so a lost item can never hang a
+    /// connection forever.
+    fn wait(&self, cap: Duration) -> Result<(), ServeError> {
+        let deadline = Instant::now() + cap;
+        let mut state = self.state.lock().expect("ticket poisoned");
+        loop {
+            if let Some(result) = state.take() {
+                return result;
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Err(ServeError::Timeout);
+            }
+            let (guard, _) = self.cv.wait_timeout(state, left).expect("ticket poisoned");
+            state = guard;
+        }
+    }
+}
+
+/// State shared between the public API, the scheduler workers and the connection threads.
+struct Shared {
+    config: ServeConfig,
+    /// The global rule engine: one [`mctsui_difftree::ActionIndex`] for every session.
+    rules: RuleEngine,
+    started: Instant,
+    sessions: Mutex<FxHashMap<u64, Arc<Mutex<Session>>>>,
+    next_session: AtomicU64,
+    /// Problems shared across sessions with the same (log, screen, k) — weak so closing
+    /// the last session of a log frees its caches.
+    problems: Mutex<FxHashMap<u64, Weak<InterfaceSearchProblem>>>,
+    queue: Mutex<VecDeque<WorkItem>>,
+    queue_cv: Condvar,
+    shutdown: AtomicBool,
+    total_requests: AtomicU64,
+    total_iterations: AtomicU64,
+    total_slices: AtomicU64,
+    peak_sessions: AtomicU64,
+}
+
+/// The multi-session anytime synthesis engine. See the module docs for the architecture.
+pub struct ServeEngine {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl ServeEngine {
+    /// Start an engine with `config.threads` scheduler workers.
+    pub fn start(config: ServeConfig) -> Arc<Self> {
+        let threads = config.threads.max(1);
+        let shared = Arc::new(Shared {
+            config,
+            rules: RuleEngine::default(),
+            started: Instant::now(),
+            sessions: Mutex::new(FxHashMap::default()),
+            next_session: AtomicU64::new(1),
+            problems: Mutex::new(FxHashMap::default()),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            total_requests: AtomicU64::new(0),
+            total_iterations: AtomicU64::new(0),
+            total_slices: AtomicU64::new(0),
+            peak_sessions: AtomicU64::new(0),
+        });
+        let mut workers = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let shared = Arc::clone(&shared);
+            workers.push(std::thread::spawn(move || worker_loop(&shared)));
+        }
+        Arc::new(Self {
+            shared,
+            workers: Mutex::new(workers),
+        })
+    }
+
+    /// Open a session for `queries` and run the initial search under the request bounds.
+    /// Admission-controlled: rejected with [`ServeError::Busy`] when the session table is
+    /// full. The session's search stream is deterministic in `seed` (every value,
+    /// including 0, is honoured as given).
+    pub fn synthesize(
+        &self,
+        queries: Vec<Ast>,
+        iterations: u64,
+        deadline_millis: u64,
+        seed: u64,
+    ) -> Result<SynthesisResult, ServeError> {
+        if self.is_shutdown() {
+            return Err(ServeError::ShuttingDown);
+        }
+        if queries.is_empty() {
+            return Err(ServeError::NoQueries);
+        }
+        // Cheap admission pre-check before paying for problem construction and the
+        // handle prologue (root reward evaluation); the authoritative check re-runs
+        // under the table lock at insert time.
+        if self
+            .shared
+            .sessions
+            .lock()
+            .expect("session table poisoned")
+            .len()
+            >= self.shared.config.max_sessions
+        {
+            return Err(ServeError::Busy);
+        }
+
+        let problem = self.problem_for(&queries);
+        let mut mcts = self.shared.config.mcts.clone();
+        mcts.seed = seed;
+        // Session budgets are unbounded; every request is bounded by the scheduler instead.
+        mcts.budget = Budget::Iterations(usize::MAX);
+        let handle = SearchHandle::new(Arc::clone(&problem), mcts);
+
+        let id = self.shared.next_session.fetch_add(1, Ordering::Relaxed);
+        let session = Arc::new(Mutex::new(Session {
+            problem,
+            handle,
+            interact: None,
+            described: None,
+            eval_seed: seed,
+        }));
+        {
+            let mut sessions = self.shared.sessions.lock().expect("session table poisoned");
+            // Admission control under the table lock so concurrent synthesizes cannot
+            // overshoot the cap.
+            if sessions.len() >= self.shared.config.max_sessions {
+                return Err(ServeError::Busy);
+            }
+            sessions.insert(id, session);
+            let live = sessions.len() as u64;
+            self.shared.peak_sessions.fetch_max(live, Ordering::Relaxed);
+        }
+        // Counted only once admission succeeded: `total_requests` reports admitted work.
+        self.shared.total_requests.fetch_add(1, Ordering::Relaxed);
+
+        let result = self.run_request(id, iterations, deadline_millis);
+        if result.is_err() {
+            // The client never learns the session id on failure, so a leftover session
+            // would leak its admission slot (and its search tree) until restart.
+            let _ = self.close_session(id);
+        }
+        result
+    }
+
+    /// Continue a session's search under the request bounds. The session's best reward is
+    /// monotone: a refine can only improve (or keep) the answer.
+    pub fn refine(
+        &self,
+        session: u64,
+        iterations: u64,
+        deadline_millis: u64,
+    ) -> Result<SynthesisResult, ServeError> {
+        if self.is_shutdown() {
+            return Err(ServeError::ShuttingDown);
+        }
+        // Existence check up front so callers get UnknownSession, not a queue round-trip.
+        if !self
+            .shared
+            .sessions
+            .lock()
+            .expect("session table poisoned")
+            .contains_key(&session)
+        {
+            return Err(ServeError::UnknownSession(session));
+        }
+        self.shared.total_requests.fetch_add(1, Ordering::Relaxed);
+        self.run_request(session, iterations, deadline_millis)
+    }
+
+    /// Enqueue a bounded work item for `session`, wait for the scheduler to finish it and
+    /// snapshot the anytime answer.
+    fn run_request(
+        &self,
+        session: u64,
+        iterations: u64,
+        deadline_millis: u64,
+    ) -> Result<SynthesisResult, ServeError> {
+        let config = &self.shared.config;
+        let iterations = if iterations == 0 {
+            config.default_request_iterations
+        } else {
+            iterations.min(config.max_request_iterations)
+        };
+        let deadline_millis = if deadline_millis == 0 {
+            config.max_deadline_millis
+        } else {
+            deadline_millis.min(config.max_deadline_millis)
+        };
+
+        let reward_before = {
+            let handle = self.session(session)?;
+            let guard = handle.lock().expect("session poisoned");
+            guard.handle.best_reward()
+        };
+
+        let ticket = Ticket::new();
+        {
+            let mut queue = self.shared.queue.lock().expect("work queue poisoned");
+            if self.is_shutdown() {
+                return Err(ServeError::ShuttingDown);
+            }
+            queue.push_back(WorkItem {
+                session,
+                remaining: iterations,
+                deadline: Instant::now() + Duration::from_millis(deadline_millis),
+                ticket: Arc::clone(&ticket),
+            });
+        }
+        self.shared.queue_cv.notify_one();
+        ticket.wait(Duration::from_millis(deadline_millis) + Duration::from_secs(60))?;
+
+        self.snapshot(session, reward_before)
+    }
+
+    /// The session's current anytime answer: best report + interface description.
+    ///
+    /// The description is cached by the best tree's fingerprint (like the interaction
+    /// state): refines that didn't change the best tree — the common steady state —
+    /// answer from the cache, and the assignment sampling / widget-tree build for a new
+    /// best tree runs *outside* the session mutex so scheduler workers are not stalled
+    /// behind response construction.
+    fn snapshot(&self, session: u64, reward_before: f64) -> Result<SynthesisResult, ServeError> {
+        let handle = self.session(session)?;
+        let (best_tree, best_reward, best, problem, eval_seed, cached) = {
+            let guard = handle.lock().expect("session poisoned");
+            let best_tree = guard.handle.best_state().clone();
+            let fingerprint = best_tree.fingerprint();
+            let best_reward = guard.handle.best_reward();
+            let best = BestReport {
+                reward: best_reward,
+                cost_total: 0.0, // filled from the description below
+                iterations: guard.handle.iterations() as u64,
+                evaluations: guard.handle.evaluations() as u64,
+                tree_nodes: guard.handle.node_count() as u64,
+                exhausted: guard.handle.is_exhausted(),
+            };
+            let cached = guard
+                .described
+                .as_ref()
+                .filter(|(fp, _)| *fp == fingerprint)
+                .map(|(_, d)| d.clone());
+            (
+                best_tree,
+                best_reward,
+                best,
+                Arc::clone(&guard.problem),
+                guard.eval_seed,
+                cached,
+            )
+        };
+
+        let interface = match cached {
+            Some(interface) => interface,
+            None => {
+                let (assignment, cost) = problem.best_sampled_assignment(&best_tree, eval_seed);
+                let interface = InterfaceDescription::new(
+                    &best_tree,
+                    &assignment,
+                    self.shared.config.screen,
+                    cost,
+                );
+                let mut guard = handle.lock().expect("session poisoned");
+                guard.described = Some((best_tree.fingerprint(), interface.clone()));
+                interface
+            }
+        };
+        let best = BestReport {
+            cost_total: interface.cost.total,
+            ..best
+        };
+        Ok(SynthesisResult {
+            session,
+            best,
+            improved: best_reward > reward_before,
+            interface,
+        })
+    }
+
+    /// Apply a widget interaction to the session's current best interface and return the
+    /// re-derived SQL. The interaction state is rebuilt lazily whenever a refine has
+    /// changed the best difftree (selections then reset to the log's first query).
+    pub fn interact(&self, session: u64, action: &WidgetAction) -> Result<String, ServeError> {
+        self.shared.total_requests.fetch_add(1, Ordering::Relaxed);
+        let handle = self.session(session)?;
+        let mut guard = handle.lock().expect("session poisoned");
+
+        let best_tree = guard.handle.best_state().clone();
+        let fingerprint = best_tree.fingerprint();
+        let stale = match &guard.interact {
+            Some((fp, _)) => *fp != fingerprint,
+            None => true,
+        };
+        if stale {
+            let first_query = guard
+                .problem
+                .queries()
+                .first()
+                .cloned()
+                .ok_or(ServeError::NoQueries)?;
+            let interface_session = InterfaceSession::start(best_tree, &first_query)
+                .map_err(|e| ServeError::Interaction(e.to_string()))?;
+            guard.interact = Some((fingerprint, interface_session));
+        }
+        let (_, interface_session) = guard.interact.as_mut().expect("just ensured");
+
+        let map_err = |e: SessionError| ServeError::Interaction(e.to_string());
+        let query = match action {
+            WidgetAction::Select { path, pick } => {
+                interface_session.select_option(&DiffPath(path.clone()), *pick)
+            }
+            WidgetAction::Toggle { path, included } => {
+                interface_session.set_included(&DiffPath(path.clone()), *included)
+            }
+            WidgetAction::Repeat { path, count } => {
+                interface_session.set_repetitions(&DiffPath(path.clone()), *count)
+            }
+            WidgetAction::Jump { query } => {
+                let ast = parse_query(query).map_err(|e| ServeError::BadQuery(e.to_string()))?;
+                interface_session.jump_to(&ast).map(|()| ast)
+            }
+        }
+        .map_err(map_err)?;
+        Ok(print_query(&query))
+    }
+
+    /// Drop a session and free its search tree.
+    pub fn close_session(&self, session: u64) -> Result<(), ServeError> {
+        let removed = self
+            .shared
+            .sessions
+            .lock()
+            .expect("session table poisoned")
+            .remove(&session);
+        match removed {
+            Some(_) => Ok(()),
+            None => Err(ServeError::UnknownSession(session)),
+        }
+    }
+
+    /// Engine-wide statistics: sessions, scheduler counters and shared-cache counters.
+    pub fn stats(&self) -> EngineStatsReport {
+        let sessions = self
+            .shared
+            .sessions
+            .lock()
+            .expect("session table poisoned")
+            .len() as u64;
+        let queue_depth = self.shared.queue.lock().expect("work queue poisoned").len() as u64;
+        // Sum the per-log context caches over the live problems in the registry.
+        let mut context_cache = ContextCacheStats::default();
+        {
+            let mut problems = self
+                .shared
+                .problems
+                .lock()
+                .expect("problem registry poisoned");
+            problems.retain(|_, weak| weak.upgrade().is_some());
+            for weak in problems.values() {
+                if let Some(problem) = weak.upgrade() {
+                    let stats = problem.cache_stats();
+                    context_cache.contexts = context_cache.contexts.merged(&stats.contexts);
+                    context_cache.plans = context_cache.plans.merged(&stats.plans);
+                }
+            }
+        }
+        EngineStatsReport {
+            sessions,
+            peak_sessions: self.shared.peak_sessions.load(Ordering::Relaxed),
+            queue_depth,
+            total_requests: self.shared.total_requests.load(Ordering::Relaxed),
+            total_iterations: self.shared.total_iterations.load(Ordering::Relaxed),
+            total_slices: self.shared.total_slices.load(Ordering::Relaxed),
+            uptime_millis: self.shared.started.elapsed().as_millis() as u64,
+            threads: self.shared.config.threads as u64,
+            context_cache,
+            action_index: self.shared.rules.action_index().counters(),
+        }
+    }
+
+    /// Number of live sessions.
+    pub fn session_count(&self) -> usize {
+        self.shared
+            .sessions
+            .lock()
+            .expect("session table poisoned")
+            .len()
+    }
+
+    /// Begin shutdown: reject new requests, fail queued work, stop the workers.
+    pub fn begin_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Fail every queued item so no waiter hangs.
+        let drained: Vec<WorkItem> = {
+            let mut queue = self.shared.queue.lock().expect("work queue poisoned");
+            queue.drain(..).collect()
+        };
+        for item in drained {
+            item.ticket.complete(Err(ServeError::ShuttingDown));
+        }
+        self.shared.queue_cv.notify_all();
+    }
+
+    /// Whether shutdown has begun.
+    pub fn is_shutdown(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Join the scheduler workers (after [`ServeEngine::begin_shutdown`]).
+    pub fn join_workers(&self) {
+        let workers: Vec<_> = {
+            let mut guard = self.workers.lock().expect("worker table poisoned");
+            guard.drain(..).collect()
+        };
+        for worker in workers {
+            let _ = worker.join();
+        }
+    }
+
+    /// The configuration this engine runs with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.shared.config
+    }
+
+    fn session(&self, id: u64) -> Result<Arc<Mutex<Session>>, ServeError> {
+        self.shared
+            .sessions
+            .lock()
+            .expect("session table poisoned")
+            .get(&id)
+            .cloned()
+            .ok_or(ServeError::UnknownSession(id))
+    }
+
+    /// The shared problem for a query log: sessions over the same (log, screen, sampling
+    /// width) reuse one problem — and its context/plan caches — through a weak registry.
+    fn problem_for(&self, queries: &[Ast]) -> Arc<InterfaceSearchProblem> {
+        use std::hash::{Hash, Hasher};
+        let config = &self.shared.config;
+        let mut hasher = FxHasher::default();
+        for query in queries {
+            print_query(query).hash(&mut hasher);
+        }
+        config.screen.width.hash(&mut hasher);
+        config.screen.height.hash(&mut hasher);
+        config.assignments_per_eval.hash(&mut hasher);
+        let key = hasher.finish();
+
+        // Workspace lock discipline: probe under the lock, build outside it (difftree
+        // construction for a large log is real work and must not serialize admission of
+        // unrelated sessions or Stats requests), insert with first-insert-wins.
+        {
+            let registry = self
+                .shared
+                .problems
+                .lock()
+                .expect("problem registry poisoned");
+            if let Some(problem) = registry.get(&key).and_then(Weak::upgrade) {
+                return problem;
+            }
+        }
+        let initial = simplified_difftree(queries);
+        let problem = Arc::new(InterfaceSearchProblem::new(
+            queries.to_vec(),
+            initial,
+            self.shared.rules.clone(),
+            config.screen,
+            config.weights,
+            config.assignments_per_eval,
+        ));
+        let mut registry = self
+            .shared
+            .problems
+            .lock()
+            .expect("problem registry poisoned");
+        if let Some(existing) = registry.get(&key).and_then(Weak::upgrade) {
+            return existing;
+        }
+        registry.insert(key, Arc::downgrade(&problem));
+        problem
+    }
+}
+
+impl Drop for ServeEngine {
+    fn drop(&mut self) {
+        self.begin_shutdown();
+        self.join_workers();
+    }
+}
+
+/// One scheduler worker: pop a work item, run one bounded slice of its session's search,
+/// re-queue the remainder (round-robin) or complete the ticket.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let item = {
+            let mut queue = shared.queue.lock().expect("work queue poisoned");
+            loop {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(item) = queue.pop_front() {
+                    break item;
+                }
+                queue = shared.queue_cv.wait(queue).expect("work queue poisoned");
+            }
+        };
+
+        let session = {
+            let sessions = shared.sessions.lock().expect("session table poisoned");
+            sessions.get(&item.session).cloned()
+        };
+        let Some(session) = session else {
+            // Session closed while queued: the request cannot make progress.
+            item.ticket
+                .complete(Err(ServeError::UnknownSession(item.session)));
+            continue;
+        };
+
+        if item.remaining == 0 || Instant::now() >= item.deadline {
+            item.ticket.complete(Ok(()));
+            continue;
+        }
+
+        let quantum = (shared.config.slice_iterations as u64).min(item.remaining) as usize;
+        // Don't sleep on a session another worker is slicing — rotate the item to the
+        // back and serve someone else (work conservation under concurrent refines of one
+        // session). The brief timed wait keeps the single-busy-session case from spinning
+        // hot while still noticing fresh queue work immediately.
+        let Ok(mut guard) = session.try_lock() else {
+            let queue = shared.queue.lock().expect("work queue poisoned");
+            if shared.shutdown.load(Ordering::SeqCst) {
+                drop(queue);
+                item.ticket.complete(Err(ServeError::ShuttingDown));
+                continue;
+            }
+            let requeue_only_item = queue.is_empty();
+            let mut queue = queue;
+            queue.push_back(item);
+            if requeue_only_item {
+                let _ = shared
+                    .queue_cv
+                    .wait_timeout(queue, Duration::from_millis(1))
+                    .expect("work queue poisoned");
+            }
+            continue;
+        };
+        let report = {
+            // The deadline budget is measured *after* acquiring the session mutex:
+            // blocking behind another worker's slice (or a snapshot) must eat into the
+            // request's deadline, not extend it.
+            let time_left = item
+                .deadline
+                .saturating_duration_since(Instant::now())
+                .as_millis() as u64;
+            if time_left == 0 {
+                drop(guard);
+                item.ticket.complete(Ok(()));
+                continue;
+            }
+            guard
+                .handle
+                .run_for(SliceBudget::either(quantum, time_left))
+        };
+        // Release the session before the queue/ticket bookkeeping below, so snapshots and
+        // other workers are not held up by it.
+        drop(guard);
+        shared
+            .total_iterations
+            .fetch_add(report.iterations_run as u64, Ordering::Relaxed);
+        shared.total_slices.fetch_add(1, Ordering::Relaxed);
+
+        let remaining = item.remaining - report.iterations_run as u64;
+        let deadline_hit = Instant::now() >= item.deadline;
+        if remaining == 0 || deadline_hit || report.exhausted {
+            item.ticket.complete(Ok(()));
+        } else {
+            // Round-robin: unfinished requests go to the back so every queued request
+            // advances by one slice per scheduler round.
+            let mut queue = shared.queue.lock().expect("work queue poisoned");
+            if shared.shutdown.load(Ordering::SeqCst) {
+                drop(queue);
+                item.ticket.complete(Err(ServeError::ShuttingDown));
+                continue;
+            }
+            queue.push_back(WorkItem { remaining, ..item });
+            drop(queue);
+            shared.queue_cv.notify_one();
+        }
+    }
+}

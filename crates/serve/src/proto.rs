@@ -1,0 +1,287 @@
+//! The wire protocol of `mctsui serve`: newline-delimited JSON over TCP.
+//!
+//! Every request and every response is one JSON value on one line (NDJSON). The encoding is
+//! the workspace serde shim's: a payload-carrying enum variant is a single-entry object
+//! `{"Variant": {...fields...}}`, a unit variant is the bare string `"Variant"`. Example
+//! session:
+//!
+//! ```text
+//! → {"Synthesize":{"queries":["SELECT a FROM t"],"iterations":200,"deadline_millis":1000,"seed":42}}
+//! ← {"Synthesized":{"session":1,"best":{...},"interface":{...}}}
+//! → {"Refine":{"session":1,"iterations":200,"deadline_millis":1000}}
+//! ← {"Refined":{"session":1,"best":{...},"improved":true,"interface":{...}}}
+//! → {"Interact":{"session":1,"action":{"Select":{"path":[0,1],"pick":2}}}}
+//! ← {"Interacted":{"session":1,"sql":"SELECT ..."}}
+//! → "Stats"
+//! ← {"Stats":{...}}
+//! → "Shutdown"
+//! ← "ShuttingDown"
+//! ```
+//!
+//! Responses for `Synthesize`/`Refine` carry the **anytime** answer: the best interface
+//! known when the request's budget or deadline ran out. `Refine` on the same session
+//! continues the session's warm search tree, so its `best.reward` never decreases.
+
+use serde::{Deserialize, Serialize};
+
+use mctsui_core::InterfaceDescription;
+use mctsui_cost::ContextCacheStats;
+use mctsui_difftree::CacheCounters;
+
+/// A client request (one JSON line).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Open a session for a query log and run the initial search slice. `iterations == 0`
+    /// uses the server's default request budget; `deadline_millis == 0` uses the server's
+    /// maximum. `seed` makes the session's search stream deterministic (every value,
+    /// including 0, is honoured as given).
+    Synthesize {
+        /// The query log, one SQL statement per entry.
+        queries: Vec<String>,
+        /// Requested search iterations for this request (admission-clamped).
+        iterations: u64,
+        /// Wall-clock deadline for this request in milliseconds (admission-clamped).
+        deadline_millis: u64,
+        /// RNG seed of the session's search.
+        seed: u64,
+    },
+    /// Continue an existing session's search (warm tree, same rng stream).
+    Refine {
+        /// Session id returned by `Synthesize`.
+        session: u64,
+        /// Requested additional iterations (admission-clamped).
+        iterations: u64,
+        /// Wall-clock deadline in milliseconds (admission-clamped).
+        deadline_millis: u64,
+    },
+    /// Drive a widget of the session's current best interface and get the re-derived SQL.
+    Interact {
+        /// Session id.
+        session: u64,
+        /// The widget interaction to apply.
+        action: WidgetAction,
+    },
+    /// Engine-wide statistics (sessions, scheduler, shared-cache counters).
+    Stats,
+    /// Drop a session and free its search tree.
+    Close {
+        /// Session id.
+        session: u64,
+    },
+    /// Stop the server: responds, then stops accepting connections and joins the workers.
+    Shutdown,
+}
+
+/// A widget interaction, addressed by the difftree path of the widget's choice node (the
+/// `path` field of the interface description's choice entries).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WidgetAction {
+    /// Pick option `pick` of the `Any` choice at `path` (dropdown/radio/buttons).
+    Select {
+        /// Difftree path of the choice node.
+        path: Vec<usize>,
+        /// Selected option index.
+        pick: usize,
+    },
+    /// Include or exclude the `Opt` choice at `path` (toggle/checkbox).
+    Toggle {
+        /// Difftree path of the choice node.
+        path: Vec<usize>,
+        /// Whether the optional subtree is included.
+        included: bool,
+    },
+    /// Set the repetition count of the `Multi` choice at `path` (adder).
+    Repeat {
+        /// Difftree path of the choice node.
+        path: Vec<usize>,
+        /// New repetition count.
+        count: usize,
+    },
+    /// Jump the whole interface to a query (as a "replay this log entry" button would).
+    Jump {
+        /// The SQL statement to jump to (must be expressible by the interface).
+        query: String,
+    },
+}
+
+/// The anytime best-so-far summary of one session's search.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BestReport {
+    /// Best reward found so far (negated interface cost; monotone across refines).
+    pub reward: f64,
+    /// Total cost of the reported best interface.
+    pub cost_total: f64,
+    /// Search iterations completed by this session so far (across all requests).
+    pub iterations: u64,
+    /// Reward evaluations performed by this session so far.
+    pub evaluations: u64,
+    /// Nodes materialised in the session's search tree.
+    pub tree_nodes: u64,
+    /// Whether the session's total search budget is exhausted.
+    pub exhausted: bool,
+}
+
+/// Engine-wide statistics (the `Stats` response payload).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EngineStatsReport {
+    /// Live sessions.
+    pub sessions: u64,
+    /// High-water mark of live sessions.
+    pub peak_sessions: u64,
+    /// Work items currently queued or being sliced.
+    pub queue_depth: u64,
+    /// Requests admitted since startup (synthesize + refine + interact).
+    pub total_requests: u64,
+    /// Search iterations executed since startup, summed over all sessions.
+    pub total_iterations: u64,
+    /// Scheduler slices executed since startup.
+    pub total_slices: u64,
+    /// Milliseconds since engine startup.
+    pub uptime_millis: u64,
+    /// Scheduler worker threads.
+    pub threads: u64,
+    /// Counters of the shared per-log context/plan caches, summed over live query logs.
+    pub context_cache: ContextCacheStats,
+    /// Counters of the global rule-binding cache (shared by every session).
+    pub action_index: CacheCounters,
+}
+
+/// A server response (one JSON line).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Session opened; the anytime result of the initial search slice.
+    Synthesized {
+        /// The new session's id (pass to `Refine`/`Interact`/`Close`).
+        session: u64,
+        /// Best-so-far search summary.
+        best: BestReport,
+        /// The best interface found so far.
+        interface: InterfaceDescription,
+    },
+    /// The anytime result after more search on a warm session.
+    Refined {
+        /// Session id.
+        session: u64,
+        /// Best-so-far search summary (`reward` never decreases across refines).
+        best: BestReport,
+        /// Whether this request improved on the session's previous best.
+        improved: bool,
+        /// The best interface found so far.
+        interface: InterfaceDescription,
+    },
+    /// A widget interaction was applied; `sql` is the re-derived query.
+    Interacted {
+        /// Session id.
+        session: u64,
+        /// The SQL the visualization panel would now execute.
+        sql: String,
+    },
+    /// Engine statistics.
+    Stats(EngineStatsReport),
+    /// The session was dropped.
+    Closed {
+        /// Session id.
+        session: u64,
+    },
+    /// Shutdown acknowledged; the server stops accepting connections.
+    ShuttingDown,
+    /// The request failed; the connection stays usable.
+    Error {
+        /// Human-readable failure description.
+        message: String,
+    },
+}
+
+/// Encode one protocol value as its NDJSON line (no trailing newline).
+pub fn encode_line<T: Serialize>(value: &T) -> String {
+    serde_json::to_string(value).unwrap_or_else(|e| {
+        // Degrade to a properly encoded Error response — never hand-built JSON, so the
+        // line stays parseable whatever the failure message contains.
+        serde_json::to_string(&Response::Error {
+            message: format!("response encoding failed: {e}"),
+        })
+        .unwrap_or_else(|_| r#"{"Error":{"message":"response encoding failed"}}"#.to_string())
+    })
+}
+
+/// Decode one NDJSON line into a protocol value.
+pub fn decode_line<T: Deserialize>(line: &str) -> Result<T, String> {
+    serde_json::from_str(line).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let requests = vec![
+            Request::Synthesize {
+                queries: vec!["SELECT a FROM t".into()],
+                iterations: 100,
+                deadline_millis: 500,
+                seed: 42,
+            },
+            Request::Refine {
+                session: 3,
+                iterations: 50,
+                deadline_millis: 100,
+            },
+            Request::Interact {
+                session: 3,
+                action: WidgetAction::Select {
+                    path: vec![0, 1],
+                    pick: 2,
+                },
+            },
+            Request::Interact {
+                session: 3,
+                action: WidgetAction::Jump {
+                    query: "SELECT a FROM t".into(),
+                },
+            },
+            Request::Stats,
+            Request::Close { session: 3 },
+            Request::Shutdown,
+        ];
+        for request in requests {
+            let line = encode_line(&request);
+            assert!(!line.contains('\n'), "NDJSON lines must be single-line");
+            let back: Request = serde_json::from_str(&line).expect("round trip");
+            assert_eq!(back, request);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let response = Response::Refined {
+            session: 9,
+            best: BestReport {
+                reward: -12.5,
+                cost_total: 12.5,
+                iterations: 300,
+                evaluations: 900,
+                tree_nodes: 250,
+                exhausted: false,
+            },
+            improved: true,
+            interface: sample_interface(),
+        };
+        let line = encode_line(&response);
+        let back: Response = serde_json::from_str(&line).expect("round trip");
+        assert_eq!(back, response);
+    }
+
+    fn sample_interface() -> InterfaceDescription {
+        use mctsui_core::{GeneratorConfig, InterfaceGenerator};
+        use mctsui_sql::parse_query;
+        use mctsui_widgets::Screen;
+        let queries = vec![
+            parse_query("SELECT Sales FROM sales WHERE cty = 'USA'").unwrap(),
+            parse_query("SELECT Costs FROM sales").unwrap(),
+        ];
+        let interface =
+            InterfaceGenerator::new(queries, GeneratorConfig::quick(Screen::wide())).generate();
+        InterfaceDescription::of(&interface)
+    }
+}

@@ -1,0 +1,154 @@
+//! The TCP front end: accept connections, speak the NDJSON protocol, dispatch to a
+//! [`ServeEngine`].
+//!
+//! One thread per connection (requests within a connection are handled in order; separate
+//! connections are concurrent — the engine's scheduler interleaves their search work). A
+//! `Shutdown` request flips the engine's shutdown flag, which the accept loop observes; a
+//! loopback wake-up connection unblocks the blocking `accept` so the server exits promptly.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+
+use mctsui_sql::parse_query;
+
+use crate::engine::{ServeEngine, ServeError, SynthesisResult};
+use crate::proto::{decode_line, encode_line, Request, Response};
+
+/// Bind `addr` and serve `engine` until a `Shutdown` request arrives. Returns the bound
+/// address through `on_bound` (useful with port 0) before blocking in the accept loop.
+pub fn serve(
+    engine: Arc<ServeEngine>,
+    addr: &str,
+    mut on_bound: impl FnMut(SocketAddr),
+) -> std::io::Result<()> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    on_bound(local);
+    serve_on(engine, listener)
+}
+
+/// Serve an already-bound listener until a `Shutdown` request arrives.
+pub fn serve_on(engine: Arc<ServeEngine>, listener: TcpListener) -> std::io::Result<()> {
+    let local = listener.local_addr()?;
+    for stream in listener.incoming() {
+        if engine.is_shutdown() {
+            break;
+        }
+        let stream = match stream {
+            Ok(stream) => stream,
+            Err(_) => continue,
+        };
+        let engine = Arc::clone(&engine);
+        std::thread::spawn(move || {
+            let _ = handle_connection(&engine, local, stream);
+        });
+    }
+    engine.join_workers();
+    Ok(())
+}
+
+/// Serve one connection: read request lines, write response lines.
+fn handle_connection(
+    engine: &ServeEngine,
+    local: SocketAddr,
+    stream: TcpStream,
+) -> std::io::Result<()> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = dispatch(engine, &line);
+        let shutting_down = matches!(response, Response::ShuttingDown);
+        writer.write_all(encode_line(&response).as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if shutting_down {
+            engine.begin_shutdown();
+            // Unblock the accept loop so the server notices the flag immediately. Connect
+            // via loopback explicitly: wildcard binds (0.0.0.0 / ::) are not connectable
+            // addresses on every platform.
+            let _ = TcpStream::connect(("127.0.0.1", local.port()));
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Decode one request line, execute it against the engine, encode the response.
+pub fn dispatch(engine: &ServeEngine, line: &str) -> Response {
+    let request: Request = match decode_line(line) {
+        Ok(request) => request,
+        Err(message) => {
+            return Response::Error {
+                message: format!("bad request: {message}"),
+            }
+        }
+    };
+    match request {
+        Request::Synthesize {
+            queries,
+            iterations,
+            deadline_millis,
+            seed,
+        } => {
+            let mut parsed = Vec::with_capacity(queries.len());
+            for sql in &queries {
+                match parse_query(sql) {
+                    Ok(ast) => parsed.push(ast),
+                    Err(e) => {
+                        return error_response(ServeError::BadQuery(format!("{sql}: {e}")));
+                    }
+                }
+            }
+            match engine.synthesize(parsed, iterations, deadline_millis, seed) {
+                Ok(result) => synthesized(result),
+                Err(e) => error_response(e),
+            }
+        }
+        Request::Refine {
+            session,
+            iterations,
+            deadline_millis,
+        } => match engine.refine(session, iterations, deadline_millis) {
+            Ok(result) => refined(result),
+            Err(e) => error_response(e),
+        },
+        Request::Interact { session, action } => match engine.interact(session, &action) {
+            Ok(sql) => Response::Interacted { session, sql },
+            Err(e) => error_response(e),
+        },
+        Request::Stats => Response::Stats(engine.stats()),
+        Request::Close { session } => match engine.close_session(session) {
+            Ok(()) => Response::Closed { session },
+            Err(e) => error_response(e),
+        },
+        Request::Shutdown => Response::ShuttingDown,
+    }
+}
+
+fn synthesized(result: SynthesisResult) -> Response {
+    Response::Synthesized {
+        session: result.session,
+        best: result.best,
+        interface: result.interface,
+    }
+}
+
+fn refined(result: SynthesisResult) -> Response {
+    Response::Refined {
+        session: result.session,
+        best: result.best,
+        improved: result.improved,
+        interface: result.interface,
+    }
+}
+
+fn error_response(error: ServeError) -> Response {
+    Response::Error {
+        message: error.to_string(),
+    }
+}

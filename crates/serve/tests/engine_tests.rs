@@ -1,0 +1,293 @@
+//! Engine-level tests of the serving subsystem: session isolation, scheduler fairness,
+//! refine monotonicity, admission control, and shared-cache accounting.
+
+use std::sync::Arc;
+
+use mctsui_serve::{ServeConfig, ServeEngine, ServeError, WidgetAction};
+use mctsui_sql::{parse_query, Ast};
+
+fn figure1_queries() -> Vec<Ast> {
+    vec![
+        parse_query("SELECT Sales FROM sales WHERE cty = 'USA'").unwrap(),
+        parse_query("SELECT Costs FROM sales WHERE cty = 'EUR'").unwrap(),
+        parse_query("SELECT Costs FROM sales").unwrap(),
+    ]
+}
+
+fn quick_engine(threads: usize) -> Arc<ServeEngine> {
+    ServeEngine::start(ServeConfig::quick().with_threads(threads))
+}
+
+#[test]
+fn synthesize_then_refine_is_monotone_and_counts_iterations() {
+    let engine = quick_engine(2);
+    let opened = engine
+        .synthesize(figure1_queries(), 40, 10_000, 7)
+        .expect("synthesize");
+    assert_eq!(opened.best.iterations, 40);
+    assert!(opened.best.reward.is_finite());
+    assert!(opened.interface.widget_count >= 1);
+
+    let mut last = opened.best.reward;
+    let mut expected_iterations = 40u64;
+    for _ in 0..4 {
+        let refined = engine.refine(opened.session, 25, 10_000).expect("refine");
+        expected_iterations += 25;
+        assert_eq!(refined.best.iterations, expected_iterations);
+        assert!(
+            refined.best.reward >= last,
+            "refine decreased best reward: {last} -> {}",
+            refined.best.reward
+        );
+        assert_eq!(refined.improved, refined.best.reward > last);
+        last = refined.best.reward;
+    }
+}
+
+#[test]
+fn interleaved_sessions_match_a_sequential_session_bitwise() {
+    // Two sessions with the same log and seed, refined in interleaved slices on a shared
+    // engine, must both produce exactly what one session produces when run alone — shared
+    // caches and scheduling must not leak between sessions.
+    let reference = {
+        let engine = quick_engine(1);
+        let opened = engine
+            .synthesize(figure1_queries(), 30, 10_000, 11)
+            .unwrap();
+        let mut result = None;
+        for _ in 0..3 {
+            result = Some(engine.refine(opened.session, 30, 10_000).unwrap());
+        }
+        result.unwrap()
+    };
+
+    let engine = quick_engine(2);
+    let a = engine
+        .synthesize(figure1_queries(), 30, 10_000, 11)
+        .unwrap();
+    let b = engine
+        .synthesize(figure1_queries(), 30, 10_000, 11)
+        .unwrap();
+    assert_ne!(a.session, b.session);
+    let (mut last_a, mut last_b) = (None, None);
+    for _ in 0..3 {
+        last_a = Some(engine.refine(a.session, 30, 10_000).unwrap());
+        last_b = Some(engine.refine(b.session, 30, 10_000).unwrap());
+    }
+    let last_a = last_a.unwrap();
+    let last_b = last_b.unwrap();
+
+    for (name, result) in [("interleaved A", &last_a), ("interleaved B", &last_b)] {
+        assert_eq!(
+            result.best.reward.to_bits(),
+            reference.best.reward.to_bits(),
+            "{name} diverged from the solo session"
+        );
+        assert_eq!(result.best.iterations, reference.best.iterations);
+        assert_eq!(result.best.evaluations, reference.best.evaluations);
+        assert_eq!(result.best.tree_nodes, reference.best.tree_nodes);
+        assert_eq!(result.interface, reference.interface);
+    }
+}
+
+#[test]
+fn concurrent_sessions_all_complete_without_starvation() {
+    // One worker thread, eight sessions refining concurrently: the round-robin scheduler
+    // must advance them all to their full request budgets.
+    let engine = quick_engine(1);
+    let sessions: Vec<u64> = (0..8)
+        .map(|i| {
+            engine
+                .synthesize(figure1_queries(), 10, 30_000, 100 + i)
+                .expect("synthesize")
+                .session
+        })
+        .collect();
+
+    let results: Vec<(u64, u64)> = std::thread::scope(|scope| {
+        let engine = &engine;
+        let handles: Vec<_> = sessions
+            .iter()
+            .map(|&session| {
+                scope.spawn(move || {
+                    let result = engine.refine(session, 80, 30_000).expect("refine");
+                    (session, result.best.iterations)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for (session, iterations) in results {
+        assert_eq!(
+            iterations, 90,
+            "session {session} did not reach its full budget (starved?)"
+        );
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.sessions, 8);
+    assert_eq!(stats.total_iterations, 8 * 90);
+    // Eight 80-iteration requests through a 16-iteration quantum: time-slicing must have
+    // split each request into several slices.
+    assert!(
+        stats.total_slices >= 8 * 5,
+        "expected round-robin slicing, got {} slices",
+        stats.total_slices
+    );
+}
+
+#[test]
+fn admission_control_rejects_over_capacity_sessions() {
+    let engine = ServeEngine::start(ServeConfig::quick().with_threads(1).with_max_sessions(2));
+    let a = engine.synthesize(figure1_queries(), 5, 5_000, 1).unwrap();
+    let _b = engine.synthesize(figure1_queries(), 5, 5_000, 2).unwrap();
+    assert_eq!(
+        engine
+            .synthesize(figure1_queries(), 5, 5_000, 3)
+            .unwrap_err(),
+        ServeError::Busy
+    );
+    // Closing a session frees capacity.
+    engine.close_session(a.session).unwrap();
+    assert!(engine.synthesize(figure1_queries(), 5, 5_000, 4).is_ok());
+}
+
+#[test]
+fn unknown_sessions_are_rejected() {
+    let engine = quick_engine(1);
+    assert_eq!(
+        engine.refine(999, 10, 1_000).unwrap_err(),
+        ServeError::UnknownSession(999)
+    );
+    assert!(matches!(
+        engine
+            .interact(
+                999,
+                &WidgetAction::Select {
+                    path: vec![],
+                    pick: 0
+                }
+            )
+            .unwrap_err(),
+        ServeError::UnknownSession(999)
+    ));
+    assert_eq!(
+        engine.close_session(999).unwrap_err(),
+        ServeError::UnknownSession(999)
+    );
+    assert_eq!(
+        engine.synthesize(Vec::new(), 10, 1_000, 1).unwrap_err(),
+        ServeError::NoQueries
+    );
+}
+
+#[test]
+fn interactions_drive_the_best_interface() {
+    let engine = quick_engine(2);
+    let opened = engine
+        .synthesize(figure1_queries(), 60, 10_000, 7)
+        .expect("synthesize");
+    let choice = opened
+        .interface
+        .choices
+        .first()
+        .expect("generated interface has widgets")
+        .clone();
+
+    let path = choice.path.0.clone();
+    let action = match choice.choice_kind {
+        mctsui_difftree::DiffKind::Opt => WidgetAction::Toggle {
+            path,
+            included: false,
+        },
+        mctsui_difftree::DiffKind::Multi => WidgetAction::Repeat { path, count: 1 },
+        _ => WidgetAction::Select { path, pick: 0 },
+    };
+    let sql = engine.interact(opened.session, &action).expect("interact");
+    assert!(
+        sql.to_uppercase().contains("SELECT"),
+        "re-derived SQL looks wrong: {sql}"
+    );
+
+    // A jump to a log query re-derives exactly that query.
+    let target = "SELECT Costs FROM sales";
+    let sql = engine
+        .interact(
+            opened.session,
+            &WidgetAction::Jump {
+                query: target.to_string(),
+            },
+        )
+        .expect("jump");
+    assert_eq!(sql.to_uppercase(), target.to_uppercase());
+
+    // Out-of-range interactions fail cleanly without killing the session.
+    assert!(matches!(
+        engine
+            .interact(
+                opened.session,
+                &WidgetAction::Select {
+                    path: vec![9, 9, 9],
+                    pick: 0
+                }
+            )
+            .unwrap_err(),
+        ServeError::Interaction(_)
+    ));
+    assert!(engine.refine(opened.session, 5, 5_000).is_ok());
+}
+
+#[test]
+fn sessions_over_the_same_log_share_one_problem_cache() {
+    let engine = quick_engine(1);
+    let a = engine.synthesize(figure1_queries(), 20, 10_000, 1).unwrap();
+    let stats_after_a = engine.stats();
+    let b = engine.synthesize(figure1_queries(), 20, 10_000, 2).unwrap();
+    let stats_after_b = engine.stats();
+    assert_ne!(a.session, b.session);
+
+    // The second session over the same log reuses the first's plan cache: its prologue
+    // evaluates the shared initial state, which the first session already compiled, so
+    // plan-cache hits must grow during session B's run.
+    assert!(
+        stats_after_b.context_cache.plans.hits > stats_after_a.context_cache.plans.hits,
+        "second session produced no plan-cache hits"
+    );
+    // The global action index is shared regardless of log.
+    assert!(stats_after_b.action_index.hits > 0);
+}
+
+#[test]
+fn stats_report_engine_wide_counters() {
+    let engine = quick_engine(2);
+    let opened = engine.synthesize(figure1_queries(), 15, 10_000, 3).unwrap();
+    engine.refine(opened.session, 15, 10_000).unwrap();
+    let stats = engine.stats();
+    assert_eq!(stats.sessions, 1);
+    assert_eq!(stats.peak_sessions, 1);
+    assert_eq!(stats.total_requests, 2);
+    assert_eq!(stats.total_iterations, 30);
+    assert!(stats.total_slices >= 2);
+    assert_eq!(stats.threads, 2);
+    assert!(stats.context_cache.contexts.insertions > 0);
+    assert!(stats.action_index.insertions > 0);
+}
+
+#[test]
+fn shutdown_rejects_new_work_and_joins_workers() {
+    let engine = quick_engine(2);
+    let opened = engine.synthesize(figure1_queries(), 10, 5_000, 1).unwrap();
+    engine.begin_shutdown();
+    assert!(engine.is_shutdown());
+    assert_eq!(
+        engine
+            .synthesize(figure1_queries(), 10, 5_000, 1)
+            .unwrap_err(),
+        ServeError::ShuttingDown
+    );
+    assert_eq!(
+        engine.refine(opened.session, 10, 5_000).unwrap_err(),
+        ServeError::ShuttingDown
+    );
+    engine.join_workers();
+}

@@ -1,0 +1,134 @@
+//! Full-stack wire tests: a real TCP server on an ephemeral loopback port, driven by the
+//! scripted NDJSON client — the same path the CI smoke job exercises.
+
+use std::net::TcpListener;
+use std::sync::Arc;
+
+use mctsui_serve::{
+    run_concurrent_sessions, run_scripted_session, Client, Request, Response, ScriptConfig,
+    ServeConfig, ServeEngine,
+};
+
+fn demo_queries() -> Vec<String> {
+    vec![
+        "SELECT Sales FROM sales WHERE cty = 'USA'".to_string(),
+        "SELECT Costs FROM sales WHERE cty = 'EUR'".to_string(),
+        "SELECT Costs FROM sales".to_string(),
+    ]
+}
+
+/// Bind an ephemeral loopback port and serve a quick engine on a background thread.
+fn start_server(threads: usize) -> (Arc<ServeEngine>, String, std::thread::JoinHandle<()>) {
+    let engine = ServeEngine::start(ServeConfig::quick().with_threads(threads));
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let server_engine = Arc::clone(&engine);
+    let handle = std::thread::spawn(move || {
+        mctsui_serve::serve_on(server_engine, listener).expect("server failed");
+    });
+    (engine, addr, handle)
+}
+
+#[test]
+fn scripted_session_round_trips_over_tcp() {
+    let (_engine, addr, server) = start_server(2);
+
+    let script = ScriptConfig {
+        iterations: 40,
+        refines: 2,
+        deadline_millis: 10_000,
+        seed: 7,
+    };
+    let report = run_scripted_session(&addr, &demo_queries(), &script).expect("scripted session");
+    assert_eq!(report.refined.len(), 2);
+    assert!(report.final_reward() >= report.initial.reward);
+    assert!(report.interact_sql.is_some(), "no widget to interact with");
+    assert_eq!(report.latencies_millis.len(), 3);
+
+    // Stats and shutdown over the same protocol.
+    let mut client = Client::connect(&addr).expect("connect");
+    match client.call(&Request::Stats).expect("stats") {
+        Response::Stats(stats) => {
+            assert_eq!(stats.sessions, 0, "scripted session should have closed");
+            assert!(stats.total_iterations >= 3 * 40);
+        }
+        other => panic!("expected Stats, got {other:?}"),
+    }
+    match client.call(&Request::Shutdown).expect("shutdown") {
+        Response::ShuttingDown => {}
+        other => panic!("expected ShuttingDown, got {other:?}"),
+    }
+    server.join().expect("server thread");
+}
+
+#[test]
+fn eight_concurrent_scripted_sessions_succeed() {
+    // The acceptance criterion of the serving PR: ≥ 8 concurrent scripted sessions, every
+    // refine monotone (the client errors out on any violation).
+    let (_engine, addr, server) = start_server(2);
+
+    let script = ScriptConfig {
+        iterations: 30,
+        refines: 2,
+        deadline_millis: 20_000,
+        seed: 1,
+    };
+    let reports =
+        run_concurrent_sessions(&addr, &demo_queries(), &script, 8).expect("concurrent sessions");
+    assert_eq!(reports.len(), 8);
+    let mut ids: Vec<u64> = reports.iter().map(|r| r.session).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), 8, "sessions must be distinct");
+    for report in &reports {
+        assert_eq!(report.initial.iterations, 30);
+        assert_eq!(report.refined.last().unwrap().iterations, 90);
+    }
+
+    let mut client = Client::connect(&addr).expect("connect");
+    client.call(&Request::Shutdown).expect("shutdown");
+    server.join().expect("server thread");
+}
+
+#[test]
+fn malformed_and_unknown_requests_get_error_responses() {
+    let (_engine, addr, server) = start_server(1);
+
+    let mut client = Client::connect(&addr).expect("connect");
+    // A malformed line keeps the connection usable.
+    use std::io::{BufRead, BufReader, Write};
+    let mut raw = std::net::TcpStream::connect(&addr).expect("connect raw");
+    raw.write_all(b"this is not json\n").expect("write");
+    raw.flush().expect("flush");
+    let mut reader = BufReader::new(raw.try_clone().expect("clone"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read");
+    assert!(
+        line.contains("Error"),
+        "expected Error response, got {line}"
+    );
+
+    // Unknown session over the protocol.
+    let err = client
+        .call(&Request::Refine {
+            session: 424_242,
+            iterations: 5,
+            deadline_millis: 100,
+        })
+        .expect_err("refining an unknown session must fail");
+    assert!(err.to_string().contains("unknown session"));
+
+    // An unparseable query in synthesize.
+    let err = client
+        .call(&Request::Synthesize {
+            queries: vec!["SELECT FROM FROM".into()],
+            iterations: 5,
+            deadline_millis: 100,
+            seed: 1,
+        })
+        .expect_err("bad SQL must fail");
+    assert!(err.to_string().contains("bad query"));
+
+    client.call(&Request::Shutdown).expect("shutdown");
+    server.join().expect("server thread");
+}

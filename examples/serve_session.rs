@@ -1,0 +1,121 @@
+//! Serving walkthrough: start the synthesis server in-process on an ephemeral loopback
+//! port, then drive one full session over the NDJSON wire protocol — synthesize the SDSS
+//! Listing 1 log, refine the session twice (the warm search tree keeps improving), drive a
+//! widget of the generated interface, read engine stats, and shut the server down.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example serve_session
+//! ```
+
+use std::net::TcpListener;
+use std::sync::Arc;
+
+use mctsui::serve::{serve_on, Client, Request, Response, ServeConfig, ServeEngine, WidgetAction};
+use mctsui::workload::sdss_listing1_sql;
+
+fn main() {
+    // 1. Start the engine (2 scheduler workers) and the TCP front end on port 0.
+    let engine = ServeEngine::start(ServeConfig::default().with_threads(2));
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let server_engine = Arc::clone(&engine);
+    let server = std::thread::spawn(move || serve_on(server_engine, listener));
+    println!("server listening on {addr}");
+
+    let mut client = Client::connect(&addr).expect("connect");
+
+    // 2. Synthesize: open a session for the paper's Listing 1 log.
+    let response = client
+        .call(&Request::Synthesize {
+            queries: sdss_listing1_sql(),
+            iterations: 300,
+            deadline_millis: 10_000,
+            seed: 42,
+        })
+        .expect("synthesize");
+    let (session, mut reward, interface) = match response {
+        Response::Synthesized {
+            session,
+            best,
+            interface,
+        } => {
+            println!(
+                "\nsession {session}: {} widgets, cost {:.2} after {} iterations",
+                interface.widget_count, best.cost_total, best.iterations
+            );
+            (session, best.reward, interface)
+        }
+        other => panic!("unexpected response: {other:?}"),
+    };
+
+    // 3. Refine: the session's search tree is warm — each request continues where the
+    // previous one paused, so the best reward never decreases.
+    let mut interface = interface;
+    for round in 1..=2 {
+        let response = client
+            .call(&Request::Refine {
+                session,
+                iterations: 300,
+                deadline_millis: 10_000,
+            })
+            .expect("refine");
+        match response {
+            Response::Refined {
+                best,
+                improved,
+                interface: refined,
+                ..
+            } => {
+                println!(
+                    "refine {round}: reward {:.3} -> {:.3} ({}), {} tree nodes",
+                    reward,
+                    best.reward,
+                    if improved { "improved" } else { "held" },
+                    best.tree_nodes
+                );
+                assert!(best.reward >= reward, "anytime contract violated");
+                reward = best.reward;
+                interface = refined;
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+
+    // 4. Interact: drive the first widget of the final interface and show the re-derived
+    // SQL the visualization panel would execute.
+    if let Some(choice) = interface.choices.first() {
+        println!(
+            "\ninteracting with the {} widget at {:?} ({} options)",
+            choice.widget, choice.path.0, choice.cardinality
+        );
+        let action = WidgetAction::Select {
+            path: choice.path.0.clone(),
+            pick: choice.cardinality.saturating_sub(1),
+        };
+        match client.call(&Request::Interact { session, action }) {
+            Ok(Response::Interacted { sql, .. }) => println!("re-derived SQL: {sql}"),
+            Ok(other) => panic!("unexpected response: {other:?}"),
+            // Opt/Multi widgets want a different action; keep the example resilient.
+            Err(e) => println!("interaction skipped: {e}"),
+        }
+    }
+
+    // 5. Stats, then shutdown.
+    if let Response::Stats(stats) = client.call(&Request::Stats).expect("stats") {
+        println!(
+            "\nengine stats: {} session(s), {} iterations in {} slices, \
+             plan cache {:.0}% hits, action index {:.0}% hits",
+            stats.sessions,
+            stats.total_iterations,
+            stats.total_slices,
+            stats.context_cache.plans.hit_ratio() * 100.0,
+            stats.action_index.hit_ratio() * 100.0,
+        );
+    }
+    client.call(&Request::Close { session }).expect("close");
+    client.call(&Request::Shutdown).expect("shutdown");
+    server.join().expect("server thread").expect("server io");
+    println!("\nserver stopped cleanly");
+}

@@ -1,13 +1,16 @@
 //! `mctsui` command-line interface: generate an interactive data-analysis interface from a
-//! SQL query log.
+//! SQL query log — one-shot, or as a long-running multi-session service.
 //!
 //! ```text
-//! mctsui [OPTIONS] [QUERY_FILE]
+//! mctsui [OPTIONS] [QUERY_FILE]          one-shot generation (default)
+//! mctsui serve [OPTIONS]                 run the NDJSON-over-TCP synthesis server
+//! mctsui client [OPTIONS] [QUERY_FILE]   drive scripted sessions against a server
 //!
-//! Reads one SQL query per line (or `;`-separated statements) from QUERY_FILE, or from stdin
-//! when no file is given. Lines starting with `--` or `#` are ignored.
+//! One-shot mode reads one SQL query per line (or `;`-separated statements) from
+//! QUERY_FILE, or from stdin when no file is given. Lines starting with `--` or `#` are
+//! ignored.
 //!
-//! OPTIONS:
+//! ONE-SHOT OPTIONS:
 //!   --screen <wide|narrow|WxH>   target screen (default: wide = 1200x800)
 //!   --seconds <n>                MCTS wall-clock budget in seconds (default: 10)
 //!   --iterations <n>             MCTS iteration cap (default: 4000)
@@ -15,21 +18,41 @@
 //!   --threads <n>                MCTS worker threads (default: 1 = sequential)
 //!   --parallel <tree|root>       worker topology for --threads > 1 (default: tree)
 //!   --seed <n>                   RNG seed (default: 42)
-//!   --format <ascii|html|json>   output format (default: ascii)
+//!   --format <ascii|html|json>   output format (default: ascii; json = full description)
 //!   --out <path>                 write the rendered interface to a file instead of stdout
 //!   --demo                       use the paper's SDSS Listing 1 log instead of reading input
 //!   --help                       show this help
+//!
+//! SERVE OPTIONS:
+//!   --addr <host:port>           bind address (default: 127.0.0.1:7878)
+//!   --threads <n>                scheduler worker threads (default: cpu count)
+//!   --slice <n>                  scheduler quantum in iterations (default: 64)
+//!   --max-sessions <n>           admission cap on live sessions (default: 256)
+//!   --screen <wide|narrow|WxH>   target screen of generated interfaces
+//!
+//! CLIENT OPTIONS:
+//!   --addr <host:port>           server address (default: 127.0.0.1:7878)
+//!   --sessions <n>               concurrent scripted sessions (default: 1)
+//!   --iterations <n>             iterations per request (default: 120)
+//!   --refines <n>                refine rounds per session (default: 2)
+//!   --deadline-millis <n>        per-request deadline (default: 10000)
+//!   --seed <n>                   base session seed (default: 42)
+//!   --demo                       use the SDSS Listing 1 log
+//!   --shutdown                   send Shutdown after the sessions finish
 //! ```
 
 use std::io::Read;
 use std::process::ExitCode;
 
-use mctsui::core::{GeneratorConfig, InterfaceGenerator, SearchStrategy};
+use mctsui::core::{GeneratorConfig, InterfaceDescription, InterfaceGenerator, SearchStrategy};
 use mctsui::mcts::{Budget, ParallelMode};
 use mctsui::render::{render_ascii, render_html};
+use mctsui::serve::{
+    run_concurrent_sessions, Client, Request, Response, ScriptConfig, ServeConfig, ServeEngine,
+};
 use mctsui::sql::{parse_query, print_query, Ast};
 use mctsui::widgets::Screen;
-use mctsui::workload::sdss_listing1;
+use mctsui::workload::{sdss_listing1, sdss_listing1_sql};
 
 /// Parsed command-line options.
 struct Options {
@@ -72,7 +95,179 @@ impl Default for Options {
 }
 
 fn main() -> ExitCode {
-    let options = match parse_args(std::env::args().skip(1).collect()) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => return serve_main(args[1..].to_vec()),
+        Some("client") => return client_main(args[1..].to_vec()),
+        _ => {}
+    }
+    one_shot_main(args)
+}
+
+/// `mctsui serve`: run the NDJSON synthesis server until a `Shutdown` request arrives.
+fn serve_main(args: Vec<String>) -> ExitCode {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut config = ServeConfig::default();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--addr" => match iter.next() {
+                Some(value) => addr = value,
+                None => return usage_error("--addr needs a value"),
+            },
+            "--threads" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => config = config.with_threads(n),
+                None => return usage_error("--threads needs a number"),
+            },
+            "--slice" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => config = config.with_slice_iterations(n),
+                None => return usage_error("--slice needs a number"),
+            },
+            "--max-sessions" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => config = config.with_max_sessions(n),
+                None => return usage_error("--max-sessions needs a number"),
+            },
+            "--screen" => match iter.next().as_deref().map(parse_screen) {
+                Some(Ok(screen)) => config.screen = screen,
+                _ => return usage_error("--screen needs wide, narrow or WxH"),
+            },
+            other => return usage_error(&format!("unknown serve option `{other}`")),
+        }
+    }
+
+    let engine = ServeEngine::start(config);
+    eprintln!(
+        "mctsui serve: {} scheduler threads, slice {} iterations, up to {} sessions",
+        engine.config().threads,
+        engine.config().slice_iterations,
+        engine.config().max_sessions
+    );
+    let result = mctsui::serve::serve(engine, &addr, |bound| {
+        eprintln!("listening on {bound} (NDJSON protocol; send \"Shutdown\" to stop)");
+    });
+    match result {
+        Ok(()) => {
+            eprintln!("server stopped");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `mctsui client`: drive scripted synthesize → refine → interact → close sessions against
+/// a running server, verifying the anytime contract (refines never lose ground). Exits
+/// non-zero on any violation — this is the CI smoke driver.
+fn client_main(args: Vec<String>) -> ExitCode {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut sessions = 1usize;
+    let mut script = ScriptConfig::default();
+    let mut demo = false;
+    let mut shutdown = false;
+    let mut query_file: Option<String> = None;
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--addr" => match iter.next() {
+                Some(value) => addr = value,
+                None => return usage_error("--addr needs a value"),
+            },
+            "--sessions" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => sessions = n.max(1),
+                None => return usage_error("--sessions needs a number"),
+            },
+            "--iterations" => match iter.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) => script.iterations = n,
+                None => return usage_error("--iterations needs a number"),
+            },
+            "--refines" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => script.refines = n,
+                None => return usage_error("--refines needs a number"),
+            },
+            "--deadline-millis" => match iter.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) => script.deadline_millis = n,
+                None => return usage_error("--deadline-millis needs a number"),
+            },
+            "--seed" => match iter.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) => script.seed = n,
+                None => return usage_error("--seed needs a number"),
+            },
+            "--demo" => demo = true,
+            "--shutdown" => shutdown = true,
+            other if other.starts_with("--") => {
+                return usage_error(&format!("unknown client option `{other}`"))
+            }
+            other => query_file = Some(other.to_string()),
+        }
+    }
+
+    let queries: Vec<String> = if demo {
+        sdss_listing1_sql()
+    } else if let Some(path) = query_file {
+        match std::fs::read_to_string(&path) {
+            Ok(text) => split_statements(&text).map(str::to_string).collect(),
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        eprintln!("error: client needs --demo or a QUERY_FILE");
+        return ExitCode::FAILURE;
+    };
+
+    eprintln!(
+        "driving {sessions} scripted session(s) against {addr} ({} queries, {} iterations x {} refines)",
+        queries.len(),
+        script.iterations,
+        script.refines
+    );
+    let outcome = run_concurrent_sessions(&addr, &queries, &script, sessions);
+    let reports = match outcome {
+        Ok(reports) => reports,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for report in &reports {
+        eprintln!(
+            "session {}: reward {:.3} -> {:.3} over {} request(s), interact: {}",
+            report.session,
+            report.initial.reward,
+            report.final_reward(),
+            report.latencies_millis.len(),
+            report.interact_sql.as_deref().unwrap_or("(no widgets)")
+        );
+    }
+
+    if shutdown {
+        match Client::connect(&addr).and_then(|mut c| c.call(&Request::Shutdown)) {
+            Ok(Response::ShuttingDown) => eprintln!("server shutdown requested"),
+            Ok(other) => {
+                eprintln!("error: unexpected shutdown response {other:?}");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("error: {message}");
+    eprintln!("run `mctsui --help` for usage");
+    ExitCode::FAILURE
+}
+
+/// The original one-shot generation mode.
+fn one_shot_main(args: Vec<String>) -> ExitCode {
+    let options = match parse_args(args) {
         Ok(Some(options)) => options,
         Ok(None) => return ExitCode::SUCCESS, // --help
         Err(message) => {
@@ -127,7 +322,9 @@ fn main() -> ExitCode {
     let rendered = match options.format {
         Format::Ascii => render_ascii(&interface.widget_tree),
         Format::Html => render_html(&interface.widget_tree, "mctsui generated interface"),
-        Format::Json => match serde_json::to_string_pretty(&interface.widget_tree) {
+        // The JSON output is the shared wire encoding: widget tree + choice domains + cost,
+        // exactly what `mctsui serve` responses carry.
+        Format::Json => match serde_json::to_string_pretty(&InterfaceDescription::of(&interface)) {
             Ok(json) => json,
             Err(e) => {
                 eprintln!("error: failed to serialise interface: {e}");
@@ -269,23 +466,28 @@ fn load_queries(options: &Options) -> Result<Vec<Ast>, String> {
 
 /// Split a text into statements (one per line or `;`-separated) and parse each.
 fn parse_query_log(text: &str) -> Result<Vec<Ast>, String> {
-    let mut queries = Vec::new();
-    for raw in text.split([';', '\n']) {
-        let statement = raw.trim();
-        if statement.is_empty() || statement.starts_with("--") || statement.starts_with('#') {
-            continue;
-        }
-        let ast =
-            parse_query(statement).map_err(|e| format!("failed to parse `{statement}`: {e}"))?;
-        queries.push(ast);
-    }
-    Ok(queries)
+    split_statements(text)
+        .map(|statement| {
+            parse_query(statement).map_err(|e| format!("failed to parse `{statement}`: {e}"))
+        })
+        .collect()
+}
+
+/// Split a query-log text into statements: one per line or `;`-separated, comment lines
+/// (`--`, `#`) and blanks dropped. Shared by one-shot mode and the client subcommand so
+/// both accept exactly the same log files.
+fn split_statements(text: &str) -> impl Iterator<Item = &str> {
+    text.split([';', '\n'])
+        .map(str::trim)
+        .filter(|s| !s.is_empty() && !s.starts_with("--") && !s.starts_with('#'))
 }
 
 fn usage() -> String {
     "mctsui — generate an interactive data-analysis interface from a SQL query log\n\
      \n\
-     USAGE: mctsui [OPTIONS] [QUERY_FILE]\n\
+     USAGE: mctsui [OPTIONS] [QUERY_FILE]          one-shot generation\n\
+     \u{20}       mctsui serve [OPTIONS]                 run the synthesis server (see module docs)\n\
+     \u{20}       mctsui client [OPTIONS] [QUERY_FILE]   drive scripted sessions against a server\n\
      \n\
      Reads one SQL query per line (or `;`-separated) from QUERY_FILE or stdin.\n\
      Lines starting with `--` or `#` are ignored.\n\

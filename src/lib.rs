@@ -20,6 +20,7 @@
 //! | [`workload`] | `mctsui-workload` | The SDSS Listing 1 log and synthetic log generators |
 //! | [`render`] | `mctsui-render` | ASCII and HTML renderers for generated interfaces |
 //! | [`core`] | `mctsui-core` | The [`InterfaceGenerator`](core::InterfaceGenerator) API |
+//! | [`serve`] | `mctsui-serve` | Multi-session anytime synthesis service (NDJSON over TCP) |
 //!
 //! ## Quickstart
 //!
@@ -49,6 +50,7 @@ pub use mctsui_cost as cost;
 pub use mctsui_difftree as difftree;
 pub use mctsui_mcts as mcts;
 pub use mctsui_render as render;
+pub use mctsui_serve as serve;
 pub use mctsui_sql as sql;
 pub use mctsui_widgets as widgets;
 pub use mctsui_workload as workload;
