@@ -1,23 +1,24 @@
 //! `expfig`: regenerate the paper's figures and quantitative claims as terminal tables.
 //!
 //! ```text
-//! cargo run --release -p mctsui-bench --bin expfig -- [all|fig6|stats|convergence|strategies|baseline|hyper|scaling|evalbench|actionbench|searchbench|servebench] [iterations]
+//! cargo run --release -p mctsui-bench --bin expfig -- [all|fig6|stats|convergence|strategies|baseline|hyper|scaling|evalbench|actionbench|searchbench|servebench|shardbench] [iterations]
 //! ```
 //!
 //! The optional `iterations` argument sets the MCTS budget per run (default 800; the numbers
 //! recorded in `EXPERIMENTS.md` use the default). Output is deterministic for a fixed budget.
 //!
-//! `evalbench` / `actionbench` / `searchbench` / `servebench` additionally append their rows
-//! to `BENCH_eval.json` / `BENCH_actions.json` / `BENCH_search.json` / `BENCH_serve.json` in
-//! the working directory (JSON lines, encoded with the workspace serde shim — the same
-//! encoding the serve responses use); they are excluded from `all` because they write files.
+//! `evalbench` / `actionbench` / `searchbench` / `servebench` / `shardbench` additionally
+//! append their rows to `BENCH_eval.json` / `BENCH_actions.json` / `BENCH_search.json` /
+//! `BENCH_serve.json` / `BENCH_shard.json` in the working directory (JSON lines, encoded
+//! with the workspace serde shim — the same encoding the serve responses use); they are
+//! excluded from `all` because they write files.
 
 use serde::Serialize;
 
 use mctsui_bench::{
     action_throughput_report, baseline_report, convergence_report, eval_throughput_report,
     fig6_report, hyperparameter_report, scaling_report, search_scaling_report, search_space_report,
-    serve_load_report, strategy_report, EvalThroughputRow,
+    serve_load_report, shard_bench_report, strategy_report, EvalThroughputRow,
 };
 use mctsui_mcts::Budget;
 use mctsui_render::render_ascii;
@@ -66,6 +67,9 @@ fn main() {
     }
     if which == "servebench" {
         servebench(seed);
+    }
+    if which == "shardbench" {
+        shardbench(seed);
     }
 }
 
@@ -397,6 +401,85 @@ fn servebench(seed: u64) {
     }
 
     append_json_lines("BENCH_serve.json", &rows);
+}
+
+fn shardbench(seed: u64) {
+    header("IS9 — batched cross-session evaluation with the sharded co-scheduler");
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("host cores: {host_cpus}");
+    if host_cpus < 4 {
+        println!("(fewer than 4 cores: multi-worker rows are physically capped here — the");
+        println!(" batch=1 vs batch=16 comparison at fixed workers is the honest signal)");
+    }
+
+    // The grid isolates the knobs one at a time: batch width at fixed workers (what
+    // batching buys on one core), workers at fixed batch (what sharding lets the extra
+    // workers keep), and a replicated-session pair (seed stride 0: identical search
+    // streams over one log — the same-plan-heavy workload where cross-session
+    // coalescing batches hardest).
+    let grid: [(usize, usize, usize, u64); 8] = [
+        (2, 1, 1, 1),
+        (2, 1, 16, 1),
+        (8, 1, 1, 1),
+        (8, 1, 16, 1),
+        (8, 2, 16, 1),
+        (8, 4, 16, 1),
+        (8, 1, 1, 0),
+        (8, 1, 16, 0),
+    ];
+    let rows: Vec<_> = grid
+        .into_iter()
+        .map(|(sessions, threads, batch, stride)| {
+            shard_bench_report(sessions, threads, batch, 8, 80, 2, seed, stride)
+        })
+        .collect();
+
+    println!(
+        "{:<24} {:>9} {:>10} {:>8} {:>8} {:>9} {:>10} {:>7}",
+        "row", "req/s", "iters/s", "p50 ms", "p99 ms", "batches", "mean batch", "group%"
+    );
+    for row in &rows {
+        println!(
+            "{:<24} {:>9.2} {:>10.0} {:>8} {:>8} {:>9} {:>10.2} {:>6.0}%",
+            row.benchmark.trim_start_matches("serve_shard/"),
+            row.requests_per_sec,
+            row.iters_per_sec,
+            row.p50_millis,
+            row.p99_millis,
+            row.total_batches,
+            row.mean_batch,
+            row.batch_group_hit_ratio * 100.0
+        );
+    }
+    let find = |sessions: usize, threads: usize, batch: usize, stride: u64| {
+        rows.iter().find(|r| {
+            r.sessions == sessions
+                && r.engine_threads == threads
+                && r.batch == batch
+                && r.seed_stride == stride
+        })
+    };
+    if let (Some(seq), Some(batched)) = (find(8, 1, 1, 1), find(8, 1, 16, 1)) {
+        println!(
+            "\n8 distinct sessions on one worker: {:.2}x iterations/sec at batch=16 \
+             (mean batch {:.2})",
+            batched.iters_per_sec / seq.iters_per_sec.max(1e-9),
+            batched.mean_batch
+        );
+    }
+    if let (Some(seq), Some(batched)) = (find(8, 1, 1, 0), find(8, 1, 16, 0)) {
+        println!(
+            "8 replicated sessions on one worker: {:.2}x iterations/sec at batch=16 \
+             (mean batch {:.2}, group hits {:.0}%)",
+            batched.iters_per_sec / seq.iters_per_sec.max(1e-9),
+            batched.mean_batch,
+            batched.batch_group_hit_ratio * 100.0
+        );
+    }
+
+    append_json_lines("BENCH_shard.json", &rows);
 }
 
 fn scaling(seed: u64) {

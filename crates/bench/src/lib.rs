@@ -795,6 +795,7 @@ pub fn serve_load_report(
         refines,
         deadline_millis: 60_000,
         seed,
+        seed_stride: 1,
     };
     let started = std::time::Instant::now();
     let reports = run_concurrent_sessions(&addr, &sdss_listing1_sql(), &script, sessions)
@@ -846,12 +847,170 @@ pub fn serve_load_report(
     }
 }
 
+/// One row of the sharded co-scheduler benchmark (experiment IS9): the IS8 closed-loop
+/// load generator re-run across (sessions, workers, batch width) to isolate what batched
+/// cross-session leaf evaluation and sharded shared state buy. Batching counters from the
+/// engine's post-run stats prove which evaluation path produced each row.
+#[derive(Debug, Clone, Serialize)]
+pub struct ShardBenchRow {
+    /// Row label (`serve_shard/s{sessions}_t{threads}_b{batch}`).
+    pub benchmark: String,
+    /// Concurrent scripted sessions (each with its own TCP connection).
+    pub sessions: usize,
+    /// Scheduler worker threads of the engine.
+    pub engine_threads: usize,
+    /// Leaf-evaluation batch width of the engine (`1` = sequential evaluation).
+    pub batch: usize,
+    /// Shard count of the session table and the per-log caches.
+    pub shards: usize,
+    /// Search iterations requested per synthesize/refine request.
+    pub iterations_per_request: u64,
+    /// Search requests completed (sessions × (1 + refines)).
+    pub requests: usize,
+    /// Wall-clock time of the whole load run, in milliseconds.
+    pub elapsed_millis: u64,
+    /// Completed search requests per second.
+    pub requests_per_sec: f64,
+    /// Search iterations executed per second (the throughput the batch path amortizes).
+    pub iters_per_sec: f64,
+    /// Median request latency, milliseconds.
+    pub p50_millis: u64,
+    /// 99th-percentile request latency, milliseconds.
+    pub p99_millis: u64,
+    /// Search iterations the engine executed during the run.
+    pub total_iterations: u64,
+    /// Batched evaluation calls the engine issued.
+    pub total_batches: u64,
+    /// Mean leaves per batched evaluation call.
+    pub mean_batch: f64,
+    /// Largest single batched evaluation call.
+    pub max_batch: u64,
+    /// Fraction of batched units that rode an earlier unit's compiled plan.
+    pub batch_group_hit_ratio: f64,
+    /// Per-session seed increment of the load script (`0` = all sessions are replicas of
+    /// one search stream — the same-plan-heavy workload; `1` = every session distinct).
+    pub seed_stride: u64,
+    /// Hit ratio of the shared plan cache at the end of the run.
+    pub plan_cache_hit_ratio: f64,
+    /// Host core count (single-core hosts cap concurrency; recorded to keep rows honest).
+    pub host_cpus: usize,
+}
+
+/// Run one IS9 configuration: `sessions` concurrent scripted sessions over loopback TCP
+/// against a fresh engine with `engine_threads` workers, leaf batches of `batch`, and
+/// `shards`-way sharded shared state. Same scripted load as [`serve_load_report`]; the
+/// anytime contract is verified client-side and violations panic.
+#[allow(clippy::too_many_arguments)]
+pub fn shard_bench_report(
+    sessions: usize,
+    engine_threads: usize,
+    batch: usize,
+    shards: usize,
+    iterations: u64,
+    refines: usize,
+    seed: u64,
+    seed_stride: u64,
+) -> ShardBenchRow {
+    use mctsui_serve::{run_concurrent_sessions, ScriptConfig, ServeConfig, ServeEngine};
+
+    let engine = ServeEngine::start(
+        ServeConfig::default()
+            .with_threads(engine_threads)
+            .with_batch(batch)
+            .with_shards(shards)
+            .with_max_sessions(sessions.max(1) * 2),
+    );
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let server_engine = std::sync::Arc::clone(&engine);
+    let server = std::thread::spawn(move || mctsui_serve::serve_on(server_engine, listener));
+
+    // Cache-stats probe, as in `serve_load_report`: keeps the per-log caches alive so the
+    // post-run counters are observable.
+    let probe = engine
+        .synthesize(sdss_listing1(), 1, 10_000, 999)
+        .expect("probe session");
+
+    let script = ScriptConfig {
+        iterations,
+        refines,
+        deadline_millis: 60_000,
+        seed,
+        seed_stride,
+    };
+    let started = std::time::Instant::now();
+    let reports = run_concurrent_sessions(&addr, &sdss_listing1_sql(), &script, sessions)
+        .expect("load-test session failed");
+    let elapsed = started.elapsed();
+
+    let stats = engine.stats();
+    let _ = engine.close_session(probe.session);
+    engine.begin_shutdown();
+    let _ = std::net::TcpStream::connect(&addr);
+    let _ = server.join();
+
+    let mut latencies: Vec<u64> = reports
+        .iter()
+        .flat_map(|r| r.latencies_millis.iter().copied())
+        .collect();
+    latencies.sort_unstable();
+    let percentile = |p: f64| -> u64 {
+        if latencies.is_empty() {
+            return 0;
+        }
+        let rank = ((latencies.len() as f64) * p).ceil() as usize;
+        latencies[rank.clamp(1, latencies.len()) - 1]
+    };
+    let requests = latencies.len();
+    let secs = elapsed.as_secs_f64().max(1e-9);
+
+    ShardBenchRow {
+        benchmark: format!(
+            "serve_shard/s{sessions}_t{engine_threads}_b{batch}{}",
+            if seed_stride == 0 { "_replica" } else { "" }
+        ),
+        sessions,
+        engine_threads,
+        batch,
+        shards,
+        iterations_per_request: iterations,
+        requests,
+        elapsed_millis: elapsed.as_millis() as u64,
+        requests_per_sec: requests as f64 / secs,
+        iters_per_sec: stats.total_iterations as f64 / secs,
+        p50_millis: percentile(0.50),
+        p99_millis: percentile(0.99),
+        total_iterations: stats.total_iterations,
+        total_batches: stats.total_batches,
+        mean_batch: stats.mean_batch,
+        max_batch: stats.max_batch,
+        batch_group_hit_ratio: stats.batch_group_hit_ratio,
+        seed_stride,
+        plan_cache_hit_ratio: stats.context_cache.plans.hit_ratio(),
+        host_cpus: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn tiny_budget() -> Budget {
         Budget::Iterations(40)
+    }
+
+    #[test]
+    fn shard_bench_report_completes_and_proves_the_batch_path() {
+        let row = shard_bench_report(2, 1, 8, 8, 15, 1, 5, 1);
+        assert_eq!(row.requests, 4);
+        assert_eq!(row.total_iterations, 4 * 15 + 1);
+        assert!(row.total_batches > 0, "batched evaluation never ran");
+        assert!(row.mean_batch >= 1.0);
+        assert!(row.max_batch >= 1 && row.max_batch <= 8);
+        assert!((0.0..=1.0).contains(&row.batch_group_hit_ratio));
+        assert!(row.p50_millis <= row.p99_millis);
     }
 
     #[test]

@@ -3,8 +3,8 @@
 use std::sync::Arc;
 
 use mctsui_cost::{
-    evaluate_sampled, evaluate_slots, ContextCache, CostWeights, EvalPlan, EvalScratch,
-    InterfaceCost, QueryContext,
+    evaluate_sampled, evaluate_sampled_many, evaluate_slots, ContextCache, CostWeights, EvalPlan,
+    EvalScratch, InterfaceCost, QueryContext,
 };
 use mctsui_difftree::{DiffTree, RuleApplication, RuleEngine};
 use mctsui_mcts::SearchProblem;
@@ -45,9 +45,37 @@ impl InterfaceSearchProblem {
         weights: CostWeights,
         assignments_per_eval: usize,
     ) -> Self {
+        Self::with_cache_shards(
+            queries,
+            initial,
+            engine,
+            screen,
+            weights,
+            assignments_per_eval,
+            mctsui_difftree::DEFAULT_CACHE_SHARDS,
+        )
+    }
+
+    /// [`InterfaceSearchProblem::new`] with an explicit shard count for the shared
+    /// context/plan caches. Serving processes with many workers pass their `--shards`
+    /// setting here; sharding never changes results, only lock contention.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_cache_shards(
+        queries: Vec<Ast>,
+        initial: DiffTree,
+        engine: RuleEngine,
+        screen: Screen,
+        weights: CostWeights,
+        assignments_per_eval: usize,
+        cache_shards: usize,
+    ) -> Self {
         let queries: Arc<[Ast]> = queries.into();
         Self {
-            context_cache: ContextCache::new(Arc::clone(&queries)),
+            context_cache: ContextCache::with_capacity_and_shards(
+                Arc::clone(&queries),
+                mctsui_cost::CONTEXT_DEFAULT_CAPACITY,
+                cache_shards,
+            ),
             queries,
             engine,
             screen,
@@ -86,6 +114,12 @@ impl InterfaceSearchProblem {
     /// through serving stats).
     pub fn cache_stats(&self) -> mctsui_cost::ContextCacheStats {
         self.context_cache.stats()
+    }
+
+    /// Per-shard counters of the compiled-plan cache (one entry per shard; surfaced through
+    /// serving stats so shard balance is observable).
+    pub fn plan_shard_counters(&self) -> Vec<mctsui_difftree::CacheCounters> {
+        self.context_cache.plan_shard_counters()
     }
 
     /// The (cached) compiled evaluation plan of a difftree.
@@ -129,6 +163,25 @@ impl InterfaceSearchProblem {
             eval_seed,
         );
         (plan.skeleton.to_choice_map(&slots), cost)
+    }
+
+    /// The reward of one state under many evaluation seeds, batched over its compiled
+    /// plan: the plan is fetched once, the greedy baseline is evaluated once, and all
+    /// `seeds.len() × k` sampled assignments run through the batched kernel. Each entry is
+    /// bit-identical to `reward(state, seeds[i])` — the batched serving scheduler's
+    /// determinism pins rely on that, so the equivalence is enforced by tests.
+    pub fn reward_many(&self, state: &DiffTree, eval_seeds: &[u64]) -> Vec<f64> {
+        let plan = self.plan_for(state);
+        evaluate_sampled_many(
+            &plan,
+            self.screen,
+            &self.weights,
+            self.assignments_per_eval,
+            eval_seeds,
+        )
+        .into_iter()
+        .map(|cost| cost.reward())
+        .collect()
     }
 }
 

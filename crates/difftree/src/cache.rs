@@ -73,16 +73,15 @@ struct Generations<V> {
     old: FxHashMap<u64, V>,
 }
 
-/// A bounded fingerprint-keyed memo with generational second-chance eviction and
-/// hit/miss/eviction counters. See the module docs for the eviction scheme.
-///
-/// All operations take one short mutex; callers must follow the workspace lock discipline
-/// of never computing a value while holding a reference into the cache (get, compute
-/// outside, insert — first insert wins).
-pub struct GenerationCache<V> {
-    /// Maximum resident entries across both generations. Rotation triggers at
-    /// `capacity / 2` young entries.
-    capacity: usize,
+/// Default shard count of [`GenerationCache::new`] — enough to keep a serving worker pool
+/// off each other's lock without fragmenting small caches (the constructor clamps shard
+/// counts so tiny capacities degrade to fewer shards).
+pub const DEFAULT_CACHE_SHARDS: usize = 8;
+
+/// One lock's worth of a sharded [`GenerationCache`]: its own generations and its own
+/// counters, so concurrent workers touching different shards never contend — on the lock
+/// *or* on counter cache lines.
+struct Shard<V> {
     inner: Mutex<Generations<V>>,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -90,12 +89,9 @@ pub struct GenerationCache<V> {
     evictions: AtomicU64,
 }
 
-impl<V: Clone> GenerationCache<V> {
-    /// A cache holding at most `capacity` entries (clamped to at least 2 so both
-    /// generations can hold something).
-    pub fn new(capacity: usize) -> Self {
+impl<V: Clone> Shard<V> {
+    fn new() -> Self {
         Self {
-            capacity: capacity.max(2),
             inner: Mutex::new(Generations {
                 young: FxHashMap::default(),
                 old: FxHashMap::default(),
@@ -107,13 +103,7 @@ impl<V: Clone> GenerationCache<V> {
         }
     }
 
-    /// The configured capacity.
-    pub fn capacity(&self) -> usize {
-        self.capacity
-    }
-
-    /// Look up `key`, promoting an old-generation hit back into the young generation.
-    pub fn get(&self, key: u64) -> Option<V> {
+    fn get(&self, capacity: usize, key: u64) -> Option<V> {
         let mut guard = self.inner.lock().expect("generation cache poisoned");
         if let Some(v) = guard.young.get(&key) {
             let v = v.clone();
@@ -122,7 +112,7 @@ impl<V: Clone> GenerationCache<V> {
         }
         if let Some(v) = guard.old.remove(&key) {
             // Second chance: the entry is in the live working set, keep it young.
-            Self::rotate_if_full(self.capacity, &mut guard, &self.evictions);
+            Self::rotate_if_full(capacity, &mut guard, &self.evictions);
             guard.young.insert(key, v.clone());
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Some(v);
@@ -131,27 +121,24 @@ impl<V: Clone> GenerationCache<V> {
         None
     }
 
-    /// Insert `value` under `key` unless an entry already exists (first insert wins under
-    /// concurrency, matching the workspace's compute-outside-the-lock discipline). Returns
-    /// the resident value.
-    pub fn insert(&self, key: u64, value: V) -> V {
+    fn insert(&self, capacity: usize, key: u64, value: V) -> V {
         let mut guard = self.inner.lock().expect("generation cache poisoned");
         if let Some(v) = guard.young.get(&key) {
             return v.clone();
         }
         if let Some(v) = guard.old.remove(&key) {
-            Self::rotate_if_full(self.capacity, &mut guard, &self.evictions);
+            Self::rotate_if_full(capacity, &mut guard, &self.evictions);
             guard.young.insert(key, v.clone());
             return v;
         }
-        Self::rotate_if_full(self.capacity, &mut guard, &self.evictions);
+        Self::rotate_if_full(capacity, &mut guard, &self.evictions);
         guard.young.insert(key, value.clone());
         self.insertions.fetch_add(1, Ordering::Relaxed);
         value
     }
 
     /// Demote young to old (dropping the previous old generation) once young holds half the
-    /// capacity, so `young + old <= capacity` at all times.
+    /// shard capacity, so `young + old <= capacity` per shard at all times.
     fn rotate_if_full(capacity: usize, guard: &mut Generations<V>, evictions: &AtomicU64) {
         if guard.young.len() >= capacity / 2 {
             let dropped = std::mem::replace(&mut guard.old, std::mem::take(&mut guard.young));
@@ -159,19 +146,12 @@ impl<V: Clone> GenerationCache<V> {
         }
     }
 
-    /// Number of resident entries (young + old).
-    pub fn len(&self) -> usize {
+    fn len(&self) -> usize {
         let guard = self.inner.lock().expect("generation cache poisoned");
         guard.young.len() + guard.old.len()
     }
 
-    /// Whether the cache is currently empty.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// A snapshot of the counters plus the current entry count.
-    pub fn counters(&self) -> CacheCounters {
+    fn counters(&self) -> CacheCounters {
         CacheCounters {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
@@ -179,6 +159,100 @@ impl<V: Clone> GenerationCache<V> {
             evictions: self.evictions.load(Ordering::Relaxed),
             entries: self.len() as u64,
         }
+    }
+}
+
+/// A bounded fingerprint-keyed memo with generational second-chance eviction and
+/// hit/miss/eviction counters, **sharded by key** so the hot shared caches of a serving
+/// process (rule bindings, contexts, plans) don't serialize every worker on one mutex.
+/// See the module docs for the eviction scheme.
+///
+/// Each shard owns an independent generation pair bounded at `capacity / shards` entries,
+/// so the configured total capacity still holds. Operations take one short per-shard
+/// mutex; callers must follow the workspace lock discipline of never computing a value
+/// while holding a reference into the cache (get, compute outside, insert — first insert
+/// wins).
+pub struct GenerationCache<V> {
+    /// Maximum resident entries summed over all shards.
+    capacity: usize,
+    /// Per-shard entry bound (`>= 2` so both generations can hold something).
+    shard_capacity: usize,
+    shards: Vec<Shard<V>>,
+}
+
+impl<V: Clone> GenerationCache<V> {
+    /// A cache holding at most `capacity` entries across [`DEFAULT_CACHE_SHARDS`] shards
+    /// (fewer for tiny capacities — see [`GenerationCache::with_shards`]).
+    pub fn new(capacity: usize) -> Self {
+        Self::with_shards(capacity, DEFAULT_CACHE_SHARDS)
+    }
+
+    /// A cache of at most `capacity` total entries split over `shards` independent locks.
+    /// The shard count is clamped to `[1, capacity / 2]` so every shard keeps the minimum
+    /// two-entry generation pair, preserving the total capacity bound.
+    pub fn with_shards(capacity: usize, shards: usize) -> Self {
+        let capacity = capacity.max(2);
+        let shards = shards.clamp(1, (capacity / 2).max(1));
+        let shard_capacity = (capacity / shards).max(2);
+        Self {
+            capacity,
+            shard_capacity,
+            shards: (0..shards).map(|_| Shard::new()).collect(),
+        }
+    }
+
+    /// The configured total capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of shards (independent locks) this cache is split over.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning `key`. Keys are already structural fingerprints, but a
+    /// multiplicative mix keeps sequential or low-entropy keys from piling onto one shard.
+    #[inline]
+    fn shard_of(&self, key: u64) -> &Shard<V> {
+        let mixed = key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        &self.shards[(mixed as usize) % self.shards.len()]
+    }
+
+    /// Look up `key`, promoting an old-generation hit back into the young generation.
+    pub fn get(&self, key: u64) -> Option<V> {
+        self.shard_of(key).get(self.shard_capacity, key)
+    }
+
+    /// Insert `value` under `key` unless an entry already exists (first insert wins under
+    /// concurrency, matching the workspace's compute-outside-the-lock discipline). Returns
+    /// the resident value.
+    pub fn insert(&self, key: u64, value: V) -> V {
+        self.shard_of(key).insert(self.shard_capacity, key, value)
+    }
+
+    /// Number of resident entries summed over all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(Shard::len).sum()
+    }
+
+    /// Whether the cache is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A snapshot of the counters (summed over shards) plus the current entry count.
+    pub fn counters(&self) -> CacheCounters {
+        self.shards
+            .iter()
+            .map(Shard::counters)
+            .fold(CacheCounters::default(), |acc, c| acc.merged(&c))
+    }
+
+    /// Per-shard counter snapshots, in shard order — surfaced through serving stats so a
+    /// skewed shard (one hot fingerprint class) is visible from the outside.
+    pub fn shard_counters(&self) -> Vec<CacheCounters> {
+        self.shards.iter().map(Shard::counters).collect()
     }
 }
 
@@ -236,6 +310,39 @@ mod tests {
         }
         // A cold key streamed through long ago is gone.
         assert_eq!(cache.get(1), None);
+    }
+
+    #[test]
+    fn sharding_preserves_capacity_and_aggregates_counters() {
+        // 64 entries over 8 shards: the total bound holds, per-shard counters sum to the
+        // aggregate, and a key always lands on the same shard (get-after-insert hits).
+        let cache: GenerationCache<u64> = GenerationCache::with_shards(64, 8);
+        assert_eq!(cache.shard_count(), 8);
+        for key in 0..500u64 {
+            cache.insert(key, key * 3);
+            assert_eq!(cache.get(key), Some(key * 3), "read-own-insert at {key}");
+        }
+        assert!(
+            cache.len() <= 64,
+            "resident {} exceeds capacity",
+            cache.len()
+        );
+        let total = cache.counters();
+        let summed = cache
+            .shard_counters()
+            .iter()
+            .fold(CacheCounters::default(), |acc, c| acc.merged(c));
+        assert_eq!(total, summed);
+        assert_eq!(total.insertions, 500);
+        assert!(total.hits >= 500);
+
+        // Tiny capacities degrade to fewer shards instead of violating the bound.
+        let tiny: GenerationCache<u64> = GenerationCache::with_shards(4, 8);
+        assert_eq!(tiny.shard_count(), 2);
+        for key in 0..100u64 {
+            tiny.insert(key, key);
+        }
+        assert!(tiny.len() <= 4);
     }
 
     #[test]

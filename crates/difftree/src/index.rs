@@ -213,6 +213,12 @@ impl ActionIndex {
     pub fn counters(&self) -> CacheCounters {
         self.cache.counters()
     }
+
+    /// Per-shard counters of the binding cache (for serving stats; one entry per shard of
+    /// the underlying [`GenerationCache`]).
+    pub fn shard_counters(&self) -> Vec<CacheCounters> {
+        self.cache.shard_counters()
+    }
 }
 
 /// Select the `n`-th application of an already-resolved summary by descending the cached

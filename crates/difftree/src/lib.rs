@@ -34,7 +34,7 @@ pub mod node;
 pub mod rules;
 
 pub use builder::{initial_difftree, simplified_difftree};
-pub use cache::{CacheCounters, GenerationCache};
+pub use cache::{CacheCounters, GenerationCache, DEFAULT_CACHE_SHARDS};
 pub use derive::{changed_choice_paths, express_log, ChoiceAssignment, Expressor};
 pub use domain::{ChoiceDomain, DomainValueKind};
 pub use index::{ActionIndex, BindingSummary};

@@ -165,6 +165,22 @@ pub(crate) fn rollout<P: SearchProblem>(
     rng: &mut StdRng,
     evaluations: &mut usize,
 ) -> Option<(P::State, f64)> {
+    let state = rollout_walk(problem, config, start, rng)?;
+    *evaluations += 1;
+    let reward = problem.reward(&state, rng.gen());
+    Some((state, reward))
+}
+
+/// The walk half of [`rollout`]: draw the random action path but do *not* evaluate the
+/// endpoint. Returns `None` when the walk could not leave `start` — crucially, without
+/// consuming the endpoint's evaluation seed, so the rng stream of a split
+/// select/expand-then-evaluate-later driver is draw-for-draw identical to the inline one.
+pub(crate) fn rollout_walk<P: SearchProblem>(
+    problem: &P,
+    config: &MctsConfig,
+    start: &P::State,
+    rng: &mut StdRng,
+) -> Option<P::State> {
     let mut state: Option<P::State> = None;
     for _ in 0..config.rollout_depth {
         let current = state.as_ref().unwrap_or(start);
@@ -180,10 +196,7 @@ pub(crate) fn rollout<P: SearchProblem>(
             None => break,
         }
     }
-    let state = state?;
-    *evaluations += 1;
-    let reward = problem.reward(&state, rng.gen());
-    Some((state, reward))
+    state
 }
 
 /// The monotone best-so-far record of a tree-parallel run: best state, best reward and the

@@ -24,7 +24,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::config::MctsConfig;
-use crate::engine::{rollout, select_child, RewardTracePoint, SearchOutcome, SearchStats};
+use crate::engine::{rollout_walk, select_child, RewardTracePoint, SearchOutcome, SearchStats};
 use crate::problem::SearchProblem;
 use crate::tree::SearchTree;
 
@@ -83,6 +83,32 @@ pub struct SliceReport {
     pub improved: bool,
 }
 
+/// The front half of one split MCTS iteration: a selected-and-expanded leaf whose reward
+/// evaluations (the expanded node's state and, when the random walk moved, the rollout
+/// endpoint) are still owed. Produced by [`SearchHandle::begin_iteration`], settled by
+/// [`SearchHandle::complete_iteration`] or [`SearchHandle::abort_iteration`].
+///
+/// While a leaf is pending, every node on its selection path (plus the freshly created
+/// child) holds one virtual loss, so further `begin_iteration` calls before completion fan
+/// out over siblings instead of stampeding the same leaf — the same discipline as the
+/// tree-parallel workers. Reward evaluation is pure per `(state, seed)` and consumes no
+/// shared rng, so evaluating pending leaves out of line (on another thread, batched with
+/// leaves of other searches) cannot perturb the search stream.
+pub struct PendingLeaf<S> {
+    /// The iteration number this leaf was drawn for (1-based, as the handle counts them).
+    pub iteration: usize,
+    /// Arena id of the expanded node (backpropagation starts here).
+    node: usize,
+    /// The expanded node's state (cheap clone; persistent states are `Arc`-backed).
+    pub node_state: S,
+    /// Evaluation seed owed to `node_state`.
+    pub node_seed: u64,
+    /// Rollout endpoint and its evaluation seed, when the walk left the expanded node.
+    pub rollout: Option<(S, u64)>,
+    /// Nodes holding one virtual loss each until this leaf is completed or aborted.
+    loss_path: Vec<usize>,
+}
+
 /// A pausable, resumable sequential MCTS run: the live [`SearchTree`], the rng mid-stream,
 /// and the monotone best-so-far record. See the module docs for the determinism contract.
 pub struct SearchHandle<P: SearchProblem> {
@@ -92,6 +118,8 @@ pub struct SearchHandle<P: SearchProblem> {
     rng: StdRng,
     best_state: P::State,
     best_reward: f64,
+    /// Worst reward seen so far — the virtual-loss penalty for pending-leaf selection.
+    min_reward: f64,
     trace: Vec<RewardTracePoint>,
     iterations: usize,
     evaluations: usize,
@@ -129,6 +157,7 @@ impl<P: SearchProblem> SearchHandle<P> {
             rng,
             best_state: root_state,
             best_reward: root_reward,
+            min_reward: root_reward,
             trace,
             iterations: 0,
             evaluations: 1,
@@ -137,19 +166,224 @@ impl<P: SearchProblem> SearchHandle<P> {
         }
     }
 
+    /// Run the select/expand front half of the next iteration and return the pending leaf
+    /// whose reward evaluations are owed, or `None` when the handle's total iteration
+    /// budget is exhausted. Virtual losses are held on the leaf's path until
+    /// [`SearchHandle::complete_iteration`] or [`SearchHandle::abort_iteration`] settles it.
+    ///
+    /// Driving the handle as `begin → evaluate → complete`, one leaf at a time, consumes
+    /// exactly the rng stream of the inline driver ([`SearchHandle::run_for`] is itself
+    /// implemented that way), so the split is invisible to the determinism pins. Beginning
+    /// several iterations before completing any is also legal — that is the pipelining mode
+    /// a batching scheduler uses — but diversifies selection through the held virtual
+    /// losses, so it reproduces the inline stream only at pipeline depth 1.
+    pub fn begin_iteration(&mut self) -> Option<PendingLeaf<P::State>> {
+        if self.exhausted || self.iterations >= self.config.budget.max_iterations() {
+            self.exhausted = true;
+            return None;
+        }
+        self.iterations += 1;
+        let cap = self.config.max_children_per_node;
+        let mut view = self.tree.view();
+        let mut children_scratch: Vec<usize> = Vec::new();
+        let mut loss_path: Vec<usize> = Vec::new();
+
+        // 1. Selection: follow best-UCT children until an expandable node, applying one
+        // virtual loss per descended edge. With no other leaf pending every loss counter is
+        // zero during scoring, so the `v == 0` branch of the UCT score keeps the arithmetic
+        // bit-identical to the lossless inline driver.
+        let mut current = 0usize;
+        loop {
+            let (parent_visits, expandable) = {
+                let node = view.node(current);
+                let gate = node.gate();
+                children_scratch.clear();
+                children_scratch.extend_from_slice(gate.children());
+                (
+                    (node.visits() as f64).max(1.0),
+                    gate.untried_remaining() > 0 && gate.children().len() < cap,
+                )
+            };
+            if expandable || children_scratch.is_empty() {
+                break;
+            }
+            for &child in &children_scratch {
+                view.ensure(child);
+            }
+            let chosen = select_child(
+                &self.config,
+                &view,
+                &children_scratch,
+                parent_visits,
+                self.min_reward,
+            );
+            view.node(chosen).apply_virtual_loss();
+            loss_path.push(chosen);
+            current = chosen;
+        }
+
+        // 2. Expansion: draw one untried action on demand and materialise it as a new
+        // child (born with a virtual loss so concurrent begins don't pile onto it).
+        let mut created: Option<usize> = None;
+        {
+            let node = view.node(current);
+            let mut gate = node.gate();
+            if gate.untried_remaining() > 0 && gate.children().len() < cap {
+                let j = self.rng.gen_range(0..gate.untried_remaining());
+                let index = gate.take_untried(j);
+                if let Some(next_state) = self
+                    .problem
+                    .nth_action(node.state(), index)
+                    .and_then(|action| self.problem.apply(node.state(), &action))
+                {
+                    let untried = self.problem.action_count(&next_state);
+                    let child =
+                        self.tree
+                            .push_with_virtual_loss(next_state, Some(current), untried, 1);
+                    gate.push_child(child);
+                    created = Some(child);
+                }
+            }
+        }
+        let expanded = match created {
+            Some(child) => {
+                loss_path.push(child);
+                view.ensure(child);
+                child
+            }
+            None => current,
+        };
+
+        // 3. Draw the evaluation seeds in the inline driver's order: the expanded node's
+        // seed first, then the rollout walk, then (only if the walk moved) the endpoint
+        // seed. The evaluations themselves are owed to the caller.
+        let node_seed = self.rng.gen();
+        let node_state = view.node(expanded).state().clone();
+        let rollout = rollout_walk(
+            &self.problem,
+            &self.config,
+            view.node(expanded).state(),
+            &mut self.rng,
+        )
+        .map(|state| {
+            let seed = self.rng.gen();
+            (state, seed)
+        });
+
+        Some(PendingLeaf {
+            iteration: self.iterations,
+            node: expanded,
+            node_state,
+            node_seed,
+            rollout,
+            loss_path,
+        })
+    }
+
+    /// Settle a pending leaf with its evaluated rewards: fold them into the best-so-far
+    /// record, backpropagate the better of the two estimates and release the leaf's
+    /// virtual losses. `rollout_reward` must be `Some` exactly when the leaf carried a
+    /// rollout endpoint. Leaves of one window must be completed in `begin` order for the
+    /// deterministic-per-configuration contract of batching schedulers.
+    pub fn complete_iteration(
+        &mut self,
+        leaf: PendingLeaf<P::State>,
+        node_reward: f64,
+        rollout_reward: Option<f64>,
+    ) {
+        debug_assert_eq!(
+            leaf.rollout.is_some(),
+            rollout_reward.is_some(),
+            "rollout reward must match the leaf's pending rollout"
+        );
+        self.evaluations += 1;
+        if node_reward < self.min_reward {
+            self.min_reward = node_reward;
+        }
+        if node_reward > self.best_reward {
+            self.best_reward = node_reward;
+            self.best_state = leaf.node_state.clone();
+            self.trace.push(RewardTracePoint {
+                iteration: leaf.iteration,
+                elapsed_millis: self.elapsed_millis,
+                best_reward: self.best_reward,
+            });
+        }
+        let reward = match (leaf.rollout, rollout_reward) {
+            (Some((rollout_state, _)), Some(rollout_reward)) => {
+                self.evaluations += 1;
+                if rollout_reward < self.min_reward {
+                    self.min_reward = rollout_reward;
+                }
+                if rollout_reward > self.best_reward {
+                    self.best_reward = rollout_reward;
+                    self.best_state = rollout_state;
+                    self.trace.push(RewardTracePoint {
+                        iteration: leaf.iteration,
+                        elapsed_millis: self.elapsed_millis,
+                        best_reward: self.best_reward,
+                    });
+                }
+                node_reward.max(rollout_reward)
+            }
+            _ => node_reward,
+        };
+
+        let mut view = self.tree.view();
+        view.ensure(leaf.node);
+        let mut cursor = Some(leaf.node);
+        while let Some(id) = cursor {
+            let node = view.node(id);
+            node.record_visit(reward);
+            cursor = node.parent();
+        }
+        for &id in &leaf.loss_path {
+            view.node(id).revert_virtual_loss();
+        }
+    }
+
+    /// Abandon a pending leaf without evaluating it: release its virtual losses and
+    /// un-count the iteration, as if `begin_iteration` had never run. Used when a request's
+    /// deadline expires while its leaves sit in an evaluation queue — the search must not
+    /// pay for (or be skewed by) evaluations nobody will wait for. The rng draws the front
+    /// half consumed are *not* rolled back, so determinism pins do not extend across aborts
+    /// (deadline expiry is inherently timing-dependent).
+    pub fn abort_iteration(&mut self, leaf: PendingLeaf<P::State>) {
+        let mut view = self.tree.view();
+        view.ensure(leaf.node);
+        for &id in &leaf.loss_path {
+            view.node(id).revert_virtual_loss();
+        }
+        self.iterations -= 1;
+    }
+
+    /// Total virtual loss currently held across the tree (diagnostics: zero at quiescence,
+    /// i.e. whenever no leaf is pending).
+    pub fn outstanding_virtual_loss(&self) -> u64 {
+        let mut view = self.tree.view();
+        let mut total = 0u64;
+        for id in 0..self.tree.len() {
+            view.ensure(id);
+            total += view.node(id).virtual_loss() as u64;
+        }
+        total
+    }
+
     /// Advance the search by one bounded slice, then pause. Returns what the slice did;
     /// calling again continues exactly where this call stopped (same rng stream, same
     /// tree), so any slicing reproduces the one-shot run bit-identically.
+    ///
+    /// Implemented as the split driver at pipeline depth 1 — `begin_iteration`, evaluate
+    /// the owed rewards inline, `complete_iteration` — which consumes exactly the rng
+    /// stream of the historical inline loop (reward evaluation is pure per `(state,
+    /// seed)`, and the one pending leaf's virtual losses are reverted before the next
+    /// selection scores anything).
     pub fn run_for(&mut self, slice: SliceBudget) -> SliceReport {
         let slice_start = Instant::now();
         let start_iterations = self.iterations;
         let reward_before = self.best_reward;
         let global_max = self.config.budget.max_iterations();
         let global_time = self.config.budget.time_limit_millis();
-        let cap = self.config.max_children_per_node;
-
-        let mut view = self.tree.view();
-        let mut children_scratch: Vec<usize> = Vec::new();
 
         loop {
             // Total-budget checks first: once the handle is exhausted every later slice is
@@ -175,112 +409,16 @@ impl<P: SearchProblem> SearchHandle<P> {
                     break;
                 }
             }
-            self.iterations += 1;
 
-            // 1. Selection: follow best-UCT children until an expandable node. A node whose
-            // children list is full (`max_children_per_node`) counts as fully expanded even
-            // while untried actions remain, so selection descends *through* it instead of
-            // re-evaluating it forever.
-            let mut current = 0usize;
-            loop {
-                let (parent_visits, expandable) = {
-                    let node = view.node(current);
-                    let gate = node.gate();
-                    children_scratch.clear();
-                    children_scratch.extend_from_slice(gate.children());
-                    (
-                        (node.visits() as f64).max(1.0),
-                        gate.untried_remaining() > 0 && gate.children().len() < cap,
-                    )
-                };
-                if expandable || children_scratch.is_empty() {
-                    break;
-                }
-                current = select_child(&self.config, &view, &children_scratch, parent_visits, 0.0);
-            }
-
-            // 2. Expansion: draw one untried action on demand (lazy Fisher–Yates over the
-            // state's canonical action order — one rng draw, no materialised fanout) and
-            // materialise it as a new child, if any.
-            let mut created: Option<usize> = None;
-            {
-                let node = view.node(current);
-                let mut gate = node.gate();
-                if gate.untried_remaining() > 0 && gate.children().len() < cap {
-                    let j = self.rng.gen_range(0..gate.untried_remaining());
-                    let index = gate.take_untried(j);
-                    if let Some(next_state) = self
-                        .problem
-                        .nth_action(node.state(), index)
-                        .and_then(|action| self.problem.apply(node.state(), &action))
-                    {
-                        let untried = self.problem.action_count(&next_state);
-                        let child = self.tree.push(next_state, Some(current), untried);
-                        gate.push_child(child);
-                        created = Some(child);
-                    }
-                }
-            }
-            let expanded = match created {
-                Some(child) => {
-                    view.ensure(child);
-                    child
-                }
-                None => current,
+            let Some(leaf) = self.begin_iteration() else {
+                break;
             };
-
-            // 3a. Evaluate the newly expanded state itself. Deep random walks can wander
-            // into poor regions; evaluating the expanded node keeps the search informed
-            // about the quality of the states it actually materialises (and they are the
-            // candidates the final answer is drawn from).
-            let node_reward = self
-                .problem
-                .reward(view.node(expanded).state(), self.rng.gen());
-            self.evaluations += 1;
-            if node_reward > self.best_reward {
-                self.best_reward = node_reward;
-                self.best_state = view.node(expanded).state().clone();
-                self.trace.push(RewardTracePoint {
-                    iteration: self.iterations,
-                    elapsed_millis: self.elapsed_millis + slice_start.elapsed().as_millis() as u64,
-                    best_reward: self.best_reward,
-                });
-            }
-
-            // 3b. Rollout: a bounded random walk from the expanded state. A walk that never
-            // moves (terminal or stuck state) ends at the expanded state itself, whose
-            // reward was just evaluated — reuse it instead of paying a second batched
-            // k-sample evaluation of the same state.
-            let reward = match rollout(
-                &self.problem,
-                &self.config,
-                view.node(expanded).state(),
-                &mut self.rng,
-                &mut self.evaluations,
-            ) {
-                Some((rollout_state, rollout_reward)) => {
-                    if rollout_reward > self.best_reward {
-                        self.best_reward = rollout_reward;
-                        self.best_state = rollout_state;
-                        self.trace.push(RewardTracePoint {
-                            iteration: self.iterations,
-                            elapsed_millis: self.elapsed_millis
-                                + slice_start.elapsed().as_millis() as u64,
-                            best_reward: self.best_reward,
-                        });
-                    }
-                    node_reward.max(rollout_reward)
-                }
-                None => node_reward,
-            };
-
-            // 4. Backpropagation of the better of the two estimates.
-            let mut cursor = Some(expanded);
-            while let Some(id) = cursor {
-                let node = view.node(id);
-                node.record_visit(reward);
-                cursor = node.parent();
-            }
+            let node_reward = self.problem.reward(&leaf.node_state, leaf.node_seed);
+            let rollout_reward = leaf
+                .rollout
+                .as_ref()
+                .map(|(state, seed)| self.problem.reward(state, *seed));
+            self.complete_iteration(leaf, node_reward, rollout_reward);
         }
 
         self.elapsed_millis += slice_start.elapsed().as_millis() as u64;

@@ -39,7 +39,7 @@ pub mod tree;
 
 pub use config::{Budget, MctsConfig, ParallelMode};
 pub use engine::{Mcts, RewardTracePoint, SearchOutcome, SearchStats};
-pub use handle::{SearchHandle, SliceBudget, SliceReport};
+pub use handle::{PendingLeaf, SearchHandle, SliceBudget, SliceReport};
 pub use problem::SearchProblem;
 pub use tree::SearchTree;
 

@@ -187,6 +187,127 @@ fn slice_deadline_bounds_wall_clock() {
 }
 
 #[test]
+fn split_driver_matches_run_for_bitwise() {
+    // Driving the handle through the public split halves — begin, evaluate the owed
+    // rewards by hand, complete — must consume exactly the rng stream of `run_for` (which
+    // is the split driver at pipeline depth 1) and therefore of the one-shot driver.
+    for seed in [3u64, 7, 0xC0FFEE] {
+        let one_shot = Mcts::new(BitFlip { n: 7 }, config(150, seed)).run();
+
+        let problem = BitFlip { n: 7 };
+        let mut handle = SearchHandle::new(BitFlip { n: 7 }, config(150, seed));
+        while let Some(leaf) = handle.begin_iteration() {
+            let node_reward = problem.reward(&leaf.node_state, leaf.node_seed);
+            let rollout_reward = leaf
+                .rollout
+                .as_ref()
+                .map(|(state, eval_seed)| problem.reward(state, *eval_seed));
+            handle.complete_iteration(leaf, node_reward, rollout_reward);
+        }
+        assert_eq!(handle.iterations(), 150);
+        assert_eq!(handle.outstanding_virtual_loss(), 0);
+        assert_eq!(
+            key(&one_shot),
+            key(&handle.into_outcome()),
+            "seed {seed}: split driver diverged from the one-shot driver"
+        );
+    }
+}
+
+#[test]
+fn pipelined_windows_are_deterministic_per_width() {
+    // Beginning W iterations before completing any (a batching scheduler's window mode)
+    // legally diverges from the sequential stream for W > 1 — virtual losses diversify
+    // in-window selection — but must be a pure function of (seed, W): two identically
+    // driven handles agree bitwise, and W = 1 is the sequential stream.
+    let drive = |width: usize| {
+        let problem = BitFlip { n: 7 };
+        let mut handle = SearchHandle::new(BitFlip { n: 7 }, config(120, 99));
+        loop {
+            let mut window = Vec::new();
+            for _ in 0..width {
+                match handle.begin_iteration() {
+                    Some(leaf) => window.push(leaf),
+                    None => break,
+                }
+            }
+            if window.is_empty() {
+                break;
+            }
+            // Evaluate the whole window first (out of line in a real scheduler), then
+            // complete in begin order.
+            let rewards: Vec<(f64, Option<f64>)> = window
+                .iter()
+                .map(|leaf| {
+                    (
+                        problem.reward(&leaf.node_state, leaf.node_seed),
+                        leaf.rollout
+                            .as_ref()
+                            .map(|(state, eval_seed)| problem.reward(state, *eval_seed)),
+                    )
+                })
+                .collect();
+            for (leaf, (node_reward, rollout_reward)) in window.into_iter().zip(rewards) {
+                handle.complete_iteration(leaf, node_reward, rollout_reward);
+            }
+        }
+        assert_eq!(handle.outstanding_virtual_loss(), 0);
+        key(&handle.into_outcome())
+    };
+
+    let sequential = {
+        let mut handle = SearchHandle::new(BitFlip { n: 7 }, config(120, 99));
+        while !handle.run_for(SliceBudget::unbounded()).exhausted {}
+        key(&handle.into_outcome())
+    };
+    assert_eq!(
+        drive(1),
+        sequential,
+        "width-1 windows are the sequential stream"
+    );
+    for width in [2usize, 4, 16] {
+        assert_eq!(
+            drive(width),
+            drive(width),
+            "width {width} is not deterministic"
+        );
+    }
+}
+
+#[test]
+fn aborting_pending_leaves_restores_the_search() {
+    // Abort every leaf of a window: virtual losses must return to zero and the iteration
+    // count must unwind, so a deadline-expired window is invisible to visit statistics.
+    let mut handle = SearchHandle::new(BitFlip { n: 7 }, config(200, 17));
+    handle.run_for(SliceBudget::iterations(20));
+    let iterations_before = handle.iterations();
+    let evaluations_before = handle.evaluations();
+    let best_before = handle.best_reward();
+
+    let mut window = Vec::new();
+    for _ in 0..6 {
+        window.push(handle.begin_iteration().expect("budget not exhausted"));
+    }
+    assert!(handle.outstanding_virtual_loss() > 0);
+    assert_eq!(handle.iterations(), iterations_before + 6);
+    for leaf in window {
+        handle.abort_iteration(leaf);
+    }
+    assert_eq!(handle.outstanding_virtual_loss(), 0);
+    assert_eq!(handle.iterations(), iterations_before);
+    assert_eq!(handle.evaluations(), evaluations_before);
+    assert_eq!(handle.best_reward(), best_before);
+
+    // The handle keeps searching normally afterwards (the rng stream moved on — aborts
+    // are not replayed — but the search stays healthy and monotone).
+    let report = handle.run_for(SliceBudget::unbounded());
+    assert!(report.exhausted);
+    assert_eq!(handle.iterations(), 200);
+    assert!(handle.best_reward() >= best_before);
+    assert_eq!(handle.outstanding_virtual_loss(), 0);
+}
+
+#[test]
 fn arc_problems_are_searchable() {
     // The Arc forwarding impl: a shared problem can back a handle (the serving layer's
     // usage) and produces the same results as a borrowed one.

@@ -84,6 +84,11 @@ pub struct ScriptConfig {
     pub deadline_millis: u64,
     /// Session seed (sessions with distinct seeds explore differently).
     pub seed: u64,
+    /// Per-session seed increment used by [`run_concurrent_sessions`]: session `i` gets
+    /// `seed + i * seed_stride`. The default `1` makes every session explore differently;
+    /// `0` makes all sessions exact replicas (the same search stream over the same log —
+    /// the workload where cross-session same-plan batching coalesces hardest).
+    pub seed_stride: u64,
 }
 
 impl Default for ScriptConfig {
@@ -93,6 +98,7 @@ impl Default for ScriptConfig {
             refines: 2,
             deadline_millis: 10_000,
             seed: 42,
+            seed_stride: 1,
         }
     }
 }
@@ -252,7 +258,9 @@ pub fn run_concurrent_sessions(
         let mut handles = Vec::with_capacity(sessions);
         for i in 0..sessions {
             let mut script = script.clone();
-            script.seed = script.seed.wrapping_add(i as u64);
+            script.seed = script
+                .seed
+                .wrapping_add((i as u64).wrapping_mul(script.seed_stride));
             let addr = addr.to_string();
             let queries = queries.to_vec();
             handles.push(scope.spawn(move || run_scripted_session(&addr, &queries, &script)));

@@ -1,5 +1,5 @@
 //! The serving engine: many concurrent synthesis sessions multiplexed onto a small worker
-//! pool with time-sliced budgets.
+//! pool with time-sliced budgets and cross-session batched leaf evaluation.
 //!
 //! # Architecture
 //!
@@ -9,23 +9,39 @@
 //!   against the current best interface. A `refine` request continues the session's tree
 //!   and rng stream exactly where the previous request paused them.
 //! * **Shared caches** cross session boundaries. All sessions share one global
-//!   [`RuleEngine`] — and therefore one rule-binding [`ActionIndex`] cache, which is keyed
-//!   by subtree fingerprint and thus log-independent. Sessions over the *same* query log
-//!   (same screen and sampling width) additionally share one `InterfaceSearchProblem`, and
-//!   with it the per-log context/plan caches, through a weak registry: a popular dashboard
-//!   log pays its expressibility work once, no matter how many users open it.
-//! * **The admission scheduler** bounds what one request can claim (session cap, per-request
-//!   iteration cap, deadline cap) and then time-slices admitted work round-robin: a request
-//!   is queued as a work item, workers pop items, run one bounded slice
-//!   ([`ServeConfig::slice_iterations`] iterations, bounded by the request deadline) and
-//!   re-queue unfinished items at the back. No session can starve another — every queued
-//!   request advances by one slice per scheduler round.
+//!   [`RuleEngine`] — and therefore one rule-binding [`ActionIndex`](mctsui_difftree::ActionIndex)
+//!   cache, which is keyed by subtree fingerprint and thus log-independent. Sessions over
+//!   the *same* query log (same screen and sampling width) additionally share one
+//!   `InterfaceSearchProblem`, and with it the per-log context/plan caches, through a weak
+//!   registry: a popular dashboard log pays its expressibility work once, no matter how
+//!   many users open it. The hot shared maps — the session table and the generational
+//!   caches behind the problems — are sharded so a worker pool does not serialise on them.
+//! * **The co-scheduler** splits each admitted request into *windows*: a worker takes the
+//!   session lock once, runs the select/expand front half of up to [`ServeConfig::batch`]
+//!   iterations ([`SearchHandle::begin_iteration`]), releases the lock and enqueues the
+//!   pending leaves on a **global leaf-evaluation queue**. Any worker drains that queue,
+//!   coalescing queued leaves of the *same compiled plan* (same problem, same difftree
+//!   fingerprint — common when siblings or concurrent sessions over one log touch the
+//!   same states) into one batched reward call
+//!   ([`InterfaceSearchProblem::reward_many`]), which amortises the per-plan setup of the
+//!   cost kernel. When a window's last evaluation lands, its completions are applied in
+//!   iteration order ([`SearchHandle::complete_iteration`]) and the remainder of the
+//!   request re-queues at the back — round-robin across sessions, so no request starves.
+//! * **Admission** bounds what one request can claim (session cap, per-request iteration
+//!   cap, deadline cap) *at enqueue time*; a request whose deadline expires while its
+//!   leaves sit in the evaluation queue is aborted, not evaluated — its virtual losses are
+//!   reverted and its caller gets the anytime answer immediately.
+//! * **Determinism**: a window's evaluations are pure per `(state, seed)` and consume no
+//!   session rng, and completions are applied in begin order behind a window barrier, so a
+//!   session's search stream depends only on `(seed, batch)` — never on worker count or
+//!   batching luck. At `batch == 1` the stream is the sequential [`SearchHandle::run_for`]
+//!   stream bit-for-bit.
 //! * **Anytime responses**: when a request's budget or deadline runs out, the caller gets
 //!   the best interface known *now*. More budget later never makes the answer worse
 //!   (the handle's best record is monotone).
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::time::{Duration, Instant};
 
@@ -33,8 +49,8 @@ use rustc_hash::{FxHashMap, FxHasher};
 
 use mctsui_core::{InterfaceDescription, InterfaceSearchProblem, InterfaceSession, SessionError};
 use mctsui_cost::{ContextCacheStats, CostWeights};
-use mctsui_difftree::{simplified_difftree, DiffPath, RuleEngine};
-use mctsui_mcts::{Budget, MctsConfig, SearchHandle, SliceBudget};
+use mctsui_difftree::{simplified_difftree, CacheCounters, DiffPath, DiffTree, RuleEngine};
+use mctsui_mcts::{Budget, MctsConfig, PendingLeaf, SearchHandle};
 use mctsui_sql::{parse_query, print_query, Ast};
 use mctsui_widgets::Screen;
 
@@ -43,9 +59,10 @@ use crate::proto::{BestReport, EngineStatsReport, WidgetAction};
 /// Configuration of a [`ServeEngine`].
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// Scheduler worker threads slicing search work.
+    /// Scheduler worker threads slicing search work and draining the evaluation queue.
     pub threads: usize,
-    /// Scheduler quantum: iterations one work item may run before yielding the worker.
+    /// Scheduler quantum: iterations one work item may run before yielding the worker
+    /// (an upper bound on the window width alongside `batch`).
     pub slice_iterations: usize,
     /// Admission cap on concurrently live sessions (further `synthesize`s are rejected).
     pub max_sessions: usize,
@@ -55,6 +72,14 @@ pub struct ServeConfig {
     pub default_request_iterations: u64,
     /// Admission cap on per-request deadlines (and the default for `deadline_millis == 0`).
     pub max_deadline_millis: u64,
+    /// Batch width: leaves one session window emits per turn, and the most queued leaves
+    /// one batched evaluation call coalesces. `1` reproduces the sequential per-session
+    /// search stream bit-for-bit; larger widths trade per-window rng divergence (virtual
+    /// losses diversify in-window selection) for batched-evaluation throughput.
+    pub batch: usize,
+    /// Shard count of the hot shared state: the session table and the per-log
+    /// context/plan caches. Sharding never changes results, only lock contention.
+    pub shards: usize,
     /// Target screen of generated interfaces.
     pub screen: Screen,
     /// Cost weights of generated interfaces.
@@ -79,6 +104,8 @@ impl Default for ServeConfig {
             max_request_iterations: 100_000,
             default_request_iterations: 400,
             max_deadline_millis: 30_000,
+            batch: 8,
+            shards: 8,
             screen: Screen::wide(),
             weights: CostWeights::default(),
             assignments_per_eval: 3,
@@ -94,6 +121,7 @@ impl ServeConfig {
             threads: 2,
             slice_iterations: 16,
             default_request_iterations: 60,
+            batch: 4,
             mcts: MctsConfig::default().with_rollout_depth(40),
             assignments_per_eval: 2,
             ..Self::default()
@@ -115,6 +143,18 @@ impl ServeConfig {
     /// Builder helper: set the session admission cap.
     pub fn with_max_sessions(mut self, cap: usize) -> Self {
         self.max_sessions = cap.max(1);
+        self
+    }
+
+    /// Builder helper: set the batch width (window size and batched-call coalescing cap).
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch.max(1);
+        self
+    }
+
+    /// Builder helper: set the shard count of the session table and per-log caches.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
         self
     }
 }
@@ -172,6 +212,11 @@ pub struct SynthesisResult {
 struct Session {
     problem: Arc<InterfaceSearchProblem>,
     handle: SearchHandle<Arc<InterfaceSearchProblem>>,
+    /// Whether a window of pending leaves is currently in flight for this session.
+    /// Windows serialise per session (the barrier is what makes the search stream a
+    /// function of `(seed, batch)` alone), so a work item that finds this set rotates to
+    /// the back of the queue instead of opening a second window.
+    window_active: bool,
     /// The interaction session over the current best difftree, tagged with that tree's
     /// fingerprint so refines that change the best tree rebuild it lazily.
     interact: Option<(u64, InterfaceSession)>,
@@ -183,7 +228,85 @@ struct Session {
     eval_seed: u64,
 }
 
-/// A unit of admitted, not-yet-finished search work.
+/// The sharded session table. Lookups and admission hash the session id onto one of
+/// `shards` independent maps; the strict admission cap is enforced by a CAS loop on the
+/// shared live counter, so no global lock exists on the request hot path.
+struct SessionTable {
+    shards: Vec<Mutex<FxHashMap<u64, Arc<Mutex<Session>>>>>,
+    live: AtomicU64,
+}
+
+impl SessionTable {
+    fn new(shards: usize) -> Self {
+        Self {
+            shards: (0..shards.clamp(1, 64))
+                .map(|_| Mutex::new(FxHashMap::default()))
+                .collect(),
+            live: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, id: u64) -> &Mutex<FxHashMap<u64, Arc<Mutex<Session>>>> {
+        let mixed = id.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        &self.shards[(mixed as usize) % self.shards.len()]
+    }
+
+    fn get(&self, id: u64) -> Option<Arc<Mutex<Session>>> {
+        self.shard(id)
+            .lock()
+            .expect("session shard poisoned")
+            .get(&id)
+            .cloned()
+    }
+
+    fn contains(&self, id: u64) -> bool {
+        self.shard(id)
+            .lock()
+            .expect("session shard poisoned")
+            .contains_key(&id)
+    }
+
+    /// Admission-controlled insert: claims a live slot through the CAS loop first (so
+    /// concurrent synthesizes cannot overshoot the cap even across shards), then inserts.
+    fn try_insert(&self, id: u64, session: Arc<Mutex<Session>>, cap: usize) -> bool {
+        loop {
+            let live = self.live.load(Ordering::Acquire);
+            if live >= cap as u64 {
+                return false;
+            }
+            if self
+                .live
+                .compare_exchange(live, live + 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                break;
+            }
+        }
+        self.shard(id)
+            .lock()
+            .expect("session shard poisoned")
+            .insert(id, session);
+        true
+    }
+
+    fn remove(&self, id: u64) -> Option<Arc<Mutex<Session>>> {
+        let removed = self
+            .shard(id)
+            .lock()
+            .expect("session shard poisoned")
+            .remove(&id);
+        if removed.is_some() {
+            self.live.fetch_sub(1, Ordering::AcqRel);
+        }
+        removed
+    }
+
+    fn len(&self) -> u64 {
+        self.live.load(Ordering::Acquire)
+    }
+}
+
+/// A unit of admitted, not-yet-finished search work (one session owed a window turn).
 struct WorkItem {
     session: u64,
     /// Iterations still owed to this request.
@@ -234,24 +357,90 @@ impl Ticket {
     }
 }
 
+/// One window of pending leaves: the in-flight middle of up to `batch` split iterations of
+/// one session. Holds the leaves' front halves until every owed evaluation has landed,
+/// then the last-settling worker applies the completions in iteration order (or aborts the
+/// whole window if the request's deadline expired while its leaves were queued).
+struct Window {
+    session_id: u64,
+    session: Arc<Mutex<Session>>,
+    problem: Arc<InterfaceSearchProblem>,
+    deadline: Instant,
+    /// Iterations still owed to the request after this window completes.
+    remaining_after: u64,
+    ticket: Arc<Ticket>,
+    /// One slot per begun iteration, in begin order.
+    slots: Mutex<Vec<LeafSlot>>,
+    /// Evaluation units still owed to this window; the worker that settles the last one
+    /// finalises the window.
+    outstanding: AtomicUsize,
+    /// Set when the deadline expired (or shutdown began) before the window finished:
+    /// finalisation then reverts the virtual losses instead of completing.
+    aborted: AtomicBool,
+}
+
+/// One pending iteration of a window plus its landed rewards.
+struct LeafSlot {
+    pending: Option<PendingLeaf<DiffTree>>,
+    node_reward: Option<f64>,
+    rollout_reward: Option<f64>,
+}
+
+/// Which of a pending leaf's owed evaluations a queued unit carries.
+enum LeafKind {
+    /// The expanded tree node's state.
+    Node,
+    /// The rollout endpoint.
+    Rollout,
+}
+
+/// One queued leaf evaluation: an owed `reward(state, seed)` call, tagged with its batching
+/// group — units of the same group share a compiled evaluation plan, so one worker can
+/// settle a whole group with a single batched kernel call.
+struct EvalUnit {
+    window: Arc<Window>,
+    /// Index of the owning slot in the window.
+    slot: usize,
+    kind: LeafKind,
+    state: DiffTree,
+    seed: u64,
+    /// Batching key: (problem identity, difftree fingerprint). Same key ⇒ same compiled
+    /// plan ⇒ the rewards depend only on the seeds.
+    group: (usize, u64),
+}
+
+/// The two scheduler queues under one lock: admitted session turns and pending leaf
+/// evaluations. Workers prefer draining evaluations (they unblock waiting windows and are
+/// where batching happens); session turns refill the evaluation queue.
+struct Scheduler {
+    work: VecDeque<WorkItem>,
+    leaves: VecDeque<EvalUnit>,
+}
+
 /// State shared between the public API, the scheduler workers and the connection threads.
 struct Shared {
     config: ServeConfig,
     /// The global rule engine: one [`mctsui_difftree::ActionIndex`] for every session.
     rules: RuleEngine,
     started: Instant,
-    sessions: Mutex<FxHashMap<u64, Arc<Mutex<Session>>>>,
+    sessions: SessionTable,
     next_session: AtomicU64,
     /// Problems shared across sessions with the same (log, screen, k) — weak so closing
     /// the last session of a log frees its caches.
     problems: Mutex<FxHashMap<u64, Weak<InterfaceSearchProblem>>>,
-    queue: Mutex<VecDeque<WorkItem>>,
-    queue_cv: Condvar,
+    sched: Mutex<Scheduler>,
+    sched_cv: Condvar,
     shutdown: AtomicBool,
     total_requests: AtomicU64,
     total_iterations: AtomicU64,
     total_slices: AtomicU64,
     peak_sessions: AtomicU64,
+    total_batches: AtomicU64,
+    total_batched_units: AtomicU64,
+    max_batch: AtomicU64,
+    batch_group_hits: AtomicU64,
+    expired_windows: AtomicU64,
+    expired_units: AtomicU64,
 }
 
 /// The multi-session anytime synthesis engine. See the module docs for the architecture.
@@ -264,20 +453,30 @@ impl ServeEngine {
     /// Start an engine with `config.threads` scheduler workers.
     pub fn start(config: ServeConfig) -> Arc<Self> {
         let threads = config.threads.max(1);
+        let shards = config.shards.max(1);
         let shared = Arc::new(Shared {
-            config,
             rules: RuleEngine::default(),
             started: Instant::now(),
-            sessions: Mutex::new(FxHashMap::default()),
+            sessions: SessionTable::new(shards),
             next_session: AtomicU64::new(1),
             problems: Mutex::new(FxHashMap::default()),
-            queue: Mutex::new(VecDeque::new()),
-            queue_cv: Condvar::new(),
+            sched: Mutex::new(Scheduler {
+                work: VecDeque::new(),
+                leaves: VecDeque::new(),
+            }),
+            sched_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
             total_requests: AtomicU64::new(0),
             total_iterations: AtomicU64::new(0),
             total_slices: AtomicU64::new(0),
             peak_sessions: AtomicU64::new(0),
+            total_batches: AtomicU64::new(0),
+            total_batched_units: AtomicU64::new(0),
+            max_batch: AtomicU64::new(0),
+            batch_group_hits: AtomicU64::new(0),
+            expired_windows: AtomicU64::new(0),
+            expired_units: AtomicU64::new(0),
+            config,
         });
         let mut workers = Vec::with_capacity(threads);
         for _ in 0..threads {
@@ -308,16 +507,9 @@ impl ServeEngine {
             return Err(ServeError::NoQueries);
         }
         // Cheap admission pre-check before paying for problem construction and the
-        // handle prologue (root reward evaluation); the authoritative check re-runs
-        // under the table lock at insert time.
-        if self
-            .shared
-            .sessions
-            .lock()
-            .expect("session table poisoned")
-            .len()
-            >= self.shared.config.max_sessions
-        {
+        // handle prologue (root reward evaluation); the authoritative check is the CAS
+        // slot claim at insert time.
+        if self.shared.sessions.len() >= self.shared.config.max_sessions as u64 {
             return Err(ServeError::Busy);
         }
 
@@ -332,21 +524,21 @@ impl ServeEngine {
         let session = Arc::new(Mutex::new(Session {
             problem,
             handle,
+            window_active: false,
             interact: None,
             described: None,
             eval_seed: seed,
         }));
+        if !self
+            .shared
+            .sessions
+            .try_insert(id, session, self.shared.config.max_sessions)
         {
-            let mut sessions = self.shared.sessions.lock().expect("session table poisoned");
-            // Admission control under the table lock so concurrent synthesizes cannot
-            // overshoot the cap.
-            if sessions.len() >= self.shared.config.max_sessions {
-                return Err(ServeError::Busy);
-            }
-            sessions.insert(id, session);
-            let live = sessions.len() as u64;
-            self.shared.peak_sessions.fetch_max(live, Ordering::Relaxed);
+            return Err(ServeError::Busy);
         }
+        self.shared
+            .peak_sessions
+            .fetch_max(self.shared.sessions.len(), Ordering::Relaxed);
         // Counted only once admission succeeded: `total_requests` reports admitted work.
         self.shared.total_requests.fetch_add(1, Ordering::Relaxed);
 
@@ -371,13 +563,7 @@ impl ServeEngine {
             return Err(ServeError::ShuttingDown);
         }
         // Existence check up front so callers get UnknownSession, not a queue round-trip.
-        if !self
-            .shared
-            .sessions
-            .lock()
-            .expect("session table poisoned")
-            .contains_key(&session)
-        {
+        if !self.shared.sessions.contains(session) {
             return Err(ServeError::UnknownSession(session));
         }
         self.shared.total_requests.fetch_add(1, Ordering::Relaxed);
@@ -412,18 +598,18 @@ impl ServeEngine {
 
         let ticket = Ticket::new();
         {
-            let mut queue = self.shared.queue.lock().expect("work queue poisoned");
+            let mut sched = self.shared.sched.lock().expect("scheduler poisoned");
             if self.is_shutdown() {
                 return Err(ServeError::ShuttingDown);
             }
-            queue.push_back(WorkItem {
+            sched.work.push_back(WorkItem {
                 session,
                 remaining: iterations,
                 deadline: Instant::now() + Duration::from_millis(deadline_millis),
                 ticket: Arc::clone(&ticket),
             });
         }
-        self.shared.queue_cv.notify_one();
+        self.shared.sched_cv.notify_one();
         ticket.wait(Duration::from_millis(deadline_millis) + Duration::from_secs(60))?;
 
         self.snapshot(session, reward_before)
@@ -542,29 +728,25 @@ impl ServeEngine {
 
     /// Drop a session and free its search tree.
     pub fn close_session(&self, session: u64) -> Result<(), ServeError> {
-        let removed = self
-            .shared
-            .sessions
-            .lock()
-            .expect("session table poisoned")
-            .remove(&session);
-        match removed {
+        match self.shared.sessions.remove(session) {
             Some(_) => Ok(()),
             None => Err(ServeError::UnknownSession(session)),
         }
     }
 
-    /// Engine-wide statistics: sessions, scheduler counters and shared-cache counters.
+    /// Engine-wide statistics: sessions, scheduler/batching counters and shared-cache
+    /// counters (aggregate and per shard).
     pub fn stats(&self) -> EngineStatsReport {
-        let sessions = self
-            .shared
-            .sessions
-            .lock()
-            .expect("session table poisoned")
-            .len() as u64;
-        let queue_depth = self.shared.queue.lock().expect("work queue poisoned").len() as u64;
-        // Sum the per-log context caches over the live problems in the registry.
+        let sessions = self.shared.sessions.len();
+        let (queue_depth, leaf_queue_depth) = {
+            let sched = self.shared.sched.lock().expect("scheduler poisoned");
+            (sched.work.len() as u64, sched.leaves.len() as u64)
+        };
+        // Sum the per-log context caches over the live problems in the registry; the
+        // per-shard vectors are summed element-wise (every problem cache has the same
+        // shard count, set by `config.shards`).
         let mut context_cache = ContextCacheStats::default();
+        let mut plan_cache_shards: Vec<CacheCounters> = Vec::new();
         {
             let mut problems = self
                 .shared
@@ -577,44 +759,82 @@ impl ServeEngine {
                     let stats = problem.cache_stats();
                     context_cache.contexts = context_cache.contexts.merged(&stats.contexts);
                     context_cache.plans = context_cache.plans.merged(&stats.plans);
+                    let shards = problem.plan_shard_counters();
+                    if plan_cache_shards.len() < shards.len() {
+                        plan_cache_shards.resize(shards.len(), CacheCounters::default());
+                    }
+                    for (merged, shard) in plan_cache_shards.iter_mut().zip(shards) {
+                        *merged = merged.merged(&shard);
+                    }
                 }
             }
         }
+        let total_batches = self.shared.total_batches.load(Ordering::Relaxed);
+        let total_batched_units = self.shared.total_batched_units.load(Ordering::Relaxed);
+        let batch_group_hits = self.shared.batch_group_hits.load(Ordering::Relaxed);
         EngineStatsReport {
             sessions,
             peak_sessions: self.shared.peak_sessions.load(Ordering::Relaxed),
             queue_depth,
+            leaf_queue_depth,
             total_requests: self.shared.total_requests.load(Ordering::Relaxed),
             total_iterations: self.shared.total_iterations.load(Ordering::Relaxed),
             total_slices: self.shared.total_slices.load(Ordering::Relaxed),
+            total_batches,
+            total_batched_units,
+            max_batch: self.shared.max_batch.load(Ordering::Relaxed),
+            mean_batch: if total_batches == 0 {
+                0.0
+            } else {
+                total_batched_units as f64 / total_batches as f64
+            },
+            batch_group_hits,
+            batch_group_hit_ratio: if total_batched_units == 0 {
+                0.0
+            } else {
+                batch_group_hits as f64 / total_batched_units as f64
+            },
+            expired_windows: self.shared.expired_windows.load(Ordering::Relaxed),
+            expired_units: self.shared.expired_units.load(Ordering::Relaxed),
             uptime_millis: self.shared.started.elapsed().as_millis() as u64,
             threads: self.shared.config.threads as u64,
+            batch: self.shared.config.batch as u64,
+            shards: self.shared.config.shards as u64,
             context_cache,
             action_index: self.shared.rules.action_index().counters(),
+            plan_cache_shards,
+            action_index_shards: self.shared.rules.action_index().shard_counters(),
         }
     }
 
     /// Number of live sessions.
     pub fn session_count(&self) -> usize {
-        self.shared
-            .sessions
-            .lock()
-            .expect("session table poisoned")
-            .len()
+        self.shared.sessions.len() as usize
     }
 
     /// Begin shutdown: reject new requests, fail queued work, stop the workers.
     pub fn begin_shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         // Fail every queued item so no waiter hangs.
-        let drained: Vec<WorkItem> = {
-            let mut queue = self.shared.queue.lock().expect("work queue poisoned");
-            queue.drain(..).collect()
+        let (work, leaves) = {
+            let mut sched = self.shared.sched.lock().expect("scheduler poisoned");
+            (
+                sched.work.drain(..).collect::<Vec<_>>(),
+                sched.leaves.drain(..).collect::<Vec<_>>(),
+            )
         };
-        for item in drained {
+        self.shared.sched_cv.notify_all();
+        for item in work {
             item.ticket.complete(Err(ServeError::ShuttingDown));
         }
-        self.shared.queue_cv.notify_all();
+        for unit in leaves {
+            // Fail the waiting request first (first completion wins), then settle the
+            // unit so the window's finalisation restores the session's search invariants
+            // (virtual losses reverted, iteration counts unwound).
+            unit.window.ticket.complete(Err(ServeError::ShuttingDown));
+            unit.window.aborted.store(true, Ordering::Release);
+            settle_unit(&self.shared, &unit.window);
+        }
     }
 
     /// Whether shutdown has begun.
@@ -641,10 +861,7 @@ impl ServeEngine {
     fn session(&self, id: u64) -> Result<Arc<Mutex<Session>>, ServeError> {
         self.shared
             .sessions
-            .lock()
-            .expect("session table poisoned")
-            .get(&id)
-            .cloned()
+            .get(id)
             .ok_or(ServeError::UnknownSession(id))
     }
 
@@ -676,13 +893,14 @@ impl ServeEngine {
             }
         }
         let initial = simplified_difftree(queries);
-        let problem = Arc::new(InterfaceSearchProblem::new(
+        let problem = Arc::new(InterfaceSearchProblem::with_cache_shards(
             queries.to_vec(),
             initial,
             self.shared.rules.clone(),
             config.screen,
             config.weights,
             config.assignments_per_eval,
+            config.shards,
         ));
         let mut registry = self
             .shared
@@ -704,103 +922,350 @@ impl Drop for ServeEngine {
     }
 }
 
-/// One scheduler worker: pop a work item, run one bounded slice of its session's search,
-/// re-queue the remainder (round-robin) or complete the ticket.
+/// What one scheduler turn works on.
+enum Job {
+    /// Open the next window of a session (select/expand up to `batch` leaves).
+    Turn(WorkItem),
+    /// Evaluate one coalesced batch of queued leaves (all of one batching group).
+    Batch(Vec<EvalUnit>),
+}
+
+/// One scheduler worker. Workers normally prefer *turns*: opening every runnable
+/// session's next window first is what fills the evaluation queue with leaves from many
+/// sessions at once, and cross-session same-plan coalescing only exists when it does (a
+/// leaves-first worker would drain each window the moment it was enqueued and never see
+/// two sessions' leaves side by side). After a fruitless turn (the session was busy and
+/// the item only rotated), the preference flips for one pick so queued leaves — the only
+/// possible progress — drain instead of spinning on blocked turns.
 fn worker_loop(shared: &Shared) {
+    let mut prefer_leaves = false;
     loop {
-        let item = {
-            let mut queue = shared.queue.lock().expect("work queue poisoned");
+        let job = {
+            let mut sched = shared.sched.lock().expect("scheduler poisoned");
             loop {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
-                if let Some(item) = queue.pop_front() {
-                    break item;
+                if !prefer_leaves {
+                    if let Some(item) = sched.work.pop_front() {
+                        break Job::Turn(item);
+                    }
                 }
-                queue = shared.queue_cv.wait(queue).expect("work queue poisoned");
+                if let Some(head) = sched.leaves.pop_front() {
+                    // Coalesce up to `batch` queued units of the head's group (same
+                    // problem + same fingerprint ⇒ same compiled plan) into one batched
+                    // evaluation. The scan keeps relative order within and across groups.
+                    let cap = shared.config.batch.max(1);
+                    let group = head.group;
+                    let mut batch = Vec::with_capacity(cap);
+                    batch.push(head);
+                    let mut index = 0;
+                    while batch.len() < cap && index < sched.leaves.len() {
+                        if sched.leaves[index].group == group {
+                            batch.push(sched.leaves.remove(index).expect("index in bounds"));
+                        } else {
+                            index += 1;
+                        }
+                    }
+                    break Job::Batch(batch);
+                }
+                if let Some(item) = sched.work.pop_front() {
+                    break Job::Turn(item);
+                }
+                sched = shared.sched_cv.wait(sched).expect("scheduler poisoned");
             }
         };
+        prefer_leaves = match job {
+            Job::Batch(units) => {
+                run_batch(shared, units);
+                false
+            }
+            Job::Turn(item) => !run_turn(shared, item),
+        };
+    }
+}
 
-        let session = {
-            let sessions = shared.sessions.lock().expect("session table poisoned");
-            sessions.get(&item.session).cloned()
-        };
-        let Some(session) = session else {
-            // Session closed while queued: the request cannot make progress.
-            item.ticket
-                .complete(Err(ServeError::UnknownSession(item.session)));
-            continue;
-        };
+/// Rotate a work item to the back of the queue (its session is busy under another worker
+/// or an in-flight window). The brief timed wait when the scheduler is otherwise idle
+/// keeps the single-busy-session case from spinning hot while still noticing fresh work
+/// immediately.
+fn rotate_turn(shared: &Shared, item: WorkItem) {
+    let sched = shared.sched.lock().expect("scheduler poisoned");
+    if shared.shutdown.load(Ordering::SeqCst) {
+        drop(sched);
+        item.ticket.complete(Err(ServeError::ShuttingDown));
+        return;
+    }
+    let idle = sched.work.is_empty() && sched.leaves.is_empty();
+    let mut sched = sched;
+    sched.work.push_back(item);
+    if idle {
+        let _ = shared
+            .sched_cv
+            .wait_timeout(sched, Duration::from_millis(1))
+            .expect("scheduler poisoned");
+    }
+}
 
-        if item.remaining == 0 || Instant::now() >= item.deadline {
-            item.ticket.complete(Ok(()));
-            continue;
-        }
-
-        let quantum = (shared.config.slice_iterations as u64).min(item.remaining) as usize;
-        // Don't sleep on a session another worker is slicing — rotate the item to the
-        // back and serve someone else (work conservation under concurrent refines of one
-        // session). The brief timed wait keeps the single-busy-session case from spinning
-        // hot while still noticing fresh queue work immediately.
-        let Ok(mut guard) = session.try_lock() else {
-            let queue = shared.queue.lock().expect("work queue poisoned");
-            if shared.shutdown.load(Ordering::SeqCst) {
-                drop(queue);
-                item.ticket.complete(Err(ServeError::ShuttingDown));
-                continue;
-            }
-            let requeue_only_item = queue.is_empty();
-            let mut queue = queue;
-            queue.push_back(item);
-            if requeue_only_item {
-                let _ = shared
-                    .queue_cv
-                    .wait_timeout(queue, Duration::from_millis(1))
-                    .expect("work queue poisoned");
-            }
-            continue;
-        };
-        let report = {
-            // The deadline budget is measured *after* acquiring the session mutex:
-            // blocking behind another worker's slice (or a snapshot) must eat into the
-            // request's deadline, not extend it.
-            let time_left = item
-                .deadline
-                .saturating_duration_since(Instant::now())
-                .as_millis() as u64;
-            if time_left == 0 {
-                drop(guard);
-                item.ticket.complete(Ok(()));
-                continue;
-            }
-            guard
-                .handle
-                .run_for(SliceBudget::either(quantum, time_left))
-        };
-        // Release the session before the queue/ticket bookkeeping below, so snapshots and
-        // other workers are not held up by it.
+/// Open the next window of a session: run the select/expand front halves of up to `batch`
+/// iterations under the session lock, then release it and enqueue the owed evaluations on
+/// the global leaf queue. The session stays usable (snapshots, interactions) while its
+/// leaves wait — only the search tree mutation itself is serialised.
+fn run_turn(shared: &Shared, item: WorkItem) -> bool {
+    let Some(session) = shared.sessions.get(item.session) else {
+        // Session closed while queued: the request cannot make progress.
+        item.ticket
+            .complete(Err(ServeError::UnknownSession(item.session)));
+        return true;
+    };
+    if item.remaining == 0 || Instant::now() >= item.deadline {
+        item.ticket.complete(Ok(()));
+        return true;
+    }
+    // Don't sleep on a session another worker is serving — rotate the item and serve
+    // someone else (work conservation under concurrent refines of one session).
+    let Ok(mut guard) = session.try_lock() else {
+        rotate_turn(shared, item);
+        return false;
+    };
+    if guard.window_active {
         drop(guard);
-        shared
-            .total_iterations
-            .fetch_add(report.iterations_run as u64, Ordering::Relaxed);
-        shared.total_slices.fetch_add(1, Ordering::Relaxed);
+        rotate_turn(shared, item);
+        return false;
+    }
+    // The deadline is re-measured *after* acquiring the session mutex: blocking behind
+    // another worker (or a snapshot) must eat into the request's deadline, not extend it.
+    if Instant::now() >= item.deadline {
+        drop(guard);
+        item.ticket.complete(Ok(()));
+        return true;
+    }
 
-        let remaining = item.remaining - report.iterations_run as u64;
-        let deadline_hit = Instant::now() >= item.deadline;
-        if remaining == 0 || deadline_hit || report.exhausted {
-            item.ticket.complete(Ok(()));
-        } else {
-            // Round-robin: unfinished requests go to the back so every queued request
-            // advances by one slice per scheduler round.
-            let mut queue = shared.queue.lock().expect("work queue poisoned");
-            if shared.shutdown.load(Ordering::SeqCst) {
-                drop(queue);
-                item.ticket.complete(Err(ServeError::ShuttingDown));
-                continue;
-            }
-            queue.push_back(WorkItem { remaining, ..item });
-            drop(queue);
-            shared.queue_cv.notify_one();
+    let width = shared
+        .config
+        .batch
+        .max(1)
+        .min(shared.config.slice_iterations.max(1))
+        .min(item.remaining as usize)
+        .max(1);
+    let mut pendings = Vec::with_capacity(width);
+    for _ in 0..width {
+        match guard.handle.begin_iteration() {
+            Some(leaf) => pendings.push(leaf),
+            None => break,
         }
     }
+    if pendings.is_empty() {
+        // The session's total budget is exhausted (not reachable with serve's unbounded
+        // budgets, but honoured for completeness).
+        drop(guard);
+        item.ticket.complete(Ok(()));
+        return true;
+    }
+    guard.window_active = true;
+    let problem = Arc::clone(&guard.problem);
+    drop(guard);
+    shared.total_slices.fetch_add(1, Ordering::Relaxed);
+
+    let emitted = pendings.len() as u64;
+    let unit_count = pendings
+        .iter()
+        .map(|leaf| 1 + usize::from(leaf.rollout.is_some()))
+        .sum::<usize>();
+    let window = Arc::new(Window {
+        session_id: item.session,
+        session,
+        problem,
+        deadline: item.deadline,
+        remaining_after: item.remaining - emitted,
+        ticket: item.ticket,
+        slots: Mutex::new(Vec::new()),
+        outstanding: AtomicUsize::new(unit_count),
+        aborted: AtomicBool::new(false),
+    });
+    let problem_key = Arc::as_ptr(&window.problem) as usize;
+    let mut units = Vec::with_capacity(unit_count);
+    let mut slots = Vec::with_capacity(pendings.len());
+    for (slot, leaf) in pendings.into_iter().enumerate() {
+        units.push(EvalUnit {
+            window: Arc::clone(&window),
+            slot,
+            kind: LeafKind::Node,
+            state: leaf.node_state.clone(),
+            seed: leaf.node_seed,
+            group: (problem_key, leaf.node_state.fingerprint()),
+        });
+        if let Some((state, seed)) = &leaf.rollout {
+            units.push(EvalUnit {
+                window: Arc::clone(&window),
+                slot,
+                kind: LeafKind::Rollout,
+                state: state.clone(),
+                seed: *seed,
+                group: (problem_key, state.fingerprint()),
+            });
+        }
+        slots.push(LeafSlot {
+            pending: Some(leaf),
+            node_reward: None,
+            rollout_reward: None,
+        });
+    }
+    *window.slots.lock().expect("window slots poisoned") = slots;
+
+    let enqueued = {
+        let mut sched = shared.sched.lock().expect("scheduler poisoned");
+        if shared.shutdown.load(Ordering::SeqCst) {
+            false
+        } else {
+            sched.leaves.extend(units.drain(..));
+            true
+        }
+    };
+    if enqueued {
+        shared.sched_cv.notify_all();
+    } else {
+        // Shutdown raced the enqueue: fail the request and settle every unit locally so
+        // the window's finalisation still restores the session's invariants.
+        window.ticket.complete(Err(ServeError::ShuttingDown));
+        window.aborted.store(true, Ordering::Release);
+        for unit in units {
+            settle_unit(shared, &unit.window);
+        }
+    }
+    true
+}
+
+/// Evaluate one coalesced batch of leaf units (all of one batching group, i.e. one
+/// compiled plan). Units whose window's deadline has expired — or whose window was already
+/// aborted — are dropped unevaluated; the rest run through the batched cost kernel in one
+/// call, and each landed reward settles its window.
+fn run_batch(shared: &Shared, units: Vec<EvalUnit>) {
+    let now = Instant::now();
+    let mut live: Vec<EvalUnit> = Vec::with_capacity(units.len());
+    let mut dead: Vec<EvalUnit> = Vec::new();
+    for unit in units {
+        if now >= unit.window.deadline {
+            unit.window.aborted.store(true, Ordering::Release);
+        }
+        if unit.window.aborted.load(Ordering::Acquire) {
+            dead.push(unit);
+        } else {
+            live.push(unit);
+        }
+    }
+    if !live.is_empty() {
+        // Same group ⇒ same compiled plan ⇒ each reward depends only on its seed, so one
+        // state stands in for the whole batch, and units sharing a seed share one
+        // evaluation (replicated sessions over one log collapse to a single search's
+        // eval work). Bit-identical to per-unit `reward` calls (pinned by the
+        // `evaluate_sampled_many` tests); copying a deterministic result is the identity.
+        let mut seeds: Vec<u64> = Vec::with_capacity(live.len());
+        let seed_slots: Vec<usize> = live
+            .iter()
+            .map(|unit| match seeds.iter().position(|&s| s == unit.seed) {
+                Some(at) => at,
+                None => {
+                    seeds.push(unit.seed);
+                    seeds.len() - 1
+                }
+            })
+            .collect();
+        let unique = live[0].window.problem.reward_many(&live[0].state, &seeds);
+        let rewards: Vec<f64> = seed_slots.into_iter().map(|at| unique[at]).collect();
+        shared.total_batches.fetch_add(1, Ordering::Relaxed);
+        shared
+            .total_batched_units
+            .fetch_add(live.len() as u64, Ordering::Relaxed);
+        shared
+            .max_batch
+            .fetch_max(live.len() as u64, Ordering::Relaxed);
+        shared
+            .batch_group_hits
+            .fetch_add(live.len() as u64 - 1, Ordering::Relaxed);
+        for (unit, reward) in live.into_iter().zip(rewards) {
+            {
+                let mut slots = unit.window.slots.lock().expect("window slots poisoned");
+                let slot = &mut slots[unit.slot];
+                match unit.kind {
+                    LeafKind::Node => slot.node_reward = Some(reward),
+                    LeafKind::Rollout => slot.rollout_reward = Some(reward),
+                }
+            }
+            settle_unit(shared, &unit.window);
+        }
+    }
+    for unit in dead {
+        shared.expired_units.fetch_add(1, Ordering::Relaxed);
+        settle_unit(shared, &unit.window);
+    }
+}
+
+/// Mark one owed evaluation of a window as settled; the last one finalises the window.
+fn settle_unit(shared: &Shared, window: &Arc<Window>) {
+    if window.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
+        finalize_window(shared, window);
+    }
+}
+
+/// Apply a finished window to its session: completions in iteration order (the window
+/// barrier that makes the stream deterministic per `(seed, batch)`), or — when the window
+/// was aborted — revert every pending leaf so the deadline-expired request neither pays
+/// for nor skews the search with evaluations nobody waited for. Then re-queue the
+/// request's remainder or complete its ticket.
+fn finalize_window(shared: &Shared, window: &Arc<Window>) {
+    let slots: Vec<LeafSlot> =
+        std::mem::take(&mut *window.slots.lock().expect("window slots poisoned"));
+    let mut guard = window.session.lock().expect("session poisoned");
+    if window.aborted.load(Ordering::Acquire) {
+        for slot in slots {
+            if let Some(leaf) = slot.pending {
+                guard.handle.abort_iteration(leaf);
+            }
+        }
+        guard.window_active = false;
+        drop(guard);
+        shared.expired_windows.fetch_add(1, Ordering::Relaxed);
+        // Anytime semantics: a deadline-expired request still gets its best-so-far (a
+        // shutdown abort already failed the ticket; first completion wins).
+        window.ticket.complete(Ok(()));
+        return;
+    }
+
+    let completed = slots.len() as u64;
+    for slot in slots {
+        let leaf = slot.pending.expect("pending leaf settled twice");
+        let node_reward = slot.node_reward.expect("live unit evaluated");
+        guard
+            .handle
+            .complete_iteration(leaf, node_reward, slot.rollout_reward);
+    }
+    let exhausted = guard.handle.is_exhausted();
+    guard.window_active = false;
+    drop(guard);
+    shared
+        .total_iterations
+        .fetch_add(completed, Ordering::Relaxed);
+
+    if window.remaining_after == 0 || exhausted || Instant::now() >= window.deadline {
+        window.ticket.complete(Ok(()));
+        return;
+    }
+    // Round-robin: unfinished requests go to the back so every queued request advances by
+    // one window per scheduler round.
+    let item = WorkItem {
+        session: window.session_id,
+        remaining: window.remaining_after,
+        deadline: window.deadline,
+        ticket: Arc::clone(&window.ticket),
+    };
+    let mut sched = shared.sched.lock().expect("scheduler poisoned");
+    if shared.shutdown.load(Ordering::SeqCst) {
+        drop(sched);
+        window.ticket.complete(Err(ServeError::ShuttingDown));
+        return;
+    }
+    sched.work.push_back(item);
+    drop(sched);
+    shared.sched_cv.notify_one();
 }

@@ -122,28 +122,57 @@ pub struct BestReport {
 }
 
 /// Engine-wide statistics (the `Stats` response payload).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EngineStatsReport {
     /// Live sessions.
     pub sessions: u64,
     /// High-water mark of live sessions.
     pub peak_sessions: u64,
-    /// Work items currently queued or being sliced.
+    /// Admitted work items (session windows owed a turn) currently queued.
     pub queue_depth: u64,
+    /// Pending leaf evaluations currently queued for batching.
+    pub leaf_queue_depth: u64,
     /// Requests admitted since startup (synthesize + refine + interact).
     pub total_requests: u64,
     /// Search iterations executed since startup, summed over all sessions.
     pub total_iterations: u64,
-    /// Scheduler slices executed since startup.
+    /// Scheduler slices (select/expand windows) executed since startup.
     pub total_slices: u64,
+    /// Batched evaluation calls executed since startup.
+    pub total_batches: u64,
+    /// Leaf evaluations settled through batched calls since startup.
+    pub total_batched_units: u64,
+    /// Largest single batched evaluation call so far.
+    pub max_batch: u64,
+    /// Mean leaf evaluations per batched call (`0` before the first batch).
+    pub mean_batch: f64,
+    /// Leaf evaluations that shared their batch with at least one other unit of the same
+    /// compiled plan (the cross-session amortisation the batching scheduler exists for).
+    pub batch_group_hits: u64,
+    /// `batch_group_hits / total_batched_units` in `[0, 1]` (`0` before the first batch).
+    pub batch_group_hit_ratio: f64,
+    /// Windows aborted before evaluation (request deadline expired while its leaves were
+    /// queued, or engine shutdown) — their virtual losses were reverted, not evaluated.
+    pub expired_windows: u64,
+    /// Queued leaf evaluations dropped unevaluated by aborted windows.
+    pub expired_units: u64,
     /// Milliseconds since engine startup.
     pub uptime_millis: u64,
     /// Scheduler worker threads.
     pub threads: u64,
+    /// Configured batch width (max leaves per window and per batched call).
+    pub batch: u64,
+    /// Configured shard count (session table and per-log caches).
+    pub shards: u64,
     /// Counters of the shared per-log context/plan caches, summed over live query logs.
     pub context_cache: ContextCacheStats,
     /// Counters of the global rule-binding cache (shared by every session).
     pub action_index: CacheCounters,
+    /// Per-shard counters of the per-log compiled-plan caches (element-wise sums over
+    /// live query logs; shard balance of the batching scheduler's hottest cache).
+    pub plan_cache_shards: Vec<CacheCounters>,
+    /// Per-shard counters of the global rule-binding cache.
+    pub action_index_shards: Vec<CacheCounters>,
 }
 
 /// A server response (one JSON line).

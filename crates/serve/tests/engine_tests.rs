@@ -274,6 +274,214 @@ fn stats_report_engine_wide_counters() {
 }
 
 #[test]
+fn batch_one_single_worker_matches_a_raw_handle_bitwise() {
+    // The batched co-scheduler at batch = 1 with one worker is the sequential resumable
+    // search: the engine's answer must reproduce a raw SearchHandle over the identically
+    // configured problem bit-for-bit (the PR-5 determinism pin, preserved through the
+    // split-iteration rewrite).
+    use mctsui_core::InterfaceSearchProblem;
+    use mctsui_difftree::{simplified_difftree, RuleEngine};
+    use mctsui_mcts::{Budget, SearchHandle, SliceBudget};
+
+    for seed in [7u64, 0xC0FFEE] {
+        let config = ServeConfig::quick().with_threads(1).with_batch(1);
+        let queries = figure1_queries();
+
+        let reference = {
+            let initial = simplified_difftree(&queries);
+            let problem = Arc::new(InterfaceSearchProblem::new(
+                queries.clone(),
+                initial,
+                RuleEngine::default(),
+                config.screen,
+                config.weights,
+                config.assignments_per_eval,
+            ));
+            let mut mcts = config.mcts.clone();
+            mcts.seed = seed;
+            mcts.budget = Budget::Iterations(usize::MAX);
+            let mut handle = SearchHandle::new(problem, mcts);
+            handle.run_for(SliceBudget::iterations(40));
+            for _ in 0..3 {
+                handle.run_for(SliceBudget::iterations(25));
+            }
+            handle
+        };
+
+        let engine = ServeEngine::start(config);
+        let opened = engine
+            .synthesize(queries.clone(), 40, 60_000, seed)
+            .expect("synthesize");
+        let mut last = None;
+        for _ in 0..3 {
+            last = Some(engine.refine(opened.session, 25, 60_000).expect("refine"));
+        }
+        let last = last.unwrap();
+
+        assert_eq!(
+            last.best.reward.to_bits(),
+            reference.best_reward().to_bits(),
+            "seed {seed}: batch=1 engine diverged from the raw sequential handle"
+        );
+        assert_eq!(last.best.iterations, reference.iterations() as u64);
+        assert_eq!(last.best.evaluations, reference.evaluations() as u64);
+        assert_eq!(last.best.tree_nodes, reference.node_count() as u64);
+    }
+}
+
+#[test]
+fn batched_stress_eight_sessions_four_workers_accounts_every_iteration() {
+    // Eight sessions hammered through four workers with a wide batch: every session must
+    // reach its exact request budget (no starvation, no lost or double-counted
+    // iterations), and the batching counters must prove the batched path actually ran.
+    let engine = ServeEngine::start(ServeConfig::quick().with_threads(4).with_batch(16));
+    let sessions: Vec<u64> = (0..8)
+        .map(|i| {
+            engine
+                .synthesize(figure1_queries(), 10, 30_000, 500 + i)
+                .expect("synthesize")
+                .session
+        })
+        .collect();
+
+    let results: Vec<(u64, u64, f64)> = std::thread::scope(|scope| {
+        let engine = &engine;
+        let handles: Vec<_> = sessions
+            .iter()
+            .map(|&session| {
+                scope.spawn(move || {
+                    let mut last_reward = f64::NEG_INFINITY;
+                    let mut result = None;
+                    for _ in 0..2 {
+                        let refined = engine.refine(session, 40, 30_000).expect("refine");
+                        assert!(
+                            refined.best.reward >= last_reward,
+                            "refine lost ground on session {session}"
+                        );
+                        last_reward = refined.best.reward;
+                        result = Some(refined);
+                    }
+                    let result = result.unwrap();
+                    (session, result.best.iterations, result.best.reward)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for (session, iterations, reward) in results {
+        assert_eq!(
+            iterations, 90,
+            "session {session} did not account its full budget"
+        );
+        assert!(reward.is_finite());
+    }
+
+    let stats = engine.stats();
+    assert_eq!(stats.total_iterations, 8 * 90);
+    assert_eq!(stats.queue_depth, 0);
+    assert_eq!(stats.leaf_queue_depth, 0);
+    assert!(stats.total_batches > 0, "batched evaluation never ran");
+    assert!(
+        stats.total_batched_units >= stats.total_iterations,
+        "every iteration owes at least its node evaluation to the batch path"
+    );
+    assert!(stats.max_batch >= 1 && stats.max_batch <= 16);
+    assert!(stats.mean_batch >= 1.0);
+    assert!((0.0..=1.0).contains(&stats.batch_group_hit_ratio));
+}
+
+#[test]
+fn deadline_expiry_while_queued_drops_work_without_corrupting_sessions() {
+    // Impossible budgets against millisecond deadlines on one worker: requests must come
+    // back Ok (anytime semantics) with the expiry counters eventually proving that queued
+    // windows were aborted rather than evaluated — and the sessions must stay perfectly
+    // consistent afterwards (exact iteration accounting on a follow-up refine).
+    let engine = ServeEngine::start(ServeConfig::quick().with_threads(1).with_batch(8));
+    let sessions: Vec<u64> = (0..4)
+        .map(|i| {
+            engine
+                .synthesize(figure1_queries(), 5, 30_000, 900 + i)
+                .expect("synthesize")
+                .session
+        })
+        .collect();
+
+    let mut attempts = 0;
+    while engine.stats().expired_windows == 0 && attempts < 200 {
+        attempts += 1;
+        std::thread::scope(|scope| {
+            let engine = &engine;
+            for &session in &sessions {
+                scope.spawn(move || {
+                    // Huge budget, 2 ms deadline: cannot finish; must return the anytime
+                    // answer via either the turn-time deadline check or the abort path.
+                    let result = engine.refine(session, 50_000, 2).expect("refine");
+                    assert!(result.best.reward.is_finite());
+                });
+            }
+        });
+    }
+    let stats = engine.stats();
+    assert!(
+        stats.expired_windows > 0,
+        "no window ever expired in the queue across {attempts} rounds"
+    );
+    // Every aborted window dropped its queued units unevaluated.
+    assert!(stats.expired_units > 0);
+    assert_eq!(stats.leaf_queue_depth, 0);
+    assert_eq!(stats.queue_depth, 0);
+
+    // Aborted windows unwound their iterations, so exact accounting still holds: a
+    // normal refine advances each session by exactly its request budget.
+    for &session in &sessions {
+        let before = engine.refine(session, 7, 30_000).expect("refine");
+        let after = engine.refine(session, 7, 30_000).expect("refine");
+        assert_eq!(after.best.iterations, before.best.iterations + 7);
+        assert!(after.best.reward >= before.best.reward);
+    }
+}
+
+#[test]
+fn stats_surface_batching_and_shard_counters() {
+    let engine = quick_engine(2);
+    let opened = engine.synthesize(figure1_queries(), 20, 10_000, 3).unwrap();
+    engine.refine(opened.session, 20, 10_000).unwrap();
+    let stats = engine.stats();
+
+    // Config echoes.
+    assert_eq!(stats.batch, 4);
+    assert_eq!(stats.shards, 8);
+    assert_eq!(stats.threads, 2);
+
+    // Batching counters are live and self-consistent.
+    assert!(stats.total_batches > 0);
+    assert!(stats.total_batched_units >= stats.total_iterations);
+    assert!(stats.max_batch >= 1 && stats.max_batch <= stats.batch);
+    let mean = stats.total_batched_units as f64 / stats.total_batches as f64;
+    assert!((stats.mean_batch - mean).abs() < 1e-9);
+    assert!((0.0..=1.0).contains(&stats.batch_group_hit_ratio));
+
+    // Per-shard cache counters sum to the aggregates.
+    assert_eq!(stats.plan_cache_shards.len(), 8);
+    assert_eq!(stats.action_index_shards.len(), 8);
+    let plan_sum = stats
+        .plan_cache_shards
+        .iter()
+        .fold(mctsui_difftree::CacheCounters::default(), |acc, c| {
+            acc.merged(c)
+        });
+    assert_eq!(plan_sum, stats.context_cache.plans);
+    let index_sum = stats
+        .action_index_shards
+        .iter()
+        .fold(mctsui_difftree::CacheCounters::default(), |acc, c| {
+            acc.merged(c)
+        });
+    assert_eq!(index_sum, stats.action_index);
+}
+
+#[test]
 fn shutdown_rejects_new_work_and_joins_workers() {
     let engine = quick_engine(2);
     let opened = engine.synthesize(figure1_queries(), 10, 5_000, 1).unwrap();

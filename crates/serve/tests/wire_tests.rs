@@ -38,6 +38,7 @@ fn scripted_session_round_trips_over_tcp() {
         refines: 2,
         deadline_millis: 10_000,
         seed: 7,
+        seed_stride: 1,
     };
     let report = run_scripted_session(&addr, &demo_queries(), &script).expect("scripted session");
     assert_eq!(report.refined.len(), 2);
@@ -72,6 +73,7 @@ fn eight_concurrent_scripted_sessions_succeed() {
         refines: 2,
         deadline_millis: 20_000,
         seed: 1,
+        seed_stride: 1,
     };
     let reports =
         run_concurrent_sessions(&addr, &demo_queries(), &script, 8).expect("concurrent sessions");

@@ -28,6 +28,8 @@
 //!   --threads <n>                scheduler worker threads (default: cpu count)
 //!   --slice <n>                  scheduler quantum in iterations (default: 64)
 //!   --max-sessions <n>           admission cap on live sessions (default: 256)
+//!   --batch <n>                  leaf-evaluation batch width (default: 8; 1 = sequential)
+//!   --shards <n>                 session-table / cache shard count (default: 8)
 //!   --screen <wide|narrow|WxH>   target screen of generated interfaces
 //!
 //! CLIENT OPTIONS:
@@ -127,6 +129,14 @@ fn serve_main(args: Vec<String>) -> ExitCode {
                 Some(n) => config = config.with_max_sessions(n),
                 None => return usage_error("--max-sessions needs a number"),
             },
+            "--batch" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => config = config.with_batch(n),
+                None => return usage_error("--batch needs a number"),
+            },
+            "--shards" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => config = config.with_shards(n),
+                None => return usage_error("--shards needs a number"),
+            },
             "--screen" => match iter.next().as_deref().map(parse_screen) {
                 Some(Ok(screen)) => config.screen = screen,
                 _ => return usage_error("--screen needs wide, narrow or WxH"),
@@ -137,9 +147,11 @@ fn serve_main(args: Vec<String>) -> ExitCode {
 
     let engine = ServeEngine::start(config);
     eprintln!(
-        "mctsui serve: {} scheduler threads, slice {} iterations, up to {} sessions",
+        "mctsui serve: {} scheduler threads, slice {} iterations, batch {}, {} shards, up to {} sessions",
         engine.config().threads,
         engine.config().slice_iterations,
+        engine.config().batch,
+        engine.config().shards,
         engine.config().max_sessions
     );
     let result = mctsui::serve::serve(engine, &addr, |bound| {
