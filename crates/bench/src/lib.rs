@@ -796,6 +796,7 @@ pub fn serve_load_report(
         deadline_millis: 60_000,
         seed,
         seed_stride: 1,
+        ..ScriptConfig::default()
     };
     let started = std::time::Instant::now();
     let reports = run_concurrent_sessions(&addr, &sdss_listing1_sql(), &script, sessions)
@@ -937,6 +938,7 @@ pub fn shard_bench_report(
         deadline_millis: 60_000,
         seed,
         seed_stride,
+        ..ScriptConfig::default()
     };
     let started = std::time::Instant::now();
     let reports = run_concurrent_sessions(&addr, &sdss_listing1_sql(), &script, sessions)

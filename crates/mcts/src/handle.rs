@@ -26,6 +26,7 @@ use rand::{Rng, SeedableRng};
 use crate::config::MctsConfig;
 use crate::engine::{rollout_walk, select_child, RewardTracePoint, SearchOutcome, SearchStats};
 use crate::problem::SearchProblem;
+use crate::snapshot::HandleSnapshot;
 use crate::tree::SearchTree;
 
 /// Bounds of one [`SearchHandle::run_for`] slice. Both limits are optional; whichever is
@@ -479,6 +480,57 @@ impl<P: SearchProblem> SearchHandle<P> {
     /// The configuration (total budget, exploration, rollout depth, seed) of this handle.
     pub fn config(&self) -> &MctsConfig {
         &self.config
+    }
+
+    /// Capture the handle's full resumable state as a [`HandleSnapshot`]. Must be called at
+    /// quiescence (no leaf pending): virtual losses are transient scheduling state and are
+    /// deliberately not captured, so a snapshot taken mid-iteration would lose them.
+    ///
+    /// [`SearchHandle::restore`] on the snapshot yields a handle that continues
+    /// **bit-identically** to this one — same rng stream, same selections, same best record
+    /// (pinned by `tests/resumable.rs`). Wall-clock fields are carried over as-is but, as
+    /// everywhere else, are outside the determinism contract.
+    pub fn snapshot(&self) -> HandleSnapshot<P::State> {
+        debug_assert_eq!(
+            self.outstanding_virtual_loss(),
+            0,
+            "snapshot requires quiescence (no pending leaf)"
+        );
+        HandleSnapshot {
+            config: self.config.clone(),
+            rng_state: self.rng.state(),
+            nodes: self.tree.export_records(),
+            best_state: self.best_state.clone(),
+            best_reward_bits: self.best_reward.to_bits(),
+            min_reward_bits: self.min_reward.to_bits(),
+            trace: self.trace.clone(),
+            iterations: self.iterations as u64,
+            evaluations: self.evaluations as u64,
+            elapsed_millis: self.elapsed_millis,
+            exhausted: self.exhausted,
+        }
+    }
+
+    /// Rebuild a handle from a [`HandleSnapshot`] and the problem it was searching. The
+    /// caller is responsible for pairing the snapshot with an equivalent problem (same
+    /// state semantics and reward function); the snapshot itself is validated structurally
+    /// (tree reference integrity) and a corrupt one is rejected rather than trusted.
+    pub fn restore(problem: P, snapshot: HandleSnapshot<P::State>) -> Result<Self, String> {
+        let tree = SearchTree::from_records(snapshot.nodes)?;
+        Ok(Self {
+            problem,
+            config: snapshot.config,
+            tree,
+            rng: StdRng::from_state(snapshot.rng_state),
+            best_state: snapshot.best_state,
+            best_reward: f64::from_bits(snapshot.best_reward_bits),
+            min_reward: f64::from_bits(snapshot.min_reward_bits),
+            trace: snapshot.trace,
+            iterations: snapshot.iterations as usize,
+            evaluations: snapshot.evaluations as usize,
+            elapsed_millis: snapshot.elapsed_millis,
+            exhausted: snapshot.exhausted,
+        })
     }
 
     /// A snapshot of the run as a [`SearchOutcome`] — the same shape (including the closing

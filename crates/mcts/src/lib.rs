@@ -35,13 +35,15 @@ pub mod config;
 pub mod engine;
 pub mod handle;
 pub mod problem;
+pub mod snapshot;
 pub mod tree;
 
 pub use config::{Budget, MctsConfig, ParallelMode};
 pub use engine::{Mcts, RewardTracePoint, SearchOutcome, SearchStats};
 pub use handle::{PendingLeaf, SearchHandle, SliceBudget, SliceReport};
 pub use problem::SearchProblem;
-pub use tree::SearchTree;
+pub use snapshot::HandleSnapshot;
+pub use tree::{NodeRecord, SearchTree};
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,130 @@
+//! Serializable snapshots of a live [`SearchHandle`](crate::SearchHandle).
+//!
+//! A serving process must survive restarts without discarding every warm search tree, so a
+//! handle can be captured as a [`HandleSnapshot`] — the full resumable state: config, rng
+//! stream position, every tree node (structure, statistics and the lazy Fisher–Yates
+//! permutation of its untried pool), the monotone best record and the improvement trace.
+//! Restoring the snapshot yields a handle that continues **bit-identically** to the
+//! uninterrupted run (pinned by `tests/resumable.rs`).
+//!
+//! Exactness discipline: reward accumulators and the best/min record are stored as raw
+//! `f64` bits (`u64`), and the rng as its raw `[u64; 4]` state, so no serialization path
+//! ever rounds them. Snapshots must be taken at quiescence (no pending leaf): virtual
+//! losses are transient and deliberately not captured.
+//!
+//! The serde impls are manual because the snapshot types are generic over the state `S`
+//! (the workspace's derive shim intentionally supports only non-generic types).
+
+use serde::{Deserialize, Error, Serialize, Value};
+
+use crate::config::MctsConfig;
+use crate::engine::RewardTracePoint;
+use crate::tree::NodeRecord;
+
+/// The full resumable state of one [`SearchHandle`](crate::SearchHandle), captured at
+/// quiescence. Produced by [`SearchHandle::snapshot`](crate::SearchHandle::snapshot),
+/// consumed by [`SearchHandle::restore`](crate::SearchHandle::restore).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HandleSnapshot<S> {
+    /// The search configuration (budget, exploration, rollout depth, seed).
+    pub config: MctsConfig,
+    /// The rng's raw xoshiro256** state, mid-stream.
+    pub rng_state: [u64; 4],
+    /// Every tree node in arena id order.
+    pub nodes: Vec<NodeRecord<S>>,
+    /// The best state found so far.
+    pub best_state: S,
+    /// Best reward as raw `f64` bits.
+    pub best_reward_bits: u64,
+    /// Worst reward seen (the virtual-loss penalty) as raw `f64` bits.
+    pub min_reward_bits: u64,
+    /// Best-reward improvements so far.
+    pub trace: Vec<RewardTracePoint>,
+    /// Iterations completed.
+    pub iterations: u64,
+    /// Reward evaluations performed.
+    pub evaluations: u64,
+    /// Wall-clock milliseconds accumulated inside slices.
+    pub elapsed_millis: u64,
+    /// Whether the handle's total budget is exhausted.
+    pub exhausted: bool,
+}
+
+fn object(entries: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+impl<S: Serialize> Serialize for NodeRecord<S> {
+    fn to_value(&self) -> Value {
+        object(vec![
+            ("state", self.state.to_value()),
+            ("parent", self.parent.to_value()),
+            ("visits", self.visits.to_value()),
+            ("total_reward_bits", self.total_reward_bits.to_value()),
+            ("untried_remaining", self.untried_remaining.to_value()),
+            ("swaps", self.swaps.to_value()),
+            ("children", self.children.to_value()),
+        ])
+    }
+}
+
+impl<S: Deserialize> Deserialize for NodeRecord<S> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let obj = serde::expect_object(v, "NodeRecord")?;
+        Ok(Self {
+            state: serde::field(obj, "state")?,
+            parent: serde::field(obj, "parent")?,
+            visits: serde::field(obj, "visits")?,
+            total_reward_bits: serde::field(obj, "total_reward_bits")?,
+            untried_remaining: serde::field(obj, "untried_remaining")?,
+            swaps: serde::field(obj, "swaps")?,
+            children: serde::field(obj, "children")?,
+        })
+    }
+}
+
+impl<S: Serialize> Serialize for HandleSnapshot<S> {
+    fn to_value(&self) -> Value {
+        object(vec![
+            ("config", self.config.to_value()),
+            ("rng_state", self.rng_state.to_vec().to_value()),
+            ("nodes", self.nodes.to_value()),
+            ("best_state", self.best_state.to_value()),
+            ("best_reward_bits", self.best_reward_bits.to_value()),
+            ("min_reward_bits", self.min_reward_bits.to_value()),
+            ("trace", self.trace.to_value()),
+            ("iterations", self.iterations.to_value()),
+            ("evaluations", self.evaluations.to_value()),
+            ("elapsed_millis", self.elapsed_millis.to_value()),
+            ("exhausted", self.exhausted.to_value()),
+        ])
+    }
+}
+
+impl<S: Deserialize> Deserialize for HandleSnapshot<S> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let obj = serde::expect_object(v, "HandleSnapshot")?;
+        let rng_words: Vec<u64> = serde::field(obj, "rng_state")?;
+        let rng_state: [u64; 4] = rng_words
+            .try_into()
+            .map_err(|_| Error::custom("rng_state must have exactly 4 words"))?;
+        Ok(Self {
+            config: serde::field(obj, "config")?,
+            rng_state,
+            nodes: serde::field(obj, "nodes")?,
+            best_state: serde::field(obj, "best_state")?,
+            best_reward_bits: serde::field(obj, "best_reward_bits")?,
+            min_reward_bits: serde::field(obj, "min_reward_bits")?,
+            trace: serde::field(obj, "trace")?,
+            iterations: serde::field(obj, "iterations")?,
+            evaluations: serde::field(obj, "evaluations")?,
+            elapsed_millis: serde::field(obj, "elapsed_millis")?,
+            exhausted: serde::field(obj, "exhausted")?,
+        })
+    }
+}

@@ -26,11 +26,34 @@
 //! shuffle-then-`swap_remove` pattern it replaced.
 
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, OnceLock, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError, RwLock};
 
 /// Nodes per arena chunk. Chunks are allocated eagerly as whole slabs; 256 nodes keeps the
 /// slab size moderate while making chunk-list refreshes rare.
 const CHUNK_SIZE: usize = 256;
+
+/// A plain-data record of one tree node: everything needed to rebuild it exactly in a fresh
+/// arena — the structural core (`untried_remaining` + the lazy Fisher–Yates `swaps` map +
+/// children), the statistics (visits, accumulated reward as exact `f64` bits) and the state
+/// itself. Virtual loss is deliberately absent: it is transient in-flight bookkeeping that
+/// is zero at quiescence, and snapshots are only taken at quiescence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeRecord<S> {
+    /// The node's search state.
+    pub state: S,
+    /// Parent node id (`None` for the root).
+    pub parent: Option<usize>,
+    /// Completed backpropagations through this node.
+    pub visits: u64,
+    /// Accumulated reward as raw `f64` bits (exact across serialization).
+    pub total_reward_bits: u64,
+    /// Actions not yet drawn for expansion.
+    pub untried_remaining: usize,
+    /// The sparse Fisher–Yates permutation overrides of the untried pool.
+    pub swaps: Vec<(usize, usize)>,
+    /// Materialised children, in expansion order.
+    pub children: Vec<usize>,
+}
 
 /// One slab of node storage. Cells are `OnceLock`s: written exactly once (under the arena's
 /// allocation lock), read lock-free ever after.
@@ -68,9 +91,28 @@ impl NodeGate {
         }
     }
 
+    /// Rebuild a gate from a [`NodeRecord`]'s structural fields (snapshot restore).
+    fn restored(
+        untried_remaining: usize,
+        swaps: Vec<(usize, usize)>,
+        children: Vec<usize>,
+    ) -> Self {
+        Self {
+            untried_remaining,
+            swaps,
+            children,
+        }
+    }
+
     /// Number of actions not yet drawn for expansion.
     pub fn untried_remaining(&self) -> usize {
         self.untried_remaining
+    }
+
+    /// The sparse Fisher–Yates permutation overrides of the untried pool (snapshot export;
+    /// restoring them is what keeps post-restore expansion draws bit-identical).
+    pub fn swaps(&self) -> &[(usize, usize)] {
+        &self.swaps
     }
 
     /// The materialised children, in expansion order.
@@ -167,9 +209,12 @@ impl<S> TreeNode<S> {
         self.virtual_loss.load(Ordering::Relaxed)
     }
 
-    /// Lock the node's structural core (children + untried pool).
+    /// Lock the node's structural core (children + untried pool). Poisoning is recovered
+    /// rather than propagated: gate mutations are single-field writes that cannot be left
+    /// half-applied by an unwinding panic, and the serving layer quarantines any session
+    /// whose worker panicked, so a poisoned gate must not take down unrelated searches.
     pub fn gate(&self) -> MutexGuard<'_, NodeGate> {
-        self.gate.lock().expect("search-tree node gate poisoned")
+        self.gate.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Backpropagate one reward through this node: one visit plus the reward added to the
@@ -250,11 +295,11 @@ impl<S> SearchTree<S> {
         untried: usize,
         virtual_loss: u32,
     ) -> usize {
-        let mut next = self.alloc.lock().expect("search-tree allocator poisoned");
+        let mut next = self.alloc.lock().unwrap_or_else(PoisonError::into_inner);
         let id = *next;
         let (chunk_index, slot) = (id / CHUNK_SIZE, id % CHUNK_SIZE);
         {
-            let chunks = self.chunks.read().expect("search-tree chunks poisoned");
+            let chunks = self.chunks.read().unwrap_or_else(PoisonError::into_inner);
             if chunk_index < chunks.len() {
                 let cell = &chunks[chunk_index].slots[slot];
                 if cell
@@ -268,7 +313,7 @@ impl<S> SearchTree<S> {
                 return id;
             }
         }
-        let mut chunks = self.chunks.write().expect("search-tree chunks poisoned");
+        let mut chunks = self.chunks.write().unwrap_or_else(PoisonError::into_inner);
         chunks.push(Arc::new(Chunk::new()));
         debug_assert_eq!(chunks.len() - 1, chunk_index);
         if chunks[chunk_index].slots[slot]
@@ -288,7 +333,7 @@ impl<S> SearchTree<S> {
         let chunks = self
             .chunks
             .read()
-            .expect("search-tree chunks poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .clone();
         TreeView { tree: self, chunks }
     }
@@ -296,6 +341,70 @@ impl<S> SearchTree<S> {
     /// Total visits recorded at the root — equals the number of completed backpropagations.
     pub fn root_visits(&self) -> u64 {
         self.view().node(0).visits()
+    }
+
+    /// Export every published node as a plain [`NodeRecord`], in id order. Call only at
+    /// quiescence (no leaf pending): virtual losses are transient and not exported.
+    pub fn export_records(&self) -> Vec<NodeRecord<S>>
+    where
+        S: Clone,
+    {
+        let mut view = self.view();
+        view.refresh();
+        (0..self.len())
+            .map(|id| {
+                let node = view.node(id);
+                let gate = node.gate();
+                NodeRecord {
+                    state: node.state.clone(),
+                    parent: node.parent,
+                    visits: node.visits(),
+                    total_reward_bits: node.total_reward_bits.load(Ordering::Relaxed),
+                    untried_remaining: gate.untried_remaining,
+                    swaps: gate.swaps.clone(),
+                    children: gate.children.clone(),
+                }
+            })
+            .collect()
+    }
+
+    /// Rebuild an arena from exported records, validating structural references so a
+    /// corrupted snapshot fails loudly instead of panicking deep in selection later.
+    pub fn from_records(records: Vec<NodeRecord<S>>) -> Result<Self, String> {
+        if records.is_empty() {
+            return Err("tree snapshot has no nodes (missing root)".into());
+        }
+        let len = records.len();
+        for (id, record) in records.iter().enumerate() {
+            match record.parent {
+                None if id != 0 => return Err(format!("node {id} has no parent")),
+                Some(p) if id == 0 => return Err(format!("root has parent {p}")),
+                // The arena is append-only and children are linked under an existing
+                // parent, so a parent id is always smaller than its child's.
+                Some(p) if p >= id => return Err(format!("node {id} has parent {p} >= {id}")),
+                _ => {}
+            }
+            if let Some(&child) = record.children.iter().find(|&&c| c >= len || c == 0) {
+                return Err(format!("node {id} links child {child} outside 1..{len}"));
+            }
+        }
+        let tree = Self {
+            chunks: RwLock::new(Vec::new()),
+            alloc: Mutex::new(0),
+            len: AtomicUsize::new(0),
+        };
+        for (id, record) in records.into_iter().enumerate() {
+            let pushed = tree.push_with_virtual_loss(record.state, record.parent, 0, 0);
+            debug_assert_eq!(pushed, id);
+            let view = tree.view();
+            let node = view.node(id);
+            node.visits.store(record.visits, Ordering::Relaxed);
+            node.total_reward_bits
+                .store(record.total_reward_bits, Ordering::Relaxed);
+            *node.gate() =
+                NodeGate::restored(record.untried_remaining, record.swaps, record.children);
+        }
+        Ok(tree)
     }
 }
 
@@ -324,7 +433,7 @@ impl<S> TreeView<'_, S> {
             .tree
             .chunks
             .read()
-            .expect("search-tree chunks poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .clone();
     }
 
@@ -411,6 +520,71 @@ mod tests {
         assert_eq!(node.virtual_loss(), 1);
         node.revert_virtual_loss();
         assert_eq!(node.virtual_loss(), 0);
+    }
+
+    #[test]
+    fn export_restore_round_trips_structure_and_statistics() {
+        let tree = SearchTree::with_root("root".to_string(), 5);
+        {
+            let view = tree.view();
+            let mut gate = view.node(0).gate();
+            let _ = gate.take_untried(2);
+            let _ = gate.take_untried(0);
+        }
+        let child = tree.push("child".to_string(), Some(0), 3);
+        let mut view = tree.view();
+        view.ensure(child);
+        view.node(0).gate().push_child(child);
+        view.node(0).record_visit(1.5);
+        view.node(child).record_visit(0.25);
+        view.node(child).record_visit(-3.5);
+
+        let records = tree.export_records();
+        let restored = SearchTree::from_records(records.clone()).expect("valid records");
+        assert_eq!(restored.export_records(), records);
+        // The restored gate continues the exact Fisher–Yates permutation.
+        let mut original_gate_draws = Vec::new();
+        let mut restored_gate_draws = Vec::new();
+        {
+            let view = tree.view();
+            let mut gate = view.node(0).gate();
+            while gate.untried_remaining() > 0 {
+                original_gate_draws.push(gate.take_untried(0));
+            }
+        }
+        {
+            let view = restored.view();
+            let mut gate = view.node(0).gate();
+            while gate.untried_remaining() > 0 {
+                restored_gate_draws.push(gate.take_untried(0));
+            }
+        }
+        assert_eq!(original_gate_draws, restored_gate_draws);
+    }
+
+    #[test]
+    fn from_records_rejects_corrupt_references() {
+        let root = |children: Vec<usize>| NodeRecord {
+            state: 0u8,
+            parent: None,
+            visits: 0,
+            total_reward_bits: 0f64.to_bits(),
+            untried_remaining: 0,
+            swaps: Vec::new(),
+            children,
+        };
+        assert!(SearchTree::<u8>::from_records(Vec::new()).is_err());
+        assert!(SearchTree::from_records(vec![root(vec![7])]).is_err());
+        let orphan = NodeRecord {
+            parent: None,
+            ..root(Vec::new())
+        };
+        assert!(SearchTree::from_records(vec![root(Vec::new()), orphan]).is_err());
+        let cyclic = NodeRecord {
+            parent: Some(1),
+            ..root(Vec::new())
+        };
+        assert!(SearchTree::from_records(vec![root(Vec::new()), cyclic]).is_err());
     }
 
     #[test]

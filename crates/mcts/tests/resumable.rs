@@ -3,8 +3,8 @@
 //! truthfully, and behave as a no-op once its total budget is exhausted.
 
 use mctsui_mcts::{
-    Budget, Mcts, MctsConfig, RewardTracePoint, SearchHandle, SearchOutcome, SearchProblem,
-    SliceBudget,
+    Budget, HandleSnapshot, Mcts, MctsConfig, RewardTracePoint, SearchHandle, SearchOutcome,
+    SearchProblem, SliceBudget,
 };
 
 /// The bit-flip toy problem: states are monotone bit strings, reward is the popcount, with
@@ -305,6 +305,74 @@ fn aborting_pending_leaves_restores_the_search() {
     assert_eq!(handle.iterations(), 200);
     assert!(handle.best_reward() >= best_before);
     assert_eq!(handle.outstanding_virtual_loss(), 0);
+}
+
+#[test]
+fn snapshot_restore_continues_bit_identically() {
+    // The crash-safety pin: a handle snapshotted at an arbitrary slice boundary, pushed
+    // through the full wire format (serialize → parse, as a process restart would see it)
+    // and restored against a fresh problem instance must finish the run bit-identically to
+    // the uninterrupted one-shot driver.
+    for (seed, boundary) in [(1u64, 1usize), (7, 37), (0xC0FFEE, 120)] {
+        let one_shot = Mcts::new(BitFlip { n: 7 }, config(200, seed)).run();
+
+        let mut handle = SearchHandle::new(BitFlip { n: 7 }, config(200, seed));
+        let report = handle.run_for(SliceBudget::iterations(boundary));
+        assert_eq!(report.iterations_run, boundary);
+        let snap = handle.snapshot();
+        drop(handle);
+
+        let json = serde_json::to_string(&snap).expect("snapshot serializes");
+        let parsed: HandleSnapshot<Vec<bool>> =
+            serde_json::from_str(&json).expect("snapshot parses");
+        assert_eq!(parsed, snap, "wire round trip changed the snapshot");
+
+        let mut restored =
+            SearchHandle::restore(BitFlip { n: 7 }, parsed).expect("snapshot restores");
+        assert_eq!(restored.iterations(), boundary);
+        assert!(restored.run_for(SliceBudget::unbounded()).exhausted);
+        assert_eq!(
+            key(&one_shot),
+            key(&restored.into_outcome()),
+            "seed {seed}: run restored at iteration {boundary} diverged from one-shot"
+        );
+    }
+}
+
+#[test]
+fn fresh_handle_snapshot_captures_the_prologue() {
+    // Snapshotting before any slice must capture the root evaluation, so the restored
+    // handle runs the whole search identically from iteration zero.
+    let one_shot = Mcts::new(BitFlip { n: 6 }, config(120, 42)).run();
+    let snap = SearchHandle::new(BitFlip { n: 6 }, config(120, 42)).snapshot();
+    assert_eq!(snap.iterations, 0);
+    assert_eq!(snap.evaluations, 1);
+    assert_eq!(snap.nodes.len(), 1);
+    let mut restored = SearchHandle::restore(BitFlip { n: 6 }, snap).expect("restores");
+    assert!(restored.run_for(SliceBudget::unbounded()).exhausted);
+    assert_eq!(key(&one_shot), key(&restored.into_outcome()));
+}
+
+#[test]
+fn restore_rejects_corrupt_snapshots() {
+    let mut handle = SearchHandle::new(BitFlip { n: 6 }, config(50, 8));
+    handle.run_for(SliceBudget::iterations(10));
+    let snap = handle.snapshot();
+
+    let mut empty = snap.clone();
+    empty.nodes.clear();
+    assert!(SearchHandle::restore(BitFlip { n: 6 }, empty).is_err());
+
+    let mut dangling = snap.clone();
+    let bogus = dangling.nodes.len() + 7;
+    dangling.nodes[0].children.push(bogus);
+    assert!(SearchHandle::restore(BitFlip { n: 6 }, dangling).is_err());
+
+    // A malformed rng state is rejected at parse time.
+    let json = serde_json::to_string(&snap).expect("snapshot serializes");
+    let truncated = json.replacen("\"rng_state\":[", "\"rng_state\":[1,", 1);
+    let parsed: Result<HandleSnapshot<Vec<bool>>, _> = serde_json::from_str(&truncated);
+    assert!(parsed.is_err(), "5-word rng state must be rejected");
 }
 
 #[test]

@@ -39,10 +39,21 @@
 //! * **Anytime responses**: when a request's budget or deadline runs out, the caller gets
 //!   the best interface known *now*. More budget later never makes the answer worse
 //!   (the handle's best record is monotone).
+//! * **Fault hardening**: a worker panic is caught and quarantines *only* the session it
+//!   was serving — evicted with its admission slot reclaimed, its waiter failed with the
+//!   typed [`ServeError::Wedged`] — while every other session keeps serving; poisoned
+//!   locks are recovered, never propagated. Sessions snapshot to an optional
+//!   [`ServeConfig::snapshot_dir`] on a periodic cadence, on idle reaping and on graceful
+//!   drain, and [`ServeEngine::resume`] reattaches them — in-process or after a process
+//!   restart — continuing **bit-identically** to the uninterrupted run. A seeded
+//!   [`FaultPlan`] injects worker panics, evaluation failures/delays and in-queue
+//!   expiries at exact logical points, driving the chaos tests' quiescence invariants.
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::sync::{Arc, Condvar, Mutex, PoisonError, Weak};
 use std::time::{Duration, Instant};
 
 use rustc_hash::{FxHashMap, FxHasher};
@@ -54,7 +65,9 @@ use mctsui_mcts::{Budget, MctsConfig, PendingLeaf, SearchHandle};
 use mctsui_sql::{parse_query, print_query, Ast};
 use mctsui_widgets::Screen;
 
+use crate::fault::{EvalFault, FaultPlan};
 use crate::proto::{BestReport, EngineStatsReport, WidgetAction};
+use crate::snapshot::{SessionSnapshot, SnapshotStore, SNAPSHOT_FORMAT_VERSION};
 
 /// Configuration of a [`ServeEngine`].
 #[derive(Debug, Clone)]
@@ -90,6 +103,26 @@ pub struct ServeConfig {
     /// seed fields are ignored — session budgets are unbounded (requests are sliced
     /// instead) and each session's seed comes from its `synthesize` request.
     pub mcts: MctsConfig,
+    /// Directory session snapshots persist to (`None` disables persistence). Snapshots
+    /// are written on [`ServeConfig::snapshot_interval_millis`] cadence, on idle reaping
+    /// and by [`ServeEngine::drain_and_shutdown`]; [`ServeEngine::resume`] restores from
+    /// here, including after a process restart.
+    pub snapshot_dir: Option<PathBuf>,
+    /// Cadence of the periodic snapshot sweep (meaningful only with a snapshot dir).
+    pub snapshot_interval_millis: u64,
+    /// Idle-session reaping: a session untouched this long is snapshotted (when a store
+    /// is configured) and evicted, freeing its admission slot. `0` disables reaping.
+    pub idle_session_millis: u64,
+    /// Read/write timeout applied to server-accepted and client sockets. Must exceed the
+    /// scheduler's hard wait cap (request deadline + 60 s), or a slow-but-alive request
+    /// would sever its own connection.
+    pub io_timeout_millis: u64,
+    /// Longest accepted NDJSON request line; oversized frames are rejected with the typed
+    /// [`ServeError::FrameTooLarge`] instead of buffering without bound.
+    pub max_frame_bytes: usize,
+    /// Deterministic fault-injection plan for chaos tests and CI smoke jobs (`None` in
+    /// production: every consultation site reduces to one `Option` check).
+    pub fault: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServeConfig {
@@ -110,6 +143,12 @@ impl Default for ServeConfig {
             weights: CostWeights::default(),
             assignments_per_eval: 3,
             mcts: MctsConfig::default(),
+            snapshot_dir: None,
+            snapshot_interval_millis: 2_000,
+            idle_session_millis: 0,
+            io_timeout_millis: 120_000,
+            max_frame_bytes: 1 << 20,
+            fault: None,
         }
     }
 }
@@ -157,6 +196,42 @@ impl ServeConfig {
         self.shards = shards.max(1);
         self
     }
+
+    /// Builder helper: persist session snapshots to `dir`.
+    pub fn with_snapshot_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.snapshot_dir = Some(dir.into());
+        self
+    }
+
+    /// Builder helper: set the periodic snapshot cadence.
+    pub fn with_snapshot_interval_millis(mut self, millis: u64) -> Self {
+        self.snapshot_interval_millis = millis.max(1);
+        self
+    }
+
+    /// Builder helper: reap sessions idle longer than `millis` (`0` disables).
+    pub fn with_idle_session_millis(mut self, millis: u64) -> Self {
+        self.idle_session_millis = millis;
+        self
+    }
+
+    /// Builder helper: set the socket read/write timeout.
+    pub fn with_io_timeout_millis(mut self, millis: u64) -> Self {
+        self.io_timeout_millis = millis.max(1);
+        self
+    }
+
+    /// Builder helper: set the NDJSON request-frame byte cap.
+    pub fn with_max_frame_bytes(mut self, bytes: usize) -> Self {
+        self.max_frame_bytes = bytes.max(1024);
+        self
+    }
+
+    /// Builder helper: install a deterministic fault-injection plan.
+    pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.fault = Some(plan);
+        self
+    }
 }
 
 /// Why a request was rejected.
@@ -177,6 +252,36 @@ pub enum ServeError {
     /// The scheduler failed to finish the request within its hard wait cap (severely
     /// overloaded server, or a lost work item) — the server is up, but this request died.
     Timeout,
+    /// A worker panicked while serving this session; the session was quarantined (evicted,
+    /// its admission slot reclaimed). Its last on-disk snapshot, if any, survives — the
+    /// client can `resume` from the last good state.
+    Wedged(u64),
+    /// An NDJSON line exceeded the configured frame cap.
+    FrameTooLarge {
+        /// The byte cap the frame exceeded.
+        limit: usize,
+    },
+    /// Snapshot persistence or restoration failed (message includes the store error).
+    Snapshot(String),
+}
+
+impl ServeError {
+    /// Stable machine-readable code of this error (the wire protocol's `code` field);
+    /// clients branch on this, never on the human-readable message.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServeError::Busy => "busy",
+            ServeError::UnknownSession(_) => "unknown_session",
+            ServeError::NoQueries => "no_queries",
+            ServeError::BadQuery(_) => "bad_query",
+            ServeError::Interaction(_) => "interaction",
+            ServeError::ShuttingDown => "shutting_down",
+            ServeError::Timeout => "timeout",
+            ServeError::Wedged(_) => "wedged",
+            ServeError::FrameTooLarge { .. } => "frame_too_large",
+            ServeError::Snapshot(_) => "snapshot",
+        }
+    }
 }
 
 impl std::fmt::Display for ServeError {
@@ -189,6 +294,16 @@ impl std::fmt::Display for ServeError {
             ServeError::Interaction(m) => write!(f, "interaction failed: {m}"),
             ServeError::ShuttingDown => write!(f, "server shutting down"),
             ServeError::Timeout => write!(f, "request timed out in the scheduler"),
+            ServeError::Wedged(id) => {
+                write!(
+                    f,
+                    "session {id} wedged by a worker panic and was quarantined"
+                )
+            }
+            ServeError::FrameTooLarge { limit } => {
+                write!(f, "frame exceeds the {limit}-byte line cap")
+            }
+            ServeError::Snapshot(m) => write!(f, "snapshot error: {m}"),
         }
     }
 }
@@ -226,6 +341,13 @@ struct Session {
     described: Option<(u64, InterfaceDescription)>,
     /// Seed used for description/report evaluations (the session's search seed).
     eval_seed: u64,
+    /// When this session last served any request (admission, refine, interact, resume);
+    /// drives idle reaping.
+    last_touched: Instant,
+    /// The handle's iteration count at the last snapshot written for this session
+    /// (`None` before the first). Equal to the current count ⇔ the on-disk snapshot is
+    /// fresh, so clean sessions cost the periodic sweep nothing.
+    snapshotted_iterations: Option<u64>,
 }
 
 /// The sharded session table. Lookups and admission hash the session id onto one of
@@ -254,7 +376,7 @@ impl SessionTable {
     fn get(&self, id: u64) -> Option<Arc<Mutex<Session>>> {
         self.shard(id)
             .lock()
-            .expect("session shard poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .get(&id)
             .cloned()
     }
@@ -262,12 +384,14 @@ impl SessionTable {
     fn contains(&self, id: u64) -> bool {
         self.shard(id)
             .lock()
-            .expect("session shard poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .contains_key(&id)
     }
 
     /// Admission-controlled insert: claims a live slot through the CAS loop first (so
     /// concurrent synthesizes cannot overshoot the cap even across shards), then inserts.
+    /// Refuses duplicate ids (two concurrent resumes of one session) and gives the
+    /// claimed slot back, or the live counter would leak admission capacity.
     fn try_insert(&self, id: u64, session: Arc<Mutex<Session>>, cap: usize) -> bool {
         loop {
             let live = self.live.load(Ordering::Acquire);
@@ -282,10 +406,16 @@ impl SessionTable {
                 break;
             }
         }
-        self.shard(id)
+        let mut shard = self
+            .shard(id)
             .lock()
-            .expect("session shard poisoned")
-            .insert(id, session);
+            .unwrap_or_else(PoisonError::into_inner);
+        if shard.contains_key(&id) {
+            drop(shard);
+            self.live.fetch_sub(1, Ordering::AcqRel);
+            return false;
+        }
+        shard.insert(id, session);
         true
     }
 
@@ -293,7 +423,7 @@ impl SessionTable {
         let removed = self
             .shard(id)
             .lock()
-            .expect("session shard poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .remove(&id);
         if removed.is_some() {
             self.live.fetch_sub(1, Ordering::AcqRel);
@@ -303,6 +433,21 @@ impl SessionTable {
 
     fn len(&self) -> u64 {
         self.live.load(Ordering::Acquire)
+    }
+
+    /// The live session ids (a point-in-time sweep across shards, for maintenance walks).
+    fn ids(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .flat_map(|shard| {
+                shard
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .keys()
+                    .copied()
+                    .collect::<Vec<_>>()
+            })
+            .collect()
     }
 }
 
@@ -331,7 +476,7 @@ impl Ticket {
     }
 
     fn complete(&self, result: Result<(), ServeError>) {
-        let mut state = self.state.lock().expect("ticket poisoned");
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         if state.is_none() {
             *state = Some(result);
             self.cv.notify_all();
@@ -342,7 +487,7 @@ impl Ticket {
     /// connection forever.
     fn wait(&self, cap: Duration) -> Result<(), ServeError> {
         let deadline = Instant::now() + cap;
-        let mut state = self.state.lock().expect("ticket poisoned");
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(result) = state.take() {
                 return result;
@@ -351,7 +496,10 @@ impl Ticket {
             if left.is_zero() {
                 return Err(ServeError::Timeout);
             }
-            let (guard, _) = self.cv.wait_timeout(state, left).expect("ticket poisoned");
+            let (guard, _) = self
+                .cv
+                .wait_timeout(state, left)
+                .unwrap_or_else(PoisonError::into_inner);
             state = guard;
         }
     }
@@ -441,6 +589,18 @@ struct Shared {
     batch_group_hits: AtomicU64,
     expired_windows: AtomicU64,
     expired_units: AtomicU64,
+    /// Optional snapshot store ([`ServeConfig::snapshot_dir`]).
+    store: Option<SnapshotStore>,
+    /// Graceful drain: admission closed, in-flight windows finishing, snapshot then stop.
+    draining: AtomicBool,
+    /// Windows in flight engine-wide (created but not yet finalised); zero is half of the
+    /// drain loop's quiescence condition.
+    active_windows: AtomicU64,
+    wedged_sessions: AtomicU64,
+    caught_panics: AtomicU64,
+    snapshots_written: AtomicU64,
+    sessions_resumed: AtomicU64,
+    reaped_sessions: AtomicU64,
 }
 
 /// The multi-session anytime synthesis engine. See the module docs for the architecture.
@@ -450,15 +610,26 @@ pub struct ServeEngine {
 }
 
 impl ServeEngine {
-    /// Start an engine with `config.threads` scheduler workers.
+    /// Start an engine with `config.threads` scheduler workers (plus one maintenance
+    /// thread when snapshots or idle reaping are configured).
     pub fn start(config: ServeConfig) -> Arc<Self> {
         let threads = config.threads.max(1);
         let shards = config.shards.max(1);
+        let store = config
+            .snapshot_dir
+            .as_ref()
+            .map(|dir| SnapshotStore::open(dir).expect("snapshot dir must be creatable"));
+        // Session ids never repeat across restarts sharing a snapshot dir: a freshly
+        // opened session must not shadow a still-restorable old one.
+        let next_session = store
+            .as_ref()
+            .map(|s| s.list().into_iter().max().map_or(1, |max| max + 1))
+            .unwrap_or(1);
         let shared = Arc::new(Shared {
             rules: RuleEngine::default(),
             started: Instant::now(),
             sessions: SessionTable::new(shards),
-            next_session: AtomicU64::new(1),
+            next_session: AtomicU64::new(next_session),
             problems: Mutex::new(FxHashMap::default()),
             sched: Mutex::new(Scheduler {
                 work: VecDeque::new(),
@@ -476,12 +647,24 @@ impl ServeEngine {
             batch_group_hits: AtomicU64::new(0),
             expired_windows: AtomicU64::new(0),
             expired_units: AtomicU64::new(0),
+            store,
+            draining: AtomicBool::new(false),
+            active_windows: AtomicU64::new(0),
+            wedged_sessions: AtomicU64::new(0),
+            caught_panics: AtomicU64::new(0),
+            snapshots_written: AtomicU64::new(0),
+            sessions_resumed: AtomicU64::new(0),
+            reaped_sessions: AtomicU64::new(0),
             config,
         });
-        let mut workers = Vec::with_capacity(threads);
+        let mut workers = Vec::with_capacity(threads + 1);
         for _ in 0..threads {
             let shared = Arc::clone(&shared);
             workers.push(std::thread::spawn(move || worker_loop(&shared)));
+        }
+        if shared.store.is_some() || shared.config.idle_session_millis > 0 {
+            let shared = Arc::clone(&shared);
+            workers.push(std::thread::spawn(move || maintenance_loop(&shared)));
         }
         Arc::new(Self {
             shared,
@@ -500,7 +683,7 @@ impl ServeEngine {
         deadline_millis: u64,
         seed: u64,
     ) -> Result<SynthesisResult, ServeError> {
-        if self.is_shutdown() {
+        if self.is_shutdown() || self.is_draining() {
             return Err(ServeError::ShuttingDown);
         }
         if queries.is_empty() {
@@ -528,6 +711,8 @@ impl ServeEngine {
             interact: None,
             described: None,
             eval_seed: seed,
+            last_touched: Instant::now(),
+            snapshotted_iterations: None,
         }));
         if !self
             .shared
@@ -559,7 +744,7 @@ impl ServeEngine {
         iterations: u64,
         deadline_millis: u64,
     ) -> Result<SynthesisResult, ServeError> {
-        if self.is_shutdown() {
+        if self.is_shutdown() || self.is_draining() {
             return Err(ServeError::ShuttingDown);
         }
         // Existence check up front so callers get UnknownSession, not a queue round-trip.
@@ -571,7 +756,7 @@ impl ServeEngine {
     }
 
     /// Enqueue a bounded work item for `session`, wait for the scheduler to finish it and
-    /// snapshot the anytime answer.
+    /// report the anytime answer.
     fn run_request(
         &self,
         session: u64,
@@ -592,13 +777,18 @@ impl ServeEngine {
 
         let reward_before = {
             let handle = self.session(session)?;
-            let guard = handle.lock().expect("session poisoned");
+            let mut guard = handle.lock().unwrap_or_else(PoisonError::into_inner);
+            guard.last_touched = Instant::now();
             guard.handle.best_reward()
         };
 
         let ticket = Ticket::new();
         {
-            let mut sched = self.shared.sched.lock().expect("scheduler poisoned");
+            let mut sched = self
+                .shared
+                .sched
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             if self.is_shutdown() {
                 return Err(ServeError::ShuttingDown);
             }
@@ -612,7 +802,7 @@ impl ServeEngine {
         self.shared.sched_cv.notify_one();
         ticket.wait(Duration::from_millis(deadline_millis) + Duration::from_secs(60))?;
 
-        self.snapshot(session, reward_before)
+        self.anytime_result(session, reward_before)
     }
 
     /// The session's current anytime answer: best report + interface description.
@@ -622,10 +812,14 @@ impl ServeEngine {
     /// answer from the cache, and the assignment sampling / widget-tree build for a new
     /// best tree runs *outside* the session mutex so scheduler workers are not stalled
     /// behind response construction.
-    fn snapshot(&self, session: u64, reward_before: f64) -> Result<SynthesisResult, ServeError> {
+    fn anytime_result(
+        &self,
+        session: u64,
+        reward_before: f64,
+    ) -> Result<SynthesisResult, ServeError> {
         let handle = self.session(session)?;
         let (best_tree, best_reward, best, problem, eval_seed, cached) = {
-            let guard = handle.lock().expect("session poisoned");
+            let guard = handle.lock().unwrap_or_else(PoisonError::into_inner);
             let best_tree = guard.handle.best_state().clone();
             let fingerprint = best_tree.fingerprint();
             let best_reward = guard.handle.best_reward();
@@ -662,7 +856,7 @@ impl ServeEngine {
                     self.shared.config.screen,
                     cost,
                 );
-                let mut guard = handle.lock().expect("session poisoned");
+                let mut guard = handle.lock().unwrap_or_else(PoisonError::into_inner);
                 guard.described = Some((best_tree.fingerprint(), interface.clone()));
                 interface
             }
@@ -685,7 +879,8 @@ impl ServeEngine {
     pub fn interact(&self, session: u64, action: &WidgetAction) -> Result<String, ServeError> {
         self.shared.total_requests.fetch_add(1, Ordering::Relaxed);
         let handle = self.session(session)?;
-        let mut guard = handle.lock().expect("session poisoned");
+        let mut guard = handle.lock().unwrap_or_else(PoisonError::into_inner);
+        guard.last_touched = Instant::now();
 
         let best_tree = guard.handle.best_state().clone();
         let fingerprint = best_tree.fingerprint();
@@ -726,10 +921,16 @@ impl ServeEngine {
         Ok(print_query(&query))
     }
 
-    /// Drop a session and free its search tree.
+    /// Drop a session, free its search tree and delete its on-disk snapshot (a close is
+    /// an explicit discard; quarantine, by contrast, keeps the file for `resume`).
     pub fn close_session(&self, session: u64) -> Result<(), ServeError> {
         match self.shared.sessions.remove(session) {
-            Some(_) => Ok(()),
+            Some(_) => {
+                if let Some(store) = &self.shared.store {
+                    store.remove(session);
+                }
+                Ok(())
+            }
             None => Err(ServeError::UnknownSession(session)),
         }
     }
@@ -739,7 +940,11 @@ impl ServeEngine {
     pub fn stats(&self) -> EngineStatsReport {
         let sessions = self.shared.sessions.len();
         let (queue_depth, leaf_queue_depth) = {
-            let sched = self.shared.sched.lock().expect("scheduler poisoned");
+            let sched = self
+                .shared
+                .sched
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             (sched.work.len() as u64, sched.leaves.len() as u64)
         };
         // Sum the per-log context caches over the live problems in the registry; the
@@ -752,7 +957,7 @@ impl ServeEngine {
                 .shared
                 .problems
                 .lock()
-                .expect("problem registry poisoned");
+                .unwrap_or_else(PoisonError::into_inner);
             problems.retain(|_, weak| weak.upgrade().is_some());
             for weak in problems.values() {
                 if let Some(problem) = weak.upgrade() {
@@ -796,6 +1001,18 @@ impl ServeEngine {
             },
             expired_windows: self.shared.expired_windows.load(Ordering::Relaxed),
             expired_units: self.shared.expired_units.load(Ordering::Relaxed),
+            wedged_sessions: self.shared.wedged_sessions.load(Ordering::Relaxed),
+            caught_panics: self.shared.caught_panics.load(Ordering::Relaxed),
+            snapshots_written: self.shared.snapshots_written.load(Ordering::Relaxed),
+            sessions_resumed: self.shared.sessions_resumed.load(Ordering::Relaxed),
+            reaped_sessions: self.shared.reaped_sessions.load(Ordering::Relaxed),
+            injected_faults: self
+                .shared
+                .config
+                .fault
+                .as_ref()
+                .map(|plan| plan.fired_count() as u64)
+                .unwrap_or(0),
             uptime_millis: self.shared.started.elapsed().as_millis() as u64,
             threads: self.shared.config.threads as u64,
             batch: self.shared.config.batch as u64,
@@ -817,7 +1034,11 @@ impl ServeEngine {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         // Fail every queued item so no waiter hangs.
         let (work, leaves) = {
-            let mut sched = self.shared.sched.lock().expect("scheduler poisoned");
+            let mut sched = self
+                .shared
+                .sched
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             (
                 sched.work.drain(..).collect::<Vec<_>>(),
                 sched.leaves.drain(..).collect::<Vec<_>>(),
@@ -842,10 +1063,146 @@ impl ServeEngine {
         self.shared.shutdown.load(Ordering::SeqCst)
     }
 
+    /// Whether graceful drain has begun (admission closed, in-flight work finishing).
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// Graceful drain: stop admitting new work, wait (up to `max_wait`) for the scheduler
+    /// queues to empty and every in-flight window to finalise, snapshot all sessions,
+    /// then shut down and join the workers. Returns how many snapshots were written.
+    pub fn drain_and_shutdown(&self, max_wait: Duration) -> usize {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        let deadline = Instant::now() + max_wait;
+        loop {
+            let queues_empty = {
+                let sched = self
+                    .shared
+                    .sched
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                sched.work.is_empty() && sched.leaves.is_empty()
+            };
+            if (queues_empty && self.shared.active_windows.load(Ordering::Acquire) == 0)
+                || Instant::now() >= deadline
+            {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let written = self.persist_sessions();
+        self.begin_shutdown();
+        self.join_workers();
+        written
+    }
+
+    /// Persist one session's snapshot now. A no-op (returning `false`) without a snapshot
+    /// dir, for a missing session, while a window is in flight, or when the on-disk
+    /// snapshot is already fresh.
+    pub fn persist_session(&self, session: u64) -> bool {
+        persist_one(&self.shared, session)
+    }
+
+    /// Persist every live, quiescent, dirty session; returns how many files were written.
+    pub fn persist_sessions(&self) -> usize {
+        self.shared
+            .sessions
+            .ids()
+            .into_iter()
+            .filter(|&id| persist_one(&self.shared, id))
+            .count()
+    }
+
+    /// Reattach a session by id. A live session answers directly (idempotent reattach:
+    /// the warm handle is exactly the one the client left). A non-live id restores from
+    /// the snapshot store — queries re-parsed and labels re-interned in this process, the
+    /// search handle rebuilt at the exact tree/rng/best state it was snapshotted in — so
+    /// the restored session continues bit-identically to the uninterrupted run.
+    pub fn resume(&self, session: u64) -> Result<SynthesisResult, ServeError> {
+        if self.is_shutdown() || self.is_draining() {
+            return Err(ServeError::ShuttingDown);
+        }
+        self.shared.total_requests.fetch_add(1, Ordering::Relaxed);
+        if self.shared.sessions.contains(session) {
+            let reward = {
+                let handle = self.session(session)?;
+                let mut guard = handle.lock().unwrap_or_else(PoisonError::into_inner);
+                guard.last_touched = Instant::now();
+                guard.handle.best_reward()
+            };
+            return self.anytime_result(session, reward);
+        }
+        let Some(store) = &self.shared.store else {
+            return Err(ServeError::UnknownSession(session));
+        };
+        let snapshot = store
+            .load(session)
+            .map_err(ServeError::Snapshot)?
+            .ok_or(ServeError::UnknownSession(session))?;
+        let queries: Vec<Ast> = snapshot
+            .queries
+            .iter()
+            .map(|sql| {
+                parse_query(sql)
+                    .map_err(|e| ServeError::Snapshot(format!("stored query unparseable: {e}")))
+            })
+            .collect::<Result<_, _>>()?;
+        if queries.is_empty() {
+            return Err(ServeError::Snapshot("snapshot has no queries".into()));
+        }
+        let problem = self.problem_for(&queries);
+        let restored = SearchHandle::restore(Arc::clone(&problem), snapshot.handle)
+            .map_err(ServeError::Snapshot)?;
+        let reward = restored.best_reward();
+        let iterations = restored.iterations() as u64;
+        let state = Arc::new(Mutex::new(Session {
+            problem,
+            handle: restored,
+            window_active: false,
+            interact: None,
+            described: None,
+            eval_seed: snapshot.eval_seed,
+            last_touched: Instant::now(),
+            snapshotted_iterations: Some(iterations),
+        }));
+        if !self
+            .shared
+            .sessions
+            .try_insert(session, state, self.shared.config.max_sessions)
+        {
+            // Either the table is genuinely full, or a concurrent resume of this id won
+            // the insert race — the latter is a success for this caller too.
+            if self.shared.sessions.contains(session) {
+                return self.resume(session);
+            }
+            return Err(ServeError::Busy);
+        }
+        self.shared
+            .peak_sessions
+            .fetch_max(self.shared.sessions.len(), Ordering::Relaxed);
+        self.shared.sessions_resumed.fetch_add(1, Ordering::Relaxed);
+        self.anytime_result(session, reward)
+    }
+
+    /// Outstanding virtual losses summed over every live session — the chaos tests'
+    /// quiescence invariant: exactly zero whenever no window is in flight.
+    pub fn outstanding_virtual_loss(&self) -> u64 {
+        self.shared
+            .sessions
+            .ids()
+            .into_iter()
+            .filter_map(|id| self.shared.sessions.get(id))
+            .map(|session| {
+                let guard = session.lock().unwrap_or_else(PoisonError::into_inner);
+                guard.handle.outstanding_virtual_loss()
+            })
+            .sum()
+    }
+
     /// Join the scheduler workers (after [`ServeEngine::begin_shutdown`]).
     pub fn join_workers(&self) {
         let workers: Vec<_> = {
-            let mut guard = self.workers.lock().expect("worker table poisoned");
+            let mut guard = self.workers.lock().unwrap_or_else(PoisonError::into_inner);
             guard.drain(..).collect()
         };
         for worker in workers {
@@ -887,7 +1244,7 @@ impl ServeEngine {
                 .shared
                 .problems
                 .lock()
-                .expect("problem registry poisoned");
+                .unwrap_or_else(PoisonError::into_inner);
             if let Some(problem) = registry.get(&key).and_then(Weak::upgrade) {
                 return problem;
             }
@@ -906,7 +1263,7 @@ impl ServeEngine {
             .shared
             .problems
             .lock()
-            .expect("problem registry poisoned");
+            .unwrap_or_else(PoisonError::into_inner);
         if let Some(existing) = registry.get(&key).and_then(Weak::upgrade) {
             return existing;
         }
@@ -941,7 +1298,7 @@ fn worker_loop(shared: &Shared) {
     let mut prefer_leaves = false;
     loop {
         let job = {
-            let mut sched = shared.sched.lock().expect("scheduler poisoned");
+            let mut sched = shared.sched.lock().unwrap_or_else(PoisonError::into_inner);
             loop {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
@@ -972,15 +1329,36 @@ fn worker_loop(shared: &Shared) {
                 if let Some(item) = sched.work.pop_front() {
                     break Job::Turn(item);
                 }
-                sched = shared.sched_cv.wait(sched).expect("scheduler poisoned");
+                sched = shared
+                    .sched_cv
+                    .wait(sched)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
         prefer_leaves = match job {
             Job::Batch(units) => {
-                run_batch(shared, units);
+                // `run_batch` already fences the evaluation kernel; this outer catch is
+                // the backstop for everything else in the batch path, so no panic —
+                // injected or real — ever kills a scheduler worker.
+                if catch_unwind(AssertUnwindSafe(|| run_batch(shared, units))).is_err() {
+                    shared.caught_panics.fetch_add(1, Ordering::Relaxed);
+                }
                 false
             }
-            Job::Turn(item) => !run_turn(shared, item),
+            Job::Turn(item) => {
+                // A panic anywhere in the turn (search code under the session lock, or an
+                // injected fault) wedges only this turn's session; the worker survives
+                // and keeps serving everyone else.
+                let session_id = item.session;
+                let ticket = Arc::clone(&item.ticket);
+                match catch_unwind(AssertUnwindSafe(|| run_turn(shared, item))) {
+                    Ok(made_progress) => !made_progress,
+                    Err(_) => {
+                        quarantine(shared, session_id, &ticket);
+                        false
+                    }
+                }
+            }
         };
     }
 }
@@ -990,7 +1368,7 @@ fn worker_loop(shared: &Shared) {
 /// keeps the single-busy-session case from spinning hot while still noticing fresh work
 /// immediately.
 fn rotate_turn(shared: &Shared, item: WorkItem) {
-    let sched = shared.sched.lock().expect("scheduler poisoned");
+    let sched = shared.sched.lock().unwrap_or_else(PoisonError::into_inner);
     if shared.shutdown.load(Ordering::SeqCst) {
         drop(sched);
         item.ticket.complete(Err(ServeError::ShuttingDown));
@@ -1003,7 +1381,7 @@ fn rotate_turn(shared: &Shared, item: WorkItem) {
         let _ = shared
             .sched_cv
             .wait_timeout(sched, Duration::from_millis(1))
-            .expect("scheduler poisoned");
+            .unwrap_or_else(PoisonError::into_inner);
     }
 }
 
@@ -1040,6 +1418,15 @@ fn run_turn(shared: &Shared, item: WorkItem) -> bool {
         item.ticket.complete(Ok(()));
         return true;
     }
+    // One fault-plan consultation per turn that will actually open a window; claimed here
+    // so the injected panic below lands mid-window — leaves begun, virtual losses held,
+    // session mutex poisoned on unwind — the worst spot a real panic could pick.
+    let fault = shared
+        .config
+        .fault
+        .as_ref()
+        .map(|plan| plan.on_turn())
+        .unwrap_or_default();
 
     let width = shared
         .config
@@ -1062,6 +1449,9 @@ fn run_turn(shared: &Shared, item: WorkItem) -> bool {
         item.ticket.complete(Ok(()));
         return true;
     }
+    if fault.panic {
+        panic!("injected worker panic (fault plan)");
+    }
     guard.window_active = true;
     let problem = Arc::clone(&guard.problem);
     drop(guard);
@@ -1083,6 +1473,12 @@ fn run_turn(shared: &Shared, item: WorkItem) -> bool {
         outstanding: AtomicUsize::new(unit_count),
         aborted: AtomicBool::new(false),
     });
+    shared.active_windows.fetch_add(1, Ordering::AcqRel);
+    if fault.expire {
+        // In-queue expiry: the window's leaves are dropped unevaluated and the abort
+        // path must restore every invariant (losses reverted, accounting unwound).
+        window.aborted.store(true, Ordering::Release);
+    }
     let problem_key = Arc::as_ptr(&window.problem) as usize;
     let mut units = Vec::with_capacity(unit_count);
     let mut slots = Vec::with_capacity(pendings.len());
@@ -1111,10 +1507,10 @@ fn run_turn(shared: &Shared, item: WorkItem) -> bool {
             rollout_reward: None,
         });
     }
-    *window.slots.lock().expect("window slots poisoned") = slots;
+    *window.slots.lock().unwrap_or_else(PoisonError::into_inner) = slots;
 
     let enqueued = {
-        let mut sched = shared.sched.lock().expect("scheduler poisoned");
+        let mut sched = shared.sched.lock().unwrap_or_else(PoisonError::into_inner);
         if shared.shutdown.load(Ordering::SeqCst) {
             false
         } else {
@@ -1141,6 +1537,16 @@ fn run_turn(shared: &Shared, item: WorkItem) -> bool {
 /// aborted — are dropped unevaluated; the rest run through the batched cost kernel in one
 /// call, and each landed reward settles its window.
 fn run_batch(shared: &Shared, units: Vec<EvalUnit>) {
+    let fault = shared
+        .config
+        .fault
+        .as_ref()
+        .and_then(|plan| plan.on_batch());
+    if let Some(EvalFault::DelayMillis(ms)) = fault {
+        // Injected stall *before* the expiry split: queued deadlines pass while the batch
+        // sleeps, exercising the in-queue expiry path without killing anything.
+        std::thread::sleep(FaultPlan::delay(ms));
+    }
     let now = Instant::now();
     let mut live: Vec<EvalUnit> = Vec::with_capacity(units.len());
     let mut dead: Vec<EvalUnit> = Vec::new();
@@ -1160,39 +1566,66 @@ fn run_batch(shared: &Shared, units: Vec<EvalUnit>) {
         // evaluation (replicated sessions over one log collapse to a single search's
         // eval work). Bit-identical to per-unit `reward` calls (pinned by the
         // `evaluate_sampled_many` tests); copying a deterministic result is the identity.
-        let mut seeds: Vec<u64> = Vec::with_capacity(live.len());
-        let seed_slots: Vec<usize> = live
-            .iter()
-            .map(|unit| match seeds.iter().position(|&s| s == unit.seed) {
-                Some(at) => at,
-                None => {
-                    seeds.push(unit.seed);
-                    seeds.len() - 1
-                }
-            })
-            .collect();
-        let unique = live[0].window.problem.reward_many(&live[0].state, &seeds);
-        let rewards: Vec<f64> = seed_slots.into_iter().map(|at| unique[at]).collect();
-        shared.total_batches.fetch_add(1, Ordering::Relaxed);
-        shared
-            .total_batched_units
-            .fetch_add(live.len() as u64, Ordering::Relaxed);
-        shared
-            .max_batch
-            .fetch_max(live.len() as u64, Ordering::Relaxed);
-        shared
-            .batch_group_hits
-            .fetch_add(live.len() as u64 - 1, Ordering::Relaxed);
-        for (unit, reward) in live.into_iter().zip(rewards) {
-            {
-                let mut slots = unit.window.slots.lock().expect("window slots poisoned");
-                let slot = &mut slots[unit.slot];
-                match unit.kind {
-                    LeafKind::Node => slot.node_reward = Some(reward),
-                    LeafKind::Rollout => slot.rollout_reward = Some(reward),
+        // The kernel call is fenced: a panic in it (injected or real) aborts every member
+        // window cleanly — losses reverted, waiters get the anytime answer, no session
+        // wedged — because the batch may span windows of several sessions.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if matches!(fault, Some(EvalFault::Fail)) {
+                panic!("injected evaluation failure (fault plan)");
+            }
+            let mut seeds: Vec<u64> = Vec::with_capacity(live.len());
+            let seed_slots: Vec<usize> = live
+                .iter()
+                .map(|unit| match seeds.iter().position(|&s| s == unit.seed) {
+                    Some(at) => at,
+                    None => {
+                        seeds.push(unit.seed);
+                        seeds.len() - 1
+                    }
+                })
+                .collect();
+            let unique = live[0].window.problem.reward_many(&live[0].state, &seeds);
+            seed_slots
+                .into_iter()
+                .map(|at| unique[at])
+                .collect::<Vec<f64>>()
+        }));
+        match outcome {
+            Ok(rewards) => {
+                shared.total_batches.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .total_batched_units
+                    .fetch_add(live.len() as u64, Ordering::Relaxed);
+                shared
+                    .max_batch
+                    .fetch_max(live.len() as u64, Ordering::Relaxed);
+                shared
+                    .batch_group_hits
+                    .fetch_add(live.len() as u64 - 1, Ordering::Relaxed);
+                for (unit, reward) in live.into_iter().zip(rewards) {
+                    {
+                        let mut slots = unit
+                            .window
+                            .slots
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner);
+                        let slot = &mut slots[unit.slot];
+                        match unit.kind {
+                            LeafKind::Node => slot.node_reward = Some(reward),
+                            LeafKind::Rollout => slot.rollout_reward = Some(reward),
+                        }
+                    }
+                    settle_unit(shared, &unit.window);
                 }
             }
-            settle_unit(shared, &unit.window);
+            Err(_) => {
+                shared.caught_panics.fetch_add(1, Ordering::Relaxed);
+                for unit in live {
+                    unit.window.aborted.store(true, Ordering::Release);
+                    shared.expired_units.fetch_add(1, Ordering::Relaxed);
+                    settle_unit(shared, &unit.window);
+                }
+            }
         }
     }
     for unit in dead {
@@ -1204,7 +1637,12 @@ fn run_batch(shared: &Shared, units: Vec<EvalUnit>) {
 /// Mark one owed evaluation of a window as settled; the last one finalises the window.
 fn settle_unit(shared: &Shared, window: &Arc<Window>) {
     if window.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
-        finalize_window(shared, window);
+        // Finalisation applies completions through the search code under the session
+        // lock; a panic there must not kill the settling worker — quarantine the window's
+        // session instead, exactly as for a turn panic.
+        if catch_unwind(AssertUnwindSafe(|| finalize_window(shared, window))).is_err() {
+            quarantine(shared, window.session_id, &window.ticket);
+        }
     }
 }
 
@@ -1214,9 +1652,16 @@ fn settle_unit(shared: &Shared, window: &Arc<Window>) {
 /// for nor skews the search with evaluations nobody waited for. Then re-queue the
 /// request's remainder or complete its ticket.
 fn finalize_window(shared: &Shared, window: &Arc<Window>) {
+    // Decremented first so the count balances even if applying completions below panics
+    // (the catch in `settle_unit` then quarantines the session; the window is still gone).
+    shared.active_windows.fetch_sub(1, Ordering::AcqRel);
     let slots: Vec<LeafSlot> =
-        std::mem::take(&mut *window.slots.lock().expect("window slots poisoned"));
-    let mut guard = window.session.lock().expect("session poisoned");
+        std::mem::take(&mut *window.slots.lock().unwrap_or_else(PoisonError::into_inner));
+    let mut guard = window
+        .session
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    guard.last_touched = Instant::now();
     if window.aborted.load(Ordering::Acquire) {
         for slot in slots {
             if let Some(leaf) = slot.pending {
@@ -1259,7 +1704,7 @@ fn finalize_window(shared: &Shared, window: &Arc<Window>) {
         deadline: window.deadline,
         ticket: Arc::clone(&window.ticket),
     };
-    let mut sched = shared.sched.lock().expect("scheduler poisoned");
+    let mut sched = shared.sched.lock().unwrap_or_else(PoisonError::into_inner);
     if shared.shutdown.load(Ordering::SeqCst) {
         drop(sched);
         window.ticket.complete(Err(ServeError::ShuttingDown));
@@ -1268,4 +1713,106 @@ fn finalize_window(shared: &Shared, window: &Arc<Window>) {
     sched.work.push_back(item);
     drop(sched);
     shared.sched_cv.notify_one();
+}
+
+/// Quarantine a session whose worker panicked: evict it (its admission slot is reclaimed
+/// and no other session is disturbed), clear the window flag for any straggling reader,
+/// count it, and fail its waiter with the typed error. The on-disk snapshot, if any, is
+/// deliberately *kept*: the client can `resume` from the last good persisted state.
+fn quarantine(shared: &Shared, session_id: u64, ticket: &Ticket) {
+    shared.caught_panics.fetch_add(1, Ordering::Relaxed);
+    if let Some(session) = shared.sessions.remove(session_id) {
+        shared.wedged_sessions.fetch_add(1, Ordering::Relaxed);
+        let mut guard = session.lock().unwrap_or_else(PoisonError::into_inner);
+        guard.window_active = false;
+    }
+    ticket.complete(Err(ServeError::Wedged(session_id)));
+}
+
+/// Persist one session if it is live, quiescent (no window in flight — pending leaves
+/// hold virtual losses, not a serialisable state) and dirty (its iteration count moved
+/// since the last write). Serialisation and the disk write run outside the session lock,
+/// so scheduler workers never stall behind IO. Returns whether a file was written.
+fn persist_one(shared: &Shared, id: u64) -> bool {
+    let Some(store) = &shared.store else {
+        return false;
+    };
+    let Some(session) = shared.sessions.get(id) else {
+        return false;
+    };
+    let snapshot = {
+        let guard = session.lock().unwrap_or_else(PoisonError::into_inner);
+        if guard.window_active {
+            // The next maintenance tick (or the drain loop, which waits for windows to
+            // finalise first) retries.
+            return false;
+        }
+        let iterations = guard.handle.iterations() as u64;
+        if guard.snapshotted_iterations == Some(iterations) {
+            return false;
+        }
+        SessionSnapshot {
+            format_version: SNAPSHOT_FORMAT_VERSION,
+            session: id,
+            queries: guard.problem.queries().iter().map(print_query).collect(),
+            eval_seed: guard.eval_seed,
+            handle: guard.handle.snapshot(),
+        }
+    };
+    let iterations = snapshot.handle.iterations;
+    match store.save(&snapshot) {
+        Ok(()) => {
+            // Marked only after the rename committed; record what the file actually
+            // holds, so a request that advanced the handle meanwhile stays dirty.
+            let mut guard = session.lock().unwrap_or_else(PoisonError::into_inner);
+            guard.snapshotted_iterations = Some(iterations);
+            shared.snapshots_written.fetch_add(1, Ordering::Relaxed);
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+/// The maintenance thread: periodic dirty-session snapshots and idle-session reaping.
+/// Runs on a fine (50 ms) tick so engine shutdown is prompt regardless of the configured
+/// cadences.
+fn maintenance_loop(shared: &Shared) {
+    let interval = Duration::from_millis(shared.config.snapshot_interval_millis.max(1));
+    let idle_cap = shared.config.idle_session_millis;
+    let mut last_sweep = Instant::now();
+    loop {
+        std::thread::sleep(Duration::from_millis(50));
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let snapshot_due = shared.store.is_some() && last_sweep.elapsed() >= interval;
+        if snapshot_due {
+            last_sweep = Instant::now();
+        }
+        if !snapshot_due && idle_cap == 0 {
+            continue;
+        }
+        for id in shared.sessions.ids() {
+            let Some(session) = shared.sessions.get(id) else {
+                continue;
+            };
+            let idle = {
+                let guard = session.lock().unwrap_or_else(PoisonError::into_inner);
+                if guard.window_active {
+                    continue;
+                }
+                idle_cap > 0 && guard.last_touched.elapsed() >= Duration::from_millis(idle_cap)
+            };
+            if snapshot_due || idle {
+                persist_one(shared, id);
+            }
+            if idle {
+                // Reap: the warm tree leaves memory and the admission slot frees up; with
+                // a store configured the session stays resumable from its snapshot.
+                if shared.sessions.remove(id).is_some() {
+                    shared.reaped_sessions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
 }

@@ -18,6 +18,12 @@
 //! * the wire protocol is newline-delimited JSON over TCP ([`proto`]), served by
 //!   [`server::serve`] and spoken by [`client::Client`].
 //!
+//! This layer is also **fault-hardened**: a worker panic quarantines only the session it
+//! was serving (everyone else keeps serving), sessions snapshot to disk and resume
+//! bit-identically after a restart ([`snapshot`]), sockets carry explicit timeouts and a
+//! frame-size cap, and a seeded [`FaultPlan`](fault::FaultPlan) drives deterministic chaos
+//! tests asserting exact invariants at quiescence.
+//!
 //! ```no_run
 //! use mctsui_serve::{ServeConfig, ServeEngine};
 //! use mctsui_sql::parse_query;
@@ -31,12 +37,20 @@
 
 pub mod client;
 pub mod engine;
+pub mod fault;
 pub mod proto;
 pub mod server;
+pub mod snapshot;
 
 pub use client::{
-    run_concurrent_sessions, run_scripted_session, Client, ClientError, ScriptConfig, ScriptReport,
+    run_concurrent_sessions, run_resume_session, run_scripted_session, Backoff, Client,
+    ClientError, ScriptConfig, ScriptReport,
 };
 pub use engine::{ServeConfig, ServeEngine, ServeError, SynthesisResult};
-pub use proto::{BestReport, EngineStatsReport, Request, Response, WidgetAction};
+pub use fault::{EvalFault, FaultPlan, TurnFault};
+pub use proto::{
+    read_frame, BestReport, EngineStatsReport, Frame, Request, Response, WidgetAction,
+    MAX_REQUEST_FRAME_BYTES, MAX_RESPONSE_FRAME_BYTES,
+};
 pub use server::{dispatch, serve, serve_on};
+pub use snapshot::{SessionSnapshot, SnapshotStore, SNAPSHOT_FORMAT_VERSION};

@@ -12,6 +12,8 @@
 //! ← {"Refined":{"session":1,"best":{...},"improved":true,"interface":{...}}}
 //! → {"Interact":{"session":1,"action":{"Select":{"path":[0,1],"pick":2}}}}
 //! ← {"Interacted":{"session":1,"sql":"SELECT ..."}}
+//! → {"Resume":{"session":1}}
+//! ← {"Resumed":{"session":1,"best":{...},"interface":{...}}}
 //! → "Stats"
 //! ← {"Stats":{...}}
 //! → "Shutdown"
@@ -21,6 +23,16 @@
 //! Responses for `Synthesize`/`Refine` carry the **anytime** answer: the best interface
 //! known when the request's budget or deadline ran out. `Refine` on the same session
 //! continues the session's warm search tree, so its `best.reward` never decreases.
+//! `Resume` reattaches a session after a dropped connection or a server restart (from the
+//! server's snapshot store) and returns its current best without running new search.
+//!
+//! Failures are typed: an `Error` response carries a stable machine-readable `code`
+//! (`"busy"`, `"unknown_session"`, `"wedged"`, `"frame_too_large"`, …) for clients to
+//! branch on, plus the human-readable `message`. Lines are length-capped on both sides
+//! ([`read_frame`]): a peer sending an overlong line gets `"frame_too_large"` instead of
+//! growing the reader's buffer without bound.
+
+use std::io::{self, BufRead};
 
 use serde::{Deserialize, Serialize};
 
@@ -63,6 +75,13 @@ pub enum Request {
     },
     /// Engine-wide statistics (sessions, scheduler, shared-cache counters).
     Stats,
+    /// Reattach a session after a dropped connection or a server restart. Answers with
+    /// the session's current best (live sessions reattach warm; non-live ids restore from
+    /// the server's snapshot store, continuing bit-identically afterwards).
+    Resume {
+        /// Session id to reattach.
+        session: u64,
+    },
     /// Drop a session and free its search tree.
     Close {
         /// Session id.
@@ -156,6 +175,18 @@ pub struct EngineStatsReport {
     pub expired_windows: u64,
     /// Queued leaf evaluations dropped unevaluated by aborted windows.
     pub expired_units: u64,
+    /// Sessions quarantined after a worker panic (evicted; their waiters got `wedged`).
+    pub wedged_sessions: u64,
+    /// Worker panics caught and contained (turn, finalisation and evaluation-kernel).
+    pub caught_panics: u64,
+    /// Session snapshot files written (periodic, idle and drain sweeps).
+    pub snapshots_written: u64,
+    /// Sessions restored from the snapshot store via `Resume`.
+    pub sessions_resumed: u64,
+    /// Idle sessions evicted (snapshotted first, when a store is configured).
+    pub reaped_sessions: u64,
+    /// Faults fired by the configured fault plan so far (`0` without a plan).
+    pub injected_faults: u64,
     /// Milliseconds since engine startup.
     pub uptime_millis: u64,
     /// Scheduler worker threads.
@@ -207,6 +238,16 @@ pub enum Response {
     },
     /// Engine statistics.
     Stats(EngineStatsReport),
+    /// A session was reattached (warm, or restored from the snapshot store); its current
+    /// best, with no new search run.
+    Resumed {
+        /// Session id.
+        session: u64,
+        /// Best-so-far search summary at the reattach point.
+        best: BestReport,
+        /// The best interface found so far.
+        interface: InterfaceDescription,
+    },
     /// The session was dropped.
     Closed {
         /// Session id.
@@ -216,6 +257,9 @@ pub enum Response {
     ShuttingDown,
     /// The request failed; the connection stays usable.
     Error {
+        /// Stable machine-readable failure code (`"busy"`, `"unknown_session"`,
+        /// `"wedged"`, `"frame_too_large"`, …) — what clients branch on.
+        code: String,
         /// Human-readable failure description.
         message: String,
     },
@@ -227,15 +271,80 @@ pub fn encode_line<T: Serialize>(value: &T) -> String {
         // Degrade to a properly encoded Error response — never hand-built JSON, so the
         // line stays parseable whatever the failure message contains.
         serde_json::to_string(&Response::Error {
+            code: "internal".into(),
             message: format!("response encoding failed: {e}"),
         })
-        .unwrap_or_else(|_| r#"{"Error":{"message":"response encoding failed"}}"#.to_string())
+        .unwrap_or_else(|_| {
+            r#"{"Error":{"code":"internal","message":"response encoding failed"}}"#.to_string()
+        })
     })
 }
 
 /// Decode one NDJSON line into a protocol value.
 pub fn decode_line<T: Deserialize>(line: &str) -> Result<T, String> {
     serde_json::from_str(line).map_err(|e| e.to_string())
+}
+
+/// Cap on request lines the server reads (the engine's `max_frame_bytes` default).
+pub const MAX_REQUEST_FRAME_BYTES: usize = 1 << 20;
+
+/// Cap on response lines the client reads. Larger than the request cap: responses carry
+/// whole interface descriptions, requests only query logs.
+pub const MAX_RESPONSE_FRAME_BYTES: usize = 8 << 20;
+
+/// One NDJSON frame read by [`read_frame`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// A complete line, without the trailing newline (a trailing `\r` is also stripped).
+    Line(String),
+    /// Clean end of stream before any byte of a further line.
+    Eof,
+    /// The line exceeded the cap. Its remainder was discarded up to and including the
+    /// next newline, so the stream stays frame-aligned and the connection stays usable.
+    Oversized,
+}
+
+/// Read one newline-terminated frame with a hard byte cap — the replacement for
+/// `BufRead::read_line`, whose buffer grows as large as the peer cares to send. Works the
+/// underlying `fill_buf`/`consume` pair directly so an oversized line is *discarded*
+/// chunk-by-chunk, never accumulated. A final unterminated line before EOF is delivered
+/// as a normal [`Frame::Line`].
+pub fn read_frame<R: BufRead>(reader: &mut R, cap: usize) -> io::Result<Frame> {
+    let mut line: Vec<u8> = Vec::new();
+    let mut overflowed = false;
+    loop {
+        let available = reader.fill_buf()?;
+        let newline = available.iter().position(|&b| b == b'\n');
+        let eof = available.is_empty();
+        let take = newline.unwrap_or(available.len());
+        if !overflowed {
+            if line.len() + take > cap {
+                overflowed = true;
+                line.clear();
+            } else {
+                line.extend_from_slice(&available[..take]);
+            }
+        }
+        let consumed = match newline {
+            Some(at) => at + 1,
+            None => available.len(),
+        };
+        reader.consume(consumed);
+        if newline.is_some() || eof {
+            if overflowed {
+                return Ok(Frame::Oversized);
+            }
+            if eof && line.is_empty() {
+                return Ok(Frame::Eof);
+            }
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            let text = String::from_utf8(line)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            return Ok(Frame::Line(text));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -270,6 +379,7 @@ mod tests {
                 },
             },
             Request::Stats,
+            Request::Resume { session: 3 },
             Request::Close { session: 3 },
             Request::Shutdown,
         ];
@@ -299,6 +409,51 @@ mod tests {
         let line = encode_line(&response);
         let back: Response = serde_json::from_str(&line).expect("round trip");
         assert_eq!(back, response);
+
+        let error = Response::Error {
+            code: "unknown_session".into(),
+            message: "unknown session 7".into(),
+        };
+        let back: Response = serde_json::from_str(&encode_line(&error)).expect("round trip");
+        assert_eq!(back, error);
+    }
+
+    #[test]
+    fn frames_respect_the_byte_cap() {
+        use std::io::BufReader;
+
+        // Two clean lines, then EOF.
+        let mut reader = BufReader::new(&b"alpha\nbeta\r\n"[..]);
+        assert_eq!(
+            read_frame(&mut reader, 64).unwrap(),
+            Frame::Line("alpha".into())
+        );
+        assert_eq!(
+            read_frame(&mut reader, 64).unwrap(),
+            Frame::Line("beta".into())
+        );
+        assert_eq!(read_frame(&mut reader, 64).unwrap(), Frame::Eof);
+
+        // An oversized line is discarded without accumulation and the stream stays
+        // aligned: the following frame reads normally.
+        let mut big = vec![b'x'; 1000];
+        big.push(b'\n');
+        big.extend_from_slice(b"after\n");
+        // A tiny BufReader capacity forces the chunk-by-chunk discard path.
+        let mut reader = BufReader::with_capacity(16, &big[..]);
+        assert_eq!(read_frame(&mut reader, 100).unwrap(), Frame::Oversized);
+        assert_eq!(
+            read_frame(&mut reader, 100).unwrap(),
+            Frame::Line("after".into())
+        );
+
+        // A final unterminated line is still delivered; a line exactly at the cap fits.
+        let mut reader = BufReader::new(&b"12345"[..]);
+        assert_eq!(
+            read_frame(&mut reader, 5).unwrap(),
+            Frame::Line("12345".into())
+        );
+        assert_eq!(read_frame(&mut reader, 5).unwrap(), Frame::Eof);
     }
 
     fn sample_interface() -> InterfaceDescription {

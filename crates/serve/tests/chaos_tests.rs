@@ -1,0 +1,204 @@
+//! Deterministic chaos tests: a seeded [`FaultPlan`] injects worker panics, evaluation
+//! failures and forced expiries at exact points, and the tests assert exact invariants at
+//! quiescence — the engine keeps serving, only the victim session is disturbed, virtual
+//! loss fully unwinds, and iteration accounting stays precise to the unit.
+
+use std::sync::Arc;
+
+use mctsui_serve::{EvalFault, FaultPlan, ServeConfig, ServeEngine, ServeError};
+use mctsui_sql::{parse_query, Ast};
+
+fn figure1_queries() -> Vec<Ast> {
+    vec![
+        parse_query("SELECT Sales FROM sales WHERE cty = 'USA'").unwrap(),
+        parse_query("SELECT Costs FROM sales WHERE cty = 'EUR'").unwrap(),
+        parse_query("SELECT Costs FROM sales").unwrap(),
+    ]
+}
+
+#[test]
+fn worker_panic_wedges_only_the_victim_session() {
+    // The first worker turn panics at the worst point: iterations begun, virtual losses
+    // applied, the session mutex held (so it poisons). The victim request must come back
+    // as a typed Wedged error, the victim must be evicted, and the engine must keep
+    // serving other sessions — bit-identically to a fault-free engine.
+    let plan = Arc::new(FaultPlan::new().panic_at_turn(1));
+    let engine = ServeEngine::start(
+        ServeConfig::quick()
+            .with_threads(1)
+            .with_fault_plan(Arc::clone(&plan)),
+    );
+
+    let victim = engine.synthesize(figure1_queries(), 40, 30_000, 7);
+    let wedged_id = match victim {
+        Err(ServeError::Wedged(id)) => id,
+        other => panic!("expected Wedged, got {other:?}"),
+    };
+
+    // Quarantine: victim gone, panic accounted, no virtual loss left anywhere.
+    assert_eq!(engine.session_count(), 0);
+    assert_eq!(engine.outstanding_virtual_loss(), 0);
+    let stats = engine.stats();
+    assert_eq!(stats.wedged_sessions, 1);
+    assert!(stats.caught_panics >= 1);
+    assert_eq!(stats.queue_depth, 0);
+    assert_eq!(stats.leaf_queue_depth, 0);
+    assert!(plan.fired().iter().any(|f| f.contains("panic@turn 1")));
+
+    // The engine keeps serving: a new session on the same engine reproduces a fault-free
+    // engine bit-for-bit (the panic leaked nothing into shared state).
+    let survivor = engine
+        .synthesize(figure1_queries(), 40, 30_000, 9)
+        .expect("engine must keep serving after a quarantine");
+    assert_ne!(survivor.session, wedged_id);
+    let refined = engine
+        .refine(survivor.session, 25, 30_000)
+        .expect("refine survivor");
+    assert!(refined.best.reward >= survivor.best.reward);
+    assert_eq!(refined.best.iterations, 40 + 25);
+
+    let reference_engine = ServeEngine::start(ServeConfig::quick().with_threads(1));
+    let reference = reference_engine
+        .synthesize(figure1_queries(), 40, 30_000, 9)
+        .expect("reference synthesize");
+    let reference_refined = reference_engine
+        .refine(reference.session, 25, 30_000)
+        .expect("reference refine");
+    assert_eq!(
+        refined.best.reward.to_bits(),
+        reference_refined.best.reward.to_bits(),
+        "survivor session diverged from the fault-free engine"
+    );
+    assert_eq!(refined.best.evaluations, reference_refined.best.evaluations);
+    assert_eq!(refined.best.tree_nodes, reference_refined.best.tree_nodes);
+    assert_eq!(refined.interface, reference_refined.interface);
+    assert_eq!(engine.outstanding_virtual_loss(), 0);
+}
+
+#[test]
+fn wedged_session_releases_its_admission_slot() {
+    // Regression for quarantine accounting: with a capacity of one, wedging the only
+    // session must free the slot — the next synthesize is admitted, not rejected Busy.
+    let plan = Arc::new(FaultPlan::new().panic_at_turn(1));
+    let engine = ServeEngine::start(
+        ServeConfig::quick()
+            .with_threads(1)
+            .with_max_sessions(1)
+            .with_fault_plan(plan),
+    );
+
+    assert!(matches!(
+        engine.synthesize(figure1_queries(), 20, 30_000, 1),
+        Err(ServeError::Wedged(_))
+    ));
+    assert_eq!(engine.session_count(), 0);
+
+    let replacement = engine
+        .synthesize(figure1_queries(), 20, 30_000, 2)
+        .expect("the wedged session's slot must be reclaimed");
+    assert_eq!(engine.session_count(), 1);
+    assert_eq!(replacement.best.iterations, 20);
+}
+
+#[test]
+fn evaluation_failure_aborts_cleanly_and_the_session_recovers() {
+    // The first evaluation batch panics inside the reward kernel. The member windows must
+    // abort cleanly (anytime answer, no wedge), virtual loss must unwind to zero, and
+    // afterwards the session must account refines to the exact unit.
+    let plan = Arc::new(FaultPlan::new().eval_fault_at(1, EvalFault::Fail));
+    let engine = ServeEngine::start(
+        ServeConfig::quick()
+            .with_threads(1)
+            .with_batch(4)
+            .with_fault_plan(Arc::clone(&plan)),
+    );
+
+    let opened = engine
+        .synthesize(figure1_queries(), 30, 30_000, 3)
+        .expect("evalfail must yield an anytime answer, not an error");
+    assert!(opened.best.reward.is_finite());
+    assert!(
+        opened.best.iterations < 30,
+        "the failed batch must unwind its iterations, got {}",
+        opened.best.iterations
+    );
+    assert_eq!(engine.session_count(), 1, "nobody gets wedged by evalfail");
+    assert_eq!(engine.outstanding_virtual_loss(), 0);
+
+    let stats = engine.stats();
+    assert!(stats.caught_panics >= 1);
+    assert!(stats.expired_units > 0, "aborted units must be accounted");
+    assert_eq!(stats.wedged_sessions, 0);
+    assert_eq!(stats.leaf_queue_depth, 0);
+    assert!(plan.fired().iter().any(|f| f.contains("evalfail@batch 1")));
+
+    // Exact accounting afterwards: every refine advances by precisely its budget.
+    let first = engine.refine(opened.session, 10, 30_000).expect("refine");
+    assert_eq!(first.best.iterations, opened.best.iterations + 10);
+    assert!(first.best.reward >= opened.best.reward);
+    let second = engine.refine(opened.session, 10, 30_000).expect("refine");
+    assert_eq!(second.best.iterations, first.best.iterations + 10);
+    assert!(second.best.reward >= first.best.reward);
+    assert_eq!(engine.outstanding_virtual_loss(), 0);
+}
+
+#[test]
+fn forced_expiry_keeps_accounting_exact() {
+    // The first window is forced to expire in-queue: its units are dropped unevaluated,
+    // its iterations unwound, and the session continues with exact accounting.
+    let plan = Arc::new(FaultPlan::new().expire_at_turn(1));
+    let engine = ServeEngine::start(
+        ServeConfig::quick()
+            .with_threads(1)
+            .with_batch(4)
+            .with_fault_plan(Arc::clone(&plan)),
+    );
+
+    let opened = engine
+        .synthesize(figure1_queries(), 25, 30_000, 5)
+        .expect("forced expiry must yield an anytime answer");
+    assert!(opened.best.reward.is_finite());
+
+    let stats = engine.stats();
+    assert!(stats.expired_windows >= 1, "the forced expiry never landed");
+    assert!(stats.expired_units > 0);
+    assert_eq!(stats.wedged_sessions, 0);
+    assert_eq!(engine.outstanding_virtual_loss(), 0);
+    assert!(plan.fired().iter().any(|f| f.contains("expire@turn 1")));
+
+    let first = engine.refine(opened.session, 15, 30_000).expect("refine");
+    assert_eq!(first.best.iterations, opened.best.iterations + 15);
+    let second = engine.refine(opened.session, 15, 30_000).expect("refine");
+    assert_eq!(second.best.iterations, first.best.iterations + 15);
+    assert!(second.best.reward >= first.best.reward);
+    assert_eq!(engine.stats().leaf_queue_depth, 0);
+    assert_eq!(engine.stats().queue_depth, 0);
+}
+
+#[test]
+fn evaluation_delay_is_survived_without_accounting_drift() {
+    // A delayed batch (simulated slow evaluation) must change nothing but wall-clock:
+    // results match the undelayed engine bit-for-bit.
+    let plan = Arc::new(FaultPlan::new().eval_fault_at(2, EvalFault::DelayMillis(50)));
+    let engine = ServeEngine::start(
+        ServeConfig::quick()
+            .with_threads(1)
+            .with_batch(4)
+            .with_fault_plan(plan),
+    );
+    let reference_engine = ServeEngine::start(ServeConfig::quick().with_threads(1).with_batch(4));
+
+    let delayed = engine
+        .synthesize(figure1_queries(), 30, 30_000, 11)
+        .expect("synthesize through delay");
+    let reference = reference_engine
+        .synthesize(figure1_queries(), 30, 30_000, 11)
+        .expect("reference synthesize");
+    assert_eq!(
+        delayed.best.reward.to_bits(),
+        reference.best.reward.to_bits()
+    );
+    assert_eq!(delayed.best.iterations, reference.best.iterations);
+    assert_eq!(delayed.best.evaluations, reference.best.evaluations);
+    assert_eq!(engine.outstanding_virtual_loss(), 0);
+}

@@ -5,8 +5,8 @@ use std::net::TcpListener;
 use std::sync::Arc;
 
 use mctsui_serve::{
-    run_concurrent_sessions, run_scripted_session, Client, Request, Response, ScriptConfig,
-    ServeConfig, ServeEngine,
+    run_concurrent_sessions, run_scripted_session, Client, FaultPlan, Request, Response,
+    ScriptConfig, ServeConfig, ServeEngine,
 };
 
 fn demo_queries() -> Vec<String> {
@@ -39,6 +39,7 @@ fn scripted_session_round_trips_over_tcp() {
         deadline_millis: 10_000,
         seed: 7,
         seed_stride: 1,
+        ..ScriptConfig::default()
     };
     let report = run_scripted_session(&addr, &demo_queries(), &script).expect("scripted session");
     assert_eq!(report.refined.len(), 2);
@@ -74,6 +75,7 @@ fn eight_concurrent_scripted_sessions_succeed() {
         deadline_millis: 20_000,
         seed: 1,
         seed_stride: 1,
+        ..ScriptConfig::default()
     };
     let reports =
         run_concurrent_sessions(&addr, &demo_queries(), &script, 8).expect("concurrent sessions");
@@ -133,4 +135,167 @@ fn malformed_and_unknown_requests_get_error_responses() {
 
     client.call(&Request::Shutdown).expect("shutdown");
     server.join().expect("server thread");
+}
+
+#[test]
+fn tolerant_client_survives_an_injected_connection_drop() {
+    // The very first accepted connection is severed right after accept — as a network
+    // blip would. The fault-tolerant scripted client must reconnect under backoff and
+    // complete the whole script with the monotonicity invariant intact.
+    let engine = ServeEngine::start(
+        ServeConfig::quick()
+            .with_threads(1)
+            .with_fault_plan(Arc::new(FaultPlan::new().drop_connection(1))),
+    );
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let server_engine = Arc::clone(&engine);
+    let server = std::thread::spawn(move || {
+        mctsui_serve::serve_on(server_engine, listener).expect("server failed");
+    });
+
+    let script = ScriptConfig {
+        iterations: 20,
+        refines: 2,
+        deadline_millis: 10_000,
+        seed: 5,
+        tolerate_faults: true,
+        ..ScriptConfig::default()
+    };
+    let report = run_scripted_session(&addr, &demo_queries(), &script)
+        .expect("tolerant session through a dropped connection");
+    assert!(
+        report.reconnects >= 1,
+        "the injected drop should have forced a reconnect"
+    );
+    assert_eq!(report.restarts, 0, "no session was lost, only a connection");
+    assert_eq!(report.refined.len(), 2);
+    assert!(report.final_reward() >= report.initial.reward);
+
+    let mut client = Client::connect(&addr).expect("connect");
+    client.call(&Request::Shutdown).expect("shutdown");
+    server.join().expect("server thread");
+}
+
+#[test]
+fn oversized_request_lines_get_a_typed_error_and_the_connection_survives() {
+    let (engine, addr, server) = start_server(1);
+    let cap = engine.config().max_frame_bytes;
+
+    use std::io::{BufRead, BufReader, Write};
+    let mut raw = std::net::TcpStream::connect(&addr).expect("connect raw");
+    // Twice the cap of garbage on one line: the server must discard it without buffering
+    // it, answer with the typed frame error, and stay frame-aligned.
+    let mut huge = vec![b'x'; cap * 2];
+    huge.push(b'\n');
+    raw.write_all(&huge).expect("write oversized line");
+    raw.flush().expect("flush");
+    let mut reader = BufReader::new(raw.try_clone().expect("clone"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read error response");
+    assert!(
+        line.contains("frame_too_large"),
+        "expected the typed frame error, got {line}"
+    );
+
+    // Same connection, next line: a valid request still works.
+    raw.write_all(mctsui_serve::proto::encode_line(&Request::Stats).as_bytes())
+        .expect("write stats");
+    raw.write_all(b"\n").expect("newline");
+    raw.flush().expect("flush");
+    line.clear();
+    reader.read_line(&mut line).expect("read stats response");
+    assert!(
+        line.contains("Stats"),
+        "connection unusable after an oversized line: {line}"
+    );
+
+    let mut client = Client::connect(&addr).expect("connect");
+    client.call(&Request::Shutdown).expect("shutdown");
+    server.join().expect("server thread");
+}
+
+#[test]
+fn kill_and_restore_resumes_sessions_across_server_restarts() {
+    // The full restart story over TCP: a server with a snapshot directory drains on
+    // Shutdown (persisting the still-open session), a second server over the same
+    // directory restores it, and `Resume` reattaches at exactly the pre-shutdown best.
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("clock")
+        .as_nanos();
+    let dir = std::env::temp_dir().join(format!(
+        "mctsui-wire-restore-{}-{nanos}",
+        std::process::id()
+    ));
+
+    let start_snapshotting_server = |dir: std::path::PathBuf| {
+        let engine =
+            ServeEngine::start(ServeConfig::quick().with_threads(1).with_snapshot_dir(dir));
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().expect("local addr").to_string();
+        let server_engine = Arc::clone(&engine);
+        let handle = std::thread::spawn(move || {
+            mctsui_serve::serve_on(server_engine, listener).expect("server failed");
+        });
+        (engine, addr, handle)
+    };
+
+    // First server lifetime: open a session, leave it open, shut down gracefully.
+    let (_engine1, addr1, server1) = start_snapshotting_server(dir.clone());
+    let mut client = Client::connect(&addr1).expect("connect");
+    let (session, parted_best) = match client
+        .call(&Request::Synthesize {
+            queries: demo_queries(),
+            iterations: 30,
+            deadline_millis: 10_000,
+            seed: 7,
+        })
+        .expect("synthesize")
+    {
+        Response::Synthesized { session, best, .. } => (session, best),
+        other => panic!("expected Synthesized, got {other:?}"),
+    };
+    client.call(&Request::Shutdown).expect("shutdown");
+    server1.join().expect("first server thread");
+
+    // Second server lifetime over the same snapshot directory.
+    let (_engine2, addr2, server2) = start_snapshotting_server(dir.clone());
+    let mut client = Client::connect(&addr2).expect("connect to restarted server");
+    match client
+        .call(&Request::Resume { session })
+        .expect("resume after restart")
+    {
+        Response::Resumed {
+            session: id, best, ..
+        } => {
+            assert_eq!(id, session);
+            assert_eq!(
+                best.reward.to_bits(),
+                parted_best.reward.to_bits(),
+                "restored best diverged from the pre-shutdown best"
+            );
+            assert_eq!(best.iterations, parted_best.iterations);
+        }
+        other => panic!("expected Resumed, got {other:?}"),
+    }
+    // The restored session is refinable and never loses ground.
+    match client
+        .call(&Request::Refine {
+            session,
+            iterations: 20,
+            deadline_millis: 10_000,
+        })
+        .expect("refine restored session")
+    {
+        Response::Refined { best, .. } => {
+            assert!(best.reward >= parted_best.reward);
+            assert_eq!(best.iterations, parted_best.iterations + 20);
+        }
+        other => panic!("expected Refined, got {other:?}"),
+    }
+
+    client.call(&Request::Shutdown).expect("second shutdown");
+    server2.join().expect("second server thread");
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -31,6 +31,13 @@
 //!   --batch <n>                  leaf-evaluation batch width (default: 8; 1 = sequential)
 //!   --shards <n>                 session-table / cache shard count (default: 8)
 //!   --screen <wide|narrow|WxH>   target screen of generated interfaces
+//!   --snapshot-dir <path>        persist session snapshots here; resume after restart
+//!   --snapshot-interval <ms>     snapshot cadence for quiescent sessions (default: 2000)
+//!   --idle-timeout <ms>          reap sessions idle this long (default: 0 = never)
+//!   --io-timeout <ms>            socket read/write timeout (default: 120000)
+//!   --max-frame <bytes>          request line-length cap (default: 1048576)
+//!   --fault-plan <spec>          inject deterministic faults, e.g.
+//!                                "panic@3,drop@2,evalfail@5,evaldelay@7:50,expire@9"
 //!
 //! CLIENT OPTIONS:
 //!   --addr <host:port>           server address (default: 127.0.0.1:7878)
@@ -41,6 +48,9 @@
 //!   --seed <n>                   base session seed (default: 42)
 //!   --demo                       use the SDSS Listing 1 log
 //!   --shutdown                   send Shutdown after the sessions finish
+//!   --tolerate-faults            reconnect/resume through faults instead of failing fast
+//!   --persist                    leave sessions open (prints session=<id> for --resume)
+//!   --resume <id>                reattach to a session by id instead of synthesizing
 //! ```
 
 use std::io::Read;
@@ -50,7 +60,8 @@ use mctsui::core::{GeneratorConfig, InterfaceDescription, InterfaceGenerator, Se
 use mctsui::mcts::{Budget, ParallelMode};
 use mctsui::render::{render_ascii, render_html};
 use mctsui::serve::{
-    run_concurrent_sessions, Client, Request, Response, ScriptConfig, ServeConfig, ServeEngine,
+    run_concurrent_sessions, run_resume_session, Client, FaultPlan, Request, Response,
+    ScriptConfig, ServeConfig, ServeEngine,
 };
 use mctsui::sql::{parse_query, print_query, Ast};
 use mctsui::widgets::Screen;
@@ -141,6 +152,31 @@ fn serve_main(args: Vec<String>) -> ExitCode {
                 Some(Ok(screen)) => config.screen = screen,
                 _ => return usage_error("--screen needs wide, narrow or WxH"),
             },
+            "--snapshot-dir" => match iter.next() {
+                Some(path) => config = config.with_snapshot_dir(path),
+                None => return usage_error("--snapshot-dir needs a path"),
+            },
+            "--snapshot-interval" => match iter.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) => config = config.with_snapshot_interval_millis(n),
+                None => return usage_error("--snapshot-interval needs a number (ms)"),
+            },
+            "--idle-timeout" => match iter.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) => config = config.with_idle_session_millis(n),
+                None => return usage_error("--idle-timeout needs a number (ms)"),
+            },
+            "--io-timeout" => match iter.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) => config = config.with_io_timeout_millis(n),
+                None => return usage_error("--io-timeout needs a number (ms)"),
+            },
+            "--max-frame" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => config = config.with_max_frame_bytes(n),
+                None => return usage_error("--max-frame needs a number (bytes)"),
+            },
+            "--fault-plan" => match iter.next().map(|spec| FaultPlan::parse(&spec)) {
+                Some(Ok(plan)) => config = config.with_fault_plan(std::sync::Arc::new(plan)),
+                Some(Err(e)) => return usage_error(&format!("bad --fault-plan: {e}")),
+                None => return usage_error("--fault-plan needs a spec"),
+            },
             other => return usage_error(&format!("unknown serve option `{other}`")),
         }
     }
@@ -154,6 +190,16 @@ fn serve_main(args: Vec<String>) -> ExitCode {
         engine.config().shards,
         engine.config().max_sessions
     );
+    if let Some(dir) = &engine.config().snapshot_dir {
+        eprintln!(
+            "session snapshots: {} (interval {} ms)",
+            dir.display(),
+            engine.config().snapshot_interval_millis
+        );
+    }
+    if engine.config().fault.is_some() {
+        eprintln!("fault injection active (deterministic chaos plan)");
+    }
     let result = mctsui::serve::serve(engine, &addr, |bound| {
         eprintln!("listening on {bound} (NDJSON protocol; send \"Shutdown\" to stop)");
     });
@@ -178,6 +224,7 @@ fn client_main(args: Vec<String>) -> ExitCode {
     let mut script = ScriptConfig::default();
     let mut demo = false;
     let mut shutdown = false;
+    let mut resume: Option<u64> = None;
     let mut query_file: Option<String> = None;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -208,11 +255,46 @@ fn client_main(args: Vec<String>) -> ExitCode {
             },
             "--demo" => demo = true,
             "--shutdown" => shutdown = true,
+            "--tolerate-faults" => script.tolerate_faults = true,
+            "--persist" => script.persist = true,
+            "--resume" => match iter.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(id) => resume = Some(id),
+                None => return usage_error("--resume needs a session id"),
+            },
             other if other.starts_with("--") => {
                 return usage_error(&format!("unknown client option `{other}`"))
             }
             other => query_file = Some(other.to_string()),
         }
+    }
+
+    // Resume mode reattaches by id — no query log involved.
+    if let Some(session) = resume {
+        eprintln!(
+            "resuming session {session} against {addr} ({} iterations x {} refines)",
+            script.iterations, script.refines
+        );
+        let report = match run_resume_session(&addr, session, &script) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        eprintln!(
+            "session {}: resumed at reward {:.3}, refined to {:.3} over {} request(s)",
+            report.session,
+            report.initial.reward,
+            report.final_reward(),
+            report.latencies_millis.len()
+        );
+        if script.persist {
+            println!("session={}", report.session);
+        }
+        if shutdown {
+            return request_shutdown(&addr);
+        }
+        return ExitCode::SUCCESS;
     }
 
     let queries: Vec<String> = if demo {
@@ -246,29 +328,48 @@ fn client_main(args: Vec<String>) -> ExitCode {
     };
     for report in &reports {
         eprintln!(
-            "session {}: reward {:.3} -> {:.3} over {} request(s), interact: {}",
+            "session {}: reward {:.3} -> {:.3} over {} request(s), interact: {}{}",
             report.session,
             report.initial.reward,
             report.final_reward(),
             report.latencies_millis.len(),
-            report.interact_sql.as_deref().unwrap_or("(no widgets)")
+            report.interact_sql.as_deref().unwrap_or("(no widgets)"),
+            if report.reconnects > 0 || report.restarts > 0 {
+                format!(
+                    " [{} reconnect(s), {} restart(s)]",
+                    report.reconnects, report.restarts
+                )
+            } else {
+                String::new()
+            }
         );
+        if script.persist {
+            println!("session={}", report.session);
+        }
     }
 
     if shutdown {
-        match Client::connect(&addr).and_then(|mut c| c.call(&Request::Shutdown)) {
-            Ok(Response::ShuttingDown) => eprintln!("server shutdown requested"),
-            Ok(other) => {
-                eprintln!("error: unexpected shutdown response {other:?}");
-                return ExitCode::FAILURE;
-            }
-            Err(e) => {
-                eprintln!("error: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
+        return request_shutdown(&addr);
     }
     ExitCode::SUCCESS
+}
+
+/// Ask the server to drain and stop; reports failure as a non-zero exit.
+fn request_shutdown(addr: &str) -> ExitCode {
+    match Client::connect(addr).and_then(|mut c| c.call(&Request::Shutdown)) {
+        Ok(Response::ShuttingDown) => {
+            eprintln!("server shutdown requested");
+            ExitCode::SUCCESS
+        }
+        Ok(other) => {
+            eprintln!("error: unexpected shutdown response {other:?}");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn usage_error(message: &str) -> ExitCode {
