@@ -1,0 +1,209 @@
+//! `fuzzdiff`: sweep the generated scenario corpus through the differential oracle ladder.
+//!
+//! ```text
+//! cargo run --release -p mctsui-bench --bin fuzzdiff -- \
+//!     [--families all|star,snowflake,log] [--seeds LO..HI] \
+//!     [--oracles all|actions,reward,search,serve,snapshot] \
+//!     [--append <path>] [--verbose]
+//! ```
+//!
+//! Every `(family, seed)` scenario in the sweep is generated and run through the selected
+//! oracles (see `mctsui_bench::fuzz`), with panics isolated per oracle. Failures are
+//! printed as ready-to-append regression-corpus lines (`<family>:<seed>  # <oracles>`);
+//! with `--append <path>` they are also appended to that file (normally
+//! `crates/bench/regressions.txt`, which `cargo test` replays). Exit status is non-zero on
+//! any failure, or when a sweep of 20+ seeds over all families never produces a scalar
+//! subquery or CTE — the dialect-coverage guard of the corpus itself.
+
+use std::collections::BTreeMap;
+use std::ops::Range;
+use std::process::ExitCode;
+
+use mctsui_bench::fuzz::{run_scenario, Oracle};
+use mctsui_workload::{CorpusSpec, SchemaFamily};
+
+struct Options {
+    families: Vec<SchemaFamily>,
+    seeds: Range<u64>,
+    oracles: Vec<Oracle>,
+    append: Option<String>,
+    verbose: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fuzzdiff [--families all|star,snowflake,log] [--seeds LO..HI] \
+         [--oracles all|actions,reward,search,serve,snapshot] [--append <path>] [--verbose]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_options() -> Options {
+    let mut options = Options {
+        families: SchemaFamily::ALL.to_vec(),
+        seeds: 0..50,
+        oracles: Oracle::ALL.to_vec(),
+        append: None,
+        verbose: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--families" => {
+                let value = args.next().unwrap_or_else(|| usage());
+                if value != "all" {
+                    options.families = value
+                        .split(',')
+                        .map(|name| {
+                            SchemaFamily::parse(name.trim()).unwrap_or_else(|| {
+                                eprintln!("unknown family `{name}`");
+                                usage()
+                            })
+                        })
+                        .collect();
+                }
+            }
+            "--seeds" => {
+                let value = args.next().unwrap_or_else(|| usage());
+                let (lo, hi) = value.split_once("..").unwrap_or_else(|| usage());
+                let lo: u64 = lo.trim().parse().unwrap_or_else(|_| usage());
+                let hi: u64 = hi.trim().parse().unwrap_or_else(|_| usage());
+                if hi <= lo {
+                    eprintln!("empty seed range {value}");
+                    usage()
+                }
+                options.seeds = lo..hi;
+            }
+            "--oracles" => {
+                let value = args.next().unwrap_or_else(|| usage());
+                if value != "all" {
+                    options.oracles = value
+                        .split(',')
+                        .map(|name| {
+                            Oracle::parse(name.trim()).unwrap_or_else(|| {
+                                eprintln!("unknown oracle `{name}`");
+                                usage()
+                            })
+                        })
+                        .collect();
+                }
+            }
+            "--append" => options.append = Some(args.next().unwrap_or_else(|| usage())),
+            "--verbose" => options.verbose = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                usage()
+            }
+        }
+    }
+    options
+}
+
+fn main() -> ExitCode {
+    let options = parse_options();
+    let total = options.families.len() as u64 * (options.seeds.end - options.seeds.start);
+    println!(
+        "fuzzdiff: {} scenarios ({} x seeds {}..{}), oracles [{}]",
+        total,
+        options
+            .families
+            .iter()
+            .map(|f| f.name())
+            .collect::<Vec<_>>()
+            .join(","),
+        options.seeds.start,
+        options.seeds.end,
+        options
+            .oracles
+            .iter()
+            .map(|o| o.name())
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+
+    // Oracle panics are expected to be caught and reported; keep the default hook's
+    // backtrace spam out of sweep output.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let started = std::time::Instant::now();
+    let mut failures: Vec<String> = Vec::new();
+    let mut oracle_failures: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut subquery_logs = 0usize;
+    let mut cte_logs = 0usize;
+    let mut queries_total = 0usize;
+    for &family in &options.families {
+        for seed in options.seeds.clone() {
+            let outcome = run_scenario(CorpusSpec::new(family, seed), &options.oracles);
+            queries_total += outcome.queries;
+            subquery_logs += usize::from(outcome.has_subquery);
+            cte_logs += usize::from(outcome.has_cte);
+            if !outcome.passed() {
+                for (oracle, message) in &outcome.failures {
+                    *oracle_failures.entry(oracle).or_default() += 1;
+                    eprintln!(
+                        "FAIL {}: [{oracle}] {message}",
+                        outcome.spec.scenario_name()
+                    );
+                }
+                failures.push(outcome.regression_line());
+            } else if options.verbose {
+                println!(
+                    "ok {} ({} queries{}{})",
+                    outcome.spec.scenario_name(),
+                    outcome.queries,
+                    if outcome.has_subquery {
+                        ", subquery"
+                    } else {
+                        ""
+                    },
+                    if outcome.has_cte { ", cte" } else { "" },
+                );
+            }
+        }
+    }
+    std::panic::set_hook(default_hook);
+
+    println!(
+        "swept {total} scenarios ({queries_total} queries) in {:.1}s: {} failed; {subquery_logs} logs with subqueries, {cte_logs} with CTEs",
+        started.elapsed().as_secs_f64(),
+        failures.len()
+    );
+    for (oracle, count) in &oracle_failures {
+        println!("  oracle {oracle}: {count} failures");
+    }
+
+    if !failures.is_empty() {
+        println!("\nregression-corpus lines (append to crates/bench/regressions.txt):");
+        for line in &failures {
+            println!("{line}");
+        }
+        if let Some(path) = &options.append {
+            let mut text = std::fs::read_to_string(path).unwrap_or_default();
+            if !text.is_empty() && !text.ends_with('\n') {
+                text.push('\n');
+            }
+            for line in &failures {
+                text.push_str(line);
+                text.push('\n');
+            }
+            match std::fs::write(path, text) {
+                Ok(()) => println!("appended {} line(s) to {path}", failures.len()),
+                Err(e) => eprintln!("could not append to {path}: {e}"),
+            }
+        }
+        return ExitCode::FAILURE;
+    }
+
+    // Dialect-coverage guard: a healthy all-family sweep must exercise the extended SQL
+    // constructs end to end.
+    let swept_all_families = options.families.len() == SchemaFamily::ALL.len();
+    if swept_all_families && total >= 20 && (subquery_logs == 0 || cte_logs == 0) {
+        eprintln!("dialect coverage regressed: {subquery_logs} subquery logs, {cte_logs} CTE logs");
+        return ExitCode::FAILURE;
+    }
+
+    println!("all oracles green");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,485 @@
+//! Differential fuzz harness: the oracle ladder run over the generated scenario corpus.
+//!
+//! Each corpus scenario (`corpus:<family>:<seed>`, see `mctsui_workload::corpus`) is swept
+//! through five differential oracles, each pinning an optimised path against its slow
+//! reference implementation **bit-for-bit**:
+//!
+//! 1. **actions** — `RuleEngine::applicable` (incremental action index) against
+//!    `applicable_scan` (full-walk reference), on the initial and the saturated difftree.
+//! 2. **reward** — the compiled-skeleton reward path (`ContextCache::plan_for` +
+//!    `evaluate_sampled`) against the legacy build-a-widget-tree-per-assignment loop.
+//! 3. **search** — a sliced resumable `SearchHandle` against the same handle run in one
+//!    shot, comparing reward bits, iteration/evaluation counts and tree size.
+//! 4. **serve** — the serving engine (one worker, batch 1) against a raw handle over the
+//!    identically configured problem.
+//! 5. **snapshot** — `SearchHandle::snapshot` serialised through JSON, restored, and run to
+//!    completion against an uninterrupted run.
+//!
+//! Failures are already minimal — a `(family, seed)` pair reproduces them — and are
+//! appended to the checked-in regression corpus (`crates/bench/regressions.txt`), which is
+//! replayed as an ordinary tier-1 test (`tests/fuzz_regressions.rs`). The `fuzzdiff` binary
+//! drives sweeps from the command line.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use mctsui_core::InterfaceSearchProblem;
+use mctsui_cost::{ContextCache, CostWeights, QueryContext};
+use mctsui_difftree::{initial_difftree, simplified_difftree, RuleEngine};
+use mctsui_mcts::{Budget, HandleSnapshot, SearchHandle, SliceBudget};
+use mctsui_serve::{ServeConfig, ServeEngine};
+use mctsui_workload::{CorpusSpec, Scenario, SchemaFamily};
+
+use crate::{fast_generator_config, is5_legacy_reward_eval, is5_skeleton_reward_eval};
+
+/// One rung of the differential oracle ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Oracle {
+    /// Index-vs-scan applicable-action parity.
+    Actions,
+    /// Skeleton-vs-legacy reward evaluation parity.
+    Reward,
+    /// Sliced-vs-one-shot resumable search parity.
+    Search,
+    /// Serve-engine-vs-raw-handle parity.
+    Serve,
+    /// Snapshot/serialise/restore continuation parity.
+    Snapshot,
+}
+
+impl Oracle {
+    /// Every oracle, in ladder order.
+    pub const ALL: [Oracle; 5] = [
+        Oracle::Actions,
+        Oracle::Reward,
+        Oracle::Search,
+        Oracle::Serve,
+        Oracle::Snapshot,
+    ];
+
+    /// Stable name used on the `fuzzdiff` command line.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Oracle::Actions => "actions",
+            Oracle::Reward => "reward",
+            Oracle::Search => "search",
+            Oracle::Serve => "serve",
+            Oracle::Snapshot => "snapshot",
+        }
+    }
+
+    /// Parse an oracle name (as produced by [`Oracle::name`]).
+    pub fn parse(name: &str) -> Option<Oracle> {
+        Self::ALL.into_iter().find(|o| o.name() == name)
+    }
+
+    fn run(&self, scenario: &Scenario, seed: u64) -> Result<(), String> {
+        match self {
+            Oracle::Actions => oracle_actions(scenario),
+            Oracle::Reward => oracle_reward(scenario, seed),
+            Oracle::Search => oracle_search(scenario, seed),
+            Oracle::Serve => oracle_serve(scenario, seed),
+            Oracle::Snapshot => oracle_snapshot(scenario, seed),
+        }
+    }
+}
+
+/// The outcome of running the ladder on one corpus scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// The generating spec.
+    pub spec: CorpusSpec,
+    /// Session length (0 if generation itself panicked).
+    pub queries: usize,
+    /// Whether the log contains a scalar-subquery predicate.
+    pub has_subquery: bool,
+    /// Whether the log contains a `WITH` common table expression.
+    pub has_cte: bool,
+    /// Every oracle failure: `(oracle name, message)`. Empty means the scenario passed.
+    pub failures: Vec<(&'static str, String)>,
+}
+
+impl ScenarioOutcome {
+    /// True when every oracle held.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// The regression-corpus line reproducing this outcome's failures.
+    pub fn regression_line(&self) -> String {
+        let oracles: Vec<&str> = self.failures.iter().map(|(o, _)| *o).collect();
+        format!(
+            "{}:{}  # {}",
+            self.spec.family,
+            self.spec.seed,
+            if oracles.is_empty() {
+                "ok".to_string()
+            } else {
+                oracles.join(", ")
+            }
+        )
+    }
+}
+
+/// Run the selected oracles on one corpus scenario, isolating panics per oracle so a
+/// generator or oracle crash registers as a failure instead of aborting the sweep.
+pub fn run_scenario(spec: CorpusSpec, oracles: &[Oracle]) -> ScenarioOutcome {
+    let scenario = match catch_unwind(AssertUnwindSafe(|| {
+        let log = spec.generate();
+        let scenario = Scenario::from_corpus(spec);
+        let has_subquery = log.sql.iter().any(|s| s.contains("(select"));
+        let has_cte = log.sql.iter().any(|s| s.starts_with("with "));
+        (scenario, has_subquery, has_cte)
+    })) {
+        Ok(parts) => parts,
+        Err(payload) => {
+            return ScenarioOutcome {
+                spec,
+                queries: 0,
+                has_subquery: false,
+                has_cte: false,
+                failures: vec![("generate", panic_message(payload))],
+            }
+        }
+    };
+    let (scenario, has_subquery, has_cte) = scenario;
+    let mut outcome = ScenarioOutcome {
+        spec,
+        queries: scenario.queries.len(),
+        has_subquery,
+        has_cte,
+        failures: Vec::new(),
+    };
+    for oracle in oracles {
+        let result = catch_unwind(AssertUnwindSafe(|| oracle.run(&scenario, spec.seed)));
+        match result {
+            Ok(Ok(())) => {}
+            Ok(Err(message)) => outcome.failures.push((oracle.name(), message)),
+            Err(payload) => outcome
+                .failures
+                .push((oracle.name(), format!("panic: {}", panic_message(payload)))),
+        }
+    }
+    outcome
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Oracle 1: the incremental action index must agree with the full-walk reference scan on
+/// the initial difftree, the saturated difftree, and every one-edit successor of the
+/// initial tree.
+fn oracle_actions(scenario: &Scenario) -> Result<(), String> {
+    let engine = RuleEngine::default();
+    let initial = initial_difftree(&scenario.queries);
+    let saturated = engine.saturate_forward(&initial, 100);
+    for (label, tree) in [("initial", &initial), ("saturated", &saturated)] {
+        let indexed = engine.applicable(tree);
+        let scanned = engine.applicable_scan(tree);
+        if indexed != scanned {
+            return Err(format!(
+                "{label}: index returned {} applications, scan {}",
+                indexed.len(),
+                scanned.len()
+            ));
+        }
+        if engine.count_applicable(tree) != scanned.len() {
+            return Err(format!("{label}: count_applicable disagrees with scan"));
+        }
+    }
+    // Every one-edit successor (the steady state of a rollout step).
+    for app in engine.applicable(&initial) {
+        if let Some(succ) = engine.apply(&initial, &app) {
+            let indexed = engine.applicable(&succ);
+            let scanned = engine.applicable_scan(&succ);
+            if indexed != scanned {
+                return Err(format!(
+                    "successor via {:?}: index {} vs scan {}",
+                    app.rule,
+                    indexed.len(),
+                    scanned.len()
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Oracle 2: for any fixed widget assignment, the compiled-skeleton slot evaluation must
+/// reproduce the reference path (build the widget tree, walk it with
+/// `evaluate_with_context`) bit-for-bit — on the initial and the saturated tree, for the
+/// greedy default plus several random assignments.
+///
+/// Note the two *samplers* are intentionally decorrelated (`per_sample_seed` vs the legacy
+/// `seed + i` stream), so `k > 0` rewards are only comparable per-assignment, never
+/// end-to-end across the samplers; at `k = 0` both paths reduce to the greedy default and
+/// [`is5_legacy_reward_eval`] / [`is5_skeleton_reward_eval`] themselves must agree.
+fn oracle_reward(scenario: &Scenario, seed: u64) -> Result<(), String> {
+    use mctsui_widgets::{
+        build_widget_tree, default_assignment, random_assignment, LayoutSkeleton,
+    };
+
+    let engine = RuleEngine::default();
+    let initial = initial_difftree(&scenario.queries);
+    let saturated = engine.saturate_forward(&initial, 100);
+    let weights = CostWeights::default();
+    let cache = ContextCache::new(Arc::from(scenario.queries.clone()));
+    for (label, tree) in [("initial", &initial), ("saturated", &saturated)] {
+        let ctx = QueryContext::compute(tree, &scenario.queries);
+        let plan = cache.plan_for(tree);
+        let mut scratch = mctsui_cost::EvalScratch::default();
+        let assignments = std::iter::once(default_assignment(tree)).chain(
+            (0..4u64).map(|i| random_assignment(tree, seed.wrapping_mul(31).wrapping_add(i))),
+        );
+        for (i, map) in assignments.enumerate() {
+            let slots = plan.skeleton.slots_from_map(&map);
+            let wt = build_widget_tree(tree, &map, scenario.screen);
+            let reference = mctsui_cost::evaluate_with_context(&wt, &ctx, &weights);
+            let fast =
+                mctsui_cost::evaluate_slots(&plan, &slots, scenario.screen, &weights, &mut scratch);
+            if reference != fast {
+                return Err(format!(
+                    "{label} assignment {i}: reference {reference:?} vs skeleton {fast:?}"
+                ));
+            }
+        }
+        // The k = 0 reward (greedy default only) is directly comparable across the two
+        // reward entry points.
+        let legacy = is5_legacy_reward_eval(tree, &ctx, scenario.screen, &weights, 0, seed);
+        let skeleton = is5_skeleton_reward_eval(&cache, tree, scenario.screen, &weights, 0, seed);
+        if legacy.to_bits() != skeleton.to_bits() {
+            return Err(format!(
+                "{label} k=0 default reward: legacy {legacy} vs skeleton {skeleton}"
+            ));
+        }
+        // A freshly compiled skeleton must agree with the cached plan's.
+        let fresh = LayoutSkeleton::compile(tree);
+        if fresh.widget_count() != plan.skeleton.widget_count() {
+            return Err(format!(
+                "{label}: fresh skeleton widget_count {} vs cached {}",
+                fresh.widget_count(),
+                plan.skeleton.widget_count()
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn fuzz_problem(scenario: &Scenario) -> Arc<InterfaceSearchProblem> {
+    Arc::new(InterfaceSearchProblem::new(
+        scenario.queries.clone(),
+        simplified_difftree(&scenario.queries),
+        RuleEngine::default(),
+        scenario.screen,
+        CostWeights::default(),
+        2,
+    ))
+}
+
+fn fuzz_mcts(scenario: &Scenario, seed: u64) -> mctsui_mcts::MctsConfig {
+    let mut mcts = fast_generator_config(scenario.screen, 1, seed).mcts;
+    mcts.seed = seed;
+    mcts.budget = Budget::Iterations(usize::MAX);
+    mcts
+}
+
+fn handle_key(handle: &SearchHandle<Arc<InterfaceSearchProblem>>) -> (u64, usize, usize, usize) {
+    (
+        handle.best_reward().to_bits(),
+        handle.iterations(),
+        handle.evaluations(),
+        handle.node_count(),
+    )
+}
+
+/// Oracle 3: running the resumable handle in three uneven slices must land on exactly the
+/// state a single slice of the summed budget produces.
+fn oracle_search(scenario: &Scenario, seed: u64) -> Result<(), String> {
+    let mut one_shot = SearchHandle::new(fuzz_problem(scenario), fuzz_mcts(scenario, seed));
+    one_shot.run_for(SliceBudget::iterations(45));
+
+    let mut sliced = SearchHandle::new(fuzz_problem(scenario), fuzz_mcts(scenario, seed));
+    for slice in [20usize, 15, 10] {
+        sliced.run_for(SliceBudget::iterations(slice));
+    }
+
+    if handle_key(&one_shot) != handle_key(&sliced) {
+        return Err(format!(
+            "one-shot {:?} vs sliced {:?}",
+            handle_key(&one_shot),
+            handle_key(&sliced)
+        ));
+    }
+    Ok(())
+}
+
+/// Oracle 4: the serving engine at one worker / batch 1 must reproduce a raw handle over
+/// the identically configured problem bit-for-bit, through synthesize plus two refines.
+fn oracle_serve(scenario: &Scenario, seed: u64) -> Result<(), String> {
+    let mut config = ServeConfig::quick().with_threads(1).with_batch(1);
+    config.screen = scenario.screen;
+
+    let reference = {
+        let problem = Arc::new(InterfaceSearchProblem::new(
+            scenario.queries.clone(),
+            simplified_difftree(&scenario.queries),
+            RuleEngine::default(),
+            config.screen,
+            config.weights,
+            config.assignments_per_eval,
+        ));
+        let mut mcts = config.mcts.clone();
+        mcts.seed = seed;
+        mcts.budget = Budget::Iterations(usize::MAX);
+        let mut handle = SearchHandle::new(problem, mcts);
+        handle.run_for(SliceBudget::iterations(16));
+        for _ in 0..2 {
+            handle.run_for(SliceBudget::iterations(8));
+        }
+        handle
+    };
+
+    let engine = ServeEngine::start(config);
+    let opened = engine
+        .synthesize(scenario.queries.clone(), 16, 60_000, seed)
+        .map_err(|e| format!("synthesize failed: {e:?}"))?;
+    let mut last = None;
+    for _ in 0..2 {
+        last = Some(
+            engine
+                .refine(opened.session, 8, 60_000)
+                .map_err(|e| format!("refine failed: {e:?}"))?,
+        );
+    }
+    let last = last.expect("two refines ran");
+
+    if last.best.reward.to_bits() != reference.best_reward().to_bits()
+        || last.best.iterations != reference.iterations() as u64
+        || last.best.evaluations != reference.evaluations() as u64
+        || last.best.tree_nodes != reference.node_count() as u64
+    {
+        return Err(format!(
+            "engine (reward {}, it {}, ev {}, nodes {}) vs handle (reward {}, it {}, ev {}, nodes {})",
+            last.best.reward,
+            last.best.iterations,
+            last.best.evaluations,
+            last.best.tree_nodes,
+            reference.best_reward(),
+            reference.iterations(),
+            reference.evaluations(),
+            reference.node_count()
+        ));
+    }
+    Ok(())
+}
+
+/// Oracle 5: snapshotting mid-search, round-tripping the snapshot through JSON and
+/// restoring must continue to exactly the uninterrupted run's state.
+fn oracle_snapshot(scenario: &Scenario, seed: u64) -> Result<(), String> {
+    let mut uninterrupted = SearchHandle::new(fuzz_problem(scenario), fuzz_mcts(scenario, seed));
+    uninterrupted.run_for(SliceBudget::iterations(24));
+
+    let mut first_half = SearchHandle::new(fuzz_problem(scenario), fuzz_mcts(scenario, seed));
+    first_half.run_for(SliceBudget::iterations(12));
+    let snap = first_half.snapshot();
+    let json = serde_json::to_string(&snap).map_err(|e| format!("snapshot serialise: {e}"))?;
+    let parsed: HandleSnapshot<mctsui_difftree::DiffTree> =
+        serde_json::from_str(&json).map_err(|e| format!("snapshot parse: {e}"))?;
+    let mut restored = SearchHandle::restore(fuzz_problem(scenario), parsed)
+        .map_err(|e| format!("snapshot restore: {e}"))?;
+    restored.run_for(SliceBudget::iterations(12));
+
+    if handle_key(&uninterrupted) != handle_key(&restored) {
+        return Err(format!(
+            "uninterrupted {:?} vs restored continuation {:?}",
+            handle_key(&uninterrupted),
+            handle_key(&restored)
+        ));
+    }
+    Ok(())
+}
+
+/// The checked-in regression corpus: every `(family, seed)` pair that ever failed the
+/// ladder (plus representative coverage seeds), replayed as a tier-1 test.
+pub const REGRESSIONS: &str = include_str!("../regressions.txt");
+
+/// Parse a regression-corpus document: one `<family>:<seed>` per line, `#` comments.
+pub fn parse_regressions(text: &str) -> Vec<CorpusSpec> {
+    text.lines()
+        .filter_map(|line| {
+            let line = line.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                return None;
+            }
+            let (family, seed) = line.split_once(':')?;
+            Some(CorpusSpec::new(
+                SchemaFamily::parse(family.trim())?,
+                seed.trim().parse().ok()?,
+            ))
+        })
+        .collect()
+}
+
+/// The parsed checked-in regression corpus.
+pub fn regression_corpus() -> Vec<CorpusSpec> {
+    parse_regressions(REGRESSIONS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_names_round_trip() {
+        for oracle in Oracle::ALL {
+            assert_eq!(Oracle::parse(oracle.name()), Some(oracle));
+        }
+        assert_eq!(Oracle::parse("nope"), None);
+    }
+
+    #[test]
+    fn regression_corpus_parses_and_is_nonempty() {
+        let corpus = regression_corpus();
+        assert!(!corpus.is_empty(), "regressions.txt must list seeds");
+        // Every family is represented.
+        for family in SchemaFamily::ALL {
+            assert!(
+                corpus.iter().any(|s| s.family == family),
+                "{family} missing from the regression corpus"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_regressions_skips_comments_and_garbage() {
+        let parsed = parse_regressions("# header\nstar:3 # note\n\nbogus\nlog:notanum\nlog:9\n");
+        assert_eq!(
+            parsed,
+            vec![
+                CorpusSpec::new(SchemaFamily::Star, 3),
+                CorpusSpec::new(SchemaFamily::Log, 9)
+            ]
+        );
+    }
+
+    #[test]
+    fn a_full_ladder_run_passes_on_one_scenario_per_family() {
+        for family in SchemaFamily::ALL {
+            let outcome = run_scenario(CorpusSpec::new(family, 1), &Oracle::ALL);
+            assert!(
+                outcome.passed(),
+                "{}: {:?}",
+                outcome.spec.scenario_name(),
+                outcome.failures
+            );
+            assert!(outcome.queries >= 6);
+        }
+    }
+}

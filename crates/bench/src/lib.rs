@@ -19,6 +19,8 @@
 //! All report functions are deterministic for a given seed and budget so the recorded numbers
 //! in `EXPERIMENTS.md` can be regenerated with `cargo run -p mctsui-bench --bin expfig`.
 
+pub mod fuzz;
+
 use serde::Serialize;
 
 use mctsui_baseline::mine_interface;

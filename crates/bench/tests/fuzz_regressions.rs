@@ -1,0 +1,49 @@
+//! Replays the checked-in differential-fuzz regression corpus as ordinary tier-1 tests.
+//!
+//! Every `(family, seed)` pair in `crates/bench/regressions.txt` — seeds that ever broke
+//! an oracle, plus representative coverage seeds — runs the full oracle ladder here on
+//! every `cargo test`. A failure means an optimised path diverged from its reference
+//! implementation again; reproduce interactively with
+//! `cargo run -p mctsui-bench --release --bin fuzzdiff -- --families <family> --seeds <seed>..<seed+1>`.
+
+use mctsui_bench::fuzz::{regression_corpus, run_scenario, Oracle};
+
+#[test]
+fn regression_corpus_passes_the_full_oracle_ladder() {
+    let corpus = regression_corpus();
+    assert!(!corpus.is_empty(), "regressions.txt is empty");
+    let mut failures = Vec::new();
+    for spec in corpus {
+        let outcome = run_scenario(spec, &Oracle::ALL);
+        if !outcome.passed() {
+            failures.push(format!(
+                "{}: {:?}",
+                outcome.spec.scenario_name(),
+                outcome.failures
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "regressions failed:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn regression_corpus_covers_the_extended_dialect() {
+    // The corpus must keep at least one subquery-bearing and one CTE-bearing log flowing
+    // through the whole ladder.
+    let outcomes: Vec<_> = regression_corpus()
+        .into_iter()
+        .map(|spec| run_scenario(spec, &[]))
+        .collect();
+    assert!(
+        outcomes.iter().any(|o| o.has_subquery),
+        "no regression seed generates a scalar subquery"
+    );
+    assert!(
+        outcomes.iter().any(|o| o.has_cte),
+        "no regression seed generates a CTE"
+    );
+}

@@ -73,6 +73,13 @@ pub enum NodeKind {
     IsNull,
     /// Alias attached to a projection item; value is the alias name.
     Alias,
+    /// A scalar subquery in expression position; the single child is the inner `Select`.
+    Subquery,
+    /// Root of a query prefixed by common table expressions; children are
+    /// `[Cte, ..., Select]` with the body `Select` last.
+    With,
+    /// A single common table expression; value is its name, the single child its `Select`.
+    Cte,
     /// Explicit empty node (used by the difftree machinery for absent optional clauses).
     Empty,
 }
@@ -108,6 +115,9 @@ impl NodeKind {
             NodeKind::Like => "Like",
             NodeKind::IsNull => "IsNull",
             NodeKind::Alias => "Alias",
+            NodeKind::Subquery => "Subquery",
+            NodeKind::With => "With",
+            NodeKind::Cte => "Cte",
             NodeKind::Empty => "Empty",
         }
     }
@@ -184,6 +194,11 @@ impl Literal {
                 let f = v.get();
                 if f.fract() == 0.0 && f.abs() < 1e15 {
                     format!("{f:.1}")
+                } else if f.is_finite() && f.abs() >= 1e15 {
+                    // Plain `{f}` would render e.g. 1e20 as a 21-digit integer string,
+                    // which the lexer rejects as an i64 overflow; exponent notation keeps
+                    // the round trip lossless.
+                    format!("{f:e}")
                 } else {
                     format!("{f}")
                 }

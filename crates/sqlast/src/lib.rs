@@ -9,7 +9,9 @@
 //!
 //! * a hand-written [`lexer`](token) and [`parser`] for the analysis-SQL subset used in the
 //!   paper (projection lists with aggregates and aliases, `TOP`/`LIMIT`, `FROM`, `WHERE`
-//!   clauses with `AND`/`OR`/`BETWEEN`/comparisons/`IN`/`LIKE`, `GROUP BY`, `ORDER BY`),
+//!   clauses with `AND`/`OR`/`BETWEEN`/comparisons/`IN`/`LIKE`, `GROUP BY`, `ORDER BY`,
+//!   expression-level arithmetic, scalar subqueries in predicates and simple
+//!   `WITH name AS (...)` common table expressions),
 //! * a generic labelled-tree [`Ast`](ast::Ast) representation whose node kinds mirror the
 //!   grammar-rule names used in the paper's figures (`Select`, `Project`, `Where`,
 //!   `ColExpr`, `BiExpr`, `StrExpr`, ...),

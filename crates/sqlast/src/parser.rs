@@ -12,11 +12,13 @@ use crate::token::{tokenize, Token, TokenKind};
 
 /// Parse a single SQL query into its AST.
 ///
-/// This is the main entry point of the crate.
+/// This is the main entry point of the crate. A query is either a plain `SELECT`
+/// statement (rooted at [`NodeKind::Select`]) or a `WITH name AS (...) SELECT ...`
+/// statement (rooted at [`NodeKind::With`]).
 pub fn parse_query(input: &str) -> Result<Ast> {
     let tokens = tokenize(input)?;
     let mut parser = Parser::new(tokens);
-    let ast = parser.parse_select()?;
+    let ast = parser.parse_statement()?;
     parser.expect_end()?;
     Ok(ast)
 }
@@ -90,6 +92,45 @@ impl Parser {
             TokenKind::Eof => Ok(()),
             _ => Err(self.error_here("unexpected trailing input")),
         }
+    }
+
+    /// Parse a full statement: a plain `SELECT` or a `WITH ... SELECT`.
+    pub fn parse_statement(&mut self) -> Result<Ast> {
+        if self.peek().is_keyword("WITH") {
+            self.parse_with()
+        } else {
+            self.parse_select()
+        }
+    }
+
+    /// Parse `WITH name AS (select) [, name AS (select)]* select`.
+    ///
+    /// The resulting `With` node holds the `Cte` definitions in source order followed by
+    /// the body `Select` as the last child.
+    fn parse_with(&mut self) -> Result<Ast> {
+        self.expect_keyword("WITH")?;
+        let mut children = Vec::new();
+        loop {
+            let name = match self.advance().kind {
+                TokenKind::Ident(name) => name,
+                _ => return Err(self.error_here("expected CTE name after WITH")),
+            };
+            self.expect_keyword("AS")?;
+            self.expect_symbol("(")?;
+            let select = self.parse_select()?;
+            self.expect_symbol(")")?;
+            children.push(Ast::with_value(
+                NodeKind::Cte,
+                Literal::str(name),
+                vec![select],
+            ));
+            if !self.eat_symbol(",") {
+                break;
+            }
+        }
+        let body = self.parse_select()?;
+        children.push(body);
+        Ok(Ast::new(NodeKind::With, children))
     }
 
     /// Parse a full `SELECT` statement.
@@ -373,6 +414,12 @@ impl Parser {
             }
             TokenKind::Symbol(ref s) if s == "(" => {
                 self.advance();
+                // A parenthesised `SELECT` in expression position is a scalar subquery.
+                if self.peek().is_keyword("SELECT") {
+                    let select = self.parse_select()?;
+                    self.expect_symbol(")")?;
+                    return Ok(Ast::new(NodeKind::Subquery, vec![select]));
+                }
                 let inner = self.parse_expr()?;
                 self.expect_symbol(")")?;
                 Ok(inner)
@@ -578,6 +625,55 @@ mod tests {
         let ast = parse_query("select x from t where a = -5").unwrap();
         let s = ast.sexpr();
         assert!(s.contains("UnExpr:-"));
+    }
+
+    #[test]
+    fn scalar_subquery_in_predicate() {
+        let ast = parse_query(
+            "select name from products where price > (select avg(price) from products)",
+        )
+        .unwrap();
+        let pred = &ast.children()[2].children()[0];
+        assert_eq!(pred.value().unwrap().as_str(), Some(">"));
+        let sub = &pred.children()[1];
+        assert_eq!(sub.kind(), NodeKind::Subquery);
+        assert_eq!(sub.children()[0].kind(), NodeKind::Select);
+    }
+
+    #[test]
+    fn parenthesised_expression_is_not_a_subquery() {
+        let ast = parse_query("select x from t where (a + 1) > 2").unwrap();
+        let pred = &ast.children()[2].children()[0];
+        assert_eq!(pred.children()[0].kind(), NodeKind::BiExpr);
+    }
+
+    #[test]
+    fn simple_cte() {
+        let ast =
+            parse_query("with base as (select region from sales) select region from base").unwrap();
+        assert_eq!(ast.kind(), NodeKind::With);
+        assert_eq!(ast.children().len(), 2);
+        assert_eq!(ast.children()[0].kind(), NodeKind::Cte);
+        assert_eq!(ast.children()[0].value().unwrap().as_str(), Some("base"));
+        assert_eq!(ast.children()[0].children()[0].kind(), NodeKind::Select);
+        assert_eq!(ast.children()[1].kind(), NodeKind::Select);
+    }
+
+    #[test]
+    fn multiple_ctes() {
+        let ast =
+            parse_query("with a as (select x from t), b as (select y from u) select x from a")
+                .unwrap();
+        assert_eq!(ast.children().len(), 3);
+        assert_eq!(ast.children()[1].value().unwrap().as_str(), Some("b"));
+    }
+
+    #[test]
+    fn malformed_ctes_are_errors() {
+        assert!(parse_query("with as (select x from t) select x from t").is_err());
+        assert!(parse_query("with a (select x from t) select x from t").is_err());
+        assert!(parse_query("with a as select x from t select x from t").is_err());
+        assert!(parse_query("with a as (select x from t)").is_err());
     }
 
     #[test]

@@ -7,18 +7,55 @@
 
 use crate::ast::{Ast, NodeKind};
 
-/// Render a full query AST (rooted at `Select`) as SQL text.
+/// Render a full query AST (rooted at `Select` or `With`) as SQL text.
 pub fn print_query(ast: &Ast) -> String {
     let mut out = String::with_capacity(64);
-    write_select(ast, &mut out);
+    write_statement(ast, &mut out);
     out
+}
+
+fn write_statement(ast: &Ast, out: &mut String) {
+    if ast.kind() != NodeKind::With {
+        write_select(ast, out);
+        return;
+    }
+    out.push_str("WITH ");
+    let mut first = true;
+    for child in ast.children() {
+        if child.kind() != NodeKind::Cte {
+            continue;
+        }
+        if !first {
+            out.push_str(", ");
+        }
+        first = false;
+        write_cte(child, out);
+    }
+    out.push(' ');
+    if let Some(body) = ast.children().iter().find(|c| c.kind() == NodeKind::Select) {
+        write_select(body, out);
+    }
+}
+
+fn write_cte(cte: &Ast, out: &mut String) {
+    out.push_str(&cte.value().map(|v| v.render()).unwrap_or_default());
+    out.push_str(" AS (");
+    if let Some(select) = cte.children().first() {
+        write_select(select, out);
+    }
+    out.push(')');
 }
 
 /// Render an arbitrary AST fragment (an expression, a clause, a literal, ...) as SQL-ish
 /// text. Used for widget labels and debugging.
 pub fn print_fragment(ast: &Ast) -> String {
     match ast.kind() {
-        NodeKind::Select => print_query(ast),
+        NodeKind::Select | NodeKind::With => print_query(ast),
+        NodeKind::Cte => {
+            let mut s = String::new();
+            write_cte(ast, &mut s);
+            s
+        }
         NodeKind::Where => {
             let mut s = String::from("WHERE ");
             if let Some(pred) = ast.children().first() {
@@ -164,6 +201,16 @@ fn precedence(op: &str) -> u8 {
     }
 }
 
+/// Precedence of the non-operator predicate forms (`BETWEEN`, `IN`, `LIKE`, `IS NULL`):
+/// the same level as comparisons. A predicate form appearing in a context tighter than
+/// this must be parenthesised.
+const PREDICATE_PREC: u8 = 3;
+
+/// The grammar parses every operand of a predicate form with the *additive* production,
+/// so operands looser than an additive chain (comparisons, AND/OR, other predicate forms)
+/// must print inside parentheses to survive the round trip.
+const PREDICATE_OPERAND_PREC: u8 = 4;
+
 fn write_expr(ast: &Ast, out: &mut String) {
     write_expr_prec(ast, 0, out);
 }
@@ -180,8 +227,16 @@ fn write_expr_prec(ast: &Ast, parent_prec: u8, out: &mut String) {
             if needs_parens {
                 out.push('(');
             }
+            // Comparisons do not chain in this grammar (their operands reparse with the
+            // additive production), so the left operand also prints at the tightened
+            // precedence; AND/OR/arithmetic keep left-associative chains paren-free.
+            let left_prec = if prec == PREDICATE_PREC {
+                prec + 1
+            } else {
+                prec
+            };
             if let Some(l) = ast.children().first() {
-                write_expr_prec(l, prec, out);
+                write_expr_prec(l, left_prec, out);
             }
             out.push(' ');
             out.push_str(&op);
@@ -197,11 +252,21 @@ fn write_expr_prec(ast: &Ast, parent_prec: u8, out: &mut String) {
         NodeKind::UnExpr => {
             let op = ast.value().map(|v| v.render()).unwrap_or_default();
             if op == "NOT" {
+                // NOT binds between AND and the comparison forms: inside a tighter
+                // context (comparison operand, arithmetic, ...) the whole NOT expression
+                // needs parentheses or the reparse would swallow the surrounding operator.
+                let needs_parens = parent_prec > 2;
+                if needs_parens {
+                    out.push('(');
+                }
                 out.push_str("NOT (");
                 if let Some(c) = ast.children().first() {
                     write_expr_prec(c, 0, out);
                 }
                 out.push(')');
+                if needs_parens {
+                    out.push(')');
+                }
             } else {
                 out.push_str(&op);
                 if let Some(c) = ast.children().first() {
@@ -212,40 +277,67 @@ fn write_expr_prec(ast: &Ast, parent_prec: u8, out: &mut String) {
         NodeKind::Between => {
             let c = ast.children();
             if c.len() == 3 {
-                write_expr_prec(&c[0], 3, out);
+                let needs_parens = parent_prec > PREDICATE_PREC;
+                if needs_parens {
+                    out.push('(');
+                }
+                write_expr_prec(&c[0], PREDICATE_OPERAND_PREC, out);
                 out.push_str(" BETWEEN ");
-                write_expr_prec(&c[1], 4, out);
+                write_expr_prec(&c[1], PREDICATE_OPERAND_PREC, out);
                 out.push_str(" AND ");
-                write_expr_prec(&c[2], 4, out);
+                write_expr_prec(&c[2], PREDICATE_OPERAND_PREC, out);
+                if needs_parens {
+                    out.push(')');
+                }
             }
         }
         NodeKind::InList => {
             let c = ast.children();
+            let needs_parens = parent_prec > PREDICATE_PREC;
+            if needs_parens {
+                out.push('(');
+            }
             if let Some(head) = c.first() {
-                write_expr_prec(head, 3, out);
+                write_expr_prec(head, PREDICATE_OPERAND_PREC, out);
             }
             out.push_str(" IN (");
             for (i, item) in c.iter().skip(1).enumerate() {
                 if i > 0 {
                     out.push_str(", ");
                 }
-                write_expr_prec(item, 0, out);
+                // List elements reparse with the additive grammar, so anything looser
+                // than an additive chain must be parenthesised.
+                write_expr_prec(item, PREDICATE_OPERAND_PREC, out);
             }
             out.push(')');
+            if needs_parens {
+                out.push(')');
+            }
         }
         NodeKind::Like => {
             let c = ast.children();
+            let needs_parens = parent_prec > PREDICATE_PREC;
+            if needs_parens {
+                out.push('(');
+            }
             if let Some(head) = c.first() {
-                write_expr_prec(head, 3, out);
+                write_expr_prec(head, PREDICATE_OPERAND_PREC, out);
             }
             out.push_str(" LIKE ");
             if let Some(p) = c.get(1) {
-                write_expr_prec(p, 3, out);
+                write_expr_prec(p, PREDICATE_OPERAND_PREC, out);
+            }
+            if needs_parens {
+                out.push(')');
             }
         }
         NodeKind::IsNull => {
+            let needs_parens = parent_prec > PREDICATE_PREC;
+            if needs_parens {
+                out.push('(');
+            }
             if let Some(head) = ast.children().first() {
-                write_expr_prec(head, 3, out);
+                write_expr_prec(head, PREDICATE_OPERAND_PREC, out);
             }
             out.push(' ');
             out.push_str(
@@ -253,6 +345,9 @@ fn write_expr_prec(ast: &Ast, parent_prec: u8, out: &mut String) {
                     .map(|v| v.render())
                     .unwrap_or_else(|| "IS NULL".into()),
             );
+            if needs_parens {
+                out.push(')');
+            }
         }
         NodeKind::FuncExpr => {
             out.push_str(&ast.value().map(|v| v.render()).unwrap_or_default());
@@ -297,7 +392,17 @@ fn write_expr_prec(ast: &Ast, parent_prec: u8, out: &mut String) {
         }
         NodeKind::ProjItem => write_proj_item(ast, out),
         NodeKind::Empty => {}
-        NodeKind::Select => out.push_str(&print_query(ast)),
+        NodeKind::Subquery => {
+            // A scalar subquery always prints inside parentheses — that is also how the
+            // parser distinguishes it from a parenthesised expression.
+            out.push('(');
+            if let Some(select) = ast.children().first() {
+                write_select(select, out);
+            }
+            out.push(')');
+        }
+        NodeKind::Select | NodeKind::With => out.push_str(&print_query(ast)),
+        NodeKind::Cte => write_cte(ast, out),
         _ => {
             // Clause-level nodes inside expressions should not occur; print via fragment.
             out.push_str(&print_fragment(ast));
@@ -375,5 +480,67 @@ mod tests {
     fn prints_top_before_projection() {
         let printed = round_trip("select top 100 objid from galaxies");
         assert!(printed.starts_with("SELECT TOP 100 objid"));
+    }
+
+    #[test]
+    fn round_trips_scalar_subqueries() {
+        let printed =
+            round_trip("select name from products where price > (select avg(price) from products)");
+        assert!(printed.contains("(SELECT avg(price) FROM products)"));
+        round_trip("select x from t where (select count(*) from u) between 1 and 10");
+        round_trip("select (select max(v) from u) as peak from t");
+    }
+
+    #[test]
+    fn round_trips_ctes() {
+        let printed = round_trip(
+            "with base as (select region, sum(sales) as total from sales group by region) \
+             select region from base where total > 100",
+        );
+        assert!(printed.starts_with("WITH base AS (SELECT"));
+        round_trip(
+            "with a as (select x from t), b as (select y from u) select x from a where x > 1",
+        );
+    }
+
+    // Regression pins for printer/parser asymmetries surfaced by the round-trip fuzzers:
+    // predicate forms (IS NULL, BETWEEN, IN, LIKE) and NOT used to print without
+    // parentheses in operand positions the additive grammar cannot re-read.
+
+    #[test]
+    fn regression_is_null_as_comparison_operand() {
+        let printed = round_trip("select x from t where (a is null) = (b is null)");
+        assert!(printed.contains("(a IS NULL)"), "needs parens: {printed}");
+    }
+
+    #[test]
+    fn regression_not_as_comparison_operand() {
+        round_trip("select x from t where (not a) = 1");
+    }
+
+    #[test]
+    fn regression_predicate_forms_in_additive_context() {
+        round_trip("select x from t where (a between 1 and 2) = (b in (1, 2))");
+        round_trip("select x from t where (a like 'A%') = 1");
+        round_trip("select x from t where -(a is null) = 1");
+    }
+
+    #[test]
+    fn regression_boolean_operand_inside_in_list() {
+        // List elements reparse with the additive grammar; an AND inside must keep its
+        // parentheses or the reparse fails at the comma.
+        round_trip("select x from t where c in ((a and b), 5)");
+        round_trip("select x from t where (a and b) between c and d");
+    }
+
+    #[test]
+    fn regression_large_integral_float_literal() {
+        // 1e20 used to print as a 21-digit integer string that overflowed the i64 lexer.
+        let printed = round_trip("select x from t where a = 1e20");
+        assert!(
+            printed.contains("1e20"),
+            "exponent form expected: {printed}"
+        );
+        round_trip("select x from t where a = 1e-7 and b = 2.5");
     }
 }

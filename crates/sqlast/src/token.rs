@@ -53,7 +53,7 @@ impl Token {
 /// Keywords recognised by the lexer. Anything else alphabetic is an identifier.
 pub const KEYWORDS: &[&str] = &[
     "SELECT", "FROM", "WHERE", "GROUP", "ORDER", "BY", "TOP", "LIMIT", "AND", "OR", "NOT",
-    "BETWEEN", "IN", "LIKE", "IS", "NULL", "AS", "ASC", "DESC", "DISTINCT", "HAVING",
+    "BETWEEN", "IN", "LIKE", "IS", "NULL", "AS", "ASC", "DESC", "DISTINCT", "HAVING", "WITH",
 ];
 
 fn is_ident_start(c: char) -> bool {

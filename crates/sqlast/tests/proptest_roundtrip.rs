@@ -42,10 +42,26 @@ fn comparison_op() -> impl Strategy<Value = String> {
     ]
 }
 
+/// A scalar subquery usable in expression position.
+fn scalar_subquery() -> impl Strategy<Value = String> {
+    (
+        prop_oneof![Just("avg"), Just("min"), Just("max"), Just("sum")],
+        column(),
+        table(),
+    )
+        .prop_map(|(agg, c, t)| format!("(SELECT {agg}({c}) FROM {t})"))
+}
+
 /// A single predicate over a column.
 fn predicate() -> impl Strategy<Value = String> {
     prop_oneof![
         (column(), comparison_op(), -1000i64..1000).prop_map(|(c, op, v)| format!("{c} {op} {v}")),
+        (column(), comparison_op(), scalar_subquery())
+            .prop_map(|(c, op, sub)| format!("{c} {op} {sub}")),
+        (column(), column(), comparison_op(), -100i64..100)
+            .prop_map(|(a, b, op, v)| format!("{a} * {b} {op} {v}")),
+        (column(), column(), 0i64..100)
+            .prop_map(|(a, b, v)| format!("{a} + {b} BETWEEN {v} AND {}", v + 50)),
         (column(), 0i64..50, 50i64..100)
             .prop_map(|(c, lo, hi)| format!("{c} BETWEEN {lo} AND {hi}")),
         (
@@ -101,20 +117,48 @@ fn query() -> impl Strategy<Value = String> {
         })
 }
 
+/// A statement: a plain query, or the same query wrapped behind 1-2 CTEs.
+fn statement() -> impl Strategy<Value = String> {
+    (
+        query(),
+        proptest::option::of(proptest::collection::vec((table(), query()), 1..3)),
+    )
+        .prop_map(|(body, ctes)| match ctes {
+            None => body,
+            Some(ctes) => {
+                let defs: Vec<String> = ctes
+                    .iter()
+                    .enumerate()
+                    .map(|(i, (t, q))| format!("cte_{t}_{i} AS ({q})"))
+                    .collect();
+                format!("WITH {} {body}", defs.join(", "))
+            }
+        })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
     #[test]
-    fn generated_queries_parse(q in query()) {
+    fn generated_queries_parse(q in statement()) {
         parse_query(&q).expect("generated query must parse");
     }
 
     #[test]
-    fn print_parse_round_trip(q in query()) {
+    fn print_parse_round_trip(q in statement()) {
         let ast = parse_query(&q).unwrap();
         let printed = print_query(&ast);
         let reparsed = parse_query(&printed).expect("printed query must reparse");
         prop_assert_eq!(ast, reparsed);
+    }
+
+    #[test]
+    fn printed_form_is_a_fixpoint(q in statement()) {
+        // Canonicalisation converges in one step: printing the reparse of a printed query
+        // reproduces the printed text exactly (whitespace, casing, parenthesisation).
+        let printed = print_query(&parse_query(&q).unwrap());
+        let printed_again = print_query(&parse_query(&printed).unwrap());
+        prop_assert_eq!(printed, printed_again);
     }
 
     #[test]

@@ -5,6 +5,7 @@ use serde::{Deserialize, Serialize};
 use mctsui_sql::Ast;
 use mctsui_widgets::Screen;
 
+use crate::corpus::{CorpusSpec, SchemaFamily};
 use crate::sdss::{sdss_listing1, sdss_subset};
 use crate::synthetic::LogSpec;
 
@@ -64,8 +65,8 @@ impl std::fmt::Display for ScenarioId {
 /// A concrete scenario: the queries, the screen and a human-readable description.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Scenario {
-    /// Which predefined scenario this is.
-    pub id: ScenarioId,
+    /// Registry name of the scenario (a [`ScenarioId`] name or `corpus:<family>:<seed>`).
+    pub name: String,
     /// The query log.
     pub queries: Vec<Ast>,
     /// The target screen.
@@ -75,29 +76,71 @@ pub struct Scenario {
 }
 
 impl Scenario {
+    /// Resolve any registered scenario name: the six predefined [`ScenarioId`] names, or a
+    /// generated corpus scenario addressed as `corpus:<family>:<seed>` (see
+    /// [`crate::corpus`]). On a miss the error lists every known name plus the corpus
+    /// syntax, so callers can surface it directly.
+    pub fn resolve(name: &str) -> Result<Scenario, String> {
+        if let Some(id) = ScenarioId::parse(name) {
+            return Ok(Scenario::load(id));
+        }
+        if let Some(spec) = CorpusSpec::parse_name(name) {
+            return Ok(Scenario::from_corpus(spec));
+        }
+        let known: Vec<&str> = ScenarioId::ALL.iter().map(|s| s.name()).collect();
+        let families: Vec<&str> = SchemaFamily::ALL.iter().map(|f| f.name()).collect();
+        Err(format!(
+            "unknown scenario `{name}`; known scenarios: {}, or corpus:<family>:<seed> with family in {{{}}}",
+            known.join(", "),
+            families.join(", ")
+        ))
+    }
+
+    /// Materialise a generated corpus scenario.
+    pub fn from_corpus(spec: CorpusSpec) -> Scenario {
+        let log = spec.generate();
+        let screen = match spec.family {
+            SchemaFamily::Star | SchemaFamily::Snowflake => Screen::wide(),
+            SchemaFamily::Log => Screen::narrow(),
+        };
+        Scenario {
+            name: spec.scenario_name(),
+            description: format!(
+                "Generated {} corpus session over `{}` ({} queries, seed {})",
+                spec.family,
+                log.schema.table,
+                log.len(),
+                spec.seed
+            ),
+            queries: log.queries,
+            screen,
+        }
+    }
+
     /// Materialise a predefined scenario.
     pub fn load(id: ScenarioId) -> Scenario {
+        let name = id.name().to_string();
         match id {
             ScenarioId::Fig6aWide => Scenario {
-                id,
+                name,
                 queries: sdss_listing1(),
                 screen: Screen::wide(),
                 description: "Figure 6(a): all Listing 1 queries on a wide screen".into(),
             },
             ScenarioId::Fig6bNarrow => Scenario {
-                id,
+                name,
                 queries: sdss_listing1(),
                 screen: Screen::narrow(),
                 description: "Figure 6(b): all Listing 1 queries on a narrow screen".into(),
             },
             ScenarioId::Fig6cSubset => Scenario {
-                id,
+                name,
                 queries: sdss_subset(6, 8),
                 screen: Screen::wide(),
                 description: "Figure 6(c): queries 6-8 only (same WHERE, varying TOP-N)".into(),
             },
             ScenarioId::Fig6dLowReward => Scenario {
-                id,
+                name,
                 queries: sdss_listing1(),
                 screen: Screen::wide(),
                 description:
@@ -105,7 +148,7 @@ impl Scenario {
                         .into(),
             },
             ScenarioId::Figure1 => Scenario {
-                id,
+                name,
                 queries: vec![
                     mctsui_sql::parse_query("SELECT Sales FROM sales WHERE cty = 'USA'").unwrap(),
                     mctsui_sql::parse_query("SELECT Costs FROM sales WHERE cty = 'EUR'").unwrap(),
@@ -115,7 +158,7 @@ impl Scenario {
                 description: "The three-query running example of Figures 1-3".into(),
             },
             ScenarioId::FlightDelays => Scenario {
-                id,
+                name,
                 queries: LogSpec::flights_style(12, 2024).generate().queries,
                 screen: Screen::wide(),
                 description: "A BI-style flight-delay analysis session (synthetic)".into(),
@@ -139,8 +182,34 @@ mod tests {
             let s = Scenario::load(id);
             assert!(!s.queries.is_empty(), "{id} has queries");
             assert!(!s.description.is_empty());
-            assert_eq!(s.id, id);
+            assert_eq!(s.name, id.name());
         }
+    }
+
+    #[test]
+    fn resolve_accepts_builtin_and_corpus_names() {
+        for id in ScenarioId::ALL {
+            let s = Scenario::resolve(id.name()).expect("builtin resolves");
+            assert_eq!(s, Scenario::load(id));
+        }
+        let corpus = Scenario::resolve("corpus:star:3").expect("corpus resolves");
+        assert_eq!(corpus.name, "corpus:star:3");
+        assert!(!corpus.queries.is_empty());
+        // Deterministic across resolves.
+        assert_eq!(corpus, Scenario::resolve("corpus:star:3").unwrap());
+    }
+
+    #[test]
+    fn resolve_miss_lists_known_names() {
+        let err = Scenario::resolve("fig6z-unknown").unwrap_err();
+        for id in ScenarioId::ALL {
+            assert!(err.contains(id.name()), "error lists {id}: {err}");
+        }
+        assert!(err.contains("corpus:<family>:<seed>"), "{err}");
+        assert!(err.contains("snowflake"), "{err}");
+        // Malformed corpus names also miss with the same guidance.
+        assert!(Scenario::resolve("corpus:star:xyz").is_err());
+        assert!(Scenario::resolve("corpus:hexagon:1").is_err());
     }
 
     #[test]

@@ -1,0 +1,60 @@
+//! Property-based tests for the generated scenario corpus.
+//!
+//! The invariant the fuzz harness builds on: every `(family, seed)` session log is
+//! parseable, derives a difftree, and every drift prefix of length >= 2 leaves the rule
+//! engine with at least one applicable factoring action (the refine path never starves).
+
+use proptest::prelude::*;
+
+use mctsui_difftree::{initial_difftree, RuleEngine};
+use mctsui_sql::parse_query;
+use mctsui_workload::corpus::{CorpusSpec, SchemaFamily};
+
+fn spec() -> impl Strategy<Value = CorpusSpec> {
+    (
+        prop_oneof![
+            Just(SchemaFamily::Star),
+            Just(SchemaFamily::Snowflake),
+            Just(SchemaFamily::Log),
+        ],
+        0i64..500,
+    )
+        .prop_map(|(family, seed)| CorpusSpec::new(family, seed as u64))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_drift_prefix_is_parseable_and_derivable(spec in spec()) {
+        let log = spec.generate();
+        prop_assert!(!log.is_empty(), "{}: empty session", spec.scenario_name());
+        // Re-parse the rendered SQL independently of the generator's own parse.
+        for sql in &log.sql {
+            prop_assert!(
+                parse_query(sql).is_ok(),
+                "{}: unparseable query `{sql}`",
+                spec.scenario_name()
+            );
+        }
+        let engine = RuleEngine::default();
+        for k in 2..=log.len() {
+            let tree = initial_difftree(&log.queries[..k]);
+            prop_assert!(tree.size() > 0, "{}: empty difftree at prefix {k}", spec.scenario_name());
+            let actions = engine.applicable(&tree);
+            prop_assert!(
+                !actions.is_empty(),
+                "{}: no applicable actions at prefix {k}",
+                spec.scenario_name()
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_a_pure_function_of_the_spec(spec in spec()) {
+        let a = spec.generate();
+        let b = spec.generate();
+        prop_assert_eq!(a.sql, b.sql);
+        prop_assert_eq!(a.schema, b.schema);
+    }
+}

@@ -45,7 +45,7 @@ fn main() {
     for id in scenarios {
         let scenario = Scenario::load(id);
         println!("\n================================================================");
-        println!("{} — {}", scenario.id, scenario.description);
+        println!("{} — {}", scenario.name, scenario.description);
         println!(
             "{} queries, screen {}x{} px",
             scenario.query_count(),
@@ -68,9 +68,9 @@ fn main() {
 
         let html = render_html(
             &interface.widget_tree,
-            &format!("{} — {}", scenario.id, scenario.description),
+            &format!("{} — {}", scenario.name, scenario.description),
         );
-        let path = out_dir.join(format!("{}.html", scenario.id));
+        let path = out_dir.join(format!("{}.html", scenario.name));
         if fs::write(&path, html).is_ok() {
             println!("wrote {}", path.display());
         }
@@ -82,7 +82,7 @@ fn generate(scenario: &Scenario, seconds: u64) -> GeneratedInterface {
         iterations: 4_000,
         time_millis: seconds * 1000,
     });
-    if scenario.id == ScenarioId::Fig6dLowReward {
+    if scenario.name == ScenarioId::Fig6dLowReward.name() {
         // Figure 6(d) is the *low reward* interface: no search, the initial difftree.
         config = config.with_strategy(SearchStrategy::InitialOnly);
     }

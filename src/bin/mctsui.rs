@@ -21,6 +21,8 @@
 //!   --format <ascii|html|json>   output format (default: ascii; json = full description)
 //!   --out <path>                 write the rendered interface to a file instead of stdout
 //!   --demo                       use the paper's SDSS Listing 1 log instead of reading input
+//!   --scenario <name>            use a registered scenario's log and screen; builtin names
+//!                                (fig6a-wide, ...) or generated corpus `corpus:<family>:<seed>`
 //!   --help                       show this help
 //!
 //! SERVE OPTIONS:
@@ -47,6 +49,7 @@
 //!   --deadline-millis <n>        per-request deadline (default: 10000)
 //!   --seed <n>                   base session seed (default: 42)
 //!   --demo                       use the SDSS Listing 1 log
+//!   --scenario <name>            use a registered scenario's log (builtin or corpus name)
 //!   --shutdown                   send Shutdown after the sessions finish
 //!   --tolerate-faults            reconnect/resume through faults instead of failing fast
 //!   --persist                    leave sessions open (prints session=<id> for --resume)
@@ -65,11 +68,13 @@ use mctsui::serve::{
 };
 use mctsui::sql::{parse_query, print_query, Ast};
 use mctsui::widgets::Screen;
-use mctsui::workload::{sdss_listing1, sdss_listing1_sql};
+use mctsui::workload::{sdss_listing1, sdss_listing1_sql, Scenario};
 
 /// Parsed command-line options.
 struct Options {
     screen: Screen,
+    /// True when `--screen` was given explicitly (a `--scenario` then keeps it).
+    screen_explicit: bool,
     seconds: u64,
     iterations: usize,
     strategy: SearchStrategy,
@@ -79,6 +84,7 @@ struct Options {
     format: Format,
     out: Option<String>,
     demo: bool,
+    scenario: Option<String>,
     query_file: Option<String>,
 }
 
@@ -93,6 +99,7 @@ impl Default for Options {
     fn default() -> Self {
         Self {
             screen: Screen::wide(),
+            screen_explicit: false,
             seconds: 10,
             iterations: 4_000,
             strategy: SearchStrategy::Mcts,
@@ -102,6 +109,7 @@ impl Default for Options {
             format: Format::Ascii,
             out: None,
             demo: false,
+            scenario: None,
             query_file: None,
         }
     }
@@ -223,6 +231,7 @@ fn client_main(args: Vec<String>) -> ExitCode {
     let mut sessions = 1usize;
     let mut script = ScriptConfig::default();
     let mut demo = false;
+    let mut scenario: Option<String> = None;
     let mut shutdown = false;
     let mut resume: Option<u64> = None;
     let mut query_file: Option<String> = None;
@@ -254,6 +263,10 @@ fn client_main(args: Vec<String>) -> ExitCode {
                 None => return usage_error("--seed needs a number"),
             },
             "--demo" => demo = true,
+            "--scenario" => match iter.next() {
+                Some(name) => scenario = Some(name),
+                None => return usage_error("--scenario needs a name"),
+            },
             "--shutdown" => shutdown = true,
             "--tolerate-faults" => script.tolerate_faults = true,
             "--persist" => script.persist = true,
@@ -297,7 +310,18 @@ fn client_main(args: Vec<String>) -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let queries: Vec<String> = if demo {
+    let queries: Vec<String> = if let Some(name) = scenario {
+        match Scenario::resolve(&name) {
+            Ok(scenario) => {
+                eprintln!("scenario {}: {}", scenario.name, scenario.description);
+                scenario.queries.iter().map(print_query).collect()
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else if demo {
         sdss_listing1_sql()
     } else if let Some(path) = query_file {
         match std::fs::read_to_string(&path) {
@@ -390,7 +414,8 @@ fn one_shot_main(args: Vec<String>) -> ExitCode {
         }
     };
 
-    let queries = match load_queries(&options) {
+    let mut options = options;
+    let queries = match load_queries(&mut options) {
         Ok(queries) => queries,
         Err(message) => {
             eprintln!("error: {message}");
@@ -471,6 +496,10 @@ fn parse_args(args: Vec<String>) -> Result<Option<Options>, String> {
             "--screen" => {
                 let value = iter.next().ok_or("--screen needs a value")?;
                 options.screen = parse_screen(&value)?;
+                options.screen_explicit = true;
+            }
+            "--scenario" => {
+                options.scenario = Some(iter.next().ok_or("--scenario needs a name")?);
             }
             "--seconds" => {
                 options.seconds = parse_number(&iter.next().ok_or("--seconds needs a value")?)?;
@@ -558,7 +587,16 @@ fn parse_number(value: &str) -> Result<u64, String> {
         .map_err(|_| format!("`{value}` is not a number"))
 }
 
-fn load_queries(options: &Options) -> Result<Vec<Ast>, String> {
+fn load_queries(options: &mut Options) -> Result<Vec<Ast>, String> {
+    if let Some(name) = &options.scenario {
+        let scenario = Scenario::resolve(name)?;
+        eprintln!("scenario {}: {}", scenario.name, scenario.description);
+        // The scenario carries its own screen; an explicit --screen still wins.
+        if !options.screen_explicit {
+            options.screen = scenario.screen;
+        }
+        return Ok(scenario.queries);
+    }
     if options.demo {
         return Ok(sdss_listing1());
     }
@@ -616,6 +654,8 @@ fn usage() -> String {
        --format <ascii|html|json>                      output format (default ascii)\n\
        --out <path>                                    write output to a file\n\
        --demo                                          use the paper's SDSS Listing 1 log\n\
+       --scenario <name>                               use a registered scenario (fig6a-wide, ...,\n\
+     \u{20}                                                or corpus:<family>:<seed>)\n\
        --help                                          show this help\n"
         .to_string()
 }
