@@ -3,29 +3,34 @@
 //! ```text
 //! cargo run --release -p mctsui-bench --bin fuzzdiff -- \
 //!     [--families all|star,snowflake,log] [--seeds LO..HI] \
-//!     [--oracles all|actions,reward,search,serve,snapshot] \
-//!     [--append <path>] [--verbose]
+//!     [--oracles all|actions,reward,search,serve,snapshot,noise] \
+//!     [--noise] [--append <path>] [--verbose]
 //! ```
 //!
 //! Every `(family, seed)` scenario in the sweep is generated and run through the selected
-//! oracles (see `mctsui_bench::fuzz`), with panics isolated per oracle. Failures are
-//! printed as ready-to-append regression-corpus lines (`<family>:<seed>  # <oracles>`);
-//! with `--append <path>` they are also appended to that file (normally
-//! `crates/bench/regressions.txt`, which `cargo test` replays). Exit status is non-zero on
-//! any failure, or when a sweep of 20+ seeds over all families never produces a scalar
-//! subquery or CTE — the dialect-coverage guard of the corpus itself.
+//! oracles (see `mctsui_bench::fuzz`), with panics isolated per oracle. With `--noise`
+//! the sweep instead runs the malformed-input rung over every `(family, seed, op)`
+//! triple — each noise op spliced into the session, asserting no panic, strict/lenient
+//! quarantine agreement, and degraded-vs-pre-cleaned generation parity. Failures are
+//! printed as ready-to-append regression-corpus lines (`<family>:<seed>  # <oracles>`,
+//! or `<family>:<seed>:<op>` for noisy failures); with `--append <path>` they are also
+//! appended to that file (normally `crates/bench/regressions.txt`, which `cargo test`
+//! replays). Exit status is non-zero on any failure, or when a sweep of 20+ seeds over
+//! all families never produces a scalar subquery or CTE — the dialect-coverage guard of
+//! the corpus itself.
 
 use std::collections::BTreeMap;
 use std::ops::Range;
 use std::process::ExitCode;
 
-use mctsui_bench::fuzz::{run_scenario, Oracle};
-use mctsui_workload::{CorpusSpec, SchemaFamily};
+use mctsui_bench::fuzz::{run_noise_scenario, run_scenario, Oracle};
+use mctsui_workload::{CorpusSpec, NoiseOp, SchemaFamily};
 
 struct Options {
     families: Vec<SchemaFamily>,
     seeds: Range<u64>,
     oracles: Vec<Oracle>,
+    noise: bool,
     append: Option<String>,
     verbose: bool,
 }
@@ -33,7 +38,8 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: fuzzdiff [--families all|star,snowflake,log] [--seeds LO..HI] \
-         [--oracles all|actions,reward,search,serve,snapshot] [--append <path>] [--verbose]"
+         [--oracles all|actions,reward,search,serve,snapshot,noise] [--noise] \
+         [--append <path>] [--verbose]"
     );
     std::process::exit(2)
 }
@@ -43,6 +49,7 @@ fn parse_options() -> Options {
         families: SchemaFamily::ALL.to_vec(),
         seeds: 0..50,
         oracles: Oracle::ALL.to_vec(),
+        noise: false,
         append: None,
         verbose: false,
     };
@@ -88,6 +95,7 @@ fn parse_options() -> Options {
                         .collect();
                 }
             }
+            "--noise" => options.noise = true,
             "--append" => options.append = Some(args.next().unwrap_or_else(|| usage())),
             "--verbose" => options.verbose = true,
             "--help" | "-h" => usage(),
@@ -102,25 +110,46 @@ fn parse_options() -> Options {
 
 fn main() -> ExitCode {
     let options = parse_options();
-    let total = options.families.len() as u64 * (options.seeds.end - options.seeds.start);
-    println!(
-        "fuzzdiff: {} scenarios ({} x seeds {}..{}), oracles [{}]",
-        total,
-        options
-            .families
-            .iter()
-            .map(|f| f.name())
-            .collect::<Vec<_>>()
-            .join(","),
-        options.seeds.start,
-        options.seeds.end,
-        options
-            .oracles
-            .iter()
-            .map(|o| o.name())
-            .collect::<Vec<_>>()
-            .join(",")
-    );
+    let mut total = options.families.len() as u64 * (options.seeds.end - options.seeds.start);
+    if options.noise {
+        total *= NoiseOp::ALL.len() as u64;
+        println!(
+            "fuzzdiff --noise: {} scenarios ({} x seeds {}..{} x ops [{}])",
+            total,
+            options
+                .families
+                .iter()
+                .map(|f| f.name())
+                .collect::<Vec<_>>()
+                .join(","),
+            options.seeds.start,
+            options.seeds.end,
+            NoiseOp::ALL
+                .iter()
+                .map(|op| op.name())
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+    } else {
+        println!(
+            "fuzzdiff: {} scenarios ({} x seeds {}..{}), oracles [{}]",
+            total,
+            options
+                .families
+                .iter()
+                .map(|f| f.name())
+                .collect::<Vec<_>>()
+                .join(","),
+            options.seeds.start,
+            options.seeds.end,
+            options
+                .oracles
+                .iter()
+                .map(|o| o.name())
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+    }
 
     // Oracle panics are expected to be caught and reported; keep the default hook's
     // backtrace spam out of sweep output.
@@ -135,31 +164,41 @@ fn main() -> ExitCode {
     let mut queries_total = 0usize;
     for &family in &options.families {
         for seed in options.seeds.clone() {
-            let outcome = run_scenario(CorpusSpec::new(family, seed), &options.oracles);
-            queries_total += outcome.queries;
-            subquery_logs += usize::from(outcome.has_subquery);
-            cte_logs += usize::from(outcome.has_cte);
-            if !outcome.passed() {
-                for (oracle, message) in &outcome.failures {
-                    *oracle_failures.entry(oracle).or_default() += 1;
-                    eprintln!(
-                        "FAIL {}: [{oracle}] {message}",
-                        outcome.spec.scenario_name()
+            let spec = CorpusSpec::new(family, seed);
+            let outcomes: Vec<_> = if options.noise {
+                NoiseOp::ALL
+                    .into_iter()
+                    .map(|op| run_noise_scenario(spec, op))
+                    .collect()
+            } else {
+                vec![run_scenario(spec, &options.oracles)]
+            };
+            for outcome in outcomes {
+                queries_total += outcome.queries;
+                subquery_logs += usize::from(outcome.has_subquery);
+                cte_logs += usize::from(outcome.has_cte);
+                let label = match outcome.op {
+                    Some(op) => format!("{}:{op}", outcome.spec.scenario_name()),
+                    None => outcome.spec.scenario_name(),
+                };
+                if !outcome.passed() {
+                    for (oracle, message) in &outcome.failures {
+                        *oracle_failures.entry(oracle).or_default() += 1;
+                        eprintln!("FAIL {label}: [{oracle}] {message}");
+                    }
+                    failures.push(outcome.regression_line());
+                } else if options.verbose {
+                    println!(
+                        "ok {label} ({} queries{}{})",
+                        outcome.queries,
+                        if outcome.has_subquery {
+                            ", subquery"
+                        } else {
+                            ""
+                        },
+                        if outcome.has_cte { ", cte" } else { "" },
                     );
                 }
-                failures.push(outcome.regression_line());
-            } else if options.verbose {
-                println!(
-                    "ok {} ({} queries{}{})",
-                    outcome.spec.scenario_name(),
-                    outcome.queries,
-                    if outcome.has_subquery {
-                        ", subquery"
-                    } else {
-                        ""
-                    },
-                    if outcome.has_cte { ", cte" } else { "" },
-                );
             }
         }
     }

@@ -14,21 +14,28 @@
 //!    identically configured problem.
 //! 5. **snapshot** — `SearchHandle::snapshot` serialised through JSON, restored, and run to
 //!    completion against an uninterrupted run.
+//! 6. **noise** — the malformed-input rung: the lenient SQL front end against the strict
+//!    one on clean input (bit-exact), then each seeded [`NoiseOp`] spliced into the
+//!    session, asserting no panic anywhere, strict/lenient quarantine agreement per slot,
+//!    and that the degraded session generates bit-identically to the same session with
+//!    the noisy queries removed before submission.
 //!
-//! Failures are already minimal — a `(family, seed)` pair reproduces them — and are
-//! appended to the checked-in regression corpus (`crates/bench/regressions.txt`), which is
-//! replayed as an ordinary tier-1 test (`tests/fuzz_regressions.rs`). The `fuzzdiff` binary
-//! drives sweeps from the command line.
+//! Failures are already minimal — a `(family, seed)` pair (plus a noise op for rung 6)
+//! reproduces them — and are appended to the checked-in regression corpus
+//! (`crates/bench/regressions.txt`), which is replayed as an ordinary tier-1 test
+//! (`tests/fuzz_regressions.rs`). The `fuzzdiff` binary drives sweeps from the command
+//! line; `--noise` sweeps the noisy rung across every `(family, seed, op)` triple.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
-use mctsui_core::InterfaceSearchProblem;
+use mctsui_core::{InterfaceGenerator, InterfaceSearchProblem, TriagedLog};
 use mctsui_cost::{ContextCache, CostWeights, QueryContext};
 use mctsui_difftree::{initial_difftree, simplified_difftree, RuleEngine};
 use mctsui_mcts::{Budget, HandleSnapshot, SearchHandle, SliceBudget};
 use mctsui_serve::{ServeConfig, ServeEngine};
-use mctsui_workload::{CorpusSpec, Scenario, SchemaFamily};
+use mctsui_sql::{parse_query, parse_query_lenient};
+use mctsui_workload::{CorpusLog, CorpusSpec, NoiseOp, Scenario, SchemaFamily};
 
 use crate::{fast_generator_config, is5_legacy_reward_eval, is5_skeleton_reward_eval};
 
@@ -45,16 +52,20 @@ pub enum Oracle {
     Serve,
     /// Snapshot/serialise/restore continuation parity.
     Snapshot,
+    /// Malformed-input parity: lenient-vs-strict front end on clean input, plus
+    /// quarantined-session-vs-pre-cleaned-session generation under every noise op.
+    Noise,
 }
 
 impl Oracle {
     /// Every oracle, in ladder order.
-    pub const ALL: [Oracle; 5] = [
+    pub const ALL: [Oracle; 6] = [
         Oracle::Actions,
         Oracle::Reward,
         Oracle::Search,
         Oracle::Serve,
         Oracle::Snapshot,
+        Oracle::Noise,
     ];
 
     /// Stable name used on the `fuzzdiff` command line.
@@ -65,6 +76,7 @@ impl Oracle {
             Oracle::Search => "search",
             Oracle::Serve => "serve",
             Oracle::Snapshot => "snapshot",
+            Oracle::Noise => "noise",
         }
     }
 
@@ -80,6 +92,7 @@ impl Oracle {
             Oracle::Search => oracle_search(scenario, seed),
             Oracle::Serve => oracle_serve(scenario, seed),
             Oracle::Snapshot => oracle_snapshot(scenario, seed),
+            Oracle::Noise => oracle_noise(scenario, seed),
         }
     }
 }
@@ -89,6 +102,8 @@ impl Oracle {
 pub struct ScenarioOutcome {
     /// The generating spec.
     pub spec: CorpusSpec,
+    /// The noise op, when this outcome came from the noisy sweep ([`run_noise_scenario`]).
+    pub op: Option<NoiseOp>,
     /// Session length (0 if generation itself panicked).
     pub queries: usize,
     /// Whether the log contains a scalar-subquery predicate.
@@ -105,13 +120,16 @@ impl ScenarioOutcome {
         self.failures.is_empty()
     }
 
-    /// The regression-corpus line reproducing this outcome's failures.
+    /// The regression-corpus line reproducing this outcome's failures: `family:seed` for
+    /// ladder outcomes, `family:seed:op` for noisy-sweep outcomes.
     pub fn regression_line(&self) -> String {
         let oracles: Vec<&str> = self.failures.iter().map(|(o, _)| *o).collect();
+        let scenario = match self.op {
+            None => format!("{}:{}", self.spec.family, self.spec.seed),
+            Some(op) => format!("{}:{}:{}", self.spec.family, self.spec.seed, op),
+        };
         format!(
-            "{}:{}  # {}",
-            self.spec.family,
-            self.spec.seed,
+            "{scenario}  # {}",
             if oracles.is_empty() {
                 "ok".to_string()
             } else {
@@ -135,6 +153,7 @@ pub fn run_scenario(spec: CorpusSpec, oracles: &[Oracle]) -> ScenarioOutcome {
         Err(payload) => {
             return ScenarioOutcome {
                 spec,
+                op: None,
                 queries: 0,
                 has_subquery: false,
                 has_cte: false,
@@ -145,6 +164,7 @@ pub fn run_scenario(spec: CorpusSpec, oracles: &[Oracle]) -> ScenarioOutcome {
     let (scenario, has_subquery, has_cte) = scenario;
     let mut outcome = ScenarioOutcome {
         spec,
+        op: None,
         queries: scenario.queries.len(),
         has_subquery,
         has_cte,
@@ -406,29 +426,198 @@ fn oracle_snapshot(scenario: &Scenario, seed: u64) -> Result<(), String> {
     Ok(())
 }
 
-/// The checked-in regression corpus: every `(family, seed)` pair that ever failed the
-/// ladder (plus representative coverage seeds), replayed as a tier-1 test.
+/// Oracle 6: the malformed-input rung. On the clean session, the lenient front end must
+/// agree with the strict one bit-for-bit; then every noise op is spliced in and the
+/// degraded session must quarantine exactly the strictly-unparseable slots and generate
+/// bit-identically to the pre-cleaned session.
+fn oracle_noise(scenario: &Scenario, seed: u64) -> Result<(), String> {
+    let spec = CorpusSpec::parse_name(&scenario.name).ok_or_else(|| {
+        format!(
+            "{}: the noise oracle needs a corpus scenario",
+            scenario.name
+        )
+    })?;
+    let log = spec.generate();
+    clean_lenient_parity(&log)?;
+    for op in NoiseOp::ALL {
+        noise_check(&log, scenario.screen, op, noise_seed(seed, op))
+            .map_err(|e| format!("[{op}] {e}"))?;
+    }
+    Ok(())
+}
+
+/// The noisy-log seed for one `(scenario seed, op)` pair — shared by the ladder rung and
+/// the `--noise` sweep so a `family:seed:op` line replays the exact failing log.
+fn noise_seed(seed: u64, op: NoiseOp) -> u64 {
+    seed ^ (op as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Lenient-vs-strict parity on clean input: every corpus query must lenient-parse with no
+/// errors to exactly the strict AST.
+fn clean_lenient_parity(log: &CorpusLog) -> Result<(), String> {
+    for (i, sql) in log.sql.iter().enumerate() {
+        let strict =
+            parse_query(sql).map_err(|e| format!("clean query {i} failed strict parse: {e}"))?;
+        let lenient = parse_query_lenient(sql);
+        if !lenient.is_clean() {
+            return Err(format!(
+                "clean query {i} not clean under lenient parse: {:?}",
+                lenient.errors
+            ));
+        }
+        if lenient.ast.as_ref() != Some(&strict) {
+            return Err(format!("clean query {i}: lenient AST diverges from strict"));
+        }
+    }
+    Ok(())
+}
+
+/// One noisy-session check: splice `op` into the log, triage it, and hold the quarantine
+/// contract against the strict front end and the pre-cleaned generation.
+fn noise_check(
+    log: &CorpusLog,
+    screen: mctsui_widgets::Screen,
+    op: NoiseOp,
+    seed: u64,
+) -> Result<(), String> {
+    let (noisy, mutated) = log.with_noise(op, seed);
+    let triaged = TriagedLog::from_sources(&noisy);
+    let mut reference = Vec::new();
+    for (i, (sql, entry)) in noisy.iter().zip(triaged.entries()).enumerate() {
+        match parse_query(sql) {
+            Ok(ast) => {
+                if entry.is_quarantined() {
+                    return Err(format!("slot {i} strict-parses but was quarantined"));
+                }
+                if entry.ast() != Some(&ast) {
+                    return Err(format!("slot {i}: lenient AST diverges from strict"));
+                }
+                reference.push(ast);
+            }
+            Err(e) => {
+                if !entry.is_quarantined() {
+                    return Err(format!(
+                        "slot {i} fails strict parse ({e}) but was admitted"
+                    ));
+                }
+                if !mutated.contains(&i) {
+                    return Err(format!("untouched slot {i} failed strict parse: {e}"));
+                }
+            }
+        }
+    }
+    if reference.is_empty() {
+        return Err("no healthy query survived (with_noise must keep one)".to_string());
+    }
+    let config = fast_generator_config(screen, 24, seed);
+    let degraded = InterfaceGenerator::from_triaged(&triaged, config.clone()).generate();
+    let pre_cleaned = InterfaceGenerator::new(reference, config).generate();
+    if degraded.difftree.fingerprint() != pre_cleaned.difftree.fingerprint()
+        || degraded.assignment != pre_cleaned.assignment
+        || degraded.cost != pre_cleaned.cost
+    {
+        return Err(format!(
+            "degraded session diverged from the pre-quarantined reference \
+             (cost {:?} vs {:?})",
+            degraded.cost, pre_cleaned.cost
+        ));
+    }
+    Ok(())
+}
+
+/// Run the noisy rung for one `(spec, op)` pair, isolating panics — the unit of the
+/// `fuzzdiff --noise` sweep and of noisy (`family:seed:op`) regression replay.
+pub fn run_noise_scenario(spec: CorpusSpec, op: NoiseOp) -> ScenarioOutcome {
+    let log = match catch_unwind(AssertUnwindSafe(|| spec.generate())) {
+        Ok(log) => log,
+        Err(payload) => {
+            return ScenarioOutcome {
+                spec,
+                op: Some(op),
+                queries: 0,
+                has_subquery: false,
+                has_cte: false,
+                failures: vec![("generate", panic_message(payload))],
+            }
+        }
+    };
+    let mut outcome = ScenarioOutcome {
+        spec,
+        op: Some(op),
+        queries: log.len(),
+        has_subquery: log.sql.iter().any(|s| s.contains("(select")),
+        has_cte: log.sql.iter().any(|s| s.starts_with("with ")),
+        failures: Vec::new(),
+    };
+    let screen = Scenario::from_corpus(spec).screen;
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        clean_lenient_parity(&log)?;
+        noise_check(&log, screen, op, noise_seed(spec.seed, op))
+    }));
+    match result {
+        Ok(Ok(())) => {}
+        Ok(Err(message)) => outcome.failures.push(("noise", message)),
+        Err(payload) => outcome
+            .failures
+            .push(("noise", format!("panic: {}", panic_message(payload)))),
+    }
+    outcome
+}
+
+/// The checked-in regression corpus: every scenario that ever failed the ladder — plain
+/// `family:seed` entries and noisy `family:seed:op` entries — plus representative
+/// coverage seeds, replayed as a tier-1 test.
 pub const REGRESSIONS: &str = include_str!("../regressions.txt");
 
-/// Parse a regression-corpus document: one `<family>:<seed>` per line, `#` comments.
-pub fn parse_regressions(text: &str) -> Vec<CorpusSpec> {
+/// One replayable regression-corpus entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegressionCase {
+    /// A `family:seed` line: the full oracle ladder over the clean scenario.
+    Plain(CorpusSpec),
+    /// A `family:seed:op` line: the noisy rung for that specific noise op.
+    Noisy(CorpusSpec, NoiseOp),
+}
+
+impl RegressionCase {
+    /// The underlying corpus spec.
+    pub fn spec(&self) -> CorpusSpec {
+        match self {
+            RegressionCase::Plain(spec) | RegressionCase::Noisy(spec, _) => *spec,
+        }
+    }
+
+    /// Replay this entry through its oracles.
+    pub fn run(&self) -> ScenarioOutcome {
+        match self {
+            RegressionCase::Plain(spec) => run_scenario(*spec, &Oracle::ALL),
+            RegressionCase::Noisy(spec, op) => run_noise_scenario(*spec, *op),
+        }
+    }
+}
+
+/// Parse a regression-corpus document: one `<family>:<seed>` or `<family>:<seed>:<op>`
+/// per line, `#` comments.
+pub fn parse_regressions(text: &str) -> Vec<RegressionCase> {
     text.lines()
         .filter_map(|line| {
             let line = line.split('#').next().unwrap_or("").trim();
             if line.is_empty() {
                 return None;
             }
-            let (family, seed) = line.split_once(':')?;
-            Some(CorpusSpec::new(
-                SchemaFamily::parse(family.trim())?,
-                seed.trim().parse().ok()?,
-            ))
+            let mut parts = line.split(':');
+            let family = SchemaFamily::parse(parts.next()?.trim())?;
+            let seed = parts.next()?.trim().parse().ok()?;
+            let spec = CorpusSpec::new(family, seed);
+            match parts.next() {
+                None => Some(RegressionCase::Plain(spec)),
+                Some(op) => Some(RegressionCase::Noisy(spec, NoiseOp::parse(op.trim())?)),
+            }
         })
         .collect()
 }
 
 /// The parsed checked-in regression corpus.
-pub fn regression_corpus() -> Vec<CorpusSpec> {
+pub fn regression_corpus() -> Vec<RegressionCase> {
     parse_regressions(REGRESSIONS)
 }
 
@@ -448,25 +637,50 @@ mod tests {
     fn regression_corpus_parses_and_is_nonempty() {
         let corpus = regression_corpus();
         assert!(!corpus.is_empty(), "regressions.txt must list seeds");
-        // Every family is represented.
+        // Every family is represented, and the noisy rung has checked-in coverage.
         for family in SchemaFamily::ALL {
             assert!(
-                corpus.iter().any(|s| s.family == family),
+                corpus.iter().any(|c| c.spec().family == family),
                 "{family} missing from the regression corpus"
             );
         }
+        assert!(
+            corpus
+                .iter()
+                .any(|c| matches!(c, RegressionCase::Noisy(..))),
+            "no noisy (family:seed:op) entry in the regression corpus"
+        );
     }
 
     #[test]
     fn parse_regressions_skips_comments_and_garbage() {
-        let parsed = parse_regressions("# header\nstar:3 # note\n\nbogus\nlog:notanum\nlog:9\n");
+        let parsed = parse_regressions(
+            "# header\nstar:3 # note\n\nbogus\nlog:notanum\nlog:9\nstar:4:badop\nlog:2:splice\n",
+        );
         assert_eq!(
             parsed,
             vec![
-                CorpusSpec::new(SchemaFamily::Star, 3),
-                CorpusSpec::new(SchemaFamily::Log, 9)
+                RegressionCase::Plain(CorpusSpec::new(SchemaFamily::Star, 3)),
+                RegressionCase::Plain(CorpusSpec::new(SchemaFamily::Log, 9)),
+                RegressionCase::Noisy(CorpusSpec::new(SchemaFamily::Log, 2), NoiseOp::ByteSplice),
             ]
         );
+    }
+
+    #[test]
+    fn noisy_rung_passes_per_family_and_op() {
+        for family in SchemaFamily::ALL {
+            for op in NoiseOp::ALL {
+                let outcome = run_noise_scenario(CorpusSpec::new(family, 2), op);
+                assert_eq!(outcome.op, Some(op));
+                assert!(
+                    outcome.passed(),
+                    "{}:{op}: {:?}",
+                    outcome.spec.scenario_name(),
+                    outcome.failures
+                );
+            }
+        }
     }
 
     #[test]

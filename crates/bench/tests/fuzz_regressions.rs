@@ -1,24 +1,26 @@
 //! Replays the checked-in differential-fuzz regression corpus as ordinary tier-1 tests.
 //!
-//! Every `(family, seed)` pair in `crates/bench/regressions.txt` — seeds that ever broke
-//! an oracle, plus representative coverage seeds — runs the full oracle ladder here on
-//! every `cargo test`. A failure means an optimised path diverged from its reference
-//! implementation again; reproduce interactively with
-//! `cargo run -p mctsui-bench --release --bin fuzzdiff -- --families <family> --seeds <seed>..<seed+1>`.
+//! Every entry in `crates/bench/regressions.txt` — seeds that ever broke an oracle, plus
+//! representative coverage seeds — runs on every `cargo test`: plain `family:seed` lines
+//! go through the full oracle ladder, noisy `family:seed:op` lines through the
+//! malformed-input rung for that op. A failure means an optimised path diverged from its
+//! reference implementation again; reproduce interactively with
+//! `cargo run -p mctsui-bench --release --bin fuzzdiff -- --families <family> --seeds
+//! <seed>..<seed+1>` (add `--noise` for noisy lines).
 
-use mctsui_bench::fuzz::{regression_corpus, run_scenario, Oracle};
+use mctsui_bench::fuzz::{regression_corpus, run_scenario, RegressionCase};
 
 #[test]
-fn regression_corpus_passes_the_full_oracle_ladder() {
+fn regression_corpus_passes_its_oracles() {
     let corpus = regression_corpus();
     assert!(!corpus.is_empty(), "regressions.txt is empty");
     let mut failures = Vec::new();
-    for spec in corpus {
-        let outcome = run_scenario(spec, &Oracle::ALL);
+    for case in corpus {
+        let outcome = case.run();
         if !outcome.passed() {
             failures.push(format!(
                 "{}: {:?}",
-                outcome.spec.scenario_name(),
+                outcome.regression_line(),
                 outcome.failures
             ));
         }
@@ -36,7 +38,7 @@ fn regression_corpus_covers_the_extended_dialect() {
     // through the whole ladder.
     let outcomes: Vec<_> = regression_corpus()
         .into_iter()
-        .map(|spec| run_scenario(spec, &[]))
+        .map(|case| run_scenario(case.spec(), &[]))
         .collect();
     assert!(
         outcomes.iter().any(|o| o.has_subquery),
@@ -46,4 +48,26 @@ fn regression_corpus_covers_the_extended_dialect() {
         outcomes.iter().any(|o| o.has_cte),
         "no regression seed generates a CTE"
     );
+}
+
+#[test]
+fn noisy_regression_entries_exist_and_replay_through_the_noise_rung() {
+    let noisy: Vec<_> = regression_corpus()
+        .into_iter()
+        .filter(|c| matches!(c, RegressionCase::Noisy(..)))
+        .collect();
+    assert!(
+        !noisy.is_empty(),
+        "regressions.txt must carry noisy (family:seed:op) coverage lines"
+    );
+    for case in noisy {
+        let outcome = case.run();
+        assert!(outcome.op.is_some());
+        assert!(
+            outcome.passed(),
+            "{}: {:?}",
+            outcome.regression_line(),
+            outcome.failures
+        );
+    }
 }

@@ -154,6 +154,13 @@ impl InterfaceGenerator {
         }
     }
 
+    /// Create a generator for a triaged (possibly degraded) log: synthesis runs over the
+    /// healthy entries only, so a session with quarantined queries produces exactly the
+    /// interface the same session would produce with those queries removed up front.
+    pub fn from_triaged(log: &crate::triage::TriagedLog, config: GeneratorConfig) -> Self {
+        Self::new(log.healthy(), config)
+    }
+
     /// Replace the rule engine (e.g. to restrict the rule set in ablations).
     pub fn with_engine(mut self, engine: RuleEngine) -> Self {
         self.engine = engine;
@@ -331,6 +338,31 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn triaged_generation_matches_pre_quarantined_log() {
+        // The quarantine contract: generating from a noisy triaged log is bit-identical to
+        // generating from the same log with the noisy queries removed before submission.
+        let noisy = [
+            "SELECT Sales FROM sales WHERE cty = 'USA'",
+            "SELECT @@ oops FROM",
+            "SELECT Costs FROM sales WHERE cty = 'EUR'",
+            "not sql at all",
+            "SELECT Costs FROM sales",
+        ];
+        let triaged = crate::triage::TriagedLog::from_sources(&noisy);
+        assert_eq!(triaged.quarantined_len(), 2);
+
+        let config = GeneratorConfig::quick(Screen::wide()).with_seed(11);
+        let degraded = InterfaceGenerator::from_triaged(&triaged, config.clone()).generate();
+        let reference = InterfaceGenerator::new(figure1_queries(), config).generate();
+        assert_eq!(
+            degraded.difftree.fingerprint(),
+            reference.difftree.fingerprint()
+        );
+        assert_eq!(degraded.assignment, reference.assignment);
+        assert_eq!(degraded.cost, reference.cost);
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub mod problem;
 pub mod search;
 pub mod session;
 pub mod stats;
+pub mod triage;
 
 pub use describe::{ChoiceDescription, InterfaceDescription};
 pub use generator::{GeneratedInterface, GeneratorConfig, InterfaceGenerator, SearchStrategy};
@@ -36,3 +37,4 @@ pub use problem::InterfaceSearchProblem;
 pub use search::{beam_search, exhaustive_search, greedy_search, random_walk_search};
 pub use session::{InterfaceSession, SessionError};
 pub use stats::{search_space_stats, GenerationStats, SearchSpaceStats};
+pub use triage::{TriageDiagnostic, TriagedLog};

@@ -12,9 +12,66 @@ use std::sync::Arc;
 use rustc_hash::FxHashMap;
 use serde::{Deserialize, Serialize};
 
-use mctsui_sql::Ast;
+use mctsui_sql::{Ast, SyntaxError};
 
 use crate::node::{DiffKind, DiffNode, DiffPath};
+
+/// One slot of a query log that may have failed to parse.
+///
+/// A degraded log keeps its original shape — one slot per submitted query — so that
+/// diagnostics, widget costs and serve-layer reports can refer to queries by their original
+/// index. Unusable entries are quarantined as [`LogEntry::Opaque`] slots carrying the raw
+/// source and the diagnostics that disqualified them; the difftree is built over the healthy
+/// entries only.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogEntry {
+    /// A healthy, fully parsed query that participates in the difftree.
+    Parsed(Ast),
+    /// A quarantined entry excluded from the difftree.
+    Opaque {
+        /// The raw query text as submitted.
+        source: String,
+        /// The diagnostics that disqualified it (never empty).
+        errors: Vec<SyntaxError>,
+    },
+}
+
+impl LogEntry {
+    /// The parsed AST, if this entry is healthy.
+    pub fn ast(&self) -> Option<&Ast> {
+        match self {
+            LogEntry::Parsed(ast) => Some(ast),
+            LogEntry::Opaque { .. } => None,
+        }
+    }
+
+    /// True for quarantined entries.
+    pub fn is_quarantined(&self) -> bool {
+        matches!(self, LogEntry::Opaque { .. })
+    }
+}
+
+/// The healthy ASTs of a partially parsed log, in original order.
+pub fn healthy_queries(entries: &[LogEntry]) -> Vec<Ast> {
+    entries.iter().filter_map(|e| e.ast().cloned()).collect()
+}
+
+/// Express every entry of a partially parsed log against `node`.
+///
+/// The result has one slot per entry: quarantined entries yield `None` without being
+/// matched, healthy entries yield their assignment (or `None` when inexpressible), exactly
+/// mirroring [`express_log`] over the healthy subsequence.
+pub fn express_entries(node: &DiffNode, entries: &[LogEntry]) -> Vec<Option<ChoiceAssignment>> {
+    let mut memo = ExpressMemo::default();
+    entries
+        .iter()
+        .map(|entry| {
+            entry
+                .ast()
+                .and_then(|q| express_with_memo(node, q, &mut memo))
+        })
+        .collect()
+}
 
 /// The selections made at the choice nodes of a difftree, mirrored onto its structure.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -664,6 +721,37 @@ mod tests {
 
         let concrete = DiffNode::from_ast(&queries[0]);
         assert_eq!(language_size(&concrete, 3), 1);
+    }
+
+    #[test]
+    fn express_entries_skips_opaque_slots_but_keeps_positions() {
+        let queries = figure1_queries();
+        let root = DiffNode::any(queries.iter().map(DiffNode::from_ast).collect());
+        let entries = vec![
+            LogEntry::Parsed(queries[0].clone()),
+            LogEntry::Opaque {
+                source: "SELECT @@ FROM".to_string(),
+                errors: vec![SyntaxError::new("unexpected character `@`", 7)],
+            },
+            LogEntry::Parsed(queries[2].clone()),
+        ];
+        assert!(!entries[0].is_quarantined());
+        assert!(entries[1].is_quarantined());
+        assert_eq!(
+            healthy_queries(&entries),
+            vec![queries[0].clone(), queries[2].clone()]
+        );
+
+        let slots = express_entries(&root, &entries);
+        assert_eq!(slots.len(), 3);
+        assert!(slots[0].is_some());
+        assert!(slots[1].is_none());
+        assert!(slots[2].is_some());
+        // Healthy slots agree with express_log over the healthy subsequence.
+        let healthy = healthy_queries(&entries);
+        let direct = express_log(&root, &healthy);
+        assert_eq!(slots[0], direct[0]);
+        assert_eq!(slots[2], direct[1]);
     }
 
     #[test]

@@ -35,7 +35,10 @@ pub mod rules;
 
 pub use builder::{initial_difftree, simplified_difftree};
 pub use cache::{CacheCounters, GenerationCache, DEFAULT_CACHE_SHARDS};
-pub use derive::{changed_choice_paths, express_log, ChoiceAssignment, Expressor};
+pub use derive::{
+    changed_choice_paths, express_entries, express_log, healthy_queries, ChoiceAssignment,
+    Expressor, LogEntry,
+};
 pub use domain::{ChoiceDomain, DomainValueKind};
 pub use index::{ActionIndex, BindingSummary};
 pub use node::{DiffKind, DiffNode, DiffPath, DiffTree, Label, LabelId};

@@ -177,6 +177,13 @@ pub(crate) fn push_rule_bindings(
         RuleId::Any2All => {
             if Any2All::matches(node) {
                 out.push(RuleApplication::new(rule, path.clone()));
+            } else {
+                // Heterogeneous ANY (e.g. a log mixing WITH and plain SELECT roots): factor
+                // each same-labelled subgroup on its own. The binding's arg is the index of
+                // the subgroup's first member.
+                for start in Any2All::label_groups(node) {
+                    out.push(RuleApplication::with_arg(rule, path.clone(), start));
+                }
             }
         }
         RuleId::Any2AllInverse => {
@@ -576,22 +583,46 @@ impl Any2All {
         // both as separate rules).
         !node.children().iter().all(|c| c.children().len() == 1)
     }
-}
 
-impl Rule for Any2All {
-    fn id(&self) -> RuleId {
-        RuleId::Any2All
+    /// First-member indices of every >= 2-member group of same-labelled `All` alternatives
+    /// in a *heterogeneous* `ANY` (one where [`common_all_label`] fails). Each group is an
+    /// island of factorable structure the whole-node rule cannot reach.
+    fn label_groups(node: &DiffNode) -> Vec<usize> {
+        if node.kind() != DiffKind::Any
+            || node.children().len() < 2
+            || common_all_label(node).is_some()
+        {
+            return Vec::new();
+        }
+        // (label, first index, member count) per distinct label, in first-occurrence order.
+        let mut groups: Vec<(LabelId, usize, usize)> = Vec::new();
+        for (i, child) in node.children().iter().enumerate() {
+            if child.kind() != DiffKind::All {
+                continue;
+            }
+            let Some(label) = child.label_id() else {
+                continue;
+            };
+            if label.is_empty() {
+                continue;
+            }
+            match groups.iter_mut().find(|(l, _, _)| *l == label) {
+                Some(entry) => entry.2 += 1,
+                None => groups.push((label, i, 1)),
+            }
+        }
+        groups
+            .into_iter()
+            .filter(|&(_, _, count)| count >= 2)
+            .map(|(_, first, _)| first)
+            .collect()
     }
 
-    fn rewrite(&self, node: &DiffNode, _arg: Option<usize>) -> Option<DiffNode> {
-        let label = common_all_label(node)?;
-        if !Self::matches(node) {
-            return None;
-        }
-        let alternatives: Vec<&DiffNode> = node.children().iter().collect();
-        let columns = align_alternative_children(&alternatives);
-        let n = alternatives.len();
-
+    /// Column-align `members` (all `All` nodes labelled `label`) and factor them into one
+    /// `All` of child-wise choices — the core of both the whole-node and subgroup rewrites.
+    fn factor_members(members: &[&DiffNode], label: LabelId) -> DiffNode {
+        let columns = align_alternative_children(members);
+        let n = members.len();
         let mut new_children = Vec::with_capacity(columns.len());
         for col in columns {
             let present: Vec<DiffNode> = col.iter().flatten().cloned().collect();
@@ -605,7 +636,65 @@ impl Rule for Any2All {
                 new_children.push(inner);
             }
         }
-        Some(DiffNode::all_interned(label, new_children))
+        DiffNode::all_interned(label, new_children)
+    }
+
+    /// Subgroup rewrite: factor the same-labelled group whose first member sits at `start`,
+    /// leaving every other alternative of the `ANY` in place.
+    fn rewrite_group(node: &DiffNode, start: usize) -> Option<DiffNode> {
+        if node.kind() != DiffKind::Any {
+            return None;
+        }
+        let target = node.children().get(start)?;
+        if target.kind() != DiffKind::All {
+            return None;
+        }
+        let label = target.label_id()?;
+        if label.is_empty() {
+            return None;
+        }
+        let member_idx: Vec<usize> = node
+            .children()
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.kind() == DiffKind::All && c.label_id() == Some(label))
+            .map(|(i, _)| i)
+            .collect();
+        // Stale-binding defense: a valid binding always points at the group's first member
+        // and the group must still have something to merge.
+        if member_idx.len() < 2 || member_idx[0] != start {
+            return None;
+        }
+        let members: Vec<&DiffNode> = member_idx.iter().map(|&i| &node.children()[i]).collect();
+        let factored = Self::factor_members(&members, label);
+
+        let mut alternatives = Vec::with_capacity(node.children().len() - member_idx.len() + 1);
+        for (i, child) in node.children().iter().enumerate() {
+            if i == start {
+                alternatives.push(factored.clone());
+            } else if !member_idx.contains(&i) {
+                alternatives.push(child.clone());
+            }
+        }
+        Some(any_or_single(alternatives))
+    }
+}
+
+impl Rule for Any2All {
+    fn id(&self) -> RuleId {
+        RuleId::Any2All
+    }
+
+    fn rewrite(&self, node: &DiffNode, arg: Option<usize>) -> Option<DiffNode> {
+        if let Some(start) = arg {
+            return Self::rewrite_group(node, start);
+        }
+        let label = common_all_label(node)?;
+        if !Self::matches(node) {
+            return None;
+        }
+        let alternatives: Vec<&DiffNode> = node.children().iter().collect();
+        Some(Self::factor_members(&alternatives, label))
     }
 }
 
@@ -930,6 +1019,85 @@ mod tests {
             .children()
             .iter()
             .any(|c| c.kind() == DiffKind::Opt));
+    }
+
+    #[test]
+    fn any2all_factors_label_subgroups_in_mixed_root_any() {
+        // The snowflake:268 shape: a log mixing WITH-rooted and SELECT-rooted queries. The
+        // root ANY has no common label, so the whole-node rule is silent — but each
+        // same-labelled subgroup must still get its own factoring binding.
+        let queries = vec![
+            q("WITH c AS (SELECT x FROM t) SELECT x FROM c"),
+            q("WITH c AS (SELECT y FROM t) SELECT y FROM c"),
+            q("SELECT Sales FROM sales WHERE cty = 'USA'"),
+            q("SELECT Costs FROM sales"),
+        ];
+        let tree = initial(&queries);
+        let engine = RuleEngine::default();
+        let apps: Vec<_> = engine
+            .applicable(&tree)
+            .into_iter()
+            .filter(|a| a.rule == RuleId::Any2All && a.path == DiffPath::root())
+            .collect();
+        // One binding per >= 2-member label group: the WITH pair and the SELECT pair.
+        assert_eq!(apps.len(), 2, "expected one binding per label subgroup");
+        assert_eq!(
+            apps.iter().map(|a| a.arg).collect::<Vec<_>>(),
+            vec![Some(0), Some(2)]
+        );
+
+        // Applying either binding factors that subgroup while everything still expresses.
+        for app in &apps {
+            let factored = engine.apply(&tree, app).unwrap();
+            assert_eq!(factored.root().kind(), DiffKind::Any);
+            // Two members merged into one alternative: 4 -> 3.
+            assert_eq!(factored.root().children().len(), 3);
+            assert!(expresses_all(factored.root(), &queries));
+        }
+
+        // Applying both in sequence leaves ANY{ALL(With), ALL(Select)} and terminates:
+        // no further root-level Any2All bindings exist.
+        let once = engine.apply(&tree, &apps[0]).unwrap();
+        let again = engine
+            .applicable(&once)
+            .into_iter()
+            .find(|a| a.rule == RuleId::Any2All && a.path == DiffPath::root())
+            .unwrap();
+        let twice = engine.apply(&once, &again).unwrap();
+        assert_eq!(twice.root().children().len(), 2);
+        assert!(expresses_all(twice.root(), &queries));
+        assert!(!engine
+            .applicable(&twice)
+            .iter()
+            .any(|a| a.rule == RuleId::Any2All && a.path == DiffPath::root()));
+    }
+
+    #[test]
+    fn any2all_group_rewrite_rejects_stale_bindings() {
+        let queries = [
+            q("WITH c AS (SELECT x FROM t) SELECT x FROM c"),
+            q("WITH c AS (SELECT y FROM t) SELECT y FROM c"),
+            q("SELECT Costs FROM sales"),
+        ];
+        let any = DiffNode::any(queries.iter().map(DiffNode::from_ast).collect());
+        // Not the first member of its group.
+        assert!(Any2All::rewrite_group(&any, 1).is_none());
+        // A single-member "group" has nothing to merge.
+        assert!(Any2All::rewrite_group(&any, 2).is_none());
+        // Out of bounds.
+        assert!(Any2All::rewrite_group(&any, 9).is_none());
+    }
+
+    #[test]
+    fn any2all_homogeneous_any_gets_no_subgroup_bindings() {
+        // When the whole node factors at once, subgroup bindings must stay silent so the
+        // figure-1 pin (exactly one Any2All binding) keeps holding.
+        let queries = figure1_queries();
+        let any = DiffNode::any(queries.iter().map(DiffNode::from_ast).collect());
+        assert!(Any2All::label_groups(&any).is_empty());
+        let apps = Any2All::bindings(&Any2All, &any, &DiffPath::root());
+        assert_eq!(apps.len(), 1);
+        assert_eq!(apps[0].arg, None);
     }
 
     #[test]

@@ -242,6 +242,9 @@ pub struct ScriptReport {
     pub reconnects: u64,
     /// Fresh sessions opened after the server reported one gone (0 in strict mode).
     pub restarts: u64,
+    /// Per-query diagnostics the server reported for the submitted log (empty when every
+    /// query parsed cleanly). Quarantined queries were excluded from synthesis.
+    pub diagnostics: Vec<crate::proto::QueryDiagnostic>,
 }
 
 impl ScriptReport {
@@ -288,12 +291,13 @@ fn run_strict_session(
         seed: script.seed,
     })?;
     latencies.push(started.elapsed().as_millis() as u64);
-    let (session, initial, mut interface) = match response {
+    let (session, initial, mut interface, diagnostics) = match response {
         Response::Synthesized {
             session,
             best,
             interface,
-        } => (session, best, interface),
+            diagnostics,
+        } => (session, best, interface, diagnostics),
         other => {
             return Err(ClientError::Protocol(format!(
                 "expected Synthesized, got {other:?}"
@@ -370,6 +374,7 @@ fn run_strict_session(
         latencies_millis: latencies,
         reconnects: 0,
         restarts: 0,
+        diagnostics,
     })
 }
 
@@ -400,6 +405,7 @@ fn run_tolerant_session(
     let mut initial: Option<BestReport> = None;
     let mut refined: Vec<BestReport> = Vec::with_capacity(script.refines);
     let mut interface: Option<InterfaceDescription> = None;
+    let mut diagnostics: Vec<crate::proto::QueryDiagnostic> = Vec::new();
     let mut last_reward = f64::NEG_INFINITY;
 
     let spend = |recoveries: &mut u32, error: ClientError| -> Result<(), ClientError> {
@@ -483,7 +489,9 @@ fn run_tolerant_session(
                 session: id,
                 best,
                 interface: described,
+                diagnostics: reported,
             }) => {
+                diagnostics = reported;
                 latencies.push(started.elapsed().as_millis() as u64);
                 if initial.is_none() {
                     initial = Some(best);
@@ -569,6 +577,7 @@ fn run_tolerant_session(
         latencies_millis: latencies,
         reconnects,
         restarts,
+        diagnostics,
     })
 }
 
@@ -667,6 +676,8 @@ pub fn run_resume_session(
         latencies_millis: latencies,
         reconnects: 0,
         restarts: 0,
+        // A resumed session carries no admission diagnostics (they are not snapshotted).
+        diagnostics: Vec::new(),
     })
 }
 

@@ -58,7 +58,9 @@ use std::time::{Duration, Instant};
 
 use rustc_hash::{FxHashMap, FxHasher};
 
-use mctsui_core::{InterfaceDescription, InterfaceSearchProblem, InterfaceSession, SessionError};
+use mctsui_core::{
+    InterfaceDescription, InterfaceSearchProblem, InterfaceSession, SessionError, TriagedLog,
+};
 use mctsui_cost::{ContextCacheStats, CostWeights};
 use mctsui_difftree::{simplified_difftree, CacheCounters, DiffPath, DiffTree, RuleEngine};
 use mctsui_mcts::{Budget, MctsConfig, PendingLeaf, SearchHandle};
@@ -66,7 +68,7 @@ use mctsui_sql::{parse_query, print_query, Ast};
 use mctsui_widgets::Screen;
 
 use crate::fault::{EvalFault, FaultPlan};
-use crate::proto::{BestReport, EngineStatsReport, WidgetAction};
+use crate::proto::{BestReport, EngineStatsReport, QueryDiagnostic, WidgetAction};
 use crate::snapshot::{SessionSnapshot, SnapshotStore, SNAPSHOT_FORMAT_VERSION};
 
 /// Configuration of a [`ServeEngine`].
@@ -123,6 +125,9 @@ pub struct ServeConfig {
     /// Deterministic fault-injection plan for chaos tests and CI smoke jobs (`None` in
     /// production: every consultation site reduces to one `Option` check).
     pub fault: Option<Arc<FaultPlan>>,
+    /// Strict admission: reject a `synthesize` on its first unparseable query instead of
+    /// quarantining bad entries and serving the healthy remainder (the default).
+    pub strict: bool,
 }
 
 impl Default for ServeConfig {
@@ -149,6 +154,7 @@ impl Default for ServeConfig {
             io_timeout_millis: 120_000,
             max_frame_bytes: 1 << 20,
             fault: None,
+            strict: false,
         }
     }
 }
@@ -230,6 +236,12 @@ impl ServeConfig {
     /// Builder helper: install a deterministic fault-injection plan.
     pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
         self.fault = Some(plan);
+        self
+    }
+
+    /// Builder helper: reject degraded logs instead of quarantining their bad queries.
+    pub fn with_strict(mut self) -> Self {
+        self.strict = true;
         self
     }
 }
@@ -321,6 +333,10 @@ pub struct SynthesisResult {
     pub improved: bool,
     /// The best interface found so far.
     pub interface: InterfaceDescription,
+    /// Per-query diagnostics recorded when the session's log was triaged at admission
+    /// (empty for fully healthy logs, and for sessions restored from a snapshot —
+    /// diagnostics describe a submission, so they are not persisted).
+    pub diagnostics: Vec<QueryDiagnostic>,
 }
 
 /// One live session: the warm search handle plus interaction state.
@@ -348,6 +364,10 @@ struct Session {
     /// (`None` before the first). Equal to the current count ⇔ the on-disk snapshot is
     /// fresh, so clean sessions cost the periodic sweep nothing.
     snapshotted_iterations: Option<u64>,
+    /// Admission-time triage diagnostics of the session's log, echoed on every
+    /// synthesize/refine response. Deliberately not snapshotted: they describe the
+    /// original submission, and a resumed session answers with an empty list.
+    diagnostics: Vec<QueryDiagnostic>,
 }
 
 /// The sharded session table. Lookups and admission hash the session id onto one of
@@ -601,6 +621,8 @@ struct Shared {
     snapshots_written: AtomicU64,
     sessions_resumed: AtomicU64,
     reaped_sessions: AtomicU64,
+    /// Queries quarantined at admission across every served `synthesize`.
+    quarantined_queries: AtomicU64,
 }
 
 /// The multi-session anytime synthesis engine. See the module docs for the architecture.
@@ -655,6 +677,7 @@ impl ServeEngine {
             snapshots_written: AtomicU64::new(0),
             sessions_resumed: AtomicU64::new(0),
             reaped_sessions: AtomicU64::new(0),
+            quarantined_queries: AtomicU64::new(0),
             config,
         });
         let mut workers = Vec::with_capacity(threads + 1);
@@ -683,6 +706,59 @@ impl ServeEngine {
         deadline_millis: u64,
         seed: u64,
     ) -> Result<SynthesisResult, ServeError> {
+        self.synthesize_with_diagnostics(queries, Vec::new(), iterations, deadline_millis, seed)
+    }
+
+    /// [`ServeEngine::synthesize`] over a triaged (possibly degraded) log. Healthy queries
+    /// drive the search; quarantined ones are reported as per-query diagnostics on every
+    /// response of the session. Under [`ServeConfig::strict`] any quarantined query
+    /// rejects the whole request with [`ServeError::BadQuery`] (the pre-lenient
+    /// behaviour), as does a log whose every query is quarantined.
+    pub fn synthesize_triaged(
+        &self,
+        log: &TriagedLog,
+        iterations: u64,
+        deadline_millis: u64,
+        seed: u64,
+    ) -> Result<SynthesisResult, ServeError> {
+        if let Some((index, error)) = log.first_failure() {
+            if self.shared.config.strict {
+                return Err(ServeError::BadQuery(format!("query {index}: {error}")));
+            }
+            if log.healthy().is_empty() {
+                return Err(ServeError::BadQuery(format!(
+                    "all {} queries quarantined; first: query {index}: {error}",
+                    log.len()
+                )));
+            }
+        }
+        let diagnostics = log
+            .diagnostics()
+            .into_iter()
+            .map(|d| QueryDiagnostic {
+                index: d.index as u64,
+                offset: d.offset as u64,
+                message: d.message,
+                quarantined: d.quarantined,
+            })
+            .collect();
+        self.synthesize_with_diagnostics(
+            log.healthy(),
+            diagnostics,
+            iterations,
+            deadline_millis,
+            seed,
+        )
+    }
+
+    fn synthesize_with_diagnostics(
+        &self,
+        queries: Vec<Ast>,
+        diagnostics: Vec<QueryDiagnostic>,
+        iterations: u64,
+        deadline_millis: u64,
+        seed: u64,
+    ) -> Result<SynthesisResult, ServeError> {
         if self.is_shutdown() || self.is_draining() {
             return Err(ServeError::ShuttingDown);
         }
@@ -704,6 +780,12 @@ impl ServeEngine {
         let handle = SearchHandle::new(Arc::clone(&problem), mcts);
 
         let id = self.shared.next_session.fetch_add(1, Ordering::Relaxed);
+        let quarantined = diagnostics
+            .iter()
+            .filter(|d| d.quarantined)
+            .map(|d| d.index)
+            .collect::<std::collections::BTreeSet<_>>()
+            .len() as u64;
         let session = Arc::new(Mutex::new(Session {
             problem,
             handle,
@@ -713,6 +795,7 @@ impl ServeEngine {
             eval_seed: seed,
             last_touched: Instant::now(),
             snapshotted_iterations: None,
+            diagnostics,
         }));
         if !self
             .shared
@@ -724,8 +807,12 @@ impl ServeEngine {
         self.shared
             .peak_sessions
             .fetch_max(self.shared.sessions.len(), Ordering::Relaxed);
-        // Counted only once admission succeeded: `total_requests` reports admitted work.
+        // Counted only once admission succeeded: `total_requests` reports admitted work,
+        // and `quarantined_queries` reports quarantines of logs that were actually served.
         self.shared.total_requests.fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .quarantined_queries
+            .fetch_add(quarantined, Ordering::Relaxed);
 
         let result = self.run_request(id, iterations, deadline_millis);
         if result.is_err() {
@@ -818,7 +905,7 @@ impl ServeEngine {
         reward_before: f64,
     ) -> Result<SynthesisResult, ServeError> {
         let handle = self.session(session)?;
-        let (best_tree, best_reward, best, problem, eval_seed, cached) = {
+        let (best_tree, best_reward, best, problem, eval_seed, cached, diagnostics) = {
             let guard = handle.lock().unwrap_or_else(PoisonError::into_inner);
             let best_tree = guard.handle.best_state().clone();
             let fingerprint = best_tree.fingerprint();
@@ -843,6 +930,7 @@ impl ServeEngine {
                 Arc::clone(&guard.problem),
                 guard.eval_seed,
                 cached,
+                guard.diagnostics.clone(),
             )
         };
 
@@ -870,6 +958,7 @@ impl ServeEngine {
             best,
             improved: best_reward > reward_before,
             interface,
+            diagnostics,
         })
     }
 
@@ -1005,6 +1094,7 @@ impl ServeEngine {
             caught_panics: self.shared.caught_panics.load(Ordering::Relaxed),
             snapshots_written: self.shared.snapshots_written.load(Ordering::Relaxed),
             sessions_resumed: self.shared.sessions_resumed.load(Ordering::Relaxed),
+            quarantined_queries: self.shared.quarantined_queries.load(Ordering::Relaxed),
             reaped_sessions: self.shared.reaped_sessions.load(Ordering::Relaxed),
             injected_faults: self
                 .shared
@@ -1164,6 +1254,7 @@ impl ServeEngine {
             eval_seed: snapshot.eval_seed,
             last_touched: Instant::now(),
             snapshotted_iterations: Some(iterations),
+            diagnostics: Vec::new(),
         }));
         if !self
             .shared

@@ -123,6 +123,23 @@ pub enum WidgetAction {
     },
 }
 
+/// One per-query diagnostic of a degraded `Synthesize` log, addressed by the index of the
+/// query in the submitted log. Queries flagged `quarantined` were excluded from synthesis;
+/// the session's interface covers the remaining (healthy) queries exactly as if the
+/// quarantined ones had never been submitted. Servers running `--strict` never emit these:
+/// they reject the whole request on the first bad query instead.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryDiagnostic {
+    /// Index of the query in the submitted log.
+    pub index: u64,
+    /// Byte offset of the problem within that query's text.
+    pub offset: u64,
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// Whether the diagnostic disqualified the query from synthesis.
+    pub quarantined: bool,
+}
+
 /// The anytime best-so-far summary of one session's search.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct BestReport {
@@ -183,6 +200,8 @@ pub struct EngineStatsReport {
     pub snapshots_written: u64,
     /// Sessions restored from the snapshot store via `Resume`.
     pub sessions_resumed: u64,
+    /// Queries quarantined at admission (unparseable entries of otherwise-served logs).
+    pub quarantined_queries: u64,
     /// Idle sessions evicted (snapshotted first, when a store is configured).
     pub reaped_sessions: u64,
     /// Faults fired by the configured fault plan so far (`0` without a plan).
@@ -217,6 +236,8 @@ pub enum Response {
         best: BestReport,
         /// The best interface found so far.
         interface: InterfaceDescription,
+        /// Per-query diagnostics of the submitted log (empty when every query parsed).
+        diagnostics: Vec<QueryDiagnostic>,
     },
     /// The anytime result after more search on a warm session.
     Refined {
@@ -228,6 +249,8 @@ pub enum Response {
         improved: bool,
         /// The best interface found so far.
         interface: InterfaceDescription,
+        /// The session's admission diagnostics, echoed on every refine.
+        diagnostics: Vec<QueryDiagnostic>,
     },
     /// A widget interaction was applied; `sql` is the re-derived query.
     Interacted {
@@ -405,6 +428,7 @@ mod tests {
             },
             improved: true,
             interface: sample_interface(),
+            diagnostics: Vec::new(),
         };
         let line = encode_line(&response);
         let back: Response = serde_json::from_str(&line).expect("round trip");
@@ -416,6 +440,40 @@ mod tests {
         };
         let back: Response = serde_json::from_str(&encode_line(&error)).expect("round trip");
         assert_eq!(back, error);
+    }
+
+    #[test]
+    fn query_diagnostics_round_trip() {
+        let response = Response::Synthesized {
+            session: 4,
+            best: BestReport {
+                reward: -3.0,
+                cost_total: 3.0,
+                iterations: 10,
+                evaluations: 30,
+                tree_nodes: 12,
+                exhausted: false,
+            },
+            interface: sample_interface(),
+            diagnostics: vec![
+                QueryDiagnostic {
+                    index: 1,
+                    offset: 7,
+                    message: "unexpected character `@`".into(),
+                    quarantined: true,
+                },
+                QueryDiagnostic {
+                    index: 3,
+                    offset: 0,
+                    message: "expected SELECT or WITH".into(),
+                    quarantined: true,
+                },
+            ],
+        };
+        let line = encode_line(&response);
+        assert!(!line.contains('\n'), "NDJSON lines must be single-line");
+        let back: Response = serde_json::from_str(&line).expect("round trip");
+        assert_eq!(back, response);
     }
 
     #[test]

@@ -17,7 +17,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Duration;
 
-use mctsui_sql::parse_query;
+use mctsui_core::TriagedLog;
 
 use crate::engine::{ServeEngine, ServeError, SynthesisResult};
 use crate::proto::{decode_line, encode_line, read_frame, Frame, Request, Response};
@@ -133,16 +133,11 @@ pub fn dispatch(engine: &ServeEngine, line: &str) -> Response {
             deadline_millis,
             seed,
         } => {
-            let mut parsed = Vec::with_capacity(queries.len());
-            for sql in &queries {
-                match parse_query(sql) {
-                    Ok(ast) => parsed.push(ast),
-                    Err(e) => {
-                        return error_response(ServeError::BadQuery(format!("{sql}: {e}")));
-                    }
-                }
-            }
-            match engine.synthesize(parsed, iterations, deadline_millis, seed) {
+            // Lenient admission: triage the log, quarantine unusable entries, serve the
+            // healthy remainder. The engine enforces `--strict` (reject on first error)
+            // and rejects logs with no healthy query at all.
+            let log = TriagedLog::from_sources(&queries);
+            match engine.synthesize_triaged(&log, iterations, deadline_millis, seed) {
                 Ok(result) => synthesized(result),
                 Err(e) => error_response(e),
             }
@@ -181,6 +176,7 @@ fn synthesized(result: SynthesisResult) -> Response {
         session: result.session,
         best: result.best,
         interface: result.interface,
+        diagnostics: result.diagnostics,
     }
 }
 
@@ -190,6 +186,7 @@ fn refined(result: SynthesisResult) -> Response {
         best: result.best,
         improved: result.improved,
         interface: result.interface,
+        diagnostics: result.diagnostics,
     }
 }
 

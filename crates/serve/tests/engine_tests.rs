@@ -499,3 +499,90 @@ fn shutdown_rejects_new_work_and_joins_workers() {
     );
     engine.join_workers();
 }
+
+#[test]
+fn degraded_logs_are_quarantined_and_synthesize_like_the_clean_log() {
+    use mctsui_core::TriagedLog;
+
+    // The figure-1 log with two unusable entries spliced in. The healthy subsequence is
+    // exactly the clean log, so the degraded session must be bit-identical to a clean one.
+    let sources = vec![
+        "SELECT Sales FROM sales WHERE cty = 'USA'".to_string(),
+        "SELECT @@ oops FROM".to_string(),
+        "SELECT Costs FROM sales WHERE cty = 'EUR'".to_string(),
+        "not sql at all".to_string(),
+        "SELECT Costs FROM sales".to_string(),
+    ];
+    let log = TriagedLog::from_sources(&sources);
+
+    let degraded_engine = quick_engine(1);
+    let degraded = degraded_engine
+        .synthesize_triaged(&log, 40, 10_000, 7)
+        .expect("degraded synthesize");
+
+    // Diagnostics name exactly the quarantined slots (possibly several errors per slot),
+    // in log order, with their log indices.
+    assert!(degraded.diagnostics.iter().all(|d| d.quarantined));
+    let slots: std::collections::BTreeSet<u64> =
+        degraded.diagnostics.iter().map(|d| d.index).collect();
+    assert_eq!(slots, [1u64, 3].into_iter().collect());
+    assert!(degraded.diagnostics.iter().all(|d| !d.message.is_empty()));
+    assert_eq!(degraded_engine.stats().quarantined_queries, 2);
+
+    let clean_engine = quick_engine(1);
+    let clean = clean_engine
+        .synthesize(figure1_queries(), 40, 10_000, 7)
+        .expect("clean synthesize");
+    assert!(clean.diagnostics.is_empty());
+    assert_eq!(clean_engine.stats().quarantined_queries, 0);
+
+    // Quarantine contract: the healthy subtree is bit-identical to the clean session.
+    assert_eq!(degraded.best.reward.to_bits(), clean.best.reward.to_bits());
+    assert_eq!(degraded.best.iterations, clean.best.iterations);
+    assert_eq!(degraded.interface, clean.interface);
+
+    // Refine echoes the session's admission diagnostics on every turn.
+    let refined = degraded_engine
+        .refine(degraded.session, 20, 10_000)
+        .expect("refine");
+    assert_eq!(refined.diagnostics, degraded.diagnostics);
+}
+
+#[test]
+fn strict_engine_rejects_degraded_logs() {
+    use mctsui_core::TriagedLog;
+
+    let engine = ServeEngine::start(ServeConfig::quick().with_threads(1).with_strict());
+    let noisy = TriagedLog::from_sources(&[
+        "SELECT Sales FROM sales WHERE cty = 'USA'",
+        "SELECT @@ oops FROM",
+    ]);
+    let err = engine
+        .synthesize_triaged(&noisy, 20, 10_000, 1)
+        .unwrap_err();
+    assert_eq!(err.code(), "bad_query");
+    assert!(err.to_string().contains("query 1"), "got: {err}");
+
+    // Clean logs still serve under strict admission.
+    let clean = TriagedLog::from_sources(&["SELECT Sales FROM sales WHERE cty = 'USA'"]);
+    let opened = engine
+        .synthesize_triaged(&clean, 20, 10_000, 1)
+        .expect("strict engine serves clean log");
+    assert!(opened.diagnostics.is_empty());
+    assert_eq!(engine.stats().quarantined_queries, 0);
+}
+
+#[test]
+fn fully_quarantined_logs_are_rejected_even_when_lenient() {
+    use mctsui_core::TriagedLog;
+
+    let engine = quick_engine(1);
+    let hopeless = TriagedLog::from_sources(&["@@@@", "not sql at all"]);
+    let err = engine
+        .synthesize_triaged(&hopeless, 20, 10_000, 1)
+        .unwrap_err();
+    assert_eq!(err.code(), "bad_query");
+    assert!(err.to_string().contains("quarantined"), "got: {err}");
+    // Nothing was admitted, so nothing counts as quarantined-in-service.
+    assert_eq!(engine.stats().quarantined_queries, 0);
+}

@@ -299,3 +299,62 @@ fn kill_and_restore_resumes_sessions_across_server_restarts() {
     server2.join().expect("second server thread");
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn degraded_logs_round_trip_with_diagnostics_and_strict_servers_reject() {
+    // Lenient server: a noisy log is admitted, the quarantined slots are reported in the
+    // response, and the session serves the healthy remainder.
+    let (_engine, addr, server) = start_server(1);
+    let mut noisy = demo_queries();
+    noisy.insert(1, "SELECT @@ oops FROM".to_string());
+    let mut client = Client::connect(&addr).expect("connect");
+    let request = Request::Synthesize {
+        queries: noisy.clone(),
+        iterations: 20,
+        deadline_millis: 10_000,
+        seed: 3,
+    };
+    match client.call(&request).expect("synthesize") {
+        Response::Synthesized { diagnostics, .. } => {
+            assert!(!diagnostics.is_empty(), "noisy log must carry diagnostics");
+            assert!(diagnostics.iter().all(|d| d.quarantined && d.index == 1));
+        }
+        other => panic!("expected Synthesized, got {other:?}"),
+    }
+    match client.call(&Request::Stats).expect("stats") {
+        Response::Stats(stats) => assert_eq!(stats.quarantined_queries, 1),
+        other => panic!("expected Stats, got {other:?}"),
+    }
+    client.call(&Request::Shutdown).expect("shutdown");
+    server.join().expect("server thread");
+
+    // Strict server: the same log is rejected with a typed bad_query error.
+    let engine = ServeEngine::start(ServeConfig::quick().with_threads(1).with_strict());
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let server_engine = Arc::clone(&engine);
+    let server = std::thread::spawn(move || {
+        mctsui_serve::serve_on(server_engine, listener).expect("server failed");
+    });
+    let mut client = Client::connect(&addr).expect("connect strict");
+    match client.call(&request) {
+        Err(mctsui_serve::ClientError::Server { code, message }) => {
+            assert_eq!(code, "bad_query");
+            assert!(message.contains("query 1"), "got: {message}");
+        }
+        other => panic!("expected bad_query server error, got {other:?}"),
+    }
+    // Clean logs still serve, with no diagnostics.
+    let clean = Request::Synthesize {
+        queries: demo_queries(),
+        iterations: 20,
+        deadline_millis: 10_000,
+        seed: 3,
+    };
+    match client.call(&clean).expect("clean synthesize") {
+        Response::Synthesized { diagnostics, .. } => assert!(diagnostics.is_empty()),
+        other => panic!("expected Synthesized, got {other:?}"),
+    }
+    client.call(&Request::Shutdown).expect("shutdown strict");
+    server.join().expect("strict server thread");
+}

@@ -32,6 +32,44 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// A recoverable diagnostic collected by the lenient front end.
+///
+/// Unlike [`ParseError`], a `SyntaxError` does not abort parsing: the lenient lexer and
+/// parser accumulate one per malformed span while still producing a best-effort AST.
+/// Ordered by source position so a `Vec<SyntaxError>` reads front to back.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SyntaxError {
+    /// Byte offset into the original query text where the problem was detected.
+    pub offset: usize,
+    /// Human readable description of what went wrong.
+    pub message: String,
+}
+
+impl SyntaxError {
+    /// Create a new diagnostic at the given byte offset.
+    pub fn new(message: impl Into<String>, offset: usize) -> Self {
+        Self {
+            message: message.into(),
+            offset,
+        }
+    }
+}
+
+impl From<ParseError> for SyntaxError {
+    fn from(e: ParseError) -> Self {
+        SyntaxError {
+            message: e.message,
+            offset: e.offset,
+        }
+    }
+}
+
+impl fmt::Display for SyntaxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "syntax error at byte {}: {}", self.offset, self.message)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

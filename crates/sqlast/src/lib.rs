@@ -11,7 +11,11 @@
 //!   paper (projection lists with aggregates and aliases, `TOP`/`LIMIT`, `FROM`, `WHERE`
 //!   clauses with `AND`/`OR`/`BETWEEN`/comparisons/`IN`/`LIKE`, `GROUP BY`, `ORDER BY`,
 //!   expression-level arithmetic, scalar subqueries in predicates and simple
-//!   `WITH name AS (...)` common table expressions),
+//!   `WITH name AS (...)` common table expressions), with both a strict entry point
+//!   ([`parse_query`]) and an error-recovering one ([`parse_query_lenient`]) whose lexer
+//!   never fails (malformed spans become [`TokenKind::Error`] tokens) and whose parser
+//!   re-synchronises at clause boundaries, returning a best-effort AST plus structured
+//!   [`SyntaxError`] diagnostics,
 //! * a generic labelled-tree [`Ast`](ast::Ast) representation whose node kinds mirror the
 //!   grammar-rule names used in the paper's figures (`Select`, `Project`, `Where`,
 //!   `ColExpr`, `BiExpr`, `StrExpr`, ...),
@@ -44,9 +48,9 @@ pub mod view;
 
 pub use ast::{Ast, AstPath, Literal, NodeKind};
 pub use diff::{diff_asts, AstDiff, DiffEntry};
-pub use error::{ParseError, Result};
+pub use error::{ParseError, Result, SyntaxError};
 pub use intern::{intern_label, Label, LabelId};
-pub use parser::{parse_query, Parser};
+pub use parser::{parse_query, parse_query_lenient, LenientParse, Parser};
 pub use printer::print_query;
-pub use token::{tokenize, Token, TokenKind};
+pub use token::{tokenize, tokenize_lenient, Token, TokenKind};
 pub use view::QueryView;

@@ -7,8 +7,8 @@
 //! canonicalised to a single `Top` node).
 
 use crate::ast::{Ast, Literal, NodeKind};
-use crate::error::{ParseError, Result};
-use crate::token::{tokenize, Token, TokenKind};
+use crate::error::{ParseError, Result, SyntaxError};
+use crate::token::{tokenize, tokenize_lenient, Token, TokenKind};
 
 /// Parse a single SQL query into its AST.
 ///
@@ -21,6 +21,67 @@ pub fn parse_query(input: &str) -> Result<Ast> {
     let ast = parser.parse_statement()?;
     parser.expect_end()?;
     Ok(ast)
+}
+
+/// The outcome of a lenient parse: a best-effort AST covering the recoverable portion of
+/// the input, plus every syntax error encountered, in source order.
+///
+/// On input the strict [`parse_query`] accepts, the result is *clean*: `errors` is empty
+/// and `ast` holds a tree bit-identical to the strict one. On malformed input the parser
+/// recovers at statement and clause boundaries — an unreadable optional clause is dropped
+/// (with a diagnostic), while an unreadable projection or `FROM` clause makes the whole
+/// statement unrecoverable (`ast` is `None`, `errors` says why).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LenientParse {
+    /// The recovered statement, if any part of it was parseable.
+    pub ast: Option<Ast>,
+    /// Every diagnostic collected, ordered by byte offset of detection.
+    pub errors: Vec<SyntaxError>,
+}
+
+impl LenientParse {
+    /// True when the input parsed without a single diagnostic — exactly the inputs the
+    /// strict parser accepts.
+    pub fn is_clean(&self) -> bool {
+        self.errors.is_empty() && self.ast.is_some()
+    }
+
+    /// The first (source-order) diagnostic, if any.
+    pub fn first_error(&self) -> Option<&SyntaxError> {
+        self.errors.first()
+    }
+}
+
+/// Parse a single SQL query, recovering from malformed spans instead of failing.
+///
+/// Never panics and never rejects: arbitrary bytes produce *some* `LenientParse`. The
+/// recovered AST (when present) is built exclusively from the strict sub-parsers, so
+/// printing it with [`crate::print_query`] yields canonical SQL that the strict parser
+/// accepts — the recovered portion round-trips like any clean query.
+pub fn parse_query_lenient(input: &str) -> LenientParse {
+    let mut errors = Vec::new();
+    let mut tokens = Vec::new();
+    for token in tokenize_lenient(input) {
+        match token.kind {
+            TokenKind::Error(message) => errors.push(SyntaxError::new(message, token.offset)),
+            _ => tokens.push(token),
+        }
+    }
+    let mut parser = Parser::new(tokens);
+    let ast = parser.parse_statement_lenient(&mut errors);
+    if ast.is_some() {
+        parser.eat_symbol(";");
+        if !matches!(parser.peek().kind, TokenKind::Eof) {
+            errors.push(SyntaxError::new(
+                "unexpected trailing input",
+                parser.peek().offset,
+            ));
+        }
+    }
+    if ast.is_none() && errors.is_empty() {
+        errors.push(SyntaxError::new("expected SELECT or WITH", 0));
+    }
+    LenientParse { ast, errors }
 }
 
 /// A hand-written recursive-descent parser over a token stream.
@@ -111,19 +172,7 @@ impl Parser {
         self.expect_keyword("WITH")?;
         let mut children = Vec::new();
         loop {
-            let name = match self.advance().kind {
-                TokenKind::Ident(name) => name,
-                _ => return Err(self.error_here("expected CTE name after WITH")),
-            };
-            self.expect_keyword("AS")?;
-            self.expect_symbol("(")?;
-            let select = self.parse_select()?;
-            self.expect_symbol(")")?;
-            children.push(Ast::with_value(
-                NodeKind::Cte,
-                Literal::str(name),
-                vec![select],
-            ));
+            children.push(self.parse_cte()?);
             if !self.eat_symbol(",") {
                 break;
             }
@@ -131,6 +180,23 @@ impl Parser {
         let body = self.parse_select()?;
         children.push(body);
         Ok(Ast::new(NodeKind::With, children))
+    }
+
+    /// Parse one `name AS (select)` common table expression.
+    fn parse_cte(&mut self) -> Result<Ast> {
+        let name = match self.advance().kind {
+            TokenKind::Ident(name) => name,
+            _ => return Err(self.error_here("expected CTE name after WITH")),
+        };
+        self.expect_keyword("AS")?;
+        self.expect_symbol("(")?;
+        let select = self.parse_select()?;
+        self.expect_symbol(")")?;
+        Ok(Ast::with_value(
+            NodeKind::Cte,
+            Literal::str(name),
+            vec![select],
+        ))
     }
 
     /// Parse a full `SELECT` statement.
@@ -157,12 +223,7 @@ impl Parser {
         }
 
         if self.eat_keyword("GROUP") {
-            self.expect_keyword("BY")?;
-            let mut cols = vec![self.parse_expr()?];
-            while self.eat_symbol(",") {
-                cols.push(self.parse_expr()?);
-            }
-            children.push(Ast::new(NodeKind::GroupBy, cols));
+            children.push(self.parse_group_by_tail()?);
         }
 
         if self.eat_keyword("HAVING") {
@@ -171,12 +232,7 @@ impl Parser {
         }
 
         if self.eat_keyword("ORDER") {
-            self.expect_keyword("BY")?;
-            let mut items = vec![self.parse_order_item()?];
-            while self.eat_symbol(",") {
-                items.push(self.parse_order_item()?);
-            }
-            children.push(Ast::new(NodeKind::OrderBy, items));
+            children.push(self.parse_order_by_tail()?);
         }
 
         if self.eat_keyword("LIMIT") {
@@ -229,17 +285,39 @@ impl Parser {
     fn parse_from(&mut self) -> Result<Ast> {
         let mut tables = Vec::new();
         loop {
-            match self.advance().kind {
-                TokenKind::Ident(name) => {
-                    tables.push(Ast::leaf_with(NodeKind::Table, Literal::str(name)))
-                }
-                _ => return Err(self.error_here("expected table name in FROM clause")),
-            }
+            tables.push(self.parse_table_ref()?);
             if !self.eat_symbol(",") {
                 break;
             }
         }
         Ok(Ast::new(NodeKind::From, tables))
+    }
+
+    fn parse_table_ref(&mut self) -> Result<Ast> {
+        match self.advance().kind {
+            TokenKind::Ident(name) => Ok(Ast::leaf_with(NodeKind::Table, Literal::str(name))),
+            _ => Err(self.error_here("expected table name in FROM clause")),
+        }
+    }
+
+    /// Parse `BY expr [, expr]*` after a consumed `GROUP` keyword.
+    fn parse_group_by_tail(&mut self) -> Result<Ast> {
+        self.expect_keyword("BY")?;
+        let mut cols = vec![self.parse_expr()?];
+        while self.eat_symbol(",") {
+            cols.push(self.parse_expr()?);
+        }
+        Ok(Ast::new(NodeKind::GroupBy, cols))
+    }
+
+    /// Parse `BY item [, item]*` after a consumed `ORDER` keyword.
+    fn parse_order_by_tail(&mut self) -> Result<Ast> {
+        self.expect_keyword("BY")?;
+        let mut items = vec![self.parse_order_item()?];
+        while self.eat_symbol(",") {
+            items.push(self.parse_order_item()?);
+        }
+        Ok(Ast::new(NodeKind::OrderBy, items))
     }
 
     fn parse_order_item(&mut self) -> Result<Ast> {
@@ -457,6 +535,296 @@ impl Parser {
                 }
             }
             _ => Err(self.error_here("expected an expression")),
+        }
+    }
+
+    // --- Lenient parsing -------------------------------------------------------------
+    //
+    // The lenient entry points mirror the strict ones clause for clause, calling the same
+    // strict sub-parsers for every construct. On clean input no recovery branch is ever
+    // taken, so the lenient result is bit-identical to the strict one; on malformed input
+    // each failed clause records its diagnostic and the parser re-synchronises at the
+    // next clause boundary (a top-level clause keyword, `;`, or end of input), skipping
+    // balanced parentheses as an opaque unit so subquery-internal junk cannot desync the
+    // outer statement.
+
+    /// Lenient counterpart of [`Parser::parse_statement`]: never fails, records
+    /// diagnostics into `errors`, and returns the recovered statement if any.
+    pub fn parse_statement_lenient(&mut self, errors: &mut Vec<SyntaxError>) -> Option<Ast> {
+        if !self.peek().is_keyword("SELECT") && !self.peek().is_keyword("WITH") {
+            errors.push(SyntaxError::new(
+                "expected SELECT or WITH",
+                self.peek().offset,
+            ));
+            // Sync forward to the first statement keyword; pure junk has none.
+            while !matches!(self.peek().kind, TokenKind::Eof)
+                && !self.peek().is_keyword("SELECT")
+                && !self.peek().is_keyword("WITH")
+            {
+                self.advance();
+            }
+            if matches!(self.peek().kind, TokenKind::Eof) {
+                return None;
+            }
+        }
+        if self.peek().is_keyword("WITH") {
+            self.parse_with_lenient(errors)
+        } else {
+            self.parse_select_lenient(errors)
+        }
+    }
+
+    fn parse_with_lenient(&mut self, errors: &mut Vec<SyntaxError>) -> Option<Ast> {
+        if let Err(e) = self.expect_keyword("WITH") {
+            errors.push(e.into());
+            return None;
+        }
+        let mut ctes = Vec::new();
+        loop {
+            match self.parse_cte() {
+                Ok(cte) => ctes.push(cte),
+                Err(e) => {
+                    errors.push(e.into());
+                    self.sync_to_cte_boundary();
+                }
+            }
+            if !self.eat_symbol(",") {
+                break;
+            }
+        }
+        if !self.peek().is_keyword("SELECT") {
+            errors.push(SyntaxError::new(
+                "expected SELECT body after WITH clause",
+                self.peek().offset,
+            ));
+            return None;
+        }
+        let body = self.parse_select_lenient(errors)?;
+        if ctes.is_empty() {
+            // Every CTE was unrecoverable: a bare `With` wrapper would not reparse, so
+            // the recovered statement is just the body.
+            return Some(body);
+        }
+        ctes.push(body);
+        Some(Ast::new(NodeKind::With, ctes))
+    }
+
+    fn parse_select_lenient(&mut self, errors: &mut Vec<SyntaxError>) -> Option<Ast> {
+        if let Err(e) = self.expect_keyword("SELECT") {
+            errors.push(e.into());
+            return None;
+        }
+
+        let mut top: Option<Ast> = None;
+        if self.eat_keyword("TOP") {
+            match self.parse_number_literal() {
+                Ok(count) => top = Some(Ast::new(NodeKind::Top, vec![count])),
+                // Drop the TOP and fall through to the projection.
+                Err(e) => errors.push(e.into()),
+            }
+        }
+
+        let distinct = self.eat_keyword("DISTINCT");
+        let project = self.parse_projection_lenient(distinct, errors)?;
+
+        if !self.eat_keyword("FROM") {
+            errors.push(SyntaxError::new(
+                "expected keyword FROM",
+                self.peek().offset,
+            ));
+            self.sync_to_clause_boundary(false);
+            if !self.eat_keyword("FROM") {
+                return None;
+            }
+        }
+        let from = self.parse_from_lenient(errors)?;
+
+        let mut children = vec![project, from];
+
+        if self.eat_keyword("WHERE") {
+            match self.parse_expr() {
+                Ok(pred) => children.push(Ast::new(NodeKind::Where, vec![pred])),
+                Err(e) => {
+                    errors.push(e.into());
+                    self.sync_to_clause_boundary(false);
+                }
+            }
+        }
+
+        if self.eat_keyword("GROUP") {
+            match self.parse_group_by_tail() {
+                Ok(group) => children.push(group),
+                Err(e) => {
+                    errors.push(e.into());
+                    self.sync_to_clause_boundary(false);
+                }
+            }
+        }
+
+        if self.eat_keyword("HAVING") {
+            match self.parse_expr() {
+                Ok(pred) => children.push(Ast::new(NodeKind::Having, vec![pred])),
+                Err(e) => {
+                    errors.push(e.into());
+                    self.sync_to_clause_boundary(false);
+                }
+            }
+        }
+
+        if self.eat_keyword("ORDER") {
+            match self.parse_order_by_tail() {
+                Ok(order) => children.push(order),
+                Err(e) => {
+                    errors.push(e.into());
+                    self.sync_to_clause_boundary(false);
+                }
+            }
+        }
+
+        if self.eat_keyword("LIMIT") {
+            match self.parse_number_literal() {
+                Ok(count) => {
+                    if top.is_some() {
+                        errors.push(SyntaxError::new(
+                            "query has both TOP and LIMIT",
+                            self.peek().offset,
+                        ));
+                    } else {
+                        top = Some(Ast::new(NodeKind::Top, vec![count]));
+                    }
+                }
+                Err(e) => {
+                    errors.push(e.into());
+                    self.sync_to_clause_boundary(false);
+                }
+            }
+        }
+
+        if let Some(t) = top {
+            children.push(t);
+        }
+
+        Some(Ast::new(NodeKind::Select, children))
+    }
+
+    fn parse_projection_lenient(
+        &mut self,
+        distinct: bool,
+        errors: &mut Vec<SyntaxError>,
+    ) -> Option<Ast> {
+        let mut items = Vec::new();
+        if distinct {
+            items.push(Ast::leaf(NodeKind::Distinct));
+        }
+        loop {
+            match self.parse_proj_item() {
+                Ok(item) => items.push(item),
+                Err(e) => {
+                    errors.push(e.into());
+                    self.sync_to_clause_boundary(true);
+                }
+            }
+            if !self.eat_symbol(",") {
+                break;
+            }
+        }
+        if items.iter().any(|i| i.kind() == NodeKind::ProjItem) {
+            Some(Ast::new(NodeKind::Project, items))
+        } else {
+            // A SELECT with no recoverable projection item has no usable statement.
+            None
+        }
+    }
+
+    fn parse_from_lenient(&mut self, errors: &mut Vec<SyntaxError>) -> Option<Ast> {
+        let mut tables = Vec::new();
+        loop {
+            match self.parse_table_ref() {
+                Ok(table) => tables.push(table),
+                Err(e) => {
+                    errors.push(e.into());
+                    self.sync_to_clause_boundary(true);
+                }
+            }
+            if !self.eat_symbol(",") {
+                break;
+            }
+        }
+        if tables.is_empty() {
+            None
+        } else {
+            Some(Ast::new(NodeKind::From, tables))
+        }
+    }
+
+    /// Skip tokens until the next top-level clause boundary: a clause keyword, `;`, or
+    /// end of input — and, when `stop_at_comma` holds, a top-level `,` (list recovery).
+    /// Parenthesised spans are skipped as balanced units.
+    fn sync_to_clause_boundary(&mut self, stop_at_comma: bool) {
+        let mut depth = 0usize;
+        loop {
+            let kind = self.peek().kind.clone();
+            match kind {
+                TokenKind::Eof => return,
+                TokenKind::Symbol(ref s) if s == "(" => {
+                    depth += 1;
+                    self.advance();
+                }
+                TokenKind::Symbol(ref s) if s == ")" => {
+                    if depth == 0 {
+                        // An unmatched closer: consume it as junk and keep scanning.
+                        self.advance();
+                    } else {
+                        depth -= 1;
+                        self.advance();
+                    }
+                }
+                _ if depth > 0 => {
+                    self.advance();
+                }
+                TokenKind::Symbol(ref s) if s == ";" => return,
+                TokenKind::Symbol(ref s) if s == "," && stop_at_comma => return,
+                TokenKind::Keyword(ref k)
+                    if matches!(
+                        k.as_str(),
+                        "FROM" | "WHERE" | "GROUP" | "HAVING" | "ORDER" | "LIMIT"
+                    ) =>
+                {
+                    return
+                }
+                _ => {
+                    self.advance();
+                }
+            }
+        }
+    }
+
+    /// Skip tokens until the next CTE-list boundary: a top-level `,`, the body `SELECT`,
+    /// `;`, or end of input.
+    fn sync_to_cte_boundary(&mut self) {
+        let mut depth = 0usize;
+        loop {
+            let kind = self.peek().kind.clone();
+            match kind {
+                TokenKind::Eof => return,
+                TokenKind::Symbol(ref s) if s == "(" => {
+                    depth += 1;
+                    self.advance();
+                }
+                TokenKind::Symbol(ref s) if s == ")" => {
+                    depth = depth.saturating_sub(1);
+                    self.advance();
+                }
+                _ if depth > 0 => {
+                    self.advance();
+                }
+                TokenKind::Symbol(ref s) if s == ";" => return,
+                TokenKind::Symbol(ref s) if s == "," => return,
+                TokenKind::Keyword(ref k) if k == "SELECT" => return,
+                _ => {
+                    self.advance();
+                }
+            }
         }
     }
 }
@@ -682,5 +1050,151 @@ mod tests {
         let item = &ast.children()[0].children()[0];
         assert_eq!(item.children()[1].kind(), NodeKind::Alias);
         assert_eq!(item.children()[1].value().unwrap().as_str(), Some("n"));
+    }
+
+    // --- Lenient parsing -------------------------------------------------------------
+
+    #[test]
+    fn lenient_is_bit_identical_to_strict_on_clean_input() {
+        for sql in [
+            "SELECT Sales FROM sales WHERE cty = 'USA'",
+            "select top 10 objid from stars where u between 0 and 30 and g between 0 and 30",
+            "select distinct cty, sum(sales) as total from sales where year >= 2010 \
+             group by cty having sum(sales) > 5 order by total desc limit 10",
+            "with a as (select x from t), b as (select y from u) select x from a where x > 1",
+            "select name from products where price > (select avg(price) from products)",
+            "select x from t;",
+        ] {
+            let strict = parse_query(sql).unwrap();
+            let lenient = parse_query_lenient(sql);
+            assert!(
+                lenient.is_clean(),
+                "diagnostics on clean input `{sql}`: {:?}",
+                lenient.errors
+            );
+            assert_eq!(
+                lenient.ast,
+                Some(strict),
+                "lenient AST diverged for `{sql}`"
+            );
+        }
+    }
+
+    #[test]
+    fn lenient_recovers_bad_where_clause() {
+        let out = parse_query_lenient("select x from t where ??? order by x desc");
+        let ast = out.ast.expect("statement should be recovered");
+        assert!(!out.errors.is_empty());
+        // WHERE dropped; Project, From, OrderBy kept.
+        let kinds: Vec<NodeKind> = ast.children().iter().map(|c| c.kind()).collect();
+        assert_eq!(
+            kinds,
+            vec![NodeKind::Project, NodeKind::From, NodeKind::OrderBy]
+        );
+    }
+
+    #[test]
+    fn lenient_recovers_bad_projection_item() {
+        let out = parse_query_lenient("select , x from t");
+        let ast = out.ast.expect("statement should be recovered");
+        assert_eq!(out.errors.len(), 1);
+        assert_eq!(ast.children()[0].children().len(), 1);
+    }
+
+    #[test]
+    fn lenient_survives_lexer_junk() {
+        let out = parse_query_lenient("select x from t where a = @@@");
+        assert!(out.ast.is_some());
+        assert!(out.errors.iter().any(|e| e.message.contains('@')));
+    }
+
+    #[test]
+    fn lenient_unusable_input_reports_without_ast() {
+        for sql in ["", "   ", "42 + 1", "from where group", "select from t"] {
+            let out = parse_query_lenient(sql);
+            assert!(
+                out.ast.is_none(),
+                "no statement should be recovered from `{sql}`"
+            );
+            assert!(!out.errors.is_empty(), "errors required for `{sql}`");
+        }
+    }
+
+    #[test]
+    fn lenient_drops_unrecoverable_cte_but_keeps_body() {
+        let out = parse_query_lenient("with a as select x from t select y from u");
+        let ast = out.ast.expect("body should be recovered");
+        assert!(!out.errors.is_empty());
+        // No usable CTE: the recovered statement is the body select alone.
+        assert_eq!(ast.kind(), NodeKind::Select);
+    }
+
+    #[test]
+    fn lenient_keeps_good_ctes_next_to_bad_ones() {
+        let out = parse_query_lenient("with a as (select x from t), ??? as (y) select x from a");
+        let ast = out.ast.expect("statement should be recovered");
+        assert_eq!(ast.kind(), NodeKind::With);
+        let ctes: Vec<_> = ast
+            .children()
+            .iter()
+            .filter(|c| c.kind() == NodeKind::Cte)
+            .collect();
+        assert_eq!(ctes.len(), 1);
+        assert_eq!(ctes[0].value().unwrap().as_str(), Some("a"));
+    }
+
+    #[test]
+    fn lenient_trailing_junk_is_diagnosed_not_fatal() {
+        let out = parse_query_lenient("select x from t where a = 1 select z");
+        assert!(out.ast.is_some());
+        assert!(out
+            .errors
+            .iter()
+            .any(|e| e.message.contains("trailing input")));
+    }
+
+    #[test]
+    fn lenient_recovered_ast_round_trips_through_strict_parser() {
+        for sql in [
+            "select x from t where ???",
+            "select , x from t order by x",
+            "select x from t where a = @@@ group by x",
+            "with a as select x from t select y from u",
+            "select x from t where a = 'unterminated",
+            "select top zzz x from t limit 5",
+        ] {
+            let out = parse_query_lenient(sql);
+            if let Some(ast) = out.ast {
+                let printed = crate::printer::print_query(&ast);
+                let reparsed = parse_query(&printed).unwrap_or_else(|e| {
+                    panic!("recovered AST for `{sql}` printed unparseable SQL `{printed}`: {e}")
+                });
+                assert_eq!(ast, reparsed, "recovered round trip changed for `{sql}`");
+            }
+        }
+    }
+
+    #[test]
+    fn lenient_strict_agreement_on_acceptance() {
+        // The quarantine policy hinges on this: an input is clean for the lenient parser
+        // exactly when the strict parser accepts it.
+        for sql in [
+            "select x from t",
+            "select x from t where",
+            "select top 5 x from t limit 10",
+            "select x from t garbage after",
+            "with base as (select region from sales) select region from base",
+            "with base as select x",
+            "???",
+        ] {
+            let strict_ok = parse_query(sql).is_ok();
+            let lenient = parse_query_lenient(sql);
+            assert_eq!(
+                strict_ok,
+                lenient.is_clean(),
+                "acceptance mismatch for `{sql}`: strict_ok={strict_ok}, errors={:?}",
+                lenient.errors
+            );
+        }
     }
 }

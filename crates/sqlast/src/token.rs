@@ -21,6 +21,11 @@ pub enum TokenKind {
     Str(String),
     /// An operator or punctuation symbol, e.g. `=`, `<=`, `(`, `,`, `*`.
     Symbol(String),
+    /// A span the lexer could not tokenize; the payload is the diagnostic message.
+    ///
+    /// Only produced by [`tokenize_lenient`] — the strict [`tokenize`] turns the first
+    /// error token into a [`ParseError`] instead.
+    Error(String),
     /// End of input marker.
     Eof,
 }
@@ -65,7 +70,25 @@ fn is_ident_continue(c: char) -> bool {
 }
 
 /// Tokenize the given SQL text into a vector of tokens terminated by [`TokenKind::Eof`].
+///
+/// Fails on the first malformed span (unknown character, unterminated string, numeric
+/// overflow). This is [`tokenize_lenient`] with the first [`TokenKind::Error`] token
+/// promoted to a hard [`ParseError`]; both scanners see identical token streams up to
+/// that point.
 pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let tokens = tokenize_lenient(input);
+    for token in &tokens {
+        if let TokenKind::Error(message) = &token.kind {
+            return Err(ParseError::new(message.clone(), token.offset));
+        }
+    }
+    Ok(tokens)
+}
+
+/// Tokenize without ever failing: malformed spans become [`TokenKind::Error`] tokens
+/// carrying their diagnostic message, and scanning continues after them. The stream is
+/// still terminated by [`TokenKind::Eof`], so downstream recovery always has an anchor.
+pub fn tokenize_lenient(input: &str) -> Vec<Token> {
     let bytes: Vec<char> = input.chars().collect();
     let mut tokens = Vec::with_capacity(input.len() / 4 + 4);
     let mut i = 0usize;
@@ -115,15 +138,21 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
             }
             let text: String = bytes[i..j].iter().collect();
             if saw_dot || saw_exp {
-                let value: f64 = text.parse().map_err(|_| {
-                    ParseError::new(format!("invalid float literal `{text}`"), start)
-                })?;
-                tokens.push(Token::new(TokenKind::Float(value), start));
+                match text.parse::<f64>() {
+                    Ok(value) => tokens.push(Token::new(TokenKind::Float(value), start)),
+                    Err(_) => tokens.push(Token::new(
+                        TokenKind::Error(format!("invalid float literal `{text}`")),
+                        start,
+                    )),
+                }
             } else {
-                let value: i64 = text.parse().map_err(|_| {
-                    ParseError::new(format!("invalid integer literal `{text}`"), start)
-                })?;
-                tokens.push(Token::new(TokenKind::Int(value), start));
+                match text.parse::<i64>() {
+                    Ok(value) => tokens.push(Token::new(TokenKind::Int(value), start)),
+                    Err(_) => tokens.push(Token::new(
+                        TokenKind::Error(format!("invalid integer literal `{text}`")),
+                        start,
+                    )),
+                }
             }
             i = j;
         } else if c == '\'' || c == '"' {
@@ -146,41 +175,42 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 value.push(bytes[j]);
                 j += 1;
             }
-            if !closed {
-                return Err(ParseError::new("unterminated string literal", start));
+            if closed {
+                tokens.push(Token::new(TokenKind::Str(value), start));
+            } else {
+                tokens.push(Token::new(
+                    TokenKind::Error("unterminated string literal".to_string()),
+                    start,
+                ));
             }
-            tokens.push(Token::new(TokenKind::Str(value), start));
             i = j;
         } else {
             // Multi-char operators first.
             let two: String = bytes[i..bytes.len().min(i + 2)].iter().collect();
-            let sym = match two.as_str() {
+            match two.as_str() {
                 "<=" | ">=" | "<>" | "!=" => {
                     i += 2;
-                    two
+                    tokens.push(Token::new(TokenKind::Symbol(two), start));
                 }
-                _ => {
-                    let s = c.to_string();
-                    match c {
-                        '=' | '<' | '>' | '(' | ')' | ',' | '*' | '+' | '-' | '/' | '%' | ';' => {
-                            i += 1;
-                            s
-                        }
-                        _ => {
-                            return Err(ParseError::new(
-                                format!("unexpected character `{c}`"),
-                                start,
-                            ))
-                        }
+                _ => match c {
+                    '=' | '<' | '>' | '(' | ')' | ',' | '*' | '+' | '-' | '/' | '%' | ';' => {
+                        i += 1;
+                        tokens.push(Token::new(TokenKind::Symbol(c.to_string()), start));
                     }
-                }
-            };
-            tokens.push(Token::new(TokenKind::Symbol(sym), start));
+                    _ => {
+                        i += 1;
+                        tokens.push(Token::new(
+                            TokenKind::Error(format!("unexpected character `{c}`")),
+                            start,
+                        ));
+                    }
+                },
+            }
         }
     }
 
     tokens.push(Token::new(TokenKind::Eof, input.len()));
-    Ok(tokens)
+    tokens
 }
 
 #[cfg(test)]
@@ -295,5 +325,44 @@ mod tests {
     #[test]
     fn empty_input_yields_only_eof() {
         assert_eq!(kinds("   "), vec![TokenKind::Eof]);
+    }
+
+    #[test]
+    fn lenient_lexer_turns_junk_into_error_tokens() {
+        let tokens = tokenize_lenient("SELECT @x FROM t");
+        let kinds: Vec<TokenKind> = tokens.iter().map(|t| t.kind.clone()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TokenKind::Keyword("SELECT".into()),
+                TokenKind::Error("unexpected character `@`".into()),
+                TokenKind::Ident("x".into()),
+                TokenKind::Keyword("FROM".into()),
+                TokenKind::Ident("t".into()),
+                TokenKind::Eof,
+            ]
+        );
+        assert_eq!(tokens[1].offset, 7);
+    }
+
+    #[test]
+    fn lenient_lexer_survives_unterminated_string_and_overflow() {
+        let tokens = tokenize_lenient("99999999999999999999 'oops");
+        assert!(matches!(tokens[0].kind, TokenKind::Error(ref m) if m.contains("integer")));
+        assert!(matches!(tokens[1].kind, TokenKind::Error(ref m) if m.contains("unterminated")));
+        assert_eq!(tokens.last().unwrap().kind, TokenKind::Eof);
+    }
+
+    #[test]
+    fn strict_lexer_reports_first_lenient_error() {
+        let err = tokenize("SELECT ~ FROM $").unwrap_err();
+        assert_eq!(err.offset, 7);
+        assert!(err.message.contains('~'));
+    }
+
+    #[test]
+    fn lenient_matches_strict_on_clean_input() {
+        let sql = "select top 10 objid from stars where u between 0 and 30";
+        assert_eq!(tokenize(sql).unwrap(), tokenize_lenient(sql));
     }
 }

@@ -337,6 +337,137 @@ impl CorpusLog {
             .iter()
             .any(|s| s.contains("(select") || s.starts_with("with "))
     }
+
+    /// Splice seeded noise into some of the session's queries: the malformed-input side
+    /// of the fuzz ladder. Returns the degraded SQL log plus the (sorted) indices that
+    /// were mutated. At least one query is always left untouched, so a triaged log keeps
+    /// a healthy remainder; deterministic in `(self, op, seed)`.
+    pub fn with_noise(&self, op: NoiseOp, seed: u64) -> (Vec<String>, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x4E4F_4953 ^ self.spec.family.salt());
+        let mut sql = self.sql.clone();
+        let max_hits = self.len().saturating_sub(1).clamp(1, 3);
+        let hits = rng.gen_range(1usize..=max_hits);
+        // Fisher-Yates prefix: `hits` distinct target indices.
+        let mut targets: Vec<usize> = (0..self.len()).collect();
+        for i in 0..hits {
+            let j = rng.gen_range(i..targets.len());
+            targets.swap(i, j);
+        }
+        let mut mutated = targets[..hits].to_vec();
+        mutated.sort_unstable();
+        for &i in &mutated {
+            sql[i] = apply_noise(&sql[i], op, rng.gen());
+        }
+        (sql, mutated)
+    }
+}
+
+/// A seeded malformed-input mutation: each op models one way real query logs degrade
+/// (truncated exports, binary garbage, fat-fingered keywords, lost punctuation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NoiseOp {
+    /// Cut the statement off at a random byte (a truncated log export).
+    Truncate,
+    /// Splice a short run of garbage bytes into the statement.
+    ByteSplice,
+    /// Misspell one SQL keyword.
+    KeywordSwap,
+    /// Drop one delimiter character (paren, comma, quote).
+    DelimiterDrop,
+}
+
+impl NoiseOp {
+    /// Every noise op, in the order `fuzzdiff --noise` sweeps them.
+    pub const ALL: [NoiseOp; 4] = [
+        NoiseOp::Truncate,
+        NoiseOp::ByteSplice,
+        NoiseOp::KeywordSwap,
+        NoiseOp::DelimiterDrop,
+    ];
+
+    /// Short stable name used in noisy regression lines (`family:seed:op`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            NoiseOp::Truncate => "truncate",
+            NoiseOp::ByteSplice => "splice",
+            NoiseOp::KeywordSwap => "keyword",
+            NoiseOp::DelimiterDrop => "delimiter",
+        }
+    }
+
+    /// Parse an op name (as produced by [`NoiseOp::name`]).
+    pub fn parse(name: &str) -> Option<NoiseOp> {
+        Self::ALL.into_iter().find(|op| op.name() == name)
+    }
+}
+
+impl std::fmt::Display for NoiseOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Apply one seeded noise mutation to a statement. Total: always returns *some* string
+/// (possibly still parseable — the lenient front end decides), never panics, and is
+/// deterministic in `(sql, op, seed)`.
+pub fn apply_noise(sql: &str, op: NoiseOp, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    match op {
+        NoiseOp::Truncate => {
+            if sql.len() <= 1 {
+                return String::new();
+            }
+            let mut cut = rng.gen_range(1..sql.len());
+            while !sql.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            sql[..cut].to_string()
+        }
+        NoiseOp::ByteSplice => {
+            let garbage = ["@@", "#?", "\u{1b}[2J", "%%~", "\u{0}\u{1}"];
+            let g = garbage[rng.gen_range(0..garbage.len())];
+            let mut at = rng.gen_range(0..=sql.len());
+            while !sql.is_char_boundary(at) {
+                at -= 1;
+            }
+            format!("{}{}{}", &sql[..at], g, &sql[at..])
+        }
+        NoiseOp::KeywordSwap => {
+            const TYPOS: [(&str, &str); 6] = [
+                ("select", "selct"),
+                ("from", "form"),
+                ("where", "wher"),
+                ("group by", "gruop by"),
+                ("order by", "ordre by"),
+                ("between", "betwen"),
+            ];
+            let hits: Vec<(usize, &str, &str)> = TYPOS
+                .iter()
+                .filter_map(|&(kw, typo)| sql.find(kw).map(|at| (at, kw, typo)))
+                .collect();
+            if hits.is_empty() {
+                // No keyword to damage (already-degraded input): splice instead so the
+                // op stays total.
+                return apply_noise(sql, NoiseOp::ByteSplice, seed ^ 1);
+            }
+            let (at, kw, typo) = hits[rng.gen_range(0..hits.len())];
+            format!("{}{typo}{}", &sql[..at], &sql[at + kw.len()..])
+        }
+        NoiseOp::DelimiterDrop => {
+            let delims: Vec<usize> = sql
+                .char_indices()
+                .filter(|&(_, c)| matches!(c, '(' | ')' | ',' | '\'' | ' '))
+                .map(|(i, _)| i)
+                .collect();
+            if delims.is_empty() {
+                return apply_noise(sql, NoiseOp::ByteSplice, seed ^ 1);
+            }
+            let at = delims[rng.gen_range(0..delims.len())];
+            let mut out = sql.to_string();
+            out.remove(at);
+            out
+        }
+    }
 }
 
 /// One predicate of a drifting session query.
@@ -450,9 +581,10 @@ impl Draft {
             let p = random_pred(family, schema, rng);
             draft.preds.push(p);
         }
-        // Family flavour of the opening query. The CTE decision is per-session: a log
-        // that mixes `WITH` and plain roots diffs to a single opaque root choice the rule
-        // engine cannot factor, so drift re-aims the CTE filter rather than toggling it.
+        // Family flavour of the opening query. Drift may later toggle the CTE on or off
+        // mid-session: mixed `WITH`/plain roots are factored per-label by `Any2All`'s
+        // subgroup bindings, so the difftree keeps its structure (the snowflake:268
+        // regression pins this).
         match family {
             SchemaFamily::Star => {
                 if rng.gen_bool(0.15) {
@@ -560,18 +692,22 @@ impl Draft {
                     };
                 }
                 _ => {
-                    // Dialect drift: re-aim the session's CTE filter (presence itself is
-                    // fixed per session, see `initial`), or toggle the scalar-subquery
-                    // benchmark predicate.
+                    // Dialect drift: re-aim, drop or introduce the session's CTE (mixed
+                    // `WITH`/plain roots factor cleanly, see `initial`), or toggle the
+                    // scalar-subquery benchmark predicate.
                     let cte_p = if family == SchemaFamily::Snowflake {
                         0.6
                     } else {
                         0.15
                     };
-                    if self.cte.is_some() && rng.gen_bool(cte_p) {
-                        if let Some((_, pred)) = &mut self.cte {
-                            *pred = random_plain_pred(schema, rng);
-                        }
+                    if rng.gen_bool(cte_p) {
+                        self.cte = match self.cte.take() {
+                            Some((name, _)) if rng.gen_bool(0.6) => {
+                                Some((name, random_plain_pred(schema, rng)))
+                            }
+                            Some(_) => None,
+                            None => Some(("base".to_string(), random_plain_pred(schema, rng))),
+                        };
                     } else if self
                         .preds
                         .iter()
@@ -913,6 +1049,58 @@ mod tests {
         assert_eq!(CorpusSpec::parse_name("corpus:nope:42"), None);
         assert_eq!(CorpusSpec::parse_name("corpus:star:notanumber"), None);
         assert_eq!(CorpusSpec::parse_name("fig6a-wide"), None);
+    }
+
+    #[test]
+    fn drift_mixes_cte_and_plain_roots_somewhere() {
+        // The relaxed drift must actually produce sessions that mix `WITH`-rooted and
+        // plain-rooted queries — the shape the Any2All subgroup factoring exists for.
+        let mixed = (0..60).any(|seed| {
+            let log = CorpusSpec::new(SchemaFamily::Snowflake, seed).generate();
+            let with = log.sql.iter().filter(|s| s.starts_with("with ")).count();
+            with > 0 && with < log.len()
+        });
+        assert!(mixed, "no mixed-root snowflake session in 60 seeds");
+    }
+
+    #[test]
+    fn noise_ops_are_deterministic_total_and_named() {
+        for op in NoiseOp::ALL {
+            assert_eq!(NoiseOp::parse(op.name()), Some(op));
+            for seed in 0..40u64 {
+                let sql = "select region, sum(revenue) from fact_sales \
+                           where region = 'EU' and year between 2018 and 2020 group by region";
+                let a = apply_noise(sql, op, seed);
+                let b = apply_noise(sql, op, seed);
+                assert_eq!(a, b, "{op}:{seed} not deterministic");
+                assert_ne!(a, sql, "{op}:{seed} was a no-op");
+            }
+            // Total on degenerate inputs too.
+            for degenerate in ["", "x", "@@", "??"] {
+                let _ = apply_noise(degenerate, op, 3);
+            }
+        }
+        assert_eq!(NoiseOp::parse("nope"), None);
+    }
+
+    #[test]
+    fn noisy_sessions_keep_a_healthy_remainder() {
+        for family in SchemaFamily::ALL {
+            for seed in 0..5 {
+                let log = CorpusSpec::new(family, seed).generate();
+                for op in NoiseOp::ALL {
+                    let (sql, mutated) = log.with_noise(op, seed * 31 + 7);
+                    let (again, mutated_again) = log.with_noise(op, seed * 31 + 7);
+                    assert_eq!((&sql, &mutated), (&again, &mutated_again));
+                    assert_eq!(sql.len(), log.len());
+                    assert!(!mutated.is_empty() && mutated.len() < log.len());
+                    for (i, s) in sql.iter().enumerate() {
+                        let touched = mutated.contains(&i);
+                        assert_eq!(s != &log.sql[i], touched, "{family}:{seed}:{op} slot {i}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

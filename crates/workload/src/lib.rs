@@ -18,7 +18,7 @@ pub mod scenario;
 pub mod sdss;
 pub mod synthetic;
 
-pub use corpus::{CorpusLog, CorpusSchema, CorpusSpec, SchemaFamily};
+pub use corpus::{apply_noise, CorpusLog, CorpusSchema, CorpusSpec, NoiseOp, SchemaFamily};
 pub use scenario::{Scenario, ScenarioId};
 pub use sdss::{sdss_listing1, sdss_listing1_sql, sdss_subset};
 pub use synthetic::{LogSpec, SyntheticLog};

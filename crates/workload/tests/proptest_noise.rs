@@ -1,0 +1,83 @@
+//! Property-based tests for the malformed-input side of the fuzz ladder.
+//!
+//! Two invariants back the degraded-input pipeline: the lenient SQL front end is total
+//! (no corpus query, under any noise op and seed, makes it panic — and its verdict always
+//! agrees with the strict parser), and on clean input it is bit-identical to the strict
+//! path.
+
+use proptest::prelude::*;
+
+use mctsui_sql::{parse_query, parse_query_lenient, print_query};
+use mctsui_workload::corpus::{apply_noise, CorpusSpec, NoiseOp, SchemaFamily};
+
+fn spec() -> impl Strategy<Value = CorpusSpec> {
+    (
+        prop_oneof![
+            Just(SchemaFamily::Star),
+            Just(SchemaFamily::Snowflake),
+            Just(SchemaFamily::Log),
+        ],
+        0i64..500,
+    )
+        .prop_map(|(family, seed)| CorpusSpec::new(family, seed as u64))
+}
+
+fn noise_op() -> impl Strategy<Value = NoiseOp> {
+    prop_oneof![
+        Just(NoiseOp::Truncate),
+        Just(NoiseOp::ByteSplice),
+        Just(NoiseOp::KeywordSwap),
+        Just(NoiseOp::DelimiterDrop),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn noise_never_panics_the_lenient_front_end(
+        spec in spec(),
+        op in noise_op(),
+        noise in 0u64..1_000_000,
+    ) {
+        // Every query of the session, damaged by every seedable mutation, must flow
+        // through the lenient front end without panicking, and the lenient verdict must
+        // match the strict parser's acceptance exactly.
+        let log = spec.generate();
+        for sql in &log.sql {
+            let noisy = apply_noise(sql, op, noise);
+            let lenient = parse_query_lenient(&noisy);
+            match parse_query(&noisy) {
+                Ok(strict) => {
+                    prop_assert!(
+                        lenient.is_clean(),
+                        "{}:{op}: `{noisy}` strict-parses but lenient found {:?}",
+                        spec.scenario_name(),
+                        lenient.errors
+                    );
+                    prop_assert_eq!(lenient.ast.as_ref(), Some(&strict));
+                }
+                Err(_) => {
+                    prop_assert!(
+                        !lenient.is_clean(),
+                        "{}:{op}: `{noisy}` fails strict parse but lenient is clean",
+                        spec.scenario_name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lenient_is_bit_identical_to_strict_on_clean_corpus(spec in spec()) {
+        let log = spec.generate();
+        for sql in &log.sql {
+            let strict = parse_query(sql).expect("corpus SQL is always strictly parseable");
+            let lenient = parse_query_lenient(sql);
+            prop_assert!(lenient.is_clean(), "{}: `{sql}` not clean", spec.scenario_name());
+            let ast = lenient.ast.expect("clean parse has an AST");
+            prop_assert_eq!(&ast, &strict);
+            prop_assert_eq!(print_query(&ast), print_query(&strict));
+        }
+    }
+}

@@ -40,6 +40,7 @@ fn main() {
             session,
             best,
             interface,
+            ..
         } => {
             println!(
                 "\nsession {session}: {} widgets, cost {:.2} after {} iterations",

@@ -8,7 +8,8 @@
 //!
 //! One-shot mode reads one SQL query per line (or `;`-separated statements) from
 //! QUERY_FILE, or from stdin when no file is given. Lines starting with `--` or `#` are
-//! ignored.
+//! ignored. Malformed queries are quarantined with a warning (the interface is generated
+//! from the healthy remainder) rather than aborting the run.
 //!
 //! ONE-SHOT OPTIONS:
 //!   --screen <wide|narrow|WxH>   target screen (default: wide = 1200x800)
@@ -40,6 +41,8 @@
 //!   --max-frame <bytes>          request line-length cap (default: 1048576)
 //!   --fault-plan <spec>          inject deterministic faults, e.g.
 //!                                "panic@3,drop@2,evalfail@5,evaldelay@7:50,expire@9"
+//!   --strict                     reject logs containing malformed queries instead of
+//!                                quarantining them and serving the healthy remainder
 //!
 //! CLIENT OPTIONS:
 //!   --addr <host:port>           server address (default: 127.0.0.1:7878)
@@ -66,7 +69,7 @@ use mctsui::serve::{
     run_concurrent_sessions, run_resume_session, Client, FaultPlan, Request, Response,
     ScriptConfig, ServeConfig, ServeEngine,
 };
-use mctsui::sql::{parse_query, print_query, Ast};
+use mctsui::sql::{print_query, Ast};
 use mctsui::widgets::Screen;
 use mctsui::workload::{sdss_listing1, sdss_listing1_sql, Scenario};
 
@@ -185,6 +188,7 @@ fn serve_main(args: Vec<String>) -> ExitCode {
                 Some(Err(e)) => return usage_error(&format!("bad --fault-plan: {e}")),
                 None => return usage_error("--fault-plan needs a spec"),
             },
+            "--strict" => config = config.with_strict(),
             other => return usage_error(&format!("unknown serve option `{other}`")),
         }
     }
@@ -207,6 +211,9 @@ fn serve_main(args: Vec<String>) -> ExitCode {
     }
     if engine.config().fault.is_some() {
         eprintln!("fault injection active (deterministic chaos plan)");
+    }
+    if engine.config().strict {
+        eprintln!("strict admission: logs with malformed queries are rejected, not quarantined");
     }
     let result = mctsui::serve::serve(engine, &addr, |bound| {
         eprintln!("listening on {bound} (NDJSON protocol; send \"Shutdown\" to stop)");
@@ -367,6 +374,14 @@ fn client_main(args: Vec<String>) -> ExitCode {
                 String::new()
             }
         );
+        // Degraded admission: the server quarantined some queries instead of rejecting
+        // the log. Surface each diagnostic instead of dying — the session still ran.
+        for d in &report.diagnostics {
+            eprintln!(
+                "  quarantined query {} at byte {}: {}",
+                d.index, d.offset, d.message
+            );
+        }
         if script.persist {
             println!("session={}", report.session);
         }
@@ -615,13 +630,26 @@ fn load_queries(options: &mut Options) -> Result<Vec<Ast>, String> {
     parse_query_log(&text)
 }
 
-/// Split a text into statements (one per line or `;`-separated) and parse each.
+/// Split a text into statements (one per line or `;`-separated) and triage each: healthy
+/// queries feed the generator, malformed ones are quarantined with a warning. Only a log
+/// with no healthy query at all is an error.
 fn parse_query_log(text: &str) -> Result<Vec<Ast>, String> {
-    split_statements(text)
-        .map(|statement| {
-            parse_query(statement).map_err(|e| format!("failed to parse `{statement}`: {e}"))
-        })
-        .collect()
+    let sources: Vec<&str> = split_statements(text).collect();
+    let log = mctsui::core::TriagedLog::from_sources(&sources);
+    for d in log.diagnostics() {
+        eprintln!(
+            "warning: quarantined query {} at byte {}: {}",
+            d.index, d.offset, d.message
+        );
+    }
+    let healthy = log.healthy();
+    if healthy.is_empty() && !sources.is_empty() {
+        return Err(format!(
+            "all {} queries failed to parse; nothing to analyse",
+            sources.len()
+        ));
+    }
+    Ok(healthy)
 }
 
 /// Split a query-log text into statements: one per line or `;`-separated, comment lines
