@@ -1,24 +1,26 @@
 //! `expfig`: regenerate the paper's figures and quantitative claims as terminal tables.
 //!
 //! ```text
-//! cargo run --release -p mctsui-bench --bin expfig -- [all|fig6|stats|convergence|strategies|baseline|hyper|scaling|evalbench|actionbench|searchbench|servebench|shardbench] [iterations]
+//! cargo run --release -p mctsui-bench --bin expfig -- [all|fig6|stats|convergence|strategies|baseline|hyper|scaling|evalbench|actionbench|searchbench|servebench|shardbench|appendbench] [iterations]
 //! ```
 //!
 //! The optional `iterations` argument sets the MCTS budget per run (default 800; the numbers
 //! recorded in `EXPERIMENTS.md` use the default). Output is deterministic for a fixed budget.
 //!
-//! `evalbench` / `actionbench` / `searchbench` / `servebench` / `shardbench` additionally
-//! append their rows to `BENCH_eval.json` / `BENCH_actions.json` / `BENCH_search.json` /
-//! `BENCH_serve.json` / `BENCH_shard.json` in the working directory (JSON lines, encoded
-//! with the workspace serde shim — the same encoding the serve responses use); they are
-//! excluded from `all` because they write files.
+//! `evalbench` / `actionbench` / `searchbench` / `servebench` / `shardbench` /
+//! `appendbench` additionally append their rows to `BENCH_eval.json` /
+//! `BENCH_actions.json` / `BENCH_search.json` / `BENCH_serve.json` / `BENCH_shard.json` /
+//! `BENCH_append.json` in the working directory (JSON lines, encoded with the workspace
+//! serde shim — the same encoding the serve responses use); they are excluded from `all`
+//! because they write files.
 
 use serde::Serialize;
 
 use mctsui_bench::{
-    action_throughput_report, baseline_report, convergence_report, eval_throughput_report,
-    fig6_report, hyperparameter_report, scaling_report, search_scaling_report, search_space_report,
-    serve_load_report, shard_bench_report, strategy_report, EvalThroughputRow,
+    action_throughput_report, append_bench_report, baseline_report, convergence_report,
+    eval_throughput_report, fig6_report, hyperparameter_report, scaling_report,
+    search_scaling_report, search_space_report, serve_load_report, shard_bench_report,
+    strategy_report, EvalThroughputRow,
 };
 use mctsui_mcts::Budget;
 use mctsui_render::render_ascii;
@@ -70,6 +72,9 @@ fn main() {
     }
     if which == "shardbench" {
         shardbench(seed);
+    }
+    if which == "appendbench" {
+        appendbench(seed);
     }
 }
 
@@ -480,6 +485,57 @@ fn shardbench(seed: u64) {
     }
 
     append_json_lines("BENCH_shard.json", &rows);
+}
+
+fn appendbench(seed: u64) {
+    header("IS13 — live log maintenance: O(change) append vs O(log) re-derive");
+    println!("per drift query: maintained graft (append+retract pair, steady state) vs");
+    println!("full `initial_difftree` + expressibility re-derive over the grown log\n");
+
+    let rows: Vec<_> = mctsui_workload::SchemaFamily::ALL
+        .iter()
+        .flat_map(|&family| append_bench_report(family, seed, 16))
+        .collect();
+
+    println!(
+        "{:<28} {:>8} {:>16} {:>15} {:>8}",
+        "benchmark", "log len", "maintained ns", "rederive ns", "ratio"
+    );
+    for row in &rows {
+        println!(
+            "{:<28} {:>8} {:>16.0} {:>15.0} {:>7.1}x",
+            row.benchmark.trim_start_matches("live_append/"),
+            row.log_len,
+            row.maintained_ns,
+            row.rederive_ns,
+            row.rederive_ns / row.maintained_ns.max(1e-9)
+        );
+    }
+
+    // The headline: along each family's drift run the maintained cost should stay flat
+    // while the re-derive cost grows with the log.
+    for family in mctsui_workload::SchemaFamily::ALL {
+        let run: Vec<_> = rows.iter().filter(|r| r.family == family.name()).collect();
+        if let (Some(first), Some(last)) = (run.first(), run.last()) {
+            println!(
+                "\n{}: maintained {:.0} -> {:.0} ns ({:.2}x) while re-derive {:.0} -> {:.0} ns \
+                 ({:.2}x) over appends {} -> {} (log {} -> {})",
+                family.name(),
+                first.maintained_ns,
+                last.maintained_ns,
+                last.maintained_ns / first.maintained_ns.max(1e-9),
+                first.rederive_ns,
+                last.rederive_ns,
+                last.rederive_ns / first.rederive_ns.max(1e-9),
+                first.append_index,
+                last.append_index,
+                first.log_len,
+                last.log_len
+            );
+        }
+    }
+
+    append_json_lines("BENCH_append.json", &rows);
 }
 
 fn scaling(seed: u64) {

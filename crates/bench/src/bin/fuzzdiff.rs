@@ -3,8 +3,8 @@
 //! ```text
 //! cargo run --release -p mctsui-bench --bin fuzzdiff -- \
 //!     [--families all|star,snowflake,log] [--seeds LO..HI] \
-//!     [--oracles all|actions,reward,search,serve,snapshot,noise] \
-//!     [--noise] [--append <path>] [--verbose]
+//!     [--oracles all|actions,reward,search,serve,snapshot,noise,append] \
+//!     [--noise] [--jobs N] [--append <path>] [--verbose]
 //! ```
 //!
 //! Every `(family, seed)` scenario in the sweep is generated and run through the selected
@@ -18,6 +18,11 @@
 //! replays). Exit status is non-zero on any failure, or when a sweep of 20+ seeds over
 //! all families never produces a scalar subquery or CTE — the dialect-coverage guard of
 //! the corpus itself.
+//!
+//! `--jobs N` shards the sweep over `N` worker threads. Scenarios are independent, and
+//! every scenario's result is fully determined by its `(family, seed[, op])` key, so the
+//! sharded sweep reports exactly what the serial sweep would: workers claim scenarios by
+//! index stride and results are merged back into sweep order before aggregation.
 
 use std::collections::BTreeMap;
 use std::ops::Range;
@@ -31,6 +36,7 @@ struct Options {
     seeds: Range<u64>,
     oracles: Vec<Oracle>,
     noise: bool,
+    jobs: usize,
     append: Option<String>,
     verbose: bool,
 }
@@ -38,8 +44,8 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: fuzzdiff [--families all|star,snowflake,log] [--seeds LO..HI] \
-         [--oracles all|actions,reward,search,serve,snapshot,noise] [--noise] \
-         [--append <path>] [--verbose]"
+         [--oracles all|actions,reward,search,serve,snapshot,noise,append] [--noise] \
+         [--jobs N] [--append <path>] [--verbose]"
     );
     std::process::exit(2)
 }
@@ -50,6 +56,7 @@ fn parse_options() -> Options {
         seeds: 0..50,
         oracles: Oracle::ALL.to_vec(),
         noise: false,
+        jobs: 1,
         append: None,
         verbose: false,
     };
@@ -96,6 +103,14 @@ fn parse_options() -> Options {
                 }
             }
             "--noise" => options.noise = true,
+            "--jobs" => {
+                let value = args.next().unwrap_or_else(|| usage());
+                options.jobs = value
+                    .trim()
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| usage())
+                    .max(1);
+            }
             "--append" => options.append = Some(args.next().unwrap_or_else(|| usage())),
             "--verbose" => options.verbose = true,
             "--help" | "-h" => usage(),
@@ -151,55 +166,102 @@ fn main() -> ExitCode {
         );
     }
 
+    if options.jobs > 1 {
+        println!("sharded over {} worker threads", options.jobs);
+    }
+
     // Oracle panics are expected to be caught and reported; keep the default hook's
     // backtrace spam out of sweep output.
     let default_hook = std::panic::take_hook();
     std::panic::set_hook(Box::new(|_| {}));
 
     let started = std::time::Instant::now();
+
+    // The sweep as a flat, deterministically ordered work list: every unit is independent
+    // and fully determined by its `(family, seed[, op])` key, so it can be sharded across
+    // `--jobs` worker threads and merged back into sweep order without changing a single
+    // reported byte relative to the serial sweep.
+    let units: Vec<(CorpusSpec, Option<NoiseOp>)> = options
+        .families
+        .iter()
+        .flat_map(|&family| {
+            let seeds = options.seeds.clone();
+            seeds.flat_map(move |seed| {
+                let spec = CorpusSpec::new(family, seed);
+                if options.noise {
+                    NoiseOp::ALL
+                        .iter()
+                        .map(|&op| (spec, Some(op)))
+                        .collect::<Vec<_>>()
+                } else {
+                    vec![(spec, None)]
+                }
+            })
+        })
+        .collect();
+    let run_unit = |(spec, op): (CorpusSpec, Option<NoiseOp>)| match op {
+        Some(op) => run_noise_scenario(spec, op),
+        None => run_scenario(spec, &options.oracles),
+    };
+    let jobs = options.jobs.min(units.len().max(1));
+    let outcomes: Vec<_> = if jobs <= 1 {
+        units.iter().copied().map(run_unit).collect()
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..jobs)
+                .map(|worker| {
+                    let units = &units;
+                    let run_unit = &run_unit;
+                    scope.spawn(move || {
+                        units
+                            .iter()
+                            .enumerate()
+                            .skip(worker)
+                            .step_by(jobs)
+                            .map(|(index, &unit)| (index, run_unit(unit)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            let mut indexed: Vec<_> = handles
+                .into_iter()
+                .flat_map(|handle| handle.join().expect("fuzz worker thread panicked"))
+                .collect();
+            indexed.sort_by_key(|(index, _)| *index);
+            indexed.into_iter().map(|(_, outcome)| outcome).collect()
+        })
+    };
+
     let mut failures: Vec<String> = Vec::new();
     let mut oracle_failures: BTreeMap<&'static str, usize> = BTreeMap::new();
     let mut subquery_logs = 0usize;
     let mut cte_logs = 0usize;
     let mut queries_total = 0usize;
-    for &family in &options.families {
-        for seed in options.seeds.clone() {
-            let spec = CorpusSpec::new(family, seed);
-            let outcomes: Vec<_> = if options.noise {
-                NoiseOp::ALL
-                    .into_iter()
-                    .map(|op| run_noise_scenario(spec, op))
-                    .collect()
-            } else {
-                vec![run_scenario(spec, &options.oracles)]
-            };
-            for outcome in outcomes {
-                queries_total += outcome.queries;
-                subquery_logs += usize::from(outcome.has_subquery);
-                cte_logs += usize::from(outcome.has_cte);
-                let label = match outcome.op {
-                    Some(op) => format!("{}:{op}", outcome.spec.scenario_name()),
-                    None => outcome.spec.scenario_name(),
-                };
-                if !outcome.passed() {
-                    for (oracle, message) in &outcome.failures {
-                        *oracle_failures.entry(oracle).or_default() += 1;
-                        eprintln!("FAIL {label}: [{oracle}] {message}");
-                    }
-                    failures.push(outcome.regression_line());
-                } else if options.verbose {
-                    println!(
-                        "ok {label} ({} queries{}{})",
-                        outcome.queries,
-                        if outcome.has_subquery {
-                            ", subquery"
-                        } else {
-                            ""
-                        },
-                        if outcome.has_cte { ", cte" } else { "" },
-                    );
-                }
+    for outcome in outcomes {
+        queries_total += outcome.queries;
+        subquery_logs += usize::from(outcome.has_subquery);
+        cte_logs += usize::from(outcome.has_cte);
+        let label = match outcome.op {
+            Some(op) => format!("{}:{op}", outcome.spec.scenario_name()),
+            None => outcome.spec.scenario_name(),
+        };
+        if !outcome.passed() {
+            for (oracle, message) in &outcome.failures {
+                *oracle_failures.entry(oracle).or_default() += 1;
+                eprintln!("FAIL {label}: [{oracle}] {message}");
             }
+            failures.push(outcome.regression_line());
+        } else if options.verbose {
+            println!(
+                "ok {label} ({} queries{}{})",
+                outcome.queries,
+                if outcome.has_subquery {
+                    ", subquery"
+                } else {
+                    ""
+                },
+                if outcome.has_cte { ", cte" } else { "" },
+            );
         }
     }
     std::panic::set_hook(default_hook);

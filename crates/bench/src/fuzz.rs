@@ -1,7 +1,7 @@
 //! Differential fuzz harness: the oracle ladder run over the generated scenario corpus.
 //!
 //! Each corpus scenario (`corpus:<family>:<seed>`, see `mctsui_workload::corpus`) is swept
-//! through five differential oracles, each pinning an optimised path against its slow
+//! through seven differential oracles, each pinning an optimised path against its slow
 //! reference implementation **bit-for-bit**:
 //!
 //! 1. **actions** — `RuleEngine::applicable` (incremental action index) against
@@ -19,6 +19,11 @@
 //!    session, asserting no panic anywhere, strict/lenient quarantine agreement per slot,
 //!    and that the degraded session generates bit-identically to the same session with
 //!    the noisy queries removed before submission.
+//! 7. **append** — the live-maintenance rung: the session replayed one append at a time
+//!    (corpus log + drift continuation + a seeded malformed splice) through the
+//!    incrementally maintained tree, checked bit-identical to a full `initial_difftree`
+//!    re-derive at every prefix and after seeded random retracts, plus one
+//!    search-from-final-state bit-identity check.
 //!
 //! Failures are already minimal — a `(family, seed)` pair (plus a noise op for rung 6)
 //! reproduces them — and are appended to the checked-in regression corpus
@@ -55,17 +60,21 @@ pub enum Oracle {
     /// Malformed-input parity: lenient-vs-strict front end on clean input, plus
     /// quarantined-session-vs-pre-cleaned-session generation under every noise op.
     Noise,
+    /// Live-maintenance parity: the append/retract-maintained tree against a full
+    /// `initial_difftree` re-derive at every log prefix and after seeded random retracts.
+    Append,
 }
 
 impl Oracle {
     /// Every oracle, in ladder order.
-    pub const ALL: [Oracle; 6] = [
+    pub const ALL: [Oracle; 7] = [
         Oracle::Actions,
         Oracle::Reward,
         Oracle::Search,
         Oracle::Serve,
         Oracle::Snapshot,
         Oracle::Noise,
+        Oracle::Append,
     ];
 
     /// Stable name used on the `fuzzdiff` command line.
@@ -77,6 +86,7 @@ impl Oracle {
             Oracle::Serve => "serve",
             Oracle::Snapshot => "snapshot",
             Oracle::Noise => "noise",
+            Oracle::Append => "append",
         }
     }
 
@@ -93,6 +103,7 @@ impl Oracle {
             Oracle::Serve => oracle_serve(scenario, seed),
             Oracle::Snapshot => oracle_snapshot(scenario, seed),
             Oracle::Noise => oracle_noise(scenario, seed),
+            Oracle::Append => oracle_append(scenario, seed),
         }
     }
 }
@@ -521,6 +532,117 @@ fn noise_check(
              (cost {:?} vs {:?})",
             degraded.cost, pre_cleaned.cost
         ));
+    }
+    Ok(())
+}
+
+/// Oracle 7: the live-maintenance rung. The session is replayed one append at a time
+/// through [`LiveLog`](mctsui_core::LiveLog) — the corpus log, its drift continuation
+/// (what that synthetic analyst would ask next), and one seeded malformed splice — and at
+/// every prefix the maintained tree must be bit-identical to a full `initial_difftree`
+/// re-derive: same fingerprint, same applicable-action set, same expressibility memo. A
+/// burst of seeded random retracts then shrinks the log with the same invariant held at
+/// every step, and a search seeded from the final maintained tree must run bit-identically
+/// to one seeded from the re-derived tree.
+fn oracle_append(scenario: &Scenario, seed: u64) -> Result<(), String> {
+    use mctsui_core::LiveLog;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let spec = CorpusSpec::parse_name(&scenario.name).ok_or_else(|| {
+        format!(
+            "{}: the append oracle needs a corpus scenario",
+            scenario.name
+        )
+    })?;
+    let (log, drift) = spec.generate_with_appends(3);
+    let mut sources: Vec<String> = log.sql.clone();
+    sources.extend(drift);
+    // One malformed splice at a seeded position: a quarantined slot must occupy a log
+    // position without ever touching the maintained tree.
+    let splice_at = (seed as usize) % (sources.len() + 1);
+    sources.insert(splice_at, "SELEC ?? deliberately broken".to_string());
+
+    let engine = RuleEngine::default();
+    let mut live = LiveLog::new();
+    for (i, source) in sources.iter().enumerate() {
+        live.append_source(source);
+        check_maintained(&live, &engine).map_err(|e| format!("after append {i}: {e}"))?;
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x00AE_9D5C_0FFE_E15E);
+    for step in 0..4 {
+        if live.is_empty() {
+            break;
+        }
+        let index = rng.gen_range(0..live.len());
+        live.retract(index)
+            .map_err(|e| format!("retract step {step}: {e}"))?;
+        check_maintained(&live, &engine)
+            .map_err(|e| format!("after retract {step} (index {index}): {e}"))?;
+    }
+
+    let healthy = live.healthy();
+    if healthy.is_empty() {
+        return Ok(());
+    }
+    let problem_over = |tree: mctsui_difftree::DiffTree| {
+        Arc::new(InterfaceSearchProblem::new(
+            healthy.clone(),
+            tree,
+            RuleEngine::default(),
+            scenario.screen,
+            CostWeights::default(),
+            2,
+        ))
+    };
+    let mut from_maintained = SearchHandle::new(
+        problem_over(live.difftree().clone()),
+        fuzz_mcts(scenario, seed),
+    );
+    from_maintained.run_for(SliceBudget::iterations(30));
+    let mut from_rederived = SearchHandle::new(
+        problem_over(initial_difftree(&healthy)),
+        fuzz_mcts(scenario, seed),
+    );
+    from_rederived.run_for(SliceBudget::iterations(30));
+    if handle_key(&from_maintained) != handle_key(&from_rederived) {
+        return Err(format!(
+            "search from maintained tree {:?} vs re-derived tree {:?}",
+            handle_key(&from_maintained),
+            handle_key(&from_rederived)
+        ));
+    }
+    Ok(())
+}
+
+/// The maintained-vs-re-derive contract at one log state: tree fingerprint, applicable
+/// actions (index and scan both run over the maintained tree elsewhere — here the
+/// maintained and re-derived trees must yield the same set), and expressibility memo.
+fn check_maintained(live: &mctsui_core::LiveLog, engine: &RuleEngine) -> Result<(), String> {
+    use mctsui_difftree::derive::express_entries;
+
+    let healthy = live.healthy();
+    let reference = initial_difftree(&healthy);
+    if live.difftree().fingerprint() != reference.fingerprint() {
+        return Err(format!(
+            "maintained fingerprint {:#x} vs re-derive {:#x} ({} healthy, {} quarantined)",
+            live.difftree().fingerprint(),
+            reference.fingerprint(),
+            live.healthy_len(),
+            live.quarantined_len()
+        ));
+    }
+    let maintained_actions = engine.applicable(live.difftree());
+    let rederived_actions = engine.applicable(&reference);
+    if maintained_actions != rederived_actions {
+        return Err(format!(
+            "maintained tree has {} applicable actions, re-derive {}",
+            maintained_actions.len(),
+            rederived_actions.len()
+        ));
+    }
+    if live.maintained().assignments() != express_entries(live.difftree().root(), live.entries()) {
+        return Err("maintained expressibility memo diverged from express_entries".to_string());
     }
     Ok(())
 }

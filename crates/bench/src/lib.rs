@@ -997,6 +997,89 @@ pub fn shard_bench_report(
     }
 }
 
+/// One row of the live-maintenance latency curve (experiment IS13): the cost of applying
+/// one more drift append to a session log that has grown to `log_len` entries, via the
+/// O(change) maintained tree against the O(log) from-scratch re-derive it replaces.
+#[derive(Debug, Clone, Serialize)]
+pub struct AppendBenchRow {
+    /// `live_append/<family>:<seed>/append<i>` — JSON-lines label.
+    pub benchmark: String,
+    /// Corpus family the session log was generated from.
+    pub family: String,
+    /// Corpus seed.
+    pub seed: u64,
+    /// Length of the corpus's base log (before any drift append).
+    pub base_len: usize,
+    /// Zero-based index of the drift append being applied.
+    pub append_index: usize,
+    /// Log length after this append.
+    pub log_len: usize,
+    /// Median ns for the maintained path: graft the append's leaf and patch the
+    /// expressibility memo, then undo it with a retract (both O(change); the retract keeps
+    /// the measured tree at steady state without a clone inside the timed loop).
+    pub maintained_ns: f64,
+    /// Median ns for the path it replaces: re-derive `initial_difftree` plus the full
+    /// expressibility memo (`express_entries`) over the whole grown log.
+    pub rederive_ns: f64,
+}
+
+/// Measure the IS13 live-maintenance curve for one corpus session: generate the corpus
+/// log plus `appends` drift continuations, and at each append compare the incremental
+/// graft (append + undoing retract, both O(change)) against the full re-derive of tree
+/// and expressibility memo over the grown log. As the log grows, `rederive_ns` must grow
+/// with it while `maintained_ns` stays flat — that is the subsystem's contract.
+pub fn append_bench_report(
+    family: mctsui_workload::SchemaFamily,
+    seed: u64,
+    appends: usize,
+) -> Vec<AppendBenchRow> {
+    use mctsui_difftree::derive::express_entries;
+    use mctsui_difftree::{initial_difftree, LogEntry, MaintainedTree};
+    use mctsui_workload::CorpusSpec;
+
+    let spec = CorpusSpec::new(family, seed);
+    let (log, drift) = spec.generate_with_appends(appends);
+    let parse = |sql: &String| mctsui_sql::parse_query(sql).expect("corpus sql parses");
+    let base: Vec<Ast> = log.sql.iter().map(parse).collect();
+    let drift: Vec<Ast> = drift.iter().map(parse).collect();
+
+    let mut maintained =
+        MaintainedTree::from_entries(base.iter().cloned().map(LogEntry::Parsed).collect());
+    let mut grown = base.clone();
+    let mut rows = Vec::with_capacity(drift.len());
+    for (append_index, ast) in drift.into_iter().enumerate() {
+        grown.push(ast.clone());
+        let entries: Vec<LogEntry> = grown.iter().cloned().map(LogEntry::Parsed).collect();
+
+        let incremental = time_evals("maintained", || {
+            maintained.append_query(ast.clone());
+            let fp = maintained.tree().fingerprint();
+            maintained
+                .retract_query(maintained.len() - 1)
+                .expect("undo the timed append");
+            std::hint::black_box(fp);
+        });
+        let rederive = time_evals("rederive", || {
+            let tree = initial_difftree(&grown);
+            std::hint::black_box(express_entries(tree.root(), &entries).len());
+        });
+
+        // Now apply the append for real so the next round measures a longer log.
+        maintained.append_query(ast);
+        rows.push(AppendBenchRow {
+            benchmark: format!("live_append/{}:{seed}/append{append_index}", family.name()),
+            family: family.name().to_string(),
+            seed,
+            base_len: base.len(),
+            append_index,
+            log_len: grown.len(),
+            maintained_ns: incremental.median_ns,
+            rederive_ns: rederive.median_ns,
+        });
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

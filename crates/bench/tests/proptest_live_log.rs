@@ -1,0 +1,166 @@
+//! Property-based tests of live log maintenance over the generated scenario corpus.
+//!
+//! The incremental-maintenance contract, stated as a property: for every corpus family —
+//! including noisy logs whose malformed queries quarantine as `Opaque` entries — **any**
+//! interleaving of appends and retracts leaves the maintained difftree bit-identical to
+//! `initial_difftree` of the final log, with the expressibility memo matching a from-scratch
+//! `express_entries` pass and the rule engine seeing the same applicable actions. The fuzz
+//! ladder's append oracle checks seeded instances of this; these tests walk random
+//! interleavings the sweep never enumerates.
+
+use proptest::prelude::*;
+
+use mctsui_core::LiveLog;
+use mctsui_difftree::derive::express_entries;
+use mctsui_difftree::{initial_difftree, RuleEngine};
+use mctsui_workload::corpus::{CorpusSpec, NoiseOp, SchemaFamily};
+
+/// One step of an interleaving plan: `append` picks the next pooled source, otherwise the
+/// raw index (reduced modulo the live length) names an entry to retract.
+type Step = (bool, usize);
+
+fn spec() -> impl Strategy<Value = CorpusSpec> {
+    (
+        prop_oneof![
+            Just(SchemaFamily::Star),
+            Just(SchemaFamily::Snowflake),
+            Just(SchemaFamily::Log),
+        ],
+        0i64..300,
+    )
+        .prop_map(|(family, seed)| CorpusSpec::new(family, seed as u64))
+}
+
+fn noise() -> impl Strategy<Value = Option<NoiseOp>> {
+    prop_oneof![
+        Just(None),
+        Just(Some(NoiseOp::Truncate)),
+        Just(Some(NoiseOp::ByteSplice)),
+        Just(Some(NoiseOp::KeywordSwap)),
+        Just(Some(NoiseOp::DelimiterDrop)),
+    ]
+}
+
+fn plan() -> impl Strategy<Value = Vec<Step>> {
+    proptest::collection::vec((any::<bool>(), 0usize..64), 1..24)
+}
+
+/// The source pool an interleaving draws appends from: the corpus session plus its drift
+/// continuation, optionally degraded by a seeded noise op (which leaves at least one
+/// query healthy).
+fn source_pool(spec: CorpusSpec, noise: Option<NoiseOp>) -> Vec<String> {
+    let (log, drift) = spec.generate_with_appends(4);
+    let mut pool = match noise {
+        Some(op) => log.with_noise(op, spec.seed ^ 0x11FE).0,
+        None => log.sql.clone(),
+    };
+    pool.extend(drift);
+    pool
+}
+
+/// Walk the plan over a fresh [`LiveLog`], mirroring the surviving sources, and return
+/// `(live, mirror)`. Appends cycle through the pool; retracts reduce modulo the current
+/// length and are skipped while the log is empty.
+fn run_plan(pool: &[String], plan: &[Step]) -> (LiveLog, Vec<String>) {
+    let mut live = LiveLog::new();
+    let mut mirror: Vec<String> = Vec::new();
+    let mut next = 0usize;
+    for &(append, raw) in plan {
+        if append {
+            let source = &pool[next % pool.len()];
+            next += 1;
+            live.append_source(source);
+            // `sources()` reports canonical SQL for healthy entries, raw text for
+            // quarantined ones — mirror whatever the log itself reports for the tail.
+            mirror.push(live.sources().pop().expect("just appended"));
+        } else if !live.is_empty() {
+            let index = raw % live.len();
+            live.retract(index).expect("in-bounds retract");
+            mirror.remove(index);
+        }
+    }
+    (live, mirror)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn any_interleaving_matches_rederivation_of_the_final_log(
+        spec in spec(),
+        noise in noise(),
+        plan in plan(),
+    ) {
+        let pool = source_pool(spec, noise);
+        let (live, mirror) = run_plan(&pool, &plan);
+        let label = spec.scenario_name();
+
+        prop_assert!(live.sources() == mirror, "{}: surviving sources diverged", label);
+
+        // Tree equivalence: the maintained tree is bit-identical to deriving from scratch
+        // over the final healthy log, and the rule engine cannot tell them apart.
+        let reference = initial_difftree(&live.healthy());
+        prop_assert!(
+            live.difftree().fingerprint() == reference.fingerprint(),
+            "{}: maintained tree != re-derived tree after {} steps ({} healthy, {} quarantined)",
+            label,
+            plan.len(),
+            live.healthy_len(),
+            live.quarantined_len()
+        );
+        let engine = RuleEngine::default();
+        prop_assert!(
+            engine.applicable(live.difftree()) == engine.applicable(&reference),
+            "{}: applicable actions diverged",
+            label
+        );
+
+        // Memo equivalence: the incrementally maintained expressibility assignments match
+        // a from-scratch expressibility pass over the same entries.
+        prop_assert!(
+            live.maintained().assignments() == express_entries(live.difftree().root(), live.entries()),
+            "{}: expressibility memo diverged from express_entries",
+            label
+        );
+
+        // Pipeline equivalence: replaying the surviving sources append-only through a
+        // fresh log reproduces the same tree and triage split.
+        let mut replay = LiveLog::new();
+        for source in &mirror {
+            replay.append_source(source);
+        }
+        prop_assert!(
+            replay.healthy_len() == live.healthy_len()
+                && replay.quarantined_len() == live.quarantined_len(),
+            "{}: replay triage split diverged",
+            label
+        );
+        prop_assert!(
+            replay.difftree().fingerprint() == live.difftree().fingerprint(),
+            "{}: append-only replay of the final sources built a different tree",
+            label
+        );
+    }
+
+    #[test]
+    fn retracting_everything_returns_to_the_empty_log(
+        spec in spec(),
+        noise in noise(),
+        plan in plan(),
+    ) {
+        let pool = source_pool(spec, noise);
+        let (mut live, _) = run_plan(&pool, &plan);
+        while !live.is_empty() {
+            // Drain from alternating ends so the spine sees both special cases.
+            let index = if live.len() % 2 == 0 { live.len() - 1 } else { 0 };
+            live.retract(index).expect("in-bounds retract");
+        }
+        prop_assert_eq!(live.healthy_len(), 0);
+        prop_assert_eq!(live.quarantined_len(), 0);
+        prop_assert!(
+            live.difftree().fingerprint() == initial_difftree(&[]).fingerprint(),
+            "{}: drained log is not the empty tree",
+            spec.scenario_name()
+        );
+    }
+}

@@ -25,6 +25,7 @@
 
 pub mod describe;
 pub mod generator;
+pub mod live;
 pub mod problem;
 pub mod search;
 pub mod session;
@@ -33,6 +34,7 @@ pub mod triage;
 
 pub use describe::{ChoiceDescription, InterfaceDescription};
 pub use generator::{GeneratedInterface, GeneratorConfig, InterfaceGenerator, SearchStrategy};
+pub use live::{graft_append, LiveLog};
 pub use problem::InterfaceSearchProblem;
 pub use search::{beam_search, exhaustive_search, greedy_search, random_walk_search};
 pub use session::{InterfaceSession, SessionError};

@@ -22,7 +22,8 @@
 //! * choice-domain descriptors used for widget selection ([`domain`]),
 //! * the initial-state builder ([`builder`]),
 //! * the transformation-rule engine ([`rules`]),
-//! * the incremental action index behind its applicability queries ([`index`]), and
+//! * the incremental action index behind its applicability queries ([`index`]),
+//! * incremental maintenance of the initial tree under log appends/retracts ([`maintain`]), and
 //! * the bounded generational memo cache shared by the long-lived caches ([`cache`]).
 
 pub mod builder;
@@ -30,6 +31,7 @@ pub mod cache;
 pub mod derive;
 pub mod domain;
 pub mod index;
+pub mod maintain;
 pub mod node;
 pub mod rules;
 
@@ -41,5 +43,6 @@ pub use derive::{
 };
 pub use domain::{ChoiceDomain, DomainValueKind};
 pub use index::{ActionIndex, BindingSummary};
+pub use maintain::MaintainedTree;
 pub use node::{DiffKind, DiffNode, DiffPath, DiffTree, Label, LabelId};
 pub use rules::{Rule, RuleApplication, RuleEngine, RuleId};

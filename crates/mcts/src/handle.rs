@@ -27,7 +27,7 @@ use crate::config::MctsConfig;
 use crate::engine::{rollout_walk, select_child, RewardTracePoint, SearchOutcome, SearchStats};
 use crate::problem::SearchProblem;
 use crate::snapshot::HandleSnapshot;
-use crate::tree::SearchTree;
+use crate::tree::{NodeRecord, SearchTree};
 
 /// Bounds of one [`SearchHandle::run_for`] slice. Both limits are optional; whichever is
 /// hit first ends the slice. The handle's own total budget ([`MctsConfig::budget`]) is
@@ -531,6 +531,98 @@ impl<P: SearchProblem> SearchHandle<P> {
             elapsed_millis: snapshot.elapsed_millis,
             exhausted: snapshot.exhausted,
         })
+    }
+
+    /// Re-root the warm search tree onto a *changed* problem instead of discarding it —
+    /// the search half of incremental log maintenance (an appended or retracted query
+    /// changes the problem; the tree the old problem grew is mostly still useful).
+    ///
+    /// `graft` maps an old-problem state to its equivalent new-problem state, or `None`
+    /// when the state has no equivalent (it is then pruned together with its whole
+    /// subtree). The root is always kept and re-seated on `new_problem.initial_state()`.
+    /// Grafted nodes keep their visit counts and accumulated rewards as warm selection
+    /// priors, but their untried-action pools are re-drawn from the new problem (old
+    /// rewards were measured under the old problem, so the best-so-far record is reset to
+    /// a fresh evaluation of the new root — the next slices re-discover the best record
+    /// under the new semantics, warm-started by the grafted priors).
+    ///
+    /// Must be called at quiescence (no leaf pending); returns the number of grafted
+    /// nodes, or an error if leaves are pending. **Convergence invariant** (pinned by
+    /// `tests/rebase.rs` and the serve-level tests): with a deterministic reward function
+    /// and enough budget, a rebased handle reaches the same best record a fresh handle
+    /// over the new problem reaches — rebasing trades none of the answer for the warm
+    /// start.
+    pub fn rebase<F>(&mut self, new_problem: P, graft: F) -> Result<usize, String>
+    where
+        F: Fn(&P::State) -> Option<P::State>,
+    {
+        if self.outstanding_virtual_loss() != 0 {
+            return Err("rebase requires quiescence (no pending leaf)".to_string());
+        }
+        let records = self.tree.export_records();
+        // Old ids are topologically ordered (every parent precedes its children), so one
+        // ascending pass settles keep/prune for the whole tree.
+        let mut remap: Vec<Option<usize>> = vec![None; records.len()];
+        let mut grafted: Vec<NodeRecord<P::State>> = Vec::with_capacity(records.len());
+        let root_state = new_problem.initial_state();
+        for (id, record) in records.into_iter().enumerate() {
+            let new_state = if id == 0 {
+                root_state.clone()
+            } else {
+                let parent_kept = record.parent.is_some_and(|parent| remap[parent].is_some());
+                if !parent_kept {
+                    continue;
+                }
+                match graft(&record.state) {
+                    Some(state) => state,
+                    None => continue,
+                }
+            };
+            remap[id] = Some(grafted.len());
+            let untried = new_problem.action_count(&new_state);
+            grafted.push(NodeRecord {
+                state: new_state,
+                parent: record
+                    .parent
+                    .map(|parent| remap[parent].expect("kept node's parent was kept")),
+                visits: record.visits,
+                total_reward_bits: record.total_reward_bits,
+                // The old problem's action pool (and its Fisher–Yates consumption state)
+                // is meaningless under the new problem: re-open the full fresh pool.
+                untried_remaining: untried,
+                swaps: Vec::new(),
+                children: Vec::new(),
+            });
+        }
+        // Child edges in a second pass, now that every surviving id is known.
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); grafted.len()];
+        for (new_id, record) in grafted.iter().enumerate() {
+            if let Some(parent) = record.parent {
+                children[parent].push(new_id);
+            }
+        }
+        for (record, kids) in grafted.iter_mut().zip(children) {
+            record.children = kids;
+        }
+        let kept = grafted.len();
+        self.tree = SearchTree::from_records(grafted)?;
+
+        // Fresh prologue under the new problem, continuing the handle's rng mid-stream:
+        // the best record restarts from the new root (old rewards are not comparable),
+        // while iteration/evaluation counters keep accumulating across the rebase.
+        let root_reward = new_problem.reward(&root_state, self.rng.gen());
+        self.evaluations += 1;
+        self.best_state = root_state;
+        self.best_reward = root_reward;
+        self.min_reward = root_reward;
+        self.trace.push(RewardTracePoint {
+            iteration: self.iterations,
+            elapsed_millis: self.elapsed_millis,
+            best_reward: root_reward,
+        });
+        self.exhausted = false;
+        self.problem = new_problem;
+        Ok(kept)
     }
 
     /// A snapshot of the run as a [`SearchOutcome`] — the same shape (including the closing

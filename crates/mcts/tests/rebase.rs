@@ -1,0 +1,175 @@
+//! Rebase pins: re-rooting a warm [`SearchHandle`] onto a changed problem must keep the
+//! grafted statistics, prune exactly the stale states, and — the convergence invariant —
+//! reach the same best record a fresh handle over the new problem reaches.
+
+use mctsui_mcts::{Budget, MctsConfig, SearchHandle, SearchProblem, SliceBudget};
+
+/// Deterministic bit-flip: states are monotone bit strings of length `n`, reward is the
+/// exact popcount (no eval-seed jitter, so best records are comparable bit-for-bit across
+/// different rng streams — rebased vs fresh).
+struct BitFlip {
+    n: usize,
+}
+
+impl SearchProblem for BitFlip {
+    type State = Vec<bool>;
+    type Action = usize;
+
+    fn initial_state(&self) -> Self::State {
+        vec![false; self.n]
+    }
+
+    fn actions(&self, state: &Self::State) -> Vec<Self::Action> {
+        state
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| !**b)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn apply(&self, state: &Self::State, action: &Self::Action) -> Option<Self::State> {
+        let mut next = state.clone();
+        if *action >= next.len() || next[*action] {
+            return None;
+        }
+        next[*action] = true;
+        Some(next)
+    }
+
+    fn reward(&self, state: &Self::State, _eval_seed: u64) -> f64 {
+        state.iter().filter(|b| **b).count() as f64
+    }
+}
+
+fn config(iterations: usize, seed: u64) -> MctsConfig {
+    MctsConfig {
+        budget: Budget::Iterations(iterations),
+        rollout_depth: 8,
+        seed,
+        ..MctsConfig::default()
+    }
+}
+
+/// Append analogue: the problem gains one dimension; every old state grafts by growing.
+#[test]
+fn rebased_handle_converges_like_a_fresh_one_after_an_append() {
+    for seed in [3u64, 11, 0xBEEF] {
+        let mut rebased = SearchHandle::new(BitFlip { n: 5 }, config(800, seed));
+        rebased.run_for(SliceBudget::iterations(150));
+        let warm_nodes = rebased.node_count();
+        let kept = rebased
+            .rebase(BitFlip { n: 6 }, |state| {
+                let mut grown = state.clone();
+                grown.push(false);
+                Some(grown)
+            })
+            .expect("rebase at quiescence succeeds");
+        assert_eq!(kept, warm_nodes, "append graft keeps the whole warm tree");
+        assert_eq!(rebased.node_count(), warm_nodes);
+        while !rebased.run_for(SliceBudget::iterations(100)).exhausted {}
+
+        let mut fresh = SearchHandle::new(BitFlip { n: 6 }, config(650, seed ^ 0xA5A5));
+        while !fresh.run_for(SliceBudget::iterations(100)).exhausted {}
+
+        // Deterministic rewards: both must find the unique optimum with identical bits.
+        assert_eq!(rebased.best_state(), &vec![true; 6], "seed {seed}");
+        assert_eq!(fresh.best_state(), &vec![true; 6], "seed {seed}");
+        assert_eq!(
+            rebased.best_reward().to_bits(),
+            fresh.best_reward().to_bits(),
+            "seed {seed}: rebased and fresh best records diverged"
+        );
+    }
+}
+
+/// Retract analogue: the problem loses dimension 0; states that used it are pruned with
+/// their subtrees, survivors shrink and keep their visit statistics.
+#[test]
+fn rebase_prunes_stale_subtrees_and_keeps_warm_statistics() {
+    let mut handle = SearchHandle::new(BitFlip { n: 4 }, config(600, 9));
+    handle.run_for(SliceBudget::iterations(200));
+    let before = handle.node_count();
+
+    let kept = handle
+        .rebase(BitFlip { n: 3 }, |state| {
+            if state[0] {
+                None
+            } else {
+                Some(state[1..].to_vec())
+            }
+        })
+        .expect("rebase at quiescence succeeds");
+    assert_eq!(handle.node_count(), kept);
+    assert!(kept < before, "some explored states used the retracted bit");
+    assert!(kept >= 1, "the root always survives");
+
+    // Every surviving node is a valid new-problem state and the grafted statistics are
+    // the warm prior: visits survive, parents precede children.
+    let snapshot = handle.snapshot();
+    let mut warm_visits = 0u64;
+    for (id, node) in snapshot.nodes.iter().enumerate() {
+        assert_eq!(node.state.len(), 3, "node {id} kept a stale-width state");
+        if let Some(parent) = node.parent {
+            assert!(parent < id);
+        }
+        warm_visits += node.visits;
+    }
+    assert!(warm_visits > 0, "grafted nodes lost their visit counts");
+
+    // The rebased handle still searches to the new optimum.
+    while !handle.run_for(SliceBudget::iterations(100)).exhausted {}
+    assert_eq!(handle.best_state(), &vec![true; 3]);
+    assert_eq!(handle.best_reward(), 3.0);
+}
+
+#[test]
+fn rebase_refuses_to_run_with_a_leaf_pending() {
+    let mut handle = SearchHandle::new(BitFlip { n: 4 }, config(100, 1));
+    handle.run_for(SliceBudget::iterations(10));
+    let leaf = handle.begin_iteration().expect("budget not exhausted");
+    let err = handle
+        .rebase(BitFlip { n: 5 }, |state| Some(state.clone()))
+        .expect_err("rebase mid-iteration must be rejected");
+    assert!(err.contains("quiescence"), "unexpected error: {err}");
+
+    // Settling the leaf restores quiescence; rebase then succeeds.
+    handle.abort_iteration(leaf);
+    handle
+        .rebase(BitFlip { n: 5 }, |state| {
+            let mut grown = state.clone();
+            grown.push(false);
+            Some(grown)
+        })
+        .expect("rebase after abort succeeds");
+}
+
+#[test]
+fn identity_rebase_preserves_the_whole_tree_and_resets_the_best_record() {
+    let mut handle = SearchHandle::new(BitFlip { n: 5 }, config(400, 7));
+    handle.run_for(SliceBudget::iterations(150));
+    let nodes_before = handle.node_count();
+    let iterations_before = handle.iterations();
+    let evaluations_before = handle.evaluations();
+
+    let kept = handle
+        .rebase(BitFlip { n: 5 }, |state| Some(state.clone()))
+        .unwrap();
+    assert_eq!(kept, nodes_before);
+    assert_eq!(
+        handle.iterations(),
+        iterations_before,
+        "work is not forgotten"
+    );
+    assert_eq!(
+        handle.evaluations(),
+        evaluations_before + 1,
+        "rebase evaluates exactly the new root"
+    );
+    // The best record restarts from the new root's reward (the initial all-false state).
+    assert_eq!(handle.best_reward(), 0.0);
+    assert!(!handle.is_exhausted());
+
+    while !handle.run_for(SliceBudget::iterations(100)).exhausted {}
+    assert_eq!(handle.best_state(), &vec![true; 5]);
+}

@@ -209,6 +209,11 @@ pub struct ScriptConfig {
     /// Leave the session open on the server instead of closing it — a later client (or a
     /// restarted server with the same snapshot directory) can `Resume` it by id.
     pub persist: bool,
+    /// Queries to `Append` to the live session after the refine rounds, in order. Each
+    /// append is followed by one refine of the rebased tree (monotonic within that
+    /// lifetime — the append itself legitimately resets the best record, so the
+    /// monotonicity baseline re-anchors on every append).
+    pub appends: Vec<String>,
 }
 
 impl Default for ScriptConfig {
@@ -221,6 +226,7 @@ impl Default for ScriptConfig {
             seed_stride: 1,
             tolerate_faults: false,
             persist: false,
+            appends: Vec::new(),
         }
     }
 }
@@ -245,6 +251,13 @@ pub struct ScriptReport {
     /// Per-query diagnostics the server reported for the submitted log (empty when every
     /// query parsed cleanly). Quarantined queries were excluded from synthesis.
     pub diagnostics: Vec<crate::proto::QueryDiagnostic>,
+    /// Best report after each append's follow-up refine, in order (empty when the script
+    /// configured no appends).
+    pub appended: Vec<BestReport>,
+    /// The session's live-log length as last reported by the server — from the final
+    /// `Appended` response, or from `Stats` when resuming. `None` when the script never
+    /// learned it (no appends, non-resume path).
+    pub log_len: Option<u64>,
 }
 
 impl ScriptReport {
@@ -339,6 +352,19 @@ fn run_strict_session(
         }
     }
 
+    let mut diagnostics = diagnostics;
+    let mut appended = Vec::with_capacity(script.appends.len());
+    let log_len = run_append_rounds(
+        &mut client,
+        session,
+        script,
+        &mut interface,
+        &mut last_reward,
+        &mut latencies,
+        &mut appended,
+        &mut diagnostics,
+    )?;
+
     // Drive the first widget of the final interface, if any.
     let interact_sql = match interface.choices.first() {
         Some(choice) => {
@@ -375,7 +401,89 @@ fn run_strict_session(
         reconnects: 0,
         restarts: 0,
         diagnostics,
+        appended,
+        log_len,
     })
+}
+
+/// Drive the live-log append rounds of a scripted session: for each configured query,
+/// send `Append` (the server triages it leniently, grafts it into the factored tree and
+/// rebases the warm search handle in O(change)), then refine the rebased tree once.
+///
+/// Monotonicity is deliberately re-anchored on every `Appended` response: a rebase resets
+/// the session's best record because rewards before and after a log change are not
+/// comparable — the problem itself changed. Within each post-append lifetime the refine
+/// must still never lose ground, and that is asserted here.
+#[allow(clippy::too_many_arguments)]
+fn run_append_rounds(
+    client: &mut Client,
+    session: u64,
+    script: &ScriptConfig,
+    interface: &mut InterfaceDescription,
+    last_reward: &mut f64,
+    latencies: &mut Vec<u64>,
+    appended: &mut Vec<BestReport>,
+    diagnostics: &mut Vec<crate::proto::QueryDiagnostic>,
+) -> Result<Option<u64>, ClientError> {
+    let mut log_len = None;
+    for (round, query) in script.appends.iter().enumerate() {
+        let started = Instant::now();
+        let response = client.call(&Request::Append {
+            session,
+            query: query.clone(),
+        })?;
+        latencies.push(started.elapsed().as_millis() as u64);
+        match response {
+            Response::Appended {
+                best,
+                interface: described,
+                diagnostics: reported,
+                log_len: reported_len,
+                ..
+            } => {
+                // Rebase reset the best record: re-anchor, don't compare across the edit.
+                *last_reward = best.reward;
+                *interface = described;
+                *diagnostics = reported;
+                log_len = Some(reported_len);
+            }
+            other => {
+                return Err(ClientError::Protocol(format!(
+                    "expected Appended, got {other:?}"
+                )))
+            }
+        }
+        let started = Instant::now();
+        let response = client.call(&Request::Refine {
+            session,
+            iterations: script.iterations,
+            deadline_millis: script.deadline_millis,
+        })?;
+        latencies.push(started.elapsed().as_millis() as u64);
+        match response {
+            Response::Refined {
+                best,
+                interface: described,
+                ..
+            } => {
+                if best.reward < *last_reward {
+                    return Err(ClientError::Invariant(format!(
+                        "refine after append {round} decreased best reward: {} -> {}",
+                        *last_reward, best.reward
+                    )));
+                }
+                *last_reward = best.reward;
+                *interface = described;
+                appended.push(best);
+            }
+            other => {
+                return Err(ClientError::Protocol(format!(
+                    "expected Refined, got {other:?}"
+                )))
+            }
+        }
+    }
+    Ok(log_len)
 }
 
 /// Recovery budget of the tolerant driver: total reconnect/restart/retry events one
@@ -547,12 +655,27 @@ fn run_tolerant_session(
     }
 
     let session_id = session.expect("script completed, session live");
-    let interface = interface.expect("script completed, interface seen");
+    let mut interface = interface.expect("script completed, interface seen");
     let initial = initial.expect("script completed, initial recorded");
+
+    // Append rounds run strictly even in tolerant mode: the rebase contract (re-anchored
+    // monotonicity per post-append lifetime) is an invariant worth failing on, and the
+    // chaos harness scripts no appends.
+    let connected = client.as_mut().expect("script completed, client live");
+    let mut appended = Vec::with_capacity(script.appends.len());
+    let log_len = run_append_rounds(
+        connected,
+        session_id,
+        script,
+        &mut interface,
+        &mut last_reward,
+        &mut latencies,
+        &mut appended,
+        &mut diagnostics,
+    )?;
 
     // Interaction and close are best-effort in tolerant mode: the search contract was
     // already verified, and a fault here must not fail the whole scripted session.
-    let connected = client.as_mut().expect("script completed, client live");
     let interact_sql = interface.choices.first().and_then(|choice| {
         let action = action_for_choice(choice);
         match connected.call(&Request::Interact {
@@ -578,6 +701,8 @@ fn run_tolerant_session(
         reconnects,
         restarts,
         diagnostics,
+        appended,
+        log_len,
     })
 }
 
@@ -642,6 +767,34 @@ pub fn run_resume_session(
         }
     }
 
+    // The resumed session's log survived the snapshot round-trip in full (healthy and
+    // quarantined entries alike); report its length from `Stats` so callers can assert
+    // that appends made before the restart are still there.
+    let mut diagnostics = Vec::new();
+    let mut appended = Vec::with_capacity(script.appends.len());
+    run_append_rounds(
+        &mut client,
+        session,
+        script,
+        &mut interface,
+        &mut last_reward,
+        &mut latencies,
+        &mut appended,
+        &mut diagnostics,
+    )?;
+    let log_len = match client.call(&Request::Stats)? {
+        Response::Stats(stats) => stats
+            .session_logs
+            .iter()
+            .find(|entry| entry.session == session)
+            .map(|entry| entry.entries),
+        other => {
+            return Err(ClientError::Protocol(format!(
+                "expected Stats, got {other:?}"
+            )))
+        }
+    };
+
     let interact_sql = match interface.choices.first() {
         Some(choice) => {
             let action = action_for_choice(choice);
@@ -676,8 +829,9 @@ pub fn run_resume_session(
         latencies_millis: latencies,
         reconnects: 0,
         restarts: 0,
-        // A resumed session carries no admission diagnostics (they are not snapshotted).
-        diagnostics: Vec::new(),
+        diagnostics,
+        appended,
+        log_len,
     })
 }
 

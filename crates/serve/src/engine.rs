@@ -59,16 +59,19 @@ use std::time::{Duration, Instant};
 use rustc_hash::{FxHashMap, FxHasher};
 
 use mctsui_core::{
-    InterfaceDescription, InterfaceSearchProblem, InterfaceSession, SessionError, TriagedLog,
+    graft_append, InterfaceDescription, InterfaceSearchProblem, InterfaceSession, LiveLog,
+    SessionError, TriagedLog,
 };
 use mctsui_cost::{ContextCacheStats, CostWeights};
-use mctsui_difftree::{simplified_difftree, CacheCounters, DiffPath, DiffTree, RuleEngine};
+use mctsui_difftree::{
+    simplified_difftree, CacheCounters, DiffPath, DiffTree, LogEntry, RuleEngine,
+};
 use mctsui_mcts::{Budget, MctsConfig, PendingLeaf, SearchHandle};
 use mctsui_sql::{parse_query, print_query, Ast};
 use mctsui_widgets::Screen;
 
 use crate::fault::{EvalFault, FaultPlan};
-use crate::proto::{BestReport, EngineStatsReport, QueryDiagnostic, WidgetAction};
+use crate::proto::{BestReport, EngineStatsReport, QueryDiagnostic, SessionLogStat, WidgetAction};
 use crate::snapshot::{SessionSnapshot, SnapshotStore, SNAPSHOT_FORMAT_VERSION};
 
 /// Configuration of a [`ServeEngine`].
@@ -339,10 +342,28 @@ pub struct SynthesisResult {
     pub diagnostics: Vec<QueryDiagnostic>,
 }
 
+/// The result of a live log edit ([`ServeEngine::append`] / [`ServeEngine::retract`]):
+/// the session's anytime answer over the updated problem, plus the updated log's shape.
+#[derive(Debug, Clone)]
+pub struct LogEditResult {
+    /// The anytime answer (no new search was run; `refine` continues the rebased tree).
+    pub result: SynthesisResult,
+    /// Total log length after the edit (quarantined slots included).
+    pub log_len: u64,
+    /// Healthy queries after the edit.
+    pub healthy_len: u64,
+    /// Quarantined slots after the edit.
+    pub quarantined_len: u64,
+}
+
 /// One live session: the warm search handle plus interaction state.
 struct Session {
     problem: Arc<InterfaceSearchProblem>,
     handle: SearchHandle<Arc<InterfaceSearchProblem>>,
+    /// The session's live query log under incremental maintenance: appends and retracts
+    /// update the log's difftree in O(change), and `sources()` is the snapshot format
+    /// (quarantined slots included, so they survive a restart round trip).
+    log: LiveLog,
     /// Whether a window of pending leaves is currently in flight for this session.
     /// Windows serialise per session (the barrier is what makes the search stream a
     /// function of `(seed, batch)` alone), so a work item that finds this set rotates to
@@ -623,6 +644,12 @@ struct Shared {
     reaped_sessions: AtomicU64,
     /// Queries quarantined at admission across every served `synthesize`.
     quarantined_queries: AtomicU64,
+    /// Queries appended to live sessions (healthy and quarantined alike).
+    appended_queries: AtomicU64,
+    /// Log entries retracted from live sessions.
+    retracted_queries: AtomicU64,
+    /// Warm search trees re-rooted onto an updated problem by a live append or retract.
+    rebased_handles: AtomicU64,
 }
 
 /// The multi-session anytime synthesis engine. See the module docs for the architecture.
@@ -678,6 +705,9 @@ impl ServeEngine {
             sessions_resumed: AtomicU64::new(0),
             reaped_sessions: AtomicU64::new(0),
             quarantined_queries: AtomicU64::new(0),
+            appended_queries: AtomicU64::new(0),
+            retracted_queries: AtomicU64::new(0),
+            rebased_handles: AtomicU64::new(0),
             config,
         });
         let mut workers = Vec::with_capacity(threads + 1);
@@ -706,7 +736,15 @@ impl ServeEngine {
         deadline_millis: u64,
         seed: u64,
     ) -> Result<SynthesisResult, ServeError> {
-        self.synthesize_with_diagnostics(queries, Vec::new(), iterations, deadline_millis, seed)
+        let log = LiveLog::from_asts(queries.clone());
+        self.synthesize_with_diagnostics(
+            queries,
+            log,
+            Vec::new(),
+            iterations,
+            deadline_millis,
+            seed,
+        )
     }
 
     /// [`ServeEngine::synthesize`] over a triaged (possibly degraded) log. Healthy queries
@@ -744,6 +782,7 @@ impl ServeEngine {
             .collect();
         self.synthesize_with_diagnostics(
             log.healthy(),
+            LiveLog::from_triaged(log),
             diagnostics,
             iterations,
             deadline_millis,
@@ -754,6 +793,7 @@ impl ServeEngine {
     fn synthesize_with_diagnostics(
         &self,
         queries: Vec<Ast>,
+        log: LiveLog,
         diagnostics: Vec<QueryDiagnostic>,
         iterations: u64,
         deadline_millis: u64,
@@ -789,6 +829,7 @@ impl ServeEngine {
         let session = Arc::new(Mutex::new(Session {
             problem,
             handle,
+            log,
             window_active: false,
             interact: None,
             described: None,
@@ -840,6 +881,164 @@ impl ServeEngine {
         }
         self.shared.total_requests.fetch_add(1, Ordering::Relaxed);
         self.run_request(session, iterations, deadline_millis)
+    }
+
+    /// Append one query to a live session's log — an O(change) edit, not a re-derive.
+    ///
+    /// The query is triaged leniently exactly like admission. A clean parse grafts the
+    /// new leaf into the session's maintained difftree, switches the session to the
+    /// shared problem of the extended log and re-roots the warm search tree onto it
+    /// ([`SearchHandle::rebase`] with the [`graft_append`] state graft): visit statistics
+    /// survive as warm priors, every off-spine subtree stays `Arc`-shared, and
+    /// fingerprint-keyed caches keep hitting. A malformed query occupies a quarantined
+    /// log slot and leaves the search untouched (rejected instead under
+    /// [`ServeConfig::strict`]). Rebase resets the session's best record to the updated
+    /// problem's root, so post-append rewards are not comparable to pre-append ones.
+    pub fn append(&self, session: u64, query: &str) -> Result<LogEditResult, ServeError> {
+        if self.is_shutdown() || self.is_draining() {
+            return Err(ServeError::ShuttingDown);
+        }
+        if self.shared.config.strict {
+            if let Err(e) = parse_query(query) {
+                return Err(ServeError::BadQuery(e.to_string()));
+            }
+        }
+        self.shared.total_requests.fetch_add(1, Ordering::Relaxed);
+        let handle = self.session(session)?;
+        let mut guard = self.lock_quiescent(&handle)?;
+        guard.last_touched = Instant::now();
+
+        let appended_at = guard.log.len();
+        let triage = guard.log.append_source(query);
+        if triage.is_empty() {
+            let ast = match guard.log.entries().last() {
+                Some(LogEntry::Parsed(ast)) => ast.clone(),
+                _ => unreachable!("clean append yields a parsed tail entry"),
+            };
+            let problem = self.problem_for(&guard.log.healthy());
+            guard
+                .handle
+                .rebase(Arc::clone(&problem), |state| {
+                    Some(graft_append(state, &ast))
+                })
+                .expect("window quiescence implies handle quiescence");
+            guard.problem = problem;
+            guard.interact = None;
+            guard.described = None;
+            // The on-disk snapshot (if any) no longer matches the log: force a rewrite.
+            guard.snapshotted_iterations = None;
+            self.shared.rebased_handles.fetch_add(1, Ordering::Relaxed);
+        } else {
+            debug_assert!(triage.iter().all(|d| d.index == appended_at));
+            self.shared
+                .quarantined_queries
+                .fetch_add(1, Ordering::Relaxed);
+            guard.snapshotted_iterations = None;
+        }
+        self.shared.appended_queries.fetch_add(1, Ordering::Relaxed);
+        self.finish_log_edit(session, guard)
+    }
+
+    /// Retract the session's log entry at `index` (0-based, quarantined slots included).
+    ///
+    /// Retracting a healthy query narrows the maintained difftree in O(change) and
+    /// re-roots the warm search tree onto the narrowed problem (the identity graft: a
+    /// state expressing a superset of queries expresses the remainder). Retracting a
+    /// quarantined slot just frees the slot and its diagnostics — the search is
+    /// untouched. Retracting the last healthy query is rejected with
+    /// [`ServeError::NoQueries`].
+    pub fn retract(&self, session: u64, index: u64) -> Result<LogEditResult, ServeError> {
+        if self.is_shutdown() || self.is_draining() {
+            return Err(ServeError::ShuttingDown);
+        }
+        self.shared.total_requests.fetch_add(1, Ordering::Relaxed);
+        let handle = self.session(session)?;
+        let mut guard = self.lock_quiescent(&handle)?;
+        guard.last_touched = Instant::now();
+
+        let at = index as usize;
+        let Some(entry) = guard.log.entries().get(at) else {
+            return Err(ServeError::BadQuery(format!(
+                "retract index {index} out of bounds (log length {})",
+                guard.log.len()
+            )));
+        };
+        let healthy_retract = matches!(entry, LogEntry::Parsed(_));
+        if healthy_retract && guard.log.healthy_len() == 1 {
+            return Err(ServeError::NoQueries);
+        }
+        guard.log.retract(at).map_err(ServeError::BadQuery)?;
+        if healthy_retract {
+            let problem = self.problem_for(&guard.log.healthy());
+            guard
+                .handle
+                .rebase(Arc::clone(&problem), |state| Some(state.clone()))
+                .expect("window quiescence implies handle quiescence");
+            guard.problem = problem;
+            guard.interact = None;
+            guard.described = None;
+            self.shared.rebased_handles.fetch_add(1, Ordering::Relaxed);
+        }
+        guard.snapshotted_iterations = None;
+        self.shared
+            .retracted_queries
+            .fetch_add(1, Ordering::Relaxed);
+        self.finish_log_edit(session, guard)
+    }
+
+    /// Common tail of a log edit: refresh the session's diagnostics from the updated log,
+    /// record the log shape, release the lock and build the anytime answer outside it.
+    fn finish_log_edit(
+        &self,
+        session: u64,
+        mut guard: std::sync::MutexGuard<'_, Session>,
+    ) -> Result<LogEditResult, ServeError> {
+        guard.diagnostics = guard
+            .log
+            .diagnostics()
+            .into_iter()
+            .map(|d| QueryDiagnostic {
+                index: d.index as u64,
+                offset: d.offset as u64,
+                message: d.message,
+                quarantined: d.quarantined,
+            })
+            .collect();
+        let log_len = guard.log.len() as u64;
+        let healthy_len = guard.log.healthy_len() as u64;
+        let quarantined_len = guard.log.quarantined_len() as u64;
+        let reward_before = guard.handle.best_reward();
+        drop(guard);
+        let result = self.anytime_result(session, reward_before)?;
+        Ok(LogEditResult {
+            result,
+            log_len,
+            healthy_len,
+            quarantined_len,
+        })
+    }
+
+    /// Take the session lock at window quiescence. Log edits rebase the warm search
+    /// tree, which requires no leaves in flight; the bounded wait lets an in-flight
+    /// window finalise (windows are short — one batch of leaf evaluations) while a
+    /// session wedged mid-window reports [`ServeError::Busy`] instead of stalling the
+    /// connection forever.
+    fn lock_quiescent<'a>(
+        &self,
+        session: &'a Arc<Mutex<Session>>,
+    ) -> Result<std::sync::MutexGuard<'a, Session>, ServeError> {
+        let deadline = Instant::now() + Duration::from_millis(2_000);
+        loop {
+            let guard = session.lock().unwrap_or_else(PoisonError::into_inner);
+            if !guard.window_active {
+                return Ok(guard);
+            }
+            drop(guard);
+            if Instant::now() >= deadline {
+                return Err(ServeError::Busy);
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
     }
 
     /// Enqueue a bounded work item for `session`, wait for the scheduler to finish it and
@@ -1066,6 +1265,24 @@ impl ServeEngine {
         let total_batches = self.shared.total_batches.load(Ordering::Relaxed);
         let total_batched_units = self.shared.total_batched_units.load(Ordering::Relaxed);
         let batch_group_hits = self.shared.batch_group_hits.load(Ordering::Relaxed);
+        // Per-session log sizes: brief per-session locks (never held across the sweep),
+        // sorted so the report is deterministic regardless of shard iteration order.
+        let mut session_logs: Vec<SessionLogStat> = self
+            .shared
+            .sessions
+            .ids()
+            .into_iter()
+            .filter_map(|id| {
+                let session = self.shared.sessions.get(id)?;
+                let guard = session.lock().unwrap_or_else(PoisonError::into_inner);
+                Some(SessionLogStat {
+                    session: id,
+                    entries: guard.log.len() as u64,
+                    quarantined: guard.log.quarantined_len() as u64,
+                })
+            })
+            .collect();
+        session_logs.sort_by_key(|stat| stat.session);
         EngineStatsReport {
             sessions,
             peak_sessions: self.shared.peak_sessions.load(Ordering::Relaxed),
@@ -1095,6 +1312,10 @@ impl ServeEngine {
             snapshots_written: self.shared.snapshots_written.load(Ordering::Relaxed),
             sessions_resumed: self.shared.sessions_resumed.load(Ordering::Relaxed),
             quarantined_queries: self.shared.quarantined_queries.load(Ordering::Relaxed),
+            appended_queries: self.shared.appended_queries.load(Ordering::Relaxed),
+            retracted_queries: self.shared.retracted_queries.load(Ordering::Relaxed),
+            rebased_handles: self.shared.rebased_handles.load(Ordering::Relaxed),
+            session_logs,
             reaped_sessions: self.shared.reaped_sessions.load(Ordering::Relaxed),
             injected_faults: self
                 .shared
@@ -1229,18 +1450,24 @@ impl ServeEngine {
             .load(session)
             .map_err(ServeError::Snapshot)?
             .ok_or(ServeError::UnknownSession(session))?;
-        let queries: Vec<Ast> = snapshot
-            .queries
-            .iter()
-            .map(|sql| {
-                parse_query(sql)
-                    .map_err(|e| ServeError::Snapshot(format!("stored query unparseable: {e}")))
-            })
-            .collect::<Result<_, _>>()?;
-        if queries.is_empty() {
-            return Err(ServeError::Snapshot("snapshot has no queries".into()));
+        // The full live log round-trips through triage: healthy entries were stored as
+        // canonical SQL (they must re-parse — anything else is corruption, since the
+        // problem is rebuilt from them), quarantined slots re-quarantine in place.
+        let log = LiveLog::from_triaged(&TriagedLog::from_sources(&snapshot.log));
+        let healthy = log.healthy();
+        if healthy.len() != snapshot.queries.len() {
+            return Err(ServeError::Snapshot(format!(
+                "stored log re-triages to {} healthy queries, snapshot recorded {}",
+                healthy.len(),
+                snapshot.queries.len()
+            )));
         }
-        let problem = self.problem_for(&queries);
+        if healthy.is_empty() {
+            return Err(ServeError::Snapshot(
+                "snapshot has no healthy queries".into(),
+            ));
+        }
+        let problem = self.problem_for(&healthy);
         let restored = SearchHandle::restore(Arc::clone(&problem), snapshot.handle)
             .map_err(ServeError::Snapshot)?;
         let reward = restored.best_reward();
@@ -1248,6 +1475,7 @@ impl ServeEngine {
         let state = Arc::new(Mutex::new(Session {
             problem,
             handle: restored,
+            log,
             window_active: false,
             interact: None,
             described: None,
@@ -1846,6 +2074,7 @@ fn persist_one(shared: &Shared, id: u64) -> bool {
             format_version: SNAPSHOT_FORMAT_VERSION,
             session: id,
             queries: guard.problem.queries().iter().map(print_query).collect(),
+            log: guard.log.sources(),
             eval_seed: guard.eval_seed,
             handle: guard.handle.snapshot(),
         }

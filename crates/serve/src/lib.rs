@@ -46,11 +46,11 @@ pub use client::{
     run_concurrent_sessions, run_resume_session, run_scripted_session, Backoff, Client,
     ClientError, ScriptConfig, ScriptReport,
 };
-pub use engine::{ServeConfig, ServeEngine, ServeError, SynthesisResult};
+pub use engine::{LogEditResult, ServeConfig, ServeEngine, ServeError, SynthesisResult};
 pub use fault::{EvalFault, FaultPlan, TurnFault};
 pub use proto::{
     read_frame, BestReport, EngineStatsReport, Frame, QueryDiagnostic, Request, Response,
-    WidgetAction, MAX_REQUEST_FRAME_BYTES, MAX_RESPONSE_FRAME_BYTES,
+    SessionLogStat, WidgetAction, MAX_REQUEST_FRAME_BYTES, MAX_RESPONSE_FRAME_BYTES,
 };
 pub use server::{dispatch, serve, serve_on};
 pub use snapshot::{SessionSnapshot, SnapshotStore, SNAPSHOT_FORMAT_VERSION};

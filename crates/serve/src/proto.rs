@@ -12,6 +12,10 @@
 //! ← {"Refined":{"session":1,"best":{...},"improved":true,"interface":{...}}}
 //! → {"Interact":{"session":1,"action":{"Select":{"path":[0,1],"pick":2}}}}
 //! ← {"Interacted":{"session":1,"sql":"SELECT ..."}}
+//! → {"Append":{"session":1,"query":"SELECT b FROM t"}}
+//! ← {"Appended":{"session":1,"best":{...},"interface":{...},"log_len":2,"healthy_len":2,...}}
+//! → {"Retract":{"session":1,"index":0}}
+//! ← {"Retracted":{"session":1,"best":{...},"interface":{...},"log_len":1,"healthy_len":1,...}}
 //! → {"Resume":{"session":1}}
 //! ← {"Resumed":{"session":1,"best":{...},"interface":{...}}}
 //! → "Stats"
@@ -72,6 +76,28 @@ pub enum Request {
         session: u64,
         /// The widget interaction to apply.
         action: WidgetAction,
+    },
+    /// Append one query to a live session's log. The query is triaged leniently exactly
+    /// like admission: a clean parse grafts the new leaf into the session's maintained
+    /// difftree and re-roots the warm search tree onto the extended problem in O(change)
+    /// (visit statistics kept, caches shared); a malformed query occupies a quarantined
+    /// log slot — reported in the response diagnostics — and leaves the search untouched.
+    /// Servers running `--strict` reject malformed appends instead.
+    Append {
+        /// Session id.
+        session: u64,
+        /// The SQL statement to append.
+        query: String,
+    },
+    /// Retract the session's log entry at `index` (0-based over the full log, quarantined
+    /// slots included). Retracting a healthy query re-roots the warm search tree onto the
+    /// narrowed problem; retracting a quarantined slot just frees the slot and clears its
+    /// diagnostics. Retracting the last healthy query is rejected (`"no_queries"`).
+    Retract {
+        /// Session id.
+        session: u64,
+        /// 0-based index into the session's full log.
+        index: u64,
     },
     /// Engine-wide statistics (sessions, scheduler, shared-cache counters).
     Stats,
@@ -140,6 +166,19 @@ pub struct QueryDiagnostic {
     pub quarantined: bool,
 }
 
+/// One live session's log size, reported by `Stats` (the serving layer's view of the
+/// live-maintenance subsystem: how long each session's log has grown and how much of it
+/// is quarantined).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SessionLogStat {
+    /// Session id.
+    pub session: u64,
+    /// Total log entries (quarantined slots included).
+    pub entries: u64,
+    /// Quarantined slots among them.
+    pub quarantined: u64,
+}
+
 /// The anytime best-so-far summary of one session's search.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct BestReport {
@@ -202,6 +241,14 @@ pub struct EngineStatsReport {
     pub sessions_resumed: u64,
     /// Queries quarantined at admission (unparseable entries of otherwise-served logs).
     pub quarantined_queries: u64,
+    /// Queries appended to live sessions since startup (healthy and quarantined alike).
+    pub appended_queries: u64,
+    /// Log entries retracted from live sessions since startup.
+    pub retracted_queries: u64,
+    /// Warm search trees re-rooted onto an updated problem by a live append or retract.
+    pub rebased_handles: u64,
+    /// Per-session log sizes of the live sessions, sorted by session id.
+    pub session_logs: Vec<SessionLogStat>,
     /// Idle sessions evicted (snapshotted first, when a store is configured).
     pub reaped_sessions: u64,
     /// Faults fired by the configured fault plan so far (`0` without a plan).
@@ -258,6 +305,38 @@ pub enum Response {
         session: u64,
         /// The SQL the visualization panel would now execute.
         sql: String,
+    },
+    /// A query was appended to the session's log; the anytime result over the updated
+    /// problem (no new search was run — `Refine` continues the rebased warm tree).
+    Appended {
+        /// Session id.
+        session: u64,
+        /// Best-so-far summary of the rebased search (the best record restarts from the
+        /// updated problem's root, so it is *not* comparable to pre-append rewards).
+        best: BestReport,
+        /// The best interface found so far over the updated log.
+        interface: InterfaceDescription,
+        /// The session's refreshed per-query diagnostics (all quarantined slots).
+        diagnostics: Vec<QueryDiagnostic>,
+        /// Total log length after the append (quarantined slots included).
+        log_len: u64,
+        /// Healthy queries after the append.
+        healthy_len: u64,
+    },
+    /// A log entry was retracted; the anytime result over the updated problem.
+    Retracted {
+        /// Session id.
+        session: u64,
+        /// Best-so-far summary of the (possibly rebased) search.
+        best: BestReport,
+        /// The best interface found so far over the updated log.
+        interface: InterfaceDescription,
+        /// The session's refreshed per-query diagnostics (all quarantined slots).
+        diagnostics: Vec<QueryDiagnostic>,
+        /// Total log length after the retract.
+        log_len: u64,
+        /// Healthy queries after the retract.
+        healthy_len: u64,
     },
     /// Engine statistics.
     Stats(EngineStatsReport),
@@ -401,6 +480,14 @@ mod tests {
                     query: "SELECT a FROM t".into(),
                 },
             },
+            Request::Append {
+                session: 3,
+                query: "SELECT b FROM t".into(),
+            },
+            Request::Retract {
+                session: 3,
+                index: 1,
+            },
             Request::Stats,
             Request::Resume { session: 3 },
             Request::Close { session: 3 },
@@ -433,6 +520,29 @@ mod tests {
         let line = encode_line(&response);
         let back: Response = serde_json::from_str(&line).expect("round trip");
         assert_eq!(back, response);
+
+        let appended = Response::Appended {
+            session: 9,
+            best: BestReport {
+                reward: -9.25,
+                cost_total: 9.25,
+                iterations: 80,
+                evaluations: 200,
+                tree_nodes: 61,
+                exhausted: false,
+            },
+            interface: sample_interface(),
+            diagnostics: vec![QueryDiagnostic {
+                index: 2,
+                offset: 0,
+                message: "expected SELECT or WITH".into(),
+                quarantined: true,
+            }],
+            log_len: 3,
+            healthy_len: 2,
+        };
+        let back: Response = serde_json::from_str(&encode_line(&appended)).expect("round trip");
+        assert_eq!(back, appended);
 
         let error = Response::Error {
             code: "unknown_session".into(),

@@ -154,6 +154,28 @@ pub fn dispatch(engine: &ServeEngine, line: &str) -> Response {
             Ok(sql) => Response::Interacted { session, sql },
             Err(e) => error_response(e),
         },
+        Request::Append { session, query } => match engine.append(session, &query) {
+            Ok(edit) => Response::Appended {
+                session: edit.result.session,
+                best: edit.result.best,
+                interface: edit.result.interface,
+                diagnostics: edit.result.diagnostics,
+                log_len: edit.log_len,
+                healthy_len: edit.healthy_len,
+            },
+            Err(e) => error_response(e),
+        },
+        Request::Retract { session, index } => match engine.retract(session, index) {
+            Ok(edit) => Response::Retracted {
+                session: edit.result.session,
+                best: edit.result.best,
+                interface: edit.result.interface,
+                diagnostics: edit.result.diagnostics,
+                log_len: edit.log_len,
+                healthy_len: edit.healthy_len,
+            },
+            Err(e) => error_response(e),
+        },
         Request::Stats => Response::Stats(engine.stats()),
         Request::Resume { session } => match engine.resume(session) {
             Ok(result) => Response::Resumed {

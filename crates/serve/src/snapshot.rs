@@ -23,7 +23,9 @@ use mctsui_mcts::HandleSnapshot;
 
 /// Version tag of the snapshot file format; bumped on incompatible changes so a restarted
 /// server rejects (rather than misreads) snapshots from a different build lineage.
-pub const SNAPSHOT_FORMAT_VERSION: u32 = 1;
+/// Version 2 added the full live log (`log`), so appended and quarantined entries survive
+/// the restart round trip.
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 2;
 
 /// Everything needed to reattach one session in a fresh process.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -32,9 +34,14 @@ pub struct SessionSnapshot {
     pub format_version: u32,
     /// The session id (resume reclaims the same id).
     pub session: u64,
-    /// The session's query log as SQL text, in log order. Stored as text — not as parsed
-    /// ASTs — so restoring re-parses and re-interns labels in the new process.
+    /// The session's *healthy* query log as SQL text, in log order. Stored as text — not
+    /// as parsed ASTs — so restoring re-parses and re-interns labels in the new process.
     pub queries: Vec<String>,
+    /// The session's *full* live log in log order: canonical SQL for healthy entries, the
+    /// raw submitted text for quarantined slots. Restoring re-triages this list, so
+    /// appended queries and quarantined slots survive the round trip (resume rebuilds the
+    /// live log from here; `queries` is its healthy projection, kept for inspection).
+    pub log: Vec<String>,
     /// Seed used for description/report evaluations (the session's search seed).
     pub eval_seed: u64,
     /// The full resumable search state.

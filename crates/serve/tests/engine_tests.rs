@@ -573,6 +573,116 @@ fn strict_engine_rejects_degraded_logs() {
 }
 
 #[test]
+fn append_and_retract_maintain_the_session_log_with_exact_accounting() {
+    use mctsui_serve::SessionLogStat;
+
+    let engine = quick_engine(1);
+    let opened = engine
+        .synthesize(figure1_queries(), 20, 10_000, 5)
+        .expect("synthesize");
+    let session = opened.session;
+
+    // Healthy append: the log grows, the warm tree is rebased onto the extended problem.
+    let appended = engine
+        .append(session, "SELECT Sales FROM sales WHERE yr = 2020")
+        .expect("healthy append");
+    assert_eq!(appended.log_len, 4);
+    assert_eq!(appended.healthy_len, 4);
+    assert_eq!(appended.quarantined_len, 0);
+    assert!(appended.result.diagnostics.is_empty());
+    assert!(appended.result.best.reward.is_finite());
+
+    // The rebased session keeps refining: iterations accumulate across the rebase.
+    let refined = engine
+        .refine(session, 15, 10_000)
+        .expect("refine after append");
+    assert!(refined.best.iterations >= appended.result.best.iterations + 15);
+
+    // Quarantined append: the slot and its diagnostics are recorded, the search is
+    // untouched (no rebase).
+    let noisy = engine
+        .append(session, "SELECT @@ oops FROM")
+        .expect("lenient append");
+    assert_eq!(noisy.log_len, 5);
+    assert_eq!(noisy.healthy_len, 4);
+    assert_eq!(noisy.quarantined_len, 1);
+    assert!(!noisy.result.diagnostics.is_empty());
+    assert!(noisy
+        .result
+        .diagnostics
+        .iter()
+        .all(|d| d.quarantined && d.index == 4));
+
+    // Retracting the quarantined slot clears its diagnostics without touching the tree.
+    let retracted = engine.retract(session, 4).expect("retract quarantined");
+    assert_eq!(retracted.log_len, 4);
+    assert_eq!(retracted.quarantined_len, 0);
+    assert!(retracted.result.diagnostics.is_empty());
+
+    // Retracting a healthy query narrows the problem and rebases again.
+    let retracted = engine.retract(session, 0).expect("retract healthy");
+    assert_eq!(retracted.log_len, 3);
+    assert_eq!(retracted.healthy_len, 3);
+
+    // Out-of-bounds retract is a typed error and changes nothing.
+    assert_eq!(engine.retract(session, 99).unwrap_err().code(), "bad_query");
+    assert_eq!(
+        engine
+            .append(77_777, "SELECT Costs FROM sales")
+            .unwrap_err(),
+        ServeError::UnknownSession(77_777)
+    );
+
+    // Exact accounting: 2 appends, 2 retracts, 2 rebases (the healthy edits), 1
+    // quarantined-in-service query, and the session's live log shape.
+    let stats = engine.stats();
+    assert_eq!(stats.appended_queries, 2);
+    assert_eq!(stats.retracted_queries, 2);
+    assert_eq!(stats.rebased_handles, 2);
+    assert_eq!(stats.quarantined_queries, 1);
+    assert_eq!(
+        stats.session_logs,
+        vec![SessionLogStat {
+            session,
+            entries: 3,
+            quarantined: 0,
+        }]
+    );
+}
+
+#[test]
+fn retracting_the_last_healthy_query_is_rejected() {
+    let engine = quick_engine(1);
+    let opened = engine
+        .synthesize(
+            vec![parse_query("SELECT Costs FROM sales").unwrap()],
+            10,
+            10_000,
+            2,
+        )
+        .expect("synthesize");
+    let err = engine.retract(opened.session, 0).unwrap_err();
+    assert_eq!(err, ServeError::NoQueries);
+    // The rejected retract left the log intact: the session still serves.
+    assert!(engine.refine(opened.session, 5, 10_000).is_ok());
+}
+
+#[test]
+fn strict_engine_rejects_malformed_appends() {
+    let engine = ServeEngine::start(ServeConfig::quick().with_threads(1).with_strict());
+    let opened = engine
+        .synthesize(figure1_queries(), 10, 10_000, 4)
+        .expect("synthesize");
+    let err = engine
+        .append(opened.session, "SELECT @@ oops FROM")
+        .unwrap_err();
+    assert_eq!(err.code(), "bad_query");
+    let stats = engine.stats();
+    assert_eq!(stats.appended_queries, 0);
+    assert_eq!(stats.session_logs[0].entries, 3);
+}
+
+#[test]
 fn fully_quarantined_logs_are_rejected_even_when_lenient() {
     use mctsui_core::TriagedLog;
 

@@ -162,6 +162,17 @@ fn store_rejects_version_mismatch_and_mislabelled_files() {
     std::fs::write(&path, versioned).expect("write tampered snapshot");
     assert!(store.load(opened.session).is_err());
 
+    // An old-format file (version 1, pre-live-log) must be rejected the same way — the
+    // live log cannot be reconstructed from it, so misreading it would drop appends.
+    let old = good.replacen(
+        &format!("\"format_version\":{SNAPSHOT_FORMAT_VERSION}"),
+        "\"format_version\":1",
+        1,
+    );
+    std::fs::write(&path, old).expect("write old-version snapshot");
+    let err = store.load(opened.session).unwrap_err();
+    assert!(err.contains("format version"), "got: {err}");
+
     // A file whose name does not match the session it claims must be rejected.
     std::fs::write(&path, &good).expect("restore good snapshot");
     let foreign = dir.join("session-777.json");
@@ -171,6 +182,68 @@ fn store_rejects_version_mismatch_and_mislabelled_files() {
     // Truncated JSON is corruption, not an absent snapshot.
     std::fs::write(&path, &good[..good.len() / 2]).expect("truncate snapshot");
     assert!(store.load(opened.session).is_err());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn appended_queries_survive_the_snapshot_round_trip() {
+    use mctsui_serve::SessionLogStat;
+
+    let dir = scratch_dir("append-resume");
+    let (session, parted) = {
+        let engine = ServeEngine::start(
+            ServeConfig::quick()
+                .with_threads(1)
+                .with_snapshot_dir(dir.clone()),
+        );
+        let opened = engine.synthesize(figure1_queries(), 20, 30_000, 3).unwrap();
+        engine
+            .append(opened.session, "SELECT Sales FROM sales WHERE yr = 2020")
+            .expect("healthy append");
+        engine
+            .append(opened.session, "SELECT @@ oops FROM")
+            .expect("quarantined append");
+        let refined = engine
+            .refine(opened.session, 10, 30_000)
+            .expect("refine after appends");
+        let written = engine.drain_and_shutdown(std::time::Duration::from_secs(10));
+        assert!(written >= 1, "drain must persist the appended session");
+        (opened.session, refined)
+    };
+
+    let engine = ServeEngine::start(
+        ServeConfig::quick()
+            .with_threads(1)
+            .with_snapshot_dir(dir.clone()),
+    );
+    let resumed = engine.resume(session).expect("resume after restart");
+    assert_eq!(
+        resumed.best.reward.to_bits(),
+        parted.best.reward.to_bits(),
+        "restored best diverged from the pre-restart best"
+    );
+    assert_eq!(resumed.best.iterations, parted.best.iterations);
+
+    // The restored live log carries both appends: the healthy query (4 healthy entries)
+    // and the quarantined slot, at their original positions.
+    assert_eq!(
+        engine.stats().session_logs,
+        vec![SessionLogStat {
+            session,
+            entries: 5,
+            quarantined: 1,
+        }]
+    );
+
+    // Live maintenance continues on the restored session.
+    let edit = engine
+        .append(session, "SELECT Costs FROM sales WHERE yr = 2020")
+        .expect("append after resume");
+    assert_eq!(edit.log_len, 6);
+    assert_eq!(edit.healthy_len, 5);
+    let retracted = engine.retract(session, 4).expect("retract restored slot");
+    assert_eq!(retracted.quarantined_len, 0);
 
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -219,7 +292,8 @@ proptest! {
         let snapshot = SessionSnapshot {
             format_version: SNAPSHOT_FORMAT_VERSION,
             session: 1 + (seed % 1000),
-            queries: sql,
+            queries: sql.clone(),
+            log: sql,
             eval_seed: seed,
             handle: handle.snapshot(),
         };

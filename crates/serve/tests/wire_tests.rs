@@ -95,6 +95,75 @@ fn eight_concurrent_scripted_sessions_succeed() {
 }
 
 #[test]
+fn scripted_appends_extend_the_live_log_over_tcp() {
+    // The live-maintenance wire path end to end: a scripted session appends two drift
+    // queries (one of them malformed, so it lands in quarantine), the server grafts and
+    // rebases in place, and the report carries the post-append interface and log length.
+    let (_engine, addr, server) = start_server(2);
+
+    let script = ScriptConfig {
+        iterations: 30,
+        refines: 1,
+        deadline_millis: 10_000,
+        seed: 9,
+        persist: true,
+        appends: vec![
+            "SELECT Sales FROM sales WHERE yr = 2020".to_string(),
+            "SELECT @@ oops FROM".to_string(),
+        ],
+        ..ScriptConfig::default()
+    };
+    let report = run_scripted_session(&addr, &demo_queries(), &script).expect("append session");
+    assert_eq!(report.appended.len(), 2, "one refine report per append");
+    assert_eq!(report.log_len, Some(5), "3 base queries + 2 appends");
+    assert!(
+        report.diagnostics.iter().any(|d| d.index == 4),
+        "the malformed append must surface as a diagnostic at its log position"
+    );
+
+    // The server agrees: the session's log is 5 entries, one quarantined, and the
+    // maintenance counters account for exactly what the script did.
+    let mut client = Client::connect(&addr).expect("connect");
+    match client.call(&Request::Stats).expect("stats") {
+        Response::Stats(stats) => {
+            assert_eq!(stats.appended_queries, 2);
+            assert_eq!(stats.retracted_queries, 0);
+            assert_eq!(stats.rebased_handles, 1, "only the healthy append rebases");
+            assert_eq!(stats.session_logs.len(), 1);
+            assert_eq!(stats.session_logs[0].session, report.session);
+            assert_eq!(stats.session_logs[0].entries, 5);
+            assert_eq!(stats.session_logs[0].quarantined, 1);
+        }
+        other => panic!("expected Stats, got {other:?}"),
+    }
+
+    // Retracting the quarantined slot over the wire shrinks the log and clears the
+    // diagnostic; the session keeps serving.
+    match client
+        .call(&Request::Retract {
+            session: report.session,
+            index: 4,
+        })
+        .expect("retract")
+    {
+        Response::Retracted {
+            log_len,
+            healthy_len,
+            diagnostics,
+            ..
+        } => {
+            assert_eq!(log_len, 4);
+            assert_eq!(healthy_len, 4);
+            assert!(diagnostics.is_empty());
+        }
+        other => panic!("expected Retracted, got {other:?}"),
+    }
+
+    client.call(&Request::Shutdown).expect("shutdown");
+    server.join().expect("server thread");
+}
+
+#[test]
 fn malformed_and_unknown_requests_get_error_responses() {
     let (_engine, addr, server) = start_server(1);
 

@@ -107,25 +107,24 @@ impl CorpusSpec {
     ///
     /// Deterministic: the same spec always produces the same log.
     pub fn generate(&self) -> CorpusLog {
+        self.generate_with_appends(0).0
+    }
+
+    /// Generate the session log plus `appends` *further* drift queries from the same
+    /// drift stream — the queries this session's user would submit next.
+    ///
+    /// The returned log is bit-identical to [`CorpusSpec::generate`] (the appends
+    /// continue the rng stream strictly after the base log is complete), so a live
+    /// session admitted on the base log and then fed the appended queries replays
+    /// exactly the longer session this generator would have produced.
+    pub fn generate_with_appends(&self, appends: usize) -> (CorpusLog, Vec<String>) {
         let mut rng = StdRng::seed_from_u64(self.seed ^ self.family.salt());
         let schema = CorpusSchema::generate(self.family, &mut rng);
         let length = rng.gen_range(6usize..=12);
         let mut draft = Draft::initial(self.family, &schema, &mut rng);
-        let mut sql = Vec::with_capacity(length);
+        let mut sql = Vec::with_capacity(length + appends);
         sql.push(draft.render(&schema));
-        while sql.len() < length {
-            // Force visible drift: retry mutations until the rendered SQL changes.
-            for _attempt in 0..16 {
-                let mut next = draft.clone();
-                next.mutate(self.family, &schema, &mut rng);
-                let rendered = next.render(&schema);
-                if &rendered != sql.last().expect("nonempty") {
-                    draft = next;
-                    sql.push(rendered);
-                    break;
-                }
-            }
-        }
+        Self::drift_to(&mut sql, &mut draft, length, self.family, &schema, &mut rng);
         let queries = sql
             .iter()
             .map(|s| {
@@ -134,11 +133,44 @@ impl CorpusSpec {
                 })
             })
             .collect();
-        CorpusLog {
+        let log = CorpusLog {
             spec: *self,
-            schema,
-            sql,
+            schema: schema.clone(),
+            sql: sql.clone(),
             queries,
+        };
+        Self::drift_to(
+            &mut sql,
+            &mut draft,
+            length + appends,
+            self.family,
+            &schema,
+            &mut rng,
+        );
+        (log, sql.split_off(length))
+    }
+
+    /// Extend `sql` with drifted queries until it holds `target` entries.
+    fn drift_to(
+        sql: &mut Vec<String>,
+        draft: &mut Draft,
+        target: usize,
+        family: SchemaFamily,
+        schema: &CorpusSchema,
+        rng: &mut StdRng,
+    ) {
+        while sql.len() < target {
+            // Force visible drift: retry mutations until the rendered SQL changes.
+            for _attempt in 0..16 {
+                let mut next = draft.clone();
+                next.mutate(family, schema, rng);
+                let rendered = next.render(schema);
+                if &rendered != sql.last().expect("nonempty") {
+                    *draft = next;
+                    sql.push(rendered);
+                    break;
+                }
+            }
         }
     }
 }
@@ -986,6 +1018,29 @@ mod tests {
             let c = CorpusSpec::new(family, 18).generate();
             assert_eq!(a.sql, b.sql, "{family} not deterministic");
             assert_ne!(a.sql, c.sql, "{family} ignores the seed");
+        }
+    }
+
+    #[test]
+    fn appends_continue_the_exact_drift_stream() {
+        for family in SchemaFamily::ALL {
+            for seed in [0u64, 9, 33] {
+                let spec = CorpusSpec::new(family, seed);
+                let base = spec.generate();
+                let (log, appended) = spec.generate_with_appends(4);
+                // The base log is bit-identical whether or not appends are requested.
+                assert_eq!(log.sql, base.sql, "{family}:{seed} base log drifted");
+                assert_eq!(appended.len(), 4);
+                // Appends keep drifting: each differs from its predecessor and parses.
+                let mut previous = base.sql.last().expect("nonempty").clone();
+                for sql in &appended {
+                    assert_ne!(sql, &previous, "{family}:{seed} append was a no-op");
+                    parse_query(sql).unwrap_or_else(|e| {
+                        panic!("{family}:{seed} appended unparseable SQL `{sql}`: {e}")
+                    });
+                    previous = sql.clone();
+                }
+            }
         }
     }
 

@@ -53,6 +53,9 @@
 //!   --seed <n>                   base session seed (default: 42)
 //!   --demo                       use the SDSS Listing 1 log
 //!   --scenario <name>            use a registered scenario's log (builtin or corpus name)
+//!   --appends <n>                append n drift queries to each session's live log after
+//!                                the refine rounds (requires --scenario corpus:<family>:<seed>;
+//!                                the drift continues that corpus's generation stream)
 //!   --shutdown                   send Shutdown after the sessions finish
 //!   --tolerate-faults            reconnect/resume through faults instead of failing fast
 //!   --persist                    leave sessions open (prints session=<id> for --resume)
@@ -240,6 +243,7 @@ fn client_main(args: Vec<String>) -> ExitCode {
     let mut demo = false;
     let mut scenario: Option<String> = None;
     let mut shutdown = false;
+    let mut appends = 0usize;
     let mut resume: Option<u64> = None;
     let mut query_file: Option<String> = None;
     let mut iter = args.into_iter();
@@ -274,6 +278,10 @@ fn client_main(args: Vec<String>) -> ExitCode {
                 Some(name) => scenario = Some(name),
                 None => return usage_error("--scenario needs a name"),
             },
+            "--appends" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => appends = n,
+                None => return usage_error("--appends needs a number"),
+            },
             "--shutdown" => shutdown = true,
             "--tolerate-faults" => script.tolerate_faults = true,
             "--persist" => script.persist = true,
@@ -285,6 +293,27 @@ fn client_main(args: Vec<String>) -> ExitCode {
                 return usage_error(&format!("unknown client option `{other}`"))
             }
             other => query_file = Some(other.to_string()),
+        }
+    }
+
+    // Appends are drift mutations drawn from the session's corpus family: the generator
+    // replays the corpus log's exact drift stream and continues it, so appended queries
+    // are what that synthetic analyst would plausibly ask next.
+    if appends > 0 {
+        match scenario
+            .as_deref()
+            .and_then(mctsui::workload::CorpusSpec::parse_name)
+        {
+            Some(spec) => {
+                let (_, drift) = spec.generate_with_appends(appends);
+                script.appends = drift;
+            }
+            None => {
+                return usage_error(
+                    "--appends draws drift queries from a generated corpus; \
+                     pass --scenario corpus:<family>:<seed>",
+                )
+            }
         }
     }
 
@@ -310,6 +339,11 @@ fn client_main(args: Vec<String>) -> ExitCode {
         );
         if script.persist {
             println!("session={}", report.session);
+        }
+        // The resumed session's live-log length (appends made before a restart survive
+        // the snapshot round-trip); smoke tests grep this line.
+        if let Some(len) = report.log_len {
+            println!("log_len={len}");
         }
         if shutdown {
             return request_shutdown(&addr);
@@ -382,8 +416,24 @@ fn client_main(args: Vec<String>) -> ExitCode {
                 d.index, d.offset, d.message
             );
         }
+        if !report.appended.is_empty() {
+            eprintln!(
+                "  appended {} quer{} (live log now {} entries), post-append reward {:.3}",
+                report.appended.len(),
+                if report.appended.len() == 1 {
+                    "y"
+                } else {
+                    "ies"
+                },
+                report.log_len.unwrap_or(0),
+                report.appended.last().map(|b| b.reward).unwrap_or(0.0)
+            );
+        }
         if script.persist {
             println!("session={}", report.session);
+        }
+        if let Some(len) = report.log_len {
+            println!("log_len={len}");
         }
     }
 
